@@ -1,0 +1,192 @@
+//! COP-KMeans constrained clustering baseline (§4.1.3).
+//!
+//! Conditional formatting as constrained cell clustering: k = 2 clusters
+//! over the predicate-signature space, with must-link constraints among the
+//! formatted examples (and among the implicit soft negatives) and
+//! cannot-link constraints between the two groups. The system predicts
+//! formatting directly and produces no rule (Table 4, "Rules: No").
+
+use crate::{Prediction, TaskLearner};
+use cornet_core::cluster::soft_negatives;
+use cornet_core::predgen::{generate_predicates, GenConfig};
+use cornet_core::signature::CellSignatures;
+use cornet_table::{BitVec, CellValue};
+
+/// The COP-KMeans learner.
+#[derive(Debug)]
+pub struct CopKmeans {
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+}
+
+impl Default for CopKmeans {
+    fn default() -> Self {
+        CopKmeans { max_iters: 20 }
+    }
+}
+
+impl TaskLearner for CopKmeans {
+    fn name(&self) -> &'static str {
+        "Constrained Clustering"
+    }
+
+    fn makes_rules(&self) -> bool {
+        false
+    }
+
+    fn predict(&self, cells: &[CellValue], observed: &[usize]) -> Prediction {
+        let n = cells.len();
+        let set = generate_predicates(cells, &GenConfig::default());
+        if set.is_empty() {
+            return Prediction::from_mask(BitVec::from_indices(n, observed));
+        }
+        let signatures = CellSignatures::from_predicates(&set);
+        let dims = set.len();
+
+        // Dense per-cell vectors for centroid arithmetic.
+        let vector = |i: usize| -> Vec<f64> {
+            let row = signatures.row(i);
+            (0..dims).map(|p| f64::from(u8::from(row.get(p)))).collect()
+        };
+        let sq_dist = |v: &[f64], c: &[f64]| -> f64 {
+            v.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum()
+        };
+
+        // Must-link groups: the formatted examples form one group; the
+        // implicit (soft) negatives form the other. Cannot-link keeps the
+        // two groups in different clusters — enforced by pinning.
+        let soft_neg = soft_negatives(n, observed);
+        let observed_mask = BitVec::from_indices(n, observed);
+        let mut assign: Vec<u8> = (0..n)
+            .map(|i| {
+                if observed_mask.get(i) {
+                    0
+                } else if soft_neg.get(i) {
+                    1
+                } else {
+                    2 // free
+                }
+            })
+            .collect();
+
+        // Initial centroids: the positive group's mean, and the negative
+        // group's mean (or the farthest cell from the positive centroid when
+        // there are no soft negatives).
+        let mean_of = |members: &[usize]| -> Vec<f64> {
+            let mut acc = vec![0.0; dims];
+            for &m in members {
+                for (a, v) in acc.iter_mut().zip(vector(m)) {
+                    *a += v;
+                }
+            }
+            let k = members.len().max(1) as f64;
+            for a in &mut acc {
+                *a /= k;
+            }
+            acc
+        };
+        let pos_seed: Vec<usize> = observed.to_vec();
+        let mut centroid_pos = mean_of(&pos_seed);
+        let neg_seed: Vec<usize> = soft_neg.iter_ones().collect();
+        let mut centroid_neg = if neg_seed.is_empty() {
+            let far = (0..n)
+                .filter(|i| !observed_mask.get(*i))
+                .max_by(|&a, &b| {
+                    sq_dist(&vector(a), &centroid_pos)
+                        .partial_cmp(&sq_dist(&vector(b), &centroid_pos))
+                        .unwrap()
+                });
+            match far {
+                Some(i) => vector(i),
+                None => vec![0.0; dims],
+            }
+        } else {
+            mean_of(&neg_seed)
+        };
+
+        for _ in 0..self.max_iters {
+            let mut changed = false;
+            // Assignment step: free cells go to the nearest centroid
+            // (pinned groups satisfy must-link/cannot-link by construction).
+            for i in 0..n {
+                if observed_mask.get(i) || soft_neg.get(i) {
+                    continue;
+                }
+                let v = vector(i);
+                let new = if sq_dist(&v, &centroid_pos) <= sq_dist(&v, &centroid_neg) {
+                    0
+                } else {
+                    1
+                };
+                if assign[i] != new {
+                    assign[i] = new;
+                    changed = true;
+                }
+            }
+            // Update step.
+            let pos_members: Vec<usize> = (0..n).filter(|&i| assign[i] == 0).collect();
+            let neg_members: Vec<usize> = (0..n).filter(|&i| assign[i] == 1).collect();
+            centroid_pos = mean_of(&pos_members);
+            if !neg_members.is_empty() {
+                centroid_neg = mean_of(&neg_members);
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        let mut mask = BitVec::zeros(n);
+        for (i, &a) in assign.iter().enumerate() {
+            if a == 0 {
+                mask.set(i, true);
+            }
+        }
+        mask.or_assign(&observed_mask);
+        Prediction::from_mask(mask)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[&str]) -> Vec<CellValue> {
+        raw.iter().map(|s| CellValue::parse(s)).collect()
+    }
+
+    #[test]
+    fn clusters_prefix_pattern() {
+        let cells = parse(&["RW-1", "XX-900", "RW-3", "XX-901", "RW-5", "XX-902"]);
+        let learner = CopKmeans::default();
+        let pred = learner.predict(&cells, &[0, 2]);
+        assert!(pred.rule.is_none());
+        assert!(pred.mask.get(0) && pred.mask.get(2));
+        assert!(pred.mask.get(4), "RW-5 should cluster with the examples");
+        assert!(!pred.mask.get(1), "XX soft negative stays out");
+    }
+
+    #[test]
+    fn numeric_clusters() {
+        let cells = parse(&["1", "2", "100", "3", "101", "102"]);
+        let learner = CopKmeans::default();
+        let pred = learner.predict(&cells, &[2, 4]);
+        assert!(pred.mask.get(5), "102 belongs with the large values");
+        assert!(!pred.mask.get(0) && !pred.mask.get(1));
+    }
+
+    #[test]
+    fn no_predicates_returns_observed_only() {
+        let cells = parse(&["x", "x", "x"]);
+        let learner = CopKmeans::default();
+        let pred = learner.predict(&cells, &[1]);
+        assert_eq!(pred.mask.iter_ones().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    fn observed_always_in_positive_cluster() {
+        let cells = parse(&["a-1", "b-2", "a-3", "b-4"]);
+        let learner = CopKmeans::default();
+        let pred = learner.predict(&cells, &[1]);
+        assert!(pred.mask.get(1));
+    }
+}

@@ -1,0 +1,84 @@
+//! Cornet wrapped as a [`TaskLearner`] for the harness.
+
+use crate::{Prediction, TaskLearner};
+use cornet_core::learner::{Cornet, CornetConfig};
+use cornet_core::rank::Ranker;
+use cornet_table::CellValue;
+
+/// Cornet (or one of its ablations, depending on config/ranker) behind the
+/// uniform learner interface.
+pub struct CornetLearner<R: Ranker> {
+    inner: Cornet<R>,
+    name: &'static str,
+}
+
+impl<R: Ranker> CornetLearner<R> {
+    /// Wraps a configured Cornet instance.
+    pub fn new(config: CornetConfig, ranker: R, name: &'static str) -> CornetLearner<R> {
+        CornetLearner {
+            inner: Cornet::new(config, ranker),
+            name,
+        }
+    }
+
+    /// Access to the underlying learner (for top-k experiments).
+    pub fn inner(&self) -> &Cornet<R> {
+        &self.inner
+    }
+}
+
+impl<R: Ranker> TaskLearner for CornetLearner<R> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn makes_rules(&self) -> bool {
+        true
+    }
+
+    fn predict(&self, cells: &[CellValue], observed: &[usize]) -> Prediction {
+        match self.inner.learn(cells, observed) {
+            Ok(outcome) => {
+                let best = outcome.candidates.into_iter().next().expect("non-empty");
+                Prediction::from_rule(best.rule, cells)
+            }
+            Err(_) => Prediction::empty(cells.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cornet_core::rank::SymbolicRanker;
+
+    #[test]
+    fn wraps_cornet() {
+        let learner = CornetLearner::new(
+            CornetConfig::default(),
+            SymbolicRanker::heuristic(),
+            "cornet",
+        );
+        let cells: Vec<CellValue> = ["Pass", "Fail", "Pass", "Fail", "Pass"]
+            .iter()
+            .map(|s| CellValue::from(*s))
+            .collect();
+        let pred = learner.predict(&cells, &[0]);
+        assert!(pred.rule.is_some());
+        assert_eq!(pred.mask.iter_ones().collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert!(learner.makes_rules());
+    }
+
+    #[test]
+    fn failure_yields_empty_prediction() {
+        let learner = CornetLearner::new(
+            CornetConfig::default(),
+            SymbolicRanker::heuristic(),
+            "cornet",
+        );
+        let cells: Vec<CellValue> = vec![CellValue::from("same"); 4];
+        let pred = learner.predict(&cells, &[0]);
+        assert!(pred.rule.is_none());
+        assert!(pred.mask.none());
+    }
+}

@@ -1,0 +1,387 @@
+//! Decision-tree baselines (§4.1.1).
+//!
+//! Three variants, matching the first three rows of Table 4:
+//!
+//! * **raw** — features built directly from cell values: numeric/date
+//!   columns get thresholds between sorted distinct values, text columns get
+//!   categorical equality. "This encoding does not allow learning rules that
+//!   involve partial strings, summary statistics for numbers or date parts."
+//! * **+ predicates** — the tree splits on Cornet's generated predicates.
+//! * **+ predicates + ranking** — additionally, equal-impurity split ties
+//!   are broken by a ranker preference instead of first-come.
+//!
+//! All variants use the paper's hyper-parameters: class weight 5:1, max
+//! depth 3, min samples to split 3, min samples per leaf 2. Unlike Cornet,
+//! they fit a *single* tree (no clustering, no iteration, no candidate
+//! set). Labels are observed-vs-rest; to adapt the baseline to the
+//! examples-only setting (the paper adapts every baseline, §4), implicit
+//! soft negatives carry full weight while the remaining unlabeled cells are
+//! weak negatives — a plain closed world would force the tree to memorise
+//! the examples and never generalise.
+
+use crate::{Prediction, TaskLearner};
+use cornet_core::cluster::soft_negatives;
+use cornet_core::predgen::{generate_predicates, GenConfig};
+use cornet_core::predicate::{CmpOp, Predicate, TextOp};
+use cornet_core::rule::{Conjunct, Rule, RuleLiteral};
+use cornet_dtree::{DecisionTree, FeatureMatrix, TreeConfig};
+use cornet_table::{BitVec, CellValue, DataType};
+
+fn paper_tree_config() -> TreeConfig {
+    TreeConfig {
+        max_decision_nodes: 16,
+        max_depth: 3,
+        min_samples_split: 3,
+        min_samples_leaf: 2,
+        positive_class_weight: 5.0,
+    }
+}
+
+/// The training subset for the examples-only adaptation: the observed
+/// positives plus the implicit soft negatives. When no soft negatives exist
+/// (one example, or adjacent examples), every cell joins as a weak negative
+/// so the tree has something to split against. Fitting only on the labeled
+/// subset is what lets a single tree generalise: on the full column a
+/// narrow memorising split always has better Gini than the intended rule,
+/// because the unobserved formatted cells count as negatives.
+fn training_subset(n: usize, observed: &[usize]) -> (Vec<usize>, Vec<f64>) {
+    let soft = soft_negatives(n, observed);
+    let obs = BitVec::from_indices(n, observed);
+    if soft.none() {
+        let weights = (0..n)
+            .map(|i| if obs.get(i) { 1.0 } else { 0.1 })
+            .collect();
+        return ((0..n).collect(), weights);
+    }
+    let subset: Vec<usize> = (0..n).filter(|&i| obs.get(i) || soft.get(i)).collect();
+    let weights = vec![1.0; subset.len()];
+    (subset, weights)
+}
+
+/// Fits a paper-configured tree on the training subset and applies it to
+/// the whole column.
+fn fit_and_apply(
+    n: usize,
+    sigs: &[BitVec],
+    observed: &[usize],
+    tie_break: Option<&dyn Fn(&[usize]) -> usize>,
+) -> (DecisionTree, BitVec) {
+    let (subset, weights) = training_subset(n, observed);
+    let sub_sigs: Vec<BitVec> = sigs
+        .iter()
+        .map(|sig| subset.iter().map(|&i| sig.get(i)).collect())
+        .collect();
+    let sub_features = FeatureMatrix::new(subset.len(), sub_sigs);
+    let obs = BitVec::from_indices(n, observed);
+    let labels: BitVec = subset.iter().map(|&i| obs.get(i)).collect();
+    let allowed: Vec<usize> = (0..sub_features.n_features()).collect();
+    // The paper's leaf/split minimums assume full-column fitting; on tiny
+    // labeled subsets they would block every split.
+    let mut config = paper_tree_config();
+    if subset.len() < 8 {
+        config.min_samples_split = 2;
+        config.min_samples_leaf = 1;
+    }
+    let tree = DecisionTree::fit(
+        &sub_features,
+        &labels,
+        &weights,
+        &allowed,
+        &config,
+        tie_break,
+    );
+    let full = FeatureMatrix::new(n, sigs.to_vec());
+    let mask = tree.predict_all(&full);
+    (tree, mask)
+}
+
+/// Decision tree over raw cell values.
+#[derive(Debug, Default)]
+pub struct RawDecisionTree;
+
+impl RawDecisionTree {
+    /// Builds raw features: per-feature signature plus the grammar
+    /// predicate it corresponds to, when expressible.
+    fn raw_features(cells: &[CellValue]) -> (Vec<BitVec>, Vec<Option<Predicate>>) {
+        let dtype = cornet_core::predgen::infer_type(cells);
+        let mut sigs = Vec::new();
+        let mut preds: Vec<Option<Predicate>> = Vec::new();
+        match dtype {
+            Some(DataType::Number) => {
+                let mut values: Vec<f64> = cells.iter().filter_map(CellValue::as_number).collect();
+                values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                values.dedup();
+                // Thresholds at midpoints between adjacent distinct values.
+                for pair in values.windows(2) {
+                    let t = (pair[0] + pair[1]) / 2.0;
+                    let sig: BitVec = cells
+                        .iter()
+                        .map(|c| c.as_number().is_some_and(|v| v >= t))
+                        .collect();
+                    sigs.push(sig);
+                    preds.push(Some(Predicate::NumCmp {
+                        op: CmpOp::GreaterEquals,
+                        n: t,
+                    }));
+                }
+            }
+            Some(DataType::Text) => {
+                // Categorical encoding: one equality feature per distinct
+                // value (no partial strings).
+                let mut distinct: Vec<&str> =
+                    cells.iter().filter_map(CellValue::as_text).collect();
+                distinct.sort_unstable();
+                distinct.dedup();
+                for value in distinct {
+                    let sig: BitVec = cells
+                        .iter()
+                        .map(|c| c.as_text().is_some_and(|t| t == value))
+                        .collect();
+                    sigs.push(sig);
+                    preds.push(Some(Predicate::Text {
+                        op: TextOp::Equals,
+                        pattern: value.to_string(),
+                    }));
+                }
+            }
+            Some(DataType::Date) => {
+                // Raw encoding thresholds the date serial — not expressible
+                // in the rule grammar (no date *parts*), so no predicate.
+                let mut serials: Vec<i32> = cells
+                    .iter()
+                    .filter_map(CellValue::as_date)
+                    .map(|d| d.days())
+                    .collect();
+                serials.sort_unstable();
+                serials.dedup();
+                for pair in serials.windows(2) {
+                    let t = (pair[0] + pair[1]) / 2;
+                    let sig: BitVec = cells
+                        .iter()
+                        .map(|c| c.as_date().is_some_and(|d| d.days() >= t))
+                        .collect();
+                    sigs.push(sig);
+                    preds.push(None);
+                }
+            }
+            None => {}
+        }
+        (sigs, preds)
+    }
+}
+
+impl TaskLearner for RawDecisionTree {
+    fn name(&self) -> &'static str {
+        "Decision Tree"
+    }
+
+    fn makes_rules(&self) -> bool {
+        true
+    }
+
+    fn predict(&self, cells: &[CellValue], observed: &[usize]) -> Prediction {
+        let n = cells.len();
+        let (sigs, preds) = Self::raw_features(cells);
+        if sigs.is_empty() {
+            return Prediction::empty(n);
+        }
+        let (tree, mask) = fit_and_apply(n, &sigs, observed, None);
+        let rule = dnf_to_rule(&tree, |f| preds[f].clone());
+        Prediction { mask, rule }
+    }
+}
+
+/// Decision tree over Cornet's predicates, optionally rank-tie-broken.
+#[derive(Debug)]
+pub struct PredicateDecisionTree {
+    /// Whether equal-gain splits are broken by ranker preference
+    /// (the "+ Ranking" row of Table 4).
+    pub use_ranking: bool,
+}
+
+impl PredicateDecisionTree {
+    /// The plain "+ Predicates" variant.
+    pub fn plain() -> PredicateDecisionTree {
+        PredicateDecisionTree { use_ranking: false }
+    }
+
+    /// The "+ Predicates + Ranking" variant.
+    pub fn with_ranking() -> PredicateDecisionTree {
+        PredicateDecisionTree { use_ranking: true }
+    }
+}
+
+/// Static ranker preference for a predicate, mirroring the symbolic
+/// ranker's priors: specific text operators beat `Contains`, fewer/shorter
+/// arguments beat longer ones.
+fn predicate_preference(p: &Predicate) -> f64 {
+    use cornet_core::predicate::PredicateKind as K;
+    let kind_bonus = match p.kind() {
+        K::Equals => 0.25,
+        K::StartsWith => 0.15,
+        K::EndsWith => 0.10,
+        K::Contains => -0.10,
+        K::Between => -0.10,
+        _ => 0.0,
+    };
+    kind_bonus - 0.15 * p.arg_count() as f64 - 0.05 * p.mean_arg_len()
+}
+
+impl TaskLearner for PredicateDecisionTree {
+    fn name(&self) -> &'static str {
+        if self.use_ranking {
+            "Decision Tree + Predicates + Ranking"
+        } else {
+            "Decision Tree + Predicates"
+        }
+    }
+
+    fn makes_rules(&self) -> bool {
+        true
+    }
+
+    fn predict(&self, cells: &[CellValue], observed: &[usize]) -> Prediction {
+        let n = cells.len();
+        let set = generate_predicates(cells, &GenConfig::default());
+        if set.is_empty() {
+            return Prediction::empty(n);
+        }
+        let sigs = set.representative_signatures();
+        let prefs: Vec<f64> = set
+            .representatives
+            .iter()
+            .map(|&r| predicate_preference(&set.predicates[r]))
+            .collect();
+        let tie_break = |cands: &[usize]| -> usize {
+            *cands
+                .iter()
+                .max_by(|&&a, &&b| prefs[a].partial_cmp(&prefs[b]).unwrap())
+                .unwrap()
+        };
+        let (tree, mask) = fit_and_apply(
+            n,
+            &sigs,
+            observed,
+            self.use_ranking
+                .then_some(&tie_break as &dyn Fn(&[usize]) -> usize),
+        );
+        let rule = dnf_to_rule(&tree, |f| {
+            Some(set.predicates[set.representatives[f]].clone())
+        });
+        Prediction { mask, rule }
+    }
+}
+
+/// Converts a fitted tree to a rule via a feature→predicate mapping;
+/// returns `None` if any used feature is inexpressible.
+fn dnf_to_rule(
+    tree: &DecisionTree,
+    predicate_of: impl Fn(usize) -> Option<Predicate>,
+) -> Option<Rule> {
+    let dnf = tree.to_dnf();
+    if dnf.is_empty() {
+        return None;
+    }
+    let mut conjuncts = Vec::with_capacity(dnf.len());
+    for path in dnf {
+        let mut literals = Vec::with_capacity(path.len());
+        for lit in path {
+            let predicate = predicate_of(lit.feature)?;
+            literals.push(RuleLiteral {
+                predicate,
+                negated: !lit.polarity,
+            });
+        }
+        conjuncts.push(Conjunct::new(literals));
+    }
+    Some(Rule::new(conjuncts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[&str]) -> Vec<CellValue> {
+        raw.iter().map(|s| CellValue::parse(s)).collect()
+    }
+
+    #[test]
+    fn raw_tree_numeric_threshold() {
+        // > 40 with several examples: raw thresholds can express this. All
+        // unformatted values sit below the soft negatives' range so any
+        // separating threshold reproduces the gold formatting.
+        let cells = parse(&["5", "45", "3", "78", "90", "8", "55", "60", "2", "70"]);
+        let learner = RawDecisionTree;
+        let pred = learner.predict(&cells, &[1, 3, 4, 6, 7]);
+        assert!(pred.rule.is_some());
+        assert_eq!(
+            pred.mask.iter_ones().collect::<Vec<_>>(),
+            vec![1, 3, 4, 6, 7, 9]
+        );
+    }
+
+    #[test]
+    fn raw_tree_cannot_do_partial_strings() {
+        // Prefix rule: the categorical encoding can only memorise equality
+        // of whole values, so an unseen id sharing the prefix is NOT
+        // generalised (while a repeated known value is).
+        let cells = parse(&["RW-1", "XX-2", "RW-1", "XX-2", "RW-1", "RW-9"]);
+        let learner = RawDecisionTree;
+        let pred = learner.predict(&cells, &[0, 2]);
+        assert!(pred.mask.get(4), "repeated known value is memorised");
+        assert!(
+            !pred.mask.get(5),
+            "raw categorical tree should not generalise the RW prefix"
+        );
+    }
+
+    #[test]
+    fn predicate_tree_generalises_prefixes() {
+        let cells = parse(&["RW-1", "XX-2", "RW-3", "XX-4", "RW-5", "RW-6", "XX-7", "RW-8"]);
+        let learner = PredicateDecisionTree::plain();
+        let pred = learner.predict(&cells, &[0, 2, 4]);
+        assert!(pred.rule.is_some());
+        assert!(
+            pred.mask.get(5) && pred.mask.get(7),
+            "predicate tree should generalise the RW prefix; got {:?}",
+            pred.mask
+        );
+        assert!(!pred.mask.get(1) && !pred.mask.get(6));
+    }
+
+    #[test]
+    fn ranking_variant_runs_and_names_differ() {
+        let cells = parse(&["Pass", "Fail", "Pass", "Fail", "Pass", "Fail"]);
+        let plain = PredicateDecisionTree::plain();
+        let ranked = PredicateDecisionTree::with_ranking();
+        assert_ne!(plain.name(), ranked.name());
+        let p = ranked.predict(&cells, &[0, 2]);
+        assert!(p.mask.get(0) && p.mask.get(2));
+    }
+
+    #[test]
+    fn raw_tree_dates_have_no_rule() {
+        let cells = parse(&[
+            "2020-01-01",
+            "2021-01-01",
+            "2022-01-01",
+            "2020-06-01",
+            "2022-06-01",
+            "2022-09-01",
+        ]);
+        let learner = RawDecisionTree;
+        let pred = learner.predict(&cells, &[2, 4, 5]);
+        // Serial thresholds separate 2022 from earlier years…
+        assert!(pred.mask.get(2) && pred.mask.get(4) && pred.mask.get(5));
+        // …but are not expressible in the grammar.
+        assert!(pred.rule.is_none());
+    }
+
+    #[test]
+    fn empty_feature_space_is_safe() {
+        let cells = parse(&["same", "same", "same", "same"]);
+        let learner = PredicateDecisionTree::plain();
+        let pred = learner.predict(&cells, &[0]);
+        assert!(pred.rule.is_none());
+    }
+}

@@ -1,0 +1,77 @@
+//! Baselines for the conditional-formatting-by-example task (§4).
+//!
+//! The paper adapts six symbolic and three neural approaches:
+//!
+//! * decision trees over raw cell values ([`dtree_baselines::RawDecisionTree`]),
+//! * decision trees over Cornet's predicates, optionally with a ranker
+//!   breaking split ties ([`dtree_baselines::PredicateDecisionTree`]),
+//! * Popper-style ILP, raw or predicate-augmented ([`popper::PopperBaseline`]),
+//! * COP-KMeans constrained clustering ([`copkmeans::CopKmeans`]),
+//! * three neural cell classifiers standing in for BERT, TAPAS and TUTA
+//!   ([`neural::CellClassifier`]; see DESIGN.md substitutions 3 and 5).
+//!
+//! Every system implements [`TaskLearner`], the interface the evaluation
+//! harness drives. Cornet itself is wrapped in
+//! [`cornet_learner::CornetLearner`].
+
+pub mod copkmeans;
+pub mod cornet_learner;
+pub mod dtree_baselines;
+pub mod neural;
+pub mod popper;
+
+pub use copkmeans::CopKmeans;
+pub use cornet_learner::CornetLearner;
+pub use dtree_baselines::{PredicateDecisionTree, RawDecisionTree};
+pub use neural::{CellClassifier, NeuralVariant};
+pub use popper::PopperBaseline;
+
+use cornet_core::rule::Rule;
+use cornet_table::{BitVec, CellValue};
+
+/// A system's answer on one task.
+#[derive(Debug, Clone)]
+pub struct Prediction {
+    /// Predicted formatting over the column.
+    pub mask: BitVec,
+    /// The produced rule, for systems that generate one (the "Rules" column
+    /// of Table 4).
+    pub rule: Option<Rule>,
+}
+
+impl Prediction {
+    /// A prediction carrying a rule; the mask is the rule's execution.
+    pub fn from_rule(rule: Rule, cells: &[CellValue]) -> Prediction {
+        Prediction {
+            mask: rule.execute(cells),
+            rule: Some(rule),
+        }
+    }
+
+    /// A mask-only prediction (cell-classification systems).
+    pub fn from_mask(mask: BitVec) -> Prediction {
+        Prediction { mask, rule: None }
+    }
+
+    /// The empty prediction (system failed to produce anything).
+    pub fn empty(n_cells: usize) -> Prediction {
+        Prediction {
+            mask: BitVec::zeros(n_cells),
+            rule: None,
+        }
+    }
+}
+
+/// The uniform interface the evaluation harness drives: given a column and
+/// the user-formatted example indices, predict the full formatting (and a
+/// rule, when the system produces one).
+pub trait TaskLearner {
+    /// System name as reported in the experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Whether the system generates symbolic rules (Table 4 "Rules").
+    fn makes_rules(&self) -> bool;
+
+    /// Solves one task.
+    fn predict(&self, cells: &[CellValue], observed: &[usize]) -> Prediction;
+}

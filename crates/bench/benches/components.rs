@@ -1,0 +1,60 @@
+//! Microbenchmarks of the pipeline stages (§3): predicate generation,
+//! clustering, iterative rule enumeration, and full-pipeline learning.
+
+use cornet_bench::bench_tasks;
+use cornet_core::cluster::{cluster, ClusterConfig};
+use cornet_core::enumerate::{enumerate_rules, EnumConfig};
+use cornet_core::learner::Cornet;
+use cornet_core::predgen::{generate_predicates, GenConfig};
+use cornet_core::signature::CellSignatures;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("components");
+    group.sample_size(20);
+    for &n in &[50usize, 200] {
+        let task = bench_tasks(n, 1, 31).pop().expect("task");
+        let observed = task.examples(3);
+
+        group.bench_with_input(
+            BenchmarkId::new("predicate_generation", n),
+            &task,
+            |b, task| {
+                b.iter(|| std::hint::black_box(generate_predicates(&task.cells, &GenConfig::default())));
+            },
+        );
+
+        let predicates = generate_predicates(&task.cells, &GenConfig::default());
+        group.bench_with_input(
+            BenchmarkId::new("clustering", n),
+            &predicates,
+            |b, predicates| {
+                b.iter(|| {
+                    let signatures = CellSignatures::from_predicates(predicates);
+                    std::hint::black_box(cluster(&signatures, &observed, &ClusterConfig::default()))
+                });
+            },
+        );
+
+        let signatures = CellSignatures::from_predicates(&predicates);
+        let outcome = cluster(&signatures, &observed, &ClusterConfig::default());
+        group.bench_with_input(
+            BenchmarkId::new("rule_enumeration", n),
+            &(&predicates, &outcome),
+            |b, (predicates, outcome)| {
+                b.iter(|| {
+                    std::hint::black_box(enumerate_rules(predicates, outcome, &EnumConfig::default()))
+                });
+            },
+        );
+
+        let cornet = Cornet::with_default_ranker();
+        group.bench_with_input(BenchmarkId::new("full_pipeline", n), &task, |b, task| {
+            b.iter(|| std::hint::black_box(cornet.learn(&task.cells, &observed)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Figure 11: rule learning time vs the depth of the target rule — greedy
+//! iterative learning (Cornet) vs a single decision tree vs depth-bounded
+//! exhaustive search.
+//!
+//! The paper's shape: Cornet stays flat while the exhaustive search blows
+//! up combinatorially (40–80× slower by depth 5).
+
+use cornet_baselines::{CornetLearner, PredicateDecisionTree, TaskLearner};
+use cornet_core::cluster::{cluster, ClusterConfig};
+use cornet_core::fullsearch::{full_search, FullSearchConfig};
+use cornet_core::learner::CornetConfig;
+use cornet_core::predgen::{generate_predicates, GenConfig};
+use cornet_core::predicate::{Predicate, TextOp};
+use cornet_core::rank::SymbolicRanker;
+use cornet_core::rule::{Conjunct, Rule, RuleLiteral};
+use cornet_core::signature::CellSignatures;
+use cornet_table::CellValue;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Same construction as `cornet-eval`'s fig11: an AND chain of `depth`
+/// literals over a synthetic id column.
+fn deep_task(depth: usize, n: usize, seed: u64) -> (Vec<CellValue>, Vec<usize>) {
+    const SUFFIXES: [&str; 6] = ["T", "U", "V", "W", "X", "Y"];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cells: Vec<CellValue> = (0..n)
+        .map(|_| {
+            let prefix = if rng.gen_bool(0.5) { "AX" } else { "BX" };
+            let num = rng.gen_range(100..1000);
+            let suffix = SUFFIXES[rng.gen_range(0..SUFFIXES.len())];
+            CellValue::Text(format!("{prefix}-{num}-{suffix}"))
+        })
+        .collect();
+    let mut literals = vec![RuleLiteral::pos(Predicate::Text {
+        op: TextOp::StartsWith,
+        pattern: "AX".into(),
+    })];
+    for suffix in SUFFIXES.iter().take(depth.saturating_sub(1)) {
+        literals.push(RuleLiteral::neg(Predicate::Text {
+            op: TextOp::EndsWith,
+            pattern: (*suffix).to_string(),
+        }));
+    }
+    let rule = Rule::new(vec![Conjunct::new(literals)]);
+    let observed: Vec<usize> = rule.execute(&cells).iter_ones().take(3).collect();
+    (cells, observed)
+}
+
+fn bench_fig11(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_rule_depth");
+    group.sample_size(10);
+    let cornet = CornetLearner::new(
+        CornetConfig::default(),
+        SymbolicRanker::heuristic(),
+        "cornet",
+    );
+    let dtree = PredicateDecisionTree::plain();
+
+    for depth in 1..=4usize {
+        let (cells, observed) = deep_task(depth, 60, 23 + depth as u64);
+        if observed.len() < 3 {
+            continue;
+        }
+        group.bench_with_input(
+            BenchmarkId::new("cornet", depth),
+            &(&cells, &observed),
+            |b, (cells, observed)| {
+                b.iter(|| std::hint::black_box(cornet.predict(cells, observed)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("decision_tree", depth),
+            &(&cells, &observed),
+            |b, (cells, observed)| {
+                b.iter(|| std::hint::black_box(dtree.predict(cells, observed)));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("full_search", depth),
+            &(&cells, &observed),
+            |b, (cells, observed)| {
+                b.iter(|| {
+                    let predicates = generate_predicates(cells, &GenConfig::default());
+                    let signatures = CellSignatures::from_predicates(&predicates);
+                    let outcome = cluster(&signatures, observed, &ClusterConfig::default());
+                    std::hint::black_box(full_search(
+                        &predicates,
+                        &outcome,
+                        &FullSearchConfig {
+                            max_depth: depth,
+                            max_candidates: 100_000,
+                            max_conjuncts: 400_000,
+                            ..FullSearchConfig::default()
+                        },
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

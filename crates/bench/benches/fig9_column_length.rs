@@ -1,0 +1,55 @@
+//! Figure 9: rule learning time vs column length, for Cornet, the decision
+//! tree baseline, Popper and the TUTA-style neural baseline.
+//!
+//! The paper's shape: Cornet and the decision tree stay fast as columns
+//! grow; Popper's hypothesis space blows up; TUTA inference is the
+//! slowest at scale.
+
+use cornet_baselines::{
+    CellClassifier, CornetLearner, NeuralVariant, PopperBaseline, PredicateDecisionTree,
+    TaskLearner,
+};
+use cornet_bench::bench_tasks;
+use cornet_core::learner::CornetConfig;
+use cornet_core::rank::SymbolicRanker;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fig9(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_column_length");
+    group.sample_size(10);
+    let cornet = CornetLearner::new(
+        CornetConfig::default(),
+        SymbolicRanker::heuristic(),
+        "cornet",
+    );
+    let dtree = PredicateDecisionTree::plain();
+    let popper = PopperBaseline::with_predicates();
+    let mut rng = StdRng::seed_from_u64(17);
+    let tuta = CellClassifier::new(NeuralVariant::TutaLike, 17, &mut rng);
+
+    for &n in &[10usize, 50, 100, 500] {
+        let tasks = bench_tasks(n, 3, 7);
+        let systems: Vec<(&str, &dyn TaskLearner)> = vec![
+            ("cornet", &cornet),
+            ("decision_tree", &dtree),
+            ("popper", &popper),
+            ("tuta", &tuta),
+        ];
+        for (name, learner) in systems {
+            group.bench_with_input(BenchmarkId::new(name, n), &tasks, |b, tasks| {
+                b.iter(|| {
+                    for task in tasks {
+                        let observed = task.examples(3);
+                        std::hint::black_box(learner.predict(&task.cells, &observed));
+                    }
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

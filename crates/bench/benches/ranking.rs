@@ -1,0 +1,51 @@
+//! Microbenchmarks of the rankers (§3.4): feature computation, symbolic
+//! scoring, and the neural ranker's attention forward pass.
+
+use cornet_bench::bench_tasks;
+use cornet_core::features::rule_features;
+use cornet_core::predgen::infer_type;
+use cornet_core::rank::{NeuralMode, NeuralRanker, RankContext, Ranker, SymbolicRanker};
+use cornet_table::CellValue;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ranking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ranking");
+    group.sample_size(30);
+    let task = bench_tasks(100, 1, 41).pop().expect("task");
+    let rule = task.rule.clone();
+    let execution = rule.execute(&task.cells);
+    let labels = task.formatted.clone();
+    let cell_texts: Vec<String> = task.cells.iter().map(CellValue::display_string).collect();
+    let dtype = infer_type(&task.cells);
+
+    group.bench_function("rule_features", |b| {
+        b.iter(|| std::hint::black_box(rule_features(&rule, &execution, &labels, dtype)));
+    });
+
+    let features = rule_features(&rule, &execution, &labels, dtype);
+    let ctx = RankContext {
+        rule: &rule,
+        cell_texts: &cell_texts,
+        execution: &execution,
+        cluster_labels: &labels,
+        dtype,
+        features,
+    };
+
+    let symbolic = SymbolicRanker::heuristic();
+    group.bench_function("symbolic_score", |b| {
+        b.iter(|| std::hint::black_box(symbolic.score(&ctx)));
+    });
+
+    let mut rng = StdRng::seed_from_u64(43);
+    let neural = NeuralRanker::new(NeuralMode::Hybrid, 43, &mut rng);
+    group.bench_function("neural_score", |b| {
+        b.iter(|| std::hint::black_box(neural.score(&ctx)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ranking);
+criterion_main!(benches);

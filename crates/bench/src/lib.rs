@@ -1,0 +1,47 @@
+//! Shared fixtures for the Criterion benches.
+//!
+//! The benches regenerate the paper's timing results: Figure 9 (learning
+//! time vs column length) and Figure 11 (learning time vs rule depth), plus
+//! microbenchmarks of the pipeline stages. Run with `cargo bench`.
+
+use cornet_corpus::taskgen::generate_task_with_len;
+use cornet_corpus::{CorpusConfig, Task};
+use cornet_table::DataType;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic fixed-length benchmark tasks (text-dominated mix, like the
+/// corpus).
+pub fn bench_tasks(n_cells: usize, count: usize, seed: u64) -> Vec<Task> {
+    let config = CorpusConfig {
+        seed,
+        ..CorpusConfig::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed ^ n_cells as u64);
+    let mut out = Vec::new();
+    let mut id = 0u64;
+    while out.len() < count && id < 50 * count as u64 {
+        let dtype = match id % 5 {
+            0..=2 => DataType::Text,
+            3 => DataType::Number,
+            _ => DataType::Date,
+        };
+        if let Some(task) = generate_task_with_len(id, dtype, n_cells, &config, &mut rng) {
+            out.push(task);
+        }
+        id += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_requested_length() {
+        let tasks = bench_tasks(50, 3, 1);
+        assert_eq!(tasks.len(), 3);
+        assert!(tasks.iter().all(|t| t.cells.len() == 50));
+    }
+}

@@ -1,0 +1,186 @@
+//! Handpicked rule features for ranking (§3.4).
+//!
+//! "Information about the rule is captured by handpicked features: depth of
+//! the rule in our grammar, number of arguments, mean length of arguments,
+//! percentage of column colored on execution, accuracy on clustered labels,
+//! predicate used, datatype and number of cells in the column."
+
+use crate::predicate::PredicateKind;
+use crate::rule::Rule;
+use cornet_table::{BitVec, DataType};
+
+/// Fixed width of the feature vector.
+pub const FEATURE_DIM: usize = 6 + PredicateKind::COUNT + 3;
+
+/// Computes the handpicked feature vector for a candidate rule.
+///
+/// Layout:
+/// `[depth, n_args, mean_arg_len, pct_colored, cluster_acc, ln(n_cells),`
+/// `predicate-kind multi-hot ×9, datatype one-hot ×3]`
+pub fn rule_features(
+    rule: &Rule,
+    execution: &BitVec,
+    cluster_labels: &BitVec,
+    dtype: Option<DataType>,
+) -> [f64; FEATURE_DIM] {
+    let n_cells = execution.len().max(1);
+    let mut f = [0.0; FEATURE_DIM];
+    f[0] = rule.depth() as f64;
+
+    let mut n_args = 0usize;
+    let mut arg_len_sum = 0.0;
+    let mut arg_len_count = 0usize;
+    for conj in &rule.condition {
+        for lit in &conj.literals {
+            n_args += lit.predicate.arg_count();
+            arg_len_sum += lit.predicate.mean_arg_len();
+            arg_len_count += 1;
+        }
+    }
+    f[1] = n_args as f64;
+    f[2] = if arg_len_count > 0 {
+        arg_len_sum / arg_len_count as f64
+    } else {
+        0.0
+    };
+    f[3] = execution.count_ones() as f64 / n_cells as f64;
+
+    // Accuracy of the execution against the clustered labels.
+    let agree = execution.len() - execution.hamming(cluster_labels);
+    f[4] = agree as f64 / n_cells as f64;
+    f[5] = (n_cells as f64).ln();
+
+    // Predicate kinds present in the rule (multi-hot).
+    for conj in &rule.condition {
+        for lit in &conj.literals {
+            f[6 + lit.predicate.kind().index()] = 1.0;
+        }
+    }
+    // Column datatype one-hot.
+    let base = 6 + PredicateKind::COUNT;
+    match dtype {
+        Some(DataType::Text) => f[base] = 1.0,
+        Some(DataType::Number) => f[base + 1] = 1.0,
+        Some(DataType::Date) => f[base + 2] = 1.0,
+        None => {}
+    }
+    f
+}
+
+/// Token stream of a rule, used by the neural-only ranker's
+/// CodeBERT-substitute encoding (§5.2.3).
+pub fn rule_tokens(rule: &Rule) -> Vec<String> {
+    let mut tokens = Vec::new();
+    if rule.condition.len() > 1 {
+        tokens.push("OR".to_string());
+    }
+    for conj in &rule.condition {
+        if conj.literals.len() > 1 {
+            tokens.push("AND".to_string());
+        }
+        for lit in &conj.literals {
+            if lit.negated {
+                tokens.push("NOT".to_string());
+            }
+            let display = lit.predicate.to_string();
+            // Split "Name(args)" into name + args tokens.
+            if let Some(paren) = display.find('(') {
+                tokens.push(display[..paren].to_string());
+                let args = &display[paren + 1..display.len() - 1];
+                for a in args.split(',') {
+                    tokens.push(a.trim_matches('"').to_string());
+                }
+            } else {
+                tokens.push(display);
+            }
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CmpOp, Predicate, TextOp};
+    use crate::rule::{Conjunct, RuleLiteral};
+
+    fn gt_rule(n: f64) -> Rule {
+        Rule::from_predicate(Predicate::NumCmp {
+            op: CmpOp::Greater,
+            n,
+        })
+    }
+
+    #[test]
+    fn feature_layout() {
+        let rule = gt_rule(10.0);
+        let exec = BitVec::from_bools(&[true, false, true, false]);
+        let labels = BitVec::from_bools(&[true, false, false, false]);
+        let f = rule_features(&rule, &exec, &labels, Some(DataType::Number));
+        assert_eq!(f[0], 1.0); // depth
+        assert_eq!(f[1], 1.0); // one constant argument
+        assert_eq!(f[2], 2.0); // "10" has display length 2
+        assert_eq!(f[3], 0.5); // 2 of 4 colored
+        assert_eq!(f[4], 0.75); // agrees on 3 of 4 cells
+        assert!((f[5] - (4.0f64).ln()).abs() < 1e-12);
+        assert_eq!(f[6 + PredicateKind::Greater.index()], 1.0);
+        assert_eq!(f[6 + PredicateKind::Contains.index()], 0.0);
+        assert_eq!(f[6 + PredicateKind::COUNT + 1], 1.0); // numeric dtype
+    }
+
+    #[test]
+    fn deeper_rules_have_larger_depth_feature() {
+        let deep = Rule::new(vec![Conjunct::new(vec![
+            RuleLiteral::pos(Predicate::Text {
+                op: TextOp::StartsWith,
+                pattern: "a".into(),
+            }),
+            RuleLiteral::neg(Predicate::Text {
+                op: TextOp::EndsWith,
+                pattern: "b".into(),
+            }),
+        ])]);
+        let exec = BitVec::zeros(3);
+        let labels = BitVec::zeros(3);
+        let f_deep = rule_features(&deep, &exec, &labels, Some(DataType::Text));
+        let f_shallow = rule_features(&gt_rule(1.0), &exec, &labels, Some(DataType::Text));
+        assert!(f_deep[0] > f_shallow[0]);
+        // Multi-hot: both StartsWith and EndsWith set.
+        assert_eq!(f_deep[6 + PredicateKind::StartsWith.index()], 1.0);
+        assert_eq!(f_deep[6 + PredicateKind::EndsWith.index()], 1.0);
+    }
+
+    #[test]
+    fn tokens_cover_structure() {
+        let rule = Rule::new(vec![
+            Conjunct::new(vec![
+                RuleLiteral::pos(Predicate::Text {
+                    op: TextOp::StartsWith,
+                    pattern: "RW".into(),
+                }),
+                RuleLiteral::neg(Predicate::Text {
+                    op: TextOp::EndsWith,
+                    pattern: "T".into(),
+                }),
+            ]),
+            Conjunct::single(RuleLiteral::pos(gt_rule(5.0).condition[0].literals[0]
+                .predicate
+                .clone())),
+        ]);
+        let tokens = rule_tokens(&rule);
+        assert!(tokens.contains(&"OR".to_string()));
+        assert!(tokens.contains(&"AND".to_string()));
+        assert!(tokens.contains(&"NOT".to_string()));
+        assert!(tokens.contains(&"TextStartsWith".to_string()));
+        assert!(tokens.contains(&"RW".to_string()));
+        assert!(tokens.contains(&"GreaterThan".to_string()));
+        assert!(tokens.contains(&"5".to_string()));
+    }
+
+    #[test]
+    fn empty_execution_is_safe() {
+        let rule = gt_rule(0.0);
+        let f = rule_features(&rule, &BitVec::zeros(0), &BitVec::zeros(0), None);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,276 @@
+//! Depth-bounded exhaustive rule search (§5.2.2).
+//!
+//! The paper compares Cornet's greedy iterative enumeration against an
+//! "iterative full search up to tree depth 5". A decision tree of depth `d`
+//! expresses conjunctions of up to `d` literals, so this module enumerates
+//! *every* DNF rule whose conjuncts hold at most `max_depth` literals (and
+//! at most `max_disjuncts` conjuncts), keeping those consistent with the
+//! observed examples and sufficiently accurate on the clustered labels.
+//! The search space grows as `O((2p)^d)` in the number of predicates `p`,
+//! which is exactly the blow-up Figure 11 plots.
+
+use crate::cluster::ClusterOutcome;
+use crate::enumerate::Candidate;
+use crate::predgen::PredicateSet;
+use crate::rule::{Conjunct, Rule, RuleLiteral};
+use cornet_table::BitVec;
+
+/// Full-search configuration.
+#[derive(Debug, Clone)]
+pub struct FullSearchConfig {
+    /// Maximum literals per conjunct (the "tree depth" of §5.2.2).
+    pub max_depth: usize,
+    /// Maximum number of disjuncts combined into one rule.
+    pub max_disjuncts: usize,
+    /// Minimum weighted accuracy on clustered labels for a rule to be kept.
+    pub lambda_acc: f64,
+    /// Hard cap on returned candidates (safety valve; the paper's setup
+    /// ranks all of them).
+    pub max_candidates: usize,
+    /// Hard cap on conjuncts enumerated before composition.
+    pub max_conjuncts: usize,
+    /// Hard cap on disjunct-pair evaluations in stage 2 (the pair space is
+    /// quadratic in the conjunct count).
+    pub max_pair_evals: usize,
+}
+
+impl Default for FullSearchConfig {
+    fn default() -> Self {
+        FullSearchConfig {
+            max_depth: 5,
+            max_disjuncts: 2,
+            lambda_acc: 0.8,
+            max_candidates: 4096,
+            max_conjuncts: 100_000,
+            max_pair_evals: 2_000_000,
+        }
+    }
+}
+
+/// Exhaustively enumerates consistent rules.
+pub fn full_search(
+    predicates: &PredicateSet,
+    outcome: &ClusterOutcome,
+    config: &FullSearchConfig,
+) -> Vec<Candidate> {
+    let n = predicates.n_cells;
+    let observed = &outcome.observed;
+    let labels = &outcome.labels;
+    let n_observed = observed.count_ones();
+
+    // Stage 1: enumerate all conjunctions up to max_depth literals, keeping
+    // each with its coverage. Only one representative per distinct signature
+    // enters the space. Literals are indexed 2p (positive) / 2p+1 (negated);
+    // extensions are strictly increasing for canonical order.
+    let reps = &predicates.representatives;
+    let n_literals = reps.len() * 2;
+    let literal_sig = |li: usize| -> BitVec {
+        let sig = &predicates.signatures[reps[li / 2]];
+        if li % 2 == 1 {
+            sig.not()
+        } else {
+            sig.clone()
+        }
+    };
+    let mut conjuncts: Vec<(Vec<usize>, BitVec)> = Vec::new();
+    let mut frontier: Vec<(Vec<usize>, BitVec)> = vec![(Vec::new(), BitVec::ones(n))];
+    'depth: for _ in 0..config.max_depth {
+        let mut next = Vec::new();
+        for (lits, cov) in &frontier {
+            let start = lits.last().map_or(0, |&l| l + 1);
+            for li in start..n_literals {
+                if conjuncts.len() >= config.max_conjuncts {
+                    break 'depth;
+                }
+                if lits.iter().any(|&e| e / 2 == li / 2) {
+                    continue; // complementary/duplicate predicate
+                }
+                let mut child_cov = cov.clone();
+                child_cov.and_assign(&literal_sig(li));
+                if child_cov.none() {
+                    continue; // dead conjunct and all its extensions
+                }
+                let mut child = lits.clone();
+                child.push(li);
+                conjuncts.push((child.clone(), child_cov.clone()));
+                next.push((child, child_cov));
+            }
+        }
+        frontier = next;
+    }
+
+    // Stage 2: compose disjunctions of up to max_disjuncts conjuncts whose
+    // union covers every observed example and meets λₐ on the labels.
+    let weights: Vec<f64> = (0..n)
+        .map(|i| {
+            if observed.get(i) {
+                outcome.observed_weight
+            } else {
+                1.0
+            }
+        })
+        .collect();
+    let total_weight: f64 = weights.iter().sum();
+    let accuracy = |cov: &BitVec| -> f64 {
+        let mut correct = 0.0;
+        for i in 0..n {
+            if cov.get(i) == labels.get(i) {
+                correct += weights[i];
+            }
+        }
+        correct / total_weight
+    };
+    let build_rule = |parts: &[&Vec<usize>]| -> Rule {
+        Rule::new(
+            parts
+                .iter()
+                .map(|lits| {
+                    Conjunct::new(
+                        lits.iter()
+                            .map(|&li| RuleLiteral {
+                                predicate: predicates.predicates[reps[li / 2]].clone(),
+                                negated: li % 2 == 1,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    };
+
+    let mut out: Vec<Candidate> = Vec::new();
+    // Single conjuncts.
+    for (lits, cov) in &conjuncts {
+        if out.len() >= config.max_candidates {
+            return out;
+        }
+        if cov.and_count(observed) == n_observed {
+            let acc = accuracy(cov);
+            if acc >= config.lambda_acc {
+                out.push(Candidate {
+                    rule: build_rule(&[lits]),
+                    cluster_accuracy: acc,
+                });
+            }
+        }
+    }
+    // Pairs. Only conjuncts covering at least one observed example can
+    // participate (a pair member contributing no observed coverage is
+    // redundant with the single-conjunct case already enumerated), and the
+    // quadratic pair space is budget-bounded.
+    if config.max_disjuncts >= 2 {
+        let useful: Vec<&(Vec<usize>, BitVec)> = conjuncts
+            .iter()
+            .filter(|(_, cov)| cov.and_count(observed) > 0)
+            .collect();
+        let mut pair_evals = 0usize;
+        'pairs: for i in 0..useful.len() {
+            for j in i + 1..useful.len() {
+                if out.len() >= config.max_candidates || pair_evals >= config.max_pair_evals {
+                    break 'pairs;
+                }
+                pair_evals += 1;
+                let mut cov = useful[i].1.clone();
+                cov.or_assign(&useful[j].1);
+                if cov.and_count(observed) != n_observed {
+                    continue;
+                }
+                let acc = accuracy(&cov);
+                if acc >= config.lambda_acc {
+                    out.push(Candidate {
+                        rule: build_rule(&[&useful[i].0, &useful[j].0]),
+                        cluster_accuracy: acc,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{cluster, ClusterConfig};
+    use crate::predgen::{generate_predicates, GenConfig};
+    use crate::signature::CellSignatures;
+    use cornet_table::CellValue;
+
+    fn setup(raw: &[&str], observed: &[usize]) -> (Vec<CellValue>, PredicateSet, ClusterOutcome) {
+        let cells: Vec<CellValue> = raw.iter().map(|s| CellValue::parse(s)).collect();
+        let preds = generate_predicates(&cells, &GenConfig::default());
+        let sigs = CellSignatures::from_predicates(&preds);
+        let outcome = cluster(&sigs, observed, &ClusterConfig::default());
+        (cells, preds, outcome)
+    }
+
+    #[test]
+    fn finds_the_target_rule_and_more() {
+        let (cells, preds, outcome) = setup(
+            &["RW-187", "RS-762", "RW-159", "RW-131-T", "TW-224", "RW-312"],
+            &[0, 2, 5],
+        );
+        let config = FullSearchConfig {
+            max_depth: 2,
+            ..FullSearchConfig::default()
+        };
+        let found = full_search(&preds, &outcome, &config);
+        assert!(!found.is_empty());
+        let target = BitVec::from_indices(6, &[0, 2, 5]);
+        assert!(found.iter().any(|c| c.rule.execute(&cells) == target));
+    }
+
+    #[test]
+    fn full_search_is_a_superset_of_greedy() {
+        use crate::enumerate::{enumerate_rules, EnumConfig};
+        let (cells, preds, outcome) = setup(&["1", "5", "9", "12", "20", "3"], &[2, 3]);
+        let greedy = enumerate_rules(&preds, &outcome, &EnumConfig::default());
+        let full = full_search(
+            &preds,
+            &outcome,
+            &FullSearchConfig {
+                max_depth: 3,
+                max_candidates: 1_000_000,
+                ..FullSearchConfig::default()
+            },
+        );
+        // Every greedy execution outcome is reachable by full search.
+        for g in &greedy {
+            let g_exec = g.rule.execute(&cells);
+            assert!(
+                full.iter().any(|f| f.rule.execute(&cells) == g_exec),
+                "greedy rule {} not covered by full search",
+                g.rule
+            );
+        }
+        // And full search finds at least as many distinct executions.
+        let distinct = |cands: &[Candidate]| {
+            let mut execs: Vec<Vec<usize>> = cands
+                .iter()
+                .map(|c| c.rule.execute(&cells).iter_ones().collect())
+                .collect();
+            execs.sort();
+            execs.dedup();
+            execs.len()
+        };
+        assert!(distinct(&full) >= distinct(&greedy));
+    }
+
+    #[test]
+    fn respects_candidate_cap() {
+        let (_, preds, outcome) = setup(&["1", "5", "9", "12", "20", "3"], &[0, 5]);
+        let config = FullSearchConfig {
+            max_candidates: 3,
+            ..FullSearchConfig::default()
+        };
+        assert!(full_search(&preds, &outcome, &config).len() <= 3);
+    }
+
+    #[test]
+    fn all_results_cover_observed() {
+        let (cells, preds, outcome) = setup(&["a-1", "b-2", "a-3", "b-4"], &[0, 2]);
+        for c in full_search(&preds, &outcome, &FullSearchConfig::default()) {
+            assert!(outcome.observed.iter_ones().all(|i| c.rule.eval(&cells[i])));
+        }
+    }
+}

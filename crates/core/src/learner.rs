@@ -1,0 +1,343 @@
+//! The end-to-end Cornet learner (Figure 2).
+
+use crate::cluster::{cluster, ClusterConfig};
+use crate::enumerate::{enumerate_rules, EnumConfig};
+use crate::features::rule_features;
+use crate::fullsearch::{full_search, FullSearchConfig};
+use crate::predgen::{generate_predicates, infer_type, GenConfig};
+use crate::rank::{RankContext, Ranker, ScoredRule, SymbolicRanker};
+use crate::signature::CellSignatures;
+use cornet_table::CellValue;
+use std::fmt;
+
+/// Which candidate generator to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
+pub enum SearchStrategy {
+    /// Cornet's greedy iterative tree learning (§3.3.2).
+    #[default]
+    Greedy,
+    /// Depth-bounded exhaustive search (§5.2.2 comparison).
+    Exhaustive,
+}
+
+/// Learner configuration; defaults are the paper's (λₙ = 10, λₐ = 0.8,
+/// full three-cluster semi-supervised clustering).
+#[derive(Debug, Clone, Default)]
+pub struct CornetConfig {
+    /// Predicate generation bounds.
+    pub gen: GenConfig,
+    /// Clustering mode and iteration budget.
+    pub cluster: ClusterConfig,
+    /// Rule enumeration parameters.
+    pub enumeration: EnumConfig,
+    /// Full-search parameters (used by [`SearchStrategy::Exhaustive`]).
+    pub full_search: FullSearchConfig,
+    /// Candidate generator.
+    pub strategy: SearchStrategy,
+}
+
+
+/// Why learning produced no rule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LearnError {
+    /// No formatted examples were provided.
+    NoExamples,
+    /// An example index is out of range for the column.
+    ExampleOutOfRange(usize),
+    /// No predicates could be generated (empty or constant column).
+    NoPredicates,
+    /// No candidate rule was consistent with the examples.
+    NoConsistentRule,
+}
+
+impl fmt::Display for LearnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LearnError::NoExamples => write!(f, "no formatted example cells were provided"),
+            LearnError::ExampleOutOfRange(i) => {
+                write!(f, "example index {i} is outside the column")
+            }
+            LearnError::NoPredicates => {
+                write!(f, "no predicates hold on a proper subset of the column")
+            }
+            LearnError::NoConsistentRule => {
+                write!(f, "no candidate rule is consistent with the examples")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LearnError {}
+
+/// Statistics of a learning run (Table 5 reports candidate counts and
+/// timings; Figure 9/11 report timings measured by the caller).
+#[derive(Debug, Clone, Default)]
+pub struct LearnStats {
+    /// Number of generated predicates after filtering and dedup.
+    pub n_predicates: usize,
+    /// Number of candidate rules before ranking.
+    pub n_candidates: usize,
+    /// Clustering sweeps performed.
+    pub cluster_iterations: usize,
+}
+
+/// Result of a successful learning run: candidates sorted best-first.
+#[derive(Debug, Clone)]
+pub struct LearnOutcome {
+    /// Scored candidates, descending by score (ties broken by shorter rule,
+    /// then display string for determinism).
+    pub candidates: Vec<ScoredRule>,
+    /// Run statistics.
+    pub stats: LearnStats,
+}
+
+impl LearnOutcome {
+    /// The best rule.
+    pub fn best(&self) -> &ScoredRule {
+        &self.candidates[0]
+    }
+}
+
+/// The Cornet learner: pipeline configuration plus a ranker.
+pub struct Cornet<R: Ranker = SymbolicRanker> {
+    config: CornetConfig,
+    ranker: R,
+}
+
+impl Cornet<SymbolicRanker> {
+    /// A learner with default configuration and the heuristic symbolic
+    /// ranker — works out of the box with no training.
+    pub fn with_default_ranker() -> Cornet<SymbolicRanker> {
+        Cornet {
+            config: CornetConfig::default(),
+            ranker: SymbolicRanker::heuristic(),
+        }
+    }
+}
+
+impl<R: Ranker> Cornet<R> {
+    /// Builds a learner from configuration and a ranker.
+    pub fn new(config: CornetConfig, ranker: R) -> Cornet<R> {
+        Cornet { config, ranker }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &CornetConfig {
+        &self.config
+    }
+
+    /// The ranker.
+    pub fn ranker(&self) -> &R {
+        &self.ranker
+    }
+
+    /// Learns a formatting rule from a column and user-formatted example
+    /// indices (`C_obs`). Returns candidates sorted best-first.
+    pub fn learn(
+        &self,
+        cells: &[CellValue],
+        observed: &[usize],
+    ) -> Result<LearnOutcome, LearnError> {
+        if observed.is_empty() {
+            return Err(LearnError::NoExamples);
+        }
+        if let Some(&bad) = observed.iter().find(|&&i| i >= cells.len()) {
+            return Err(LearnError::ExampleOutOfRange(bad));
+        }
+
+        // 1. Predicate generation (§3.1).
+        let predicates = generate_predicates(cells, &self.config.gen);
+        if predicates.is_empty() {
+            return Err(LearnError::NoPredicates);
+        }
+
+        // 2. Semi-supervised clustering (§3.2).
+        let signatures = CellSignatures::from_predicates(&predicates);
+        let outcome = cluster(&signatures, observed, &self.config.cluster);
+
+        // 3. Candidate rule enumeration (§3.3).
+        let candidates = match self.config.strategy {
+            SearchStrategy::Greedy => {
+                enumerate_rules(&predicates, &outcome, &self.config.enumeration)
+            }
+            SearchStrategy::Exhaustive => {
+                full_search(&predicates, &outcome, &self.config.full_search)
+            }
+        };
+        if candidates.is_empty() {
+            return Err(LearnError::NoConsistentRule);
+        }
+
+        // 4. Ranking (§3.4).
+        let cell_texts: Vec<String> = cells.iter().map(CellValue::display_string).collect();
+        let dtype = infer_type(cells);
+        let mut scored: Vec<ScoredRule> = candidates
+            .into_iter()
+            .map(|cand| {
+                let execution = cand.rule.execute(cells);
+                let features = rule_features(&cand.rule, &execution, &outcome.labels, dtype);
+                let ctx = RankContext {
+                    rule: &cand.rule,
+                    cell_texts: &cell_texts,
+                    execution: &execution,
+                    cluster_labels: &outcome.labels,
+                    dtype,
+                    features,
+                };
+                ScoredRule {
+                    score: self.ranker.score(&ctx),
+                    cluster_accuracy: cand.cluster_accuracy,
+                    rule: cand.rule,
+                }
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.rule.token_length().cmp(&b.rule.token_length()))
+                .then_with(|| a.rule.to_string().cmp(&b.rule.to_string()))
+        });
+
+        Ok(LearnOutcome {
+            stats: LearnStats {
+                n_predicates: predicates.len(),
+                n_candidates: scored.len(),
+                cluster_iterations: outcome.iterations,
+            },
+            candidates: scored,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterMode;
+
+    fn parse(raw: &[&str]) -> Vec<CellValue> {
+        raw.iter().map(|s| CellValue::parse(s)).collect()
+    }
+
+    #[test]
+    fn running_example_end_to_end() {
+        let cells = parse(&["RW-187", "RS-762", "RW-159", "RW-131-T", "TW-224", "RW-312"]);
+        let cornet = Cornet::with_default_ranker();
+        let outcome = cornet.learn(&cells, &[0, 2, 5]).expect("learns a rule");
+        let best = outcome.best();
+        let mask = best.rule.execute(&cells);
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![0, 2, 5]);
+        assert!(outcome.stats.n_predicates > 0);
+        assert!(outcome.stats.n_candidates >= 1);
+    }
+
+    #[test]
+    fn numeric_threshold_task() {
+        let cells = parse(&["12", "45", "3", "78", "90", "8", "55"]);
+        let cornet = Cornet::with_default_ranker();
+        // Format everything > 40: examples at 1 (45) and 3 (78).
+        let outcome = cornet.learn(&cells, &[1, 3]).expect("learns");
+        let mask = outcome.best().rule.execute(&cells);
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![1, 3, 4, 6]);
+    }
+
+    #[test]
+    fn date_task() {
+        // Format the 2022 dates. The interleaved 2021 dates become soft
+        // negatives, pinning down the year signal among the competing
+        // day/month/weekday predicates (dates are the hardest type —
+        // Figure 12 of the paper).
+        let cells = parse(&[
+            "2021-03-10",
+            "2022-05-02",
+            "2021-07-15",
+            "2022-08-09",
+            "2021-01-20",
+            "2022-02-14",
+        ]);
+        let cornet = Cornet::with_default_ranker();
+        let outcome = cornet.learn(&cells, &[1, 3, 5]).expect("learns");
+        let mask = outcome.best().rule.execute(&cells);
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![1, 3, 5]);
+    }
+
+    #[test]
+    fn single_example_is_enough() {
+        let cells = parse(&["Pass", "Fail", "Pass", "Fail", "Pass"]);
+        let cornet = Cornet::with_default_ranker();
+        let outcome = cornet.learn(&cells, &[0]).expect("learns from one example");
+        let mask = outcome.best().rule.execute(&cells);
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn error_cases() {
+        let cells = parse(&["a", "b"]);
+        let cornet = Cornet::with_default_ranker();
+        assert!(matches!(
+            cornet.learn(&cells, &[]).unwrap_err(),
+            LearnError::NoExamples
+        ));
+        assert!(matches!(
+            cornet.learn(&cells, &[5]).unwrap_err(),
+            LearnError::ExampleOutOfRange(5)
+        ));
+        let uniform = parse(&["x", "x", "x"]);
+        assert!(matches!(
+            cornet.learn(&uniform, &[0]).unwrap_err(),
+            LearnError::NoPredicates
+        ));
+    }
+
+    #[test]
+    fn exhaustive_strategy_works() {
+        let cells = parse(&["RW-1", "XX-2", "RW-3", "XX-4"]);
+        let config = CornetConfig {
+            strategy: SearchStrategy::Exhaustive,
+            ..CornetConfig::default()
+        };
+        let cornet = Cornet::new(config, SymbolicRanker::heuristic());
+        let outcome = cornet.learn(&cells, &[0, 2]).expect("learns");
+        let mask = outcome.best().rule.execute(&cells);
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn cluster_mode_flows_through() {
+        let cells = parse(&["RW-1", "XX-2", "RW-3", "XX-4", "RW-5"]);
+        let config = CornetConfig {
+            cluster: ClusterConfig {
+                mode: ClusterMode::NoClustering,
+                ..ClusterConfig::default()
+            },
+            ..CornetConfig::default()
+        };
+        let cornet = Cornet::new(config, SymbolicRanker::heuristic());
+        // Even without clustering the learner satisfies the examples.
+        let outcome = cornet.learn(&cells, &[0, 2]).expect("learns");
+        let mask = outcome.best().rule.execute(&cells);
+        assert!(mask.get(0) && mask.get(2));
+    }
+
+    #[test]
+    fn candidates_sorted_descending() {
+        let cells = parse(&["1", "5", "9", "12", "20", "3"]);
+        let cornet = Cornet::with_default_ranker();
+        let outcome = cornet.learn(&cells, &[2, 3]).expect("learns");
+        for pair in outcome.candidates.windows(2) {
+            assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn all_candidates_cover_examples() {
+        let cells = parse(&["alpha-1", "beta-2", "alpha-3", "beta-4", "alpha-5"]);
+        let cornet = Cornet::with_default_ranker();
+        let outcome = cornet.learn(&cells, &[0, 2]).expect("learns");
+        for cand in &outcome.candidates {
+            assert!(cand.rule.eval(&cells[0]));
+            assert!(cand.rule.eval(&cells[2]));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Evaluation metrics (§5.0.2): exact match and execution match.
+
+use crate::rule::Rule;
+use cornet_table::{BitVec, CellValue};
+
+/// Exact match: a syntactic match between two rules "with tolerance for
+/// differences arising from white space and alternative argument order"
+/// (Example 6: `OR(Equals(10),Equals(20))` exactly matches
+/// `OR(Equals(20),Equals(10))`). Implemented as equality of canonical forms.
+pub fn exact_match(a: &Rule, b: &Rule) -> bool {
+    a.canonical().to_string() == b.canonical().to_string()
+}
+
+/// Execution match: the two rules produce identical formatting when
+/// executed on the column.
+pub fn execution_match(a: &Rule, b: &Rule, cells: &[CellValue]) -> bool {
+    a.execute(cells) == b.execute(cells)
+}
+
+/// Execution match against a pre-computed formatting mask (for baselines
+/// that predict formatting directly instead of producing a rule).
+pub fn execution_match_mask(predicted: &BitVec, gold: &BitVec) -> bool {
+    predicted == gold
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CmpOp, Predicate, TextOp};
+    use crate::rule::{Conjunct, RuleLiteral};
+
+    fn eq_rule(n: f64) -> Conjunct {
+        Conjunct::single(RuleLiteral::pos(Predicate::NumBetween { lo: n, hi: n }))
+    }
+
+    #[test]
+    fn example_6_argument_order() {
+        // OR(Equals(10), Equals(20)) == OR(Equals(20), Equals(10)).
+        let a = Rule::new(vec![eq_rule(10.0), eq_rule(20.0)]);
+        let b = Rule::new(vec![eq_rule(20.0), eq_rule(10.0)]);
+        assert!(exact_match(&a, &b));
+    }
+
+    #[test]
+    fn example_6_different_predicates_not_exact() {
+        // TextStartsWith("D12") vs TextContains("D12") differ syntactically…
+        let starts = Rule::from_predicate(Predicate::Text {
+            op: TextOp::StartsWith,
+            pattern: "D12".into(),
+        });
+        let contains = Rule::from_predicate(Predicate::Text {
+            op: TextOp::Contains,
+            pattern: "D12".into(),
+        });
+        assert!(!exact_match(&starts, &contains));
+        // …but execution-match on a column where "D12" only occurs at the
+        // start of values.
+        let cells: Vec<CellValue> = ["D12-a", "D12-b", "x"]
+            .iter()
+            .map(|s| CellValue::from(*s))
+            .collect();
+        assert!(execution_match(&starts, &contains, &cells));
+        // And fail to execution-match when a value contains D12 elsewhere.
+        let cells2: Vec<CellValue> = ["D12-a", "xD12", "x"]
+            .iter()
+            .map(|s| CellValue::from(*s))
+            .collect();
+        assert!(!execution_match(&starts, &contains, &cells2));
+    }
+
+    #[test]
+    fn exact_match_is_reflexive_and_symmetric() {
+        let r = Rule::from_predicate(Predicate::NumCmp {
+            op: CmpOp::Greater,
+            n: 5.0,
+        });
+        let s = Rule::new(vec![eq_rule(3.0)]);
+        assert!(exact_match(&r, &r));
+        assert_eq!(exact_match(&r, &s), exact_match(&s, &r));
+    }
+
+    #[test]
+    fn mask_match() {
+        let a = BitVec::from_indices(4, &[0, 2]);
+        let b = BitVec::from_indices(4, &[0, 2]);
+        let c = BitVec::from_indices(4, &[0, 3]);
+        assert!(execution_match_mask(&a, &b));
+        assert!(!execution_match_mask(&a, &c));
+    }
+}

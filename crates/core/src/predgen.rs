@@ -1,0 +1,350 @@
+//! Predicate generation (§3.1): instantiate every predicate template from
+//! Table 1 with the constants of Table 2, keep those that hold for a
+//! non-empty proper subset of the column, and deduplicate predicates with
+//! identical evaluation signatures.
+
+use crate::constants::{
+    between_pairs, date_part_constants, numeric_constants, text_constants, ConstantConfig,
+};
+use crate::predicate::{CmpOp, DatePart, Predicate, TextOp};
+use cornet_table::{BitVec, CellValue, DataType};
+
+/// Configuration for predicate generation.
+#[derive(Debug, Clone, Default)]
+pub struct GenConfig {
+    /// Constant-generation bounds.
+    pub constants: ConstantConfig,
+    /// Hard cap on the number of kept predicates (0 = unlimited). When the
+    /// cap binds, earlier-generated predicates win, preserving the
+    /// preference order documented in [`crate::constants`].
+    pub max_predicates: usize,
+}
+
+/// A generated predicate set with per-predicate evaluation signatures.
+///
+/// All predicates passing the non-empty-proper-subset filter are kept — the
+/// clustering distance of §3.2 counts *every* predicate, so families of
+/// predicates sharing a signature (e.g. `year > 2021`, `year >= 2022`,
+/// `year <> 2021` on a two-year column) legitimately amplify that signal.
+/// For rule *enumeration*, however, signature-identical predicates are
+/// interchangeable as decision-tree features, and removing a used root
+/// would be pointless if its twin remained; [`PredicateSet::representatives`]
+/// therefore indexes the first predicate of each distinct signature.
+#[derive(Debug, Clone)]
+pub struct PredicateSet {
+    /// The predicates.
+    pub predicates: Vec<Predicate>,
+    /// `signatures[p].get(i)` — does predicate `p` hold on cell `i`?
+    pub signatures: Vec<BitVec>,
+    /// Number of cells the signatures cover.
+    pub n_cells: usize,
+    /// Indices of one representative predicate per distinct signature, in
+    /// generation (preference) order.
+    pub representatives: Vec<usize>,
+}
+
+impl PredicateSet {
+    /// Number of predicates.
+    pub fn len(&self) -> usize {
+        self.predicates.len()
+    }
+
+    /// True when no predicate was generated.
+    pub fn is_empty(&self) -> bool {
+        self.predicates.is_empty()
+    }
+
+    /// Signatures of the representative predicates, for use as
+    /// decision-tree features.
+    pub fn representative_signatures(&self) -> Vec<BitVec> {
+        self.representatives
+            .iter()
+            .map(|&i| self.signatures[i].clone())
+            .collect()
+    }
+}
+
+/// The inferred column type used for generation: majority vote over
+/// non-empty cells (ties prefer text). Returns `None` for empty columns.
+pub fn infer_type(cells: &[CellValue]) -> Option<DataType> {
+    let mut counts = [0usize; 3];
+    for c in cells {
+        match c.data_type() {
+            Some(DataType::Text) => counts[0] += 1,
+            Some(DataType::Number) => counts[1] += 1,
+            Some(DataType::Date) => counts[2] += 1,
+            None => {}
+        }
+    }
+    if counts.iter().all(|&c| c == 0) {
+        return None;
+    }
+    let mut best = (counts[0], DataType::Text);
+    for cand in [(counts[1], DataType::Number), (counts[2], DataType::Date)] {
+        if cand.0 > best.0 {
+            best = cand;
+        }
+    }
+    Some(best.1)
+}
+
+/// Generates the predicate set for a column (§3.1). Predicates are produced
+/// for the column's majority type only — "to avoid type errors, all
+/// predicates are assigned a type and they only match cells of their type".
+pub fn generate_predicates(cells: &[CellValue], config: &GenConfig) -> PredicateSet {
+    let Some(dtype) = infer_type(cells) else {
+        return PredicateSet {
+            predicates: Vec::new(),
+            signatures: Vec::new(),
+            n_cells: cells.len(),
+            representatives: Vec::new(),
+        };
+    };
+    let candidates: Vec<Predicate> = match dtype {
+        DataType::Number => numeric_candidates(cells, &config.constants),
+        DataType::Text => text_candidates(cells, &config.constants),
+        DataType::Date => date_candidates(cells, &config.constants),
+    };
+    filter_and_dedup(cells, candidates, config.max_predicates)
+}
+
+fn numeric_candidates(cells: &[CellValue], config: &ConstantConfig) -> Vec<Predicate> {
+    let values: Vec<f64> = cells.iter().filter_map(CellValue::as_number).collect();
+    let constants = numeric_constants(&values, config);
+    let mut out = Vec::with_capacity(constants.len() * 5);
+    for &n in &constants {
+        for op in [
+            CmpOp::Greater,
+            CmpOp::GreaterEquals,
+            CmpOp::Less,
+            CmpOp::LessEquals,
+        ] {
+            out.push(Predicate::NumCmp { op, n });
+        }
+        // Numeric equality (Excel's "equal to" template), encoded as the
+        // degenerate inclusive range.
+        out.push(Predicate::NumBetween { lo: n, hi: n });
+    }
+    for (lo, hi) in between_pairs(&constants, config) {
+        out.push(Predicate::NumBetween { lo, hi });
+    }
+    out
+}
+
+fn text_candidates(cells: &[CellValue], config: &ConstantConfig) -> Vec<Predicate> {
+    let values: Vec<&str> = cells.iter().filter_map(CellValue::as_text).collect();
+    let constants = text_constants(&values, config);
+    let mut out = Vec::with_capacity(constants.len() * 4);
+    // Equals first, then StartsWith/EndsWith, then Contains: when two
+    // operators have the same signature on this column, the more specific
+    // one is kept by dedup ("Cornet is generally more conservative and
+    // yields more specific rules (Equals versus Contains)", Table 7).
+    for op in [
+        TextOp::Equals,
+        TextOp::StartsWith,
+        TextOp::EndsWith,
+        TextOp::Contains,
+    ] {
+        for pattern in &constants {
+            out.push(Predicate::Text {
+                op,
+                pattern: pattern.clone(),
+            });
+        }
+    }
+    out
+}
+
+fn date_candidates(cells: &[CellValue], config: &ConstantConfig) -> Vec<Predicate> {
+    let dates: Vec<cornet_table::Date> = cells.iter().filter_map(CellValue::as_date).collect();
+    let mut out = Vec::new();
+    for part in DatePart::all() {
+        let constants = date_part_constants(&dates, part, config);
+        for &n in &constants {
+            for op in [
+                CmpOp::Greater,
+                CmpOp::GreaterEquals,
+                CmpOp::Less,
+                CmpOp::LessEquals,
+            ] {
+                out.push(Predicate::DateCmp { op, part, n });
+            }
+        }
+        let floats: Vec<f64> = constants.iter().map(|&v| v as f64).collect();
+        for (lo, hi) in between_pairs(&floats, config) {
+            out.push(Predicate::DateBetween {
+                part,
+                lo: lo as i64,
+                hi: hi as i64,
+            });
+        }
+    }
+    out
+}
+
+/// Keeps predicates holding on a non-empty proper subset of the column and
+/// records one representative per distinct signature (first generated wins —
+/// see the preference-order note in [`crate::constants`]).
+fn filter_and_dedup(
+    cells: &[CellValue],
+    candidates: Vec<Predicate>,
+    max_predicates: usize,
+) -> PredicateSet {
+    let n = cells.len();
+    let mut predicates = Vec::new();
+    let mut signatures: Vec<BitVec> = Vec::new();
+    let mut representatives = Vec::new();
+    let mut seen: std::collections::HashSet<BitVec> = std::collections::HashSet::new();
+    for pred in candidates {
+        if max_predicates != 0 && predicates.len() >= max_predicates {
+            break;
+        }
+        let mut sig = BitVec::zeros(n);
+        for (i, cell) in cells.iter().enumerate() {
+            if pred.eval(cell) {
+                sig.set(i, true);
+            }
+        }
+        let ones = sig.count_ones();
+        if ones == 0 || ones == n {
+            continue; // not a non-empty proper subset
+        }
+        if seen.insert(sig.clone()) {
+            representatives.push(predicates.len());
+        }
+        predicates.push(pred);
+        signatures.push(sig);
+    }
+    PredicateSet {
+        predicates,
+        signatures,
+        n_cells: n,
+        representatives,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_cells(raw: &[&str]) -> Vec<CellValue> {
+        raw.iter().map(|s| CellValue::parse(s)).collect()
+    }
+
+    #[test]
+    fn running_example_generates_needed_predicates() {
+        let cells = parse_cells(&["RW-187", "RS-762", "RW-159", "RW-131-T", "TW-224", "RW-312"]);
+        let set = generate_predicates(&cells, &GenConfig::default());
+        assert!(!set.is_empty());
+        // StartsWith("RW") must be present (as predicate or signature-equal
+        // representative matching exactly cells {0,2,3,5}).
+        let rw_sig = BitVec::from_indices(6, &[0, 2, 3, 5]);
+        assert!(
+            set.signatures.contains(&rw_sig),
+            "no predicate matches the RW-prefix set"
+        );
+        // EndsWith("T") signature {3} must be available for the negation.
+        let t_sig = BitVec::from_indices(6, &[3]);
+        assert!(set.signatures.contains(&t_sig));
+    }
+
+    #[test]
+    fn example_4_textequals_constants() {
+        // TextEquals(c, "-") would hold for *all* cells → filtered as
+        // improper subset; "RW-187" and tokens survive.
+        let cells = parse_cells(&["RW-187", "RW-159", "RS-762"]);
+        let set = generate_predicates(&cells, &GenConfig::default());
+        let displays: Vec<String> = set.predicates.iter().map(|p| p.to_string()).collect();
+        assert!(displays.iter().any(|d| d == "TextEquals(\"RW-187\")"));
+        assert!(!displays.iter().any(|d| d.contains("\"-\"")));
+    }
+
+    #[test]
+    fn signatures_are_proper_subsets() {
+        let cells = parse_cells(&["1", "5", "9", "12"]);
+        let set = generate_predicates(&cells, &GenConfig::default());
+        for sig in &set.signatures {
+            let ones = sig.count_ones();
+            assert!(ones > 0 && ones < cells.len());
+        }
+    }
+
+    #[test]
+    fn representatives_deduplicate_signatures() {
+        let cells = parse_cells(&["1", "2", "3"]);
+        let set = generate_predicates(&cells, &GenConfig::default());
+        // Representative signatures are pairwise distinct…
+        let mut rep_sigs = set.representative_signatures();
+        let before = rep_sigs.len();
+        rep_sigs.sort_by_key(|s| s.iter_ones().collect::<Vec<_>>());
+        rep_sigs.dedup();
+        assert_eq!(rep_sigs.len(), before);
+        // …and cover every signature that occurs in the full set.
+        for sig in &set.signatures {
+            assert!(set
+                .representatives
+                .iter()
+                .any(|&r| &set.signatures[r] == sig));
+        }
+        // The full set retains signature-equal families (e.g. `> 1` and
+        // `>= 2` on an integer column), which the clustering distance needs.
+        assert!(set.signatures.len() >= set.representatives.len());
+    }
+
+    #[test]
+    fn numeric_column_generates_numeric_predicates_only() {
+        let cells = parse_cells(&["1", "5", "9", "hello"]);
+        let set = generate_predicates(&cells, &GenConfig::default());
+        assert!(set
+            .predicates
+            .iter()
+            .all(|p| p.data_type() == DataType::Number));
+    }
+
+    #[test]
+    fn date_column_generates_part_predicates() {
+        let cells = parse_cells(&["2020-01-05", "2021-06-15", "2022-12-25"]);
+        let set = generate_predicates(&cells, &GenConfig::default());
+        assert!(!set.is_empty());
+        assert!(set.predicates.iter().all(|p| p.data_type() == DataType::Date));
+        // Some predicate must separate the 2020 date from the others.
+        let first_only = BitVec::from_indices(3, &[0]);
+        assert!(set.signatures.contains(&first_only));
+    }
+
+    #[test]
+    fn empty_column_generates_nothing() {
+        let cells = parse_cells(&["", "", ""]);
+        let set = generate_predicates(&cells, &GenConfig::default());
+        assert!(set.is_empty());
+        assert_eq!(set.n_cells, 3);
+    }
+
+    #[test]
+    fn cap_binds() {
+        let cells = parse_cells(&["1", "2", "3", "4", "5", "6", "7", "8"]);
+        let config = GenConfig {
+            max_predicates: 5,
+            ..GenConfig::default()
+        };
+        let set = generate_predicates(&cells, &config);
+        assert!(set.len() <= 5);
+    }
+
+    #[test]
+    fn uniform_column_yields_no_predicates() {
+        // All-identical text: every predicate matches all or none.
+        let cells = parse_cells(&["same", "same", "same"]);
+        let set = generate_predicates(&cells, &GenConfig::default());
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn infer_type_majority() {
+        assert_eq!(
+            infer_type(&parse_cells(&["1", "2", "x"])),
+            Some(DataType::Number)
+        );
+        assert_eq!(infer_type(&parse_cells(&["", ""])), None);
+    }
+}

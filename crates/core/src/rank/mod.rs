@@ -1,0 +1,66 @@
+//! Candidate rule ranking (§3.4).
+//!
+//! Multiple candidate rules can match the provided examples; the ranker
+//! assigns each a correctness score and Cornet returns them best-first.
+//! Three rankers reproduce Table 6:
+//!
+//! * [`SymbolicRanker`] — a linear model over the handpicked rule features,
+//! * [`NeuralRanker`] in *hybrid* mode — the paper's Cornet ranker: hashed
+//!   cell embeddings, cross-attention with the rule's execution outputs, and
+//!   a linear head over the concatenation with the handpicked features,
+//! * [`NeuralRanker`] in *neural-only* mode — the ablation replacing the
+//!   handpicked features with an embedding of the rule's token stream (the
+//!   CodeBERT substitute).
+
+pub mod neural;
+pub mod symbolic;
+pub mod traindata;
+
+pub use neural::{NeuralMode, NeuralRanker};
+pub use symbolic::SymbolicRanker;
+pub use traindata::{generate_training_data, RankSample, TrainDataConfig};
+
+use crate::features::FEATURE_DIM;
+use crate::rule::Rule;
+use cornet_table::{BitVec, DataType};
+
+/// Everything a ranker may look at when scoring one candidate.
+#[derive(Debug)]
+pub struct RankContext<'a> {
+    /// The candidate rule.
+    pub rule: &'a Rule,
+    /// Display strings of the column's cells (pre-computed once per task).
+    pub cell_texts: &'a [String],
+    /// The rule's execution over the column.
+    pub execution: &'a BitVec,
+    /// Hypothesised labels from clustering.
+    pub cluster_labels: &'a BitVec,
+    /// Column data type.
+    pub dtype: Option<DataType>,
+    /// Pre-computed handpicked features.
+    pub features: [f64; FEATURE_DIM],
+}
+
+/// A scoring model for candidate rules.
+pub trait Ranker {
+    /// Scores a candidate; higher is better. Scores are in `[0, 1]`
+    /// (sigmoid outputs interpreted as correctness probability).
+    fn score(&self, ctx: &RankContext<'_>) -> f64;
+
+    /// Human-readable name (for experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Number of trainable parameters (`#pm` in Table 6).
+    fn param_count(&self) -> usize;
+}
+
+/// A rule with its ranker score, as returned by the learner.
+#[derive(Debug, Clone)]
+pub struct ScoredRule {
+    /// The rule.
+    pub rule: Rule,
+    /// Ranker score in `[0, 1]`.
+    pub score: f64,
+    /// Accuracy of the generating tree on the clustered labels.
+    pub cluster_accuracy: f64,
+}

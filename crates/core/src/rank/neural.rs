@@ -1,0 +1,379 @@
+//! The neural ranker (§3.4, Figure 5) and its neural-only ablation.
+//!
+//! Architecture (hybrid mode — the paper's Cornet ranker):
+//!
+//! ```text
+//! cells ──HashEmbedder──► X (n×d)            exec bits ──lookup──► E (n×d)
+//!                  └──────── cross-attention(X, E) ────────┘
+//!                                │ (+ residual X)
+//!                            mean-pool → column linear → u (d)
+//! [u ‖ handpicked features] ──► head linear ──► sigmoid score
+//! ```
+//!
+//! The neural-only ablation (Table 6 "Neural") replaces the handpicked
+//! features with a hashed embedding of the rule's token stream — the
+//! CodeBERT substitute of DESIGN.md.
+
+use super::{RankContext, Ranker, RankSample};
+use crate::features::{rule_tokens, FEATURE_DIM};
+use cornet_nn::ops::{bce_with_logit, mean_pool_rows, mean_pool_rows_backward, sigmoid};
+use cornet_nn::{Adam, CrossAttention, HashEmbedder, Linear, Matrix};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Which feature source joins the column embedding at the head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NeuralMode {
+    /// Handpicked features ⊕ column embedding (the paper's Cornet ranker).
+    Hybrid,
+    /// Rule-token embedding ⊕ column embedding (the "Neural" ablation).
+    NeuralOnly,
+}
+
+/// The trainable neural ranker.
+#[derive(Debug, Clone)]
+pub struct NeuralRanker {
+    mode: NeuralMode,
+    embedder: HashEmbedder,
+    /// Execution-bit embedding table (2 × d): row 0 = unformatted, row 1 =
+    /// formatted.
+    exec_embed: Matrix,
+    exec_grad: Matrix,
+    attn: CrossAttention,
+    col_linear: Linear,
+    head: Linear,
+    /// Maximum cells fed to attention; longer columns are subsampled evenly.
+    max_cells: usize,
+}
+
+impl NeuralRanker {
+    /// Embedding width. Small by design: the substitute embedder carries
+    /// syntactic signal only, and the full model stays ≲10k parameters.
+    pub const DIM: usize = 32;
+
+    /// Creates an untrained ranker.
+    pub fn new(mode: NeuralMode, seed: u64, rng: &mut impl Rng) -> NeuralRanker {
+        let d = Self::DIM;
+        let aux_dim = match mode {
+            NeuralMode::Hybrid => FEATURE_DIM,
+            NeuralMode::NeuralOnly => d,
+        };
+        NeuralRanker {
+            mode,
+            embedder: HashEmbedder::new(d, 4096, seed),
+            exec_embed: Matrix::xavier(2, d, rng),
+            exec_grad: Matrix::zeros(2, d),
+            attn: CrossAttention::new(d, rng),
+            col_linear: Linear::new(d, d, rng),
+            head: Linear::new(d + aux_dim, 1, rng),
+            max_cells: 48,
+        }
+    }
+
+    /// The ranker's mode.
+    pub fn mode(&self) -> NeuralMode {
+        self.mode
+    }
+
+    /// Evenly subsamples cell indices when the column exceeds `max_cells`.
+    fn sample_indices(&self, n: usize) -> Vec<usize> {
+        if n <= self.max_cells {
+            (0..n).collect()
+        } else {
+            (0..self.max_cells)
+                .map(|i| i * (n - 1) / (self.max_cells - 1))
+                .collect()
+        }
+    }
+
+    /// Builds the auxiliary feature vector per mode.
+    fn aux_features(&self, features: &[f64], tokens: &[String]) -> Vec<f64> {
+        match self.mode {
+            NeuralMode::Hybrid => features.to_vec(),
+            NeuralMode::NeuralOnly => self.embedder.embed_tokens(tokens),
+        }
+    }
+
+    /// Forward pass; returns the logit plus the caches backward needs.
+    fn forward(
+        &self,
+        cell_texts: &[String],
+        execution: &[bool],
+        aux: &[f64],
+    ) -> (f64, ForwardCache) {
+        let idx = self.sample_indices(cell_texts.len());
+        let texts: Vec<&String> = idx.iter().map(|&i| &cell_texts[i]).collect();
+        let x = self.embedder.embed_batch(&texts);
+        let n = x.rows();
+        let mut e = Matrix::zeros(n, Self::DIM);
+        let mut exec_rows = Vec::with_capacity(n);
+        for (r, &i) in idx.iter().enumerate() {
+            let bit = usize::from(execution[i]);
+            exec_rows.push(bit);
+            e.row_mut(r).copy_from_slice(self.exec_embed.row(bit));
+        }
+        let (attn_out, attn_cache) = self.attn.forward(&x, &e);
+        // Residual connection keeps the raw cell signal available.
+        let mut z = attn_out;
+        z.add_assign(&x);
+        let pooled = mean_pool_rows(&z);
+        let pooled_m = Matrix::from_row(&pooled);
+        let u = self.col_linear.forward(&pooled_m);
+        let mut head_in = Matrix::zeros(1, Self::DIM + aux.len());
+        head_in.row_mut(0)[..Self::DIM].copy_from_slice(u.row(0));
+        head_in.row_mut(0)[Self::DIM..].copy_from_slice(aux);
+        let logit = self.head.forward(&head_in).get(0, 0);
+        (
+            logit,
+            ForwardCache {
+                attn_cache,
+                pooled_m,
+                head_in,
+                exec_rows,
+                n_rows: n,
+            },
+        )
+    }
+
+    /// Backward pass for one sample given `dlogit`.
+    fn backward(&mut self, cache: &ForwardCache, dlogit: f64) {
+        let dhead = Matrix::from_vec(1, 1, vec![dlogit]);
+        let dhead_in = self.head.backward(&cache.head_in, &dhead);
+        let du = Matrix::from_row(&dhead_in.row(0)[..Self::DIM]);
+        // aux gradient is dropped: handpicked features are inputs, and the
+        // rule-token embedding is frozen.
+        let dpooled = self.col_linear.backward(&cache.pooled_m, &du);
+        let dz = mean_pool_rows_backward(dpooled.row(0), cache.n_rows);
+        // Residual: dz flows to both attention output and X; X is frozen.
+        let (_dx, de) = self.attn.backward(&cache.attn_cache, &dz);
+        for (r, &bit) in cache.exec_rows.iter().enumerate() {
+            for (g, v) in self.exec_grad.row_mut(bit).iter_mut().zip(de.row(r)) {
+                *g += v;
+            }
+        }
+    }
+
+    fn zero_grad(&mut self) {
+        self.exec_grad.fill_zero();
+        self.attn.zero_grad();
+        self.col_linear.zero_grad();
+        self.head.zero_grad();
+    }
+
+    /// Trains on generated ranking samples with Adam. Returns the mean loss
+    /// of the final epoch.
+    pub fn train(
+        &mut self,
+        samples: &[RankSample],
+        epochs: usize,
+        lr: f64,
+        rng: &mut impl Rng,
+    ) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut adam = Adam::new(lr);
+        let s_exec = adam.register(2 * Self::DIM);
+        let s_wq = adam.register(Self::DIM * Self::DIM);
+        let s_wk = adam.register(Self::DIM * Self::DIM);
+        let s_wv = adam.register(Self::DIM * Self::DIM);
+        let s_cw = adam.register(Self::DIM * Self::DIM);
+        let s_cb = adam.register(Self::DIM);
+        let head_w_len = self.head.w.rows() * self.head.w.cols();
+        let s_hw = adam.register(head_w_len);
+        let s_hb = adam.register(1);
+
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut last_loss = 0.0;
+        const BATCH: usize = 16;
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            last_loss = 0.0;
+            for batch in order.chunks(BATCH) {
+                self.zero_grad();
+                for &i in batch {
+                    let sample = &samples[i];
+                    if sample.cell_texts.is_empty() {
+                        continue;
+                    }
+                    let aux = self.aux_features(&sample.features, &sample.rule_tokens);
+                    let (logit, cache) = self.forward(&sample.cell_texts, &sample.execution, &aux);
+                    let (loss, dlogit) = bce_with_logit(logit, f64::from(sample.label));
+                    last_loss += loss;
+                    self.backward(&cache, dlogit / batch.len() as f64);
+                }
+                adam.tick();
+                adam.step(s_exec, self.exec_embed.data_mut(), self.exec_grad.data());
+                adam.step(s_wq, self.attn.wq.data_mut(), self.attn.gwq.data());
+                adam.step(s_wk, self.attn.wk.data_mut(), self.attn.gwk.data());
+                adam.step(s_wv, self.attn.wv.data_mut(), self.attn.gwv.data());
+                adam.step(s_cw, self.col_linear.w.data_mut(), self.col_linear.gw.data());
+                let gb = self.col_linear.gb.clone();
+                adam.step(s_cb, &mut self.col_linear.b, &gb);
+                adam.step(s_hw, self.head.w.data_mut(), self.head.gw.data());
+                let ghb = self.head.gb.clone();
+                adam.step(s_hb, &mut self.head.b, &ghb);
+            }
+            last_loss /= samples.len() as f64;
+        }
+        last_loss
+    }
+
+    /// Scores one already-assembled sample (used by tests and training
+    /// evaluation).
+    pub fn score_sample(&self, sample: &RankSample) -> f64 {
+        if sample.cell_texts.is_empty() {
+            return 0.5;
+        }
+        let aux = self.aux_features(&sample.features, &sample.rule_tokens);
+        let (logit, _) = self.forward(&sample.cell_texts, &sample.execution, &aux);
+        sigmoid(logit)
+    }
+}
+
+struct ForwardCache {
+    attn_cache: cornet_nn::attention::AttentionCache,
+    pooled_m: Matrix,
+    head_in: Matrix,
+    exec_rows: Vec<usize>,
+    n_rows: usize,
+}
+
+impl Ranker for NeuralRanker {
+    fn score(&self, ctx: &RankContext<'_>) -> f64 {
+        if ctx.cell_texts.is_empty() {
+            return 0.5;
+        }
+        let exec: Vec<bool> = ctx.execution.iter().collect();
+        let tokens = match self.mode {
+            NeuralMode::Hybrid => Vec::new(),
+            NeuralMode::NeuralOnly => rule_tokens(ctx.rule),
+        };
+        let aux = self.aux_features(&ctx.features, &tokens);
+        let (logit, _) = self.forward(ctx.cell_texts, &exec, &aux);
+        sigmoid(logit)
+    }
+
+    fn name(&self) -> &'static str {
+        match self.mode {
+            NeuralMode::Hybrid => "cornet",
+            NeuralMode::NeuralOnly => "neural",
+        }
+    }
+
+    fn param_count(&self) -> usize {
+        2 * Self::DIM
+            + self.attn.param_count()
+            + self.col_linear.param_count()
+            + self.head.param_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(texts: &[&str], exec: &[bool], acc: f64, label: bool) -> RankSample {
+        let mut features = vec![0.0; FEATURE_DIM];
+        features[4] = acc;
+        RankSample {
+            cell_texts: texts.iter().map(|s| s.to_string()).collect(),
+            execution: exec.to_vec(),
+            features,
+            rule_tokens: vec!["TextStartsWith".into(), "RW".into()],
+            label,
+        }
+    }
+
+    #[test]
+    fn forward_is_deterministic_and_bounded() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let ranker = NeuralRanker::new(NeuralMode::Hybrid, 7, &mut rng);
+        let s = sample(&["RW-1", "RW-2", "XX-3"], &[true, true, false], 0.9, true);
+        let a = ranker.score_sample(&s);
+        let b = ranker.score_sample(&s);
+        assert_eq!(a, b);
+        assert!((0.0..=1.0).contains(&a));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let mut ranker = NeuralRanker::new(NeuralMode::Hybrid, 7, &mut rng);
+        // Correct rules have high cluster accuracy and execution aligned
+        // with a prefix pattern; incorrect ones don't.
+        let mut samples = Vec::new();
+        for i in 0..60 {
+            let good = i % 2 == 0;
+            samples.push(sample(
+                &["RW-1", "RW-2", "XX-3", "XX-4"],
+                &[good, good, !good, false],
+                if good { 0.95 } else { 0.55 },
+                good,
+            ));
+        }
+        let initial: f64 = samples
+            .iter()
+            .map(|s| {
+                let (l, _) = bce_with_logit(
+                    (ranker.score_sample(s) / (1.0 - ranker.score_sample(s)).max(1e-9)).ln(),
+                    f64::from(s.label),
+                );
+                l
+            })
+            .sum::<f64>()
+            / samples.len() as f64;
+        let final_loss = ranker.train(&samples, 12, 0.01, &mut rng);
+        assert!(
+            final_loss < initial.max(0.6),
+            "loss did not drop: {final_loss} vs {initial}"
+        );
+        // Trained model separates the classes.
+        let good = sample(&["RW-1", "RW-2", "XX-3", "XX-4"], &[true, true, false, false], 0.95, true);
+        let bad = sample(&["RW-1", "RW-2", "XX-3", "XX-4"], &[false, false, true, false], 0.55, false);
+        assert!(ranker.score_sample(&good) > ranker.score_sample(&bad));
+    }
+
+    #[test]
+    fn neural_only_uses_rule_tokens() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let ranker = NeuralRanker::new(NeuralMode::NeuralOnly, 7, &mut rng);
+        let mut a = sample(&["x", "y"], &[true, false], 0.9, true);
+        let mut b = sample(&["x", "y"], &[true, false], 0.9, true);
+        a.rule_tokens = vec!["GreaterThan".into(), "10".into()];
+        b.rule_tokens = vec!["TextContains".into(), "zebra".into()];
+        // Same features/cells/execution but different rule tokens must be
+        // able to produce different scores.
+        assert_ne!(ranker.score_sample(&a), ranker.score_sample(&b));
+    }
+
+    #[test]
+    fn long_columns_are_subsampled() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let ranker = NeuralRanker::new(NeuralMode::Hybrid, 7, &mut rng);
+        let texts: Vec<String> = (0..500).map(|i| format!("cell-{i}")).collect();
+        let exec = vec![false; 500];
+        let mut features = vec![0.0; FEATURE_DIM];
+        features[4] = 0.8;
+        let s = RankSample {
+            cell_texts: texts,
+            execution: exec,
+            features,
+            rule_tokens: vec![],
+            label: false,
+        };
+        let score = ranker.score_sample(&s);
+        assert!(score.is_finite());
+    }
+
+    #[test]
+    fn param_count_matches_structure() {
+        let mut rng = StdRng::seed_from_u64(25);
+        let ranker = NeuralRanker::new(NeuralMode::Hybrid, 7, &mut rng);
+        let d = NeuralRanker::DIM;
+        let expected = 2 * d + 3 * d * d + (d * d + d) + ((d + FEATURE_DIM) + 1);
+        assert_eq!(ranker.param_count(), expected);
+    }
+}

@@ -1,0 +1,203 @@
+//! The purely symbolic ranker: a linear combination of the handpicked
+//! features (§5.2.3, Table 6 "Symbolic"). About 4% behind the hybrid ranker
+//! in the paper, and "a good alternative in a resource constrained domain".
+
+use super::{RankContext, Ranker, RankSample};
+use crate::features::FEATURE_DIM;
+use crate::predicate::PredicateKind;
+use cornet_nn::ops::{bce_with_logit, sigmoid};
+use cornet_nn::Adam;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Linear model over [`crate::features::rule_features`].
+#[derive(Debug, Clone)]
+pub struct SymbolicRanker {
+    /// Feature weights.
+    pub weights: [f64; FEATURE_DIM],
+    /// Bias.
+    pub bias: f64,
+}
+
+impl Default for SymbolicRanker {
+    fn default() -> Self {
+        SymbolicRanker::heuristic()
+    }
+}
+
+impl SymbolicRanker {
+    /// A hand-tuned prior that works without any training: favour rules that
+    /// agree with the clustering, are shallow, use few/short arguments, and
+    /// prefer specific text operators over `Contains` (the conservatism the
+    /// paper observes in Table 7). Training replaces these weights.
+    pub fn heuristic() -> SymbolicRanker {
+        let mut weights = [0.0; FEATURE_DIM];
+        weights[0] = -0.45; // depth: shorter is better
+        weights[1] = -0.15; // number of arguments
+        weights[2] = -0.05; // mean argument length
+        weights[3] = -0.30; // fraction colored: prefer selective rules
+        weights[4] = 6.0; // accuracy on clustered labels dominates
+        weights[5] = 0.0; // ln(column length): neutral prior
+        weights[6 + PredicateKind::Equals.index()] = 0.25;
+        weights[6 + PredicateKind::StartsWith.index()] = 0.15;
+        weights[6 + PredicateKind::EndsWith.index()] = 0.10;
+        weights[6 + PredicateKind::Contains.index()] = -0.10;
+        weights[6 + PredicateKind::Between.index()] = -0.10;
+        SymbolicRanker {
+            weights,
+            bias: -4.0,
+        }
+    }
+
+    /// A zero-initialised model for training from scratch.
+    pub fn zeros() -> SymbolicRanker {
+        SymbolicRanker {
+            weights: [0.0; FEATURE_DIM],
+            bias: 0.0,
+        }
+    }
+
+    fn logit(&self, features: &[f64]) -> f64 {
+        let dot: f64 = self
+            .weights
+            .iter()
+            .zip(features)
+            .map(|(w, f)| w * f)
+            .sum();
+        dot + self.bias
+    }
+
+    /// Trains by logistic regression (Adam, mini-batch SGD) on generated
+    /// ranking samples. Returns the mean loss of the final epoch.
+    pub fn train(&mut self, samples: &[RankSample], epochs: usize, rng: &mut impl Rng) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let mut adam = Adam::new(0.05);
+        let w_slot = adam.register(FEATURE_DIM);
+        let b_slot = adam.register(1);
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut last_epoch_loss = 0.0;
+        for _ in 0..epochs {
+            order.shuffle(rng);
+            last_epoch_loss = 0.0;
+            for &i in &order {
+                let sample = &samples[i];
+                let logit = self.logit(&sample.features);
+                let target = f64::from(sample.label);
+                let (loss, dlogit) = bce_with_logit(logit, target);
+                last_epoch_loss += loss;
+                let gw: Vec<f64> = sample.features.iter().map(|f| dlogit * f).collect();
+                adam.tick();
+                adam.step(w_slot, &mut self.weights, &gw);
+                let mut b = [self.bias];
+                adam.step(b_slot, &mut b, &[dlogit]);
+                self.bias = b[0];
+            }
+            last_epoch_loss /= samples.len() as f64;
+        }
+        last_epoch_loss
+    }
+}
+
+impl Ranker for SymbolicRanker {
+    fn score(&self, ctx: &RankContext<'_>) -> f64 {
+        sigmoid(self.logit(&ctx.features))
+    }
+
+    fn name(&self) -> &'static str {
+        "symbolic"
+    }
+
+    fn param_count(&self) -> usize {
+        FEATURE_DIM + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::rule_features;
+    use crate::predicate::{CmpOp, Predicate};
+    use crate::rule::Rule;
+    use cornet_table::{BitVec, DataType};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn context_for<'a>(
+        rule: &'a Rule,
+        cell_texts: &'a [String],
+        execution: &'a BitVec,
+        labels: &'a BitVec,
+    ) -> RankContext<'a> {
+        let features = rule_features(rule, execution, labels, Some(DataType::Number));
+        RankContext {
+            rule,
+            cell_texts,
+            execution,
+            cluster_labels: labels,
+            dtype: Some(DataType::Number),
+            features,
+        }
+    }
+
+    #[test]
+    fn heuristic_prefers_accurate_rules() {
+        let ranker = SymbolicRanker::heuristic();
+        let rule = Rule::from_predicate(Predicate::NumCmp {
+            op: CmpOp::Greater,
+            n: 5.0,
+        });
+        let texts: Vec<String> = vec!["1".into(), "6".into(), "7".into(), "2".into()];
+        let labels = BitVec::from_bools(&[false, true, true, false]);
+        let perfect = BitVec::from_bools(&[false, true, true, false]);
+        let poor = BitVec::from_bools(&[true, true, false, false]);
+        let s_good = ranker.score(&context_for(&rule, &texts, &perfect, &labels));
+        let s_bad = ranker.score(&context_for(&rule, &texts, &poor, &labels));
+        assert!(s_good > s_bad);
+    }
+
+    #[test]
+    fn training_learns_to_separate() {
+        // Synthetic task: label = (feature[4] > 0.9), i.e. high cluster
+        // accuracy means correct.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut samples = Vec::new();
+        for i in 0..200 {
+            let mut features = vec![0.0; FEATURE_DIM];
+            let acc = if i % 2 == 0 { 0.95 } else { 0.6 };
+            features[4] = acc;
+            features[0] = 1.0 + (i % 3) as f64;
+            samples.push(RankSample {
+                cell_texts: vec![],
+                execution: vec![],
+                features,
+                rule_tokens: vec![],
+                label: i % 2 == 0,
+            });
+        }
+        let mut ranker = SymbolicRanker::zeros();
+        let loss = ranker.train(&samples, 30, &mut rng);
+        assert!(loss < 0.2, "training did not converge: loss {loss}");
+        assert!(ranker.weights[4] > 0.0);
+    }
+
+    #[test]
+    fn param_count_is_reported() {
+        assert_eq!(SymbolicRanker::default().param_count(), FEATURE_DIM + 1);
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let ranker = SymbolicRanker::heuristic();
+        let rule = Rule::from_predicate(Predicate::NumCmp {
+            op: CmpOp::Less,
+            n: 0.0,
+        });
+        let texts: Vec<String> = vec!["1".into()];
+        let exec = BitVec::zeros(1);
+        let labels = BitVec::zeros(1);
+        let s = ranker.score(&context_for(&rule, &texts, &exec, &labels));
+        assert!((0.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,568 @@
+//! Conditional formatting rules: propositional formulas in disjunctive
+//! normal form over predicates (§3.3.1).
+//!
+//! A rule is a pair `(r_f, f)`: a boolean condition over cells and a format
+//! identifier applied when the condition holds. The condition is
+//!
+//! ```text
+//! (p₁ ∧ p₂ ∧ …) ∨ (pⱼ ∧ pⱼ₊₁ ∧ …) ∨ …
+//! ```
+//!
+//! with each `pᵢ` a generated predicate or its negation.
+
+use crate::predicate::Predicate;
+use cornet_formula::{BinaryOp, Expr};
+use cornet_table::{BitVec, CellValue, FormatId};
+use std::fmt;
+
+/// A predicate or its negation.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct RuleLiteral {
+    /// The predicate.
+    pub predicate: Predicate,
+    /// True when the literal is the predicate's negation.
+    pub negated: bool,
+}
+
+impl RuleLiteral {
+    /// A positive literal.
+    pub fn pos(predicate: Predicate) -> RuleLiteral {
+        RuleLiteral {
+            predicate,
+            negated: false,
+        }
+    }
+
+    /// A negated literal.
+    pub fn neg(predicate: Predicate) -> RuleLiteral {
+        RuleLiteral {
+            predicate,
+            negated: true,
+        }
+    }
+
+    /// Evaluates the literal on a cell.
+    pub fn eval(&self, cell: &CellValue) -> bool {
+        self.predicate.eval(cell) != self.negated
+    }
+
+    /// Token length (§5.4): `NOT` counts as an operator token.
+    pub fn token_length(&self) -> usize {
+        usize::from(self.negated) + self.predicate.token_length()
+    }
+
+    /// Grammar depth: a negation wraps the predicate in one more level.
+    pub fn depth(&self) -> usize {
+        usize::from(self.negated) + 1
+    }
+}
+
+impl fmt::Display for RuleLiteral {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "NOT({})", self.predicate)
+        } else {
+            write!(f, "{}", self.predicate)
+        }
+    }
+}
+
+/// A conjunction of literals.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Conjunct {
+    /// The conjoined literals.
+    pub literals: Vec<RuleLiteral>,
+}
+
+impl Conjunct {
+    /// Builds a conjunct.
+    pub fn new(literals: Vec<RuleLiteral>) -> Conjunct {
+        Conjunct { literals }
+    }
+
+    /// A single-literal conjunct.
+    pub fn single(literal: RuleLiteral) -> Conjunct {
+        Conjunct {
+            literals: vec![literal],
+        }
+    }
+
+    /// Evaluates the conjunction on a cell. The empty conjunct is `true`.
+    pub fn eval(&self, cell: &CellValue) -> bool {
+        self.literals.iter().all(|l| l.eval(cell))
+    }
+
+    /// Token length: an explicit `AND` operator token joins ≥2 literals.
+    pub fn token_length(&self) -> usize {
+        let lits: usize = self.literals.iter().map(RuleLiteral::token_length).sum();
+        if self.literals.len() > 1 {
+            1 + lits
+        } else {
+            lits
+        }
+    }
+
+    /// Grammar depth.
+    pub fn depth(&self) -> usize {
+        let inner = self.literals.iter().map(RuleLiteral::depth).max().unwrap_or(1);
+        if self.literals.len() > 1 {
+            1 + inner
+        } else {
+            inner
+        }
+    }
+}
+
+impl fmt::Display for Conjunct {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.literals.len() {
+            0 => write!(f, "TRUE"),
+            1 => write!(f, "{}", self.literals[0]),
+            _ => {
+                write!(f, "AND(")?;
+                for (i, lit) in self.literals.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{lit}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A conditional formatting rule: DNF condition plus format identifier.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Rule {
+    /// The disjuncts of the condition.
+    pub condition: Vec<Conjunct>,
+    /// Format applied where the condition holds.
+    pub format: FormatId,
+}
+
+impl Rule {
+    /// Builds a rule with format `f1` (the single-format setting of §2).
+    pub fn new(condition: Vec<Conjunct>) -> Rule {
+        Rule {
+            condition,
+            format: FormatId(1),
+        }
+    }
+
+    /// A rule from a single predicate.
+    pub fn from_predicate(predicate: Predicate) -> Rule {
+        Rule::new(vec![Conjunct::single(RuleLiteral::pos(predicate))])
+    }
+
+    /// Evaluates the condition on one cell. A rule with no disjuncts is
+    /// `false` everywhere.
+    pub fn eval(&self, cell: &CellValue) -> bool {
+        self.condition.iter().any(|c| c.eval(cell))
+    }
+
+    /// Executes the rule over a column, returning the formatting mask.
+    pub fn execute(&self, cells: &[CellValue]) -> BitVec {
+        let mut out = BitVec::zeros(cells.len());
+        for (i, cell) in cells.iter().enumerate() {
+            if self.eval(cell) {
+                out.set(i, true);
+            }
+        }
+        out
+    }
+
+    /// Token length per §5.4 (operators, functions, arguments each count 1;
+    /// an `OR` joining ≥2 disjuncts counts 1).
+    pub fn token_length(&self) -> usize {
+        let inner: usize = self.condition.iter().map(Conjunct::token_length).sum();
+        if self.condition.len() > 1 {
+            1 + inner
+        } else {
+            inner
+        }
+    }
+
+    /// Grammar depth ("tree depth of the abstract syntax tree produced by
+    /// parsing the rule using our grammar", Table 3).
+    pub fn depth(&self) -> usize {
+        let inner = self.condition.iter().map(Conjunct::depth).max().unwrap_or(1);
+        if self.condition.len() > 1 {
+            1 + inner
+        } else {
+            inner
+        }
+    }
+
+    /// Total number of predicate occurrences (Figures 18/19 histogram).
+    pub fn predicate_count(&self) -> usize {
+        self.condition.iter().map(|c| c.literals.len()).sum()
+    }
+
+    /// Canonical form: literals sorted within conjuncts, conjuncts sorted,
+    /// duplicates removed. Exact match (§5.0.2) compares canonical forms,
+    /// giving the paper's tolerance for "alternative argument order".
+    pub fn canonical(&self) -> Rule {
+        let mut conjuncts: Vec<Conjunct> = self
+            .condition
+            .iter()
+            .map(|c| {
+                let mut lits = c.literals.clone();
+                lits.sort_by_key(|l| l.to_string());
+                lits.dedup();
+                Conjunct { literals: lits }
+            })
+            .collect();
+        conjuncts.sort_by_key(|c| c.to_string());
+        conjuncts.dedup();
+        Rule {
+            condition: conjuncts,
+            format: self.format,
+        }
+    }
+
+    /// Renders the rule as an Excel conditional-formatting formula over the
+    /// anchor cell `A1`.
+    pub fn to_formula(&self) -> Expr {
+        fn literal_expr(lit: &RuleLiteral) -> Expr {
+            let inner = predicate_expr(&lit.predicate);
+            if lit.negated {
+                Expr::call("NOT", vec![inner])
+            } else {
+                inner
+            }
+        }
+        fn conjunct_expr(c: &Conjunct) -> Expr {
+            match c.literals.len() {
+                0 => Expr::Bool(true),
+                1 => literal_expr(&c.literals[0]),
+                _ => Expr::call("AND", c.literals.iter().map(literal_expr).collect()),
+            }
+        }
+        match self.condition.len() {
+            0 => Expr::Bool(false),
+            1 => conjunct_expr(&self.condition[0]),
+            _ => Expr::call("OR", self.condition.iter().map(conjunct_expr).collect()),
+        }
+    }
+}
+
+/// Translates one predicate to its idiomatic Excel form.
+///
+/// Predicates are *typed* (§3.1): a numeric predicate never matches a text
+/// cell. Formulas are not — `A1>0` is true for any text cell under Excel's
+/// type ordering — so numeric comparisons carry an `ISNUMBER` guard and
+/// partial-string text matches an `ISTEXT` guard (number cells stringify,
+/// so `LEFT(A1,2)="14"` would otherwise match the number 140). Date
+/// predicates need no guard: the mini-language's date-part functions are
+/// strict and error on non-dates.
+fn predicate_expr(p: &Predicate) -> Expr {
+    use crate::predicate::{CmpOp, DatePart, TextOp};
+    let cell = Expr::current_cell;
+    let cmp = |op: CmpOp, lhs: Expr, n: f64| {
+        let bop = match op {
+            CmpOp::Greater => BinaryOp::Gt,
+            CmpOp::GreaterEquals => BinaryOp::Ge,
+            CmpOp::Less => BinaryOp::Lt,
+            CmpOp::LessEquals => BinaryOp::Le,
+        };
+        Expr::binary(bop, lhs, Expr::Number(n))
+    };
+    let part_expr = |part: DatePart| match part {
+        DatePart::Day => Expr::call("DAY", vec![cell()]),
+        DatePart::Month => Expr::call("MONTH", vec![cell()]),
+        DatePart::Year => Expr::call("YEAR", vec![cell()]),
+        DatePart::Weekday => Expr::call("WEEKDAY", vec![cell(), Expr::Number(2.0)]),
+    };
+    let number_guarded = |inner: Vec<Expr>| {
+        let mut args = vec![Expr::call("ISNUMBER", vec![cell()])];
+        args.extend(inner);
+        Expr::call("AND", args)
+    };
+    let text_guarded = |inner: Expr| {
+        Expr::call("AND", vec![Expr::call("ISTEXT", vec![cell()]), inner])
+    };
+    let date_guarded = |inner: Expr| {
+        Expr::call(
+            "IF",
+            vec![
+                Expr::call("ISERROR", vec![Expr::call("DAY", vec![cell()])]),
+                Expr::Bool(false),
+                inner,
+            ],
+        )
+    };
+    match p {
+        Predicate::NumCmp { op, n } => number_guarded(vec![cmp(*op, cell(), *n)]),
+        Predicate::NumBetween { lo, hi } if lo == hi => {
+            number_guarded(vec![Expr::binary(BinaryOp::Eq, cell(), Expr::Number(*lo))])
+        }
+        Predicate::NumBetween { lo, hi } => number_guarded(vec![
+            Expr::binary(BinaryOp::Ge, cell(), Expr::Number(*lo)),
+            Expr::binary(BinaryOp::Le, cell(), Expr::Number(*hi)),
+        ]),
+        // Dates get a lazy IF guard: the strict date functions error on
+        // non-dates, and an error would poison a NOT wrapper (negated
+        // literals must be *true* on off-type cells, not error).
+        Predicate::DateCmp { op, part, n } => date_guarded(cmp(*op, part_expr(*part), *n as f64)),
+        Predicate::DateBetween { part, lo, hi } => date_guarded(Expr::call(
+            "AND",
+            vec![
+                Expr::binary(BinaryOp::Ge, part_expr(*part), Expr::Number(*lo as f64)),
+                Expr::binary(BinaryOp::Le, part_expr(*part), Expr::Number(*hi as f64)),
+            ],
+        )),
+        Predicate::Text { op, pattern } => match op {
+            TextOp::Equals => Expr::binary(BinaryOp::Eq, cell(), Expr::Text(pattern.clone())),
+            TextOp::Contains => text_guarded(Expr::call(
+                "ISNUMBER",
+                vec![Expr::call(
+                    "SEARCH",
+                    vec![Expr::Text(pattern.clone()), cell()],
+                )],
+            )),
+            TextOp::StartsWith => text_guarded(Expr::binary(
+                BinaryOp::Eq,
+                Expr::call(
+                    "LEFT",
+                    vec![cell(), Expr::Number(pattern.chars().count() as f64)],
+                ),
+                Expr::Text(pattern.clone()),
+            )),
+            TextOp::EndsWith => text_guarded(Expr::binary(
+                BinaryOp::Eq,
+                Expr::call(
+                    "RIGHT",
+                    vec![cell(), Expr::Number(pattern.chars().count() as f64)],
+                ),
+                Expr::Text(pattern.clone()),
+            )),
+        },
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.condition.len() {
+            0 => write!(f, "FALSE"),
+            1 => write!(f, "{}", self.condition[0]),
+            _ => {
+                write!(f, "OR(")?;
+                for (i, c) in self.condition.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{CmpOp, TextOp};
+    use cornet_formula::evaluate_bool;
+
+    fn starts_rw() -> Predicate {
+        Predicate::Text {
+            op: TextOp::StartsWith,
+            pattern: "RW".into(),
+        }
+    }
+
+    fn ends_t() -> Predicate {
+        Predicate::Text {
+            op: TextOp::EndsWith,
+            pattern: "T".into(),
+        }
+    }
+
+    fn running_example_rule() -> Rule {
+        // The paper's r1: starts with "RW" and does not end with "T".
+        Rule::new(vec![Conjunct::new(vec![
+            RuleLiteral::pos(starts_rw()),
+            RuleLiteral::neg(ends_t()),
+        ])])
+    }
+
+    #[test]
+    fn running_example_semantics() {
+        let rule = running_example_rule();
+        let cells: Vec<CellValue> = ["RW-187", "RS-762", "RW-159", "RW-131-T", "TW-224", "RW-312"]
+            .iter()
+            .map(|s| CellValue::from(*s))
+            .collect();
+        let mask = rule.execute(&cells);
+        assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![0, 2, 5]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let rule = running_example_rule();
+        assert_eq!(
+            rule.to_string(),
+            "AND(TextStartsWith(\"RW\"),NOT(TextEndsWith(\"T\")))"
+        );
+        let or_rule = Rule::new(vec![
+            Conjunct::single(RuleLiteral::pos(Predicate::NumCmp {
+                op: CmpOp::Greater,
+                n: 5.0,
+            })),
+            Conjunct::single(RuleLiteral::pos(Predicate::NumCmp {
+                op: CmpOp::Less,
+                n: 0.0,
+            })),
+        ]);
+        assert_eq!(or_rule.to_string(), "OR(GreaterThan(5),LessThan(0))");
+        assert_eq!(Rule::new(vec![]).to_string(), "FALSE");
+    }
+
+    #[test]
+    fn token_lengths_match_paper_convention() {
+        // GreaterThan(10) → 2 tokens.
+        let r = Rule::from_predicate(Predicate::NumCmp {
+            op: CmpOp::Greater,
+            n: 10.0,
+        });
+        assert_eq!(r.token_length(), 2);
+        // OR(Equal(0),Equal(1)) → {OR, TextEquals, 0, TextEquals, 1} = 5.
+        let r = Rule::new(vec![
+            Conjunct::single(RuleLiteral::pos(Predicate::NumCmp {
+                op: CmpOp::GreaterEquals,
+                n: 0.0,
+            })),
+            Conjunct::single(RuleLiteral::pos(Predicate::NumCmp {
+                op: CmpOp::GreaterEquals,
+                n: 1.0,
+            })),
+        ]);
+        assert_eq!(r.token_length(), 5);
+        // NOT adds one token; AND adds one token.
+        assert_eq!(running_example_rule().token_length(), 1 + 2 + 1 + 2);
+    }
+
+    #[test]
+    fn depths() {
+        assert_eq!(
+            Rule::from_predicate(Predicate::NumCmp {
+                op: CmpOp::Greater,
+                n: 1.0
+            })
+            .depth(),
+            1
+        );
+        assert_eq!(running_example_rule().depth(), 3); // AND → NOT → pred
+        let or_of_ands = Rule::new(vec![
+            Conjunct::new(vec![
+                RuleLiteral::pos(starts_rw()),
+                RuleLiteral::pos(ends_t()),
+            ]),
+            Conjunct::single(RuleLiteral::pos(starts_rw())),
+        ]);
+        assert_eq!(or_of_ands.depth(), 3); // OR → AND → pred
+    }
+
+    #[test]
+    fn canonicalisation_sorts_and_dedupes() {
+        let a = Rule::new(vec![
+            Conjunct::new(vec![
+                RuleLiteral::pos(ends_t()),
+                RuleLiteral::pos(starts_rw()),
+            ]),
+            Conjunct::single(RuleLiteral::pos(starts_rw())),
+        ]);
+        let b = Rule::new(vec![
+            Conjunct::single(RuleLiteral::pos(starts_rw())),
+            Conjunct::new(vec![
+                RuleLiteral::pos(starts_rw()),
+                RuleLiteral::pos(ends_t()),
+            ]),
+        ]);
+        assert_eq!(a.canonical(), b.canonical());
+        let dup = Rule::new(vec![
+            Conjunct::single(RuleLiteral::pos(starts_rw())),
+            Conjunct::single(RuleLiteral::pos(starts_rw())),
+        ]);
+        assert_eq!(dup.canonical().condition.len(), 1);
+    }
+
+    #[test]
+    fn formula_translation_agrees_with_rule_semantics() {
+        let rule = running_example_rule();
+        let formula = rule.to_formula();
+        assert_eq!(
+            formula.to_string(),
+            "AND(AND(ISTEXT(A1),LEFT(A1,2)=\"RW\"),NOT(AND(ISTEXT(A1),RIGHT(A1,1)=\"T\")))"
+        );
+        for raw in ["RW-187", "RS-762", "RW-131-T", "rw-1", ""] {
+            let cell = CellValue::parse(raw);
+            assert_eq!(
+                evaluate_bool(&formula, &cell),
+                rule.eval(&cell),
+                "disagreement on {raw:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn formula_translation_numeric_and_between() {
+        let rule = Rule::new(vec![Conjunct::single(RuleLiteral::pos(
+            Predicate::NumBetween { lo: 2.0, hi: 4.0 },
+        ))]);
+        let formula = rule.to_formula();
+        assert_eq!(formula.to_string(), "AND(ISNUMBER(A1),A1>=2,A1<=4)");
+        for v in [1.0, 2.0, 3.0, 4.0, 5.0] {
+            assert_eq!(
+                evaluate_bool(&formula, &CellValue::Number(v)),
+                rule.eval(&CellValue::Number(v))
+            );
+        }
+    }
+
+    #[test]
+    fn formula_translation_contains_uses_isnumber_search() {
+        let rule = Rule::from_predicate(Predicate::Text {
+            op: TextOp::Contains,
+            pattern: "Pass".into(),
+        });
+        assert_eq!(
+            rule.to_formula().to_string(),
+            "AND(ISTEXT(A1),ISNUMBER(SEARCH(\"Pass\",A1)))"
+        );
+    }
+
+    #[test]
+    fn formula_translation_dates() {
+        let rule = Rule::from_predicate(Predicate::DateCmp {
+            op: CmpOp::Greater,
+            part: crate::predicate::DatePart::Month,
+            n: 2,
+        });
+        let formula = rule.to_formula();
+        assert_eq!(
+            formula.to_string(),
+            "IF(ISERROR(DAY(A1)),FALSE,MONTH(A1)>2)"
+        );
+        let march = CellValue::Date(cornet_table::Date::from_ymd(2021, 3, 1).unwrap());
+        assert!(evaluate_bool(&formula, &march));
+        // The guard keeps negations well-typed: off-type cells do not error.
+        assert!(!evaluate_bool(&formula, &CellValue::Empty));
+    }
+
+    #[test]
+    fn empty_rule_matches_nothing() {
+        let rule = Rule::new(vec![]);
+        assert!(!rule.eval(&CellValue::Number(1.0)));
+        assert_eq!(rule.predicate_count(), 0);
+    }
+
+    #[test]
+    fn empty_conjunct_matches_everything() {
+        let rule = Rule::new(vec![Conjunct::new(vec![])]);
+        assert!(rule.eval(&CellValue::Number(1.0)));
+        assert!(rule.eval(&CellValue::Empty));
+    }
+}

@@ -1,0 +1,118 @@
+//! Per-cell predicate signatures and the symmetric-difference cell distance
+//! (§3.2: "The distance between two cells is the size of the symmetric
+//! difference between the sets of predicates that hold for either cell").
+
+use crate::predgen::PredicateSet;
+use cornet_table::BitVec;
+
+/// Transposed view of a [`PredicateSet`]: for each cell, the set of
+/// predicates that hold on it, packed as a bit vector.
+#[derive(Debug, Clone)]
+pub struct CellSignatures {
+    rows: Vec<BitVec>,
+}
+
+impl CellSignatures {
+    /// Builds cell signatures from a predicate set.
+    pub fn from_predicates(set: &PredicateSet) -> CellSignatures {
+        let n_cells = set.n_cells;
+        let n_preds = set.len();
+        let mut rows = vec![BitVec::zeros(n_preds); n_cells];
+        for (p, sig) in set.signatures.iter().enumerate() {
+            for cell in sig.iter_ones() {
+                rows[cell].set(p, true);
+            }
+        }
+        CellSignatures { rows }
+    }
+
+    /// Number of cells.
+    pub fn n_cells(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The predicate set of cell `i`.
+    pub fn row(&self, i: usize) -> &BitVec {
+        &self.rows[i]
+    }
+
+    /// Symmetric-difference distance between two cells.
+    #[inline]
+    pub fn distance(&self, i: usize, j: usize) -> usize {
+        self.rows[i].hamming(&self.rows[j])
+    }
+
+    /// Combined min+max linkage distance from cell `i` to a cluster given as
+    /// member indices (§3.2: "we combine the minimal and maximal distance to
+    /// any element of the cluster", linear rather than quadratic like a
+    /// medoid update). Returns `None` for an empty cluster.
+    pub fn linkage(&self, i: usize, members: &[usize]) -> Option<usize> {
+        let mut min = usize::MAX;
+        let mut max = 0usize;
+        let mut any = false;
+        for &m in members {
+            if m == i {
+                continue;
+            }
+            let d = self.distance(i, m);
+            min = min.min(d);
+            max = max.max(d);
+            any = true;
+        }
+        any.then_some(min + max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predgen::{generate_predicates, GenConfig};
+    use cornet_table::CellValue;
+
+    fn sigs_for(raw: &[&str]) -> CellSignatures {
+        let cells: Vec<CellValue> = raw.iter().map(|s| CellValue::parse(s)).collect();
+        let set = generate_predicates(&cells, &GenConfig::default());
+        CellSignatures::from_predicates(&set)
+    }
+
+    #[test]
+    fn similar_cells_are_closer() {
+        let s = sigs_for(&["RW-187", "RW-159", "QX-933"]);
+        assert!(s.distance(0, 1) < s.distance(0, 2));
+        assert_eq!(s.distance(0, 0), 0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let s = sigs_for(&["1", "5", "9", "12"]);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(s.distance(i, j), s.distance(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn linkage_combines_min_and_max() {
+        let s = sigs_for(&["1", "2", "100"]);
+        let d01 = s.distance(0, 1);
+        let d02 = s.distance(0, 2);
+        assert_eq!(s.linkage(0, &[1, 2]), Some(d01.min(d02) + d01.max(d02)));
+        // Self is excluded; empty clusters yield None.
+        assert_eq!(s.linkage(0, &[0]), None);
+        assert_eq!(s.linkage(0, &[]), None);
+    }
+
+    #[test]
+    fn transpose_is_consistent() {
+        let raw = ["RW-1", "RW-2", "XX-3"];
+        let cells: Vec<CellValue> = raw.iter().map(|s| CellValue::parse(s)).collect();
+        let set = generate_predicates(&cells, &GenConfig::default());
+        let s = CellSignatures::from_predicates(&set);
+        for (p, sig) in set.signatures.iter().enumerate() {
+            for c in 0..cells.len() {
+                assert_eq!(sig.get(c), s.row(c).get(p));
+            }
+        }
+    }
+}

@@ -1,0 +1,472 @@
+//! Ground-truth rule sampling.
+//!
+//! Rules are drawn from depth mixtures tuned to reproduce the per-type
+//! average rule depths of Table 3 (text 2.3, numeric 1.8, date 1.7), with
+//! constants taken from the column's actual content so rules have plausible
+//! selectivity.
+
+use crate::values::{DateColumnSpec, NumericColumnSpec, TextColumnSpec, TextFamily};
+use cornet_core::predicate::{CmpOp, DatePart, Predicate, TextOp};
+use cornet_core::rule::{Conjunct, Rule, RuleLiteral};
+use cornet_table::CellValue;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Samples one atomic text predicate over the column's atoms.
+fn text_atom(spec: &TextColumnSpec, rng: &mut impl Rng) -> Predicate {
+    let pattern = spec.atoms.choose(rng).cloned().unwrap_or_default();
+    let op = match spec.family {
+        TextFamily::IdCodes => TextOp::StartsWith,
+        TextFamily::StatusWords => TextOp::Equals,
+        TextFamily::Names => TextOp::EndsWith,
+        TextFamily::Emails => TextOp::EndsWith,
+        TextFamily::Products => TextOp::StartsWith,
+    };
+    Predicate::Text { op, pattern }
+}
+
+/// Samples a text rule over the column's atoms.
+///
+/// Depth mixture targeting a Table 3 average of ≈2.3: 25% single predicate
+/// (depth 1), 10% NOT (2), 10% OR of two (2), 55% AND chains with negated
+/// refinements (3): `0.25·1 + 0.2·2 + 0.55·3 = 2.25`. AND/NOT chains
+/// dominate — like the paper's running example — because their positives
+/// form a single predicate-space cluster, which is what real prefix+
+/// exception rules look like; OR and complement rules (whose positives are
+/// multi-modal) are the rare cases.
+pub fn text_rule(spec: &TextColumnSpec, cells: &[CellValue], rng: &mut impl Rng) -> Rule {
+    let style = rng.gen_range(0..100);
+    if style < 25 {
+        Rule::new(vec![Conjunct::single(RuleLiteral::pos(text_atom(spec, rng)))])
+    } else if style < 35 && spec.family == TextFamily::StatusWords {
+        // Complement rules only occur on small-vocabulary status columns:
+        // "everything that is not OK". On id/name/email columns the
+        // complement of one atom is a grab-bag no example set pins down.
+        Rule::new(vec![Conjunct::single(RuleLiteral::neg(text_atom(spec, rng)))])
+    } else if style < 45 {
+        let a = text_atom(spec, rng);
+        let b = text_atom(spec, rng);
+        Rule::new(vec![
+            Conjunct::single(RuleLiteral::pos(a)),
+            Conjunct::single(RuleLiteral::pos(b)),
+        ])
+    } else {
+        // AND(base, NOT refinement [, NOT refinement]) — the
+        // running-example shape ("starts with RW and does not end in T").
+        let base = text_atom(spec, rng);
+        let n_refinements = if style < 80 { 1 } else { 2 };
+        let mut literals = vec![RuleLiteral::pos(base.clone())];
+        let refinements = refinement_predicates(spec, &base, cells, n_refinements, rng);
+        for refinement in refinements {
+            literals.push(RuleLiteral::neg(refinement));
+        }
+        Rule::new(vec![Conjunct::new(literals)])
+    }
+}
+
+/// Finds predicates that carve a proper non-empty subset out of the cells
+/// matching `base` — the negated refinements of AND-chain rules. Prefers
+/// the column's suffix when it exists, then falls back to `Contains` over
+/// tokens occurring in some (not all) base-matching values.
+fn refinement_predicates(
+    spec: &TextColumnSpec,
+    base: &Predicate,
+    cells: &[CellValue],
+    count: usize,
+    rng: &mut impl Rng,
+) -> Vec<Predicate> {
+    let matching: Vec<&str> = cells
+        .iter()
+        .filter(|c| base.eval(c))
+        .filter_map(CellValue::as_text)
+        .collect();
+    let mut out: Vec<Predicate> = Vec::new();
+    if let Some(suffix) = &spec.suffix {
+        out.push(Predicate::Text {
+            op: TextOp::EndsWith,
+            pattern: suffix.clone(),
+        });
+    }
+    // Candidate tokens: whole tokens of the matching values (no character
+    // fragments — real exception rules name visible groups, not letters).
+    let mut tokens: Vec<String> = Vec::new();
+    for value in &matching {
+        for token in value.split(|c: char| !c.is_alphanumeric()) {
+            if token.chars().count() >= 2 {
+                tokens.push(token.to_string());
+            }
+        }
+    }
+    tokens.sort();
+    tokens.dedup();
+    // Shuffle deterministically via the rng: pick starting offset.
+    if !tokens.is_empty() {
+        let offset = rng.gen_range(0..tokens.len());
+        tokens.rotate_left(offset);
+    }
+    for token in tokens {
+        if out.len() >= count {
+            break;
+        }
+        let candidate = Predicate::Text {
+            op: TextOp::Contains,
+            pattern: token,
+        };
+        let hits = matching
+            .iter()
+            .filter(|v| candidate.eval(&CellValue::Text((**v).to_string())))
+            .count();
+        // Only prominent exception groups: 20–60% of the base matches, so a
+        // handful of examples (and their soft negatives) can reveal them.
+        let share = hits as f64 / matching.len().max(1) as f64;
+        if (0.2..=0.6).contains(&share) {
+            out.push(candidate);
+        }
+    }
+    out.truncate(count);
+    // Always return at least one literal so the AND shape survives; a
+    // degenerate negation of a disjoint atom keeps the rule well-formed.
+    if out.is_empty() {
+        out.push(text_atom(spec, rng));
+    }
+    out
+}
+
+/// Picks a constant near a quantile of the column's values.
+fn numeric_constant(
+    values: &[f64],
+    integral: bool,
+    quantile_lo: f64,
+    quantile_hi: f64,
+    rng: &mut impl Rng,
+) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let q = rng.gen_range(quantile_lo..quantile_hi);
+    let idx = ((sorted.len() - 1) as f64 * q) as usize;
+    let v = sorted[idx];
+    if integral {
+        v.round()
+    } else {
+        (v * 10.0).round() / 10.0
+    }
+}
+
+/// Samples a numeric rule with thresholds inside the column's range.
+///
+/// Depth mixture targeting a Table 3 average of ≈1.8: 25% single comparison
+/// (1), 10% between (1), 30% negated comparison (2), 12% NOT-between (2),
+/// 8% OR of two comparisons (2), 15% AND of comparison and negated between
+/// (3): `0.35·1 + 0.5·2 + 0.15·3 = 1.8`. One-sided rules dominate, as they
+/// do in real conditional formatting (greater/less templates).
+pub fn numeric_rule(spec: &NumericColumnSpec, cells: &[CellValue], rng: &mut impl Rng) -> Rule {
+    let values: Vec<f64> = cells.iter().filter_map(CellValue::as_number).collect();
+    let any_op = |rng: &mut dyn rand::RngCore| {
+        *[
+            CmpOp::Greater,
+            CmpOp::GreaterEquals,
+            CmpOp::Less,
+            CmpOp::LessEquals,
+        ]
+        .choose(rng)
+        .unwrap()
+    };
+    // Bimodal columns: the user cuts in the empty band between the two
+    // value groups — a rounded threshold, like real rules. Depth mixture:
+    // 20% cmp (1), 10% between (1), 40% NOT cmp (2), 10% OR of equalities
+    // (2), 20% AND(cmp, NOT Equal) (3) → average ≈ 1.9.
+    if let Some((gap_lo, gap_hi)) = spec.gap {
+        let cut = user_round(gap_lo + (gap_hi - gap_lo) * 0.5, spec.integral, gap_lo, gap_hi);
+        let style = rng.gen_range(0..100);
+        if style < 20 {
+            let op = any_op(rng);
+            return Rule::new(vec![Conjunct::single(RuleLiteral::pos(
+                Predicate::NumCmp { op, n: cut },
+            ))]);
+        } else if style < 30 {
+            // Between(cut, max) — "format the upper group".
+            let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let hi = if spec.integral { max.round() } else { (max * 10.0).ceil() / 10.0 };
+            return Rule::new(vec![Conjunct::single(RuleLiteral::pos(
+                Predicate::NumBetween { lo: cut, hi },
+            ))]);
+        } else if style < 70 {
+            let op = any_op(rng);
+            return Rule::new(vec![Conjunct::single(RuleLiteral::neg(
+                Predicate::NumCmp { op, n: cut },
+            ))]);
+        } else if style < 80 {
+            // OR(Equal(v1), Equal(v2)) — the Table 7 shape; exact values
+            // from the column.
+            let v1 = numeric_constant(&values, spec.integral, 0.05, 0.45, rng);
+            let v2 = numeric_constant(&values, spec.integral, 0.55, 0.95, rng);
+            return Rule::new(vec![
+                Conjunct::single(RuleLiteral::pos(Predicate::NumBetween { lo: v1, hi: v1 })),
+                Conjunct::single(RuleLiteral::pos(Predicate::NumBetween { lo: v2, hi: v2 })),
+            ]);
+        } else {
+            // AND(cmp, NOT Equal(v)) — "the upper group except value v".
+            let v = numeric_constant(&values, spec.integral, 0.75, 0.95, rng);
+            return Rule::new(vec![Conjunct::new(vec![
+                RuleLiteral::pos(Predicate::NumCmp {
+                    op: CmpOp::Greater,
+                    n: cut,
+                }),
+                RuleLiteral::neg(Predicate::NumBetween { lo: v, hi: v }),
+            ])]);
+        }
+    }
+    let style = rng.gen_range(0..100);
+    if style < 25 {
+        let op = any_op(rng);
+        let n = numeric_constant(&values, spec.integral, 0.2, 0.8, rng);
+        Rule::new(vec![Conjunct::single(RuleLiteral::pos(Predicate::NumCmp {
+            op,
+            n,
+        }))])
+    } else if style < 35 {
+        let a = numeric_constant(&values, spec.integral, 0.1, 0.45, rng);
+        let b = numeric_constant(&values, spec.integral, 0.55, 0.9, rng);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        Rule::new(vec![Conjunct::single(RuleLiteral::pos(
+            Predicate::NumBetween { lo, hi },
+        ))])
+    } else if style < 65 {
+        // NOT(cmp): one-sided, the IF(NOT(A1<=5),TRUE) idiom of Table 7.
+        let op = any_op(rng);
+        let n = numeric_constant(&values, spec.integral, 0.2, 0.8, rng);
+        Rule::new(vec![Conjunct::single(RuleLiteral::neg(Predicate::NumCmp {
+            op,
+            n,
+        }))])
+    } else if style < 77 {
+        let a = numeric_constant(&values, spec.integral, 0.2, 0.4, rng);
+        let b = numeric_constant(&values, spec.integral, 0.6, 0.8, rng);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        Rule::new(vec![Conjunct::single(RuleLiteral::neg(
+            Predicate::NumBetween { lo, hi },
+        ))])
+    } else if style < 85 {
+        let low = numeric_constant(&values, spec.integral, 0.1, 0.3, rng);
+        let high = numeric_constant(&values, spec.integral, 0.7, 0.9, rng);
+        Rule::new(vec![
+            Conjunct::single(RuleLiteral::pos(Predicate::NumCmp {
+                op: CmpOp::Less,
+                n: low,
+            })),
+            Conjunct::single(RuleLiteral::pos(Predicate::NumCmp {
+                op: CmpOp::Greater,
+                n: high,
+            })),
+        ])
+    } else {
+        // AND(cmp, NOT between): a one-sided depth-3 shape — "large but not
+        // in the exception band".
+        let cut = numeric_constant(&values, spec.integral, 0.3, 0.5, rng);
+        let mid_lo = numeric_constant(&values, spec.integral, 0.55, 0.7, rng);
+        let mid_hi = numeric_constant(&values, spec.integral, 0.7, 0.85, rng);
+        let (mlo, mhi) = if mid_lo <= mid_hi {
+            (mid_lo, mid_hi)
+        } else {
+            (mid_hi, mid_lo)
+        };
+        Rule::new(vec![Conjunct::new(vec![
+            RuleLiteral::pos(Predicate::NumCmp {
+                op: CmpOp::Greater,
+                n: cut,
+            }),
+            RuleLiteral::neg(Predicate::NumBetween { lo: mlo, hi: mhi }),
+        ])])
+    }
+}
+
+/// Rounds a gap midpoint the way a user would (whole numbers, or one
+/// decimal), staying strictly inside the gap so execution is unambiguous.
+fn user_round(mid: f64, integral: bool, gap_lo: f64, gap_hi: f64) -> f64 {
+    let candidates = if integral {
+        vec![mid.round(), mid.floor(), mid.ceil()]
+    } else {
+        vec![
+            mid.round(),
+            (mid * 10.0).round() / 10.0,
+            (mid * 100.0).round() / 100.0,
+        ]
+    };
+    for c in candidates {
+        if c > gap_lo && c < gap_hi {
+            return c;
+        }
+    }
+    mid
+}
+
+/// Samples a date rule on a part of the column's dates.
+///
+/// Depth mixture targeting a Table 3 average of ≈1.7: 30% single comparison
+/// (1), 15% between (1), 40% NOT (2), 15% OR of two comparisons (3 via the
+/// NOT arm): `0.45·1 + 0.4·2 + 0.15·3 = 1.7`.
+pub fn date_rule(spec: &DateColumnSpec, cells: &[CellValue], rng: &mut impl Rng) -> Rule {
+    let _ = spec;
+    let dates: Vec<cornet_table::Date> = cells.iter().filter_map(CellValue::as_date).collect();
+    let part = *[
+        DatePart::Month,
+        DatePart::Month,
+        DatePart::Year,
+        DatePart::Weekday,
+        DatePart::Day,
+    ]
+    .choose(rng)
+    .unwrap();
+    let mut parts: Vec<i64> = dates.iter().map(|d| part.extract(*d)).collect();
+    parts.sort_unstable();
+    parts.dedup();
+    let pick = |rng: &mut dyn rand::RngCore, parts: &[i64]| -> i64 {
+        if parts.is_empty() {
+            1
+        } else {
+            parts[rand::Rng::gen_range(rng, 0..parts.len())]
+        }
+    };
+    let style = rng.gen_range(0..100);
+    if style < 30 {
+        let op = *[
+            CmpOp::Greater,
+            CmpOp::GreaterEquals,
+            CmpOp::Less,
+            CmpOp::LessEquals,
+        ]
+        .choose(rng)
+        .unwrap();
+        let n = pick(rng, &parts);
+        Rule::new(vec![Conjunct::single(RuleLiteral::pos(
+            Predicate::DateCmp { op, part, n },
+        ))])
+    } else if style < 45 {
+        let a = pick(rng, &parts);
+        let b = pick(rng, &parts);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        Rule::new(vec![Conjunct::single(RuleLiteral::pos(
+            Predicate::DateBetween { part, lo, hi },
+        ))])
+    } else if style < 85 {
+        let n = pick(rng, &parts);
+        Rule::new(vec![Conjunct::single(RuleLiteral::neg(
+            Predicate::DateCmp {
+                op: CmpOp::GreaterEquals,
+                part,
+                n,
+            },
+        ))])
+    } else {
+        // OR(cmp, NOT between) — a depth-3 outlier.
+        let n = pick(rng, &parts);
+        let a = pick(rng, &parts);
+        let b = pick(rng, &parts);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        Rule::new(vec![
+            Conjunct::single(RuleLiteral::pos(Predicate::DateCmp {
+                op: CmpOp::Less,
+                part,
+                n,
+            })),
+            Conjunct::single(RuleLiteral::neg(Predicate::DateBetween {
+                part,
+                lo,
+                hi,
+            })),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::values::{date_column, numeric_column, text_column, NumericFamily};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn text_rules_reference_column_atoms() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (cells, spec) = text_column(TextFamily::StatusWords, 40, &mut rng);
+        for _ in 0..20 {
+            let rule = text_rule(&spec, &cells, &mut rng);
+            assert!(rule.predicate_count() >= 1);
+            for conj in &rule.condition {
+                for lit in &conj.literals {
+                    if let Predicate::Text { pattern, .. } = &lit.predicate {
+                        assert!(
+                            spec.atoms.contains(pattern)
+                                || spec.suffix.as_deref() == Some(pattern.as_str()),
+                            "pattern {pattern} not from column"
+                        );
+                    }
+                }
+            }
+            let _ = rule.execute(&cells);
+        }
+    }
+
+    #[test]
+    fn numeric_rules_have_in_range_constants() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (cells, spec) = numeric_column(NumericFamily::Integers, 60, &mut rng);
+        let values: Vec<f64> = cells.iter().filter_map(CellValue::as_number).collect();
+        let (vmin, vmax) = (
+            values.iter().cloned().fold(f64::INFINITY, f64::min),
+            values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        );
+        for _ in 0..20 {
+            let rule = numeric_rule(&spec, &cells, &mut rng);
+            for conj in &rule.condition {
+                for lit in &conj.literals {
+                    match &lit.predicate {
+                        Predicate::NumCmp { n, .. } => {
+                            assert!(*n >= vmin - 1.0 && *n <= vmax + 1.0)
+                        }
+                        Predicate::NumBetween { lo, hi } => {
+                            assert!(lo <= hi);
+                            assert!(*lo >= vmin - 1.0 && *hi <= vmax + 1.0);
+                        }
+                        other => panic!("unexpected predicate {other}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn date_rules_use_observed_part_values() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (cells, spec) = date_column(50, &mut rng);
+        for _ in 0..20 {
+            let rule = date_rule(&spec, &cells, &mut rng);
+            assert!(rule.predicate_count() >= 1);
+            let _ = rule.execute(&cells);
+        }
+    }
+
+    #[test]
+    fn depth_mixtures_hit_table3_targets() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut text_depths = Vec::new();
+        let mut num_depths = Vec::new();
+        let mut date_depths = Vec::new();
+        for _ in 0..600 {
+            let (_cells, spec) = text_column(TextFamily::IdCodes, 30, &mut rng);
+            text_depths.push(text_rule(&spec, &_cells, &mut rng).depth() as f64);
+            let (cells, nspec) = numeric_column(NumericFamily::Integers, 30, &mut rng);
+            num_depths.push(numeric_rule(&nspec, &cells, &mut rng).depth() as f64);
+            let (cells, dspec) = date_column(30, &mut rng);
+            date_depths.push(date_rule(&dspec, &cells, &mut rng).depth() as f64);
+        }
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        // Table 3: text 2.3, numeric 1.8, date 1.7 — tolerate ±0.45.
+        assert!((avg(&text_depths) - 2.3).abs() < 0.45, "text {}", avg(&text_depths));
+        assert!((avg(&num_depths) - 1.8).abs() < 0.45, "numeric {}", avg(&num_depths));
+        assert!((avg(&date_depths) - 1.7).abs() < 0.45, "date {}", avg(&date_depths));
+    }
+}

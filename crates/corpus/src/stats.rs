@@ -1,0 +1,97 @@
+//! Corpus summary statistics — the generator's side of Table 3.
+
+use crate::taskgen::Task;
+use cornet_table::DataType;
+
+/// Per-type aggregate statistics (one row of Table 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeStats {
+    /// The type this row summarises.
+    pub dtype: DataType,
+    /// Number of tasks.
+    pub rules: usize,
+    /// Mean column length.
+    pub avg_cells: f64,
+    /// Mean number of formatted cells.
+    pub avg_formatted: f64,
+    /// Mean ground-truth rule depth.
+    pub avg_depth: f64,
+}
+
+/// Full corpus statistics: one row per type plus the Total row.
+#[derive(Debug, Clone)]
+pub struct CorpusStats {
+    /// Text / Numeric / Date rows.
+    pub per_type: Vec<TypeStats>,
+    /// The aggregate row.
+    pub total: TypeStats,
+}
+
+/// Computes Table 3 statistics over a set of tasks.
+pub fn corpus_stats(tasks: &[Task]) -> CorpusStats {
+    let row = |dtype: Option<DataType>| -> TypeStats {
+        let selected: Vec<&Task> = tasks
+            .iter()
+            .filter(|t| dtype.is_none() || Some(t.dtype) == dtype)
+            .collect();
+        let n = selected.len().max(1) as f64;
+        TypeStats {
+            dtype: dtype.unwrap_or(DataType::Text),
+            rules: selected.len(),
+            avg_cells: selected.iter().map(|t| t.cells.len() as f64).sum::<f64>() / n,
+            avg_formatted: selected
+                .iter()
+                .map(|t| t.formatted.count_ones() as f64)
+                .sum::<f64>()
+                / n,
+            avg_depth: selected.iter().map(|t| t.rule.depth() as f64).sum::<f64>() / n,
+        }
+    };
+    CorpusStats {
+        per_type: vec![
+            row(Some(DataType::Text)),
+            row(Some(DataType::Number)),
+            row(Some(DataType::Date)),
+        ],
+        total: row(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taskgen::{generate_corpus, CorpusConfig};
+
+    #[test]
+    fn stats_match_table3_shape() {
+        let corpus = generate_corpus(&CorpusConfig {
+            n_tasks: 250,
+            seed: 11,
+            ..CorpusConfig::default()
+        });
+        let stats = corpus_stats(&corpus.tasks);
+        assert_eq!(
+            stats.per_type.iter().map(|r| r.rules).sum::<usize>(),
+            stats.total.rules
+        );
+        let text = &stats.per_type[0];
+        let numeric = &stats.per_type[1];
+        // Table 3 orderings: text tasks dominate; numeric columns are the
+        // longest and have the most formatted cells; text rules are the
+        // deepest.
+        assert!(text.rules > numeric.rules);
+        assert!(numeric.avg_cells > text.avg_cells);
+        assert!(numeric.avg_formatted > text.avg_formatted);
+        assert!(text.avg_depth > numeric.avg_depth);
+        // Rough magnitudes (±40%).
+        assert!((text.avg_cells - 107.5).abs() < 45.0);
+        assert!((numeric.avg_cells - 184.8).abs() < 75.0);
+    }
+
+    #[test]
+    fn empty_corpus_is_safe() {
+        let stats = corpus_stats(&[]);
+        assert_eq!(stats.total.rules, 0);
+        assert_eq!(stats.total.avg_cells, 0.0);
+    }
+}

@@ -1,0 +1,479 @@
+//! Column content generators: the kinds of data real spreadsheets hold.
+
+use cornet_table::{CellValue, Date};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A family of text columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TextFamily {
+    /// Id codes such as `RW-187`, optionally suffixed (`RW-131-T`).
+    IdCodes,
+    /// Status words (`High` / `Medium` / `Low`, `Pass` / `Fail`, …).
+    StatusWords,
+    /// Person names.
+    Names,
+    /// E-mail addresses.
+    Emails,
+    /// Product labels with model numbers.
+    Products,
+}
+
+/// A family of numeric columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumericFamily {
+    /// Uniform integers in a range.
+    Integers,
+    /// Rounded normal floats (measurements).
+    Measurements,
+    /// Log-normal-ish prices with two decimals.
+    Prices,
+    /// Percentages in 0..=100.
+    Percentages,
+}
+
+/// Word pools for status columns. Each pool is a plausible label set.
+pub const STATUS_POOLS: &[&[&str]] = &[
+    &["High", "Medium", "Low"],
+    &["Pass", "Fail", "Pending"],
+    &["OK", "Error", "Warning"],
+    &["Open", "Closed", "In Progress"],
+    &["Critical", "Major", "Minor", "Trivial"],
+    &["Yes", "No", "Maybe"],
+    &["Approved", "Rejected", "Review"],
+    &["Shipped", "Processing", "Cancelled", "Returned"],
+];
+
+const FIRST_NAMES: &[&str] = &[
+    "Alice", "Bob", "Carol", "David", "Erin", "Frank", "Grace", "Hugo", "Iris", "Jack", "Kara",
+    "Liam", "Mona", "Nina", "Omar", "Pam", "Quinn", "Rosa", "Sam", "Tara", "Uma", "Victor",
+    "Wendy", "Xander", "Yara", "Zane",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Smith", "Jones", "Brown", "Taylor", "Wilson", "Davies", "Evans", "Thomas", "Johnson",
+    "Roberts", "Walker", "Wright", "Green", "Hall", "Wood", "Harris", "Martin", "Cooper", "King",
+    "Lee",
+];
+
+const DOMAINS: &[&str] = &[
+    "example.com",
+    "mail.org",
+    "corp.net",
+    "school.edu",
+    "startup.io",
+];
+
+const PRODUCT_WORDS: &[&str] = &[
+    "Laptop", "Monitor", "Keyboard", "Mouse", "Desk", "Chair", "Cable", "Adapter", "Printer",
+    "Scanner", "Tablet", "Phone", "Camera", "Speaker", "Headset",
+];
+
+const ID_PREFIXES: &[&[&str]] = &[
+    &["RW", "RS", "TW"],
+    &["INV", "ORD", "REF"],
+    &["A", "B", "C", "D"],
+    &["EU", "US", "APAC"],
+    &["PRJ", "TSK", "BUG"],
+];
+
+/// Parameters of a generated text column, retained so the rule generator can
+/// sample constants that actually occur.
+#[derive(Debug, Clone)]
+pub struct TextColumnSpec {
+    /// The family used.
+    pub family: TextFamily,
+    /// Distinct atoms rules can target: prefixes for id codes, the word pool
+    /// for statuses, last names, domains or product words otherwise.
+    pub atoms: Vec<String>,
+    /// Optional suffix some id codes carry (e.g. `-T`).
+    pub suffix: Option<String>,
+}
+
+/// Generates a text column of `n` cells.
+pub fn text_column(family: TextFamily, n: usize, rng: &mut impl Rng) -> (Vec<CellValue>, TextColumnSpec) {
+    match family {
+        TextFamily::IdCodes => {
+            let prefixes = *ID_PREFIXES.choose(rng).unwrap();
+            let k = rng.gen_range(2..=prefixes.len());
+            let chosen: Vec<String> = prefixes
+                .choose_multiple(rng, k)
+                .map(|s| s.to_string())
+                .collect();
+            let suffix = if rng.gen_bool(0.4) {
+                Some(["-T", "-X", "-OLD"].choose(rng).unwrap().to_string())
+            } else {
+                None
+            };
+            let cells = (0..n)
+                .map(|_| {
+                    let p = chosen.choose(rng).unwrap();
+                    let num = rng.gen_range(100..1000);
+                    let mut s = format!("{p}-{num}");
+                    if let Some(suf) = &suffix {
+                        if rng.gen_bool(0.15) {
+                            s.push_str(suf);
+                        }
+                    }
+                    CellValue::Text(s)
+                })
+                .collect();
+            (
+                cells,
+                TextColumnSpec {
+                    family,
+                    atoms: chosen,
+                    suffix,
+                },
+            )
+        }
+        TextFamily::StatusWords => {
+            let pool = *STATUS_POOLS.choose(rng).unwrap();
+            let cells = (0..n)
+                .map(|_| CellValue::Text(pool.choose(rng).unwrap().to_string()))
+                .collect();
+            (
+                cells,
+                TextColumnSpec {
+                    family,
+                    atoms: pool.iter().map(|s| s.to_string()).collect(),
+                    suffix: None,
+                },
+            )
+        }
+        TextFamily::Names => {
+            let k = rng.gen_range(4..=8);
+            let lasts: Vec<String> = LAST_NAMES
+                .choose_multiple(rng, k)
+                .map(|s| s.to_string())
+                .collect();
+            let cells = (0..n)
+                .map(|_| {
+                    let first = FIRST_NAMES.choose(rng).unwrap();
+                    let last = lasts.choose(rng).unwrap();
+                    CellValue::Text(format!("{first} {last}"))
+                })
+                .collect();
+            (
+                cells,
+                TextColumnSpec {
+                    family,
+                    atoms: lasts,
+                    suffix: None,
+                },
+            )
+        }
+        TextFamily::Emails => {
+            let k = rng.gen_range(2..=4);
+            let domains: Vec<String> = DOMAINS
+                .choose_multiple(rng, k)
+                .map(|s| s.to_string())
+                .collect();
+            let cells = (0..n)
+                .map(|_| {
+                    let first = FIRST_NAMES.choose(rng).unwrap().to_lowercase();
+                    let last = LAST_NAMES.choose(rng).unwrap().to_lowercase();
+                    let domain = domains.choose(rng).unwrap();
+                    CellValue::Text(format!("{first}.{last}@{domain}"))
+                })
+                .collect();
+            (
+                cells,
+                TextColumnSpec {
+                    family,
+                    atoms: domains,
+                    suffix: None,
+                },
+            )
+        }
+        TextFamily::Products => {
+            let k = rng.gen_range(3..=6);
+            let words: Vec<String> = PRODUCT_WORDS
+                .choose_multiple(rng, k)
+                .map(|s| s.to_string())
+                .collect();
+            let cells = (0..n)
+                .map(|_| {
+                    let word = words.choose(rng).unwrap();
+                    let model = rng.gen_range(10..100);
+                    CellValue::Text(format!("{word} {model}"))
+                })
+                .collect();
+            (
+                cells,
+                TextColumnSpec {
+                    family,
+                    atoms: words,
+                    suffix: None,
+                },
+            )
+        }
+    }
+}
+
+/// Parameters of a generated numeric column.
+#[derive(Debug, Clone)]
+pub struct NumericColumnSpec {
+    /// The family used.
+    pub family: NumericFamily,
+    /// Low end of the sampled value range.
+    pub lo: f64,
+    /// High end of the sampled value range.
+    pub hi: f64,
+    /// Whether all values are integral.
+    pub integral: bool,
+    /// When the column is bimodal, the empty interval between the two value
+    /// clusters `(max of lower cluster, min of upper cluster)`. Real
+    /// spreadsheet columns frequently separate into groups (normal vs
+    /// outlier readings, cheap vs premium items), and user rules cut in the
+    /// gap; thresholds placed there are robust to boundary ambiguity.
+    pub gap: Option<(f64, f64)>,
+}
+
+/// Generates a numeric column of `n` cells. With probability ~0.7 the
+/// column is *bimodal*: two value clusters separated by an empty band, the
+/// structure user-written threshold rules typically exploit (columns that
+/// carry a threshold rule usually have the group structure the rule names).
+pub fn numeric_column(
+    family: NumericFamily,
+    n: usize,
+    rng: &mut impl Rng,
+) -> (Vec<CellValue>, NumericColumnSpec) {
+    let bimodal = rng.gen_bool(0.7);
+    let (mut values, lo, hi, integral): (Vec<f64>, f64, f64, bool) = match family {
+        NumericFamily::Integers => {
+            let lo = rng.gen_range(0..50) as f64;
+            let hi = lo + rng.gen_range(40..500) as f64;
+            let values = if bimodal {
+                let split = lo + (hi - lo) * rng.gen_range(0.35..0.65);
+                let gap = (hi - lo) * rng.gen_range(0.12..0.3);
+                let upper_share = rng.gen_range(0.25..0.6);
+                (0..n)
+                    .map(|_| {
+                        if rng.gen_bool(upper_share) {
+                            rng.gen_range((split + gap).min(hi)..=hi).round()
+                        } else {
+                            rng.gen_range(lo..=split).round()
+                        }
+                    })
+                    .collect()
+            } else {
+                (0..n).map(|_| rng.gen_range(lo..=hi).round()).collect()
+            };
+            (values, lo, hi, true)
+        }
+        NumericFamily::Measurements => {
+            let mean = rng.gen_range(10.0..1000.0);
+            let sd = mean * rng.gen_range(0.05..0.2);
+            let round2 = |v: f64| (v * 100.0).round() / 100.0;
+            let values = if bimodal {
+                let mean2 = mean + sd * rng.gen_range(8.0..15.0);
+                let upper_share = rng.gen_range(0.25..0.6);
+                (0..n)
+                    .map(|_| {
+                        let z: f64 = sample_normal(rng).clamp(-3.0, 3.0);
+                        let m = if rng.gen_bool(upper_share) { mean2 } else { mean };
+                        round2(m + sd * z)
+                    })
+                    .collect()
+            } else {
+                (0..n)
+                    .map(|_| round2(mean + sd * sample_normal(rng)))
+                    .collect()
+            };
+            (values, mean - 3.0 * sd, mean + 15.0 * sd, false)
+        }
+        NumericFamily::Prices => {
+            let base = rng.gen_range(5.0..200.0);
+            let round2 = |v: f64| (v * 100.0).round() / 100.0;
+            let values = if bimodal {
+                let premium = base * rng.gen_range(3.0..6.0);
+                let upper_share = rng.gen_range(0.25..0.6);
+                (0..n)
+                    .map(|_| {
+                        let z: f64 = sample_normal(rng).clamp(-2.5, 2.5);
+                        let b = if rng.gen_bool(upper_share) { premium } else { base };
+                        round2(b * (0.12 * z).exp())
+                    })
+                    .collect()
+            } else {
+                (0..n)
+                    .map(|_| round2(base * (0.3 * sample_normal(rng)).exp()))
+                    .collect()
+            };
+            (values, base * 0.3, base * 8.0, false)
+        }
+        NumericFamily::Percentages => {
+            let values = if bimodal {
+                let upper_share = rng.gen_range(0.25..0.6);
+                (0..n)
+                    .map(|_| {
+                        if rng.gen_bool(upper_share) {
+                            rng.gen_range(65..=100) as f64
+                        } else {
+                            rng.gen_range(0..=45) as f64
+                        }
+                    })
+                    .collect()
+            } else {
+                (0..n).map(|_| rng.gen_range(0..=100) as f64).collect()
+            };
+            (values, 0.0, 100.0, true)
+        }
+    };
+    // Detect the widest empty band: it defines where a user rule would cut.
+    let gap = widest_gap(&mut values, lo, hi);
+    let cells = values.into_iter().map(CellValue::Number).collect();
+    (
+        cells,
+        NumericColumnSpec {
+            family,
+            lo,
+            hi,
+            integral,
+            gap,
+        },
+    )
+}
+
+/// Finds the widest interior gap between consecutive sorted values, if it
+/// is wide enough (≥ 8% of the span) to be a meaningful group separator.
+fn widest_gap(values: &mut [f64], lo: f64, hi: f64) -> Option<(f64, f64)> {
+    if values.len() < 4 {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.dedup();
+    let span = (hi - lo).max(1e-9);
+    let mut best: Option<(f64, f64)> = None;
+    for pair in sorted.windows(2) {
+        let width = pair[1] - pair[0];
+        if width / span >= 0.08 {
+            // Only interior gaps with data on both sides count.
+            let below = sorted.iter().filter(|&&v| v <= pair[0]).count();
+            let above = sorted.iter().filter(|&&v| v >= pair[1]).count();
+            if below >= 2 && above >= 2 {
+                match best {
+                    Some((a, b)) if pair[1] - pair[0] <= b - a => {}
+                    _ => best = Some((pair[0], pair[1])),
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Parameters of a generated date column.
+#[derive(Debug, Clone)]
+pub struct DateColumnSpec {
+    /// First day of the sampled range.
+    pub start: Date,
+    /// Number of days in the range.
+    pub span_days: i32,
+}
+
+/// Generates a date column of `n` cells, uniform over a 1–3 year window.
+pub fn date_column(n: usize, rng: &mut impl Rng) -> (Vec<CellValue>, DateColumnSpec) {
+    let start_year = rng.gen_range(2018..=2023);
+    let start = Date::from_ymd(start_year, 1, 1).unwrap();
+    let span_days = rng.gen_range(365..=3 * 365);
+    let cells = (0..n)
+        .map(|_| CellValue::Date(start.add_days(rng.gen_range(0..span_days))))
+        .collect();
+    (cells, DateColumnSpec { start, span_days })
+}
+
+/// Standard normal via Box–Muller.
+pub fn sample_normal(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cornet_table::DataType;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn text_columns_have_right_type_and_atoms() {
+        let mut r = rng();
+        for family in [
+            TextFamily::IdCodes,
+            TextFamily::StatusWords,
+            TextFamily::Names,
+            TextFamily::Emails,
+            TextFamily::Products,
+        ] {
+            let (cells, spec) = text_column(family, 50, &mut r);
+            assert_eq!(cells.len(), 50);
+            assert!(cells
+                .iter()
+                .all(|c| c.data_type() == Some(DataType::Text)));
+            assert!(!spec.atoms.is_empty());
+            // Atoms must actually occur in the data.
+            let joined: String = cells
+                .iter()
+                .map(|c| c.display_string().to_lowercase())
+                .collect::<Vec<_>>()
+                .join("|");
+            assert!(
+                spec.atoms
+                    .iter()
+                    .any(|a| joined.contains(&a.to_lowercase())),
+                "{family:?}: no atom occurs in the column"
+            );
+        }
+    }
+
+    #[test]
+    fn numeric_columns_within_family_shape() {
+        let mut r = rng();
+        let (cells, spec) = numeric_column(NumericFamily::Percentages, 80, &mut r);
+        assert!(cells
+            .iter()
+            .all(|c| matches!(c, CellValue::Number(n) if (0.0..=100.0).contains(n))));
+        assert!(spec.integral);
+        let (cells, spec) = numeric_column(NumericFamily::Integers, 80, &mut r);
+        assert!(cells
+            .iter()
+            .all(|c| matches!(c, CellValue::Number(n) if n.fract() == 0.0)));
+        assert!(spec.hi > spec.lo);
+    }
+
+    #[test]
+    fn date_columns_within_span() {
+        let mut r = rng();
+        let (cells, spec) = date_column(60, &mut r);
+        for c in &cells {
+            let d = c.as_date().unwrap();
+            assert!(d >= spec.start);
+            assert!(d < spec.start.add_days(spec.span_days));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (a, _) = text_column(TextFamily::IdCodes, 20, &mut rng());
+        let (b, _) = text_column(TextFamily::IdCodes, 20, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn normal_sampler_is_roughly_standard() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..5000).map(|_| sample_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var =
+            samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.15, "var {var}");
+    }
+}

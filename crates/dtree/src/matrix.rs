@@ -1,0 +1,93 @@
+//! Boolean feature matrices stored as per-feature bit vectors.
+
+use cornet_table::BitVec;
+
+/// A boolean feature matrix: `n_features` columns over `n_samples` rows,
+/// stored column-major as packed bit vectors (feature evaluation signatures).
+#[derive(Debug, Clone)]
+pub struct FeatureMatrix {
+    n_samples: usize,
+    features: Vec<BitVec>,
+}
+
+impl FeatureMatrix {
+    /// Builds a matrix from per-feature signatures. All signatures must have
+    /// the same length.
+    pub fn new(n_samples: usize, features: Vec<BitVec>) -> FeatureMatrix {
+        assert!(
+            features.iter().all(|f| f.len() == n_samples),
+            "all feature signatures must cover every sample"
+        );
+        FeatureMatrix {
+            n_samples,
+            features,
+        }
+    }
+
+    /// An empty matrix with no features.
+    pub fn empty(n_samples: usize) -> FeatureMatrix {
+        FeatureMatrix {
+            n_samples,
+            features: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.features.len()
+    }
+
+    /// Value of feature `f` for sample `s`.
+    #[inline]
+    pub fn get(&self, f: usize, s: usize) -> bool {
+        self.features[f].get(s)
+    }
+
+    /// The signature of feature `f`.
+    pub fn feature(&self, f: usize) -> &BitVec {
+        &self.features[f]
+    }
+
+    /// Adds a feature column, returning its index.
+    pub fn push(&mut self, signature: BitVec) -> usize {
+        assert_eq!(signature.len(), self.n_samples);
+        self.features.push(signature);
+        self.features.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let f0 = BitVec::from_bools(&[true, false, true]);
+        let f1 = BitVec::from_bools(&[false, false, true]);
+        let m = FeatureMatrix::new(3, vec![f0, f1]);
+        assert_eq!(m.n_samples(), 3);
+        assert_eq!(m.n_features(), 2);
+        assert!(m.get(0, 0));
+        assert!(!m.get(1, 1));
+        assert!(m.get(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every sample")]
+    fn mismatched_lengths_panic() {
+        FeatureMatrix::new(3, vec![BitVec::zeros(2)]);
+    }
+
+    #[test]
+    fn push_grows() {
+        let mut m = FeatureMatrix::empty(2);
+        let idx = m.push(BitVec::from_bools(&[true, true]));
+        assert_eq!(idx, 0);
+        assert_eq!(m.n_features(), 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! Runs every experiment of §5 and writes the full results directory.
+//!
+//! Usage: `cargo run --release -p cornet-eval --bin reproduce [quick|standard|full]`
+
+use std::time::Instant;
+
+fn main() {
+    let scale = cornet_eval::Scale::from_args();
+    eprintln!(
+        "building system zoo ({} train / {} test tasks)…",
+        scale.train_tasks, scale.test_tasks
+    );
+    let start = Instant::now();
+    let zoo = cornet_eval::systems::build_zoo(&scale);
+    eprintln!("zoo ready in {:.1}s", start.elapsed().as_secs_f64());
+
+    for &id in cornet_eval::experiments::ALL {
+        let start = Instant::now();
+        let report = cornet_eval::experiments::run(id, &zoo, &scale).expect("known experiment");
+        println!("{}", report.render());
+        match report.save() {
+            Ok(path) => eprintln!(
+                "[{id}] done in {:.1}s → {}",
+                start.elapsed().as_secs_f64(),
+                path.display()
+            ),
+            Err(e) => eprintln!("[{id}] could not save: {e}"),
+        }
+    }
+    eprintln!("all experiments complete in {:.1}s", start.elapsed().as_secs_f64());
+}

@@ -1,0 +1,103 @@
+//! Figure 10: top-1 and top-all execution match for greedy iterative search
+//! (Cornet) vs a depth-bounded exhaustive search vs a single decision tree,
+//! as the number of examples grows.
+
+use crate::report::{pct, Report, TextTable};
+use crate::systems::Zoo;
+use crate::Scale;
+use cornet_baselines::TaskLearner;
+use cornet_core::learner::{Cornet, CornetConfig, SearchStrategy};
+use cornet_core::rank::Ranker;
+use cornet_corpus::Task;
+
+fn top1_topall<R: Ranker>(learner: &Cornet<R>, tasks: &[Task], k: usize) -> (f64, f64) {
+    let mut top1 = 0usize;
+    let mut topall = 0usize;
+    let mut n = 0usize;
+    for task in tasks {
+        let observed = task.examples(k);
+        if observed.is_empty() {
+            continue;
+        }
+        n += 1;
+        let Ok(outcome) = learner.learn(&task.cells, &observed) else {
+            continue;
+        };
+        let position = outcome
+            .candidates
+            .iter()
+            .position(|c| c.rule.execute(&task.cells) == task.formatted);
+        if let Some(pos) = position {
+            topall += 1;
+            if pos == 0 {
+                top1 += 1;
+            }
+        }
+    }
+    let denom = n.max(1) as f64;
+    (top1 as f64 / denom, topall as f64 / denom)
+}
+
+/// Runs the experiment. The exhaustive search depth is scale-dependent
+/// (its cost grows as `(2p)^depth`): 2 at quick scale, 3 otherwise — the
+/// paper uses 5 on its cluster.
+pub fn run(zoo: &Zoo, scale: &Scale) -> Report {
+    let depth = if scale.test_tasks <= 40 { 2 } else { 3 };
+    let full_config = CornetConfig {
+        strategy: SearchStrategy::Exhaustive,
+        full_search: cornet_core::fullsearch::FullSearchConfig {
+            max_depth: depth,
+            ..Default::default()
+        },
+        ..CornetConfig::default()
+    };
+    let full = Cornet::new(full_config, zoo.cornet.inner().ranker().clone());
+    // Subsample the sweep to keep exhaustive search tractable.
+    let tasks: Vec<Task> = zoo.test.iter().take(scale.sweep_tasks).cloned().collect();
+
+    let mut table = TextTable::new(vec![
+        "Examples",
+        "Cornet top-1",
+        "Full top-1",
+        "DT top-1",
+        "Cornet top-all",
+        "Full top-all",
+    ]);
+    for k in [2usize, 4, 6, 8, 10] {
+        let (c1, call) = top1_topall(zoo.cornet.inner(), &tasks, k);
+        let (f1_, fall) = top1_topall(&full, &tasks, k);
+        let mut dt_hits = 0usize;
+        let mut n = 0usize;
+        for task in &tasks {
+            let observed = task.examples(k);
+            if observed.is_empty() {
+                continue;
+            }
+            n += 1;
+            let pred = zoo.dt_pred.predict(&task.cells, &observed);
+            if pred.mask == task.formatted {
+                dt_hits += 1;
+            }
+        }
+        table.add_row(vec![
+            k.to_string(),
+            pct(c1),
+            pct(f1_),
+            pct(dt_hits as f64 / n.max(1) as f64),
+            pct(call),
+            pct(fall),
+        ]);
+    }
+    let body = format!(
+        "{}\nPaper shape (depth-5 search): Cornet loses only ~3% top-1 and ~8% \
+         top-all to the exhaustive search, and the gap narrows with more \
+         examples; both dominate the single decision tree.\n\
+         (Exhaustive depth here: {depth}.)\n",
+        table.render()
+    );
+    Report::new(
+        "fig10",
+        "Figure 10: greedy vs exhaustive search, top-1/top-all",
+        body,
+    )
+}

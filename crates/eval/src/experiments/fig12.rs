@@ -1,0 +1,51 @@
+//! Figure 12: execution match vs number of formatted examples, broken out
+//! by column data type.
+
+use crate::harness::evaluate;
+use crate::report::{pct, Report, TextTable};
+use crate::systems::Zoo;
+use cornet_corpus::Task;
+use cornet_table::DataType;
+
+/// Runs the experiment.
+pub fn run(zoo: &Zoo) -> Report {
+    let by_type = |dtype: DataType| -> Vec<Task> {
+        zoo.test
+            .iter()
+            .filter(|t| t.dtype == dtype)
+            .cloned()
+            .collect()
+    };
+    let text = by_type(DataType::Text);
+    let numeric = by_type(DataType::Number);
+    let date = by_type(DataType::Date);
+
+    let mut table = TextTable::new(vec!["Examples", "Text", "Numeric", "DateTime", "Total"]);
+    for k in [1usize, 3, 5, 7, 9, 11, 13, 15] {
+        let row = |tasks: &[Task]| -> String {
+            if tasks.is_empty() {
+                "-".to_string()
+            } else {
+                pct(evaluate(&zoo.cornet, tasks, k).execution)
+            }
+        };
+        table.add_row(vec![
+            k.to_string(),
+            row(&text),
+            row(&numeric),
+            row(&date),
+            row(&zoo.test),
+        ]);
+    }
+    let body = format!(
+        "{}\nPaper shape: text converges fastest (two examples cover >90% of \
+         its final accuracy); numeric columns keep improving up to ~15 \
+         examples because threshold constants need boundary evidence.\n",
+        table.render()
+    );
+    Report::new(
+        "fig12",
+        "Figure 12: execution match vs #examples by column type",
+        body,
+    )
+}

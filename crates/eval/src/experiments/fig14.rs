@@ -1,0 +1,70 @@
+//! Figure 14: sensitivity to the order in which the user provides examples.
+//! Each task's formatted cells are shuffled five times; examples are taken
+//! from the shuffled order. Reported: execution match in all shuffles, in
+//! at least one shuffle, and on average.
+
+use crate::report::{pct, Report, TextTable};
+use crate::systems::Zoo;
+use crate::Scale;
+use cornet_baselines::TaskLearner;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+const N_SHUFFLES: usize = 5;
+
+/// Runs the experiment.
+pub fn run(zoo: &Zoo, scale: &Scale) -> Report {
+    let tasks: Vec<_> = zoo.test.iter().take(scale.sweep_tasks * 2).collect();
+    let mut table = TextTable::new(vec![
+        "Examples",
+        "All shuffles",
+        "At least one",
+        "Average",
+    ]);
+    for k in [1usize, 2, 3, 4, 5, 6, 8, 10] {
+        let mut all_count = 0usize;
+        let mut any_count = 0usize;
+        let mut avg_hits = 0usize;
+        let mut n = 0usize;
+        for (ti, task) in tasks.iter().enumerate() {
+            let formatted = task.formatted_indices();
+            if formatted.is_empty() {
+                continue;
+            }
+            n += 1;
+            let mut matches = 0usize;
+            for shuffle in 0..N_SHUFFLES {
+                let mut order = formatted.clone();
+                let mut rng =
+                    StdRng::seed_from_u64(scale.seed ^ (ti as u64) << 8 ^ shuffle as u64);
+                order.shuffle(&mut rng);
+                let observed: Vec<usize> = order.into_iter().take(k).collect();
+                let pred = zoo.cornet.predict(&task.cells, &observed);
+                if pred.mask == task.formatted {
+                    matches += 1;
+                }
+            }
+            if matches == N_SHUFFLES {
+                all_count += 1;
+            }
+            if matches > 0 {
+                any_count += 1;
+            }
+            avg_hits += matches;
+        }
+        let denom = n.max(1) as f64;
+        table.add_row(vec![
+            k.to_string(),
+            pct(all_count as f64 / denom),
+            pct(any_count as f64 / denom),
+            pct(avg_hits as f64 / (denom * N_SHUFFLES as f64)),
+        ]);
+    }
+    let body = format!(
+        "{}\nPaper shape: ~9% gap between all-shuffles and at-least-one at 3 \
+         examples; the average tracks the original top-down order.\n",
+        table.render()
+    );
+    Report::new("fig14", "Figure 14: example-order shuffling", body)
+}

@@ -1,0 +1,67 @@
+//! Figure 19: the minimum number of examples Cornet needs to reproduce the
+//! manual formatting of hand-colored columns (paper: >90% of rules learned
+//! with fewer than 4 examples). As in the paper, the population is the
+//! *learnable* columns identified by the Figure 18 analysis.
+
+use crate::experiments::fig18::learnable_columns;
+use crate::report::{pct, Report, TextTable};
+use crate::systems::Zoo;
+use crate::Scale;
+
+/// Runs the experiment.
+pub fn run(zoo: &Zoo, scale: &Scale) -> Report {
+    let (learnable, _) = learnable_columns(zoo, scale);
+    let mut minimums: Vec<usize> = Vec::new();
+    let mut unsolved = 0usize;
+    for (column, _) in &learnable {
+        let formatted: Vec<usize> = column.formatted.iter_ones().collect();
+        let max_k = formatted.len().min(16);
+        let mut found = None;
+        for k in 1..=max_k {
+            let observed: Vec<usize> = formatted.iter().copied().take(k).collect();
+            let Ok(outcome) = zoo.cornet.inner().learn(&column.cells, &observed) else {
+                continue;
+            };
+            if outcome.candidates[0].rule.execute(&column.cells) == column.formatted {
+                found = Some(k);
+                break;
+            }
+        }
+        match found {
+            Some(k) => minimums.push(k),
+            None => unsolved += 1,
+        }
+    }
+    let mut histogram = [0usize; 12];
+    for &k in &minimums {
+        histogram[k.min(11)] += 1;
+    }
+    let mut table = TextTable::new(vec!["Min examples", "Columns", "Share"]);
+    let denom = minimums.len().max(1) as f64;
+    for (bucket, &count) in histogram.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let label = if bucket == 11 {
+            "10+".to_string()
+        } else {
+            bucket.to_string()
+        };
+        table.add_row(vec![label, count.to_string(), pct(count as f64 / denom)]);
+    }
+    let lt4 = minimums.iter().filter(|&&k| k < 4).count() as f64 / denom;
+    let body = format!(
+        "{}\nLearnable columns solved with ≤16 top-down examples: {} (plus {} \
+         needing more or differently-placed examples). Share needing <4 \
+         examples: {}%.  Paper: >90% with fewer than 4.\n",
+        table.render(),
+        minimums.len(),
+        unsolved,
+        pct(lt4),
+    );
+    Report::new(
+        "fig19",
+        "Figure 19: minimum examples needed on manually formatted columns",
+        body,
+    )
+}

@@ -1,0 +1,70 @@
+//! One module per table/figure of §5.
+//!
+//! | Module | Reproduces |
+//! |--------|------------|
+//! | [`table3`] | Table 3 — benchmark statistics |
+//! | [`table4`] | Table 4 — full system comparison |
+//! | [`table5`] | Table 5 — clustering ablations |
+//! | [`table6`] | Table 6 — ranker ablations |
+//! | [`table7`] | Table 7 — shorter/equal/longer rule examples |
+//! | [`fig9`]  | Figure 9 — learning time vs column length |
+//! | [`fig10`] | Figure 10 — greedy vs exhaustive search accuracy |
+//! | [`fig11`] | Figure 11 — learning time vs rule depth |
+//! | [`fig12`] | Figure 12 — accuracy vs #examples by type |
+//! | [`fig13`] | Figure 13 — accuracy vs #unformatted rows |
+//! | [`fig14`] | Figure 14 — example-order shuffling |
+//! | [`fig15`] | Figure 15 — rule simplicity proportions |
+//! | [`fig16`] | Figure 16 — length reduction vs user rule length |
+//! | [`fig18`] | Figure 18 — predicates needed on manual columns |
+//! | [`fig19`] | Figure 19 — examples needed on manual columns |
+//! | [`qualitative`] | Figures 7/8/17 — worked examples |
+
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig18;
+pub mod fig19;
+pub mod fig9;
+pub mod qualitative;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;
+pub mod table7;
+
+use crate::report::Report;
+use crate::systems::Zoo;
+use crate::Scale;
+
+/// Identifiers of every experiment, in paper order.
+pub const ALL: &[&str] = &[
+    "table3", "table4", "fig9", "table5", "fig10", "fig11", "table6", "fig12", "fig13", "fig14",
+    "fig15", "fig16", "table7", "fig18", "fig19", "qualitative",
+];
+
+/// Dispatches one experiment by id.
+pub fn run(id: &str, zoo: &Zoo, scale: &Scale) -> Option<Report> {
+    Some(match id {
+        "table3" => table3::run(zoo),
+        "table4" => table4::run(zoo),
+        "table5" => table5::run(zoo),
+        "table6" => table6::run(zoo),
+        "table7" => table7::run(zoo),
+        "fig9" => fig9::run(zoo, scale),
+        "fig10" => fig10::run(zoo, scale),
+        "fig11" => fig11::run(zoo, scale),
+        "fig12" => fig12::run(zoo),
+        "fig13" => fig13::run(zoo, scale),
+        "fig14" => fig14::run(zoo, scale),
+        "fig15" => fig15::run(zoo),
+        "fig16" => fig16::run(zoo),
+        "fig18" => fig18::run(zoo, scale),
+        "fig19" => fig19::run(zoo, scale),
+        "qualitative" => qualitative::run(zoo),
+        _ => return None,
+    })
+}

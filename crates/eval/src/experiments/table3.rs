@@ -1,0 +1,46 @@
+//! Table 3: average properties of benchmark problems by type.
+
+use crate::report::{f1, Report, TextTable};
+use crate::systems::Zoo;
+use cornet_corpus::corpus_stats;
+
+/// Paper reference values: (rules K, cells, formatted, depth).
+const PAPER: &[(&str, f64, f64, f64, f64)] = &[
+    ("Text", 13.81, 107.5, 32.1, 2.3),
+    ("Numeric", 9.32, 184.8, 111.2, 1.8),
+    ("Date", 1.87, 73.3, 23.5, 1.7),
+    ("Total", 25.0, 133.7, 60.9, 2.1),
+];
+
+/// Runs the experiment on the zoo's test split.
+pub fn run(zoo: &Zoo) -> Report {
+    let stats = corpus_stats(&zoo.test);
+    let mut table = TextTable::new(vec![
+        "Type",
+        "Rules",
+        "# Cells",
+        "# Formatted",
+        "Rule Depth",
+        "(paper: cells/fmt/depth)",
+    ]);
+    let rows = stats
+        .per_type
+        .iter()
+        .chain(std::iter::once(&stats.total))
+        .zip(PAPER);
+    for (row, paper) in rows {
+        table.add_row(vec![
+            paper.0.to_string(),
+            row.rules.to_string(),
+            f1(row.avg_cells),
+            f1(row.avg_formatted),
+            format!("{:.2}", row.avg_depth),
+            format!("{} / {} / {}", paper.2, paper.3, paper.4),
+        ]);
+    }
+    Report::new(
+        "table3",
+        "Table 3: benchmark summary statistics by type",
+        table.render(),
+    )
+}

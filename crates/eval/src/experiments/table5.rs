@@ -1,0 +1,86 @@
+//! Table 5: impact of the clustering design — execution match at 1/3/5
+//! examples, number of candidates and learning time for the four clustering
+//! configurations of §5.2.1.
+
+use crate::report::{f1, pct, Report, TextTable};
+use crate::systems::Zoo;
+use cornet_core::cluster::{ClusterConfig, ClusterMode};
+use cornet_core::learner::{Cornet, CornetConfig};
+use cornet_corpus::Task;
+use std::time::Instant;
+
+fn eval_mode(zoo: &Zoo, mode: ClusterMode) -> (Vec<f64>, f64, f64) {
+    let ranker = zoo.cornet.inner().ranker().clone();
+    let config = CornetConfig {
+        cluster: ClusterConfig {
+            mode,
+            ..ClusterConfig::default()
+        },
+        ..CornetConfig::default()
+    };
+    let learner = Cornet::new(config, ranker);
+    let mut execs = Vec::new();
+    let mut candidates = 0.0;
+    let mut time_ms = 0.0;
+    let mut runs = 0.0f64;
+    for &k in &[1usize, 3, 5] {
+        let mut matched = 0usize;
+        let mut n = 0usize;
+        for task in &zoo.test {
+            let observed: Vec<usize> = task.examples(k);
+            if observed.is_empty() {
+                continue;
+            }
+            n += 1;
+            let start = Instant::now();
+            if let Ok(outcome) = learner.learn(&task.cells, &observed) {
+                time_ms += start.elapsed().as_secs_f64() * 1e3;
+                candidates += outcome.stats.n_candidates as f64;
+                runs += 1.0;
+                let best = &outcome.candidates[0];
+                if best.rule.execute(&task.cells) == task.formatted {
+                    matched += 1;
+                }
+            } else {
+                time_ms += start.elapsed().as_secs_f64() * 1e3;
+                runs += 1.0;
+            }
+        }
+        execs.push(matched as f64 / n.max(1) as f64);
+    }
+    (execs, candidates / runs.max(1.0), time_ms / runs.max(1.0))
+}
+
+/// Runs the experiment. The `candidates` column uses the greedy enumerator's
+/// candidate count; `NoClustering` explores the most because nothing prunes
+/// the label space.
+pub fn run(zoo: &Zoo) -> Report {
+    let _: &[Task] = &zoo.test;
+    let mut table = TextTable::new(vec![
+        "Model", "1 ex.", "3 ex.", "5 ex.", "candidates", "t (ms)",
+    ]);
+    for (name, mode) in [
+        ("No clustering", ClusterMode::NoClustering),
+        ("No negatives", ClusterMode::NoNegatives),
+        ("Hard negatives", ClusterMode::HardNegatives),
+        ("Cornet", ClusterMode::Full),
+    ] {
+        let (execs, cands, ms) = eval_mode(zoo, mode);
+        table.add_row(vec![
+            name.to_string(),
+            pct(execs[0]),
+            pct(execs[1]),
+            pct(execs[2]),
+            f1(cands),
+            f1(ms),
+        ]);
+    }
+    let body = format!(
+        "{}\nPaper: No clustering 58.5/74.3/79.3 (122.7 cands, 104ms), \
+         No negatives 61.7/75.3/80.5 (42.2, 152ms), \
+         Hard negatives 63.6/76.5/81.9 (20.1, 174ms), \
+         Cornet 66.1/78.1/82.8 (22.5, 187ms)\n",
+        table.render()
+    );
+    Report::new("table5", "Table 5: clustering ablations", body)
+}

@@ -1,0 +1,65 @@
+//! Table 7: concrete examples comparing Cornet's learned rules against
+//! user-written formulas (shorter / equal length / longer).
+
+use crate::report::{Report, TextTable};
+use crate::systems::Zoo;
+use cornet_formula::token_length;
+use std::cmp::Ordering;
+
+/// Runs the experiment: collects execution-matching tasks where the user
+/// wrote a custom formula, and shows example pairs per length relation.
+pub fn run(zoo: &Zoo) -> Report {
+    let mut shorter: Vec<(String, String)> = Vec::new();
+    let mut equal: Vec<(String, String)> = Vec::new();
+    let mut longer: Vec<(String, String)> = Vec::new();
+    for task in zoo.test.iter().filter(|t| t.custom_formula) {
+        let observed = task.examples(3);
+        if observed.is_empty() {
+            continue;
+        }
+        let Ok(outcome) = zoo.cornet.inner().learn(&task.cells, &observed) else {
+            continue;
+        };
+        let best = &outcome.candidates[0];
+        if best.rule.execute(&task.cells) != task.formatted {
+            continue;
+        }
+        let cornet_len = best.rule.token_length();
+        let user_len = token_length(&task.user_formula);
+        let pair = (best.rule.to_string(), task.user_formula.to_string());
+        match cornet_len.cmp(&user_len) {
+            Ordering::Less if shorter.len() < 3 => shorter.push(pair),
+            Ordering::Equal if equal.len() < 3 => equal.push(pair),
+            Ordering::Greater if longer.len() < 3 => longer.push(pair),
+            _ => {}
+        }
+    }
+    let mut table = TextTable::new(vec!["Length", "Cornet", "Gold (user) Rule"]);
+    for (label, bucket) in [
+        ("Shorter", &shorter),
+        ("Equal", &equal),
+        ("Longer", &longer),
+    ] {
+        for (i, (cornet, user)) in bucket.iter().enumerate() {
+            table.add_row(vec![
+                if i == 0 { label } else { "" }.to_string(),
+                cornet.clone(),
+                user.clone(),
+            ]);
+        }
+        if bucket.is_empty() {
+            table.add_row(vec![label.to_string(), "(none found)".into(), String::new()]);
+        }
+    }
+    let body = format!(
+        "{}\nPaper examples: TextStartsWith(\"Dr\") vs IF(LEFT(A1,2)=\"Dr\",TRUE,FALSE); \
+         GreaterThan(5) vs IF(NOT(A1<=5), TRUE); \
+         TextContains(\"Pass\") vs ISNUMBER(SEARCH(\"Pass\",A1)).\n",
+        table.render()
+    );
+    Report::new(
+        "table7",
+        "Table 7: Cornet rules vs user-written rules (examples)",
+        body,
+    )
+}

@@ -1,0 +1,88 @@
+//! Experiment harness reproducing every table and figure in §5 of the
+//! Cornet paper.
+//!
+//! Each experiment lives in [`experiments`] as a function returning a
+//! rendered [`report::Report`]; thin binaries (`table4`, `fig9`, …) wrap
+//! them, and the `reproduce` binary runs everything and writes the results
+//! directory. Experiment scale (task counts, training epochs) is set by
+//! [`Scale`]; all runs are seeded and deterministic.
+
+pub mod experiments;
+pub mod harness;
+pub mod report;
+pub mod systems;
+
+/// Experiment scale knobs. The paper evaluates on 25K test tasks with an
+/// 80K-task training split; these presets trade fidelity for wall-clock.
+#[derive(Debug, Clone)]
+pub struct Scale {
+    /// Corpus/model seed.
+    pub seed: u64,
+    /// Tasks used to train rankers and neural baselines.
+    pub train_tasks: usize,
+    /// Tasks used for evaluation.
+    pub test_tasks: usize,
+    /// Epochs for ranker training.
+    pub ranker_epochs: usize,
+    /// Epochs for neural-baseline training.
+    pub neural_epochs: usize,
+    /// Tasks per sweep point in the figure experiments.
+    pub sweep_tasks: usize,
+    /// Columns in the manual-formatting study (Q5).
+    pub manual_columns: usize,
+}
+
+impl Scale {
+    /// Seconds-scale run used by tests and CI.
+    pub fn quick() -> Scale {
+        Scale {
+            seed: 7,
+            train_tasks: 30,
+            test_tasks: 30,
+            ranker_epochs: 2,
+            neural_epochs: 2,
+            sweep_tasks: 8,
+            manual_columns: 30,
+        }
+    }
+
+    /// The default minutes-scale run.
+    pub fn standard() -> Scale {
+        Scale {
+            seed: 7,
+            train_tasks: 120,
+            test_tasks: 150,
+            ranker_epochs: 5,
+            neural_epochs: 4,
+            sweep_tasks: 30,
+            manual_columns: 150,
+        }
+    }
+
+    /// A larger run for tighter confidence intervals.
+    pub fn full() -> Scale {
+        Scale {
+            seed: 7,
+            train_tasks: 400,
+            test_tasks: 500,
+            ranker_epochs: 8,
+            neural_epochs: 6,
+            sweep_tasks: 80,
+            manual_columns: 400,
+        }
+    }
+
+    /// Parses a scale name from CLI args / `CORNET_SCALE`; defaults to
+    /// [`Scale::standard`].
+    pub fn from_args() -> Scale {
+        let arg = std::env::args()
+            .nth(1)
+            .or_else(|| std::env::var("CORNET_SCALE").ok())
+            .unwrap_or_default();
+        match arg.as_str() {
+            "quick" => Scale::quick(),
+            "full" => Scale::full(),
+            _ => Scale::standard(),
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Plain-text table rendering and result persistence.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A rendered experiment report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id (e.g. `table4`, `fig12`) — used as the file stem.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Rendered body.
+    pub body: String,
+}
+
+impl Report {
+    /// Builds a report.
+    pub fn new(id: &str, title: &str, body: String) -> Report {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            body,
+        }
+    }
+
+    /// Renders the full text (title + body).
+    pub fn render(&self) -> String {
+        format!("== {} ==\n\n{}", self.title, self.body)
+    }
+
+    /// Writes the report to `results/<id>.txt` under the workspace root and
+    /// returns the path.
+    pub fn save(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.txt", self.id));
+        std::fs::write(&path, self.render())?;
+        Ok(path)
+    }
+}
+
+/// The results directory (workspace-root `results/`, falling back to CWD).
+pub fn results_dir() -> PathBuf {
+    // CARGO_MANIFEST_DIR = crates/eval → workspace root is two levels up.
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.join("results"))
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// A fixed-width text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> TextTable {
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (shorter rows are padded).
+    pub fn add_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self
+            .headers
+            .len()
+            .max(self.rows.iter().map(Vec::len).max().unwrap_or(0));
+        let mut widths = vec![0usize; cols];
+        let measure = |widths: &mut Vec<usize>, row: &[String]| {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, row: &[String]| {
+            for (i, width) in widths.iter().enumerate() {
+                let empty = String::new();
+                let cell = row.get(i).unwrap_or(&empty);
+                let _ = write!(out, "{cell:<width$}  ");
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.headers);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", 100.0 * x)
+}
+
+/// Formats a float with one decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(vec!["name", "v"]);
+        t.add_row(vec!["a", "1.0"]);
+        t.add_row(vec!["longer-name", "2"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].starts_with("---"));
+        // Columns align: "v" and values start at the same offset.
+        let col = lines[0].find('v').unwrap();
+        assert_eq!(&lines[2][col..col + 3], "1.0");
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = TextTable::new(vec!["a", "b", "c"]);
+        t.add_row(vec!["x"]);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.661), "66.1");
+        assert_eq!(f1(22.54), "22.5");
+    }
+
+    #[test]
+    fn report_render_and_save() {
+        let r = Report::new("test_report", "Test", "body\n".to_string());
+        assert!(r.render().contains("== Test =="));
+        let path = r.save().unwrap();
+        assert!(path.exists());
+        std::fs::remove_file(path).ok();
+    }
+}

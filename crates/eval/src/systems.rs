@@ -1,0 +1,179 @@
+//! Builds the full zoo of trained systems for the comparison experiments.
+
+use crate::Scale;
+use cornet_baselines::neural::NeuralTask;
+use cornet_baselines::{
+    CellClassifier, CopKmeans, CornetLearner, NeuralVariant, PopperBaseline,
+    PredicateDecisionTree, RawDecisionTree, TaskLearner,
+};
+use cornet_core::learner::CornetConfig;
+use cornet_core::rank::{
+    generate_training_data, NeuralMode, NeuralRanker, RankSample, SymbolicRanker, TrainDataConfig,
+};
+use cornet_corpus::{generate_corpus, Corpus, CorpusConfig, Task};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Everything the comparison experiments need: trained systems plus the
+/// train/test task split they were built from.
+pub struct Zoo {
+    /// Cornet with the trained hybrid (paper) ranker.
+    pub cornet: CornetLearner<NeuralRanker>,
+    /// Cornet with the trained symbolic ranker (Table 6 ablation).
+    pub cornet_symbolic: CornetLearner<SymbolicRanker>,
+    /// Cornet with the trained neural-only ranker (Table 6 ablation).
+    pub cornet_neural_only: CornetLearner<NeuralRanker>,
+    /// Raw decision tree.
+    pub dt_raw: RawDecisionTree,
+    /// Decision tree + predicates.
+    pub dt_pred: PredicateDecisionTree,
+    /// Decision tree + predicates + ranking.
+    pub dt_pred_rank: PredicateDecisionTree,
+    /// Popper over raw background knowledge.
+    pub popper_raw: PopperBaseline,
+    /// Popper over Cornet's predicates.
+    pub popper_pred: PopperBaseline,
+    /// COP-KMeans constrained clustering.
+    pub copkmeans: CopKmeans,
+    /// BERT-style cell classifier.
+    pub bert: CellClassifier,
+    /// TAPAS-style cell classifier.
+    pub tapas: CellClassifier,
+    /// TUTA-style cell classifier.
+    pub tuta: CellClassifier,
+    /// Training split.
+    pub train: Vec<Task>,
+    /// Test split.
+    pub test: Vec<Task>,
+}
+
+/// Generates the corpus split for a scale.
+pub fn corpus_for(scale: &Scale) -> Corpus {
+    generate_corpus(&CorpusConfig {
+        seed: scale.seed,
+        n_tasks: scale.train_tasks + scale.test_tasks,
+        ..CorpusConfig::default()
+    })
+}
+
+/// Builds and trains every system.
+pub fn build_zoo(scale: &Scale) -> Zoo {
+    let corpus = corpus_for(scale);
+    let train_fraction = scale.train_tasks as f64 / corpus.tasks.len() as f64;
+    let (train, test) = corpus.split(train_fraction);
+
+    // Ranker training data (§3.4): run the pipeline up to enumeration on
+    // the training split, labelling candidates by execution match.
+    let pairs: Vec<(Vec<cornet_table::CellValue>, cornet_core::rule::Rule)> = train
+        .iter()
+        .map(|t| (t.cells.clone(), t.rule.clone()))
+        .collect();
+    let samples = generate_training_data(&pairs, &TrainDataConfig::default());
+
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xABCD);
+    let mut symbolic = SymbolicRanker::heuristic();
+    symbolic.train(&samples, scale.ranker_epochs * 4, &mut rng);
+    let mut hybrid = NeuralRanker::new(NeuralMode::Hybrid, scale.seed, &mut rng);
+    hybrid.train(&samples, scale.ranker_epochs, 0.01, &mut rng);
+    let mut neural_only = NeuralRanker::new(NeuralMode::NeuralOnly, scale.seed, &mut rng);
+    neural_only.train(&samples, scale.ranker_epochs, 0.01, &mut rng);
+
+    // Neural baselines train on the gold formatting of the training split.
+    let neural_tasks: Vec<NeuralTask> = train
+        .iter()
+        .map(|t| NeuralTask {
+            cells: t.cells.clone(),
+            formatted: t.formatted.clone(),
+        })
+        .collect();
+    let mut bert = CellClassifier::new(NeuralVariant::BertLike, scale.seed, &mut rng);
+    bert.train(&neural_tasks, scale.neural_epochs, 0.01, &mut rng);
+    let mut tapas = CellClassifier::new(NeuralVariant::TapasLike, scale.seed, &mut rng);
+    tapas.train(&neural_tasks, scale.neural_epochs, 0.01, &mut rng);
+    let mut tuta = CellClassifier::new(NeuralVariant::TutaLike, scale.seed, &mut rng);
+    tuta.train(&neural_tasks, scale.neural_epochs, 0.01, &mut rng);
+
+    Zoo {
+        cornet: CornetLearner::new(CornetConfig::default(), hybrid, "Cornet"),
+        cornet_symbolic: CornetLearner::new(
+            CornetConfig::default(),
+            symbolic,
+            "Cornet (symbolic ranker)",
+        ),
+        cornet_neural_only: CornetLearner::new(
+            CornetConfig::default(),
+            neural_only,
+            "Cornet (neural ranker)",
+        ),
+        dt_raw: RawDecisionTree,
+        dt_pred: PredicateDecisionTree::plain(),
+        dt_pred_rank: PredicateDecisionTree::with_ranking(),
+        popper_raw: PopperBaseline::raw(),
+        popper_pred: PopperBaseline::with_predicates(),
+        copkmeans: CopKmeans::default(),
+        bert,
+        tapas,
+        tuta,
+        train,
+        test,
+    }
+}
+
+impl Zoo {
+    /// The Table 4 system list, in the paper's row order:
+    /// `(system, technique, produces rules)`.
+    pub fn table4_rows(&self) -> Vec<(&dyn TaskLearner, &'static str, bool)> {
+        vec![
+            (&self.dt_raw as &dyn TaskLearner, "Symbolic", true),
+            (&self.dt_pred, "Symbolic", true),
+            (&self.dt_pred_rank, "Symbolic", true),
+            (&self.popper_raw, "Symbolic", true),
+            (&self.popper_pred, "Symbolic", true),
+            (&self.copkmeans, "Symbolic", false),
+            (&self.tuta, "Neural", false),
+            (&self.tapas, "Neural", false),
+            (&self.bert, "Neural", false),
+            (&self.cornet, "Neuro-symbolic", true),
+        ]
+    }
+
+    /// The ranking training samples regenerated for inspection/tests.
+    pub fn regenerate_rank_samples(&self) -> Vec<RankSample> {
+        let pairs: Vec<_> = self
+            .train
+            .iter()
+            .map(|t| (t.cells.clone(), t.rule.clone()))
+            .collect();
+        generate_training_data(&pairs, &TrainDataConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_builds_at_quick_scale() {
+        let scale = Scale {
+            train_tasks: 6,
+            test_tasks: 6,
+            ranker_epochs: 1,
+            neural_epochs: 1,
+            ..Scale::quick()
+        };
+        let zoo = build_zoo(&scale);
+        assert_eq!(zoo.train.len(), 6);
+        assert_eq!(zoo.test.len(), 6);
+        assert_eq!(zoo.table4_rows().len(), 10);
+        assert!(zoo.bert.is_trained());
+        // Every system answers a trivial task without panicking.
+        let cells: Vec<cornet_table::CellValue> = ["Pass", "Fail", "Pass", "Fail", "Pass", "Fail"]
+            .iter()
+            .map(|s| cornet_table::CellValue::from(*s))
+            .collect();
+        for (learner, _, _) in zoo.table4_rows() {
+            let p = learner.predict(&cells, &[0, 2]);
+            assert_eq!(p.mask.len(), 6, "{} wrong mask length", learner.name());
+        }
+    }
+}

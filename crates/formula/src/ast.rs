@@ -1,0 +1,180 @@
+//! Formula abstract syntax tree.
+
+use std::fmt;
+
+/// Binary operators with spreadsheet semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// `=` (case-insensitive text equality, like Excel).
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&` string concatenation.
+    Concat,
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+impl BinaryOp {
+    /// The operator's surface syntax.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            BinaryOp::Eq => "=",
+            BinaryOp::Ne => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::Concat => "&",
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+        }
+    }
+
+    /// True for `=`, `<>`, `<`, `<=`, `>`, `>=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Ne | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+}
+
+/// A formula expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal.
+    Text(String),
+    /// Boolean literal (`TRUE` / `FALSE`).
+    Bool(bool),
+    /// A cell reference such as `A1` or `$B$2`. In conditional formatting the
+    /// reference denotes the current cell of the formatted range, so we only
+    /// record the surface text.
+    CellRef(String),
+    /// Function call, name stored upper-cased.
+    Call(String, Vec<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Binary operation.
+    Binary(BinaryOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Convenience constructor for calls.
+    pub fn call(name: &str, args: Vec<Expr>) -> Expr {
+        Expr::Call(name.to_ascii_uppercase(), args)
+    }
+
+    /// Convenience constructor for binary nodes.
+    pub fn binary(op: BinaryOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary(op, Box::new(lhs), Box::new(rhs))
+    }
+
+    /// The default cell reference used when rendering rules as formulas.
+    pub fn current_cell() -> Expr {
+        Expr::CellRef("A1".to_string())
+    }
+
+    /// Number of nodes in the AST (used in tests and complexity metrics).
+    pub fn node_count(&self) -> usize {
+        match self {
+            Expr::Number(_) | Expr::Text(_) | Expr::Bool(_) | Expr::CellRef(_) => 1,
+            Expr::Call(_, args) => 1 + args.iter().map(Expr::node_count).sum::<usize>(),
+            Expr::Neg(inner) => 1 + inner.node_count(),
+            Expr::Binary(_, l, r) => 1 + l.node_count() + r.node_count(),
+        }
+    }
+
+    /// Depth of the AST (a literal has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Number(_) | Expr::Text(_) | Expr::Bool(_) | Expr::CellRef(_) => 1,
+            Expr::Call(_, args) => 1 + args.iter().map(Expr::depth).max().unwrap_or(0),
+            Expr::Neg(inner) => 1 + inner.depth(),
+            Expr::Binary(_, l, r) => 1 + l.depth().max(r.depth()),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Number(n) => {
+                if *n == n.trunc() && n.abs() < 1e15 {
+                    write!(f, "{}", *n as i64)
+                } else {
+                    write!(f, "{n}")
+                }
+            }
+            Expr::Text(s) => write!(f, "\"{}\"", s.replace('"', "\"\"")),
+            Expr::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+            Expr::CellRef(r) => write!(f, "{r}"),
+            Expr::Call(name, args) => {
+                write!(f, "{name}(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Neg(inner) => write!(f, "-{inner}"),
+            Expr::Binary(op, l, r) => write!(f, "{l}{}{r}", op.symbol()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let e = Expr::call(
+            "IF",
+            vec![
+                Expr::binary(
+                    BinaryOp::Eq,
+                    Expr::call("LEFT", vec![Expr::current_cell(), Expr::Number(2.0)]),
+                    Expr::Text("Dr".into()),
+                ),
+                Expr::Bool(true),
+                Expr::Bool(false),
+            ],
+        );
+        assert_eq!(e.to_string(), "IF(LEFT(A1,2)=\"Dr\",TRUE,FALSE)");
+    }
+
+    #[test]
+    fn quote_escaping() {
+        let e = Expr::Text("say \"hi\"".into());
+        assert_eq!(e.to_string(), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn node_count_and_depth() {
+        let e = Expr::binary(BinaryOp::Gt, Expr::current_cell(), Expr::Number(5.0));
+        assert_eq!(e.node_count(), 3);
+        assert_eq!(e.depth(), 2);
+        assert_eq!(Expr::Number(1.0).depth(), 1);
+    }
+}

@@ -1,0 +1,488 @@
+//! Formula evaluation against a single cell.
+//!
+//! Conditional-formatting formulas are written against the anchor cell of the
+//! formatted range, so every cell reference resolves to the value of the cell
+//! currently being tested. Semantics follow Excel where the paper's
+//! experiments depend on them:
+//!
+//! * `=` / `<>` on text are case-insensitive; `EXACT` is case-sensitive.
+//! * `SEARCH` is case-insensitive and returns a 1-based position or an error;
+//!   `FIND` is the case-sensitive variant. `ISNUMBER(SEARCH(..))` is the
+//!   canonical "contains" idiom the paper's Table 7 shows.
+//! * Comparing a number with text: numbers order before text (Excel sort
+//!   order); equality across types is false.
+//! * Arithmetic coerces numeric-looking text and booleans like Excel does.
+
+use crate::ast::{BinaryOp, Expr};
+use cornet_table::{CellValue, Date};
+
+/// The result of evaluating a formula.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FValue {
+    /// Numeric result.
+    Number(f64),
+    /// Text result.
+    Text(String),
+    /// Boolean result.
+    Bool(bool),
+    /// A date (stored as days since 1970-01-01). Unlike real Excel, this
+    /// mini-language keeps dates distinct from numbers so that `ISNUMBER`
+    /// can implement the paper's *typed* predicates; in arithmetic and
+    /// comparisons a date still behaves as its serial number.
+    Date(i32),
+    /// Blank (reference to an empty cell).
+    Blank,
+    /// An error value such as `#VALUE!`.
+    Error(&'static str),
+}
+
+impl FValue {
+    /// Excel-style truthiness: errors propagate as `false` at the CF layer,
+    /// numbers are true when non-zero, text is never true.
+    pub fn is_truthy(&self) -> bool {
+        match self {
+            FValue::Bool(b) => *b,
+            FValue::Number(n) => *n != 0.0,
+            FValue::Date(_) => true,
+            _ => false,
+        }
+    }
+
+    fn as_number(&self) -> Option<f64> {
+        match self {
+            FValue::Number(n) => Some(*n),
+            FValue::Date(d) => Some(*d as f64),
+            FValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            FValue::Text(s) => s.trim().parse::<f64>().ok(),
+            FValue::Blank => Some(0.0),
+            FValue::Error(_) => None,
+        }
+    }
+
+    fn as_text(&self) -> String {
+        match self {
+            FValue::Text(s) => s.clone(),
+            FValue::Number(n) => cornet_table::value::format_number(*n),
+            FValue::Date(d) => Date::from_days(*d).to_string(),
+            FValue::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+            FValue::Blank => String::new(),
+            FValue::Error(e) => (*e).to_string(),
+        }
+    }
+}
+
+fn cell_to_fvalue(cell: &CellValue) -> FValue {
+    match cell {
+        CellValue::Empty => FValue::Blank,
+        CellValue::Text(s) => FValue::Text(s.clone()),
+        CellValue::Number(n) => FValue::Number(*n),
+        CellValue::Date(d) => FValue::Date(d.days()),
+    }
+}
+
+/// Evaluates `expr` with every cell reference bound to `cell`.
+pub fn evaluate(expr: &Expr, cell: &CellValue) -> FValue {
+    match expr {
+        Expr::Number(n) => FValue::Number(*n),
+        Expr::Text(s) => FValue::Text(s.clone()),
+        Expr::Bool(b) => FValue::Bool(*b),
+        Expr::CellRef(_) => cell_to_fvalue(cell),
+        Expr::Neg(inner) => match evaluate(inner, cell).as_number() {
+            Some(n) => FValue::Number(-n),
+            None => FValue::Error("#VALUE!"),
+        },
+        Expr::Binary(op, l, r) => {
+            let lv = evaluate(l, cell);
+            let rv = evaluate(r, cell);
+            eval_binary(*op, lv, rv)
+        }
+        Expr::Call(name, args) => eval_call(name, args, cell),
+    }
+}
+
+/// Evaluates a formula as a conditional-formatting condition: errors and
+/// non-truthy values mean "do not format".
+pub fn evaluate_bool(expr: &Expr, cell: &CellValue) -> bool {
+    evaluate(expr, cell).is_truthy()
+}
+
+fn eval_binary(op: BinaryOp, lv: FValue, rv: FValue) -> FValue {
+    if let FValue::Error(e) = lv {
+        return FValue::Error(e);
+    }
+    if let FValue::Error(e) = rv {
+        return FValue::Error(e);
+    }
+    match op {
+        BinaryOp::Concat => FValue::Text(format!("{}{}", lv.as_text(), rv.as_text())),
+        BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div => {
+            match (lv.as_number(), rv.as_number()) {
+                (Some(a), Some(b)) => match op {
+                    BinaryOp::Add => FValue::Number(a + b),
+                    BinaryOp::Sub => FValue::Number(a - b),
+                    BinaryOp::Mul => FValue::Number(a * b),
+                    BinaryOp::Div => {
+                        if b == 0.0 {
+                            FValue::Error("#DIV/0!")
+                        } else {
+                            FValue::Number(a / b)
+                        }
+                    }
+                    _ => unreachable!(),
+                },
+                _ => FValue::Error("#VALUE!"),
+            }
+        }
+        _ => compare(op, &lv, &rv),
+    }
+}
+
+fn compare(op: BinaryOp, lv: &FValue, rv: &FValue) -> FValue {
+    use std::cmp::Ordering;
+    // Excel type ordering: number < text < bool. Blank coerces to the other
+    // side's zero value.
+    fn rank(v: &FValue) -> u8 {
+        match v {
+            FValue::Number(_) | FValue::Date(_) | FValue::Blank => 0,
+            FValue::Text(_) => 1,
+            FValue::Bool(_) => 2,
+            FValue::Error(_) => 3,
+        }
+    }
+    let ord = if rank(lv) == rank(rv) {
+        match (lv, rv) {
+            (FValue::Text(a), FValue::Text(b)) => {
+                let (a, b) = (a.to_lowercase(), b.to_lowercase());
+                a.cmp(&b)
+            }
+            _ => {
+                let a = lv.as_number().unwrap_or(0.0);
+                let b = rv.as_number().unwrap_or(0.0);
+                a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+            }
+        }
+    } else {
+        rank(lv).cmp(&rank(rv))
+    };
+    let result = match op {
+        BinaryOp::Eq => ord == Ordering::Equal && rank(lv) == rank(rv),
+        BinaryOp::Ne => ord != Ordering::Equal || rank(lv) != rank(rv),
+        BinaryOp::Lt => ord == Ordering::Less,
+        BinaryOp::Le => ord != Ordering::Greater,
+        BinaryOp::Gt => ord == Ordering::Greater,
+        BinaryOp::Ge => ord != Ordering::Less,
+        _ => unreachable!("compare only handles comparison ops"),
+    };
+    FValue::Bool(result)
+}
+
+fn eval_call(name: &str, args: &[Expr], cell: &CellValue) -> FValue {
+    let arg = |i: usize| -> FValue {
+        args.get(i)
+            .map(|a| evaluate(a, cell))
+            .unwrap_or(FValue::Blank)
+    };
+    let num = |i: usize| -> Option<f64> { arg(i).as_number() };
+    match name {
+        "IF" => {
+            if args.is_empty() {
+                return FValue::Error("#VALUE!");
+            }
+            let cond = arg(0);
+            if let FValue::Error(e) = cond {
+                return FValue::Error(e);
+            }
+            if cond.is_truthy() {
+                if args.len() > 1 {
+                    arg(1)
+                } else {
+                    FValue::Bool(true)
+                }
+            } else if args.len() > 2 {
+                arg(2)
+            } else {
+                FValue::Bool(false)
+            }
+        }
+        "AND" => {
+            let mut all = true;
+            for i in 0..args.len() {
+                match arg(i) {
+                    FValue::Error(e) => return FValue::Error(e),
+                    v => all &= v.is_truthy(),
+                }
+            }
+            FValue::Bool(all && !args.is_empty())
+        }
+        "OR" => {
+            let mut any = false;
+            for i in 0..args.len() {
+                match arg(i) {
+                    FValue::Error(e) => return FValue::Error(e),
+                    v => any |= v.is_truthy(),
+                }
+            }
+            FValue::Bool(any)
+        }
+        "NOT" => match arg(0) {
+            FValue::Error(e) => FValue::Error(e),
+            v => FValue::Bool(!v.is_truthy()),
+        },
+        "TRUE" => FValue::Bool(true),
+        "FALSE" => FValue::Bool(false),
+        "LEN" => FValue::Number(arg(0).as_text().chars().count() as f64),
+        "LEFT" => {
+            let s = arg(0).as_text();
+            let n = num(1).unwrap_or(1.0).max(0.0) as usize;
+            FValue::Text(s.chars().take(n).collect())
+        }
+        "RIGHT" => {
+            let s = arg(0).as_text();
+            let n = num(1).unwrap_or(1.0).max(0.0) as usize;
+            let chars: Vec<char> = s.chars().collect();
+            let start = chars.len().saturating_sub(n);
+            FValue::Text(chars[start..].iter().collect())
+        }
+        "MID" => {
+            let s = arg(0).as_text();
+            let (Some(start), Some(len)) = (num(1), num(2)) else {
+                return FValue::Error("#VALUE!");
+            };
+            if start < 1.0 || len < 0.0 {
+                return FValue::Error("#VALUE!");
+            }
+            FValue::Text(
+                s.chars()
+                    .skip(start as usize - 1)
+                    .take(len as usize)
+                    .collect(),
+            )
+        }
+        "SEARCH" | "FIND" => {
+            let needle = arg(0).as_text();
+            let hay = arg(1).as_text();
+            let (needle, hay) = if name == "SEARCH" {
+                (needle.to_lowercase(), hay.to_lowercase())
+            } else {
+                (needle, hay)
+            };
+            match hay.find(&needle) {
+                Some(byte_pos) => {
+                    let char_pos = hay[..byte_pos].chars().count() + 1;
+                    FValue::Number(char_pos as f64)
+                }
+                None => FValue::Error("#VALUE!"),
+            }
+        }
+        "ISNUMBER" => FValue::Bool(matches!(arg(0), FValue::Number(_))),
+        "ISTEXT" => FValue::Bool(matches!(arg(0), FValue::Text(_))),
+        "ISBLANK" => FValue::Bool(matches!(arg(0), FValue::Blank)),
+        "ISERROR" => FValue::Bool(matches!(arg(0), FValue::Error(_))),
+        "EXACT" => FValue::Bool(arg(0).as_text() == arg(1).as_text()),
+        "UPPER" => FValue::Text(arg(0).as_text().to_uppercase()),
+        "LOWER" => FValue::Text(arg(0).as_text().to_lowercase()),
+        "TRIM" => FValue::Text(arg(0).as_text().trim().to_string()),
+        "ABS" => match num(0) {
+            Some(n) => FValue::Number(n.abs()),
+            None => FValue::Error("#VALUE!"),
+        },
+        "MOD" => match (num(0), num(1)) {
+            (Some(a), Some(b)) if b != 0.0 => FValue::Number(a.rem_euclid(b)),
+            (Some(_), Some(_)) => FValue::Error("#DIV/0!"),
+            _ => FValue::Error("#VALUE!"),
+        },
+        "DAY" | "MONTH" | "YEAR" | "WEEKDAY" => {
+            // Strict typing (unlike real Excel): the date-part functions
+            // only accept dates, which is how exported date predicates stay
+            // typed without explicit guards.
+            let FValue::Date(serial) = arg(0) else {
+                return FValue::Error("#VALUE!");
+            };
+            let date = Date::from_days(serial);
+            let part = match name {
+                "DAY" => date.day() as f64,
+                "MONTH" => date.month() as f64,
+                "YEAR" => date.year() as f64,
+                _ => {
+                    // WEEKDAY return types: 1 (default) Sunday=1..Saturday=7,
+                    // 2 Monday=1..Sunday=7.
+                    let return_type = num(1).unwrap_or(1.0) as i64;
+                    let iso = date.weekday().number(); // Monday=1
+                    match return_type {
+                        2 => iso as f64,
+                        _ => (iso % 7 + 1) as f64,
+                    }
+                }
+            };
+            FValue::Number(part)
+        }
+        "DATE" => match (num(0), num(1), num(2)) {
+            (Some(y), Some(m), Some(d)) => {
+                match Date::from_ymd(y as i32, m as u32, d as u32) {
+                    Some(date) => FValue::Date(date.days()),
+                    None => FValue::Error("#NUM!"),
+                }
+            }
+            _ => FValue::Error("#VALUE!"),
+        },
+        "CONCATENATE" => {
+            let mut out = String::new();
+            for i in 0..args.len() {
+                out.push_str(&arg(i).as_text());
+            }
+            FValue::Text(out)
+        }
+        "VALUE" => match arg(0).as_number() {
+            Some(n) => FValue::Number(n),
+            None => FValue::Error("#VALUE!"),
+        },
+        _ => FValue::Error("#NAME?"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn eval_on(src: &str, cell: CellValue) -> FValue {
+        evaluate(&parse(src).unwrap(), &cell)
+    }
+
+    fn truthy(src: &str, cell: CellValue) -> bool {
+        evaluate_bool(&parse(src).unwrap(), &cell)
+    }
+
+    #[test]
+    fn paper_example_left_prefix() {
+        // Table 7: IF(LEFT(A1,2)="Dr",TRUE,FALSE) ≡ TextStartsWith("Dr")
+        let f = "IF(LEFT(A1,2)=\"Dr\",TRUE,FALSE)";
+        assert!(truthy(f, CellValue::from("Dr Smith")));
+        assert!(!truthy(f, CellValue::from("Mr Smith")));
+    }
+
+    #[test]
+    fn paper_example_isnumber_search() {
+        // Table 7: ISNUMBER(SEARCH("Pass",A1)) ≡ TextContains("Pass")
+        let f = "ISNUMBER(SEARCH(\"Pass\",A1))";
+        assert!(truthy(f, CellValue::from("Passed")));
+        assert!(truthy(f, CellValue::from("did pass"))); // SEARCH case-insensitive
+        assert!(!truthy(f, CellValue::from("Fail")));
+    }
+
+    #[test]
+    fn paper_example_not_le() {
+        // Table 7: IF(NOT(A1<=5), TRUE) ≡ GreaterThan(5)
+        let f = "IF(NOT(A1<=5),TRUE)";
+        assert!(truthy(f, CellValue::Number(6.0)));
+        assert!(!truthy(f, CellValue::Number(5.0)));
+    }
+
+    #[test]
+    fn equality_case_insensitive_but_exact_not() {
+        assert!(truthy("A1=\"ok\"", CellValue::from("OK")));
+        assert!(!truthy("EXACT(A1,\"ok\")", CellValue::from("OK")));
+        assert!(truthy("EXACT(A1,\"OK\")", CellValue::from("OK")));
+    }
+
+    #[test]
+    fn find_is_case_sensitive() {
+        assert!(truthy("ISNUMBER(FIND(\"Pass\",A1))", CellValue::from("Pass")));
+        assert!(!truthy("ISNUMBER(FIND(\"Pass\",A1))", CellValue::from("pass")));
+    }
+
+    #[test]
+    fn cross_type_equality_is_false() {
+        assert!(!truthy("A1=5", CellValue::from("5ish")));
+        assert!(!truthy("A1=\"5\"", CellValue::Number(5.0)));
+    }
+
+    #[test]
+    fn number_orders_before_text() {
+        // Excel: any number < any text.
+        assert!(truthy("A1<\"a\"", CellValue::Number(9e9)));
+        assert!(!truthy("A1>\"a\"", CellValue::Number(9e9)));
+    }
+
+    #[test]
+    fn arithmetic_and_division_by_zero() {
+        assert_eq!(eval_on("1+2*3", CellValue::Empty), FValue::Number(7.0));
+        assert_eq!(eval_on("1/0", CellValue::Empty), FValue::Error("#DIV/0!"));
+        assert_eq!(eval_on("MOD(7,3)", CellValue::Empty), FValue::Number(1.0));
+    }
+
+    #[test]
+    fn string_functions() {
+        assert_eq!(
+            eval_on("MID(A1,2,3)", CellValue::from("abcdef")),
+            FValue::Text("bcd".into())
+        );
+        assert_eq!(
+            eval_on("RIGHT(A1,2)", CellValue::from("abc")),
+            FValue::Text("bc".into())
+        );
+        assert_eq!(eval_on("LEN(A1)", CellValue::from("héllo")), FValue::Number(5.0));
+        assert_eq!(
+            eval_on("UPPER(A1)&\"!\"", CellValue::from("hi")),
+            FValue::Text("HI!".into())
+        );
+    }
+
+    #[test]
+    fn date_parts() {
+        let d = CellValue::Date(Date::from_ymd(2022, 12, 5).unwrap());
+        assert_eq!(eval_on("YEAR(A1)", d.clone()), FValue::Number(2022.0));
+        assert_eq!(eval_on("MONTH(A1)", d.clone()), FValue::Number(12.0));
+        assert_eq!(eval_on("DAY(A1)", d.clone()), FValue::Number(5.0));
+        // 2022-12-05 is a Monday: WEEKDAY()=2 (Sunday=1), WEEKDAY(..,2)=1.
+        assert_eq!(eval_on("WEEKDAY(A1)", d.clone()), FValue::Number(2.0));
+        assert_eq!(eval_on("WEEKDAY(A1,2)", d), FValue::Number(1.0));
+    }
+
+    #[test]
+    fn date_comparison_via_date_fn() {
+        let d = CellValue::Date(Date::from_ymd(2022, 6, 1).unwrap());
+        assert!(truthy("A1>DATE(2022,1,1)", d.clone()));
+        assert!(!truthy("A1>DATE(2023,1,1)", d));
+    }
+
+    #[test]
+    fn errors_propagate_and_are_not_truthy() {
+        assert!(!truthy("1/0", CellValue::Empty));
+        assert_eq!(
+            eval_on("IF(1/0,TRUE,FALSE)", CellValue::Empty),
+            FValue::Error("#DIV/0!")
+        );
+        assert!(truthy("ISERROR(1/0)", CellValue::Empty));
+    }
+
+    #[test]
+    fn and_or_not_semantics() {
+        assert!(truthy("AND(1,TRUE)", CellValue::Empty));
+        assert!(!truthy("AND(1,0)", CellValue::Empty));
+        assert!(!truthy("AND()", CellValue::Empty));
+        assert!(truthy("OR(0,1)", CellValue::Empty));
+        assert!(!truthy("OR()", CellValue::Empty));
+        assert!(truthy("NOT(0)", CellValue::Empty));
+    }
+
+    #[test]
+    fn if_defaults() {
+        assert_eq!(eval_on("IF(1)", CellValue::Empty), FValue::Bool(true));
+        assert_eq!(eval_on("IF(0)", CellValue::Empty), FValue::Bool(false));
+        assert_eq!(eval_on("IF(0,1)", CellValue::Empty), FValue::Bool(false));
+    }
+
+    #[test]
+    fn unknown_function_is_name_error() {
+        assert_eq!(eval_on("NOPE(1)", CellValue::Empty), FValue::Error("#NAME?"));
+    }
+
+    #[test]
+    fn blank_handling() {
+        assert!(truthy("ISBLANK(A1)", CellValue::Empty));
+        assert!(!truthy("ISBLANK(A1)", CellValue::from("x")));
+        // Blank coerces to 0 in arithmetic, as in Excel.
+        assert_eq!(eval_on("A1+1", CellValue::Empty), FValue::Number(1.0));
+    }
+}

@@ -1,0 +1,265 @@
+//! Formula lexer.
+
+use std::fmt;
+
+/// Lexical tokens of the formula language.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Numeric literal.
+    Number(f64),
+    /// String literal (quotes stripped, doubled quotes unescaped).
+    Text(String),
+    /// Identifier: function name, TRUE/FALSE, or cell reference.
+    Ident(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&`
+    Amp,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+}
+
+/// Lexer errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LexError {
+    /// An unexpected character at the given byte offset.
+    UnexpectedChar(char, usize),
+    /// A string literal was never closed.
+    UnterminatedString(usize),
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LexError::UnexpectedChar(c, at) => write!(f, "unexpected character {c:?} at byte {at}"),
+            LexError::UnterminatedString(at) => {
+                write!(f, "unterminated string starting at byte {at}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenizes a formula. A leading `=` (as typed in the formula bar) is
+/// skipped.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, LexError> {
+    let src = input.strip_prefix('=').unwrap_or(input);
+    let bytes = src.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' | ';' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '&' => {
+                tokens.push(Token::Amp);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'>') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(i) {
+                        None => return Err(LexError::UnterminatedString(start)),
+                        Some(&b'"') => {
+                            if bytes.get(i + 1) == Some(&b'"') {
+                                s.push('"');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        Some(_) => {
+                            // Advance one UTF-8 scalar.
+                            let ch = src[i..].chars().next().unwrap();
+                            s.push(ch);
+                            i += ch.len_utf8();
+                        }
+                    }
+                }
+                tokens.push(Token::Text(s));
+            }
+            c if c.is_ascii_digit() || (c == '.' && next_is_digit(bytes, i)) => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'+' || bytes[i] == b'-')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &src[start..i];
+                match text.parse::<f64>() {
+                    Ok(n) => tokens.push(Token::Number(n)),
+                    Err(_) => return Err(LexError::UnexpectedChar(c, start)),
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'$'
+                        || bytes[i] == b'.')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(src[start..i].to_string()));
+            }
+            other => return Err(LexError::UnexpectedChar(other, i)),
+        }
+    }
+    Ok(tokens)
+}
+
+fn next_is_digit(bytes: &[u8], i: usize) -> bool {
+    bytes.get(i + 1).is_some_and(u8::is_ascii_digit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_tokens() {
+        let toks = tokenize("A1>=10").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Ident("A1".into()), Token::Ge, Token::Number(10.0)]
+        );
+    }
+
+    #[test]
+    fn leading_equals_is_skipped() {
+        assert_eq!(tokenize("=1+2").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn strings_with_escapes() {
+        let toks = tokenize("\"a\"\"b\"").unwrap();
+        assert_eq!(toks, vec![Token::Text("a\"b".into())]);
+    }
+
+    #[test]
+    fn unterminated_string() {
+        assert!(matches!(
+            tokenize("\"oops"),
+            Err(LexError::UnterminatedString(0))
+        ));
+    }
+
+    #[test]
+    fn absolute_refs_and_functions() {
+        let toks = tokenize("IF($A$1=\"x\",TRUE,FALSE)").unwrap();
+        assert_eq!(toks[0], Token::Ident("IF".into()));
+        assert_eq!(toks[2], Token::Ident("$A$1".into()));
+    }
+
+    #[test]
+    fn scientific_numbers() {
+        assert_eq!(tokenize("1.5e3").unwrap(), vec![Token::Number(1500.0)]);
+        assert_eq!(tokenize("2E-2").unwrap(), vec![Token::Number(0.02)]);
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = tokenize("1<>2<=3>=4<5>6").unwrap();
+        assert!(toks.contains(&Token::Ne));
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Ge));
+    }
+
+    #[test]
+    fn semicolon_is_separator() {
+        // European locales use ';' as the argument separator.
+        let toks = tokenize("IF(A1;1;2)").unwrap();
+        assert_eq!(toks.iter().filter(|t| **t == Token::Comma).count(), 2);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(tokenize("1 # 2"), Err(LexError::UnexpectedChar('#', _))));
+    }
+}

@@ -1,0 +1,30 @@
+//! A miniature Excel formula language.
+//!
+//! Conditional-formatting rules in Excel and Google Sheets can be arbitrary
+//! boolean-valued formulas. The Cornet paper compares learned rules against
+//! *user-written* custom formulas (Q4, Figures 15/16, Table 7), measures rule
+//! length in tokens (§5.4), and gives worked examples such as
+//! `IF(LEFT(A1,2)="Dr",TRUE,FALSE)`. This crate implements the subset of the
+//! formula language those experiments need:
+//!
+//! * [`ast::Expr`] — the abstract syntax tree,
+//! * [`parser`] — a recursive-descent parser with spreadsheet precedence,
+//! * [`eval`] — an evaluator where a cell reference resolves to "the value of
+//!   the current cell" (CF formulas are written against the anchor cell of
+//!   the range, e.g. `A1`),
+//! * [`tokens`] — the paper's token-length metric: functions, operators and
+//!   literal arguments count one token each; cell references, parentheses
+//!   and commas do not (§5.4: `IF(A1="Not Applicable", TRUE, FALSE)` has
+//!   length 5, `GreaterThan(10)` has length 2).
+
+pub mod ast;
+pub mod eval;
+pub mod lexer;
+pub mod parser;
+pub mod tokens;
+
+pub use ast::{BinaryOp, Expr};
+pub use eval::{evaluate, evaluate_bool, FValue};
+pub use lexer::{tokenize, LexError, Token};
+pub use parser::{parse, ParseError};
+pub use tokens::token_length;

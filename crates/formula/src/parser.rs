@@ -1,0 +1,305 @@
+//! Recursive-descent parser with spreadsheet operator precedence.
+//!
+//! Precedence (loosest binds last, as in Excel):
+//! comparisons < concatenation (`&`) < additive < multiplicative < unary.
+
+use crate::ast::{BinaryOp, Expr};
+use crate::lexer::{tokenize, LexError, Token};
+use std::fmt;
+
+/// Parser errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseError {
+    /// Tokenization failed.
+    Lex(LexError),
+    /// Ran out of tokens mid-expression.
+    UnexpectedEnd,
+    /// A token that cannot start or continue the expression here.
+    UnexpectedToken(String),
+    /// Tokens remained after a complete expression.
+    TrailingTokens(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Lex(e) => write!(f, "lex error: {e}"),
+            ParseError::UnexpectedEnd => write!(f, "unexpected end of formula"),
+            ParseError::UnexpectedToken(t) => write!(f, "unexpected token {t}"),
+            ParseError::TrailingTokens(t) => write!(f, "trailing tokens starting at {t}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError::Lex(e)
+    }
+}
+
+/// Parses a formula string into an [`Expr`].
+pub fn parse(input: &str) -> Result<Expr, ParseError> {
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let expr = parser.comparison()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(ParseError::TrailingTokens(format!(
+            "{:?}",
+            parser.tokens[parser.pos]
+        )));
+    }
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token, ParseError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or(ParseError::UnexpectedEnd)?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn eat(&mut self, expected: &Token) -> Result<(), ParseError> {
+        let t = self.next()?;
+        if &t == expected {
+            Ok(())
+        } else {
+            Err(ParseError::UnexpectedToken(format!("{t:?}")))
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.concat()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => BinaryOp::Eq,
+            Some(Token::Ne) => BinaryOp::Ne,
+            Some(Token::Lt) => BinaryOp::Lt,
+            Some(Token::Le) => BinaryOp::Le,
+            Some(Token::Gt) => BinaryOp::Gt,
+            Some(Token::Ge) => BinaryOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.concat()?;
+        Ok(Expr::binary(op, lhs, rhs))
+    }
+
+    fn concat(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.additive()?;
+        while self.peek() == Some(&Token::Amp) {
+            self.pos += 1;
+            let rhs = self.additive()?;
+            lhs = Expr::binary(BinaryOp::Concat, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinaryOp::Add,
+                Some(Token::Minus) => BinaryOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.multiplicative()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinaryOp::Mul,
+                Some(Token::Slash) => BinaryOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.peek() == Some(&Token::Minus) {
+            self.pos += 1;
+            let inner = self.unary()?;
+            return Ok(Expr::Neg(Box::new(inner)));
+        }
+        if self.peek() == Some(&Token::Plus) {
+            self.pos += 1;
+            return self.unary();
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next()? {
+            Token::Number(n) => Ok(Expr::Number(n)),
+            Token::Text(s) => Ok(Expr::Text(s)),
+            Token::LParen => {
+                let inner = self.comparison()?;
+                self.eat(&Token::RParen)?;
+                Ok(inner)
+            }
+            Token::Ident(name) => {
+                let upper = name.to_ascii_uppercase();
+                if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let mut args = Vec::new();
+                    if self.peek() == Some(&Token::RParen) {
+                        self.pos += 1;
+                    } else {
+                        loop {
+                            args.push(self.comparison()?);
+                            match self.next()? {
+                                Token::Comma => continue,
+                                Token::RParen => break,
+                                t => return Err(ParseError::UnexpectedToken(format!("{t:?}"))),
+                            }
+                        }
+                    }
+                    return Ok(Expr::Call(upper, args));
+                }
+                match upper.as_str() {
+                    "TRUE" => Ok(Expr::Bool(true)),
+                    "FALSE" => Ok(Expr::Bool(false)),
+                    _ if is_cell_ref(&name) => Ok(Expr::CellRef(name)),
+                    _ => Err(ParseError::UnexpectedToken(format!("identifier {name}"))),
+                }
+            }
+            t => Err(ParseError::UnexpectedToken(format!("{t:?}"))),
+        }
+    }
+}
+
+/// True for surface texts that look like an A1-style cell reference
+/// (optionally absolute, e.g. `$B$12`).
+fn is_cell_ref(s: &str) -> bool {
+    let s = s.trim_start_matches('$');
+    let letters: String = s.chars().take_while(|c| c.is_ascii_alphabetic()).collect();
+    let rest = &s[letters.len()..];
+    let rest = rest.strip_prefix('$').unwrap_or(rest);
+    !letters.is_empty()
+        && letters.len() <= 3
+        && !rest.is_empty()
+        && rest.chars().all(|c| c.is_ascii_digit())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comparison() {
+        let e = parse("A1>10").unwrap();
+        assert_eq!(
+            e,
+            Expr::binary(BinaryOp::Gt, Expr::CellRef("A1".into()), Expr::Number(10.0))
+        );
+    }
+
+    #[test]
+    fn parses_nested_calls() {
+        let e = parse("IF(LEFT(A1,2)=\"Dr\",TRUE,FALSE)").unwrap();
+        assert_eq!(e.to_string(), "IF(LEFT(A1,2)=\"Dr\",TRUE,FALSE)");
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let e = parse("1+2*3").unwrap();
+        assert_eq!(
+            e,
+            Expr::binary(
+                BinaryOp::Add,
+                Expr::Number(1.0),
+                Expr::binary(BinaryOp::Mul, Expr::Number(2.0), Expr::Number(3.0))
+            )
+        );
+    }
+
+    #[test]
+    fn precedence_add_over_comparison() {
+        let e = parse("1+2>2+0").unwrap();
+        match e {
+            Expr::Binary(BinaryOp::Gt, _, _) => {}
+            other => panic!("expected comparison at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parens_override() {
+        let e = parse("(1+2)*3").unwrap();
+        match e {
+            Expr::Binary(BinaryOp::Mul, _, _) => {}
+            other => panic!("expected mul at root, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unary_minus() {
+        let e = parse("-A1").unwrap();
+        assert!(matches!(e, Expr::Neg(_)));
+        let e = parse("--5").unwrap();
+        assert!(matches!(e, Expr::Neg(_)));
+    }
+
+    #[test]
+    fn absolute_refs() {
+        assert!(matches!(parse("$A$1=5").unwrap(), Expr::Binary(..)));
+    }
+
+    #[test]
+    fn bool_literals() {
+        assert_eq!(parse("TRUE").unwrap(), Expr::Bool(true));
+        assert_eq!(parse("false").unwrap(), Expr::Bool(false));
+    }
+
+    #[test]
+    fn zero_arg_calls() {
+        assert_eq!(parse("TODAY()").unwrap(), Expr::Call("TODAY".into(), vec![]));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("1+").is_err());
+        assert!(parse("IF(1,2").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("unknownident").is_err());
+    }
+
+    #[test]
+    fn cell_ref_detection() {
+        assert!(is_cell_ref("A1"));
+        assert!(is_cell_ref("$B$12"));
+        assert!(is_cell_ref("AZ99"));
+        assert!(!is_cell_ref("A"));
+        assert!(!is_cell_ref("1A"));
+        assert!(!is_cell_ref("ABCD1"));
+        assert!(!is_cell_ref("HELLO"));
+    }
+
+    #[test]
+    fn leading_equals() {
+        assert!(parse("=A1>5").is_ok());
+    }
+}

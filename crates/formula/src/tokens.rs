@@ -1,0 +1,64 @@
+//! The paper's rule-length metric (§5.4).
+//!
+//! "We treat all functions, operators and arguments as individual tokens and
+//! define the length of the rule as the associated count of tokens. For
+//! example, `IF(A1="Not Applicable", TRUE, FALSE)` consists of tokens
+//! `{IF, =, "Not Applicable", TRUE, FALSE}` and thus has length 5. Similarly,
+//! `GreaterThan(10)` has length 2."
+//!
+//! Cell references, parentheses and commas therefore do not count.
+
+use crate::ast::Expr;
+
+/// Token length of a formula per §5.4 of the paper.
+pub fn token_length(expr: &Expr) -> usize {
+    match expr {
+        Expr::Number(_) | Expr::Text(_) | Expr::Bool(_) => 1,
+        Expr::CellRef(_) => 0,
+        Expr::Neg(inner) => 1 + token_length(inner),
+        Expr::Binary(_, l, r) => 1 + token_length(l) + token_length(r),
+        Expr::Call(_, args) => 1 + args.iter().map(token_length).sum::<usize>(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn paper_example_if() {
+        // {IF, =, "Not Applicable", TRUE, FALSE} → 5
+        let e = parse("IF(A1=\"Not Applicable\", TRUE, FALSE)").unwrap();
+        assert_eq!(token_length(&e), 5);
+    }
+
+    #[test]
+    fn paper_example_greaterthan() {
+        // Pseudo-predicate syntax also parses as a call: {GREATERTHAN, 10} → 2
+        let e = parse("GreaterThan(10)").unwrap();
+        assert_eq!(token_length(&e), 2);
+    }
+
+    #[test]
+    fn cell_refs_do_not_count() {
+        let e = parse("A1>5").unwrap();
+        assert_eq!(token_length(&e), 2); // {>, 5}
+    }
+
+    #[test]
+    fn nested() {
+        // {ISNUMBER, SEARCH, "Pass"} → 3
+        let e = parse("ISNUMBER(SEARCH(\"Pass\",A1))").unwrap();
+        assert_eq!(token_length(&e), 3);
+        // {IF, =, LEFT, 2, "Dr", TRUE, FALSE} → 7
+        let e = parse("IF(LEFT(A1,2)=\"Dr\",TRUE,FALSE)").unwrap();
+        assert_eq!(token_length(&e), 7);
+    }
+
+    #[test]
+    fn negation_counts_as_operator() {
+        let e = parse("-A1>5").unwrap();
+        assert_eq!(token_length(&e), 3); // {-, >, 5}
+    }
+}

@@ -1,0 +1,408 @@
+//! The generate–test–constrain loop.
+
+use crate::hypothesis::{Clause, Literal, Program};
+use cornet_table::BitVec;
+use std::collections::VecDeque;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct IlpConfig {
+    /// Maximum literals per clause (hypothesis depth bound).
+    pub max_clause_literals: usize,
+    /// Maximum clauses per program.
+    pub max_clauses: usize,
+    /// Whether negated literals are allowed.
+    pub allow_negation: bool,
+    /// Hard cap on the number of clauses *tested*; the search stops (and
+    /// returns the best program found so far, if any) once exhausted. This
+    /// models Popper's practical timeout — the hypothesis space "quickly
+    /// explodes as a result of predicate generation" (§5.1).
+    pub clause_budget: usize,
+}
+
+impl Default for IlpConfig {
+    fn default() -> Self {
+        IlpConfig {
+            max_clause_literals: 3,
+            max_clauses: 3,
+            allow_negation: true,
+            clause_budget: 50_000,
+        }
+    }
+}
+
+/// Result of a learning run, with search statistics.
+#[derive(Debug, Clone)]
+pub struct IlpResult {
+    /// The learned program, if one covering all positives and no negatives
+    /// was found within budget.
+    pub program: Option<Program>,
+    /// Clauses generated and tested.
+    pub clauses_tested: usize,
+    /// Clauses pruned as too specific (covered no positive example) —
+    /// their specialisations were never generated.
+    pub pruned_too_specific: usize,
+    /// Clauses found too general (covered a negative example) — retained in
+    /// the frontier for specialisation only.
+    pub constrained_too_general: usize,
+    /// True when the clause budget was exhausted before the space was.
+    pub budget_exhausted: bool,
+}
+
+/// Learns a DNF program from examples.
+///
+/// * `signatures[p]` — evaluation of background predicate `p` over all
+///   `n_examples` examples.
+/// * `positives` / `negatives` — example masks. Examples in neither mask are
+///   unlabeled and unconstrained (matching Cornet's setting, where only a
+///   subset of cells carries labels).
+pub fn learn(
+    signatures: &[BitVec],
+    n_examples: usize,
+    positives: &BitVec,
+    negatives: &BitVec,
+    config: &IlpConfig,
+) -> IlpResult {
+    let mut result = IlpResult {
+        program: None,
+        clauses_tested: 0,
+        pruned_too_specific: 0,
+        constrained_too_general: 0,
+        budget_exhausted: false,
+    };
+    let n_positive = positives.count_ones();
+    if n_positive == 0 {
+        return result;
+    }
+    let n_literals = signatures.len() * if config.allow_negation { 2 } else { 1 };
+    let literal_of = |i: usize| -> Literal {
+        if config.allow_negation {
+            Literal::from_index(i)
+        } else {
+            Literal {
+                pred: i,
+                negated: false,
+            }
+        }
+    };
+
+    // Valid clauses: cover ≥1 positive, 0 negatives. Stored with coverage.
+    let mut valid: Vec<(Clause, BitVec)> = Vec::new();
+    // Breadth-first frontier over clause literal-index lists; extensions are
+    // strictly increasing to enumerate each subset once.
+    let mut frontier: VecDeque<(Vec<usize>, BitVec)> = VecDeque::new();
+    frontier.push_back((Vec::new(), BitVec::ones(n_examples)));
+
+    while let Some((lits, cov)) = frontier.pop_front() {
+        if lits.len() >= config.max_clause_literals {
+            continue;
+        }
+        let next_start = lits.last().map_or(0, |&l| l + 1);
+        for li in next_start..n_literals {
+            if result.clauses_tested >= config.clause_budget {
+                result.budget_exhausted = true;
+                break;
+            }
+            let lit = literal_of(li);
+            // Skip a literal whose complement is already in the clause: the
+            // conjunction would be unsatisfiable.
+            if config.allow_negation && lits.iter().any(|&e| e / 2 == li / 2) {
+                continue;
+            }
+            let sig = &signatures[lit.pred];
+            let mut child_cov = cov.clone();
+            if lit.negated {
+                child_cov.and_assign(&sig.not());
+            } else {
+                child_cov.and_assign(sig);
+            }
+            result.clauses_tested += 1;
+            let pos_covered = child_cov.and_count(positives);
+            if pos_covered == 0 {
+                // Too specific: every specialisation also covers no positive.
+                result.pruned_too_specific += 1;
+                continue;
+            }
+            let neg_covered = child_cov.and_count(negatives);
+            let mut lits_child = lits.clone();
+            lits_child.push(li);
+            if neg_covered == 0 {
+                // Consistent clause — usable in a program. Specialising it
+                // further is pointless (coverage only shrinks), so it leaves
+                // the frontier. This is Popper's generalisation constraint
+                // applied in reverse: the clause is already consistent, and
+                // all its generalisations are banned (they cover the same
+                // negatives-free region only by accident of this data; in
+                // the propositional space they were enumerated earlier).
+                let clause = Clause::new(lits_child.iter().map(|&i| literal_of(i)).collect());
+                valid.push((clause, child_cov));
+            } else {
+                // Too general: keep specialising.
+                result.constrained_too_general += 1;
+                frontier.push_back((lits_child, child_cov));
+            }
+        }
+        if result.budget_exhausted {
+            break;
+        }
+        // Early exit: if the valid clauses already cover all positives we
+        // can stop generating (the greedy cover below will succeed) — but
+        // only once the current BFS depth is drained, so shallow clauses are
+        // preferred. Checking here keeps runtime bounded on easy tasks.
+        if frontier.front().map(|(l, _)| l.len()) != Some(lits.len()) {
+            let mut covered = BitVec::zeros(n_examples);
+            for (_, cov) in &valid {
+                covered.or_assign(cov);
+            }
+            covered.and_assign(positives);
+            if covered.count_ones() == n_positive {
+                break;
+            }
+        }
+    }
+
+    result.program = assemble(valid, positives, n_positive, config.max_clauses);
+    result
+}
+
+/// Greedy set cover of the positives by valid clauses: repeatedly pick the
+/// clause covering the most uncovered positives (ties → fewer literals, then
+/// generation order).
+fn assemble(
+    valid: Vec<(Clause, BitVec)>,
+    positives: &BitVec,
+    n_positive: usize,
+    max_clauses: usize,
+) -> Option<Program> {
+    let mut chosen: Vec<Clause> = Vec::new();
+    let mut uncovered = positives.clone();
+    let mut remaining = n_positive;
+    let mut pool = valid;
+    while remaining > 0 && chosen.len() < max_clauses {
+        let mut best: Option<(usize, usize)> = None; // (gain, index)
+        for (i, (clause, cov)) in pool.iter().enumerate() {
+            let gain = cov.and_count(&uncovered);
+            if gain == 0 {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some((bg, bi)) => {
+                    gain > bg || (gain == bg && clause.len() < pool[bi].0.len())
+                }
+            };
+            if better {
+                best = Some((gain, i));
+            }
+        }
+        let (_, idx) = best?;
+        let (clause, cov) = pool.swap_remove(idx);
+        let mut newly = cov.clone();
+        newly.and_assign(&uncovered);
+        remaining -= newly.count_ones();
+        uncovered.and_assign(&cov.not());
+        chosen.push(clause);
+    }
+    if remaining == 0 {
+        Some(Program { clauses: chosen })
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(pred: usize) -> Literal {
+        Literal {
+            pred,
+            negated: false,
+        }
+    }
+
+    /// The paper's Example 5: column [7, 6, 3, 4], predicates LessThan(c)
+    /// for each constant c; positive col(3), negative col(6). Popper learns
+    /// col(A) :- LessThan(A, 4).
+    #[test]
+    fn paper_example_5() {
+        // Predicate p_c = "value < c" for constants 7, 6, 3, 4 over the
+        // column [7, 6, 3, 4].
+        let column = [7.0, 6.0, 3.0, 4.0];
+        let constants = [7.0, 6.0, 3.0, 4.0];
+        let signatures: Vec<BitVec> = constants
+            .iter()
+            .map(|&c| column.iter().map(|&v| v < c).collect())
+            .collect();
+        let positives = BitVec::from_indices(4, &[2]); // value 3
+        let negatives = BitVec::from_indices(4, &[1]); // value 6
+        let res = learn(
+            &signatures,
+            4,
+            &positives,
+            &negatives,
+            &IlpConfig {
+                allow_negation: false,
+                ..IlpConfig::default()
+            },
+        );
+        let program = res.program.expect("program found");
+        // Must cover 3 and not 6. "value < 4" (pred 3) does exactly that;
+        // "value < 6" (pred 1) also works. Either is a correct single-clause
+        // program.
+        assert_eq!(program.clauses.len(), 1);
+        let cov = program.coverage(&signatures, 4);
+        assert!(cov.get(2));
+        assert!(!cov.get(1));
+    }
+
+    #[test]
+    fn learns_conjunction() {
+        // target = p0 AND p1.
+        let p0 = BitVec::from_bools(&[true, true, true, false, false, false]);
+        let p1 = BitVec::from_bools(&[true, true, false, true, false, false]);
+        let signatures = vec![p0, p1];
+        let positives = BitVec::from_indices(6, &[0, 1]);
+        let negatives = BitVec::from_indices(6, &[2, 3, 4, 5]);
+        let res = learn(&signatures, 6, &positives, &negatives, &IlpConfig::default());
+        let program = res.program.expect("program found");
+        let cov = program.coverage(&signatures, 6);
+        assert_eq!(cov.iter_ones().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn learns_disjunction() {
+        // target = p0 OR p1 with disjoint support.
+        let p0 = BitVec::from_bools(&[true, false, false, false]);
+        let p1 = BitVec::from_bools(&[false, true, false, false]);
+        let signatures = vec![p0, p1];
+        let positives = BitVec::from_indices(4, &[0, 1]);
+        let negatives = BitVec::from_indices(4, &[2, 3]);
+        let res = learn(&signatures, 4, &positives, &negatives, &IlpConfig::default());
+        let program = res.program.expect("program found");
+        assert_eq!(program.clauses.len(), 2);
+    }
+
+    #[test]
+    fn learns_negation() {
+        // target = NOT p0.
+        let p0 = BitVec::from_bools(&[true, true, false, false]);
+        let signatures = vec![p0];
+        let positives = BitVec::from_indices(4, &[2, 3]);
+        let negatives = BitVec::from_indices(4, &[0, 1]);
+        let res = learn(&signatures, 4, &positives, &negatives, &IlpConfig::default());
+        let program = res.program.expect("program found");
+        assert_eq!(program.clauses.len(), 1);
+        assert!(program.clauses[0].literals[0].negated);
+    }
+
+    #[test]
+    fn unsatisfiable_returns_none() {
+        // One predicate that cannot separate identical examples.
+        let p0 = BitVec::from_bools(&[true, true]);
+        let signatures = vec![p0];
+        let positives = BitVec::from_indices(2, &[0]);
+        let negatives = BitVec::from_indices(2, &[1]);
+        let res = learn(&signatures, 2, &positives, &negatives, &IlpConfig::default());
+        assert!(res.program.is_none());
+        assert!(res.clauses_tested > 0);
+    }
+
+    #[test]
+    fn no_positives_returns_none() {
+        let signatures = vec![BitVec::from_bools(&[true, false])];
+        let res = learn(
+            &signatures,
+            2,
+            &BitVec::zeros(2),
+            &BitVec::from_indices(2, &[1]),
+            &IlpConfig::default(),
+        );
+        assert!(res.program.is_none());
+        assert_eq!(res.clauses_tested, 0);
+    }
+
+    #[test]
+    fn too_specific_pruning_counts() {
+        // p1 covers no positive → pruned immediately, never extended.
+        let p0 = BitVec::from_bools(&[true, false]);
+        let p1 = BitVec::from_bools(&[false, false]);
+        let signatures = vec![p0, p1];
+        let positives = BitVec::from_indices(2, &[0]);
+        let negatives = BitVec::from_indices(2, &[1]);
+        let res = learn(
+            &signatures,
+            2,
+            &positives,
+            &negatives,
+            &IlpConfig {
+                allow_negation: false,
+                ..IlpConfig::default()
+            },
+        );
+        assert!(res.program.is_some());
+        assert!(res.pruned_too_specific >= 1);
+    }
+
+    #[test]
+    fn budget_exhaustion_reported() {
+        // Large junk space with a tiny budget.
+        let n = 32;
+        let signatures: Vec<BitVec> = (0..40)
+            .map(|p| (0..n).map(|i| (i + p) % 3 == 0).collect())
+            .collect();
+        let positives = BitVec::from_indices(n, &[0]);
+        let negatives = BitVec::from_indices(n, &[1]);
+        let res = learn(
+            &signatures,
+            n,
+            &positives,
+            &negatives,
+            &IlpConfig {
+                clause_budget: 5,
+                ..IlpConfig::default()
+            },
+        );
+        assert!(res.budget_exhausted);
+    }
+
+    #[test]
+    fn prefers_shallow_programs() {
+        // Both a 1-literal and a 2-literal clause separate; BFS order must
+        // return the single literal.
+        let p0 = BitVec::from_bools(&[true, true, false, false]); // perfect
+        let p1 = BitVec::from_bools(&[true, true, true, false]);
+        let p2 = BitVec::from_bools(&[true, true, false, true]);
+        let signatures = vec![p1, p2, p0]; // perfect predicate listed last
+        let positives = BitVec::from_indices(4, &[0, 1]);
+        let negatives = BitVec::from_indices(4, &[2, 3]);
+        let res = learn(&signatures, 4, &positives, &negatives, &IlpConfig::default());
+        let program = res.program.expect("found");
+        assert_eq!(program.size(), 1);
+        assert_eq!(program.clauses[0].literals[0], lit(2));
+    }
+
+    #[test]
+    fn respects_max_clauses() {
+        // Three disjoint positives each needing its own clause, but only two
+        // clauses allowed → None.
+        let p0 = BitVec::from_bools(&[true, false, false, false]);
+        let p1 = BitVec::from_bools(&[false, true, false, false]);
+        let p2 = BitVec::from_bools(&[false, false, true, false]);
+        let signatures = vec![p0, p1, p2];
+        let positives = BitVec::from_indices(4, &[0, 1, 2]);
+        let negatives = BitVec::from_indices(4, &[3]);
+        let res = learn(
+            &signatures,
+            4,
+            &positives,
+            &negatives,
+            &IlpConfig {
+                max_clauses: 2,
+                allow_negation: false,
+                ..IlpConfig::default()
+            },
+        );
+        assert!(res.program.is_none());
+    }
+}

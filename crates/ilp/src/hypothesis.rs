@@ -1,0 +1,193 @@
+//! Hypothesis representation: literals, clauses, programs.
+
+use cornet_table::BitVec;
+
+/// A literal: a background predicate, possibly negated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Literal {
+    /// Index of the background predicate.
+    pub pred: usize,
+    /// True when the literal is the predicate's negation.
+    pub negated: bool,
+}
+
+impl Literal {
+    /// Dense index over the doubled literal space (used for canonical
+    /// enumeration order).
+    pub fn index(self) -> usize {
+        self.pred * 2 + usize::from(self.negated)
+    }
+
+    /// Inverse of [`Literal::index`].
+    pub fn from_index(i: usize) -> Literal {
+        Literal {
+            pred: i / 2,
+            negated: i % 2 == 1,
+        }
+    }
+}
+
+/// A clause: a conjunction of literals (sorted, duplicate-free).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Clause {
+    /// Literals in canonical (index) order.
+    pub literals: Vec<Literal>,
+}
+
+impl Clause {
+    /// Builds a clause, canonicalising literal order.
+    pub fn new(mut literals: Vec<Literal>) -> Clause {
+        literals.sort();
+        literals.dedup();
+        Clause { literals }
+    }
+
+    /// Coverage of the clause: the AND of its literal signatures.
+    /// `signatures[p]` must be the evaluation bit vector of predicate `p`
+    /// over all examples.
+    pub fn coverage(&self, signatures: &[BitVec], n_examples: usize) -> BitVec {
+        let mut cov = BitVec::ones(n_examples);
+        for lit in &self.literals {
+            let sig = &signatures[lit.pred];
+            if lit.negated {
+                cov.and_assign(&sig.not());
+            } else {
+                cov.and_assign(sig);
+            }
+        }
+        cov
+    }
+
+    /// Number of literals.
+    pub fn len(&self) -> usize {
+        self.literals.len()
+    }
+
+    /// True for the empty clause (which covers everything).
+    pub fn is_empty(&self) -> bool {
+        self.literals.is_empty()
+    }
+}
+
+/// A program: a disjunction of clauses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The clauses, in the order they were selected.
+    pub clauses: Vec<Clause>,
+}
+
+impl Program {
+    /// Coverage: the OR over clause coverages.
+    pub fn coverage(&self, signatures: &[BitVec], n_examples: usize) -> BitVec {
+        let mut cov = BitVec::zeros(n_examples);
+        for clause in &self.clauses {
+            cov.or_assign(&clause.coverage(signatures, n_examples));
+        }
+        cov
+    }
+
+    /// Total number of literals across clauses (program size, Popper's
+    /// minimality measure).
+    pub fn size(&self) -> usize {
+        self.clauses.iter().map(Clause::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sigs() -> Vec<BitVec> {
+        vec![
+            BitVec::from_bools(&[true, true, false, false]),
+            BitVec::from_bools(&[true, false, true, false]),
+        ]
+    }
+
+    #[test]
+    fn literal_index_roundtrip() {
+        for i in 0..10 {
+            assert_eq!(Literal::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn clause_coverage_is_conjunction() {
+        let c = Clause::new(vec![
+            Literal {
+                pred: 0,
+                negated: false,
+            },
+            Literal {
+                pred: 1,
+                negated: false,
+            },
+        ]);
+        let cov = c.coverage(&sigs(), 4);
+        assert_eq!(cov.iter_ones().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn negated_literal() {
+        let c = Clause::new(vec![Literal {
+            pred: 0,
+            negated: true,
+        }]);
+        let cov = c.coverage(&sigs(), 4);
+        assert_eq!(cov.iter_ones().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn empty_clause_covers_all() {
+        let c = Clause::new(vec![]);
+        assert!(c.coverage(&sigs(), 4).all());
+    }
+
+    #[test]
+    fn clause_canonicalises() {
+        let a = Clause::new(vec![
+            Literal {
+                pred: 1,
+                negated: false,
+            },
+            Literal {
+                pred: 0,
+                negated: false,
+            },
+        ]);
+        let b = Clause::new(vec![
+            Literal {
+                pred: 0,
+                negated: false,
+            },
+            Literal {
+                pred: 1,
+                negated: false,
+            },
+            Literal {
+                pred: 1,
+                negated: false,
+            },
+        ]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn program_coverage_is_disjunction() {
+        let p = Program {
+            clauses: vec![
+                Clause::new(vec![Literal {
+                    pred: 0,
+                    negated: false,
+                }]),
+                Clause::new(vec![Literal {
+                    pred: 1,
+                    negated: false,
+                }]),
+            ],
+        };
+        let cov = p.coverage(&sigs(), 4);
+        assert_eq!(cov.iter_ones().collect::<Vec<_>>(), vec![0, 1, 2]);
+        assert_eq!(p.size(), 2);
+    }
+}

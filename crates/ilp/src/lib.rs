@@ -1,0 +1,36 @@
+//! A miniature inductive logic programming engine in the style of Popper's
+//! *learning from failures* (Cropper & Morel, MLJ 2021).
+//!
+//! The paper casts conditional formatting as an ILP problem (§4.1.2): given
+//! positive examples (formatted cells), negative examples (unformatted
+//! cells), and background knowledge (the predicate grammar plus constants
+//! extracted from the column), learn a program covering all positives and no
+//! negatives. Popper solves this with a generate–test–constrain loop:
+//!
+//! * **generate** a hypothesis from the (size-ordered) hypothesis space;
+//! * **test** it against the examples;
+//! * **constrain**: a hypothesis that misses a positive is *too specific* —
+//!   prune all of its specialisations; one that covers a negative is *too
+//!   general* — prune all of its generalisations.
+//!
+//! Because the background predicates here are ground, boolean-valued and
+//! unary (they are Cornet-style predicates evaluated on each cell), the
+//! hypothesis space is propositional: a *clause* is a conjunction of
+//! literals and a *program* is a disjunction of clauses — the same DNF
+//! language as §3.3.1 of the paper. In this space the two Popper constraints
+//! specialise to:
+//!
+//! * adding a literal to a clause only shrinks its coverage, so a clause
+//!   covering **no positive** prunes all superset clauses (too specific);
+//! * a clause covering **a negative** can never appear in a solution and
+//!   must be specialised further (too general — dropping any of its literals
+//!   only covers more).
+//!
+//! The engine enumerates clauses breadth-first by size under exactly these
+//! constraints, then assembles a minimal program by greedy set cover.
+
+pub mod engine;
+pub mod hypothesis;
+
+pub use engine::{learn, IlpConfig, IlpResult};
+pub use hypothesis::{Clause, Literal, Program};

@@ -1,0 +1,122 @@
+//! The Adam optimizer.
+
+/// Adam optimizer state over a set of registered parameter tensors.
+///
+/// Callers register each parameter buffer once (obtaining a slot) and then
+/// call [`Adam::step`] with the matching slot on every update. Bias
+/// correction uses a single shared timestep, advanced by [`Adam::tick`].
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    beta1: f64,
+    beta2: f64,
+    eps: f64,
+    t: i32,
+    slots: Vec<Slot>,
+}
+
+#[derive(Debug, Clone)]
+struct Slot {
+    m: Vec<f64>,
+    v: Vec<f64>,
+}
+
+/// Handle to a registered parameter buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlotId(usize);
+
+impl Adam {
+    /// Creates an optimizer with the usual defaults (β₁ = 0.9, β₂ = 0.999).
+    pub fn new(lr: f64) -> Adam {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Registers a parameter buffer of the given length.
+    pub fn register(&mut self, len: usize) -> SlotId {
+        self.slots.push(Slot {
+            m: vec![0.0; len],
+            v: vec![0.0; len],
+        });
+        SlotId(self.slots.len() - 1)
+    }
+
+    /// Advances the shared timestep. Call once per optimisation step, before
+    /// the [`Adam::step`] calls of that step.
+    pub fn tick(&mut self) {
+        self.t += 1;
+    }
+
+    /// Applies one Adam update to `params` given `grads`.
+    pub fn step(&mut self, slot: SlotId, params: &mut [f64], grads: &[f64]) {
+        let state = &mut self.slots[slot.0];
+        assert_eq!(params.len(), state.m.len(), "buffer length changed");
+        assert_eq!(params.len(), grads.len());
+        let t = self.t.max(1);
+        let bc1 = 1.0 - self.beta1.powi(t);
+        let bc2 = 1.0 - self.beta2.powi(t);
+        for i in 0..params.len() {
+            let g = grads[i];
+            state.m[i] = self.beta1 * state.m[i] + (1.0 - self.beta1) * g;
+            state.v[i] = self.beta2 * state.v[i] + (1.0 - self.beta2) * g * g;
+            let m_hat = state.m[i] / bc1;
+            let v_hat = state.v[i] / bc2;
+            params[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimises_quadratic() {
+        // f(x) = (x - 3)², df = 2(x - 3).
+        let mut adam = Adam::new(0.1);
+        let slot = adam.register(1);
+        let mut x = [0.0_f64];
+        for _ in 0..500 {
+            adam.tick();
+            let grad = [2.0 * (x[0] - 3.0)];
+            adam.step(slot, &mut x, &grad);
+        }
+        assert!((x[0] - 3.0).abs() < 1e-3, "converged to {}", x[0]);
+    }
+
+    #[test]
+    fn multiple_slots_are_independent() {
+        let mut adam = Adam::new(0.05);
+        let a = adam.register(1);
+        let b = adam.register(1);
+        let mut xa = [0.0_f64];
+        let mut xb = [0.0_f64];
+        for _ in 0..800 {
+            adam.tick();
+            let ga = [2.0 * (xa[0] - 1.0)];
+            adam.step(a, &mut xa, &ga);
+            let gb = [2.0 * (xb[0] + 2.0)];
+            adam.step(b, &mut xb, &gb);
+        }
+        assert!((xa[0] - 1.0).abs() < 1e-2);
+        assert!((xb[0] + 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn first_step_magnitude_is_bounded_by_lr() {
+        // Adam's first update is ≈ lr regardless of gradient scale.
+        let mut adam = Adam::new(0.01);
+        let slot = adam.register(1);
+        let mut x = [0.0_f64];
+        adam.tick();
+        adam.step(slot, &mut x, &[1e6]);
+        assert!(x[0].abs() <= 0.0101);
+    }
+}

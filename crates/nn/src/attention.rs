@@ -1,0 +1,242 @@
+//! Single-head scaled dot-product cross-attention with manual backprop.
+//!
+//! The ranker (§3.4, Figure 5) attends from the column's cell embeddings to
+//! embeddings of the rule's *execution outputs* ("formatted or not"); the
+//! neural baselines (§4.2, Figure 6) attend from the full column to the
+//! formatted example cells. Both are instances of this block:
+//!
+//! ```text
+//! Q = X·Wq   K = E·Wk   V = E·Wv
+//! A = softmax(Q·Kᵀ / √d)
+//! O = A·V
+//! ```
+
+use crate::matrix::Matrix;
+use crate::ops::{softmax_rows, softmax_rows_backward};
+use rand::Rng;
+
+/// Learnable single-head cross-attention.
+#[derive(Debug, Clone)]
+pub struct CrossAttention {
+    /// Query projection (`d_model × d_k`).
+    pub wq: Matrix,
+    /// Key projection (`d_model × d_k`).
+    pub wk: Matrix,
+    /// Value projection (`d_model × d_v`).
+    pub wv: Matrix,
+    /// Gradient of `wq`.
+    pub gwq: Matrix,
+    /// Gradient of `wk`.
+    pub gwk: Matrix,
+    /// Gradient of `wv`.
+    pub gwv: Matrix,
+}
+
+/// Forward-pass cache consumed by [`CrossAttention::backward`].
+#[derive(Debug, Clone)]
+pub struct AttentionCache {
+    x: Matrix,
+    e: Matrix,
+    q: Matrix,
+    k: Matrix,
+    v: Matrix,
+    attn: Matrix,
+}
+
+impl CrossAttention {
+    /// Creates a block with `d_model` input width and `d_k = d_v = d_model`.
+    pub fn new(d_model: usize, rng: &mut impl Rng) -> CrossAttention {
+        CrossAttention {
+            wq: Matrix::xavier(d_model, d_model, rng),
+            wk: Matrix::xavier(d_model, d_model, rng),
+            wv: Matrix::xavier(d_model, d_model, rng),
+            gwq: Matrix::zeros(d_model, d_model),
+            gwk: Matrix::zeros(d_model, d_model),
+            gwv: Matrix::zeros(d_model, d_model),
+        }
+    }
+
+    /// Attention forward: `x` are queries (`n × d`), `e` are keys/values
+    /// (`m × d`). Returns the output (`n × d`) and the cache for backward.
+    pub fn forward(&self, x: &Matrix, e: &Matrix) -> (Matrix, AttentionCache) {
+        let q = x.matmul(&self.wq);
+        let k = e.matmul(&self.wk);
+        let v = e.matmul(&self.wv);
+        let mut attn = q.matmul_t(&k);
+        attn.scale(1.0 / (self.wq.cols() as f64).sqrt());
+        softmax_rows(&mut attn);
+        let out = attn.matmul(&v);
+        (
+            out,
+            AttentionCache {
+                x: x.clone(),
+                e: e.clone(),
+                q,
+                k,
+                v,
+                attn,
+            },
+        )
+    }
+
+    /// Backward: accumulates weight gradients, returns `(dx, de)`.
+    pub fn backward(&mut self, cache: &AttentionCache, dout: &Matrix) -> (Matrix, Matrix) {
+        let scale = 1.0 / (self.wq.cols() as f64).sqrt();
+        // O = A·V
+        let da = dout.matmul_t(&cache.v);
+        let dv = cache.attn.t_matmul(dout);
+        // A = softmax(S), S = Q·Kᵀ·scale
+        let mut ds = softmax_rows_backward(&cache.attn, &da);
+        ds.scale(scale);
+        // S = Q·Kᵀ
+        let dq = ds.matmul(&cache.k);
+        let dk = ds.t_matmul(&cache.q);
+        // Projections.
+        self.gwq.add_assign(&cache.x.t_matmul(&dq));
+        self.gwk.add_assign(&cache.e.t_matmul(&dk));
+        self.gwv.add_assign(&cache.e.t_matmul(&dv));
+        let dx = dq.matmul_t(&self.wq);
+        let mut de = dk.matmul_t(&self.wk);
+        de.add_assign(&dv.matmul_t(&self.wv));
+        (dx, de)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.gwq.fill_zero();
+        self.gwk.fill_zero();
+        self.gwv.fill_zero();
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        3 * self.wq.rows() * self.wq.cols()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn scalar_loss(attn: &CrossAttention, x: &Matrix, e: &Matrix) -> f64 {
+        let (out, _) = attn.forward(x, e);
+        out.data().iter().sum()
+    }
+
+    #[test]
+    fn output_shape() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let attn = CrossAttention::new(4, &mut rng);
+        let x = Matrix::xavier(3, 4, &mut rng);
+        let e = Matrix::xavier(5, 4, &mut rng);
+        let (out, cache) = attn.forward(&x, &e);
+        assert_eq!((out.rows(), out.cols()), (3, 4));
+        // Attention rows are distributions over the 5 key positions.
+        for r in 0..3 {
+            let sum: f64 = cache.attn.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gradient_check_inputs() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut attn = CrossAttention::new(3, &mut rng);
+        let x = Matrix::xavier(2, 3, &mut rng);
+        let e = Matrix::xavier(4, 3, &mut rng);
+        let (out, cache) = attn.forward(&x, &e);
+        let dout = Matrix::from_vec(out.rows(), out.cols(), vec![1.0; out.rows() * out.cols()]);
+        let (dx, de) = attn.backward(&cache, &dout);
+
+        let eps = 1e-6;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut xp = x.clone();
+                xp.set(r, c, x.get(r, c) + eps);
+                let mut xm = x.clone();
+                xm.set(r, c, x.get(r, c) - eps);
+                let numeric =
+                    (scalar_loss(&attn, &xp, &e) - scalar_loss(&attn, &xm, &e)) / (2.0 * eps);
+                assert!(
+                    (numeric - dx.get(r, c)).abs() < 1e-5,
+                    "dx[{r},{c}] numeric {numeric} analytic {}",
+                    dx.get(r, c)
+                );
+            }
+        }
+        for r in 0..4 {
+            for c in 0..3 {
+                let mut ep = e.clone();
+                ep.set(r, c, e.get(r, c) + eps);
+                let mut em = e.clone();
+                em.set(r, c, e.get(r, c) - eps);
+                let numeric =
+                    (scalar_loss(&attn, &x, &ep) - scalar_loss(&attn, &x, &em)) / (2.0 * eps);
+                assert!(
+                    (numeric - de.get(r, c)).abs() < 1e-5,
+                    "de[{r},{c}] numeric {numeric} analytic {}",
+                    de.get(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut attn = CrossAttention::new(3, &mut rng);
+        let x = Matrix::xavier(2, 3, &mut rng);
+        let e = Matrix::xavier(3, 3, &mut rng);
+        let (out, cache) = attn.forward(&x, &e);
+        let dout = Matrix::from_vec(out.rows(), out.cols(), vec![1.0; out.rows() * out.cols()]);
+        attn.backward(&cache, &dout);
+
+        let eps = 1e-6;
+        // Spot-check a few coordinates in each projection.
+        for &(name, r, c) in &[("wq", 0, 1), ("wk", 2, 0), ("wv", 1, 2)] {
+            let (w, g) = match name {
+                "wq" => (&attn.wq, &attn.gwq),
+                "wk" => (&attn.wk, &attn.gwk),
+                _ => (&attn.wv, &attn.gwv),
+            };
+            let orig = w.get(r, c);
+            let analytic = g.get(r, c);
+            let mut perturbed = attn.clone();
+            match name {
+                "wq" => perturbed.wq.set(r, c, orig + eps),
+                "wk" => perturbed.wk.set(r, c, orig + eps),
+                _ => perturbed.wv.set(r, c, orig + eps),
+            }
+            let plus = scalar_loss(&perturbed, &x, &e);
+            let mut perturbed = attn.clone();
+            match name {
+                "wq" => perturbed.wq.set(r, c, orig - eps),
+                "wk" => perturbed.wk.set(r, c, orig - eps),
+                _ => perturbed.wv.set(r, c, orig - eps),
+            }
+            let minus = scalar_loss(&perturbed, &x, &e);
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!(
+                (numeric - analytic).abs() < 1e-5,
+                "{name}[{r},{c}] numeric {numeric} analytic {analytic}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_grad() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut attn = CrossAttention::new(2, &mut rng);
+        let x = Matrix::xavier(1, 2, &mut rng);
+        let e = Matrix::xavier(2, 2, &mut rng);
+        let (out, cache) = attn.forward(&x, &e);
+        let dout = Matrix::from_vec(out.rows(), out.cols(), vec![1.0; 2]);
+        attn.backward(&cache, &dout);
+        assert!(attn.gwq.norm() > 0.0);
+        attn.zero_grad();
+        assert_eq!(attn.gwq.norm(), 0.0);
+        assert_eq!(attn.param_count(), 3 * 4);
+    }
+}

@@ -1,0 +1,213 @@
+//! Deterministic feature-hashing text embedder — the BERT substitute.
+//!
+//! The paper's ranker and neural baselines consume pre-trained BERT token
+//! embeddings. No such model is available offline in Rust, so cell contents
+//! are embedded by hashing character n-grams (with word-boundary markers)
+//! into a fixed table of random Gaussian rows and averaging
+//! (DESIGN.md, substitution 3). This preserves the *syntactic* signal —
+//! shared prefixes, suffixes and tokens — that dominates conditional
+//! formatting, while staying deterministic and dependency-free. Downstream
+//! projections are trained; the hash table itself is frozen, mirroring a
+//! frozen language-model encoder.
+
+use crate::matrix::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Frozen n-gram hashing embedder.
+#[derive(Debug, Clone)]
+pub struct HashEmbedder {
+    dim: usize,
+    buckets: usize,
+    table: Matrix,
+}
+
+impl HashEmbedder {
+    /// Creates an embedder with `buckets` hash rows of width `dim`, filled
+    /// with seeded Gaussian noise (Box–Muller over a seeded `StdRng`).
+    pub fn new(dim: usize, buckets: usize, seed: u64) -> HashEmbedder {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scale = 1.0 / (dim as f64).sqrt();
+        let mut table = Matrix::zeros(buckets, dim);
+        for r in 0..buckets {
+            for c in 0..dim {
+                // Box–Muller transform.
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+                table.set(r, c, z * scale);
+            }
+        }
+        HashEmbedder {
+            dim,
+            buckets,
+            table,
+        }
+    }
+
+    /// Embedding width.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Embeds a string: average of the hash rows of its 2- and 3-grams over
+    /// `^text$` boundary markers, L2-normalised. The empty string maps to
+    /// the zero vector.
+    pub fn embed_str(&self, text: &str) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        let lowered = text.to_lowercase();
+        let marked: Vec<char> = std::iter::once('^')
+            .chain(lowered.chars())
+            .chain(std::iter::once('$'))
+            .collect();
+        let mut count = 0usize;
+        for n in 2..=3usize {
+            if marked.len() < n {
+                continue;
+            }
+            for window in marked.windows(n) {
+                let bucket = hash_chars(window) as usize % self.buckets;
+                for (o, v) in out.iter_mut().zip(self.table.row(bucket)) {
+                    *o += v;
+                }
+                count += 1;
+            }
+        }
+        if count > 0 {
+            let norm = out.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if norm > 1e-12 {
+                for o in &mut out {
+                    *o /= norm;
+                }
+            }
+        }
+        out
+    }
+
+    /// Embeds a token sequence (average of per-token embeddings,
+    /// L2-normalised) — used for the CodeBERT-substitute rule encoding.
+    pub fn embed_tokens<S: AsRef<str>>(&self, tokens: &[S]) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim];
+        if tokens.is_empty() {
+            return out;
+        }
+        for tok in tokens {
+            for (o, v) in out.iter_mut().zip(self.embed_str(tok.as_ref())) {
+                *o += v;
+            }
+        }
+        let norm = out.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if norm > 1e-12 {
+            for o in &mut out {
+                *o /= norm;
+            }
+        }
+        out
+    }
+
+    /// Embeds a batch of strings into an `n × dim` matrix.
+    pub fn embed_batch<S: AsRef<str>>(&self, texts: &[S]) -> Matrix {
+        let mut out = Matrix::zeros(texts.len(), self.dim);
+        for (r, t) in texts.iter().enumerate() {
+            let e = self.embed_str(t.as_ref());
+            out.row_mut(r).copy_from_slice(&e);
+        }
+        out
+    }
+}
+
+/// FNV-1a over the UTF-32 code points of an n-gram.
+fn hash_chars(chars: &[char]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &c in chars {
+        for b in (c as u32).to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cosine(a: &[f64], b: &[f64]) -> f64 {
+        let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+        let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            dot / (na * nb)
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let e1 = HashEmbedder::new(16, 512, 42);
+        let e2 = HashEmbedder::new(16, 512, 42);
+        assert_eq!(e1.embed_str("RW-187"), e2.embed_str("RW-187"));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let e1 = HashEmbedder::new(16, 512, 42);
+        let e2 = HashEmbedder::new(16, 512, 43);
+        assert_ne!(e1.embed_str("RW-187"), e2.embed_str("RW-187"));
+    }
+
+    #[test]
+    fn shared_prefix_is_more_similar_than_disjoint() {
+        let e = HashEmbedder::new(32, 2048, 7);
+        let a = e.embed_str("RW-187");
+        let b = e.embed_str("RW-159");
+        let c = e.embed_str("QX-933");
+        assert!(
+            cosine(&a, &b) > cosine(&a, &c),
+            "prefix-sharing strings must embed closer: {} vs {}",
+            cosine(&a, &b),
+            cosine(&a, &c)
+        );
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let e = HashEmbedder::new(16, 512, 1);
+        assert_eq!(e.embed_str("Pass"), e.embed_str("pass"));
+    }
+
+    #[test]
+    fn empty_string_is_zero_safe() {
+        let e = HashEmbedder::new(8, 128, 1);
+        let v = e.embed_str("");
+        assert_eq!(v.len(), 8);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn normalised() {
+        let e = HashEmbedder::new(16, 512, 1);
+        let v = e.embed_str("hello world");
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_matches_single() {
+        let e = HashEmbedder::new(8, 128, 3);
+        let batch = e.embed_batch(&["a", "bb"]);
+        assert_eq!(batch.row(0), e.embed_str("a").as_slice());
+        assert_eq!(batch.row(1), e.embed_str("bb").as_slice());
+    }
+
+    #[test]
+    fn token_embedding_order_invariant() {
+        let e = HashEmbedder::new(8, 128, 3);
+        let ab = e.embed_tokens(&["alpha", "beta"]);
+        let ba = e.embed_tokens(&["beta", "alpha"]);
+        for (x, y) in ab.iter().zip(&ba) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! A minimal pure-Rust neural network stack.
+//!
+//! The paper's ranker (§3.4, Figure 5) combines BERT cell embeddings,
+//! cross-attention against the rule's execution bits, and linear layers with
+//! a sigmoid output, trained as binary classification. The Rust ML ecosystem
+//! offers no offline equivalent of that stack, so this crate implements the
+//! required pieces from scratch (DESIGN.md, substitution 3):
+//!
+//! * [`Matrix`] — dense row-major `f64` matrices with the handful of BLAS-1/2
+//!   kernels the models need,
+//! * [`Linear`] — fully connected layers with manual backprop,
+//! * [`CrossAttention`] — single-head scaled dot-product cross-attention with
+//!   manual backprop (the paper's "cross attention" block),
+//! * [`Adam`] — the Adam optimizer,
+//! * [`HashEmbedder`] — a deterministic character-n-gram feature-hashing
+//!   embedder standing in for BERT token embeddings: it preserves the
+//!   syntactic signal (prefixes/suffixes/tokens) that conditional formatting
+//!   rules rely on,
+//! * [`ops`] — sigmoid/BCE/ReLU/pooling primitives.
+//!
+//! Every forward pass returns the cache its backward pass needs; no autograd
+//! tape, no global state. All randomness flows through caller-provided
+//! seeded RNGs, keeping training runs reproducible.
+
+pub mod adam;
+pub mod attention;
+pub mod hashing;
+pub mod linear;
+pub mod matrix;
+pub mod ops;
+
+pub use adam::Adam;
+pub use attention::CrossAttention;
+pub use hashing::HashEmbedder;
+pub use linear::Linear;
+pub use matrix::Matrix;

@@ -1,0 +1,157 @@
+//! Fully connected layers with manual backprop.
+
+use crate::matrix::Matrix;
+use rand::Rng;
+
+/// A dense layer `y = x W + b` with gradient accumulation.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weights, shape `in_dim × out_dim`.
+    pub w: Matrix,
+    /// Bias, length `out_dim`.
+    pub b: Vec<f64>,
+    /// Accumulated weight gradient.
+    pub gw: Matrix,
+    /// Accumulated bias gradient.
+    pub gb: Vec<f64>,
+}
+
+impl Linear {
+    /// Creates a layer with Xavier-initialised weights and zero bias.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Linear {
+        Linear {
+            w: Matrix::xavier(in_dim, out_dim, rng),
+            b: vec![0.0; out_dim],
+            gw: Matrix::zeros(in_dim, out_dim),
+            gb: vec![0.0; out_dim],
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.w.rows()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.w.cols()
+    }
+
+    /// Forward pass over a batch (`x` is `n × in_dim`).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.w);
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for (v, b) in row.iter_mut().zip(&self.b) {
+                *v += b;
+            }
+        }
+        y
+    }
+
+    /// Backward pass: accumulates `gw`/`gb` and returns `dx`.
+    pub fn backward(&mut self, x: &Matrix, dy: &Matrix) -> Matrix {
+        self.gw.add_assign(&x.t_matmul(dy));
+        for r in 0..dy.rows() {
+            for (g, v) in self.gb.iter_mut().zip(dy.row(r)) {
+                *g += v;
+            }
+        }
+        dy.matmul_t(&self.w)
+    }
+
+    /// Clears accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.gw.fill_zero();
+        self.gb.fill(0.0);
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.w.rows() * self.w.cols() + self.b.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Central-difference gradient check on a scalar loss `sum(forward(x))`.
+    #[test]
+    fn gradient_check_weights_and_bias() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut layer = Linear::new(4, 3, &mut rng);
+        let x = Matrix::xavier(2, 4, &mut rng);
+
+        // Analytic gradients: d(sum y)/dy = ones.
+        let y = layer.forward(&x);
+        let dy = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
+        let dx = layer.backward(&x, &dy);
+
+        let eps = 1e-6;
+        // Check dW numerically.
+        for r in 0..4 {
+            for c in 0..3 {
+                let orig = layer.w.get(r, c);
+                layer.w.set(r, c, orig + eps);
+                let plus: f64 = layer.forward(&x).data().iter().sum();
+                layer.w.set(r, c, orig - eps);
+                let minus: f64 = layer.forward(&x).data().iter().sum();
+                layer.w.set(r, c, orig);
+                let numeric = (plus - minus) / (2.0 * eps);
+                assert!(
+                    (numeric - layer.gw.get(r, c)).abs() < 1e-6,
+                    "dW[{r},{c}]: numeric {numeric} vs analytic {}",
+                    layer.gw.get(r, c)
+                );
+            }
+        }
+        // Check db numerically.
+        for c in 0..3 {
+            let orig = layer.b[c];
+            layer.b[c] = orig + eps;
+            let plus: f64 = layer.forward(&x).data().iter().sum();
+            layer.b[c] = orig - eps;
+            let minus: f64 = layer.forward(&x).data().iter().sum();
+            layer.b[c] = orig;
+            let numeric = (plus - minus) / (2.0 * eps);
+            assert!((numeric - layer.gb[c]).abs() < 1e-6);
+        }
+        // Check dx numerically.
+        let mut x2 = x.clone();
+        for r in 0..2 {
+            for c in 0..4 {
+                let orig = x2.get(r, c);
+                x2.set(r, c, orig + eps);
+                let plus: f64 = layer.forward(&x2).data().iter().sum();
+                x2.set(r, c, orig - eps);
+                let minus: f64 = layer.forward(&x2).data().iter().sum();
+                x2.set(r, c, orig);
+                let numeric = (plus - minus) / (2.0 * eps);
+                assert!((numeric - dx.get(r, c)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut layer = Linear::new(2, 2, &mut rng);
+        let x = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let dy = Matrix::from_vec(1, 2, vec![1.0, 1.0]);
+        layer.backward(&x, &dy);
+        assert!(layer.gw.norm() > 0.0);
+        layer.zero_grad();
+        assert_eq!(layer.gw.norm(), 0.0);
+        assert!(layer.gb.iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn param_count() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let layer = Linear::new(5, 3, &mut rng);
+        assert_eq!(layer.param_count(), 5 * 3 + 3);
+    }
+}

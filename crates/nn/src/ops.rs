@@ -1,0 +1,205 @@
+//! Activation, loss and pooling primitives.
+
+use crate::matrix::Matrix;
+
+/// Numerically stable sigmoid.
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Binary cross-entropy on a logit. Returns `(loss, dlogit)` — combining the
+/// sigmoid with the loss keeps the gradient simply `σ(x) − target`.
+pub fn bce_with_logit(logit: f64, target: f64) -> (f64, f64) {
+    let p = sigmoid(logit);
+    // Stable log-loss: max(x,0) − x·t + ln(1 + e^{−|x|}).
+    let loss = logit.max(0.0) - logit * target + (1.0 + (-logit.abs()).exp()).ln();
+    (loss, p - target)
+}
+
+/// In-place ReLU; returns a mask matrix for the backward pass.
+pub fn relu_forward(x: &mut Matrix) -> Matrix {
+    let mut mask = Matrix::zeros(x.rows(), x.cols());
+    for (i, v) in x.data_mut().iter_mut().enumerate() {
+        if *v > 0.0 {
+            mask.data_mut()[i] = 1.0;
+        } else {
+            *v = 0.0;
+        }
+    }
+    mask
+}
+
+/// Backward pass of ReLU using the forward mask.
+pub fn relu_backward(dy: &mut Matrix, mask: &Matrix) {
+    for (g, m) in dy.data_mut().iter_mut().zip(mask.data()) {
+        *g *= m;
+    }
+}
+
+/// Row-wise softmax in place.
+pub fn softmax_rows(x: &mut Matrix) {
+    for r in 0..x.rows() {
+        let row = x.row_mut(r);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        if sum > 0.0 {
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+    }
+}
+
+/// Backward through a row-wise softmax: given `a = softmax(z)` and `da`,
+/// computes `dz` in place (standard Jacobian-vector product).
+pub fn softmax_rows_backward(a: &Matrix, da: &Matrix) -> Matrix {
+    let mut dz = Matrix::zeros(a.rows(), a.cols());
+    for r in 0..a.rows() {
+        let arow = a.row(r);
+        let darow = da.row(r);
+        let dot: f64 = arow.iter().zip(darow).map(|(x, y)| x * y).sum();
+        let dzrow = dz.row_mut(r);
+        for ((dzv, &av), &dav) in dzrow.iter_mut().zip(arow).zip(darow) {
+            *dzv = av * (dav - dot);
+        }
+    }
+    dz
+}
+
+/// Mean-pools the rows of a matrix into a single row vector.
+pub fn mean_pool_rows(x: &Matrix) -> Vec<f64> {
+    let mut out = vec![0.0; x.cols()];
+    if x.rows() == 0 {
+        return out;
+    }
+    for r in 0..x.rows() {
+        for (o, v) in out.iter_mut().zip(x.row(r)) {
+            *o += v;
+        }
+    }
+    let inv = 1.0 / x.rows() as f64;
+    for o in &mut out {
+        *o *= inv;
+    }
+    out
+}
+
+/// Backward of [`mean_pool_rows`]: spreads `dpool` evenly over `n_rows`.
+pub fn mean_pool_rows_backward(dpool: &[f64], n_rows: usize) -> Matrix {
+    let mut dx = Matrix::zeros(n_rows, dpool.len());
+    if n_rows == 0 {
+        return dx;
+    }
+    let inv = 1.0 / n_rows as f64;
+    for r in 0..n_rows {
+        for (d, &g) in dx.row_mut(r).iter_mut().zip(dpool) {
+            *d = g * inv;
+        }
+    }
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_range_and_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        assert!((sigmoid(2.0) + sigmoid(-2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_matches_definition() {
+        let (loss, grad) = bce_with_logit(0.0, 1.0);
+        assert!((loss - (2.0_f64).ln()).abs() < 1e-12);
+        assert!((grad - (0.5 - 1.0)).abs() < 1e-12);
+        // Large logits stay finite.
+        let (loss, _) = bce_with_logit(500.0, 0.0);
+        assert!(loss.is_finite() && loss > 100.0);
+    }
+
+    #[test]
+    fn bce_gradient_check() {
+        let eps = 1e-6;
+        for &(x, t) in &[(0.3, 1.0), (-1.2, 0.0), (2.5, 1.0)] {
+            let (_, grad) = bce_with_logit(x, t);
+            let (lp, _) = bce_with_logit(x + eps, t);
+            let (lm, _) = bce_with_logit(x - eps, t);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - grad).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn relu_roundtrip() {
+        let mut x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
+        let mask = relu_forward(&mut x);
+        assert_eq!(x.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let mut dy = Matrix::from_vec(1, 4, vec![1.0, 1.0, 1.0, 1.0]);
+        relu_backward(&mut dy, &mask);
+        assert_eq!(dy.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut x = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        softmax_rows(&mut x);
+        for r in 0..2 {
+            let sum: f64 = x.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert!(x.row(r).iter().all(|&v| v > 0.0));
+        }
+        // Monotone in the logits.
+        assert!(x.get(0, 2) > x.get(0, 1));
+    }
+
+    #[test]
+    fn softmax_backward_gradient_check() {
+        let z = Matrix::from_vec(1, 3, vec![0.2, -0.5, 1.1]);
+        let da = Matrix::from_vec(1, 3, vec![0.3, 0.9, -0.4]);
+        let mut a = z.clone();
+        softmax_rows(&mut a);
+        let dz = softmax_rows_backward(&a, &da);
+        let eps = 1e-6;
+        for c in 0..3 {
+            let mut zp = z.clone();
+            zp.set(0, c, z.get(0, c) + eps);
+            softmax_rows(&mut zp);
+            let mut zm = z.clone();
+            zm.set(0, c, z.get(0, c) - eps);
+            softmax_rows(&mut zm);
+            let mut numeric = 0.0;
+            for k in 0..3 {
+                numeric += da.get(0, k) * (zp.get(0, k) - zm.get(0, k)) / (2.0 * eps);
+            }
+            assert!((numeric - dz.get(0, c)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mean_pool_roundtrip() {
+        let x = Matrix::from_vec(2, 2, vec![1.0, 3.0, 3.0, 5.0]);
+        let pooled = mean_pool_rows(&x);
+        assert_eq!(pooled, vec![2.0, 4.0]);
+        let dx = mean_pool_rows_backward(&[1.0, 2.0], 2);
+        assert_eq!(dx.data(), &[0.5, 1.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn mean_pool_empty() {
+        let x = Matrix::zeros(0, 3);
+        assert_eq!(mean_pool_rows(&x), vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,147 @@
+//! Columns: named sequences of cells with inferred types.
+
+use crate::format::{FormatId, FORMAT_NONE};
+use crate::value::{CellValue, DataType};
+
+/// A column of cells, optionally carrying per-cell format identifiers.
+///
+/// This is the unit every learner in the workspace consumes: the paper's
+/// problem definition (§2) is stated over a single column `C = [cᵢ]`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Column {
+    /// Header / column name.
+    pub name: String,
+    /// Cell values, top to bottom.
+    pub cells: Vec<CellValue>,
+    /// Format identifier per cell; `FORMAT_NONE` when unformatted.
+    pub formats: Vec<FormatId>,
+}
+
+impl Column {
+    /// Builds an unformatted column.
+    pub fn new(name: impl Into<String>, cells: Vec<CellValue>) -> Column {
+        let formats = vec![FORMAT_NONE; cells.len()];
+        Column {
+            name: name.into(),
+            cells,
+            formats,
+        }
+    }
+
+    /// Builds a column by parsing raw strings.
+    pub fn parse(name: impl Into<String>, raw: &[&str]) -> Column {
+        Column::new(name.into(), raw.iter().map(|s| CellValue::parse(s)).collect())
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Number of non-empty cells.
+    pub fn non_empty(&self) -> usize {
+        self.cells.iter().filter(|c| !c.is_empty()).count()
+    }
+
+    /// Infers the column's type by majority vote over non-empty cells,
+    /// breaking ties in favour of text (the safest fallback — text predicates
+    /// never raise type errors). Returns `None` for all-empty columns.
+    pub fn inferred_type(&self) -> Option<DataType> {
+        let mut counts = [0usize; 3]; // text, number, date
+        for cell in &self.cells {
+            match cell.data_type() {
+                Some(DataType::Text) => counts[0] += 1,
+                Some(DataType::Number) => counts[1] += 1,
+                Some(DataType::Date) => counts[2] += 1,
+                None => {}
+            }
+        }
+        if counts.iter().all(|&c| c == 0) {
+            return None;
+        }
+        // Argmax with text-first tie-break (max_by_key would keep the last).
+        let order = [
+            (counts[0], DataType::Text),
+            (counts[1], DataType::Number),
+            (counts[2], DataType::Date),
+        ];
+        let mut best = order[0];
+        for &cand in &order[1..] {
+            if cand.0 > best.0 {
+                best = cand;
+            }
+        }
+        Some(best.1)
+    }
+
+    /// Applies a format to the given cell indices.
+    pub fn apply_format(&mut self, indices: &[usize], format: FormatId) {
+        for &i in indices {
+            if let Some(slot) = self.formats.get_mut(i) {
+                *slot = format;
+            }
+        }
+    }
+
+    /// Indices of cells whose format is not `f⊥` (the paper's `C★`).
+    pub fn formatted_indices(&self) -> Vec<usize> {
+        self.formats
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Display strings for all cells.
+    pub fn display_strings(&self) -> Vec<String> {
+        self.cells.iter().map(CellValue::display_string).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::FormatId;
+
+    #[test]
+    fn type_inference_majority() {
+        let col = Column::parse("a", &["1", "2", "x", "3"]);
+        assert_eq!(col.inferred_type(), Some(DataType::Number));
+        let col = Column::parse("b", &["x", "y", "1"]);
+        assert_eq!(col.inferred_type(), Some(DataType::Text));
+        let col = Column::parse("c", &["2020-01-01", "2020-01-02"]);
+        assert_eq!(col.inferred_type(), Some(DataType::Date));
+    }
+
+    #[test]
+    fn type_inference_tie_prefers_text() {
+        let col = Column::parse("t", &["x", "1"]);
+        assert_eq!(col.inferred_type(), Some(DataType::Text));
+    }
+
+    #[test]
+    fn type_inference_empty() {
+        let col = Column::parse("e", &["", "", ""]);
+        assert_eq!(col.inferred_type(), None);
+        assert_eq!(col.non_empty(), 0);
+        assert_eq!(col.len(), 3);
+    }
+
+    #[test]
+    fn formatting_roundtrip() {
+        let mut col = Column::parse("f", &["a", "b", "c", "d"]);
+        col.apply_format(&[1, 3], FormatId(1));
+        assert_eq!(col.formatted_indices(), vec![1, 3]);
+        col.apply_format(&[1], FORMAT_NONE);
+        assert_eq!(col.formatted_indices(), vec![3]);
+        // Out-of-range indices are ignored.
+        col.apply_format(&[99], FormatId(2));
+        assert_eq!(col.formatted_indices(), vec![3]);
+    }
+}

@@ -1,0 +1,240 @@
+//! A small RFC-4180-style CSV reader.
+//!
+//! The paper's corpus is `.xlsx` files; this repository ingests CSV/TSV
+//! instead (DESIGN.md, substitution 2). Quoted fields, embedded quotes
+//! (doubled), embedded separators and newlines inside quotes are supported —
+//! enough to ingest real exported spreadsheets.
+
+use crate::column::Column;
+use crate::table::Table;
+use crate::value::CellValue;
+use std::fmt;
+
+/// Errors produced while parsing CSV input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// A quoted field was never closed.
+    UnterminatedQuote {
+        /// 1-based line where the field started.
+        line: usize,
+    },
+    /// A row had a different number of fields than the header.
+    RaggedRow {
+        /// 1-based row index (excluding the header).
+        row: usize,
+        /// Number of fields found.
+        found: usize,
+        /// Number of fields expected from the header.
+        expected: usize,
+    },
+    /// Input had no rows at all.
+    Empty,
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quoted field starting on line {line}")
+            }
+            CsvError::RaggedRow {
+                row,
+                found,
+                expected,
+            } => write!(
+                f,
+                "row {row} has {found} fields, expected {expected} from header"
+            ),
+            CsvError::Empty => write!(f, "input contains no rows"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Splits CSV text into records of raw string fields.
+pub fn parse_records(input: &str, separator: char) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut quote_start_line = 1;
+    let mut line = 1;
+    let mut any_char = false;
+
+    while let Some(c) = chars.next() {
+        any_char = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' if field.is_empty() => {
+                    in_quotes = true;
+                    quote_start_line = line;
+                }
+                '\r' => {
+                    // Swallow CR in CRLF; keep stray CRs out of fields.
+                    if chars.peek() == Some(&'\n') {
+                        continue;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                c if c == separator => {
+                    record.push(std::mem::take(&mut field));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote {
+            line: quote_start_line,
+        });
+    }
+    if !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    if !any_char || records.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(records)
+}
+
+/// Parses CSV text (first row = header) into a typed [`Table`].
+pub fn parse_table(input: &str, separator: char) -> Result<Table, CsvError> {
+    let records = parse_records(input, separator)?;
+    let header = &records[0];
+    let width = header.len();
+    let mut columns: Vec<Column> = header
+        .iter()
+        .map(|name| Column::new(name.clone(), Vec::with_capacity(records.len() - 1)))
+        .collect();
+    for (i, record) in records[1..].iter().enumerate() {
+        if record.len() != width {
+            return Err(CsvError::RaggedRow {
+                row: i + 1,
+                found: record.len(),
+                expected: width,
+            });
+        }
+        for (col, raw) in columns.iter_mut().zip(record) {
+            col.cells.push(CellValue::parse(raw));
+            col.formats.push(crate::format::FORMAT_NONE);
+        }
+    }
+    Ok(Table::new(columns))
+}
+
+/// Convenience: comma-separated [`parse_table`].
+pub fn parse_csv(input: &str) -> Result<Table, CsvError> {
+    parse_table(input, ',')
+}
+
+/// Convenience: tab-separated [`parse_table`].
+pub fn parse_tsv(input: &str) -> Result<Table, CsvError> {
+    parse_table(input, '\t')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::DataType;
+
+    #[test]
+    fn simple_table() {
+        let t = parse_csv("id,amount\nRW-1,10\nRW-2,20\n").unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.column("id").unwrap().inferred_type(), Some(DataType::Text));
+        assert_eq!(
+            t.column("amount").unwrap().inferred_type(),
+            Some(DataType::Number)
+        );
+    }
+
+    #[test]
+    fn quoted_fields() {
+        let t = parse_csv("name,note\n\"Smith, John\",\"said \"\"hi\"\"\"\n").unwrap();
+        assert_eq!(
+            t.column("name").unwrap().cells[0].as_text(),
+            Some("Smith, John")
+        );
+        assert_eq!(
+            t.column("note").unwrap().cells[0].as_text(),
+            Some("said \"hi\"")
+        );
+    }
+
+    #[test]
+    fn newline_inside_quotes() {
+        let t = parse_csv("a\n\"line1\nline2\"\n").unwrap();
+        assert_eq!(t.rows(), 1);
+        assert_eq!(
+            t.columns[0].cells[0].as_text(),
+            Some("line1\nline2")
+        );
+    }
+
+    #[test]
+    fn crlf_line_endings() {
+        let t = parse_csv("a,b\r\n1,2\r\n3,4\r\n").unwrap();
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.columns[0].cells[1].as_number(), Some(3.0));
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let t = parse_csv("a\n1").unwrap();
+        assert_eq!(t.rows(), 1);
+    }
+
+    #[test]
+    fn ragged_row_error() {
+        let err = parse_csv("a,b\n1\n").unwrap_err();
+        assert!(matches!(err, CsvError::RaggedRow { row: 1, .. }));
+    }
+
+    #[test]
+    fn unterminated_quote_error() {
+        let err = parse_csv("a\n\"oops\n").unwrap_err();
+        assert!(matches!(err, CsvError::UnterminatedQuote { .. }));
+    }
+
+    #[test]
+    fn empty_input_error() {
+        assert_eq!(parse_csv("").unwrap_err(), CsvError::Empty);
+    }
+
+    #[test]
+    fn tsv() {
+        let t = parse_tsv("a\tb\nx\t1\n").unwrap();
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.column("b").unwrap().cells[0].as_number(), Some(1.0));
+    }
+
+    #[test]
+    fn empty_fields_become_empty_cells() {
+        let t = parse_csv("a,b\n,2\n").unwrap();
+        assert!(t.columns[0].cells[0].is_empty());
+    }
+}

@@ -1,0 +1,303 @@
+//! A calendar date without a time-zone, implemented on the proleptic
+//! Gregorian calendar.
+//!
+//! Dates are stored as the number of days since the civil epoch 1970-01-01,
+//! using Howard Hinnant's `days_from_civil` algorithm for conversion. This
+//! gives O(1) day/month/year/weekday extraction — the four date *parts* that
+//! parameterise the paper's datetime predicates (Table 1).
+
+use std::fmt;
+
+/// Day of the week. `Monday = 1 … Sunday = 7` (ISO-8601 numbering), which is
+/// what the `weekday` date-part predicate compares against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Weekday {
+    Monday = 1,
+    Tuesday = 2,
+    Wednesday = 3,
+    Thursday = 4,
+    Friday = 5,
+    Saturday = 6,
+    Sunday = 7,
+}
+
+impl Weekday {
+    /// ISO-8601 number of the weekday (Monday = 1).
+    pub fn number(self) -> i64 {
+        self as i64
+    }
+}
+
+/// A calendar date, stored as days since 1970-01-01.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Date {
+    days: i32,
+}
+
+impl Date {
+    /// Builds a date from year/month/day. Returns `None` for out-of-range
+    /// components (month outside 1..=12 or day outside the month).
+    pub fn from_ymd(year: i32, month: u32, day: u32) -> Option<Date> {
+        if !(1..=12).contains(&month) || day == 0 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Date {
+            days: days_from_civil(year, month, day),
+        })
+    }
+
+    /// Builds a date directly from a days-since-epoch serial number.
+    pub fn from_days(days: i32) -> Date {
+        Date { days }
+    }
+
+    /// Days since 1970-01-01 (may be negative).
+    pub fn days(self) -> i32 {
+        self.days
+    }
+
+    /// Calendar year.
+    pub fn year(self) -> i32 {
+        civil_from_days(self.days).0
+    }
+
+    /// Calendar month, 1-based.
+    pub fn month(self) -> u32 {
+        civil_from_days(self.days).1
+    }
+
+    /// Day of month, 1-based.
+    pub fn day(self) -> u32 {
+        civil_from_days(self.days).2
+    }
+
+    /// Day of the week.
+    pub fn weekday(self) -> Weekday {
+        // 1970-01-01 was a Thursday.
+        let wd = (self.days.rem_euclid(7) + 3) % 7; // 0 = Monday
+        match wd {
+            0 => Weekday::Monday,
+            1 => Weekday::Tuesday,
+            2 => Weekday::Wednesday,
+            3 => Weekday::Thursday,
+            4 => Weekday::Friday,
+            5 => Weekday::Saturday,
+            _ => Weekday::Sunday,
+        }
+    }
+
+    /// Parses a date in one of the formats the ingestion layer accepts:
+    /// `YYYY-MM-DD`, `YYYY/MM/DD`, `MM/DD/YYYY` or `DD-MM-YYYY`.
+    ///
+    /// Ambiguous `a/b/YYYY` strings are resolved US-style (month first) when
+    /// possible, falling back to day-first when month-first is invalid, which
+    /// mirrors the lenient parsing spreadsheet applications perform.
+    pub fn parse(s: &str) -> Option<Date> {
+        let s = s.trim();
+        let (parts, seps): (Vec<&str>, Vec<char>) = split_date(s)?;
+        if parts.len() != 3 {
+            return None;
+        }
+        let nums: Option<Vec<i64>> = parts.iter().map(|p| p.parse::<i64>().ok()).collect();
+        let nums = nums?;
+        let [a, b, c] = [nums[0], nums[1], nums[2]];
+        // Four-digit year leading: ISO order.
+        if parts[0].len() == 4 {
+            return Date::from_ymd(a as i32, b as u32, c as u32);
+        }
+        // Four-digit year trailing.
+        if parts[2].len() == 4 {
+            let year = c as i32;
+            return if seps[0] == '-' {
+                // DD-MM-YYYY
+                Date::from_ymd(year, b as u32, a as u32)
+            } else {
+                // MM/DD/YYYY preferred, fall back to DD/MM/YYYY.
+                Date::from_ymd(year, a as u32, b as u32)
+                    .or_else(|| Date::from_ymd(year, b as u32, a as u32))
+            };
+        }
+        None
+    }
+
+    /// Adds (or subtracts) a number of days.
+    pub fn add_days(self, delta: i32) -> Date {
+        Date {
+            days: self.days + delta,
+        }
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:04}-{:02}-{:02}",
+            self.year(),
+            self.month(),
+            self.day()
+        )
+    }
+}
+
+impl fmt::Debug for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Date({self})")
+    }
+}
+
+fn split_date(s: &str) -> Option<(Vec<&str>, Vec<char>)> {
+    let mut parts = Vec::with_capacity(3);
+    let mut seps = Vec::with_capacity(2);
+    let mut start = 0;
+    for (i, ch) in s.char_indices() {
+        if ch == '-' || ch == '/' {
+            if i == start {
+                return None; // empty component or leading separator
+            }
+            parts.push(&s[start..i]);
+            seps.push(ch);
+            start = i + ch.len_utf8();
+        } else if !ch.is_ascii_digit() {
+            return None;
+        }
+    }
+    if start >= s.len() {
+        return None;
+    }
+    parts.push(&s[start..]);
+    if seps.len() == 2 && seps[0] != seps[1] {
+        return None;
+    }
+    Some((parts, seps))
+}
+
+fn is_leap(year: i32) -> bool {
+    year % 4 == 0 && (year % 100 != 0 || year % 400 == 0)
+}
+
+fn days_in_month(year: i32, month: u32) -> u32 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 if is_leap(year) => 29,
+        2 => 28,
+        _ => 0,
+    }
+}
+
+/// Howard Hinnant's `days_from_civil`: days since 1970-01-01.
+fn days_from_civil(y: i32, m: u32, d: u32) -> i32 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u32; // [0, 399]
+    let mp = (m + 9) % 12; // [0, 11], March = 0
+    let doy = (153 * mp + 2) / 5 + d - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i32 - 719468
+}
+
+/// Inverse of `days_from_civil`.
+fn civil_from_days(z: i32) -> (i32, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u32; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i32 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = doy - (153 * mp + 2) / 5 + 1; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 }; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_roundtrip() {
+        let d = Date::from_ymd(1970, 1, 1).unwrap();
+        assert_eq!(d.days(), 0);
+        assert_eq!((d.year(), d.month(), d.day()), (1970, 1, 1));
+        assert_eq!(d.weekday(), Weekday::Thursday);
+    }
+
+    #[test]
+    fn known_dates() {
+        let d = Date::from_ymd(2000, 3, 1).unwrap();
+        assert_eq!((d.year(), d.month(), d.day()), (2000, 3, 1));
+        let d = Date::from_ymd(2022, 12, 5).unwrap();
+        assert_eq!(d.weekday(), Weekday::Monday);
+        let d = Date::from_ymd(1999, 12, 31).unwrap();
+        assert_eq!(d.weekday(), Weekday::Friday);
+    }
+
+    #[test]
+    fn leap_years() {
+        assert!(Date::from_ymd(2000, 2, 29).is_some()); // div by 400
+        assert!(Date::from_ymd(1900, 2, 29).is_none()); // div by 100 only
+        assert!(Date::from_ymd(2024, 2, 29).is_some()); // div by 4
+        assert!(Date::from_ymd(2023, 2, 29).is_none());
+    }
+
+    #[test]
+    fn invalid_components() {
+        assert!(Date::from_ymd(2020, 0, 1).is_none());
+        assert!(Date::from_ymd(2020, 13, 1).is_none());
+        assert!(Date::from_ymd(2020, 4, 31).is_none());
+        assert!(Date::from_ymd(2020, 1, 0).is_none());
+    }
+
+    #[test]
+    fn roundtrip_many_days() {
+        for days in (-200_000..200_000).step_by(991) {
+            let d = Date::from_days(days);
+            let back = Date::from_ymd(d.year(), d.month(), d.day()).unwrap();
+            assert_eq!(back.days(), days);
+        }
+    }
+
+    #[test]
+    fn parse_iso() {
+        let d = Date::parse("2022-05-17").unwrap();
+        assert_eq!((d.year(), d.month(), d.day()), (2022, 5, 17));
+        let d = Date::parse("2022/05/17").unwrap();
+        assert_eq!((d.year(), d.month(), d.day()), (2022, 5, 17));
+    }
+
+    #[test]
+    fn parse_us_and_eu() {
+        let d = Date::parse("05/17/2022").unwrap(); // falls back to day-first
+        assert_eq!((d.month(), d.day()), (5, 17));
+        let d = Date::parse("17-05-2022").unwrap(); // day-first with dashes
+        assert_eq!((d.month(), d.day()), (5, 17));
+        let d = Date::parse("03/04/2022").unwrap(); // ambiguous: month-first wins
+        assert_eq!((d.month(), d.day()), (3, 4));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Date::parse("hello").is_none());
+        assert!(Date::parse("2022-13-01").is_none());
+        assert!(Date::parse("2022-05").is_none());
+        assert!(Date::parse("2022-05-17-01").is_none());
+        assert!(Date::parse("2022-05/17").is_none());
+        assert!(Date::parse("").is_none());
+        assert!(Date::parse("--").is_none());
+    }
+
+    #[test]
+    fn ordering_follows_days() {
+        let a = Date::from_ymd(2020, 1, 1).unwrap();
+        let b = Date::from_ymd(2020, 6, 1).unwrap();
+        assert!(a < b);
+        assert_eq!(a.add_days(152), b);
+    }
+
+    #[test]
+    fn display_iso() {
+        let d = Date::from_ymd(2022, 5, 7).unwrap();
+        assert_eq!(d.to_string(), "2022-05-07");
+    }
+}

@@ -1,0 +1,151 @@
+//! Formatting identifiers.
+//!
+//! §2 of the paper: each cell carries a *format identifier* `f ∈ ℕ₀`, where a
+//! unique identifier corresponds to a unique combination of formatting
+//! choices (cell fill colour, font colour, font size, border), and the
+//! reserved identifier `f⊥ = 0` means "no specific formatting".
+
+use std::fmt;
+
+/// A format identifier. `FormatId(0)` is `f⊥` (unformatted).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct FormatId(pub u32);
+
+/// The reserved "no formatting" identifier `f⊥`.
+pub const FORMAT_NONE: FormatId = FormatId(0);
+
+impl FormatId {
+    /// True when this is `f⊥`.
+    pub fn is_none(self) -> bool {
+        self == FORMAT_NONE
+    }
+}
+
+impl fmt::Display for FormatId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_none() {
+            write!(f, "f⊥")
+        } else {
+            write!(f, "f{}", self.0)
+        }
+    }
+}
+
+/// The concrete formatting choices a format identifier names (paper §2,
+/// Example 1: `f1 = {cell color: #beaed4, font color: default, font size: 12,
+/// border: default}`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Format {
+    /// Cell fill colour as `#rrggbb`, or `None` for the default.
+    pub fill: Option<String>,
+    /// Font colour as `#rrggbb`, or `None` for the default.
+    pub font_color: Option<String>,
+    /// Font size in points, or `None` for the default.
+    pub font_size: Option<u8>,
+    /// Whether a non-default border is applied.
+    pub border: bool,
+}
+
+impl Format {
+    /// A fill-only format, the most common kind in the corpus.
+    pub fn fill(color: &str) -> Format {
+        Format {
+            fill: Some(color.to_string()),
+            font_color: None,
+            font_size: None,
+            border: false,
+        }
+    }
+
+    /// The default (empty) format.
+    pub fn default_format() -> Format {
+        Format {
+            fill: None,
+            font_color: None,
+            font_size: None,
+            border: false,
+        }
+    }
+
+    /// True when no formatting choice deviates from the default.
+    pub fn is_default(&self) -> bool {
+        self.fill.is_none() && self.font_color.is_none() && self.font_size.is_none() && !self.border
+    }
+}
+
+/// Interns [`Format`]s, handing out stable [`FormatId`]s. Identical formats
+/// map to the same identifier, matching the paper's definition of a format
+/// identifier as a unique combination of choices.
+#[derive(Debug, Default)]
+pub struct FormatTable {
+    formats: Vec<Format>,
+}
+
+impl FormatTable {
+    /// Creates an empty table. Id 0 is pre-seeded with the default format.
+    pub fn new() -> FormatTable {
+        FormatTable {
+            formats: vec![Format::default_format()],
+        }
+    }
+
+    /// Interns a format, returning its identifier.
+    pub fn intern(&mut self, format: Format) -> FormatId {
+        if format.is_default() {
+            return FORMAT_NONE;
+        }
+        if let Some(pos) = self.formats.iter().position(|f| *f == format) {
+            return FormatId(pos as u32);
+        }
+        self.formats.push(format);
+        FormatId((self.formats.len() - 1) as u32)
+    }
+
+    /// Looks a format up by id.
+    pub fn get(&self, id: FormatId) -> Option<&Format> {
+        self.formats.get(id.0 as usize)
+    }
+
+    /// Number of distinct formats (including the default).
+    pub fn len(&self) -> usize {
+        self.formats.len()
+    }
+
+    /// Always false: id 0 is pre-seeded.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_dedupes() {
+        let mut t = FormatTable::new();
+        let a = t.intern(Format::fill("#ff0000"));
+        let b = t.intern(Format::fill("#00ff00"));
+        let a2 = t.intern(Format::fill("#ff0000"));
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_ne!(a, FORMAT_NONE);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn default_maps_to_none() {
+        let mut t = FormatTable::new();
+        assert_eq!(t.intern(Format::default_format()), FORMAT_NONE);
+        assert!(FORMAT_NONE.is_none());
+        assert!(t.get(FORMAT_NONE).unwrap().is_default());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(FORMAT_NONE.to_string(), "f⊥");
+        assert_eq!(FormatId(3).to_string(), "f3");
+    }
+}

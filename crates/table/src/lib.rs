@@ -1,0 +1,34 @@
+//! Table substrate for the Cornet reproduction.
+//!
+//! This crate provides everything the learning pipeline needs to represent
+//! spreadsheet data without depending on a spreadsheet application:
+//!
+//! * [`CellValue`] — a dynamically typed cell (text, number, date or empty),
+//!   with the same three user-visible types the paper considers (§2).
+//! * [`Date`] — a proleptic-Gregorian calendar date with day/month/year/weekday
+//!   accessors, implemented from scratch (no chrono dependency).
+//! * [`Column`] and [`Table`] — typed columns and collections of columns with
+//!   majority-vote type inference.
+//! * [`csv`] — a small RFC-4180-style reader used to ingest tables. The paper
+//!   ingests `.xlsx` via a closed corpus; CSV exercises the identical
+//!   value-parsing and typing code path (see `DESIGN.md`, substitution 2).
+//! * [`BitVec`] — a packed bit vector used throughout the workspace for
+//!   predicate signatures, formatting masks and decision-tree features.
+//! * [`Format`] / [`FormatId`] — formatting identifiers as defined in §2 of
+//!   the paper (a format id names a unique combination of fill colour, font
+//!   colour, font size and border).
+
+pub mod bits;
+pub mod column;
+pub mod csv;
+pub mod date;
+pub mod format;
+pub mod table;
+pub mod value;
+
+pub use bits::BitVec;
+pub use column::Column;
+pub use date::{Date, Weekday};
+pub use format::{Format, FormatId, FORMAT_NONE};
+pub use table::Table;
+pub use value::{CellValue, DataType};

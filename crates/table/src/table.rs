@@ -1,0 +1,77 @@
+//! Tables: ordered collections of columns.
+
+use crate::column::Column;
+
+/// A table is an ordered list of equally long columns.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Table {
+    /// Columns, left to right.
+    pub columns: Vec<Column>,
+}
+
+impl Table {
+    /// Builds a table from columns. Panics if column lengths disagree, since
+    /// that indicates a construction bug rather than bad input data.
+    pub fn new(columns: Vec<Column>) -> Table {
+        if let Some(first) = columns.first() {
+            assert!(
+                columns.iter().all(|c| c.len() == first.len()),
+                "all columns in a table must have the same length"
+            );
+        }
+        Table { columns }
+    }
+
+    /// Number of rows (0 for an empty table).
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, Column::len)
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Looks a column up by header name (first match).
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// Mutable column lookup by header name.
+    pub fn column_mut(&mut self, name: &str) -> Option<&mut Column> {
+        self.columns.iter_mut().find(|c| c.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_by_name() {
+        let t = Table::new(vec![
+            Column::parse("id", &["1", "2"]),
+            Column::parse("status", &["ok", "bad"]),
+        ]);
+        assert_eq!(t.rows(), 2);
+        assert_eq!(t.cols(), 2);
+        assert!(t.column("status").is_some());
+        assert!(t.column("missing").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn unequal_lengths_panic() {
+        Table::new(vec![
+            Column::parse("a", &["1"]),
+            Column::parse("b", &["1", "2"]),
+        ]);
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = Table::default();
+        assert_eq!(t.rows(), 0);
+        assert_eq!(t.cols(), 0);
+    }
+}

@@ -1,0 +1,285 @@
+//! Cell values and data types.
+//!
+//! §2 of the paper: a cell is a tuple `(value, type)` with
+//! `type ∈ {string, number, date}` — the annotated types available in most
+//! spreadsheet software. We additionally model empty cells, which the corpus
+//! filters interact with (columns need ≥ 5 non-empty cells).
+
+use crate::date::Date;
+use std::fmt;
+
+/// The annotated type of a cell (paper §2: `T = {string, number, date}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum DataType {
+    /// Free-form text.
+    Text,
+    /// Floating-point numbers (integers are numbers whose fraction is zero).
+    Number,
+    /// Calendar dates.
+    Date,
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Text => write!(f, "text"),
+            DataType::Number => write!(f, "numeric"),
+            DataType::Date => write!(f, "date"),
+        }
+    }
+}
+
+/// A dynamically typed spreadsheet cell value.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub enum CellValue {
+    /// An empty cell.
+    Empty,
+    /// A text cell.
+    Text(String),
+    /// A numeric cell.
+    Number(f64),
+    /// A date cell.
+    Date(Date),
+}
+
+impl CellValue {
+    /// The annotated type, or `None` for empty cells.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            CellValue::Empty => None,
+            CellValue::Text(_) => Some(DataType::Text),
+            CellValue::Number(_) => Some(DataType::Number),
+            CellValue::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// True for [`CellValue::Empty`].
+    pub fn is_empty(&self) -> bool {
+        matches!(self, CellValue::Empty)
+    }
+
+    /// Numeric payload if this is a number cell.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            CellValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Text payload if this is a text cell.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            CellValue::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Date payload if this is a date cell.
+    pub fn as_date(&self) -> Option<Date> {
+        match self {
+            CellValue::Date(d) => Some(*d),
+            _ => None,
+        }
+    }
+
+    /// Parses a raw string the way a spreadsheet would on entry: empty →
+    /// `Empty`, parseable date → `Date`, parseable number → `Number`,
+    /// anything else → `Text`.
+    ///
+    /// Dates are tried before numbers so that `2022-05-17` becomes a date and
+    /// not the subtraction nobody wrote.
+    pub fn parse(raw: &str) -> CellValue {
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return CellValue::Empty;
+        }
+        if let Some(d) = Date::parse(trimmed) {
+            return CellValue::Date(d);
+        }
+        if let Some(n) = parse_number(trimmed) {
+            return CellValue::Number(n);
+        }
+        CellValue::Text(trimmed.to_string())
+    }
+
+    /// Renders the value the way a spreadsheet displays it: numbers without a
+    /// trailing `.0` when integral, dates ISO-formatted, empty as "".
+    pub fn display_string(&self) -> String {
+        match self {
+            CellValue::Empty => String::new(),
+            CellValue::Text(s) => s.clone(),
+            CellValue::Number(n) => format_number(*n),
+            CellValue::Date(d) => d.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for CellValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.display_string())
+    }
+}
+
+impl From<f64> for CellValue {
+    fn from(n: f64) -> Self {
+        CellValue::Number(n)
+    }
+}
+
+impl From<&str> for CellValue {
+    fn from(s: &str) -> Self {
+        CellValue::Text(s.to_string())
+    }
+}
+
+impl From<String> for CellValue {
+    fn from(s: String) -> Self {
+        CellValue::Text(s)
+    }
+}
+
+impl From<Date> for CellValue {
+    fn from(d: Date) -> Self {
+        CellValue::Date(d)
+    }
+}
+
+/// Parses numbers the way spreadsheets accept them: optional sign, optional
+/// thousands separators, decimal point, scientific notation, `%` suffix and
+/// a leading currency symbol.
+fn parse_number(s: &str) -> Option<f64> {
+    let mut s = s.trim();
+    let mut scale = 1.0;
+    if let Some(rest) = s.strip_suffix('%') {
+        s = rest.trim_end();
+        scale = 0.01;
+    }
+    let mut s = s;
+    for symbol in ["$", "€", "£"] {
+        if let Some(rest) = s.strip_prefix(symbol) {
+            s = rest.trim_start();
+            break;
+        }
+        // Also accept a sign before the currency symbol, e.g. "-$5".
+        for sign in ["-", "+"] {
+            if let Some(rest) = s.strip_prefix(sign) {
+                if let Some(rest) = rest.trim_start().strip_prefix(symbol) {
+                    return parse_number_plain(rest.trim_start())
+                        .map(|n| n * scale * if sign == "-" { -1.0 } else { 1.0 });
+                }
+            }
+        }
+    }
+    parse_number_plain(s).map(|n| n * scale)
+}
+
+fn parse_number_plain(s: &str) -> Option<f64> {
+    if s.is_empty() {
+        return None;
+    }
+    // Strip thousands separators, but only when they look positional
+    // (e.g. "1,234,567.89"), to avoid treating "1,2" as 12.
+    let cleaned: String = if s.contains(',') {
+        let ok = s.split(',').enumerate().all(|(i, chunk)| {
+            if i == 0 {
+                !chunk.is_empty()
+            } else {
+                chunk.len() >= 3 && chunk.chars().take(3).all(|c| c.is_ascii_digit())
+            }
+        });
+        if !ok {
+            return None;
+        }
+        s.chars().filter(|&c| c != ',').collect()
+    } else {
+        s.to_string()
+    };
+    cleaned.parse::<f64>().ok().filter(|n| n.is_finite())
+}
+
+/// Displays an f64 like a spreadsheet: integral values without decimals,
+/// otherwise up to 6 significant decimals with trailing zeros removed.
+pub fn format_number(n: f64) -> String {
+    if n == n.trunc() && n.abs() < 1e15 {
+        format!("{}", n as i64)
+    } else {
+        let s = format!("{n:.6}");
+        let s = s.trim_end_matches('0').trim_end_matches('.');
+        s.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic_types() {
+        assert_eq!(CellValue::parse(""), CellValue::Empty);
+        assert_eq!(CellValue::parse("   "), CellValue::Empty);
+        assert_eq!(CellValue::parse("42"), CellValue::Number(42.0));
+        assert_eq!(CellValue::parse("-3.5"), CellValue::Number(-3.5));
+        assert_eq!(
+            CellValue::parse("hello"),
+            CellValue::Text("hello".to_string())
+        );
+        assert_eq!(
+            CellValue::parse("2022-05-17"),
+            CellValue::Date(Date::from_ymd(2022, 5, 17).unwrap())
+        );
+    }
+
+    #[test]
+    fn dates_win_over_numbers() {
+        // A lone integer is a number even though some spreadsheets would
+        // serial-date it.
+        assert_eq!(CellValue::parse("44000"), CellValue::Number(44000.0));
+        assert!(matches!(CellValue::parse("05/17/2022"), CellValue::Date(_)));
+    }
+
+    #[test]
+    fn parse_number_formats() {
+        assert_eq!(CellValue::parse("1,234.5"), CellValue::Number(1234.5));
+        assert_eq!(CellValue::parse("1,234,567"), CellValue::Number(1234567.0));
+        assert_eq!(CellValue::parse("50%"), CellValue::Number(0.5));
+        assert_eq!(CellValue::parse("$19.99"), CellValue::Number(19.99));
+        assert_eq!(CellValue::parse("-$5"), CellValue::Number(-5.0));
+        assert_eq!(CellValue::parse("1e3"), CellValue::Number(1000.0));
+    }
+
+    #[test]
+    fn bad_thousands_stay_text() {
+        assert!(matches!(CellValue::parse("1,2"), CellValue::Text(_)));
+        assert!(matches!(CellValue::parse(",5"), CellValue::Text(_)));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        assert_eq!(CellValue::Number(5.0).display_string(), "5");
+        assert_eq!(CellValue::Number(5.25).display_string(), "5.25");
+        assert_eq!(CellValue::Text("x".into()).display_string(), "x");
+        assert_eq!(CellValue::Empty.display_string(), "");
+        assert_eq!(
+            CellValue::Date(Date::from_ymd(2021, 1, 2).unwrap()).display_string(),
+            "2021-01-02"
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(CellValue::Number(1.5).as_number(), Some(1.5));
+        assert_eq!(CellValue::Text("a".into()).as_text(), Some("a"));
+        assert_eq!(CellValue::Number(1.5).as_text(), None);
+        assert_eq!(CellValue::Empty.data_type(), None);
+        assert_eq!(
+            CellValue::Text("a".into()).data_type(),
+            Some(DataType::Text)
+        );
+    }
+
+    #[test]
+    fn infinity_is_text() {
+        assert!(matches!(CellValue::parse("inf"), CellValue::Text(_)));
+        assert!(matches!(CellValue::parse("NaN"), CellValue::Text(_)));
+    }
+}

@@ -1,0 +1,47 @@
+//! Date scenario: highlight weekend shifts in a roster.
+//!
+//! Run with `cargo run --example deadline_alerts`.
+//!
+//! Date columns are the hardest type for rule learning (Figure 12 of the
+//! paper): day, month, year and weekday signals all compete. Here the
+//! manager formats the weekend shifts; Cornet needs to discover that the
+//! *weekday* part is what the examples share.
+
+use cornet_repro::core::prelude::*;
+use cornet_repro::table::CellValue;
+
+fn main() {
+    // Two weeks of shifts (2024-03-04 is a Monday).
+    let raw = [
+        "2024-03-04", "2024-03-05", "2024-03-06", "2024-03-07", "2024-03-08",
+        "2024-03-09", "2024-03-10", "2024-03-11", "2024-03-12", "2024-03-13",
+        "2024-03-14", "2024-03-15", "2024-03-16", "2024-03-17",
+    ];
+    let cells: Vec<CellValue> = raw.iter().map(|s| CellValue::parse(s)).collect();
+
+    // The manager highlights the first weekend (Sat 9th, Sun 10th) and the
+    // second Saturday.
+    let observed = vec![5, 6, 12];
+
+    let cornet = Cornet::with_default_ranker();
+    let outcome = cornet.learn(&cells, &observed).expect("rule learnable");
+    let best = outcome.best();
+
+    println!("Learned rule : {}", best.rule);
+    println!("Excel formula: ={}\n", best.rule.to_formula());
+
+    let mask = best.rule.execute(&cells);
+    for (i, cell) in cells.iter().enumerate() {
+        let date = cell.as_date().unwrap();
+        println!(
+            "  {} {:<9} {}",
+            cell.display_string(),
+            format!("{:?}", date.weekday()),
+            if mask.get(i) { "■ weekend" } else { "" }
+        );
+    }
+
+    // Both weekends fully formatted — including the Sunday the manager
+    // never clicked.
+    assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![5, 6, 12, 13]);
+}

@@ -1,0 +1,55 @@
+//! Text scenario: flag the failing rows of an issue tracker export, compare
+//! Cornet with the baselines, and inspect rule candidates.
+//!
+//! Run with `cargo run --example issue_tracker`.
+
+use cornet_repro::baselines::{
+    CopKmeans, PopperBaseline, PredicateDecisionTree, RawDecisionTree, TaskLearner,
+};
+use cornet_repro::core::prelude::*;
+use cornet_repro::table::CellValue;
+
+fn main() {
+    // status column of an exported issue tracker.
+    let raw = [
+        "BUG-1021 failing", "BUG-1022 passing", "BUG-1023 failing", "BUG-1024 blocked",
+        "BUG-1025 passing", "BUG-1026 failing", "BUG-1027 passing", "BUG-1028 blocked",
+        "BUG-1029 failing", "BUG-1030 passing",
+    ];
+    let cells: Vec<CellValue> = raw.iter().map(|s| CellValue::from(*s)).collect();
+
+    // The triager colors the first two failing rows.
+    let observed = vec![0, 2];
+
+    println!("Cornet candidates (best first):");
+    let cornet = Cornet::with_default_ranker();
+    let outcome = cornet.learn(&cells, &observed).expect("rule learnable");
+    for cand in outcome.candidates.iter().take(4) {
+        println!(
+            "  {:.3}  {}  → formats {} rows",
+            cand.score,
+            cand.rule,
+            cand.rule.execute(&cells).count_ones()
+        );
+    }
+    let best_mask = outcome.best().rule.execute(&cells);
+    assert_eq!(best_mask.iter_ones().collect::<Vec<_>>(), vec![0, 2, 5, 8]);
+
+    println!("\nBaselines on the same task:");
+    let baselines: Vec<Box<dyn TaskLearner>> = vec![
+        Box::new(RawDecisionTree),
+        Box::new(PredicateDecisionTree::plain()),
+        Box::new(PopperBaseline::with_predicates()),
+        Box::new(CopKmeans::default()),
+    ];
+    for learner in &baselines {
+        let pred = learner.predict(&cells, &observed);
+        let mask: String = pred.mask.iter().map(|b| if b { '#' } else { '.' }).collect();
+        let rule = pred
+            .rule
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| "(no rule)".into());
+        println!("  {:<40} {}  {}", learner.name(), mask, rule);
+    }
+    println!("\ngold pattern                             #.#..#..#.");
+}

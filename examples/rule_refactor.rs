@@ -1,0 +1,57 @@
+//! Rule refactoring (Q4 of the paper): take a convoluted user-written
+//! conditional-formatting formula, recover its formatting, and let Cornet
+//! propose a shorter equivalent rule.
+//!
+//! Run with `cargo run --example rule_refactor`.
+
+use cornet_repro::core::prelude::*;
+use cornet_repro::formula::{evaluate_bool, parse, token_length};
+use cornet_repro::table::CellValue;
+
+fn main() {
+    // A formula a user actually wrote (Table 7 style): prefix test via LEFT
+    // wrapped in a gratuitous IF.
+    let user_formula = parse("IF(LEFT(A1,2)=\"Dr\",TRUE,FALSE)").expect("parses");
+
+    let raw = [
+        "Dr Smith", "Mr Jones", "Dr Patel", "Ms Green", "Dr Huang", "Mr Brown",
+        "Dr Silva", "Ms Wood", "Mrs King", "Dr Novak",
+    ];
+    let cells: Vec<CellValue> = raw.iter().map(|s| CellValue::from(*s)).collect();
+
+    // Execute the user's formula to recover the formatting it produces.
+    let formatted: Vec<usize> = cells
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| evaluate_bool(&user_formula, c))
+        .map(|(i, _)| i)
+        .collect();
+    println!("User formula    : ={user_formula}");
+    println!("Token length    : {}", token_length(&user_formula));
+    println!("Formats rows    : {formatted:?}\n");
+
+    // Hand the formatting to Cornet as examples and learn a rule.
+    let cornet = Cornet::with_default_ranker();
+    let outcome = cornet.learn(&cells, &formatted).expect("rule learnable");
+    let best = outcome.best();
+
+    println!("Cornet rule     : {}", best.rule);
+    println!("Token length    : {}", best.rule.token_length());
+    println!("As Excel        : ={}\n", best.rule.to_formula());
+
+    // Execution equivalence on the whole column.
+    let mask = best.rule.execute(&cells);
+    for (i, cell) in cells.iter().enumerate() {
+        assert_eq!(mask.get(i), evaluate_bool(&user_formula, cell));
+    }
+    assert!(
+        best.rule.token_length() < token_length(&user_formula),
+        "the refactored rule should be shorter"
+    );
+    println!(
+        "Equivalent formatting with {} tokens instead of {} — \
+         approximately the 60% shortening the paper reports for custom formulas.",
+        best.rule.token_length(),
+        token_length(&user_formula)
+    );
+}

@@ -1,0 +1,23 @@
+//! Umbrella crate for the Cornet reproduction workspace.
+//!
+//! Re-exports the member crates under friendly names so examples and
+//! integration tests can use a single dependency:
+//!
+//! * [`core`] — the Cornet learner (predicates, clustering, enumeration,
+//!   ranking),
+//! * [`table`] — cell values, columns, CSV ingestion,
+//! * [`formula`] — the mini Excel formula language,
+//! * [`corpus`] — the synthetic benchmark generator,
+//! * [`baselines`] — every baseline of the paper's §4,
+//! * [`eval`] — the experiment harness (tables/figures of §5),
+//! * [`dtree`], [`nn`], [`ilp`] — the substrate crates.
+
+pub use cornet_baselines as baselines;
+pub use cornet_core as core;
+pub use cornet_corpus as corpus;
+pub use cornet_dtree as dtree;
+pub use cornet_eval as eval;
+pub use cornet_formula as formula;
+pub use cornet_ilp as ilp;
+pub use cornet_nn as nn;
+pub use cornet_table as table;

@@ -1,0 +1,108 @@
+//! Integration tests of the corpus generator against the learning stack:
+//! every generated artifact must be mutually consistent.
+
+use cornet_repro::core::metrics::execution_match_mask;
+use cornet_repro::corpus::{corpus_stats, generate_corpus, CorpusConfig};
+use cornet_repro::formula::{evaluate_bool, token_length};
+use cornet_repro::table::DataType;
+
+#[test]
+fn corpus_invariants_hold_at_scale() {
+    let corpus = generate_corpus(&CorpusConfig {
+        n_tasks: 120,
+        seed: 9,
+        ..CorpusConfig::default()
+    });
+    assert_eq!(corpus.tasks.len(), 120);
+    for task in &corpus.tasks {
+        // Formatting is the rule's execution.
+        assert!(execution_match_mask(
+            &task.rule.execute(&task.cells),
+            &task.formatted
+        ));
+        // Filters (§5.0.1).
+        let count = task.formatted.count_ones();
+        assert!(count >= 5 && count < task.cells.len());
+        // The user formula is execution-equivalent to the gold rule.
+        for cell in &task.cells {
+            assert_eq!(
+                evaluate_bool(&task.user_formula, cell),
+                task.rule.eval(cell)
+            );
+        }
+        // Tokens: the user formula is never shorter than… no guarantee —
+        // but it must be at least one token.
+        assert!(token_length(&task.user_formula) >= 1);
+        // The inferred type matches the task's declared type.
+        assert_eq!(
+            cornet_repro::core::predgen::infer_type(&task.cells),
+            Some(task.dtype)
+        );
+    }
+}
+
+#[test]
+fn table3_shape_holds() {
+    let corpus = generate_corpus(&CorpusConfig {
+        n_tasks: 300,
+        seed: 10,
+        ..CorpusConfig::default()
+    });
+    let stats = corpus_stats(&corpus.tasks);
+    let text = &stats.per_type[0];
+    let numeric = &stats.per_type[1];
+    let date = &stats.per_type[2];
+    // Table 3 orderings.
+    assert!(text.rules > numeric.rules);
+    assert!(numeric.rules > date.rules);
+    assert!(numeric.avg_cells > text.avg_cells);
+    assert!(text.avg_depth > numeric.avg_depth);
+    // Depth magnitudes within tolerance of the paper's averages.
+    assert!((text.avg_depth - 2.3).abs() < 0.5, "text {}", text.avg_depth);
+    assert!(
+        (numeric.avg_depth - 1.8).abs() < 0.5,
+        "numeric {}",
+        numeric.avg_depth
+    );
+    assert!((date.avg_depth - 1.7).abs() < 0.6, "date {}", date.avg_depth);
+}
+
+#[test]
+fn split_is_disjoint_and_complete() {
+    let corpus = generate_corpus(&CorpusConfig {
+        n_tasks: 50,
+        seed: 11,
+        ..CorpusConfig::default()
+    });
+    let (train, test) = corpus.split(0.8);
+    assert_eq!(train.len() + test.len(), 50);
+    let train_ids: Vec<u64> = train.iter().map(|t| t.id).collect();
+    assert!(test.iter().all(|t| !train_ids.contains(&t.id)));
+}
+
+#[test]
+fn custom_formula_tasks_exist_in_both_kinds() {
+    let corpus = generate_corpus(&CorpusConfig {
+        n_tasks: 80,
+        seed: 12,
+        ..CorpusConfig::default()
+    });
+    let custom = corpus.tasks.iter().filter(|t| t.custom_formula).count();
+    assert!(custom > 10, "some custom-formula tasks");
+    assert!(custom < 70, "some template tasks");
+}
+
+#[test]
+fn all_types_are_represented() {
+    let corpus = generate_corpus(&CorpusConfig {
+        n_tasks: 150,
+        seed: 13,
+        ..CorpusConfig::default()
+    });
+    for dtype in [DataType::Text, DataType::Number, DataType::Date] {
+        assert!(
+            !corpus.of_type(dtype).is_empty(),
+            "missing {dtype:?} tasks"
+        );
+    }
+}

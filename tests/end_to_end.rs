@@ -1,0 +1,99 @@
+//! Integration tests spanning the whole workspace: CSV ingestion → Cornet
+//! learning → formula export → formula evaluation.
+
+use cornet_repro::core::prelude::*;
+use cornet_repro::formula::{evaluate_bool, parse};
+use cornet_repro::table::csv::parse_csv;
+use cornet_repro::table::CellValue;
+
+#[test]
+fn csv_to_rule_to_formula_roundtrip() {
+    let csv = "id,owner\nRW-187,ann\nRS-762,bob\nRW-159,cara\nRW-131-T,dan\nTW-224,eve\nRW-312,fred\n";
+    let table = parse_csv(csv).expect("valid csv");
+    let id = table.column("id").expect("id column");
+
+    let cornet = Cornet::with_default_ranker();
+    let outcome = cornet.learn(&id.cells, &[0, 2, 5]).expect("learns");
+    let rule = &outcome.best().rule;
+
+    // The learned rule produces the paper's intended formatting.
+    let mask = rule.execute(&id.cells);
+    assert_eq!(mask.iter_ones().collect::<Vec<_>>(), vec![0, 2, 5]);
+
+    // Exported as an Excel formula, re-parsed, and re-evaluated, the rule
+    // behaves identically on every cell.
+    let formula_text = rule.to_formula().to_string();
+    let reparsed = parse(&formula_text).expect("exported formula parses");
+    for (i, cell) in id.cells.iter().enumerate() {
+        assert_eq!(evaluate_bool(&reparsed, cell), mask.get(i), "cell {i}");
+    }
+}
+
+#[test]
+fn learning_is_deterministic() {
+    let cells: Vec<CellValue> = ["Pass", "Fail", "Pass", "Fail", "Pass", "Fail", "Pass"]
+        .iter()
+        .map(|s| CellValue::from(*s))
+        .collect();
+    let cornet = Cornet::with_default_ranker();
+    let a = cornet.learn(&cells, &[0, 2]).expect("learns");
+    let b = cornet.learn(&cells, &[0, 2]).expect("learns");
+    assert_eq!(a.candidates.len(), b.candidates.len());
+    for (x, y) in a.candidates.iter().zip(&b.candidates) {
+        assert_eq!(x.rule.to_string(), y.rule.to_string());
+        assert_eq!(x.score, y.score);
+    }
+}
+
+#[test]
+fn mixed_type_columns_learn_on_majority_type() {
+    // A numeric column with a stray text cell: predicates are numeric, the
+    // stray cell never matches.
+    let cells: Vec<CellValue> = ["10", "200", "12", "n/a", "230", "11", "250"]
+        .iter()
+        .map(|s| CellValue::parse(s))
+        .collect();
+    let cornet = Cornet::with_default_ranker();
+    let outcome = cornet.learn(&cells, &[1, 4]).expect("learns");
+    let mask = outcome.best().rule.execute(&cells);
+    assert!(mask.get(1) && mask.get(4) && mask.get(6));
+    assert!(!mask.get(3), "text cell cannot match numeric predicates");
+}
+
+#[test]
+fn all_candidates_satisfy_examples_and_are_sorted() {
+    let cells: Vec<CellValue> = [
+        "INV-100", "ORD-200", "INV-101", "ORD-201", "INV-102", "ORD-202", "INV-103",
+    ]
+    .iter()
+    .map(|s| CellValue::from(*s))
+    .collect();
+    let cornet = Cornet::with_default_ranker();
+    let outcome = cornet.learn(&cells, &[0, 2, 4]).expect("learns");
+    for pair in outcome.candidates.windows(2) {
+        assert!(pair[0].score >= pair[1].score);
+    }
+    for cand in &outcome.candidates {
+        for &i in &[0usize, 2, 4] {
+            assert!(cand.rule.eval(&cells[i]), "{} misses example {i}", cand.rule);
+        }
+    }
+}
+
+#[test]
+fn error_paths_are_reported() {
+    let cornet = Cornet::with_default_ranker();
+    let uniform: Vec<CellValue> = vec![CellValue::from("same"); 5];
+    assert!(matches!(
+        cornet.learn(&uniform, &[0]),
+        Err(LearnError::NoPredicates)
+    ));
+    assert!(matches!(
+        cornet.learn(&uniform, &[]),
+        Err(LearnError::NoExamples)
+    ));
+    assert!(matches!(
+        cornet.learn(&uniform, &[9]),
+        Err(LearnError::ExampleOutOfRange(9))
+    ));
+}

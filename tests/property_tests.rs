@@ -1,0 +1,159 @@
+//! Property-based tests (proptest) on the workspace's core invariants.
+
+use cornet_repro::core::predicate::{CmpOp, DatePart, Predicate, TextOp};
+use cornet_repro::core::rule::{Conjunct, Rule, RuleLiteral};
+use cornet_repro::formula::{evaluate_bool, parse};
+use cornet_repro::table::{BitVec, CellValue, Date};
+use proptest::prelude::*;
+
+fn arb_cell() -> impl Strategy<Value = CellValue> {
+    prop_oneof![
+        Just(CellValue::Empty),
+        "[a-zA-Z0-9 _-]{0,12}".prop_map(CellValue::Text),
+        (-1e6f64..1e6f64).prop_map(|n| CellValue::Number((n * 100.0).round() / 100.0)),
+        (-30000i32..30000i32).prop_map(|d| CellValue::Date(Date::from_days(d))),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    let op = prop_oneof![
+        Just(CmpOp::Greater),
+        Just(CmpOp::GreaterEquals),
+        Just(CmpOp::Less),
+        Just(CmpOp::LessEquals),
+    ];
+    let text_op = prop_oneof![
+        Just(TextOp::Equals),
+        Just(TextOp::Contains),
+        Just(TextOp::StartsWith),
+        Just(TextOp::EndsWith),
+    ];
+    let part = prop_oneof![
+        Just(DatePart::Day),
+        Just(DatePart::Month),
+        Just(DatePart::Year),
+        Just(DatePart::Weekday),
+    ];
+    prop_oneof![
+        (op.clone(), -1e4f64..1e4f64).prop_map(|(op, n)| Predicate::NumCmp {
+            op,
+            n: (n * 10.0).round() / 10.0
+        }),
+        (-1e3f64..1e3f64, 0.0f64..1e3f64).prop_map(|(lo, w)| Predicate::NumBetween {
+            lo: lo.round(),
+            hi: (lo + w).round()
+        }),
+        (op, part, 1i64..2500).prop_map(|(op, part, n)| Predicate::DateCmp { op, part, n }),
+        (text_op, "[a-zA-Z0-9-]{1,6}").prop_map(|(op, pattern)| Predicate::Text { op, pattern }),
+    ]
+}
+
+fn arb_rule() -> impl Strategy<Value = Rule> {
+    proptest::collection::vec(
+        proptest::collection::vec((arb_predicate(), any::<bool>()), 1..3),
+        1..3,
+    )
+    .prop_map(|conjuncts| {
+        Rule::new(
+            conjuncts
+                .into_iter()
+                .map(|lits| {
+                    Conjunct::new(
+                        lits.into_iter()
+                            .map(|(predicate, negated)| RuleLiteral { predicate, negated })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    /// A rule and its exported Excel formula agree on every cell.
+    #[test]
+    fn rule_formula_equivalence(rule in arb_rule(), cells in proptest::collection::vec(arb_cell(), 0..24)) {
+        let formula = rule.to_formula();
+        for cell in &cells {
+            prop_assert_eq!(evaluate_bool(&formula, cell), rule.eval(cell));
+        }
+    }
+
+    /// The exported formula text re-parses to an equivalent formula.
+    #[test]
+    fn formula_display_parse_roundtrip(rule in arb_rule(), cells in proptest::collection::vec(arb_cell(), 0..16)) {
+        let formula = rule.to_formula();
+        let reparsed = parse(&formula.to_string()).expect("exported formulas parse");
+        for cell in &cells {
+            prop_assert_eq!(
+                evaluate_bool(&reparsed, cell),
+                evaluate_bool(&formula, cell)
+            );
+        }
+    }
+
+    /// Canonicalisation is idempotent and execution-preserving.
+    #[test]
+    fn canonicalisation_preserves_execution(rule in arb_rule(), cells in proptest::collection::vec(arb_cell(), 0..16)) {
+        let canonical = rule.canonical();
+        prop_assert_eq!(canonical.canonical().to_string(), canonical.to_string());
+        prop_assert_eq!(canonical.execute(&cells), rule.execute(&cells));
+    }
+
+    /// Exact match implies execution match on any column.
+    #[test]
+    fn exact_match_implies_execution_match(rule in arb_rule(), cells in proptest::collection::vec(arb_cell(), 0..16)) {
+        use cornet_repro::core::metrics::{exact_match, execution_match};
+        let clone = rule.clone();
+        prop_assert!(exact_match(&rule, &clone));
+        prop_assert!(execution_match(&rule, &clone, &cells));
+    }
+
+    /// Predicates never match cells of a different type or empty cells.
+    #[test]
+    fn predicates_are_typed(pred in arb_predicate(), cell in arb_cell()) {
+        if let Some(dtype) = cell.data_type() {
+            if dtype != pred.data_type() {
+                prop_assert!(!pred.eval(&cell));
+            }
+        } else {
+            prop_assert!(!pred.eval(&cell));
+        }
+    }
+
+    /// BitVec set-operation laws used across the pipeline.
+    #[test]
+    fn bitvec_laws(bools_a in proptest::collection::vec(any::<bool>(), 1..120),
+                   bools_b in proptest::collection::vec(any::<bool>(), 1..120)) {
+        let n = bools_a.len().min(bools_b.len());
+        let a = BitVec::from_bools(&bools_a[..n]);
+        let b = BitVec::from_bools(&bools_b[..n]);
+        // Hamming distance is a metric: symmetry + identity.
+        prop_assert_eq!(a.hamming(&b), b.hamming(&a));
+        prop_assert_eq!(a.hamming(&a), 0);
+        // Involution and De Morgan.
+        prop_assert_eq!(a.not().not(), a.clone());
+        let mut union = a.clone();
+        union.or_assign(&b);
+        let mut inter_not = a.not();
+        inter_not.and_assign(&b.not());
+        prop_assert_eq!(union.not(), inter_not);
+        // Popcount consistency.
+        prop_assert_eq!(a.count_ones() + a.not().count_ones(), n);
+    }
+
+    /// Value parsing never panics and display stays parseable for numbers.
+    #[test]
+    fn cell_parse_total(s in ".{0,24}") {
+        let _ = CellValue::parse(&s);
+    }
+
+    /// Date round-trips through (year, month, day) for the full range the
+    /// corpus uses.
+    #[test]
+    fn date_roundtrip(days in -50000i32..50000i32) {
+        let d = Date::from_days(days);
+        let back = Date::from_ymd(d.year(), d.month(), d.day()).expect("valid components");
+        prop_assert_eq!(back.days(), days);
+    }
+}
