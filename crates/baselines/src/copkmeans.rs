@@ -48,9 +48,8 @@ impl TaskLearner for CopKmeans {
             let row = signatures.row(i);
             (0..dims).map(|p| f64::from(u8::from(row.get(p)))).collect()
         };
-        let sq_dist = |v: &[f64], c: &[f64]| -> f64 {
-            v.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum()
-        };
+        let sq_dist =
+            |v: &[f64], c: &[f64]| -> f64 { v.iter().zip(c).map(|(a, b)| (a - b) * (a - b)).sum() };
 
         // Must-link groups: the formatted examples form one group; the
         // implicit (soft) negatives form the other. Cannot-link keeps the
@@ -89,13 +88,11 @@ impl TaskLearner for CopKmeans {
         let mut centroid_pos = mean_of(&pos_seed);
         let neg_seed: Vec<usize> = soft_neg.iter_ones().collect();
         let mut centroid_neg = if neg_seed.is_empty() {
-            let far = (0..n)
-                .filter(|i| !observed_mask.get(*i))
-                .max_by(|&a, &b| {
-                    sq_dist(&vector(a), &centroid_pos)
-                        .partial_cmp(&sq_dist(&vector(b), &centroid_pos))
-                        .unwrap()
-                });
+            let far = (0..n).filter(|i| !observed_mask.get(*i)).max_by(|&a, &b| {
+                sq_dist(&vector(a), &centroid_pos)
+                    .partial_cmp(&sq_dist(&vector(b), &centroid_pos))
+                    .unwrap()
+            });
             match far {
                 Some(i) => vector(i),
                 None => vec![0.0; dims],

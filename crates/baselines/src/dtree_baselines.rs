@@ -48,9 +48,7 @@ fn training_subset(n: usize, observed: &[usize]) -> (Vec<usize>, Vec<f64>) {
     let soft = soft_negatives(n, observed);
     let obs = BitVec::from_indices(n, observed);
     if soft.none() {
-        let weights = (0..n)
-            .map(|i| if obs.get(i) { 1.0 } else { 0.1 })
-            .collect();
+        let weights = (0..n).map(|i| if obs.get(i) { 1.0 } else { 0.1 }).collect();
         return ((0..n).collect(), weights);
     }
     let subset: Vec<usize> = (0..n).filter(|&i| obs.get(i) || soft.get(i)).collect();
@@ -128,8 +126,7 @@ impl RawDecisionTree {
             Some(DataType::Text) => {
                 // Categorical encoding: one equality feature per distinct
                 // value (no partial strings).
-                let mut distinct: Vec<&str> =
-                    cells.iter().filter_map(CellValue::as_text).collect();
+                let mut distinct: Vec<&str> = cells.iter().filter_map(CellValue::as_text).collect();
                 distinct.sort_unstable();
                 distinct.dedup();
                 for value in distinct {
@@ -337,7 +334,9 @@ mod tests {
 
     #[test]
     fn predicate_tree_generalises_prefixes() {
-        let cells = parse(&["RW-1", "XX-2", "RW-3", "XX-4", "RW-5", "RW-6", "XX-7", "RW-8"]);
+        let cells = parse(&[
+            "RW-1", "XX-2", "RW-3", "XX-4", "RW-5", "RW-6", "XX-7", "RW-8",
+        ]);
         let learner = PredicateDecisionTree::plain();
         let pred = learner.predict(&cells, &[0, 2, 4]);
         assert!(pred.rule.is_some());

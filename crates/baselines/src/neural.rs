@@ -104,12 +104,7 @@ impl CellClassifier {
         self.attn.param_count() + self.head.param_count()
     }
 
-    fn extra_features(
-        &self,
-        x: &Matrix,
-        cells: &[CellValue],
-        observed: &BitVec,
-    ) -> Option<Matrix> {
+    fn extra_features(&self, x: &Matrix, cells: &[CellValue], observed: &BitVec) -> Option<Matrix> {
         let n = cells.len();
         match self.variant {
             NeuralVariant::BertLike => None,
@@ -141,11 +136,7 @@ impl CellClassifier {
     }
 
     /// Forward pass: per-cell logits plus the caches for backward.
-    fn forward(
-        &self,
-        cells: &[CellValue],
-        observed: &[usize],
-    ) -> (Vec<f64>, ForwardCache) {
+    fn forward(&self, cells: &[CellValue], observed: &[usize]) -> (Vec<f64>, ForwardCache) {
         let n = cells.len();
         let texts: Vec<String> = cells.iter().map(CellValue::display_string).collect();
         let x = self.embedder.embed_batch(&texts);
@@ -185,8 +176,7 @@ impl CellClassifier {
         let dhead_in = self.head.backward(&cache.head_in, &dl);
         let mut dz = Matrix::zeros(cache.n, Self::DIM);
         for r in 0..cache.n {
-            dz.row_mut(r)
-                .copy_from_slice(&dhead_in.row(r)[..Self::DIM]);
+            dz.row_mut(r).copy_from_slice(&dhead_in.row(r)[..Self::DIM]);
         }
         // Residual: gradient flows to attention output; X is frozen.
         let (_dx, _de) = self.attn.backward(&cache.attn_cache, &dz);

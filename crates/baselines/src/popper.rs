@@ -49,8 +49,7 @@ impl PopperBaseline {
         let mut preds: Vec<Option<Predicate>> = Vec::new();
         match infer_type(cells) {
             Some(DataType::Number) => {
-                let mut values: Vec<f64> =
-                    cells.iter().filter_map(CellValue::as_number).collect();
+                let mut values: Vec<f64> = cells.iter().filter_map(CellValue::as_number).collect();
                 values.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 values.dedup();
                 for &c in &values {
@@ -223,7 +222,13 @@ mod tests {
 
     #[test]
     fn date_raw_popper_has_no_rule_mapping() {
-        let cells = parse(&["2020-01-01", "2021-01-01", "2022-01-01", "2023-01-01", "2024-05-05"]);
+        let cells = parse(&[
+            "2020-01-01",
+            "2021-01-01",
+            "2022-01-01",
+            "2023-01-01",
+            "2024-05-05",
+        ]);
         let learner = PopperBaseline::raw();
         let pred = learner.predict(&cells, &[0, 1]);
         // Mask may be found via serial comparisons, but no grammar rule.

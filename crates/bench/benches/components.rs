@@ -20,7 +20,9 @@ fn bench_components(c: &mut Criterion) {
             BenchmarkId::new("predicate_generation", n),
             &task,
             |b, task| {
-                b.iter(|| std::hint::black_box(generate_predicates(&task.cells, &GenConfig::default())));
+                b.iter(|| {
+                    std::hint::black_box(generate_predicates(&task.cells, &GenConfig::default()))
+                });
             },
         );
 
@@ -43,7 +45,11 @@ fn bench_components(c: &mut Criterion) {
             &(&predicates, &outcome),
             |b, (predicates, outcome)| {
                 b.iter(|| {
-                    std::hint::black_box(enumerate_rules(predicates, outcome, &EnumConfig::default()))
+                    std::hint::black_box(enumerate_rules(
+                        predicates,
+                        outcome,
+                        &EnumConfig::default(),
+                    ))
                 });
             },
         );

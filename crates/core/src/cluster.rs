@@ -151,7 +151,13 @@ pub fn cluster(
                 };
                 match (d_pos, d_neg) {
                     (Some(dp), Some(dn)) if dp < dn => POS,
-                    (Some(_), Some(_)) => if neg_members.is_empty() { UNK } else { NEG },
+                    (Some(_), Some(_)) => {
+                        if neg_members.is_empty() {
+                            UNK
+                        } else {
+                            NEG
+                        }
+                    }
                     (Some(_), None) => POS,
                     _ => assign[i],
                 }

@@ -186,7 +186,11 @@ pub fn prefix_tokens(values: &[&str], min_len: usize, min_support: usize) -> Vec
     candidates.dedup();
     // Filter by actual support over the original (deduplicated) values.
     candidates.retain(|prefix| {
-        lowered.iter().filter(|v| v.starts_with(prefix.as_str())).count() >= min_support
+        lowered
+            .iter()
+            .filter(|v| v.starts_with(prefix.as_str()))
+            .count()
+            >= min_support
     });
     candidates
 }
@@ -315,7 +319,13 @@ mod tests {
     fn text_dedup_case_insensitive() {
         let values = ["Pass", "PASS", "pass"];
         let consts = text_constants(&values, &ConstantConfig::default());
-        assert_eq!(consts.iter().filter(|c| c.eq_ignore_ascii_case("pass")).count(), 1);
+        assert_eq!(
+            consts
+                .iter()
+                .filter(|c| c.eq_ignore_ascii_case("pass"))
+                .count(),
+            1
+        );
     }
 
     #[test]

@@ -195,9 +195,8 @@ pub fn tree_to_rule(tree: &DecisionTree, predicates: &PredicateSet) -> Rule {
             Conjunct::new(
                 path.into_iter()
                     .map(|lit| RuleLiteral {
-                        predicate: predicates.predicates
-                            [predicates.representatives[lit.feature]]
-                        .clone(),
+                        predicate: predicates.predicates[predicates.representatives[lit.feature]]
+                            .clone(),
                         negated: !lit.polarity,
                     })
                     .collect(),
@@ -270,8 +269,10 @@ mod tests {
         let (_, preds, outcome) = setup(&["1", "5", "9", "12", "20", "3"], &[3, 4]);
         let candidates = enumerate_rules(&preds, &outcome, &EnumConfig::default());
         assert!(candidates.len() > 1, "iteration should yield variety");
-        let mut displays: Vec<String> =
-            candidates.iter().map(|c| c.rule.canonical().to_string()).collect();
+        let mut displays: Vec<String> = candidates
+            .iter()
+            .map(|c| c.rule.canonical().to_string())
+            .collect();
         let before = displays.len();
         displays.sort();
         displays.dedup();

@@ -163,9 +163,9 @@ mod tests {
                     pattern: "T".into(),
                 }),
             ]),
-            Conjunct::single(RuleLiteral::pos(gt_rule(5.0).condition[0].literals[0]
-                .predicate
-                .clone())),
+            Conjunct::single(RuleLiteral::pos(
+                gt_rule(5.0).condition[0].literals[0].predicate.clone(),
+            )),
         ]);
         let tokens = rule_tokens(&rule);
         assert!(tokens.contains(&"OR".to_string()));

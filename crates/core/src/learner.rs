@@ -11,8 +11,7 @@ use cornet_table::CellValue;
 use std::fmt;
 
 /// Which candidate generator to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SearchStrategy {
     /// Cornet's greedy iterative tree learning (§3.3.2).
     #[default]
@@ -36,7 +35,6 @@ pub struct CornetConfig {
     /// Candidate generator.
     pub strategy: SearchStrategy,
 }
-
 
 /// Why learning produced no rule.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -306,7 +306,10 @@ mod tests {
         let cells = parse_cells(&["2020-01-05", "2021-06-15", "2022-12-25"]);
         let set = generate_predicates(&cells, &GenConfig::default());
         assert!(!set.is_empty());
-        assert!(set.predicates.iter().all(|p| p.data_type() == DataType::Date));
+        assert!(set
+            .predicates
+            .iter()
+            .all(|p| p.data_type() == DataType::Date));
         // Some predicate must separate the 2020 date from the others.
         let first_only = BitVec::from_indices(3, &[0]);
         assert!(set.signatures.contains(&first_only));

@@ -116,7 +116,12 @@ impl DatePart {
 
     /// All parts, in display order.
     pub fn all() -> [DatePart; 4] {
-        [DatePart::Day, DatePart::Month, DatePart::Year, DatePart::Weekday]
+        [
+            DatePart::Day,
+            DatePart::Month,
+            DatePart::Year,
+            DatePart::Weekday,
+        ]
     }
 }
 

@@ -14,7 +14,7 @@
 //! features with a hashed embedding of the rule's token stream — the
 //! CodeBERT substitute of DESIGN.md.
 
-use super::{RankContext, Ranker, RankSample};
+use super::{RankContext, RankSample, Ranker};
 use crate::features::{rule_tokens, FEATURE_DIM};
 use cornet_nn::ops::{bce_with_logit, mean_pool_rows, mean_pool_rows_backward, sigmoid};
 use cornet_nn::{Adam, CrossAttention, HashEmbedder, Linear, Matrix};
@@ -207,7 +207,11 @@ impl NeuralRanker {
                 adam.step(s_wq, self.attn.wq.data_mut(), self.attn.gwq.data());
                 adam.step(s_wk, self.attn.wk.data_mut(), self.attn.gwk.data());
                 adam.step(s_wv, self.attn.wv.data_mut(), self.attn.gwv.data());
-                adam.step(s_cw, self.col_linear.w.data_mut(), self.col_linear.gw.data());
+                adam.step(
+                    s_cw,
+                    self.col_linear.w.data_mut(),
+                    self.col_linear.gw.data(),
+                );
                 let gb = self.col_linear.gb.clone();
                 adam.step(s_cb, &mut self.col_linear.b, &gb);
                 adam.step(s_hw, self.head.w.data_mut(), self.head.gw.data());
@@ -331,8 +335,18 @@ mod tests {
             "loss did not drop: {final_loss} vs {initial}"
         );
         // Trained model separates the classes.
-        let good = sample(&["RW-1", "RW-2", "XX-3", "XX-4"], &[true, true, false, false], 0.95, true);
-        let bad = sample(&["RW-1", "RW-2", "XX-3", "XX-4"], &[false, false, true, false], 0.55, false);
+        let good = sample(
+            &["RW-1", "RW-2", "XX-3", "XX-4"],
+            &[true, true, false, false],
+            0.95,
+            true,
+        );
+        let bad = sample(
+            &["RW-1", "RW-2", "XX-3", "XX-4"],
+            &[false, false, true, false],
+            0.55,
+            false,
+        );
         assert!(ranker.score_sample(&good) > ranker.score_sample(&bad));
     }
 

@@ -2,7 +2,7 @@
 //! features (§5.2.3, Table 6 "Symbolic"). About 4% behind the hybrid ranker
 //! in the paper, and "a good alternative in a resource constrained domain".
 
-use super::{RankContext, Ranker, RankSample};
+use super::{RankContext, RankSample, Ranker};
 use crate::features::FEATURE_DIM;
 use crate::predicate::PredicateKind;
 use cornet_nn::ops::{bce_with_logit, sigmoid};
@@ -58,12 +58,7 @@ impl SymbolicRanker {
     }
 
     fn logit(&self, features: &[f64]) -> f64 {
-        let dot: f64 = self
-            .weights
-            .iter()
-            .zip(features)
-            .map(|(w, f)| w * f)
-            .sum();
+        let dot: f64 = self.weights.iter().zip(features).map(|(w, f)| w * f).sum();
         dot + self.bias
     }
 

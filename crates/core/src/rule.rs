@@ -104,7 +104,12 @@ impl Conjunct {
 
     /// Grammar depth.
     pub fn depth(&self) -> usize {
-        let inner = self.literals.iter().map(RuleLiteral::depth).max().unwrap_or(1);
+        let inner = self
+            .literals
+            .iter()
+            .map(RuleLiteral::depth)
+            .max()
+            .unwrap_or(1);
         if self.literals.len() > 1 {
             1 + inner
         } else {
@@ -186,7 +191,12 @@ impl Rule {
     /// Grammar depth ("tree depth of the abstract syntax tree produced by
     /// parsing the rule using our grammar", Table 3).
     pub fn depth(&self) -> usize {
-        let inner = self.condition.iter().map(Conjunct::depth).max().unwrap_or(1);
+        let inner = self
+            .condition
+            .iter()
+            .map(Conjunct::depth)
+            .max()
+            .unwrap_or(1);
         if self.condition.len() > 1 {
             1 + inner
         } else {
@@ -279,9 +289,8 @@ fn predicate_expr(p: &Predicate) -> Expr {
         args.extend(inner);
         Expr::call("AND", args)
     };
-    let text_guarded = |inner: Expr| {
-        Expr::call("AND", vec![Expr::call("ISTEXT", vec![cell()]), inner])
-    };
+    let text_guarded =
+        |inner: Expr| Expr::call("AND", vec![Expr::call("ISTEXT", vec![cell()]), inner]);
     let date_guarded = |inner: Expr| {
         Expr::call(
             "IF",

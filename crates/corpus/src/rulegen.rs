@@ -37,12 +37,16 @@ fn text_atom(spec: &TextColumnSpec, rng: &mut impl Rng) -> Predicate {
 pub fn text_rule(spec: &TextColumnSpec, cells: &[CellValue], rng: &mut impl Rng) -> Rule {
     let style = rng.gen_range(0..100);
     if style < 25 {
-        Rule::new(vec![Conjunct::single(RuleLiteral::pos(text_atom(spec, rng)))])
+        Rule::new(vec![Conjunct::single(RuleLiteral::pos(text_atom(
+            spec, rng,
+        )))])
     } else if style < 35 && spec.family == TextFamily::StatusWords {
         // Complement rules only occur on small-vocabulary status columns:
         // "everything that is not OK". On id/name/email columns the
         // complement of one atom is a grab-bag no example set pins down.
-        Rule::new(vec![Conjunct::single(RuleLiteral::neg(text_atom(spec, rng)))])
+        Rule::new(vec![Conjunct::single(RuleLiteral::neg(text_atom(
+            spec, rng,
+        )))])
     } else if style < 45 {
         let a = text_atom(spec, rng);
         let b = text_atom(spec, rng);
@@ -179,7 +183,12 @@ pub fn numeric_rule(spec: &NumericColumnSpec, cells: &[CellValue], rng: &mut imp
     // 20% cmp (1), 10% between (1), 40% NOT cmp (2), 10% OR of equalities
     // (2), 20% AND(cmp, NOT Equal) (3) → average ≈ 1.9.
     if let Some((gap_lo, gap_hi)) = spec.gap {
-        let cut = user_round(gap_lo + (gap_hi - gap_lo) * 0.5, spec.integral, gap_lo, gap_hi);
+        let cut = user_round(
+            gap_lo + (gap_hi - gap_lo) * 0.5,
+            spec.integral,
+            gap_lo,
+            gap_hi,
+        );
         let style = rng.gen_range(0..100);
         if style < 20 {
             let op = any_op(rng);
@@ -189,7 +198,11 @@ pub fn numeric_rule(spec: &NumericColumnSpec, cells: &[CellValue], rng: &mut imp
         } else if style < 30 {
             // Between(cut, max) — "format the upper group".
             let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-            let hi = if spec.integral { max.round() } else { (max * 10.0).ceil() / 10.0 };
+            let hi = if spec.integral {
+                max.round()
+            } else {
+                (max * 10.0).ceil() / 10.0
+            };
             return Rule::new(vec![Conjunct::single(RuleLiteral::pos(
                 Predicate::NumBetween { lo: cut, hi },
             ))]);
@@ -223,10 +236,9 @@ pub fn numeric_rule(spec: &NumericColumnSpec, cells: &[CellValue], rng: &mut imp
     if style < 25 {
         let op = any_op(rng);
         let n = numeric_constant(&values, spec.integral, 0.2, 0.8, rng);
-        Rule::new(vec![Conjunct::single(RuleLiteral::pos(Predicate::NumCmp {
-            op,
-            n,
-        }))])
+        Rule::new(vec![Conjunct::single(RuleLiteral::pos(
+            Predicate::NumCmp { op, n },
+        ))])
     } else if style < 35 {
         let a = numeric_constant(&values, spec.integral, 0.1, 0.45, rng);
         let b = numeric_constant(&values, spec.integral, 0.55, 0.9, rng);
@@ -238,10 +250,9 @@ pub fn numeric_rule(spec: &NumericColumnSpec, cells: &[CellValue], rng: &mut imp
         // NOT(cmp): one-sided, the IF(NOT(A1<=5),TRUE) idiom of Table 7.
         let op = any_op(rng);
         let n = numeric_constant(&values, spec.integral, 0.2, 0.8, rng);
-        Rule::new(vec![Conjunct::single(RuleLiteral::neg(Predicate::NumCmp {
-            op,
-            n,
-        }))])
+        Rule::new(vec![Conjunct::single(RuleLiteral::neg(
+            Predicate::NumCmp { op, n },
+        ))])
     } else if style < 77 {
         let a = numeric_constant(&values, spec.integral, 0.2, 0.4, rng);
         let b = numeric_constant(&values, spec.integral, 0.6, 0.8, rng);
@@ -372,11 +383,7 @@ pub fn date_rule(spec: &DateColumnSpec, cells: &[CellValue], rng: &mut impl Rng)
                 part,
                 n,
             })),
-            Conjunct::single(RuleLiteral::neg(Predicate::DateBetween {
-                part,
-                lo,
-                hi,
-            })),
+            Conjunct::single(RuleLiteral::neg(Predicate::DateBetween { part, lo, hi })),
         ])
     }
 }
@@ -465,8 +472,20 @@ mod tests {
         }
         let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         // Table 3: text 2.3, numeric 1.8, date 1.7 — tolerate ±0.45.
-        assert!((avg(&text_depths) - 2.3).abs() < 0.45, "text {}", avg(&text_depths));
-        assert!((avg(&num_depths) - 1.8).abs() < 0.45, "numeric {}", avg(&num_depths));
-        assert!((avg(&date_depths) - 1.7).abs() < 0.45, "date {}", avg(&date_depths));
+        assert!(
+            (avg(&text_depths) - 2.3).abs() < 0.45,
+            "text {}",
+            avg(&text_depths)
+        );
+        assert!(
+            (avg(&num_depths) - 1.8).abs() < 0.45,
+            "numeric {}",
+            avg(&num_depths)
+        );
+        assert!(
+            (avg(&date_depths) - 1.7).abs() < 0.45,
+            "date {}",
+            avg(&date_depths)
+        );
     }
 }

@@ -2,9 +2,7 @@
 
 use crate::rulegen::{date_rule, numeric_rule, text_rule};
 use crate::userformula::user_formula;
-use crate::values::{
-    date_column, numeric_column, text_column, NumericFamily, TextFamily,
-};
+use crate::values::{date_column, numeric_column, text_column, NumericFamily, TextFamily};
 use cornet_core::rule::Rule;
 use cornet_formula::Expr;
 use cornet_table::{BitVec, CellValue, DataType};
@@ -91,10 +89,7 @@ impl Corpus {
     pub fn split(&self, train_fraction: f64) -> (Vec<Task>, Vec<Task>) {
         let cut = ((self.tasks.len() as f64) * train_fraction).round() as usize;
         let cut = cut.min(self.tasks.len());
-        (
-            self.tasks[..cut].to_vec(),
-            self.tasks[cut..].to_vec(),
-        )
+        (self.tasks[..cut].to_vec(), self.tasks[cut..].to_vec())
     }
 
     /// Tasks of one type.

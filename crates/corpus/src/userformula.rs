@@ -231,7 +231,10 @@ mod tests {
                 n: 5.0,
             },
         ))]);
-        let cells: Vec<CellValue> = [4.0, 5.0, 6.0].iter().map(|&n| CellValue::Number(n)).collect();
+        let cells: Vec<CellValue> = [4.0, 5.0, 6.0]
+            .iter()
+            .map(|&n| CellValue::Number(n))
+            .collect();
         check_semantics(&rule, &cells, 1.0, 4);
     }
 

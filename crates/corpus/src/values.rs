@@ -91,7 +91,11 @@ pub struct TextColumnSpec {
 }
 
 /// Generates a text column of `n` cells.
-pub fn text_column(family: TextFamily, n: usize, rng: &mut impl Rng) -> (Vec<CellValue>, TextColumnSpec) {
+pub fn text_column(
+    family: TextFamily,
+    n: usize,
+    rng: &mut impl Rng,
+) -> (Vec<CellValue>, TextColumnSpec) {
     match family {
         TextFamily::IdCodes => {
             let prefixes = *ID_PREFIXES.choose(rng).unwrap();
@@ -272,7 +276,11 @@ pub fn numeric_column(
                 (0..n)
                     .map(|_| {
                         let z: f64 = sample_normal(rng).clamp(-3.0, 3.0);
-                        let m = if rng.gen_bool(upper_share) { mean2 } else { mean };
+                        let m = if rng.gen_bool(upper_share) {
+                            mean2
+                        } else {
+                            mean
+                        };
                         round2(m + sd * z)
                     })
                     .collect()
@@ -292,7 +300,11 @@ pub fn numeric_column(
                 (0..n)
                     .map(|_| {
                         let z: f64 = sample_normal(rng).clamp(-2.5, 2.5);
-                        let b = if rng.gen_bool(upper_share) { premium } else { base };
+                        let b = if rng.gen_bool(upper_share) {
+                            premium
+                        } else {
+                            base
+                        };
                         round2(b * (0.12 * z).exp())
                     })
                     .collect()
@@ -414,9 +426,7 @@ mod tests {
         ] {
             let (cells, spec) = text_column(family, 50, &mut r);
             assert_eq!(cells.len(), 50);
-            assert!(cells
-                .iter()
-                .all(|c| c.data_type() == Some(DataType::Text)));
+            assert!(cells.iter().all(|c| c.data_type() == Some(DataType::Text)));
             assert!(!spec.atoms.is_empty());
             // Atoms must actually occur in the data.
             let joined: String = cells

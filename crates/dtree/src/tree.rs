@@ -121,7 +121,11 @@ impl DecisionTree {
                     left,
                     right,
                 } => {
-                    at = if feature_value(*feature) { *right } else { *left };
+                    at = if feature_value(*feature) {
+                        *right
+                    } else {
+                        *left
+                    };
                 }
             }
         }
@@ -434,10 +438,7 @@ mod tests {
     #[test]
     fn xor_needs_two_levels() {
         // labels = f0 XOR f1: no single feature separates, two levels do.
-        let m = matrix(&[
-            &[false, false, true, true],
-            &[false, true, false, true],
-        ]);
+        let m = matrix(&[&[false, false, true, true], &[false, true, false, true]]);
         let labels = BitVec::from_bools(&[false, true, true, false]);
         let t = DecisionTree::fit(
             &m,
@@ -457,10 +458,7 @@ mod tests {
 
     #[test]
     fn node_budget_limits_growth() {
-        let m = matrix(&[
-            &[false, false, true, true],
-            &[false, true, false, true],
-        ]);
+        let m = matrix(&[&[false, false, true, true], &[false, true, false, true]]);
         let labels = BitVec::from_bools(&[false, true, true, false]);
         let config = TreeConfig {
             max_decision_nodes: 1,
@@ -534,10 +532,7 @@ mod tests {
     #[test]
     fn tie_break_hook_is_used() {
         // Two identical features: hook picks the second.
-        let m = matrix(&[
-            &[true, true, false, false],
-            &[true, true, false, false],
-        ]);
+        let m = matrix(&[&[true, true, false, false], &[true, true, false, false]]);
         let labels = BitVec::from_bools(&[true, true, false, false]);
         let pick_last = |cands: &[usize]| *cands.last().unwrap();
         let t = DecisionTree::fit(
@@ -584,10 +579,9 @@ mod tests {
         );
         let dnf = t.to_dnf();
         for s in 0..5 {
-            let via_dnf = dnf.iter().any(|conj| {
-                conj.iter()
-                    .all(|lit| m.get(lit.feature, s) == lit.polarity)
-            });
+            let via_dnf = dnf
+                .iter()
+                .any(|conj| conj.iter().all(|lit| m.get(lit.feature, s) == lit.polarity));
             assert_eq!(via_dnf, t.predict_with(|f| m.get(f, s)), "sample {s}");
         }
     }

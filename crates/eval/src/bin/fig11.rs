@@ -1,13 +1,5 @@
 //! Regenerates fig11 of the Cornet paper. Usage: `cargo run --release -p cornet-eval --bin fig11 [quick|standard|full]`.
 
 fn main() {
-    let scale = cornet_eval::Scale::from_args();
-    eprintln!("building system zoo ({} train / {} test tasks)…", scale.train_tasks, scale.test_tasks);
-    let zoo = cornet_eval::systems::build_zoo(&scale);
-    let report = cornet_eval::experiments::run("fig11", &zoo, &scale).expect("known experiment");
-    println!("{}", report.render());
-    match report.save() {
-        Ok(path) => eprintln!("saved to {}", path.display()),
-        Err(e) => eprintln!("could not save report: {e}"),
-    }
+    cornet_eval::run_cli("fig11");
 }

@@ -27,5 +27,8 @@ fn main() {
             Err(e) => eprintln!("[{id}] could not save: {e}"),
         }
     }
-    eprintln!("all experiments complete in {:.1}s", start.elapsed().as_secs_f64());
+    eprintln!(
+        "all experiments complete in {:.1}s",
+        start.elapsed().as_secs_f64()
+    );
 }

@@ -16,12 +16,7 @@ const N_SHUFFLES: usize = 5;
 /// Runs the experiment.
 pub fn run(zoo: &Zoo, scale: &Scale) -> Report {
     let tasks: Vec<_> = zoo.test.iter().take(scale.sweep_tasks * 2).collect();
-    let mut table = TextTable::new(vec![
-        "Examples",
-        "All shuffles",
-        "At least one",
-        "Average",
-    ]);
+    let mut table = TextTable::new(vec!["Examples", "All shuffles", "At least one", "Average"]);
     for k in [1usize, 2, 3, 4, 5, 6, 8, 10] {
         let mut all_count = 0usize;
         let mut any_count = 0usize;
@@ -36,8 +31,7 @@ pub fn run(zoo: &Zoo, scale: &Scale) -> Report {
             let mut matches = 0usize;
             for shuffle in 0..N_SHUFFLES {
                 let mut order = formatted.clone();
-                let mut rng =
-                    StdRng::seed_from_u64(scale.seed ^ (ti as u64) << 8 ^ shuffle as u64);
+                let mut rng = StdRng::seed_from_u64(scale.seed ^ (ti as u64) << 8 ^ shuffle as u64);
                 order.shuffle(&mut rng);
                 let observed: Vec<usize> = order.into_iter().take(k).collect();
                 let pred = zoo.cornet.predict(&task.cells, &observed);

@@ -43,8 +43,7 @@ pub fn run(zoo: &Zoo) -> Report {
                     continue;
                 }
                 let cornet_len = best.rule.token_length();
-                total_reduction +=
-                    100.0 * (user_len as f64 - cornet_len as f64) / user_len as f64;
+                total_reduction += 100.0 * (user_len as f64 - cornet_len as f64) / user_len as f64;
                 n += 1;
             }
             row.push(if n == 0 {

@@ -7,8 +7,8 @@
 use crate::report::{pct, Report, TextTable};
 use crate::systems::Zoo;
 use crate::Scale;
-use cornet_corpus::manual::ManualConfig;
 use cornet_corpus::generate_manual_corpus;
+use cornet_corpus::manual::ManualConfig;
 
 /// Shared manual-corpus learner loop: the learnable columns (those where a
 /// rule with fewer predicates than formatted cells reproduces the manual

@@ -68,7 +68,9 @@ pub fn run(zoo: &Zoo, scale: &Scale) -> Report {
         "Popper (ms)",
     ]);
     for &n in LENGTHS {
-        let count = scale.sweep_tasks.min(if n >= 500 { 6 } else { scale.sweep_tasks });
+        let count = scale
+            .sweep_tasks
+            .min(if n >= 500 { 6 } else { scale.sweep_tasks });
         let tasks = tasks_of_len(n, count, scale.seed);
         table.add_row(vec![
             n.to_string(),

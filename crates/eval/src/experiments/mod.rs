@@ -42,8 +42,22 @@ use crate::Scale;
 
 /// Identifiers of every experiment, in paper order.
 pub const ALL: &[&str] = &[
-    "table3", "table4", "fig9", "table5", "fig10", "fig11", "table6", "fig12", "fig13", "fig14",
-    "fig15", "fig16", "table7", "fig18", "fig19", "qualitative",
+    "table3",
+    "table4",
+    "fig9",
+    "table5",
+    "fig10",
+    "fig11",
+    "table6",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "table7",
+    "fig18",
+    "fig19",
+    "qualitative",
 ];
 
 /// Dispatches one experiment by id.

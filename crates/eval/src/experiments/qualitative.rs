@@ -61,12 +61,7 @@ pub fn run(zoo: &Zoo) -> Report {
         &zoo.tuta as &dyn TaskLearner,
     ] {
         let pred = learner.predict(&cells, &observed);
-        let _ = writeln!(
-            body,
-            "  {:<40} {}",
-            learner.name(),
-            mask_string(&pred.mask)
-        );
+        let _ = writeln!(body, "  {:<40} {}", learner.name(), mask_string(&pred.mask));
     }
 
     // Figure 17 analogue: manually formatted columns and the rule Cornet
@@ -93,11 +88,7 @@ pub fn run(zoo: &Zoo) -> Report {
         }
     }
 
-    Report::new(
-        "qualitative",
-        "Figures 7/8/17: worked examples",
-        body,
-    )
+    Report::new("qualitative", "Figures 7/8/17: worked examples", body)
 }
 
 fn display(cells: &[CellValue]) -> Vec<String> {

@@ -57,7 +57,12 @@ fn eval_mode(zoo: &Zoo, mode: ClusterMode) -> (Vec<f64>, f64, f64) {
 pub fn run(zoo: &Zoo) -> Report {
     let _: &[Task] = &zoo.test;
     let mut table = TextTable::new(vec![
-        "Model", "1 ex.", "3 ex.", "5 ex.", "candidates", "t (ms)",
+        "Model",
+        "1 ex.",
+        "3 ex.",
+        "5 ex.",
+        "candidates",
+        "t (ms)",
     ]);
     for (name, mode) in [
         ("No clustering", ClusterMode::NoClustering),

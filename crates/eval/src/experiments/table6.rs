@@ -58,7 +58,11 @@ pub fn run(zoo: &Zoo) -> Report {
          embedder replaces BERT/CodeBERT (DESIGN.md substitution 3).\n",
         table.render()
     );
-    Report::new("table6", "Table 6: ranking model ablations (3 examples)", body)
+    Report::new(
+        "table6",
+        "Table 6: ranking model ablations (3 examples)",
+        body,
+    )
 }
 
 fn add(table: &mut TextTable, name: &str, pm: usize, vals: &[f64]) {

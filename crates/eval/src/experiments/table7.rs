@@ -48,7 +48,11 @@ pub fn run(zoo: &Zoo) -> Report {
             ]);
         }
         if bucket.is_empty() {
-            table.add_row(vec![label.to_string(), "(none found)".into(), String::new()]);
+            table.add_row(vec![
+                label.to_string(),
+                "(none found)".into(),
+                String::new(),
+            ]);
         }
     }
     let body = format!(

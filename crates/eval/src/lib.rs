@@ -12,6 +12,26 @@ pub mod harness;
 pub mod report;
 pub mod systems;
 
+/// Shared entry point for the per-experiment binaries: parses the scale
+/// from the command line, builds the system zoo, runs experiment `id`,
+/// prints the rendered report and saves it to the results directory.
+///
+/// Panics if `id` is not in [`experiments::ALL`].
+pub fn run_cli(id: &str) {
+    let scale = Scale::from_args();
+    eprintln!(
+        "building system zoo ({} train / {} test tasks)…",
+        scale.train_tasks, scale.test_tasks
+    );
+    let zoo = systems::build_zoo(&scale);
+    let report = experiments::run(id, &zoo, &scale).expect("known experiment");
+    println!("{}", report.render());
+    match report.save() {
+        Ok(path) => eprintln!("saved to {}", path.display()),
+        Err(e) => eprintln!("could not save report: {e}"),
+    }
+}
+
 /// Experiment scale knobs. The paper evaluates on 25K test tasks with an
 /// 80K-task training split; these presets trade fidelity for wall-clock.
 #[derive(Debug, Clone)]

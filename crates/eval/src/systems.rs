@@ -3,8 +3,8 @@
 use crate::Scale;
 use cornet_baselines::neural::NeuralTask;
 use cornet_baselines::{
-    CellClassifier, CopKmeans, CornetLearner, NeuralVariant, PopperBaseline,
-    PredicateDecisionTree, RawDecisionTree, TaskLearner,
+    CellClassifier, CopKmeans, CornetLearner, NeuralVariant, PopperBaseline, PredicateDecisionTree,
+    RawDecisionTree, TaskLearner,
 };
 use cornet_core::learner::CornetConfig;
 use cornet_core::rank::{

@@ -317,12 +317,10 @@ fn eval_call(name: &str, args: &[Expr], cell: &CellValue) -> FValue {
             FValue::Number(part)
         }
         "DATE" => match (num(0), num(1), num(2)) {
-            (Some(y), Some(m), Some(d)) => {
-                match Date::from_ymd(y as i32, m as u32, d as u32) {
-                    Some(date) => FValue::Date(date.days()),
-                    None => FValue::Error("#NUM!"),
-                }
-            }
+            (Some(y), Some(m), Some(d)) => match Date::from_ymd(y as i32, m as u32, d as u32) {
+                Some(date) => FValue::Date(date.days()),
+                None => FValue::Error("#NUM!"),
+            },
             _ => FValue::Error("#VALUE!"),
         },
         "CONCATENATE" => {
@@ -387,8 +385,14 @@ mod tests {
 
     #[test]
     fn find_is_case_sensitive() {
-        assert!(truthy("ISNUMBER(FIND(\"Pass\",A1))", CellValue::from("Pass")));
-        assert!(!truthy("ISNUMBER(FIND(\"Pass\",A1))", CellValue::from("pass")));
+        assert!(truthy(
+            "ISNUMBER(FIND(\"Pass\",A1))",
+            CellValue::from("Pass")
+        ));
+        assert!(!truthy(
+            "ISNUMBER(FIND(\"Pass\",A1))",
+            CellValue::from("pass")
+        ));
     }
 
     #[test]
@@ -421,7 +425,10 @@ mod tests {
             eval_on("RIGHT(A1,2)", CellValue::from("abc")),
             FValue::Text("bc".into())
         );
-        assert_eq!(eval_on("LEN(A1)", CellValue::from("héllo")), FValue::Number(5.0));
+        assert_eq!(
+            eval_on("LEN(A1)", CellValue::from("héllo")),
+            FValue::Number(5.0)
+        );
         assert_eq!(
             eval_on("UPPER(A1)&\"!\"", CellValue::from("hi")),
             FValue::Text("HI!".into())
@@ -475,7 +482,10 @@ mod tests {
 
     #[test]
     fn unknown_function_is_name_error() {
-        assert_eq!(eval_on("NOPE(1)", CellValue::Empty), FValue::Error("#NAME?"));
+        assert_eq!(
+            eval_on("NOPE(1)", CellValue::Empty),
+            FValue::Error("#NAME?")
+        );
     }
 
     #[test]

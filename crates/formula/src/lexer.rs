@@ -260,6 +260,9 @@ mod tests {
 
     #[test]
     fn rejects_garbage() {
-        assert!(matches!(tokenize("1 # 2"), Err(LexError::UnexpectedChar('#', _))));
+        assert!(matches!(
+            tokenize("1 # 2"),
+            Err(LexError::UnexpectedChar('#', _))
+        ));
     }
 }

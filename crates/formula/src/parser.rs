@@ -275,7 +275,10 @@ mod tests {
 
     #[test]
     fn zero_arg_calls() {
-        assert_eq!(parse("TODAY()").unwrap(), Expr::Call("TODAY".into(), vec![]));
+        assert_eq!(
+            parse("TODAY()").unwrap(),
+            Expr::Call("TODAY".into(), vec![])
+        );
     }
 
     #[test]

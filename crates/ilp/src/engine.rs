@@ -187,9 +187,7 @@ fn assemble(
             }
             let better = match best {
                 None => true,
-                Some((bg, bi)) => {
-                    gain > bg || (gain == bg && clause.len() < pool[bi].0.len())
-                }
+                Some((bg, bi)) => gain > bg || (gain == bg && clause.len() < pool[bi].0.len()),
             };
             if better {
                 best = Some((gain, i));
@@ -264,7 +262,13 @@ mod tests {
         let signatures = vec![p0, p1];
         let positives = BitVec::from_indices(6, &[0, 1]);
         let negatives = BitVec::from_indices(6, &[2, 3, 4, 5]);
-        let res = learn(&signatures, 6, &positives, &negatives, &IlpConfig::default());
+        let res = learn(
+            &signatures,
+            6,
+            &positives,
+            &negatives,
+            &IlpConfig::default(),
+        );
         let program = res.program.expect("program found");
         let cov = program.coverage(&signatures, 6);
         assert_eq!(cov.iter_ones().collect::<Vec<_>>(), vec![0, 1]);
@@ -278,7 +282,13 @@ mod tests {
         let signatures = vec![p0, p1];
         let positives = BitVec::from_indices(4, &[0, 1]);
         let negatives = BitVec::from_indices(4, &[2, 3]);
-        let res = learn(&signatures, 4, &positives, &negatives, &IlpConfig::default());
+        let res = learn(
+            &signatures,
+            4,
+            &positives,
+            &negatives,
+            &IlpConfig::default(),
+        );
         let program = res.program.expect("program found");
         assert_eq!(program.clauses.len(), 2);
     }
@@ -290,7 +300,13 @@ mod tests {
         let signatures = vec![p0];
         let positives = BitVec::from_indices(4, &[2, 3]);
         let negatives = BitVec::from_indices(4, &[0, 1]);
-        let res = learn(&signatures, 4, &positives, &negatives, &IlpConfig::default());
+        let res = learn(
+            &signatures,
+            4,
+            &positives,
+            &negatives,
+            &IlpConfig::default(),
+        );
         let program = res.program.expect("program found");
         assert_eq!(program.clauses.len(), 1);
         assert!(program.clauses[0].literals[0].negated);
@@ -303,7 +319,13 @@ mod tests {
         let signatures = vec![p0];
         let positives = BitVec::from_indices(2, &[0]);
         let negatives = BitVec::from_indices(2, &[1]);
-        let res = learn(&signatures, 2, &positives, &negatives, &IlpConfig::default());
+        let res = learn(
+            &signatures,
+            2,
+            &positives,
+            &negatives,
+            &IlpConfig::default(),
+        );
         assert!(res.program.is_none());
         assert!(res.clauses_tested > 0);
     }
@@ -376,7 +398,13 @@ mod tests {
         let signatures = vec![p1, p2, p0]; // perfect predicate listed last
         let positives = BitVec::from_indices(4, &[0, 1]);
         let negatives = BitVec::from_indices(4, &[2, 3]);
-        let res = learn(&signatures, 4, &positives, &negatives, &IlpConfig::default());
+        let res = learn(
+            &signatures,
+            4,
+            &positives,
+            &negatives,
+            &IlpConfig::default(),
+        );
         let program = res.program.expect("found");
         assert_eq!(program.size(), 1);
         assert_eq!(program.clauses[0].literals[0], lit(2));

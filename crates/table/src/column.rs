@@ -30,7 +30,10 @@ impl Column {
 
     /// Builds a column by parsing raw strings.
     pub fn parse(name: impl Into<String>, raw: &[&str]) -> Column {
-        Column::new(name.into(), raw.iter().map(|s| CellValue::parse(s)).collect())
+        Column::new(
+            name.into(),
+            raw.iter().map(|s| CellValue::parse(s)).collect(),
+        )
     }
 
     /// Number of cells.

@@ -165,7 +165,10 @@ mod tests {
         let t = parse_csv("id,amount\nRW-1,10\nRW-2,20\n").unwrap();
         assert_eq!(t.rows(), 2);
         assert_eq!(t.cols(), 2);
-        assert_eq!(t.column("id").unwrap().inferred_type(), Some(DataType::Text));
+        assert_eq!(
+            t.column("id").unwrap().inferred_type(),
+            Some(DataType::Text)
+        );
         assert_eq!(
             t.column("amount").unwrap().inferred_type(),
             Some(DataType::Number)
@@ -189,10 +192,7 @@ mod tests {
     fn newline_inside_quotes() {
         let t = parse_csv("a\n\"line1\nline2\"\n").unwrap();
         assert_eq!(t.rows(), 1);
-        assert_eq!(
-            t.columns[0].cells[0].as_text(),
-            Some("line1\nline2")
-        );
+        assert_eq!(t.columns[0].cells[0].as_text(), Some("line1\nline2"));
     }
 
     #[test]

@@ -13,9 +13,20 @@ use cornet_repro::table::CellValue;
 fn main() {
     // Two weeks of shifts (2024-03-04 is a Monday).
     let raw = [
-        "2024-03-04", "2024-03-05", "2024-03-06", "2024-03-07", "2024-03-08",
-        "2024-03-09", "2024-03-10", "2024-03-11", "2024-03-12", "2024-03-13",
-        "2024-03-14", "2024-03-15", "2024-03-16", "2024-03-17",
+        "2024-03-04",
+        "2024-03-05",
+        "2024-03-06",
+        "2024-03-07",
+        "2024-03-08",
+        "2024-03-09",
+        "2024-03-10",
+        "2024-03-11",
+        "2024-03-12",
+        "2024-03-13",
+        "2024-03-14",
+        "2024-03-15",
+        "2024-03-16",
+        "2024-03-17",
     ];
     let cells: Vec<CellValue> = raw.iter().map(|s| CellValue::parse(s)).collect();
 

@@ -2,6 +2,12 @@
 //! Cornet with the baselines, and inspect rule candidates.
 //!
 //! Run with `cargo run --example issue_tracker`.
+//!
+//! This is the paper's §5 head-to-head setting in miniature (Table 4 /
+//! Figure 10): the same task is given to Cornet and to every baseline of
+//! §4 — decision trees with and without predicate features, Popper-style
+//! ILP, COP-KMeans constrained clustering — and their predicted
+//! formatting masks are printed against the gold pattern.
 
 use cornet_repro::baselines::{
     CopKmeans, PopperBaseline, PredicateDecisionTree, RawDecisionTree, TaskLearner,
@@ -12,9 +18,16 @@ use cornet_repro::table::CellValue;
 fn main() {
     // status column of an exported issue tracker.
     let raw = [
-        "BUG-1021 failing", "BUG-1022 passing", "BUG-1023 failing", "BUG-1024 blocked",
-        "BUG-1025 passing", "BUG-1026 failing", "BUG-1027 passing", "BUG-1028 blocked",
-        "BUG-1029 failing", "BUG-1030 passing",
+        "BUG-1021 failing",
+        "BUG-1022 passing",
+        "BUG-1023 failing",
+        "BUG-1024 blocked",
+        "BUG-1025 passing",
+        "BUG-1026 failing",
+        "BUG-1027 passing",
+        "BUG-1028 blocked",
+        "BUG-1029 failing",
+        "BUG-1030 passing",
     ];
     let cells: Vec<CellValue> = raw.iter().map(|s| CellValue::from(*s)).collect();
 
@@ -44,7 +57,11 @@ fn main() {
     ];
     for learner in &baselines {
         let pred = learner.predict(&cells, &observed);
-        let mask: String = pred.mask.iter().map(|b| if b { '#' } else { '.' }).collect();
+        let mask: String = pred
+            .mask
+            .iter()
+            .map(|b| if b { '#' } else { '.' })
+            .collect();
         let rule = pred
             .rule
             .map(|r| r.to_string())

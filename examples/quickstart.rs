@@ -22,7 +22,9 @@ fn main() {
     let observed = vec![0, 2, 5];
 
     let cornet = Cornet::with_default_ranker();
-    let outcome = cornet.learn(&cells, &observed).expect("a rule is learnable");
+    let outcome = cornet
+        .learn(&cells, &observed)
+        .expect("a rule is learnable");
 
     println!("Learned {} candidate rule(s).\n", outcome.candidates.len());
     let best = outcome.best();
@@ -34,7 +36,11 @@ fn main() {
     let mask = best.rule.execute(&cells);
     for (i, cell) in cells.iter().enumerate() {
         let marker = if mask.get(i) { "█" } else { " " };
-        let given = if observed.contains(&i) { "  ← example" } else { "" };
+        let given = if observed.contains(&i) {
+            "  ← example"
+        } else {
+            ""
+        };
         println!("  {marker} {}{given}", cell.display_string());
     }
 }

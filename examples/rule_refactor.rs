@@ -14,8 +14,8 @@ fn main() {
     let user_formula = parse("IF(LEFT(A1,2)=\"Dr\",TRUE,FALSE)").expect("parses");
 
     let raw = [
-        "Dr Smith", "Mr Jones", "Dr Patel", "Ms Green", "Dr Huang", "Mr Brown",
-        "Dr Silva", "Ms Wood", "Mrs King", "Dr Novak",
+        "Dr Smith", "Mr Jones", "Dr Patel", "Ms Green", "Dr Huang", "Mr Brown", "Dr Silva",
+        "Ms Wood", "Mrs King", "Dr Novak",
     ];
     let cells: Vec<CellValue> = raw.iter().map(|s| CellValue::from(*s)).collect();
 

@@ -3,8 +3,8 @@
 //! paper reports holds on an easy text benchmark.
 
 use cornet_repro::baselines::{
-    CellClassifier, CopKmeans, CornetLearner, NeuralVariant, PopperBaseline,
-    PredicateDecisionTree, RawDecisionTree, TaskLearner,
+    CellClassifier, CopKmeans, CornetLearner, NeuralVariant, PopperBaseline, PredicateDecisionTree,
+    RawDecisionTree, TaskLearner,
 };
 use cornet_repro::core::learner::CornetConfig;
 use cornet_repro::core::rank::SymbolicRanker;

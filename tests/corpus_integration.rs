@@ -58,13 +58,21 @@ fn table3_shape_holds() {
     assert!(numeric.avg_cells > text.avg_cells);
     assert!(text.avg_depth > numeric.avg_depth);
     // Depth magnitudes within tolerance of the paper's averages.
-    assert!((text.avg_depth - 2.3).abs() < 0.5, "text {}", text.avg_depth);
+    assert!(
+        (text.avg_depth - 2.3).abs() < 0.5,
+        "text {}",
+        text.avg_depth
+    );
     assert!(
         (numeric.avg_depth - 1.8).abs() < 0.5,
         "numeric {}",
         numeric.avg_depth
     );
-    assert!((date.avg_depth - 1.7).abs() < 0.6, "date {}", date.avg_depth);
+    assert!(
+        (date.avg_depth - 1.7).abs() < 0.6,
+        "date {}",
+        date.avg_depth
+    );
 }
 
 #[test]
@@ -100,9 +108,6 @@ fn all_types_are_represented() {
         ..CorpusConfig::default()
     });
     for dtype in [DataType::Text, DataType::Number, DataType::Date] {
-        assert!(
-            !corpus.of_type(dtype).is_empty(),
-            "missing {dtype:?} tasks"
-        );
+        assert!(!corpus.of_type(dtype).is_empty(), "missing {dtype:?} tasks");
     }
 }

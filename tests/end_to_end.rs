@@ -8,7 +8,8 @@ use cornet_repro::table::CellValue;
 
 #[test]
 fn csv_to_rule_to_formula_roundtrip() {
-    let csv = "id,owner\nRW-187,ann\nRS-762,bob\nRW-159,cara\nRW-131-T,dan\nTW-224,eve\nRW-312,fred\n";
+    let csv =
+        "id,owner\nRW-187,ann\nRS-762,bob\nRW-159,cara\nRW-131-T,dan\nTW-224,eve\nRW-312,fred\n";
     let table = parse_csv(csv).expect("valid csv");
     let id = table.column("id").expect("id column");
 
@@ -75,7 +76,11 @@ fn all_candidates_satisfy_examples_and_are_sorted() {
     }
     for cand in &outcome.candidates {
         for &i in &[0usize, 2, 4] {
-            assert!(cand.rule.eval(&cells[i]), "{} misses example {i}", cand.rule);
+            assert!(
+                cand.rule.eval(&cells[i]),
+                "{} misses example {i}",
+                cand.rule
+            );
         }
     }
 }

@@ -1,0 +1,240 @@
+//! Offline mini benchmark harness exposing the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) API the Cornet benches
+//! use: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! [`black_box`], [`criterion_group!`] and [`criterion_main!`].
+//!
+//! There is no statistical analysis: each benchmark is warmed up briefly,
+//! then timed over `sample_size` samples whose iteration counts are sized to
+//! a fixed per-sample budget, and the mean/min/max per-iteration times are
+//! printed. Good enough to compare the paper's systems against each other
+//! on one machine (Figures 9 and 11); swap in the real crate for rigorous
+//! statistics once the build environment has network access.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier; forwards to [`std::hint::black_box`].
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one parameterised benchmark: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates the id `{function_name}/{parameter}`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+    sample_budget: Duration,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing one mean-per-iteration duration per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up and calibration: run until ~10ms elapse to size samples.
+        let calibration_start = Instant::now();
+        let mut calibration_iters: u32 = 0;
+        while calibration_start.elapsed() < Duration::from_millis(10) {
+            black_box(routine());
+            calibration_iters += 1;
+        }
+        let per_iter = calibration_start.elapsed() / calibration_iters.max(1);
+        let iters_per_sample = if per_iter.is_zero() {
+            1000
+        } else {
+            (self.sample_budget.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u32
+        };
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters_per_sample);
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+fn run_one(
+    full_id: &str,
+    sample_size: usize,
+    sample_budget: Duration,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut samples = Vec::with_capacity(sample_size);
+    let mut bencher = Bencher {
+        samples: &mut samples,
+        sample_size,
+        sample_budget,
+    };
+    f(&mut bencher);
+    if samples.is_empty() {
+        println!("{full_id:<50} (no samples)");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().copied().unwrap_or_default();
+    let max = samples.iter().max().copied().unwrap_or_default();
+    println!(
+        "{full_id:<50} time: [{} {} {}]",
+        format_duration(min),
+        format_duration(mean),
+        format_duration(max),
+    );
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Compatibility no-op: the shim sizes samples from a fixed budget.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `{group}/{id}`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        run_one(
+            &full_id,
+            self.sample_size,
+            self.criterion.sample_budget,
+            &mut routine,
+        );
+        self
+    }
+
+    /// Benchmarks `routine` with a borrowed input under `{group}/{id}`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full_id = format!("{}/{}", self.name, id);
+        run_one(
+            &full_id,
+            self.sample_size,
+            self.criterion.sample_budget,
+            &mut |b| routine(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Top-level harness handle passed to `criterion_group!` functions.
+pub struct Criterion {
+    sample_budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            // Per-sample time budget; keeps `cargo bench` runs short.
+            sample_budget: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a [`BenchmarkGroup`] named `name`.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n== group: {name} ==");
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    /// Benchmarks `routine` under `id` without a group.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let budget = self.sample_budget;
+        run_one(&id.to_string(), 10, budget, &mut routine);
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running each group in order. Command-line arguments
+/// (e.g. the `--bench` flag cargo passes) are accepted and ignored.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,557 @@
+//! Offline mini property-testing harness exposing the subset of the
+//! [`proptest`](https://crates.io/crates/proptest) API used by this
+//! workspace's property tests: [`Strategy`](strategy::Strategy) with
+//! [`prop_map`](strategy::Strategy::prop_map), [`Just`](strategy::Just),
+//! [`any`](arbitrary::any), numeric-range and string-pattern strategies,
+//! tuple composition, [`collection::vec`](collection::vec()), and the
+//! [`proptest!`], [`prop_oneof!`], [`prop_assert!`] / [`prop_assert_eq!`]
+//! macros.
+//!
+//! Unlike the real crate there is no shrinking and no persisted failure
+//! corpus: each `proptest!` test runs a fixed number of deterministically
+//! seeded cases (override with the `PROPTEST_CASES` environment variable)
+//! and reports the case number on failure, which is enough to reproduce it.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// A recipe for generating values of one type from an RNG.
+    pub trait Strategy {
+        /// Type of the generated values.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Output of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice among several strategies with a common value type;
+    /// built by [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<V> {
+        options: Vec<Rc<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union {
+                options: self.options.clone(),
+            }
+        }
+    }
+
+    impl<V> Union<V> {
+        /// Creates a union with no options; add them with [`Union::or`].
+        pub fn empty() -> Self {
+            Union {
+                options: Vec::new(),
+            }
+        }
+
+        /// Adds one option.
+        pub fn or<S>(mut self, strategy: S) -> Self
+        where
+            S: Strategy<Value = V> + 'static,
+        {
+            self.options.push(Rc::new(strategy));
+            self
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut StdRng) -> V {
+            assert!(!self.options.is_empty(), "prop_oneof! of zero strategies");
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, f32, f64);
+
+    /// String-pattern strategy: a `&str` is interpreted as a sequence of
+    /// `.` / `[class]` / literal-character elements, each optionally
+    /// quantified with `{n}` or `{m,n}` — the subset of proptest's regex
+    /// strategies this workspace uses.
+    impl Strategy for &'static str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            crate::string::generate_pattern(self, rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+        (A.0, B.1, C.2, D.3, E.4, F.5);
+    }
+}
+
+pub mod arbitrary {
+    //! The [`any`] entry point for canonical per-type strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy, usable via [`any`].
+    pub trait Arbitrary: Sized {
+        /// Generates one canonical value.
+        fn arbitrary_value(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary_value(rng: &mut StdRng) -> bool {
+            rng.gen_bool(0.5)
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary_value(rng: &mut StdRng) -> $t {
+                    rng.gen_range(<$t>::MIN..=<$t>::MAX)
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize);
+
+    /// Strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct AnyStrategy<T>(PhantomData<T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// Returns the canonical strategy for `T` (e.g. `any::<bool>()`).
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies ([`vec()`]).
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Length specification for [`vec()`]: a fixed size or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    /// Output of [`vec()`]: generates `Vec`s of values from an element
+    /// strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `Vec`s with elements from `element` and length in
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod string {
+    //! Pattern interpreter behind the `&str` strategy.
+
+    use rand::rngs::StdRng;
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+
+    #[derive(Debug)]
+    enum Element {
+        /// `.` — any printable character from a mixed ASCII/Unicode pool.
+        AnyChar,
+        /// `[...]` — one character from the listed set.
+        Class(Vec<char>),
+        /// A literal character.
+        Literal(char),
+    }
+
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Vec<char> {
+        let mut set = Vec::new();
+        let mut prev: Option<char> = None;
+        loop {
+            let c = chars
+                .next()
+                .unwrap_or_else(|| panic!("unterminated [class] in pattern {pattern:?}"));
+            match c {
+                ']' => break,
+                '-' => {
+                    // A range like `a-z` if bracketed by chars; literal `-`
+                    // at the start/end of the class.
+                    match (prev, chars.peek()) {
+                        (Some(lo), Some(&hi)) if hi != ']' => {
+                            chars.next();
+                            assert!(lo <= hi, "bad range {lo}-{hi} in pattern {pattern:?}");
+                            set.extend(lo..=hi);
+                            prev = None;
+                        }
+                        _ => {
+                            set.push('-');
+                            prev = Some('-');
+                        }
+                    }
+                }
+                c => {
+                    set.push(c);
+                    prev = Some(c);
+                }
+            }
+        }
+        assert!(!set.is_empty(), "empty [class] in pattern {pattern:?}");
+        set
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> (usize, usize) {
+        if chars.peek() != Some(&'{') {
+            return (1, 1);
+        }
+        chars.next();
+        let mut spec = String::new();
+        for c in chars.by_ref() {
+            if c == '}' {
+                let (lo, hi) = match spec.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier lower bound"),
+                        hi.trim().parse().expect("bad quantifier upper bound"),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().expect("bad quantifier count");
+                        (n, n)
+                    }
+                };
+                assert!(lo <= hi, "bad quantifier {{{spec}}} in pattern {pattern:?}");
+                return (lo, hi);
+            }
+            spec.push(c);
+        }
+        panic!("unterminated quantifier in pattern {pattern:?}");
+    }
+
+    /// Characters `.` draws from: printable ASCII plus a few multibyte
+    /// characters so parsers see non-ASCII input too.
+    const ANY_POOL: &[char] = &[
+        'a', 'b', 'z', 'A', 'Z', '0', '1', '9', ' ', '\t', '-', '_', '.', ',', ':', ';', '!', '?',
+        '#', '$', '%', '&', '(', ')', '[', ']', '{', '}', '"', '\'', '/', '\\', '+', '=', '<', '>',
+        '|', '~', '^', '@', 'é', 'ß', 'λ', '→', '你', '🦀',
+    ];
+
+    /// Generates one string matching `pattern` (see the `&str` strategy
+    /// docs for the supported subset).
+    pub fn generate_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let mut chars = pattern.chars().peekable();
+        let mut elements = Vec::new();
+        while let Some(c) = chars.next() {
+            let element = match c {
+                '.' => Element::AnyChar,
+                '[' => Element::Class(parse_class(&mut chars, pattern)),
+                c => Element::Literal(c),
+            };
+            let (lo, hi) = parse_quantifier(&mut chars, pattern);
+            elements.push((element, lo, hi));
+        }
+
+        let mut out = String::new();
+        for (element, lo, hi) in &elements {
+            let count = rng.gen_range(*lo..=*hi);
+            for _ in 0..count {
+                match element {
+                    Element::AnyChar => out.push(*ANY_POOL.choose(rng).unwrap()),
+                    Element::Class(set) => out.push(*set.choose(rng).unwrap()),
+                    Element::Literal(c) => out.push(*c),
+                }
+            }
+        }
+        out
+    }
+}
+
+pub mod test_runner {
+    //! Seeding and case-count plumbing used by the [`proptest!`](crate::proptest) macro
+    //! expansion.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Number of cases each property runs; `PROPTEST_CASES` overrides the
+    /// default of 64.
+    pub fn case_count() -> u64 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(64)
+    }
+
+    /// Deterministic RNG for one (test, case) pair.
+    pub fn rng_for_case(test_name: &str, case: u64) -> StdRng {
+        // FNV-1a over the test name so each property gets its own stream.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::empty()$(.or($strategy))+
+    };
+}
+
+/// Asserts a condition inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property, reporting the failing case.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+///
+/// On failure the panic message includes the case number; re-running the
+/// same binary reproduces it (generation is deterministic per test name).
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let cases = $crate::test_runner::case_count();
+                for case in 0..cases {
+                    let mut proptest_rng =
+                        $crate::test_runner::rng_for_case(stringify!($name), case);
+                    $(let $arg = ($strategy).generate(&mut proptest_rng);)+
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                        || $body
+                    ));
+                    if let Err(panic) = result {
+                        eprintln!(
+                            "proptest: property {} failed at case {case}/{cases}",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(panic);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::rng_for_case;
+
+    #[test]
+    fn pattern_strategies_match_shapes() {
+        let mut rng = rng_for_case("pattern_strategies_match_shapes", 0);
+        for case in 0..200u64 {
+            let mut rng2 = rng_for_case("shape", case);
+            let s = "[a-zA-Z0-9 _-]{0,12}".generate(&mut rng2);
+            assert!(s.chars().count() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == ' ' || c == '_' || c == '-'));
+
+            let t = "[a-z]{1,6}".generate(&mut rng);
+            assert!((1..=6).contains(&t.chars().count()));
+
+            let any_len = ".{0,24}".generate(&mut rng);
+            assert!(any_len.chars().count() <= 24);
+
+            let lit = "RW-[0-9]{3}".generate(&mut rng);
+            assert!(lit.starts_with("RW-") && lit.len() == 6);
+        }
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let strategy = prop_oneof![Just(0i64), (1i64..10).prop_map(|v| v * 100),];
+        let cloned = strategy.clone();
+        let mut rng = rng_for_case("union_and_map_compose", 1);
+        for _ in 0..100 {
+            let v = cloned.generate(&mut rng);
+            assert!(v == 0 || (100..1000).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_length_bounds() {
+        let strategy = crate::collection::vec(any::<bool>(), 1..4);
+        let mut rng = rng_for_case("vec_strategy_length_bounds", 2);
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+    }
+
+    proptest! {
+        /// The harness's own macro: tuples, ranges and `any` compose.
+        #[test]
+        fn self_check(flag in any::<bool>(), pair in (0i32..5, 10i32..20)) {
+            prop_assert!((0..5).contains(&pair.0));
+            prop_assert!((10..20).contains(&pair.1));
+            prop_assert_eq!(flag as i32 * 2 % 2, 0);
+        }
+    }
+}

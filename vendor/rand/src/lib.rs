@@ -1,0 +1,418 @@
+//! Offline drop-in subset of the [`rand`](https://crates.io/crates/rand) 0.8
+//! API.
+//!
+//! The build environment for this workspace has no network access, so the
+//! handful of `rand` features the Cornet reproduction actually uses are
+//! reimplemented here behind the same paths (`rand::Rng`,
+//! `rand::SeedableRng`, `rand::rngs::StdRng`, `rand::seq::SliceRandom`).
+//! The generator is xoshiro256** seeded through SplitMix64 — deterministic
+//! for a given seed, which is all the corpus generator and the tests rely
+//! on. It is **not** cryptographically secure and makes no attempt to match
+//! the value streams of the real crate.
+
+/// A source of random `u64`s. Object-safe; [`Rng`] is blanket-implemented
+/// for every `RngCore` (including `dyn RngCore`).
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable generators. Only [`seed_from_u64`](SeedableRng::seed_from_u64)
+/// is provided; the workspace never seeds from byte arrays or entropy.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a `u64` seed (expanded via SplitMix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values samplable from the "standard" distribution: uniform over the type
+/// for integers and `bool`, uniform in `[0, 1)` for floats.
+pub trait SampleStandard: Sized {
+    /// Draws one value from `rng`.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl SampleStandard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl SampleStandard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl SampleStandard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl SampleStandard for i64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl SampleStandard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl SampleStandard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl SampleStandard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types uniformly samplable from a half-open or inclusive range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[low, high)`.
+    fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range {low}..{high}");
+                let span = (high as i128 - low as i128) as u128;
+                let v = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (low as i128 + v as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range {low}..={high}");
+                let span = (high as i128 - low as i128) as u128 + 1;
+                let v = ((rng.next_u64() as u128) << 64 | rng.next_u64() as u128) % span;
+                (low as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "gen_range: empty range {low}..{high}");
+                let unit = <$t as SampleStandard>::sample_standard(rng);
+                let v = low + (high - low) * unit;
+                // Guard against rounding up to `high` on extreme spans.
+                if v < high { v } else { low }
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low <= high, "gen_range: empty range {low}..={high}");
+                let unit = <$t as SampleStandard>::sample_standard(rng);
+                low + (high - low) * unit
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Range argument accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a single value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`]
+/// (including trait objects, mirroring the real crate).
+pub trait Rng: RngCore {
+    /// Draws a value from the standard distribution (see [`SampleStandard`]).
+    fn gen<T: SampleStandard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p={p} out of range");
+        f64::sample_standard(self) < p
+    }
+
+    /// Fills `dest` with values from the standard distribution.
+    fn fill<T: SampleStandard>(&mut self, dest: &mut [T]) {
+        for slot in dest {
+            *slot = T::sample_standard(self);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generators. Only [`StdRng`] is provided.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256** generator seeded through SplitMix64.
+    ///
+    /// Stands in for `rand::rngs::StdRng`; same name, same seeding entry
+    /// point, different (but fixed) value stream.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as recommended by the xoshiro authors.
+            let mut state = seed;
+            let mut next = || {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    //! Slice sampling helpers (`choose`, `choose_multiple`, `shuffle`).
+
+    use super::{Rng, RngCore};
+
+    /// Iterator over elements sampled without replacement by
+    /// [`SliceRandom::choose_multiple`].
+    #[derive(Debug)]
+    pub struct SliceChooseIter<'a, T> {
+        slice: &'a [T],
+        indices: std::vec::IntoIter<usize>,
+    }
+
+    impl<'a, T> Iterator for SliceChooseIter<'a, T> {
+        type Item = &'a T;
+
+        fn next(&mut self) -> Option<&'a T> {
+            self.indices.next().map(|i| &self.slice[i])
+        }
+
+        fn size_hint(&self) -> (usize, Option<usize>) {
+            self.indices.size_hint()
+        }
+    }
+
+    impl<T> ExactSizeIterator for SliceChooseIter<'_, T> {}
+
+    /// Random sampling methods on slices.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Returns one uniformly chosen element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Returns `min(amount, len)` distinct elements, uniformly without
+        /// replacement, in random order.
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> SliceChooseIter<'_, Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> SliceChooseIter<'_, T> {
+            let amount = amount.min(self.len());
+            let mut indices: Vec<usize> = (0..self.len()).collect();
+            // Partial Fisher–Yates: the first `amount` slots end up uniform.
+            for i in 0..amount {
+                let j = rng.gen_range(i..indices.len());
+                indices.swap(i, j);
+            }
+            indices.truncate(amount);
+            SliceChooseIter {
+                slice: self,
+                indices: indices.into_iter(),
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..10);
+            assert!((3..10).contains(&v));
+            let w = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&w));
+            let f = rng.gen_range(0.25..0.6);
+            assert!((0.25..0.6).contains(&f));
+            let g = rng.gen_range(0.0f64..=1.0);
+            assert!((0.0..=1.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn choose_and_shuffle() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let pool = [1, 2, 3, 4, 5];
+        assert!(pool.choose(&mut rng).is_some());
+        let empty: [i32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+
+        let picked: Vec<i32> = pool.choose_multiple(&mut rng, 3).copied().collect();
+        assert_eq!(picked.len(), 3);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "choose_multiple must not repeat");
+
+        // More than available: capped at slice length.
+        assert_eq!(pool.choose_multiple(&mut rng, 99).count(), 5);
+
+        let mut v: Vec<i32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut back = v.clone();
+        back.sort_unstable();
+        assert_eq!(back, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn works_through_dyn_rng_core() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dyn_rng: &mut dyn RngCore = &mut rng;
+        let v = Rng::gen_range(dyn_rng, 0..10usize);
+        assert!(v < 10);
+        let pool = ["a", "b"];
+        assert!(pool.choose(dyn_rng).is_some());
+    }
+}

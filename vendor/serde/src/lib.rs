@@ -1,0 +1,18 @@
+//! Offline stub of the [`serde`](https://crates.io/crates/serde) façade.
+//!
+//! The workspace's data types carry `#[derive(serde::Serialize,
+//! serde::Deserialize)]` so that a future PR can persist learned rules and
+//! corpora, but the build environment has no network access. This stub keeps
+//! those derives compiling: the traits are empty markers and the derive
+//! macros (re-exported from `serde_derive`) expand to nothing. Swapping in
+//! the real crate is a one-line change in the workspace manifest.
+
+/// Marker stand-in for `serde::Serialize`. No methods; nothing in the
+/// workspace serializes yet.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`. No methods; nothing in the
+/// workspace deserializes yet.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

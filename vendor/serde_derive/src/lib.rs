@@ -1,0 +1,21 @@
+//! No-op derive macros backing the offline `serde` stub (see
+//! `vendor/serde`).
+//!
+//! Each derive expands to an empty token stream: the annotated type gains no
+//! impls, which is fine because the stub traits are never used as bounds.
+//! The derives exist purely so `#[derive(serde::Serialize)]` attributes in
+//! the workspace compile without the real (network-fetched) serde.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; placeholder for serde's `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; placeholder for serde's `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
