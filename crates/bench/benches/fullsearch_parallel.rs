@@ -1,0 +1,94 @@
+//! Scaling of the parallel `full_search` over thread counts.
+//!
+//! One fixed seeded text column (the Figure 11 construction at depth 3),
+//! one uncapped-budget search, measured with the worker count pinned to
+//! 1, 2, 4 and 8 via `cornet_pool::with_threads`. Predicate generation and
+//! clustering are hoisted out of the measured body: the bench isolates the
+//! stage the pool parallelises. On multicore hardware the 4-thread line
+//! should sit well under half the 1-thread line; on a single hardware
+//! core the lines collapse (the pool still schedules correctly, there is
+//! just no parallelism to harvest).
+
+use cornet_core::cluster::{cluster, ClusterConfig, ClusterOutcome};
+use cornet_core::fullsearch::{full_search, FullSearchConfig};
+use cornet_core::predgen::{generate_predicates, GenConfig, PredicateSet};
+use cornet_core::predicate::{Predicate, TextOp};
+use cornet_core::rule::{Conjunct, Rule, RuleLiteral};
+use cornet_core::signature::CellSignatures;
+use cornet_pool::with_threads;
+use cornet_table::CellValue;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The fig11 deep-rule column: random `{AX,BX}-nnn-S` ids whose target rule
+/// is an AND chain of `depth` literals.
+fn deep_task(depth: usize, n: usize, seed: u64) -> (Vec<CellValue>, Vec<usize>) {
+    const SUFFIXES: [&str; 6] = ["T", "U", "V", "W", "X", "Y"];
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cells: Vec<CellValue> = (0..n)
+        .map(|_| {
+            let prefix = if rng.gen_bool(0.5) { "AX" } else { "BX" };
+            let num = rng.gen_range(100..1000);
+            let suffix = SUFFIXES[rng.gen_range(0..SUFFIXES.len())];
+            CellValue::Text(format!("{prefix}-{num}-{suffix}"))
+        })
+        .collect();
+    let mut literals = vec![RuleLiteral::pos(Predicate::Text {
+        op: TextOp::StartsWith,
+        pattern: "AX".into(),
+    })];
+    for suffix in SUFFIXES.iter().take(depth.saturating_sub(1)) {
+        literals.push(RuleLiteral::neg(Predicate::Text {
+            op: TextOp::EndsWith,
+            pattern: (*suffix).to_string(),
+        }));
+    }
+    let rule = Rule::new(vec![Conjunct::new(literals)]);
+    let observed: Vec<usize> = rule.execute(&cells).iter_ones().take(3).collect();
+    (cells, observed)
+}
+
+fn fixture() -> (PredicateSet, ClusterOutcome, FullSearchConfig) {
+    let (cells, observed) = deep_task(3, 80, 29);
+    let predicates = generate_predicates(
+        &cells,
+        &GenConfig {
+            max_predicates: 28,
+            ..GenConfig::default()
+        },
+    );
+    let signatures = CellSignatures::from_predicates(&predicates);
+    let outcome = cluster(&signatures, &observed, &ClusterConfig::default());
+    let config = FullSearchConfig {
+        max_depth: 3,
+        max_candidates: 1 << 30,
+        max_conjuncts: 1 << 30,
+        max_pair_evals: 1 << 30,
+        ..FullSearchConfig::default()
+    };
+    (predicates, outcome, config)
+}
+
+fn bench_fullsearch_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fullsearch_parallel");
+    group.sample_size(10);
+    let (predicates, outcome, config) = fixture();
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    with_threads(threads, || {
+                        std::hint::black_box(full_search(&predicates, &outcome, &config))
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fullsearch_parallel);
+criterion_main!(benches);

@@ -8,12 +8,27 @@
 //! observed examples and sufficiently accurate on the clustered labels.
 //! The search space grows as `O((2p)^d)` in the number of predicates `p`,
 //! which is exactly the blow-up Figure 11 plots.
+//!
+//! Both stages run on the [`cornet_pool`] work-stealing pool (worker count
+//! from `CORNET_THREADS` or [`cornet_pool::with_threads`]): stage 1
+//! parallelises conjunct expansion over frontier chunks, stage 2
+//! parallelises disjunct-pair evaluation over `i`-row strips of the pair
+//! triangle. Results are collected in submission order, so **with
+//! unconstraining budgets the output is bit-identical for every thread
+//! count** (and identical to the historical serial implementation). The
+//! `max_conjuncts` / `max_pair_evals` / `max_candidates` budgets are
+//! enforced through shared atomic counters: capped multi-threaded runs
+//! stay within every budget but may keep a different (order-preserving)
+//! subsequence of the uncapped candidate list than the serial run, whose
+//! capped output is exactly the uncapped list's prefix. The
+//! `parallel_differential` integration suite locks both contracts down.
 
 use crate::cluster::ClusterOutcome;
 use crate::enumerate::Candidate;
 use crate::predgen::PredicateSet;
 use crate::rule::{Conjunct, Rule, RuleLiteral};
 use cornet_table::BitVec;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Full-search configuration.
 #[derive(Debug, Clone)]
@@ -62,41 +77,71 @@ pub fn full_search(
     // each with its coverage. Only one representative per distinct signature
     // enters the space. Literals are indexed 2p (positive) / 2p+1 (negated);
     // extensions are strictly increasing for canonical order.
+    //
+    // Each depth expands the frontier items in parallel; per-item children
+    // are concatenated in frontier order, so the canonical enumeration
+    // order is preserved and the `max_conjuncts` truncation below keeps a
+    // deterministic prefix of whatever was produced. The shared `produced`
+    // counter only bounds wasted work once the budget is exhausted: a
+    // worker that sees it saturated stops expanding, which on the inline
+    // single-thread path cuts off at exactly the serial prefix.
     let reps = &predicates.representatives;
     let n_literals = reps.len() * 2;
-    let literal_sig = |li: usize| -> BitVec {
-        let sig = &predicates.signatures[reps[li / 2]];
-        if li % 2 == 1 {
-            sig.not()
-        } else {
-            sig.clone()
-        }
-    };
+    let literal_sigs: Vec<BitVec> = (0..n_literals)
+        .map(|li| {
+            let sig = &predicates.signatures[reps[li / 2]];
+            if li % 2 == 1 {
+                sig.not()
+            } else {
+                sig.clone()
+            }
+        })
+        .collect();
     let mut conjuncts: Vec<(Vec<usize>, BitVec)> = Vec::new();
-    let mut frontier: Vec<(Vec<usize>, BitVec)> = vec![(Vec::new(), BitVec::ones(n))];
-    'depth: for _ in 0..config.max_depth {
-        let mut next = Vec::new();
-        for (lits, cov) in &frontier {
+    let root = (Vec::new(), BitVec::ones(n));
+    // The frontier is the tail of `conjuncts` appended by the previous
+    // depth (the root for depth 0) — an index, not a cloned copy.
+    let mut frontier_start = 0usize;
+    for depth in 0..config.max_depth {
+        if conjuncts.len() >= config.max_conjuncts {
+            break;
+        }
+        let produced = AtomicUsize::new(conjuncts.len());
+        let expand = |lits: &Vec<usize>, cov: &BitVec| {
+            let mut children = Vec::new();
             let start = lits.last().map_or(0, |&l| l + 1);
             for li in start..n_literals {
-                if conjuncts.len() >= config.max_conjuncts {
-                    break 'depth;
+                if produced.load(Ordering::Relaxed) >= config.max_conjuncts {
+                    break;
                 }
                 if lits.iter().any(|&e| e / 2 == li / 2) {
                     continue; // complementary/duplicate predicate
                 }
                 let mut child_cov = cov.clone();
-                child_cov.and_assign(&literal_sig(li));
+                child_cov.and_assign(&literal_sigs[li]);
                 if child_cov.none() {
                     continue; // dead conjunct and all its extensions
                 }
+                produced.fetch_add(1, Ordering::Relaxed);
                 let mut child = lits.clone();
                 child.push(li);
-                conjuncts.push((child.clone(), child_cov.clone()));
-                next.push((child, child_cov));
+                children.push((child, child_cov));
             }
-        }
-        frontier = next;
+            children
+        };
+        let next_start = conjuncts.len();
+        let mut next = if depth == 0 {
+            expand(&root.0, &root.1)
+        } else {
+            let frontier = &conjuncts[frontier_start..];
+            cornet_pool::par_flat_map(frontier.len(), |fi| {
+                let (lits, cov) = &frontier[fi];
+                expand(lits, cov)
+            })
+        };
+        next.truncate(config.max_conjuncts - next_start);
+        conjuncts.append(&mut next);
+        frontier_start = next_start;
     }
 
     // Stage 2: compose disjunctions of up to max_disjuncts conjuncts whose
@@ -158,18 +203,29 @@ pub fn full_search(
     // participate (a pair member contributing no observed coverage is
     // redundant with the single-conjunct case already enumerated), and the
     // quadratic pair space is budget-bounded.
-    if config.max_disjuncts >= 2 {
+    //
+    // The triangle `i < j` is parallelised over `i`-strips; strips are
+    // flattened back in `i` order, so unconstraining budgets yield the
+    // serial candidate order exactly. `pair_evals` claims evaluations via
+    // fetch_add (never more than the budget is *evaluated* past the first
+    // saturation check per strip), and `found` caps candidate production
+    // so saturated runs stop scanning instead of finishing the triangle.
+    if config.max_disjuncts >= 2 && out.len() < config.max_candidates {
         let useful: Vec<&(Vec<usize>, BitVec)> = conjuncts
             .iter()
             .filter(|(_, cov)| cov.and_count(observed) > 0)
             .collect();
-        let mut pair_evals = 0usize;
-        'pairs: for i in 0..useful.len() {
+        let remaining = config.max_candidates - out.len();
+        let pair_evals = AtomicUsize::new(0);
+        let found = AtomicUsize::new(0);
+        let strips: Vec<Candidate> = cornet_pool::par_flat_map(useful.len(), |i| {
+            let mut local = Vec::new();
             for j in i + 1..useful.len() {
-                if out.len() >= config.max_candidates || pair_evals >= config.max_pair_evals {
-                    break 'pairs;
+                if found.load(Ordering::Relaxed) >= remaining
+                    || pair_evals.fetch_add(1, Ordering::Relaxed) >= config.max_pair_evals
+                {
+                    break;
                 }
-                pair_evals += 1;
                 let mut cov = useful[i].1.clone();
                 cov.or_assign(&useful[j].1);
                 if cov.and_count(observed) != n_observed {
@@ -177,13 +233,16 @@ pub fn full_search(
                 }
                 let acc = accuracy(&cov);
                 if acc >= config.lambda_acc {
-                    out.push(Candidate {
+                    found.fetch_add(1, Ordering::Relaxed);
+                    local.push(Candidate {
                         rule: build_rule(&[&useful[i].0, &useful[j].0]),
                         cluster_accuracy: acc,
                     });
                 }
             }
-        }
+            local
+        });
+        out.extend(strips.into_iter().take(remaining));
     }
     out
 }

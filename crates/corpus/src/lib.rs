@@ -28,4 +28,4 @@ pub mod values;
 
 pub use manual::{generate_manual_corpus, ManualTask};
 pub use stats::{corpus_stats, CorpusStats, TypeStats};
-pub use taskgen::{generate_corpus, Corpus, CorpusConfig, Task};
+pub use taskgen::{generate_corpus, generate_corpus_sharded, Corpus, CorpusConfig, Task};

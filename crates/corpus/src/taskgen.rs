@@ -122,6 +122,63 @@ pub fn generate_corpus(config: &CorpusConfig) -> Corpus {
     Corpus { tasks }
 }
 
+/// Generates a corpus sharded across the [`cornet_pool`] worker threads.
+///
+/// Unlike [`generate_corpus`], which advances one RNG stream through every
+/// task (making the output depend on generation order), each task slot `i`
+/// here derives its own seed from `(config.seed, i)` via SplitMix64 and is
+/// generated independently. The result is **byte-identical for any shard
+/// count and any thread count** — `n_shards` only controls how the slots
+/// are batched onto workers — which is what makes §5-scale corpora (1.7M
+/// tables) feasible to generate in parallel and to reproduce anywhere.
+///
+/// The value stream differs from [`generate_corpus`]'s for the same seed;
+/// treat the two generators as distinct corpora.
+pub fn generate_corpus_sharded(config: &CorpusConfig, n_shards: usize) -> Corpus {
+    let n_shards = n_shards.clamp(1, config.n_tasks.max(1));
+    let per_shard = config.n_tasks.div_ceil(n_shards);
+    let shards: Vec<Task> = cornet_pool::par_flat_map(n_shards, |s| {
+        let lo = s * per_shard;
+        let hi = ((s + 1) * per_shard).min(config.n_tasks);
+        (lo..hi)
+            .map(|slot| generate_slot_task(slot as u64, config))
+            .collect()
+    });
+    Corpus { tasks: shards }
+}
+
+/// Generates the task for one slot of a sharded corpus: a fresh RNG seeded
+/// from `(config.seed, slot)`, redrawing the task type and retrying until
+/// the corpus filters pass. Depends only on the root seed and the slot
+/// index, never on neighbouring slots.
+fn generate_slot_task(slot: u64, config: &CorpusConfig) -> Task {
+    let mut rng = StdRng::seed_from_u64(derive_seed(config.seed, slot));
+    loop {
+        let r: f64 = rng.gen();
+        let dtype = if r < config.type_mix[0] {
+            DataType::Text
+        } else if r < config.type_mix[0] + config.type_mix[1] {
+            DataType::Number
+        } else {
+            DataType::Date
+        };
+        if let Some(task) = generate_task(slot, dtype, config, &mut rng) {
+            return task;
+        }
+    }
+}
+
+/// SplitMix64 finalizer over the root seed and a stream index; decorrelates
+/// per-slot streams even for adjacent slots or adjacent root seeds.
+fn derive_seed(root: u64, stream: u64) -> u64 {
+    let mut z = root
+        .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Generates one task of the requested type, or `None` if rejection
 /// sampling failed (caller retries with fresh randomness).
 pub fn generate_task(
@@ -285,6 +342,81 @@ mod tests {
             .tasks
             .iter()
             .zip(&c.tasks)
+            .any(|(x, y)| x.cells != y.cells));
+    }
+
+    fn corpus_fingerprint(corpus: &Corpus) -> Vec<(u64, Vec<CellValue>, String, String)> {
+        corpus
+            .tasks
+            .iter()
+            .map(|t| {
+                (
+                    t.id,
+                    t.cells.clone(),
+                    t.rule.to_string(),
+                    t.user_formula.to_string(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sharded_corpus_is_identical_for_any_shard_or_thread_count() {
+        let config = CorpusConfig {
+            n_tasks: 12,
+            seed: 99,
+            ..CorpusConfig::default()
+        };
+        let reference = cornet_pool::with_threads(1, || {
+            corpus_fingerprint(&generate_corpus_sharded(&config, 1))
+        });
+        for (threads, shards) in [(1, 3), (2, 2), (4, 5), (4, 12), (2, 64)] {
+            let got = cornet_pool::with_threads(threads, || {
+                corpus_fingerprint(&generate_corpus_sharded(&config, shards))
+            });
+            assert_eq!(got, reference, "threads={threads} shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_corpus_passes_the_corpus_filters() {
+        let config = CorpusConfig {
+            n_tasks: 24,
+            seed: 13,
+            ..CorpusConfig::default()
+        };
+        let corpus = generate_corpus_sharded(&config, 4);
+        assert_eq!(corpus.tasks.len(), 24);
+        for (slot, task) in corpus.tasks.iter().enumerate() {
+            assert_eq!(task.id, slot as u64, "ids are slot indices in order");
+            let count = task.formatted.count_ones();
+            assert!(count >= 5 && count < task.cells.len());
+            assert_eq!(task.rule.execute(&task.cells), task.formatted);
+        }
+    }
+
+    #[test]
+    fn sharded_corpora_differ_across_root_seeds() {
+        let a = generate_corpus_sharded(
+            &CorpusConfig {
+                n_tasks: 6,
+                seed: 1,
+                ..CorpusConfig::default()
+            },
+            2,
+        );
+        let b = generate_corpus_sharded(
+            &CorpusConfig {
+                n_tasks: 6,
+                seed: 2,
+                ..CorpusConfig::default()
+            },
+            2,
+        );
+        assert!(a
+            .tasks
+            .iter()
+            .zip(&b.tasks)
             .any(|(x, y)| x.cells != y.cells));
     }
 

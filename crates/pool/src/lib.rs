@@ -1,0 +1,359 @@
+//! Scoped work-stealing thread pool for the workspace's parallel hot paths.
+//!
+//! The build environment is offline, so `rayon` is unavailable; this crate
+//! hand-rolls the small subset the Cornet reproduction needs:
+//!
+//! * [`par_map`] / [`par_flat_map`] / [`par_chunk_map`] — data-parallel maps
+//!   over an index range `0..len`, executed by scoped worker threads with
+//!   per-worker deques and work stealing, results collected **in submission
+//!   order** (index order) regardless of which worker ran which chunk.
+//! * Thread-count resolution via [`current_threads`]: a scoped
+//!   [`with_threads`] override beats the `CORNET_THREADS` environment
+//!   variable, which beats [`std::thread::available_parallelism`].
+//! * A single-thread fast path: when one thread is resolved (or the input
+//!   is a single chunk), the map degrades to an inline loop on the calling
+//!   thread — no spawns, no locks — so `CORNET_THREADS=1` reproduces serial
+//!   execution exactly.
+//!
+//! Scheduling: the input is split into chunks, chunk `c` is seeded into the
+//! deque of worker `c % workers` (round-robin), each worker pops its own
+//! deque from the front and steals from the back of its neighbours' when
+//! empty. A worker panic is propagated to the caller by
+//! [`std::thread::scope`] once every worker has drained.
+//!
+//! ```
+//! let squares = cornet_pool::par_map(8, |i| i * i);
+//! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+//! ```
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::sync::Mutex;
+
+/// Upper bound on resolved worker threads, a guard against absurd
+/// `CORNET_THREADS` values.
+pub const MAX_THREADS: usize = 128;
+
+/// How many chunks each worker gets on average when the caller lets
+/// [`par_map`] pick the chunk size; more chunks than workers is what makes
+/// stealing effective under skewed per-item cost.
+const CHUNKS_PER_WORKER: usize = 4;
+
+thread_local! {
+    /// 0 = no override; set by [`with_threads`] for the current thread.
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Runs `f` with the thread count forced to `threads` (clamped to
+/// `1..=`[`MAX_THREADS`]) for every pool call made *from the current
+/// thread* inside `f`. Restores the previous override on exit, panic
+/// included. Beats `CORNET_THREADS`; used by the differential tests to
+/// compare thread counts deterministically within one process.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _guard = Restore(OVERRIDE.with(|o| {
+        let prev = o.get();
+        o.set(threads.clamp(1, MAX_THREADS));
+        prev
+    }));
+    f()
+}
+
+/// The worker-thread count pool calls on this thread will use: the
+/// [`with_threads`] override if set, else `CORNET_THREADS` (positive
+/// integer), else [`std::thread::available_parallelism`], else 1 — clamped
+/// to `1..=`[`MAX_THREADS`].
+pub fn current_threads() -> usize {
+    let forced = OVERRIDE.with(|o| o.get());
+    if forced != 0 {
+        return forced;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(1, MAX_THREADS)
+}
+
+/// Parses `CORNET_THREADS`; `None` when unset, empty, zero or malformed.
+fn env_threads() -> Option<usize> {
+    let raw = std::env::var("CORNET_THREADS").ok()?;
+    let n: usize = raw.trim().parse().ok()?;
+    (n >= 1).then(|| n.clamp(1, MAX_THREADS))
+}
+
+/// Maps `f` over `0..len` in parallel; `out[i] == f(i)` for every `i`, in
+/// index order. Chunk size is chosen automatically from the resolved thread
+/// count. Inline (no threads) when one thread is resolved or `len` fits one
+/// chunk.
+pub fn par_map<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let chunk = auto_chunk_size(len, current_threads());
+    let per_chunk = par_chunk_map(len, chunk, |range| range.map(&f).collect::<Vec<T>>());
+    flatten(per_chunk, len)
+}
+
+/// Like [`par_map`] but every index yields a `Vec<T>`; the per-index
+/// vectors are concatenated in index order.
+pub fn par_flat_map<T, F>(len: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> Vec<T> + Sync,
+{
+    let chunk = auto_chunk_size(len, current_threads());
+    let per_chunk = par_chunk_map(len, chunk, |range| {
+        let mut out = Vec::new();
+        for i in range {
+            out.extend(f(i));
+        }
+        out
+    });
+    flatten(per_chunk, 0)
+}
+
+/// The pool primitive: splits `0..len` into contiguous chunks of
+/// `chunk_size` (the last may be shorter), evaluates `f` once per chunk on
+/// the worker threads, and returns the per-chunk results in chunk order.
+///
+/// Runs inline on the calling thread when one thread is resolved or there
+/// is at most one chunk, so a panic in `f` propagates identically on both
+/// paths.
+pub fn par_chunk_map<T, F>(len: usize, chunk_size: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let chunk_size = chunk_size.max(1);
+    let n_chunks = len.div_ceil(chunk_size);
+    let chunk_range = |c: usize| c * chunk_size..((c + 1) * chunk_size).min(len);
+    let workers = current_threads().min(n_chunks);
+    if workers <= 1 {
+        return (0..n_chunks).map(|c| f(chunk_range(c))).collect();
+    }
+
+    // Per-worker deques seeded round-robin: worker w owns chunks
+    // w, w + workers, w + 2·workers, … and pops them front-first (lowest
+    // index); thieves take from the back (highest index) of a victim.
+    let queues: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..n_chunks).step_by(workers).collect()))
+        .collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
+
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let queues = &queues;
+            let results = &results;
+            let f = &f;
+            scope.spawn(move || loop {
+                let own = queues[w].lock().unwrap().pop_front();
+                let job = own.or_else(|| {
+                    (1..workers).find_map(|d| queues[(w + d) % workers].lock().unwrap().pop_back())
+                });
+                let Some(c) = job else { break };
+                let value = f(chunk_range(c));
+                *results[c].lock().unwrap() = Some(value);
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("worker panics propagate before collection")
+                .expect("every chunk was claimed and completed")
+        })
+        .collect()
+}
+
+/// Chunk size giving each worker ~[`CHUNKS_PER_WORKER`] chunks.
+fn auto_chunk_size(len: usize, threads: usize) -> usize {
+    len.div_ceil((threads * CHUNKS_PER_WORKER).max(1)).max(1)
+}
+
+/// Concatenates per-chunk vectors in chunk order.
+fn flatten<T>(per_chunk: Vec<Vec<T>>, size_hint: usize) -> Vec<T> {
+    let mut out = Vec::with_capacity(size_hint);
+    for chunk in per_chunk {
+        out.extend(chunk);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::thread::ThreadId;
+    use std::time::Duration;
+
+    #[test]
+    fn zero_items_yield_empty() {
+        with_threads(4, || {
+            let out: Vec<usize> = par_map(0, |i| i);
+            assert!(out.is_empty());
+            let flat: Vec<usize> = par_flat_map(0, |i| vec![i]);
+            assert!(flat.is_empty());
+            let chunks: Vec<usize> = par_chunk_map(0, 8, |r| r.len());
+            assert!(chunks.is_empty());
+        });
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        with_threads(8, || {
+            let caller = std::thread::current().id();
+            let out = par_map(1, |i| (i, std::thread::current().id()));
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].0, 0);
+            assert_eq!(out[0].1, caller, "single chunk must not spawn");
+        });
+    }
+
+    #[test]
+    fn one_thread_is_the_inline_path() {
+        with_threads(1, || {
+            let caller = std::thread::current().id();
+            let ids = par_map(64, |_| std::thread::current().id());
+            assert!(ids.iter().all(|&id| id == caller));
+        });
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        with_threads(4, || {
+            // Skewed sleeps: later items finish first on other workers, but
+            // collection is by index.
+            let out = par_map(32, |i| {
+                if i % 7 == 0 {
+                    std::thread::sleep(Duration::from_millis(3));
+                }
+                i * 10
+            });
+            assert_eq!(out, (0..32).map(|i| i * 10).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn flat_map_concatenates_in_order() {
+        with_threads(3, || {
+            let out = par_flat_map(10, |i| vec![i; i % 3]);
+            let expected: Vec<usize> = (0..10).flat_map(|i| vec![i; i % 3]).collect();
+            assert_eq!(out, expected);
+        });
+    }
+
+    #[test]
+    fn skewed_first_chunk_gets_its_siblings_stolen() {
+        // Two workers, chunk per index. Round-robin seeding gives worker 0
+        // the even chunks; chunk 0 sleeps long enough that worker 1 drains
+        // everything else, so some even chunk must run on a different
+        // thread than chunk 0 — i.e. it was stolen.
+        with_threads(2, || {
+            let seen: Mutex<HashMap<usize, ThreadId>> = Mutex::new(HashMap::new());
+            par_chunk_map(16, 1, |range| {
+                let c = range.start;
+                if c == 0 {
+                    std::thread::sleep(Duration::from_millis(60));
+                }
+                seen.lock().unwrap().insert(c, std::thread::current().id());
+            });
+            let seen = seen.into_inner().unwrap();
+            assert_eq!(seen.len(), 16, "every chunk ran exactly once");
+            let sleeper = seen[&0];
+            assert!(
+                (1..8).any(|k| seen[&(2 * k)] != sleeper),
+                "no even chunk was stolen from the sleeping worker"
+            );
+        });
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(4, || {
+                par_map(32, |i| {
+                    if i == 13 {
+                        panic!("boom from worker");
+                    }
+                    i
+                })
+            })
+        });
+        assert!(
+            result.is_err(),
+            "panic inside a worker must reach the caller"
+        );
+    }
+
+    #[test]
+    fn inline_panic_propagates_too() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(1, || {
+                par_map(4, |i| if i == 2 { panic!("inline boom") } else { i })
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn every_index_is_computed_exactly_once() {
+        with_threads(5, || {
+            let calls = AtomicUsize::new(0);
+            let out = par_map(257, |i| {
+                calls.fetch_add(1, Ordering::Relaxed);
+                i
+            });
+            assert_eq!(calls.load(Ordering::Relaxed), 257);
+            assert_eq!(out, (0..257).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn with_threads_nests_and_restores() {
+        with_threads(3, || {
+            assert_eq!(current_threads(), 3);
+            with_threads(7, || assert_eq!(current_threads(), 7));
+            assert_eq!(current_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn with_threads_restores_after_panic() {
+        with_threads(2, || {
+            let _ = std::panic::catch_unwind(|| with_threads(9, || panic!("x")));
+            assert_eq!(current_threads(), 2);
+        });
+    }
+
+    // CORNET_THREADS parsing lives in tests/env_override.rs: mutating the
+    // environment races getenv calls from concurrently running sibling
+    // tests (notably the panic tests' backtrace machinery), so it gets a
+    // process of its own.
+
+    #[test]
+    fn chunk_ranges_partition_the_input() {
+        with_threads(4, || {
+            let ranges = par_chunk_map(103, 10, |r| r);
+            assert_eq!(ranges.len(), 11);
+            let mut next = 0;
+            for r in ranges {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+            assert_eq!(next, 103);
+        });
+    }
+}

@@ -1,0 +1,37 @@
+//! `CORNET_THREADS` resolution, isolated in its own test binary: mutating
+//! the environment is only sound while no other thread may call getenv,
+//! which cannot be guaranteed inside the unit-test binary (parallel
+//! sibling tests, panic backtraces). This binary holds the one test that
+//! touches the variable, so it owns the process environment outright.
+
+use cornet_pool::{current_threads, with_threads, MAX_THREADS};
+
+#[test]
+fn env_override_is_read_clamped_and_beaten_by_with_threads() {
+    std::env::set_var("CORNET_THREADS", "1");
+    assert_eq!(current_threads(), 1);
+    std::env::set_var("CORNET_THREADS", "3");
+    assert_eq!(current_threads(), 3);
+    std::env::set_var("CORNET_THREADS", " 2 ");
+    assert_eq!(current_threads(), 2, "surrounding whitespace is tolerated");
+    std::env::set_var("CORNET_THREADS", "0");
+    assert!(current_threads() >= 1, "zero falls back to detection");
+    std::env::set_var("CORNET_THREADS", "not-a-number");
+    assert!(current_threads() >= 1);
+    std::env::set_var("CORNET_THREADS", "999999");
+    assert_eq!(current_threads(), MAX_THREADS);
+
+    // The scoped override beats the environment.
+    std::env::set_var("CORNET_THREADS", "5");
+    with_threads(2, || assert_eq!(current_threads(), 2));
+    assert_eq!(current_threads(), 5);
+    std::env::remove_var("CORNET_THREADS");
+
+    // And the env-pinned count actually drives execution: one worker means
+    // the inline path on the calling thread.
+    std::env::set_var("CORNET_THREADS", "1");
+    let caller = std::thread::current().id();
+    let ids = cornet_pool::par_map(16, |_| std::thread::current().id());
+    assert!(ids.iter().all(|&id| id == caller));
+    std::env::remove_var("CORNET_THREADS");
+}

@@ -10,6 +10,8 @@
 //! * [`corpus`] — the synthetic benchmark generator,
 //! * [`baselines`] — every baseline of the paper's §4,
 //! * [`eval`] — the experiment harness (tables/figures of §5),
+//! * [`pool`] — the work-stealing thread pool behind the parallel hot
+//!   paths (`CORNET_THREADS` controls the worker count),
 //! * [`dtree`], [`nn`], [`ilp`] — the substrate crates.
 
 pub use cornet_baselines as baselines;
@@ -20,4 +22,5 @@ pub use cornet_eval as eval;
 pub use cornet_formula as formula;
 pub use cornet_ilp as ilp;
 pub use cornet_nn as nn;
+pub use cornet_pool as pool;
 pub use cornet_table as table;

@@ -1,0 +1,201 @@
+//! Differential tests for the parallel `full_search`: whatever
+//! `CORNET_THREADS` resolves to must never change *what* the search finds.
+//!
+//! Contract (see `cornet_core::fullsearch`):
+//!
+//! * with unconstraining budgets the candidate list — rules, order and
+//!   `cluster_accuracy` bits — is identical for 1, 2 and 8 threads;
+//! * with binding budgets every thread count returns an order-preserving
+//!   subsequence of the uncapped serial list, within every budget.
+//!
+//! The tables are ~50 seeded random columns spanning the corpus's surface:
+//! text ids, status words, numerics, dates and mixed-type columns, with
+//! varying lengths and observed sets.
+
+use cornet_repro::core::cluster::{cluster, ClusterConfig, ClusterOutcome};
+use cornet_repro::core::fullsearch::{full_search, FullSearchConfig};
+use cornet_repro::core::predgen::{generate_predicates, GenConfig, PredicateSet};
+use cornet_repro::core::signature::CellSignatures;
+use cornet_repro::pool::with_threads;
+use cornet_repro::table::CellValue;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One seeded random column + observed set. `seed % 5` picks the flavour so
+/// the 50 seeds sweep all five.
+fn random_table(seed: u64) -> (Vec<CellValue>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(12..=40);
+    let raw: Vec<String> = (0..n)
+        .map(|_| match seed % 5 {
+            0 => {
+                let prefix = *["RW", "RS", "TW"].choose(&mut rng).unwrap();
+                let suffix = if rng.gen_bool(0.3) { "-T" } else { "" };
+                format!("{prefix}-{}{suffix}", rng.gen_range(100..1000))
+            }
+            1 => (*["Open", "Closed", "Pending", "Blocked", "Done"]
+                .choose(&mut rng)
+                .unwrap())
+            .to_string(),
+            2 => format!("{}", rng.gen_range(-50..450) as f64 * 0.5),
+            3 => format!(
+                "202{}-{:02}-{:02}",
+                rng.gen_range(0..4),
+                rng.gen_range(1..=12),
+                rng.gen_range(1..=28)
+            ),
+            _ => {
+                if rng.gen_bool(0.6) {
+                    format!("{}", rng.gen_range(0..100))
+                } else {
+                    format!("id-{}", rng.gen_range(0..30))
+                }
+            }
+        })
+        .collect();
+    let cells: Vec<CellValue> = raw.iter().map(|s| CellValue::parse(s)).collect();
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut rng);
+    let k = rng.gen_range(2..=5).min(n);
+    let mut observed = indices[..k].to_vec();
+    observed.sort_unstable();
+    (cells, observed)
+}
+
+fn setup(cells: &[CellValue], observed: &[usize]) -> (PredicateSet, ClusterOutcome) {
+    // Cap the predicate space so the uncapped pair triangle stays testable.
+    let preds = generate_predicates(
+        cells,
+        &GenConfig {
+            max_predicates: 12,
+            ..GenConfig::default()
+        },
+    );
+    let sigs = CellSignatures::from_predicates(&preds);
+    let outcome = cluster(&sigs, observed, &ClusterConfig::default());
+    (preds, outcome)
+}
+
+/// Budgets that never bind on the capped predicate space above.
+fn uncapped() -> FullSearchConfig {
+    FullSearchConfig {
+        max_depth: 2,
+        max_candidates: 1 << 30,
+        max_conjuncts: 1 << 30,
+        max_pair_evals: 1 << 30,
+        ..FullSearchConfig::default()
+    }
+}
+
+/// Budgets small enough to bind on most of the tables.
+fn capped() -> FullSearchConfig {
+    FullSearchConfig {
+        max_depth: 2,
+        max_candidates: 8,
+        max_conjuncts: 48,
+        max_pair_evals: 300,
+        ..FullSearchConfig::default()
+    }
+}
+
+/// Candidate fingerprint: display form plus exact accuracy bits. Accuracy
+/// is summed in a fixed per-candidate order, so bits must match across
+/// thread counts.
+fn fingerprint(
+    preds: &PredicateSet,
+    outcome: &ClusterOutcome,
+    config: &FullSearchConfig,
+    threads: usize,
+) -> Vec<(String, u64)> {
+    with_threads(threads, || {
+        full_search(preds, outcome, config)
+            .iter()
+            .map(|c| (c.rule.to_string(), c.cluster_accuracy.to_bits()))
+            .collect()
+    })
+}
+
+/// Is `sub` an order-preserving subsequence of `full`?
+fn is_subsequence(sub: &[(String, u64)], full: &[(String, u64)]) -> bool {
+    let mut it = full.iter();
+    sub.iter().all(|x| it.any(|y| y == x))
+}
+
+#[test]
+fn uncapped_search_is_bit_identical_across_thread_counts() {
+    let mut nonempty = 0;
+    for seed in 0..50u64 {
+        let (cells, observed) = random_table(seed);
+        let (preds, outcome) = setup(&cells, &observed);
+        let config = uncapped();
+        let serial = fingerprint(&preds, &outcome, &config, 1);
+        for threads in [2, 8] {
+            let parallel = fingerprint(&preds, &outcome, &config, threads);
+            assert_eq!(
+                parallel, serial,
+                "seed {seed}: {threads}-thread uncapped output diverged from serial"
+            );
+        }
+        if !serial.is_empty() {
+            nonempty += 1;
+        }
+    }
+    assert!(
+        nonempty >= 10,
+        "only {nonempty}/50 tables produced candidates — suite too vacuous"
+    );
+}
+
+#[test]
+fn capped_search_is_a_prefix_consistent_subset_on_every_thread_count() {
+    let mut binding = 0;
+    for seed in 0..50u64 {
+        let (cells, observed) = random_table(seed);
+        let (preds, outcome) = setup(&cells, &observed);
+        let reference = fingerprint(&preds, &outcome, &uncapped(), 1);
+        let config = capped();
+        let serial_capped = fingerprint(&preds, &outcome, &config, 1);
+        if serial_capped.len() < reference.len() {
+            binding += 1;
+        }
+        for threads in [1, 2, 8] {
+            let got = fingerprint(&preds, &outcome, &config, threads);
+            assert!(
+                got.len() <= config.max_candidates,
+                "seed {seed}, {threads} threads: candidate budget exceeded"
+            );
+            assert!(
+                is_subsequence(&got, &reference),
+                "seed {seed}, {threads} threads: capped output is not an \
+                 order-preserving subsequence of the uncapped serial output"
+            );
+        }
+    }
+    assert!(
+        binding >= 5,
+        "caps bound on only {binding}/50 tables — tighten the capped budgets"
+    );
+}
+
+#[test]
+fn capped_serial_output_is_the_uncapped_prefix_under_the_candidate_budget() {
+    // On the inline path the budgets cut off at exactly the serial prefix
+    // of the enumeration; with only max_candidates binding this means the
+    // capped serial list IS the head of the uncapped list.
+    for seed in 0..50u64 {
+        let (cells, observed) = random_table(seed);
+        let (preds, outcome) = setup(&cells, &observed);
+        let reference = fingerprint(&preds, &outcome, &uncapped(), 1);
+        let config = FullSearchConfig {
+            max_candidates: 4,
+            ..uncapped()
+        };
+        let capped_serial = fingerprint(&preds, &outcome, &config, 1);
+        let want = &reference[..reference.len().min(4)];
+        assert_eq!(
+            capped_serial, want,
+            "seed {seed}: serial candidate cap must keep the uncapped prefix"
+        );
+    }
+}

@@ -1,7 +1,12 @@
 //! Property-based tests (proptest) on the workspace's core invariants.
 
+use cornet_repro::core::cluster::{cluster, ClusterConfig};
+use cornet_repro::core::fullsearch::{full_search, FullSearchConfig};
+use cornet_repro::core::predgen::{generate_predicates, GenConfig};
 use cornet_repro::core::predicate::{CmpOp, DatePart, Predicate, TextOp};
 use cornet_repro::core::rule::{Conjunct, Rule, RuleLiteral};
+use cornet_repro::core::signature::CellSignatures;
+use cornet_repro::corpus::{generate_corpus_sharded, CorpusConfig};
 use cornet_repro::formula::{evaluate_bool, parse};
 use cornet_repro::table::{BitVec, CellValue, Date};
 use proptest::prelude::*;
@@ -155,5 +160,68 @@ proptest! {
         let d = Date::from_days(days);
         let back = Date::from_ymd(d.year(), d.month(), d.day()).expect("valid components");
         prop_assert_eq!(back.days(), days);
+    }
+
+    /// Every `full_search` candidate covers all observed cells, meets the
+    /// accuracy threshold, and respects the structural budgets — for any
+    /// column content and observed set.
+    #[test]
+    fn full_search_candidates_respect_config(
+        cells in proptest::collection::vec(arb_cell(), 6..28),
+        picks in proptest::collection::vec(any::<u32>(), 2..5),
+    ) {
+        let n = cells.len();
+        let mut observed: Vec<usize> = picks.iter().map(|&p| p as usize % n).collect();
+        observed.sort_unstable();
+        observed.dedup();
+        let preds = generate_predicates(&cells, &GenConfig {
+            max_predicates: 16,
+            ..GenConfig::default()
+        });
+        let sigs = CellSignatures::from_predicates(&preds);
+        let outcome = cluster(&sigs, &observed, &ClusterConfig::default());
+        let config = FullSearchConfig {
+            max_depth: 2,
+            max_candidates: 40,
+            max_conjuncts: 600,
+            max_pair_evals: 5_000,
+            ..FullSearchConfig::default()
+        };
+        let found = full_search(&preds, &outcome, &config);
+        prop_assert!(found.len() <= config.max_candidates);
+        for c in &found {
+            prop_assert!(
+                c.cluster_accuracy >= config.lambda_acc,
+                "candidate {} below lambda_acc: {}", c.rule, c.cluster_accuracy
+            );
+            for i in outcome.observed.iter_ones() {
+                prop_assert!(c.rule.eval(&cells[i]), "candidate {} misses observed cell {}", c.rule, i);
+            }
+            prop_assert!(c.rule.condition.len() <= config.max_disjuncts);
+            for conjunct in &c.rule.condition {
+                prop_assert!(conjunct.literals.len() <= config.max_depth);
+            }
+        }
+    }
+
+    /// Sharded corpus generation depends only on the root seed — never on
+    /// the shard count or thread count it was generated under.
+    #[test]
+    fn sharded_corpus_is_shard_count_invariant(
+        seed in any::<u64>(),
+        shards_a in 1usize..7,
+        shards_b in 1usize..7,
+        threads in 1usize..5,
+    ) {
+        let config = CorpusConfig { n_tasks: 5, seed, ..CorpusConfig::default() };
+        let fingerprint = |corpus: &cornet_repro::corpus::Corpus| -> Vec<(u64, String, String)> {
+            corpus.tasks.iter().map(|t| {
+                let cells: Vec<String> = t.cells.iter().map(|c| format!("{c:?}")).collect();
+                (t.id, cells.join("|"), format!("{} :: {}", t.rule, t.user_formula))
+            }).collect()
+        };
+        let a = cornet_repro::pool::with_threads(1, || fingerprint(&generate_corpus_sharded(&config, shards_a)));
+        let b = cornet_repro::pool::with_threads(threads, || fingerprint(&generate_corpus_sharded(&config, shards_b)));
+        prop_assert_eq!(a, b);
     }
 }
