@@ -1,0 +1,356 @@
+//! JSON codec (`cornet_serde`) implementations for learned rules.
+//!
+//! Wire shapes:
+//!
+//! | Type | Encoding |
+//! |------|----------|
+//! | [`CmpOp`] | `">"` / `">="` / `"<"` / `"<="` |
+//! | [`TextOp`] | `"equals"` / `"contains"` / `"starts_with"` / `"ends_with"` |
+//! | [`DatePart`] | `"day"` / `"month"` / `"year"` / `"weekday"` |
+//! | [`Predicate`] | object tagged by `"p"`, e.g. `{"p":"num_cmp","op":">","n":10}` |
+//! | [`RuleLiteral`] | `{"pred":…,"neg":false}` |
+//! | [`Conjunct`] | array of literals |
+//! | [`Rule`] | `{"cond":[[…],…],"format":1}` |
+//! | [`ScoredRule`] | `{"rule":…,"score":…,"cluster_accuracy":…}` |
+//!
+//! Unknown tags and non-finite constants are rejected with a
+//! [`DecodeError`]; a persisted rule either loads exactly or not at all.
+
+use crate::predicate::{CmpOp, DatePart, Predicate, TextOp};
+use crate::rank::ScoredRule;
+use crate::rule::{Conjunct, Rule, RuleLiteral};
+use cornet_serde::{field_t, type_error, DecodeError, FromJson, Json, ToJson};
+use cornet_table::FormatId;
+
+impl ToJson for CmpOp {
+    fn to_json(&self) -> Json {
+        Json::str(match self {
+            CmpOp::Greater => ">",
+            CmpOp::GreaterEquals => ">=",
+            CmpOp::Less => "<",
+            CmpOp::LessEquals => "<=",
+        })
+    }
+}
+
+impl FromJson for CmpOp {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        match json.as_str() {
+            Some(">") => Ok(CmpOp::Greater),
+            Some(">=") => Ok(CmpOp::GreaterEquals),
+            Some("<") => Ok(CmpOp::Less),
+            Some("<=") => Ok(CmpOp::LessEquals),
+            Some(other) => Err(DecodeError::new(format!(
+                "unknown comparison operator `{other}`"
+            ))),
+            None => Err(type_error("comparison operator string", json)),
+        }
+    }
+}
+
+impl ToJson for TextOp {
+    fn to_json(&self) -> Json {
+        Json::str(match self {
+            TextOp::Equals => "equals",
+            TextOp::Contains => "contains",
+            TextOp::StartsWith => "starts_with",
+            TextOp::EndsWith => "ends_with",
+        })
+    }
+}
+
+impl FromJson for TextOp {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        match json.as_str() {
+            Some("equals") => Ok(TextOp::Equals),
+            Some("contains") => Ok(TextOp::Contains),
+            Some("starts_with") => Ok(TextOp::StartsWith),
+            Some("ends_with") => Ok(TextOp::EndsWith),
+            Some(other) => Err(DecodeError::new(format!("unknown text operator `{other}`"))),
+            None => Err(type_error("text operator string", json)),
+        }
+    }
+}
+
+impl ToJson for DatePart {
+    fn to_json(&self) -> Json {
+        Json::str(self.name())
+    }
+}
+
+impl FromJson for DatePart {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        match json.as_str() {
+            Some("day") => Ok(DatePart::Day),
+            Some("month") => Ok(DatePart::Month),
+            Some("year") => Ok(DatePart::Year),
+            Some("weekday") => Ok(DatePart::Weekday),
+            Some(other) => Err(DecodeError::new(format!("unknown date part `{other}`"))),
+            None => Err(type_error("date part string", json)),
+        }
+    }
+}
+
+/// Requires a finite constant; the parser already rejects `NaN`/`Infinity`
+/// literals, but a hand-built [`Json`] tree could still smuggle one in.
+fn finite(json: &Json, key: &str) -> Result<f64, DecodeError> {
+    let n: f64 = field_t(json, key)?;
+    if n.is_finite() {
+        Ok(n)
+    } else {
+        Err(DecodeError::new(format!(
+            "field `{key}`: non-finite constant"
+        )))
+    }
+}
+
+impl ToJson for Predicate {
+    fn to_json(&self) -> Json {
+        match self {
+            Predicate::NumCmp { op, n } => Json::object([
+                ("p", Json::str("num_cmp")),
+                ("op", op.to_json()),
+                ("n", Json::Number(*n)),
+            ]),
+            Predicate::NumBetween { lo, hi } => Json::object([
+                ("p", Json::str("num_between")),
+                ("lo", Json::Number(*lo)),
+                ("hi", Json::Number(*hi)),
+            ]),
+            Predicate::DateCmp { op, part, n } => Json::object([
+                ("p", Json::str("date_cmp")),
+                ("op", op.to_json()),
+                ("part", part.to_json()),
+                ("n", n.to_json()),
+            ]),
+            Predicate::DateBetween { part, lo, hi } => Json::object([
+                ("p", Json::str("date_between")),
+                ("part", part.to_json()),
+                ("lo", lo.to_json()),
+                ("hi", hi.to_json()),
+            ]),
+            Predicate::Text { op, pattern } => Json::object([
+                ("p", Json::str("text")),
+                ("op", op.to_json()),
+                ("pattern", Json::str(pattern.clone())),
+            ]),
+        }
+    }
+}
+
+impl FromJson for Predicate {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        let tag: String = field_t(json, "p")?;
+        match tag.as_str() {
+            "num_cmp" => Ok(Predicate::NumCmp {
+                op: field_t(json, "op")?,
+                n: finite(json, "n")?,
+            }),
+            "num_between" => Ok(Predicate::NumBetween {
+                lo: finite(json, "lo")?,
+                hi: finite(json, "hi")?,
+            }),
+            "date_cmp" => Ok(Predicate::DateCmp {
+                op: field_t(json, "op")?,
+                part: field_t(json, "part")?,
+                n: field_t(json, "n")?,
+            }),
+            "date_between" => Ok(Predicate::DateBetween {
+                part: field_t(json, "part")?,
+                lo: field_t(json, "lo")?,
+                hi: field_t(json, "hi")?,
+            }),
+            "text" => Ok(Predicate::Text {
+                op: field_t(json, "op")?,
+                pattern: field_t(json, "pattern")?,
+            }),
+            other => Err(DecodeError::new(format!("unknown predicate tag `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for RuleLiteral {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("pred", self.predicate.to_json()),
+            ("neg", Json::Bool(self.negated)),
+        ])
+    }
+}
+
+impl FromJson for RuleLiteral {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(RuleLiteral {
+            predicate: field_t(json, "pred")?,
+            negated: field_t(json, "neg")?,
+        })
+    }
+}
+
+impl ToJson for Conjunct {
+    fn to_json(&self) -> Json {
+        self.literals.to_json()
+    }
+}
+
+impl FromJson for Conjunct {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(Conjunct {
+            literals: Vec::from_json(json)?,
+        })
+    }
+}
+
+impl ToJson for Rule {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("cond", self.condition.to_json()),
+            ("format", self.format.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Rule {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(Rule {
+            condition: field_t(json, "cond")?,
+            format: FormatId(field_t(json, "format")?),
+        })
+    }
+}
+
+impl ToJson for ScoredRule {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("rule", self.rule.to_json()),
+            ("score", Json::Number(self.score)),
+            ("cluster_accuracy", Json::Number(self.cluster_accuracy)),
+        ])
+    }
+}
+
+impl FromJson for ScoredRule {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(ScoredRule {
+            rule: field_t(json, "rule")?,
+            score: finite(json, "score")?,
+            cluster_accuracy: finite(json, "cluster_accuracy")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cornet_serde::{decode, encode, parse, to_string};
+
+    fn round_trip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(value: &T) {
+        let text = to_string(&value.to_json());
+        let back = T::from_json(&parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(&back, value);
+    }
+
+    fn sample_predicates() -> Vec<Predicate> {
+        vec![
+            Predicate::NumCmp {
+                op: CmpOp::Greater,
+                n: 10.5,
+            },
+            Predicate::NumBetween { lo: -2.0, hi: 4.0 },
+            Predicate::DateCmp {
+                op: CmpOp::LessEquals,
+                part: DatePart::Month,
+                n: 6,
+            },
+            Predicate::DateBetween {
+                part: DatePart::Weekday,
+                lo: 6,
+                hi: 7,
+            },
+            Predicate::Text {
+                op: TextOp::StartsWith,
+                pattern: "RW \"quoted\" — ünïcode".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn predicates_round_trip() {
+        for p in sample_predicates() {
+            round_trip(&p);
+        }
+    }
+
+    #[test]
+    fn the_running_example_rule_round_trips() {
+        let rule = Rule::new(vec![Conjunct::new(vec![
+            RuleLiteral::pos(Predicate::Text {
+                op: TextOp::StartsWith,
+                pattern: "RW".into(),
+            }),
+            RuleLiteral::neg(Predicate::Text {
+                op: TextOp::EndsWith,
+                pattern: "T".into(),
+            }),
+        ])]);
+        round_trip(&rule);
+        let wire = encode("rule", &rule);
+        let back: Rule = decode("rule", &wire).unwrap();
+        assert_eq!(back.to_string(), rule.to_string());
+    }
+
+    #[test]
+    fn wire_shape_is_stable() {
+        let rule = Rule::from_predicate(Predicate::NumCmp {
+            op: CmpOp::Greater,
+            n: 5.0,
+        });
+        assert_eq!(
+            to_string(&rule.to_json()),
+            r#"{"cond":[[{"pred":{"p":"num_cmp","op":">","n":5},"neg":false}]],"format":1}"#
+        );
+    }
+
+    #[test]
+    fn unknown_tags_are_rejected() {
+        for bad in [
+            r#"{"p":"regex","pattern":"a*"}"#,
+            r#"{"p":"num_cmp","op":"!=","n":1}"#,
+            r#"{"p":"date_cmp","op":">","part":"hour","n":1}"#,
+            r#"{"p":"text","op":"fuzzy","pattern":"x"}"#,
+        ] {
+            assert!(Predicate::from_json(&parse(bad).unwrap()).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn non_finite_constants_are_rejected() {
+        // The parser cannot produce NaN, but a hand-built tree can.
+        let doc = Json::object([
+            ("p", Json::str("num_cmp")),
+            ("op", Json::str(">")),
+            ("n", Json::Number(f64::NAN)),
+        ]);
+        let e = Predicate::from_json(&doc).unwrap_err();
+        assert!(e.message.contains("non-finite"), "{e}");
+    }
+
+    #[test]
+    fn scored_rules_round_trip() {
+        let scored = ScoredRule {
+            rule: Rule::from_predicate(Predicate::Text {
+                op: TextOp::Contains,
+                pattern: "ok".into(),
+            }),
+            score: 0.875,
+            cluster_accuracy: 1.0,
+        };
+        round_trip(&scored);
+    }
+
+    #[test]
+    fn empty_rule_and_empty_conjunct_round_trip() {
+        round_trip(&Rule::new(vec![]));
+        round_trip(&Rule::new(vec![Conjunct::new(vec![])]));
+    }
+}

@@ -41,6 +41,7 @@ pub mod constants;
 pub mod enumerate;
 pub mod features;
 pub mod fullsearch;
+pub mod json;
 pub mod learner;
 pub mod metrics;
 pub mod predgen;

@@ -21,7 +21,7 @@ use cornet_table::{CellValue, DataType, Date};
 use std::fmt;
 
 /// Ordering comparison operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CmpOp {
     /// `>`
     Greater,
@@ -56,7 +56,7 @@ impl CmpOp {
 }
 
 /// Text matching operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TextOp {
     /// Case-insensitive equality.
     Equals,
@@ -81,7 +81,7 @@ impl TextOp {
 }
 
 /// The date part compared by datetime predicates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DatePart {
     /// Day of month, 1–31.
     Day,
@@ -171,7 +171,7 @@ impl PredicateKind {
 
 /// A concretised predicate (Table 1 instantiated with constants per
 /// Table 2).
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Predicate {
     /// Numeric comparison against a constant.
     NumCmp {

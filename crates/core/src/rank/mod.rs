@@ -55,7 +55,7 @@ pub trait Ranker {
 }
 
 /// A rule with its ranker score, as returned by the learner.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScoredRule {
     /// The rule.
     pub rule: Rule,

@@ -16,7 +16,7 @@ use cornet_table::{BitVec, CellValue, FormatId};
 use std::fmt;
 
 /// A predicate or its negation.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RuleLiteral {
     /// The predicate.
     pub predicate: Predicate,
@@ -68,7 +68,7 @@ impl fmt::Display for RuleLiteral {
 }
 
 /// A conjunction of literals.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Conjunct {
     /// The conjoined literals.
     pub literals: Vec<RuleLiteral>,
@@ -138,7 +138,7 @@ impl fmt::Display for Conjunct {
 }
 
 /// A conditional formatting rule: DNF condition plus format identifier.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Rule {
     /// The disjuncts of the condition.
     pub condition: Vec<Conjunct>,

@@ -1,0 +1,124 @@
+//! JSON codec (`cornet_serde`) implementations for corpus tasks.
+//!
+//! A [`Task`] encodes as
+//!
+//! ```json
+//! {"id":7,"cells":[…],"dtype":"text","rule":{…},
+//!  "formatted":{"len":…,"ones":[…]},
+//!  "user_formula":"AND(ISTEXT(A1),LEFT(A1,2)=\"RW\")","custom_formula":true}
+//! ```
+//!
+//! The user formula is persisted as mini-language source text and re-parsed
+//! on decode — the formula grammar (`cornet_formula::parse`) is its own
+//! serial form, so there is no second AST encoding to keep in sync. The
+//! decoder validates that `formatted` has one bit per cell.
+
+use crate::taskgen::Task;
+use cornet_serde::{field_t, DecodeError, FromJson, Json, ToJson};
+
+impl ToJson for Task {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("id", self.id.to_json()),
+            ("cells", self.cells.to_json()),
+            ("dtype", self.dtype.to_json()),
+            ("rule", self.rule.to_json()),
+            ("formatted", self.formatted.to_json()),
+            ("user_formula", Json::str(self.user_formula.to_string())),
+            ("custom_formula", Json::Bool(self.custom_formula)),
+        ])
+    }
+}
+
+impl FromJson for Task {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        let formula_text: String = field_t(json, "user_formula")?;
+        let user_formula = cornet_formula::parse(&formula_text)
+            .map_err(|e| DecodeError::new(format!("user_formula: {e:?}")))?;
+        let task = Task {
+            id: field_t(json, "id")?,
+            cells: field_t(json, "cells")?,
+            dtype: field_t(json, "dtype")?,
+            rule: field_t(json, "rule")?,
+            formatted: field_t(json, "formatted")?,
+            user_formula,
+            custom_formula: field_t(json, "custom_formula")?,
+        };
+        if task.formatted.len() != task.cells.len() {
+            return Err(DecodeError::new(format!(
+                "task {}: formatting mask has {} bits for {} cells",
+                task.id,
+                task.formatted.len(),
+                task.cells.len()
+            )));
+        }
+        Ok(task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taskgen::{generate_corpus, CorpusConfig};
+    use cornet_serde::{parse, to_string};
+
+    #[test]
+    fn generated_tasks_round_trip() {
+        let corpus = generate_corpus(&CorpusConfig {
+            n_tasks: 12,
+            seed: 21,
+            ..CorpusConfig::default()
+        });
+        for task in &corpus.tasks {
+            let text = to_string(&task.to_json());
+            let back = Task::from_json(&parse(&text).expect("parses")).expect("decodes");
+            assert_eq!(back.id, task.id);
+            assert_eq!(back.cells, task.cells);
+            assert_eq!(back.dtype, task.dtype);
+            assert_eq!(back.rule, task.rule);
+            assert_eq!(back.formatted, task.formatted);
+            assert_eq!(back.user_formula, task.user_formula);
+            assert_eq!(back.custom_formula, task.custom_formula);
+        }
+    }
+
+    #[test]
+    fn formatting_mask_length_is_validated() {
+        let corpus = generate_corpus(&CorpusConfig {
+            n_tasks: 1,
+            seed: 3,
+            ..CorpusConfig::default()
+        });
+        let mut doc = match corpus.tasks[0].to_json() {
+            Json::Object(pairs) => pairs,
+            _ => unreachable!(),
+        };
+        for (key, value) in &mut doc {
+            if key == "formatted" {
+                *value = parse(r#"{"len":1,"ones":[0]}"#).unwrap();
+            }
+        }
+        let e = Task::from_json(&Json::Object(doc)).unwrap_err();
+        assert!(e.message.contains("bits for"), "{e}");
+    }
+
+    #[test]
+    fn bad_formula_text_is_rejected() {
+        let corpus = generate_corpus(&CorpusConfig {
+            n_tasks: 1,
+            seed: 3,
+            ..CorpusConfig::default()
+        });
+        let mut doc = match corpus.tasks[0].to_json() {
+            Json::Object(pairs) => pairs,
+            _ => unreachable!(),
+        };
+        for (key, value) in &mut doc {
+            if key == "user_formula" {
+                *value = Json::str("AND(((");
+            }
+        }
+        let e = Task::from_json(&Json::Object(doc)).unwrap_err();
+        assert!(e.message.contains("user_formula"), "{e}");
+    }
+}

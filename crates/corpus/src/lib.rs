@@ -19,6 +19,7 @@
 //! | avg. formatted | 32.1 | 111.2   | 23.5 |
 //! | avg. rule depth| 2.3  | 1.8     | 1.7  |
 
+pub mod json;
 pub mod manual;
 pub mod rulegen;
 pub mod stats;

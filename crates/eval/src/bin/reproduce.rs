@@ -26,6 +26,10 @@ fn main() {
             ),
             Err(e) => eprintln!("[{id}] could not save: {e}"),
         }
+        match report.save_json() {
+            Ok(path) => eprintln!("[{id}] machine-readable → {}", path.display()),
+            Err(e) => eprintln!("[{id}] could not save JSON: {e}"),
+        }
     }
     eprintln!(
         "all experiments complete in {:.1}s",

@@ -100,4 +100,5 @@ pub fn run(zoo: &Zoo, scale: &Scale) -> Report {
         "Figure 10: greedy vs exhaustive search, top-1/top-all",
         body,
     )
+    .with_table(table)
 }

@@ -106,7 +106,7 @@ pub fn run(zoo: &Zoo, scale: &Scale) -> Report {
          exhaustive search blows up (903→8962ms by depth 5), a 40–80× gap.\n",
         table.render()
     );
-    Report::new("fig11", "Figure 11: learning time vs rule depth", body)
+    Report::new("fig11", "Figure 11: learning time vs rule depth", body).with_table(table)
 }
 
 #[cfg(test)]

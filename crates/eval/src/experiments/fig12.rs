@@ -48,4 +48,5 @@ pub fn run(zoo: &Zoo) -> Report {
         "Figure 12: execution match vs #examples by column type",
         body,
     )
+    .with_table(table)
 }

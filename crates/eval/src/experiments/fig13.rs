@@ -69,6 +69,7 @@ pub fn run(zoo: &Zoo, scale: &Scale) -> Report {
         "Figure 13: execution match vs #unformatted rows",
         body,
     )
+    .with_table(table)
 }
 
 #[cfg(test)]

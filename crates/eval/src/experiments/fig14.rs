@@ -60,5 +60,5 @@ pub fn run(zoo: &Zoo, scale: &Scale) -> Report {
          examples; the average tracks the original top-down order.\n",
         table.render()
     );
-    Report::new("fig14", "Figure 14: example-order shuffling", body)
+    Report::new("fig14", "Figure 14: example-order shuffling", body).with_table(table)
 }

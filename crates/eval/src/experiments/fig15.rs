@@ -71,4 +71,5 @@ pub fn run(zoo: &Zoo) -> Report {
         "Figure 15: learned-rule length vs user custom formulas",
         body,
     )
+    .with_table(table)
 }

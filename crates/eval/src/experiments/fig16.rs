@@ -64,4 +64,5 @@ pub fn run(zoo: &Zoo) -> Report {
         "Figure 16: average rule-length reduction vs user rule length",
         body,
     )
+    .with_table(table)
 }

@@ -80,4 +80,5 @@ pub fn run(zoo: &Zoo, scale: &Scale) -> Report {
         "Figure 18: predicates in rules learned from manual formatting",
         body,
     )
+    .with_table(table)
 }

@@ -64,4 +64,5 @@ pub fn run(zoo: &Zoo, scale: &Scale) -> Report {
         "Figure 19: minimum examples needed on manually formatted columns",
         body,
     )
+    .with_table(table)
 }

@@ -91,6 +91,7 @@ pub fn run(zoo: &Zoo, scale: &Scale) -> Report {
         "Figure 9: rule learning time vs column length",
         body,
     )
+    .with_table(table)
 }
 
 #[cfg(test)]

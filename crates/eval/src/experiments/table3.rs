@@ -43,4 +43,5 @@ pub fn run(zoo: &Zoo) -> Report {
         "Table 3: benchmark summary statistics by type",
         table.render(),
     )
+    .with_table(table)
 }

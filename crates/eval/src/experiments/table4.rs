@@ -54,4 +54,5 @@ pub fn run(zoo: &Zoo) -> Report {
         "Table 4: comparison with neural and symbolic baselines",
         body,
     )
+    .with_table(table)
 }

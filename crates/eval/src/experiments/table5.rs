@@ -87,5 +87,5 @@ pub fn run(zoo: &Zoo) -> Report {
          Cornet 66.1/78.1/82.8 (22.5, 187ms)\n",
         table.render()
     );
-    Report::new("table5", "Table 5: clustering ablations", body)
+    Report::new("table5", "Table 5: clustering ablations", body).with_table(table)
 }

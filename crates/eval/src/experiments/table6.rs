@@ -63,6 +63,7 @@ pub fn run(zoo: &Zoo) -> Report {
         "Table 6: ranking model ablations (3 examples)",
         body,
     )
+    .with_table(table)
 }
 
 fn add(table: &mut TextTable, name: &str, pm: usize, vals: &[f64]) {

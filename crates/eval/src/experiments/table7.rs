@@ -66,4 +66,5 @@ pub fn run(zoo: &Zoo) -> Report {
         "Table 7: Cornet rules vs user-written rules (examples)",
         body,
     )
+    .with_table(table)
 }

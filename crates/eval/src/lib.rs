@@ -30,6 +30,10 @@ pub fn run_cli(id: &str) {
         Ok(path) => eprintln!("saved to {}", path.display()),
         Err(e) => eprintln!("could not save report: {e}"),
     }
+    match report.save_json() {
+        Ok(path) => eprintln!("saved machine-readable results to {}", path.display()),
+        Err(e) => eprintln!("could not save JSON report: {e}"),
+    }
 }
 
 /// Experiment scale knobs. The paper evaluates on 25K test tasks with an

@@ -1,7 +1,17 @@
 //! Plain-text table rendering and result persistence.
+//!
+//! Reports persist twice: the human-readable text (`results/<id>.txt`,
+//! unchanged format) and a machine-readable JSON envelope
+//! (`results/<id>.json`, kind `report`) carrying the id, title, body and
+//! every attached [`TextTable`] as structured headers/rows — so downstream
+//! tooling can diff result numbers without scraping aligned text.
 
+use cornet_serde::{field_t, DecodeError, FromJson, Json, ToJson};
 use std::fmt::Write as _;
 use std::path::PathBuf;
+
+/// Envelope kind of persisted JSON reports.
+pub const REPORT_KIND: &str = "report";
 
 /// A rendered experiment report.
 #[derive(Debug, Clone)]
@@ -12,6 +22,8 @@ pub struct Report {
     pub title: String,
     /// Rendered body.
     pub body: String,
+    /// Structured tables backing the body, for the JSON form.
+    pub tables: Vec<TextTable>,
 }
 
 impl Report {
@@ -21,7 +33,15 @@ impl Report {
             id: id.to_string(),
             title: title.to_string(),
             body,
+            tables: Vec::new(),
         }
+    }
+
+    /// Attaches a structured table (already rendered into the body) so the
+    /// JSON form carries it as data.
+    pub fn with_table(mut self, table: TextTable) -> Report {
+        self.tables.push(table);
+        self
     }
 
     /// Renders the full text (title + body).
@@ -37,6 +57,38 @@ impl Report {
         let path = dir.join(format!("{}.txt", self.id));
         std::fs::write(&path, self.render())?;
         Ok(path)
+    }
+
+    /// Writes the machine-readable form to `results/<id>.json` and returns
+    /// the path.
+    pub fn save_json(&self) -> std::io::Result<PathBuf> {
+        let dir = results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(&path, cornet_serde::encode(REPORT_KIND, self))?;
+        Ok(path)
+    }
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("id", Json::str(self.id.clone())),
+            ("title", Json::str(self.title.clone())),
+            ("body", Json::str(self.body.clone())),
+            ("tables", self.tables.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Report {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(Report {
+            id: field_t(json, "id")?,
+            title: field_t(json, "title")?,
+            body: field_t(json, "body")?,
+            tables: field_t(json, "tables")?,
+        })
     }
 }
 
@@ -110,6 +162,24 @@ impl TextTable {
     }
 }
 
+impl ToJson for TextTable {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("headers", self.headers.to_json()),
+            ("rows", self.rows.to_json()),
+        ])
+    }
+}
+
+impl FromJson for TextTable {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(TextTable {
+            headers: field_t(json, "headers")?,
+            rows: field_t(json, "rows")?,
+        })
+    }
+}
+
 /// Formats a fraction as a percentage with one decimal.
 pub fn pct(x: f64) -> String {
     format!("{:.1}", 100.0 * x)
@@ -158,6 +228,32 @@ mod tests {
         assert!(r.render().contains("== Test =="));
         let path = r.save().unwrap();
         assert!(path.exists());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn report_json_round_trip() {
+        let mut table = TextTable::new(vec!["k", "v"]);
+        table.add_row(vec!["depth", "3"]);
+        let report = Report::new("test_json", "Test", "body\n".to_string()).with_table(table);
+        let wire = cornet_serde::encode(REPORT_KIND, &report);
+        let back: Report = cornet_serde::decode(REPORT_KIND, &wire).unwrap();
+        assert_eq!(back.id, report.id);
+        assert_eq!(back.title, report.title);
+        assert_eq!(back.body, report.body);
+        assert_eq!(back.tables.len(), 1);
+        assert_eq!(back.tables[0].headers, vec!["k", "v"]);
+        assert_eq!(back.tables[0].rows, vec![vec!["depth", "3"]]);
+        // The structured table re-renders identically.
+        assert_eq!(back.tables[0].render(), report.tables[0].render());
+    }
+
+    #[test]
+    fn report_save_json_writes_an_envelope() {
+        let report = Report::new("test_json_file", "T", "b".to_string());
+        let path = report.save_json().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with(r#"{"v":1,"kind":"report""#), "{text}");
         std::fs::remove_file(path).ok();
     }
 }

@@ -21,6 +21,11 @@
 //! empty. A worker panic is propagated to the caller by
 //! [`std::thread::scope`] once every worker has drained.
 //!
+//! Nesting: workers inherit the caller's [`with_threads`] override, and a
+//! pool call made *from inside a worker closure* runs inline on that
+//! worker (same results, no extra threads) — otherwise every nesting
+//! level would multiply the thread count.
+//!
 //! ```
 //! let squares = cornet_pool::par_map(8, |i| i * i);
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
@@ -43,6 +48,10 @@ const CHUNKS_PER_WORKER: usize = 4;
 thread_local! {
     /// 0 = no override; set by [`with_threads`] for the current thread.
     static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+    /// True on pool worker threads: nested pool calls run inline instead
+    /// of spawning (threads would otherwise multiply at every nesting
+    /// level — `outer × inner` workers with no global cap).
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Runs `f` with the thread count forced to `threads` (clamped to
@@ -138,7 +147,7 @@ where
     let n_chunks = len.div_ceil(chunk_size);
     let chunk_range = |c: usize| c * chunk_size..((c + 1) * chunk_size).min(len);
     let workers = current_threads().min(n_chunks);
-    if workers <= 1 {
+    if workers <= 1 || IN_WORKER.with(|w| w.get()) {
         return (0..n_chunks).map(|c| f(chunk_range(c))).collect();
     }
 
@@ -150,19 +159,30 @@ where
         .collect();
     let results: Vec<Mutex<Option<T>>> = (0..n_chunks).map(|_| Mutex::new(None)).collect();
 
+    // Workers inherit the caller's scoped [`with_threads`] override (the
+    // thread-local would otherwise read 0 on the fresh threads), so nested
+    // pool calls made from inside `f` resolve the same thread count as
+    // calls made by the caller.
+    let inherited = OVERRIDE.with(|o| o.get());
+
     std::thread::scope(|scope| {
         for w in 0..workers {
             let queues = &queues;
             let results = &results;
             let f = &f;
-            scope.spawn(move || loop {
-                let own = queues[w].lock().unwrap().pop_front();
-                let job = own.or_else(|| {
-                    (1..workers).find_map(|d| queues[(w + d) % workers].lock().unwrap().pop_back())
-                });
-                let Some(c) = job else { break };
-                let value = f(chunk_range(c));
-                *results[c].lock().unwrap() = Some(value);
+            scope.spawn(move || {
+                OVERRIDE.with(|o| o.set(inherited));
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    let own = queues[w].lock().unwrap().pop_front();
+                    let job = own.or_else(|| {
+                        (1..workers)
+                            .find_map(|d| queues[(w + d) % workers].lock().unwrap().pop_back())
+                    });
+                    let Some(c) = job else { break };
+                    let value = f(chunk_range(c));
+                    *results[c].lock().unwrap() = Some(value);
+                }
             });
         }
     });
@@ -318,6 +338,60 @@ mod tests {
             });
             assert_eq!(calls.load(Ordering::Relaxed), 257);
             assert_eq!(out, (0..257).collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn workers_inherit_the_scoped_override() {
+        // Regression test for the PR 2 gotcha: pool calls issued from
+        // inside worker closures used to fall back to env/default
+        // resolution because the override is thread-local. Workers now
+        // inherit the caller's override.
+        with_threads(3, || {
+            let seen = par_chunk_map(8, 1, |_| current_threads());
+            assert!(
+                seen.iter().all(|&n| n == 3),
+                "worker saw thread counts {seen:?}, expected all 3"
+            );
+        });
+    }
+
+    #[test]
+    fn nested_parallelism_inherits_and_stays_correct() {
+        with_threads(2, || {
+            // An inner par_map issued from inside a worker closure must
+            // produce the same (submission-ordered) results as serial code
+            // and must resolve the inherited override.
+            let out = par_chunk_map(4, 1, |range| {
+                let inner = par_map(6, |j| j * 10 + current_threads());
+                (range.start, inner)
+            });
+            for (c, inner) in out.iter().enumerate() {
+                assert_eq!(inner.0, c);
+                assert_eq!(
+                    inner.1,
+                    (0..6).map(|j| j * 10 + 2).collect::<Vec<_>>(),
+                    "nested call in chunk {c} did not inherit threads=2"
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn nested_pool_calls_run_inline_on_the_worker() {
+        // Nested calls must not multiply threads (outer × inner): a
+        // pool call made from inside a worker runs inline on that
+        // worker's thread.
+        with_threads(4, || {
+            let placements = par_chunk_map(4, 1, |_| {
+                let me = std::thread::current().id();
+                let inner_threads = par_map(8, |_| std::thread::current().id());
+                inner_threads.iter().all(|&id| id == me)
+            });
+            assert!(
+                placements.iter().all(|&inline| inline),
+                "a nested pool call spawned new threads"
+            );
         });
     }
 

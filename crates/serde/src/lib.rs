@@ -1,0 +1,378 @@
+//! Hand-rolled, dependency-free JSON codec — the workspace's persistence
+//! and wire format.
+//!
+//! The build environment is offline, so `serde`/`serde_json` are
+//! unavailable; this crate provides the small subset the Cornet
+//! reproduction needs:
+//!
+//! * [`Json`] — an owned JSON value tree ([`value`]).
+//! * [`ser::to_string`] — compact serialization.
+//! * [`parse::parse`] — a strict recursive-descent parser with byte-offset
+//!   errors (rejects `NaN`, trailing garbage, lone surrogates, over-deep
+//!   nesting).
+//! * [`ToJson`] / [`FromJson`] — conversion traits, implemented here for
+//!   primitives and containers and by each workspace crate for its own
+//!   types (`cornet_table::json`, `cornet_core::json`, …).
+//! * Versioned envelopes ([`envelope`] / [`open_envelope`]) so persisted
+//!   documents carry `{"v":1,"kind":…,"payload":…}` and the format can
+//!   evolve without silent misreads.
+//!
+//! ```
+//! use cornet_serde::{decode, encode, Json};
+//!
+//! let wire = encode("rates", &vec![1.5f64, 2.0]);
+//! assert_eq!(wire, r#"{"v":1,"kind":"rates","payload":[1.5,2]}"#);
+//! let back: Vec<f64> = decode("rates", &wire).unwrap();
+//! assert_eq!(back, vec![1.5, 2.0]);
+//! assert!(decode::<Vec<f64>>("tables", &wire).is_err(), "kind mismatch");
+//! # let _ = Json::Null;
+//! ```
+
+pub mod parse;
+pub mod ser;
+pub mod value;
+
+pub use parse::{parse, ParseError};
+pub use ser::to_string;
+pub use value::Json;
+
+use std::fmt;
+
+/// Version stamped into every envelope this build writes.
+pub const ENVELOPE_VERSION: u64 = 1;
+
+/// A decoding failure: the document parsed as JSON but did not have the
+/// expected shape (or did not parse at all, for the string-level helpers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// What was wrong, innermost first.
+    pub message: String,
+}
+
+impl DecodeError {
+    /// Creates an error.
+    pub fn new(message: impl Into<String>) -> DecodeError {
+        DecodeError {
+            message: message.into(),
+        }
+    }
+
+    /// Prefixes location context (`"rule: …"`), used while unwinding.
+    pub fn context(self, ctx: &str) -> DecodeError {
+        DecodeError {
+            message: format!("{ctx}: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<ParseError> for DecodeError {
+    fn from(e: ParseError) -> DecodeError {
+        DecodeError::new(e.to_string())
+    }
+}
+
+/// Conversion into a [`Json`] tree.
+pub trait ToJson {
+    /// The JSON representation of `self`.
+    fn to_json(&self) -> Json;
+}
+
+/// Conversion out of a [`Json`] tree.
+pub trait FromJson: Sized {
+    /// Decodes a value, rejecting shape mismatches with a message.
+    fn from_json(json: &Json) -> Result<Self, DecodeError>;
+}
+
+/// Serializes a value inside a versioned envelope:
+/// `{"v":1,"kind":<kind>,"payload":<value>}`.
+pub fn encode<T: ToJson + ?Sized>(kind: &str, value: &T) -> String {
+    to_string(&envelope(kind, value.to_json()))
+}
+
+/// Parses envelope text, checks version and kind, and decodes the payload.
+pub fn decode<T: FromJson>(kind: &str, text: &str) -> Result<T, DecodeError> {
+    let doc = parse(text)?;
+    let payload = open_envelope(&doc, kind)?;
+    T::from_json(payload).map_err(|e| e.context(kind))
+}
+
+/// Wraps a payload in the versioned envelope object.
+pub fn envelope(kind: &str, payload: Json) -> Json {
+    Json::object([
+        ("v", Json::Number(ENVELOPE_VERSION as f64)),
+        ("kind", Json::str(kind)),
+        ("payload", payload),
+    ])
+}
+
+/// Validates an envelope's version and kind, returning the payload.
+pub fn open_envelope<'a>(doc: &'a Json, kind: &str) -> Result<&'a Json, DecodeError> {
+    let v = doc
+        .get("v")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| DecodeError::new("missing or non-integer envelope version `v`"))?;
+    if v != ENVELOPE_VERSION {
+        return Err(DecodeError::new(format!(
+            "unsupported envelope version {v} (this build reads v{ENVELOPE_VERSION})"
+        )));
+    }
+    let got = doc
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| DecodeError::new("missing envelope `kind`"))?;
+    if got != kind {
+        return Err(DecodeError::new(format!(
+            "envelope kind mismatch: expected `{kind}`, found `{got}`"
+        )));
+    }
+    doc.get("payload")
+        .ok_or_else(|| DecodeError::new("missing envelope `payload`"))
+}
+
+/// Requires `json` to be an object and returns the value under `key`.
+pub fn field<'a>(json: &'a Json, key: &str) -> Result<&'a Json, DecodeError> {
+    if json.as_object().is_none() {
+        return Err(DecodeError::new(format!(
+            "expected object with field `{key}`, found {}",
+            json.type_name()
+        )));
+    }
+    json.get(key)
+        .ok_or_else(|| DecodeError::new(format!("missing field `{key}`")))
+}
+
+/// Decodes the field `key` of an object into `T`.
+pub fn field_t<T: FromJson>(json: &Json, key: &str) -> Result<T, DecodeError> {
+    T::from_json(field(json, key)?).map_err(|e| e.context(key))
+}
+
+/// Decodes the optional field `key`: an absent or `null` field is
+/// `None`; a present non-null field must decode as `T`.
+pub fn optional_field_t<T: FromJson>(json: &Json, key: &str) -> Result<Option<T>, DecodeError> {
+    match json.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => T::from_json(v).map(Some).map_err(|e| e.context(key)),
+    }
+}
+
+/// Shape-mismatch error constructor used by `FromJson` impls.
+pub fn type_error(expected: &str, found: &Json) -> DecodeError {
+    DecodeError::new(format!("expected {expected}, found {}", found.type_name()))
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(json.clone())
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        json.as_bool().ok_or_else(|| type_error("bool", json))
+    }
+}
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Json {
+        Json::Number(*self)
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        json.as_f64().ok_or_else(|| type_error("number", json))
+    }
+}
+
+macro_rules! impl_unsigned_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Number(*self as f64)
+            }
+        }
+
+        impl FromJson for $t {
+            fn from_json(json: &Json) -> Result<Self, DecodeError> {
+                let n = json
+                    .as_u64()
+                    .ok_or_else(|| type_error("unsigned integer", json))?;
+                <$t>::try_from(n)
+                    .map_err(|_| DecodeError::new(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_unsigned_json!(u32, u64, usize);
+
+macro_rules! impl_signed_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Number(*self as f64)
+            }
+        }
+
+        impl FromJson for $t {
+            fn from_json(json: &Json) -> Result<Self, DecodeError> {
+                let n = json
+                    .as_i64()
+                    .ok_or_else(|| type_error("integer", json))?;
+                <$t>::try_from(n)
+                    .map_err(|_| DecodeError::new(format!("integer {n} out of range")))
+            }
+        }
+    )*};
+}
+
+impl_signed_json!(i32, i64);
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::str(self)
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::str(self.clone())
+    }
+}
+
+impl FromJson for String {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        json.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| type_error("string", json))
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        let items = json.as_array().ok_or_else(|| type_error("array", json))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json(item).map_err(|e| e.context(&format!("[{i}]"))))
+            .collect()
+    }
+}
+
+/// `None` encodes as `null`. Do not nest options around types whose own
+/// encoding is `null`-able; the decoder cannot tell the layers apart.
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            None => Json::Null,
+            Some(v) => v.to_json(),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        if json.is_null() {
+            Ok(None)
+        } else {
+            T::from_json(json).map(Some)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trip() {
+        let wire = encode("numbers", &vec![1u32, 2, 3]);
+        assert_eq!(wire, r#"{"v":1,"kind":"numbers","payload":[1,2,3]}"#);
+        let back: Vec<u32> = decode("numbers", &wire).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn envelope_version_and_kind_are_enforced() {
+        let wrong_version = r#"{"v":2,"kind":"numbers","payload":[]}"#;
+        let e = decode::<Vec<u32>>("numbers", wrong_version).unwrap_err();
+        assert!(e.message.contains("version 2"), "{e}");
+
+        let wrong_kind = r#"{"v":1,"kind":"rules","payload":[]}"#;
+        let e = decode::<Vec<u32>>("numbers", wrong_kind).unwrap_err();
+        assert!(e.message.contains("kind mismatch"), "{e}");
+
+        let missing = r#"{"kind":"numbers","payload":[]}"#;
+        assert!(decode::<Vec<u32>>("numbers", missing).is_err());
+
+        let no_payload = r#"{"v":1,"kind":"numbers"}"#;
+        assert!(decode::<Vec<u32>>("numbers", no_payload).is_err());
+    }
+
+    #[test]
+    fn primitive_round_trips() {
+        assert_eq!(bool::from_json(&true.to_json()), Ok(true));
+        assert_eq!(f64::from_json(&1.5f64.to_json()), Ok(1.5));
+        assert_eq!(u64::from_json(&7u64.to_json()), Ok(7));
+        assert_eq!(i64::from_json(&(-7i64).to_json()), Ok(-7));
+        assert_eq!(usize::from_json(&7usize.to_json()), Ok(7));
+        assert_eq!(String::from_json(&"hi".to_json()), Ok("hi".to_string()));
+        assert_eq!(Option::<u32>::from_json(&None::<u32>.to_json()), Ok(None));
+        assert_eq!(Option::<u32>::from_json(&Some(3u32).to_json()), Ok(Some(3)));
+    }
+
+    #[test]
+    fn optional_fields_decode_with_absent_and_null_as_none() {
+        let doc = parse(r#"{"a":3,"b":null}"#).unwrap();
+        assert_eq!(optional_field_t::<u32>(&doc, "a"), Ok(Some(3)));
+        assert_eq!(optional_field_t::<u32>(&doc, "b"), Ok(None));
+        assert_eq!(optional_field_t::<u32>(&doc, "missing"), Ok(None));
+        let bad = parse(r#"{"a":"x"}"#).unwrap();
+        let e = optional_field_t::<u32>(&bad, "a").unwrap_err();
+        assert!(e.message.contains("a:"), "{e}");
+    }
+
+    #[test]
+    fn decode_errors_carry_context() {
+        let e = Vec::<u32>::from_json(&parse(r#"[1,"x"]"#).unwrap()).unwrap_err();
+        assert!(e.message.contains("[1]"), "{e}");
+        let e = field_t::<u32>(&parse(r#"{"n":true}"#).unwrap(), "n").unwrap_err();
+        assert!(e.message.contains("n:"), "{e}");
+        assert!(field(&Json::Null, "k").is_err());
+        assert!(field(&parse("{}").unwrap(), "k").is_err());
+    }
+
+    #[test]
+    fn signed_and_range_checks() {
+        assert!(u32::from_json(&Json::Number(-1.0)).is_err());
+        assert!(u32::from_json(&Json::Number(4.5)).is_err());
+        assert!(u32::from_json(&Json::Number(1e12)).is_err());
+        assert!(i32::from_json(&Json::Number(3e9)).is_err());
+    }
+}

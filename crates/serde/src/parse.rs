@@ -1,0 +1,416 @@
+//! A strict recursive-descent JSON parser.
+//!
+//! Zero-copy-ish: the parser walks the input bytes once with no token
+//! buffer; strings without escapes are copied straight out of the input
+//! slice in one `push_str`, and numbers are sliced and handed to
+//! `f64::from_str` without intermediate allocation.
+//!
+//! Strictness (everything the codec's malformed-input tests rely on):
+//! trailing garbage, trailing commas, unquoted keys, `NaN` / `Infinity`
+//! literals, bare leading `+` or `.`, control characters inside strings,
+//! lone surrogates and over-deep nesting are all rejected with a byte
+//! offset in the error.
+
+use crate::value::Json;
+use std::fmt;
+
+/// Maximum container nesting depth; a guard against stack exhaustion on
+/// adversarial inputs like `[[[[…`.
+const MAX_DEPTH: usize = 128;
+
+/// A parse failure: what went wrong and the byte offset where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset into the input at which the error was detected.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete JSON document. The entire input must be consumed
+/// (ignoring trailing whitespace).
+pub fn parse(input: &str) -> Result<Json, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        input,
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            message: message.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Consumes the literal `lit` (already matched on its first byte).
+    fn literal(&mut self, lit: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("invalid literal (expected `{lit}`)")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, ParseError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => Err(self.error("unexpected character")),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.pos += 1; // [
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, ParseError> {
+        self.pos += 1; // {
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.error("expected quoted object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.error("expected `:` after object key"));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        let mut run_start = self.pos; // start of the current escape-free run
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(&self.input[run_start..self.pos]);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(&self.input[run_start..self.pos]);
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                    run_start = self.pos;
+                }
+                Some(c) if c < 0x20 => {
+                    return Err(self.error("control character in string"));
+                }
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), ParseError> {
+        let c = self.peek().ok_or_else(|| self.error("truncated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'b' => out.push('\u{08}'),
+            b'f' => out.push('\u{0C}'),
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // High surrogate: a \uXXXX low surrogate must follow.
+                    if self.peek() == Some(b'\\') && self.bytes.get(self.pos + 1) == Some(&b'u') {
+                        self.pos += 2;
+                        let lo = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&lo) {
+                            return Err(self.error("invalid low surrogate"));
+                        }
+                        0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                    } else {
+                        return Err(self.error("lone high surrogate"));
+                    }
+                } else if (0xDC00..0xE000).contains(&hi) {
+                    return Err(self.error("lone low surrogate"));
+                } else {
+                    hi
+                };
+                out.push(char::from_u32(code).ok_or_else(|| self.error("invalid code point"))?);
+            }
+            _ => return Err(self.error("invalid escape character")),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        // Walk bytes, not a str slice: `end` may fall inside a multibyte
+        // character, and slicing the input there would panic.
+        let mut code = 0u32;
+        for &b in &self.bytes[self.pos..end] {
+            let digit = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.error("invalid \\u escape digits"))?;
+            code = code * 16 + digit;
+        }
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: one or more digits, no leading zeros before digits.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.pos += 1;
+                }
+            }
+            _ => return Err(self.error("invalid number")),
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.error("digits required after decimal point"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if !matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                return Err(self.error("digits required in exponent"));
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = &self.input[start..self.pos];
+        let n: f64 = text.parse().map_err(|_| self.error("invalid number"))?;
+        if !n.is_finite() {
+            // Overflowing literals like 1e999 parse to infinity; a strict
+            // codec rejects them rather than silently saturating.
+            return Err(self.error("number out of range"));
+        }
+        Ok(Json::Number(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ser::to_string;
+
+    fn ok(input: &str) -> Json {
+        parse(input).unwrap_or_else(|e| panic!("{input:?} should parse: {e}"))
+    }
+
+    fn err(input: &str) -> ParseError {
+        match parse(input) {
+            Ok(v) => panic!("{input:?} should be rejected, got {v}"),
+            Err(e) => e,
+        }
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        for text in ["null", "true", "false", "0", "-1", "3.25", "0.001", "\"x\""] {
+            assert_eq!(to_string(&ok(text)), text);
+        }
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let v = ok(" { \"a\" : [ 1 , 2 ] , \"b\" : null } ");
+        assert_eq!(to_string(&v), r#"{"a":[1,2],"b":null}"#);
+    }
+
+    #[test]
+    fn string_escapes_decode() {
+        assert_eq!(ok(r#""a\nb\t\"\\\/""#).as_str(), Some("a\nb\t\"\\/"));
+        assert_eq!(ok(r#""Aé""#).as_str(), Some("Aé"));
+        // Surrogate pair → U+1F600.
+        assert_eq!(ok(r#""😀""#).as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn numbers_parse_strictly() {
+        assert_eq!(ok("-0.5e2").as_f64(), Some(-50.0));
+        for bad in ["01", "+1", ".5", "1.", "1e", "1e+", "-", "0x10"] {
+            err(bad);
+        }
+    }
+
+    #[test]
+    fn non_finite_literals_are_rejected() {
+        for bad in ["NaN", "nan", "Infinity", "-Infinity", "inf"] {
+            err(bad);
+        }
+        // Overflow to infinity is also an error, not a silent saturation.
+        assert!(err("1e999").message.contains("out of range"));
+    }
+
+    #[test]
+    fn malformed_structures_are_rejected() {
+        for bad in [
+            "",
+            "[1,]",
+            "{\"a\":1,}",
+            "{a:1}",
+            "{\"a\" 1}",
+            "[1 2]",
+            "\"unterminated",
+            "[1] trailing",
+            "{\"a\":}",
+            "tru",
+            "nulll",
+        ] {
+            err(bad);
+        }
+    }
+
+    #[test]
+    fn truncated_documents_are_rejected() {
+        let full = r#"{"v":1,"cells":["a","b"],"n":3.5}"#;
+        for cut in 1..full.len() {
+            assert!(
+                parse(&full[..cut]).is_err(),
+                "prefix {:?} should not parse",
+                &full[..cut]
+            );
+        }
+    }
+
+    #[test]
+    fn lone_surrogates_and_controls_are_rejected() {
+        err(r#""\ud800""#);
+        err(r#""\udc00x""#);
+        err("\"a\nb\"");
+        err(r#""\q""#);
+    }
+
+    #[test]
+    fn multibyte_after_unicode_escape_is_an_error_not_a_panic() {
+        // `\u` followed by multibyte characters used to panic on a
+        // non-char-boundary slice; it must be a clean error.
+        for bad in ["\"\\u€€\"", "\"\\u12€\"", "\"\\ud800\\u€€€€\""] {
+            err(bad);
+        }
+        // Multibyte *content* after a complete escape still decodes.
+        assert_eq!(ok(r#""\u0041€""#).as_str(), Some("A€"));
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(500) + &"]".repeat(500);
+        assert!(err(&deep).message.contains("deep"));
+        let fine = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&fine).is_ok());
+    }
+
+    #[test]
+    fn error_offsets_point_at_the_problem() {
+        let e = err("[1,\u{1}]");
+        assert_eq!(e.offset, 3);
+        assert!(e.to_string().contains("byte 3"));
+    }
+
+    #[test]
+    fn duplicate_keys_are_kept_in_order() {
+        let v = ok(r#"{"k":1,"k":2}"#);
+        assert_eq!(v.get("k").and_then(Json::as_f64), Some(1.0));
+    }
+}

@@ -1,0 +1,128 @@
+//! Compact JSON serialization.
+
+use crate::value::Json;
+
+/// Serializes a value to its compact JSON text (no whitespace).
+pub fn to_string(value: &Json) -> String {
+    let mut out = String::new();
+    write_value(value, &mut out);
+    out
+}
+
+fn write_value(value: &Json, out: &mut String) {
+    match value {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Number(n) => write_number(*n, out),
+        Json::Str(s) => write_string(s, out),
+        Json::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Json::Object(pairs) => {
+            out.push('{');
+            for (i, (key, item)) in pairs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Writes a number. Integral doubles in the exactly-representable range
+/// print without a fraction (`3`, not `3.0`); everything else uses Rust's
+/// shortest round-trippable `f64` display. Non-finite values are not JSON
+/// and fall back to `null` (codec impls never construct them).
+fn write_number(n: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if !n.is_finite() {
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() <= 2f64.powi(53) {
+        let _ = write!(out, "{}", n as i64);
+    } else if n.abs() >= 1e17 || n.abs() < 1e-5 {
+        // Rust's `{}` never uses exponent notation; avoid hundreds of
+        // digits for extreme magnitudes (`{:e}` is still valid JSON and
+        // keeps the shortest round-trippable digits).
+        let _ = write!(out, "{n:e}");
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+/// Writes a quoted, escaped JSON string.
+fn write_string(s: &str, out: &mut String) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars() {
+        assert_eq!(to_string(&Json::Null), "null");
+        assert_eq!(to_string(&Json::Bool(true)), "true");
+        assert_eq!(to_string(&Json::Number(3.0)), "3");
+        assert_eq!(to_string(&Json::Number(-0.5)), "-0.5");
+        assert_eq!(to_string(&Json::Number(1e300)), "1e300");
+        assert_eq!(to_string(&Json::Number(2.5e-9)), "2.5e-9");
+        assert_eq!(to_string(&Json::Number(0.25)), "0.25");
+        assert_eq!(to_string(&Json::str("hi")), "\"hi\"");
+    }
+
+    #[test]
+    fn non_finite_numbers_degrade_to_null() {
+        assert_eq!(to_string(&Json::Number(f64::NAN)), "null");
+        assert_eq!(to_string(&Json::Number(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(
+            to_string(&Json::str("a\"b\\c\nd\te\u{01}")),
+            "\"a\\\"b\\\\c\\nd\\te\\u0001\""
+        );
+        // Non-ASCII passes through unescaped (JSON text is UTF-8).
+        assert_eq!(to_string(&Json::str("f⊥ €")), "\"f⊥ €\"");
+    }
+
+    #[test]
+    fn containers() {
+        let doc = Json::object([
+            ("v", Json::Number(1.0)),
+            ("items", Json::Array(vec![Json::Null, Json::Bool(false)])),
+        ]);
+        assert_eq!(to_string(&doc), r#"{"v":1,"items":[null,false]}"#);
+        assert_eq!(to_string(&Json::Array(vec![])), "[]");
+        assert_eq!(to_string(&Json::object::<&str>([])), "{}");
+    }
+}

@@ -1,0 +1,157 @@
+//! The JSON value model.
+//!
+//! [`Json`] is an owned tree. Objects are ordered lists of `(key, value)`
+//! pairs: insertion order is preserved on serialization (stable wire bytes
+//! for a given construction order) and the first binding wins on lookup,
+//! matching what the parser produces for duplicate keys.
+
+use std::fmt;
+
+/// A JSON document or sub-document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A finite IEEE-754 double. The parser never produces NaN or an
+    /// infinity (they are not JSON), and the serializer writes non-finite
+    /// numbers as `null` as a last-resort guard.
+    Number(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from an iterator of pairs.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Builds a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// The value under `key` if this is an object containing it (first
+    /// binding wins).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload if it is an exact unsigned integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        let n = self.as_f64()?;
+        (n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53)).then(|| n as u64)
+    }
+
+    /// Numeric payload if it is an exact signed integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        let n = self.as_f64()?;
+        (n.fract() == 0.0 && n.abs() <= 2f64.powi(53)).then(|| n as i64)
+    }
+
+    /// String payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array payload.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Object payload.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// True for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// The value's JSON type name, used in decode-error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Json::Null => "null",
+            Json::Bool(_) => "bool",
+            Json::Number(_) => "number",
+            Json::Str(_) => "string",
+            Json::Array(_) => "array",
+            Json::Object(_) => "object",
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    /// Displays the compact serialized form.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::ser::to_string(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_lookup_first_binding_wins() {
+        let obj = Json::Object(vec![
+            ("a".into(), Json::Number(1.0)),
+            ("a".into(), Json::Number(2.0)),
+        ]);
+        assert_eq!(obj.get("a").and_then(Json::as_f64), Some(1.0));
+        assert!(obj.get("b").is_none());
+        assert!(Json::Null.get("a").is_none());
+    }
+
+    #[test]
+    fn integer_accessors_guard_range_and_fraction() {
+        assert_eq!(Json::Number(5.0).as_u64(), Some(5));
+        assert_eq!(Json::Number(-5.0).as_u64(), None);
+        assert_eq!(Json::Number(-5.0).as_i64(), Some(-5));
+        assert_eq!(Json::Number(5.5).as_i64(), None);
+        assert_eq!(Json::Number(1e300).as_u64(), None);
+        assert_eq!(Json::Str("5".into()).as_u64(), None);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Json::Null.type_name(), "null");
+        assert_eq!(Json::Array(vec![]).type_name(), "array");
+        assert_eq!(Json::object::<&str>([]).type_name(), "object");
+    }
+}

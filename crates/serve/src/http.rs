@@ -1,0 +1,519 @@
+//! A minimal `std::net` HTTP/1.0 front-end over [`CornetService`].
+//!
+//! Accepted connections land in a bounded queue drained by a fixed pool
+//! of worker threads (sized from [`cornet_pool::current_threads`]); each
+//! worker reads the request, routes it, and writes the JSON response,
+//! while `/batch` requests additionally fan their items onto
+//! `cornet-pool`. Every response body is a versioned envelope
+//! (`{"v":1,"kind":<endpoint>,"payload":…}`); errors use kind `error`
+//! with `{"error":…,"status":…}`.
+//!
+//! | Method & path | Body | Result kind |
+//! |---------------|------|-------------|
+//! | `GET /health` | — | `health` |
+//! | `POST /learn` | `{"cells":[…],"examples":[…],"negatives":[…]?}` | `learn` |
+//! | `POST /score` | `{"rule_id":…}` or `{"rule":…}` plus `"cells"` | `score` |
+//! | `POST /batch` | `{"items":[{"op":"learn"/"score",…},…]}` | `batch` |
+//! | `POST /session` | `{"cells":[…],"examples":[…]?}` | `session` |
+//! | `GET /session/<id>` | — | `session` |
+//! | `POST /session/<id>/correct` | `{"format":[…]?,"unformat":[…]?}` | `session` |
+//! | `GET /rules/<id>` | — | `rule` |
+
+use crate::service::{BatchItem, CornetService, LearnRequest, ScoreRequest, ServeError};
+use cornet_serde::{envelope, to_string, FromJson, Json, ToJson};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Header-section size cap.
+const MAX_HEAD: usize = 16 * 1024;
+/// Request-body size cap.
+const MAX_BODY: usize = 8 * 1024 * 1024;
+/// Per-connection socket timeout.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+/// Bound on queued-but-unserved connections; beyond it new connections
+/// are shed at accept time.
+const MAX_QUEUED: usize = 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// `GET`, `POST`, …
+    pub method: String,
+    /// Path component (query strings are not used by this API).
+    pub path: String,
+    /// Raw body bytes as text.
+    pub body: String,
+}
+
+/// Reads one HTTP/1.x request from a stream.
+///
+/// The whole request must arrive within the 10-second socket timeout:
+/// a per-`read` timeout alone would let a client trickling one byte per
+/// nine seconds hold its worker thread almost indefinitely.
+pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let deadline = std::time::Instant::now() + SOCKET_TIMEOUT;
+    let check_deadline = move || {
+        if std::time::Instant::now() >= deadline {
+            Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "request read exceeded the per-request deadline",
+            ))
+        } else {
+            Ok(())
+        }
+    };
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    // Read byte-at-a-time until CRLFCRLF; request heads are tiny and this
+    // keeps the parser trivially correct about not over-reading the body.
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD {
+            return Err(bad("request head too large"));
+        }
+        check_deadline()?;
+        match stream.read(&mut byte)? {
+            0 => return Err(bad("connection closed mid-head")),
+            _ => head.push(byte[0]),
+        }
+    }
+    let head = String::from_utf8(head).map_err(|_| bad("non-UTF-8 request head"))?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| bad("missing method"))?
+        .to_string();
+    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| bad("invalid Content-Length"))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(bad("request body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0;
+    while filled < content_length {
+        check_deadline()?;
+        match stream.read(&mut body[filled..])? {
+            0 => return Err(bad("connection closed mid-body")),
+            n => filled += n,
+        }
+    }
+    let body = String::from_utf8(body).map_err(|_| bad("non-UTF-8 request body"))?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes an HTTP/1.0 response with a JSON body.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        422 => "Unprocessable Entity",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+fn error_body(status: u16, message: &str) -> String {
+    to_string(&envelope(
+        "error",
+        Json::object([
+            ("error", Json::str(message)),
+            ("status", Json::Number(status as f64)),
+        ]),
+    ))
+}
+
+fn ok_body(kind: &str, payload: Json) -> String {
+    to_string(&envelope(kind, payload))
+}
+
+fn parse_body(body: &str) -> Result<Json, ServeError> {
+    cornet_serde::parse(body).map_err(|e| ServeError::BadRequest(format!("invalid JSON: {e}")))
+}
+
+fn decode_request<T: FromJson>(body: &str) -> Result<T, ServeError> {
+    T::from_json(&parse_body(body)?).map_err(|e| ServeError::BadRequest(e.message))
+}
+
+/// Routes one request to the service. Returns `(status, body)`.
+pub fn route(service: &CornetService, request: &Request) -> (u16, String) {
+    match handle(service, request) {
+        Ok((kind, payload)) => (200, ok_body(kind, payload)),
+        Err(e) => (e.status(), error_body(e.status(), e.message())),
+    }
+}
+
+fn handle(service: &CornetService, request: &Request) -> Result<(&'static str, Json), ServeError> {
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["health"]) => Ok(("health", service.health())),
+        ("POST", ["learn"]) => {
+            let req: LearnRequest = decode_request(&request.body)?;
+            Ok(("learn", service.learn(&req)?.to_json()))
+        }
+        ("POST", ["score"]) => {
+            let req: ScoreRequest = decode_request(&request.body)?;
+            Ok(("score", service.score(&req)?.to_json()))
+        }
+        ("POST", ["batch"]) => {
+            let doc = parse_body(&request.body)?;
+            let items: Vec<BatchItem> = cornet_serde::field_t(&doc, "items")
+                .map_err(|e| ServeError::BadRequest(e.message))?;
+            let results: Vec<Json> = service
+                .batch(&items)
+                .into_iter()
+                .map(|r| match r {
+                    Ok(payload) => payload,
+                    Err(e) => Json::object([
+                        ("error", Json::str(e.message())),
+                        ("status", Json::Number(e.status() as f64)),
+                    ]),
+                })
+                .collect();
+            Ok(("batch", Json::object([("results", Json::Array(results))])))
+        }
+        ("POST", ["session"]) => {
+            let doc = parse_body(&request.body)?;
+            let cells: Vec<String> = cornet_serde::field_t(&doc, "cells")
+                .map_err(|e| ServeError::BadRequest(e.message))?;
+            let examples: Vec<usize> = cornet_serde::optional_field_t(&doc, "examples")
+                .map_err(|e| ServeError::BadRequest(e.message))?
+                .unwrap_or_default();
+            Ok((
+                "session",
+                service.session_create(cells, examples)?.to_json(),
+            ))
+        }
+        ("GET", ["session", id]) => Ok(("session", service.session_get(id)?.to_json())),
+        ("POST", ["session", id, "correct"]) => {
+            let doc = parse_body(&request.body)?;
+            let read_list = |key: &str| -> Result<Vec<usize>, ServeError> {
+                Ok(cornet_serde::optional_field_t(&doc, key)
+                    .map_err(|e| ServeError::BadRequest(e.message))?
+                    .unwrap_or_default())
+            };
+            let format = read_list("format")?;
+            let unformat = read_list("unformat")?;
+            Ok((
+                "session",
+                service.session_correct(id, &format, &unformat)?.to_json(),
+            ))
+        }
+        ("GET", ["rules", id]) => Ok(("rule", service.rule(id)?.to_json())),
+        (_, _) => Err(ServeError::NotFound(format!(
+            "no route for {} {}",
+            request.method, request.path
+        ))),
+    }
+}
+
+struct ConnectionQueue {
+    items: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+}
+
+/// A running HTTP server: an accept thread feeding a bounded connection
+/// queue drained by a fixed pool of worker threads.
+///
+/// The worker count comes from [`cornet_pool::current_threads`] (min 2,
+/// so one slow request can never serialize the server); workers block on
+/// the queue's condvar and each handles one connection at a time, so a
+/// slow request occupies exactly one worker and everything else keeps
+/// flowing. Heavy *in-request* parallelism (the `/batch` fan-out) still
+/// runs on `cornet-pool`.
+pub struct Server {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    queue: Arc<ConnectionQueue>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+    worker_threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
+    /// `service` until [`Server::shutdown`] (or drop).
+    pub fn start(addr: &str, service: Arc<CornetService>) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(ConnectionQueue {
+            items: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+        });
+
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            // Backpressure: beyond the queue bound the
+                            // connection is dropped immediately (the
+                            // client sees a reset) instead of holding an
+                            // fd that will only time out later.
+                            let mut items = queue.items.lock().unwrap();
+                            if items.len() < MAX_QUEUED {
+                                items.push_back(stream);
+                                drop(items);
+                                queue.ready.notify_one();
+                            }
+                        }
+                        Err(_) => {
+                            // Typically fd exhaustion; back off instead
+                            // of spinning accept→error at full CPU.
+                            std::thread::sleep(Duration::from_millis(20));
+                        }
+                    }
+                }
+            })
+        };
+
+        let workers = cornet_pool::current_threads().clamp(2, 16);
+        let worker_threads = (0..workers)
+            .map(|_| {
+                let stop = Arc::clone(&stop);
+                let queue = Arc::clone(&queue);
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || loop {
+                    let next = {
+                        let mut items = queue.items.lock().unwrap();
+                        while items.is_empty() && !stop.load(Ordering::SeqCst) {
+                            items = queue.ready.wait(items).unwrap();
+                        }
+                        items.pop_front()
+                    };
+                    match next {
+                        Some(mut stream) => handle_connection(&mut stream, &service),
+                        None => break, // empty queue + stop flag
+                    }
+                })
+            })
+            .collect();
+
+        Ok(Server {
+            addr,
+            stop,
+            queue,
+            accept_thread: Some(accept_thread),
+            worker_threads,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the queue, and joins the worker threads.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the accept loop with a wake-up connection. A wildcard
+        // bind address (0.0.0.0 / ::) is not connectable on every
+        // platform; rewrite it to the matching loopback.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match wake.ip() {
+                std::net::IpAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+                std::net::IpAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect(wake);
+        self.queue.ready.notify_all();
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for t in self.worker_threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(stream: &mut TcpStream, service: &CornetService) {
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    match read_request(stream) {
+        Ok(request) => {
+            let (status, body) = route(service, &request);
+            let _ = write_response(stream, status, &body);
+        }
+        Err(e) => {
+            let _ = write_response(stream, 400, &error_body(400, &e.to_string()));
+        }
+    }
+}
+
+/// A minimal blocking HTTP client for tests, the smoke driver and
+/// scripts: sends one request, returns `(status, envelope)`.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, Json)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
+    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
+    let body = body.unwrap_or("");
+    let head = format!(
+        "{method} {path} HTTP/1.0\r\nHost: cornet\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()?;
+
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw)?;
+    let text = String::from_utf8(raw)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response"))?;
+    let (head, payload) = text
+        .split_once("\r\n\r\n")
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed response"))?;
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing status"))?;
+    let doc = cornet_serde::parse(payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad JSON body: {e}")))?;
+    Ok((status, doc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::ServiceConfig;
+    use std::path::PathBuf;
+
+    fn temp_server(tag: &str) -> (Server, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("cornet-http-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = Arc::new(
+            CornetService::new(&ServiceConfig {
+                store_dir: dir.clone(),
+                cache_capacity: 16,
+                ..ServiceConfig::default()
+            })
+            .unwrap(),
+        );
+        (Server::start("127.0.0.1:0", service).unwrap(), dir)
+    }
+
+    #[test]
+    fn health_and_unknown_route() {
+        let (mut server, dir) = temp_server("health");
+        let (status, doc) = http_request(server.addr(), "GET", "/health", None).unwrap();
+        assert_eq!(status, 200);
+        let payload = cornet_serde::open_envelope(&doc, "health").unwrap();
+        assert_eq!(payload.get("status").and_then(Json::as_str), Some("ok"));
+
+        let (status, doc) = http_request(server.addr(), "GET", "/nope", None).unwrap();
+        assert_eq!(status, 404);
+        assert!(cornet_serde::open_envelope(&doc, "error").is_ok());
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn learn_over_the_wire() {
+        let (mut server, dir) = temp_server("learn");
+        let body = r#"{"cells":["RW-187","RS-762","RW-159","RW-131-T","TW-224","RW-312"],"examples":[0,2,5]}"#;
+        let (status, doc) = http_request(server.addr(), "POST", "/learn", Some(body)).unwrap();
+        assert_eq!(status, 200, "{doc}");
+        let payload = cornet_serde::open_envelope(&doc, "learn").unwrap();
+        let matches: Vec<usize> = Vec::from_json(payload.get("matches").unwrap()).unwrap();
+        assert_eq!(matches, vec![0, 2, 5]);
+
+        let bad = http_request(server.addr(), "POST", "/learn", Some("{oops")).unwrap();
+        assert_eq!(bad.0, 400);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn a_slow_client_does_not_block_other_requests() {
+        let (mut server, dir) = temp_server("slow-client");
+        // A client that opens a connection, sends half a request head
+        // and then stalls: it occupies one worker until the deadline.
+        let mut slow = TcpStream::connect(server.addr()).unwrap();
+        slow.write_all(b"POST /learn HTTP/1.0\r\nContent-").unwrap();
+        std::thread::sleep(Duration::from_millis(50)); // let a worker pick it up
+                                                       // Other clients must still be served promptly meanwhile.
+        let started = std::time::Instant::now();
+        let (status, _) = http_request(server.addr(), "GET", "/health", None).unwrap();
+        assert_eq!(status, 200);
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "health blocked behind the stalled client for {:?}",
+            started.elapsed()
+        );
+        drop(slow);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_requests_all_get_answers() {
+        let (mut server, dir) = temp_server("concurrent");
+        let addr = server.addr();
+        let handles: Vec<_> = (0..12)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    http_request(addr, "GET", "/health", None).map(|(s, _)| s)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap().unwrap(), 200);
+        }
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn method_mismatch_is_a_404() {
+        let (mut server, dir) = temp_server("method");
+        let (status, _) = http_request(server.addr(), "GET", "/learn", None).unwrap();
+        assert_eq!(status, 404);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

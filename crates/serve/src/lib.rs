@@ -1,0 +1,48 @@
+//! **cornet-serve** — the Cornet learner as a service.
+//!
+//! The ROADMAP's north star is a production-scale rule-formatting
+//! service; this crate is the serving layer over the learner core:
+//!
+//! * [`store`] — a persistent rule store: one
+//!   `{"v":1,"kind":"stored-rule",…}` JSON file per learned rule
+//!   (`cornet_serde` envelopes), fronted by an in-memory LRU. Rule ids
+//!   are content fingerprints of the learn request, so an identical
+//!   request — in this process or after a restart — is answered from the
+//!   store without re-learning.
+//! * [`service`] — the transport-independent service:
+//!   [`service::CornetService`] exposes `learn` (examples in → rule out),
+//!   `score` (rule + rows in → labels out), `batch` (fanned onto
+//!   `cornet-pool`) and the demo paper's correct-and-relearn `session`
+//!   loop.
+//! * [`http`] — a `std::net` HTTP/1.0 front-end: accepted connections
+//!   land in a bounded queue drained by a fixed pool of worker threads
+//!   (sized from `cornet_pool::current_threads`), while `/batch`
+//!   requests fan their items onto `cornet-pool`;
+//!   [`http::http_request`] is the matching minimal client.
+//! * [`smoke`] — the scripted learn→score→correct→re-learn→restart
+//!   session used by the CI smoke job and the `cornet-serve smoke`
+//!   subcommand.
+//!
+//! ```no_run
+//! use cornet_serve::service::{CornetService, LearnRequest, ServiceConfig};
+//!
+//! let service = CornetService::new(&ServiceConfig::default()).unwrap();
+//! let learned = service
+//!     .learn(&LearnRequest {
+//!         cells: vec!["RW-187".into(), "RS-762".into(), "RW-159".into()],
+//!         examples: vec![0, 2],
+//!         negatives: vec![],
+//!     })
+//!     .unwrap();
+//! println!("{} → {}", learned.rule_id, learned.rule_text);
+//! ```
+
+pub mod http;
+pub mod service;
+pub mod sha256;
+pub mod smoke;
+pub mod store;
+
+pub use http::{http_request, Server};
+pub use service::{CornetService, LearnRequest, ScoreRequest, ServeError, ServiceConfig};
+pub use store::{RuleStore, StoredRule};

@@ -1,0 +1,100 @@
+//! The `cornet-serve` binary: HTTP front-end over the rule store.
+//!
+//! ```text
+//! cornet-serve [--addr 127.0.0.1:7878] [--store cornet-store] [--capacity 256]
+//! cornet-serve smoke
+//! ```
+//!
+//! The default mode binds the address and serves until killed. The
+//! `smoke` subcommand runs the scripted learn→score→correct→re-learn→
+//! restart session against a throwaway store and exits non-zero on any
+//! failure (the CI `serve-smoke` job).
+
+use cornet_serve::service::{CornetService, ServiceConfig};
+use cornet_serve::Server;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("smoke") {
+        match cornet_serve::smoke::run() {
+            Ok(log) => {
+                for line in log {
+                    println!("{line}");
+                }
+                println!("smoke: PASS");
+            }
+            Err(e) => {
+                eprintln!("smoke: FAIL\n{e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut store_dir = PathBuf::from("cornet-store");
+    let mut capacity = 256usize;
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{name} requires a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match flag.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--store" => store_dir = PathBuf::from(value("--store")),
+            "--capacity" => {
+                capacity = value("--capacity").parse().unwrap_or_else(|_| {
+                    eprintln!("--capacity must be a positive integer");
+                    std::process::exit(2);
+                })
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: cornet-serve [--addr HOST:PORT] [--store DIR] [--capacity N] | smoke"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown argument `{other}` (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let service = match CornetService::new(&ServiceConfig {
+        store_dir: store_dir.clone(),
+        cache_capacity: capacity,
+        ..ServiceConfig::default()
+    }) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("cannot open rule store {}: {e}", store_dir.display());
+            std::process::exit(1);
+        }
+    };
+    let server = match Server::start(&addr, service) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "cornet-serve listening on http://{} (rule store: {}, cache: {capacity})",
+        server.addr(),
+        store_dir.display()
+    );
+    eprintln!(
+        "endpoints: GET /health · POST /learn /score /batch /session · GET /session/<id> /rules/<id>"
+    );
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,892 @@
+//! The in-process service layer: typed requests/responses plus the
+//! learn/score/session logic, independent of any transport.
+//!
+//! The HTTP front-end ([`crate::http`]) is a thin shell over
+//! [`CornetService`]; everything here is directly callable (and
+//! benchmarked) without a socket.
+
+use crate::store::{rule_id, RuleStore, StoredRule};
+use cornet_core::prelude::*;
+use cornet_core::rule::Rule;
+use cornet_serde::{field_t, optional_field_t, DecodeError, FromJson, Json, ToJson};
+use cornet_table::CellValue;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Service configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Rule-store directory.
+    pub store_dir: PathBuf,
+    /// In-memory LRU capacity of the rule store.
+    pub cache_capacity: usize,
+    /// Cap on live sessions; the oldest session is evicted beyond it
+    /// (sessions are per-process and ephemeral — learned rules persist
+    /// in the store regardless).
+    pub max_sessions: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            store_dir: PathBuf::from("cornet-store"),
+            cache_capacity: 256,
+            max_sessions: 256,
+        }
+    }
+}
+
+/// A service failure, mapped onto an HTTP status by the front-end.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Malformed request (missing fields, out-of-range indices, …) → 400.
+    BadRequest(String),
+    /// Unknown rule or session id → 404.
+    NotFound(String),
+    /// Well-formed request the learner cannot satisfy → 422.
+    Unlearnable(String),
+    /// Store I/O failure → 500.
+    Internal(String),
+}
+
+impl ServeError {
+    /// The HTTP status code this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            ServeError::BadRequest(_) => 400,
+            ServeError::NotFound(_) => 404,
+            ServeError::Unlearnable(_) => 422,
+            ServeError::Internal(_) => 500,
+        }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        match self {
+            ServeError::BadRequest(m)
+            | ServeError::NotFound(m)
+            | ServeError::Unlearnable(m)
+            | ServeError::Internal(m) => m,
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.message(), self.status())
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// `learn`: a column plus user-formatted example indices (and optional
+/// negative corrections).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnRequest {
+    /// Raw cell texts; each is parsed the way a spreadsheet parses entry.
+    pub cells: Vec<String>,
+    /// Indices the user formatted (positives).
+    pub examples: Vec<usize>,
+    /// Indices the user explicitly unformatted (negative corrections).
+    pub negatives: Vec<usize>,
+}
+
+impl FromJson for LearnRequest {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(LearnRequest {
+            cells: field_t(json, "cells")?,
+            examples: field_t(json, "examples")?,
+            negatives: optional_field_t(json, "negatives")?.unwrap_or_default(),
+        })
+    }
+}
+
+impl ToJson for LearnRequest {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("cells", self.cells.to_json()),
+            ("examples", self.examples.to_json()),
+            ("negatives", self.negatives.to_json()),
+        ])
+    }
+}
+
+/// `learn` result: the chosen rule and where it now lives.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LearnResponse {
+    /// Rule-store id (content fingerprint of the request).
+    pub rule_id: String,
+    /// The learned rule (structured form).
+    pub rule: Rule,
+    /// Human-readable rule text (`AND(TextStartsWith("RW"),…)`).
+    pub rule_text: String,
+    /// Excel conditional-formatting formula equivalent.
+    pub formula: String,
+    /// Ranker score of the chosen candidate.
+    pub score: f64,
+    /// Indices the rule formats on the submitted column.
+    pub matches: Vec<usize>,
+    /// True when the rule came from the store without re-learning.
+    pub cached: bool,
+    /// False when no candidate excluded every negative and the best
+    /// candidate was returned anyway.
+    pub consistent: bool,
+}
+
+impl ToJson for LearnResponse {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("rule_id", Json::str(self.rule_id.clone())),
+            ("rule", self.rule.to_json()),
+            ("rule_text", Json::str(self.rule_text.clone())),
+            ("formula", Json::str(self.formula.clone())),
+            ("score", Json::Number(self.score)),
+            ("matches", self.matches.to_json()),
+            ("cached", Json::Bool(self.cached)),
+            ("consistent", Json::Bool(self.consistent)),
+        ])
+    }
+}
+
+impl FromJson for LearnResponse {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(LearnResponse {
+            rule_id: field_t(json, "rule_id")?,
+            rule: field_t(json, "rule")?,
+            rule_text: field_t(json, "rule_text")?,
+            formula: field_t(json, "formula")?,
+            score: field_t(json, "score")?,
+            matches: field_t(json, "matches")?,
+            cached: field_t(json, "cached")?,
+            consistent: field_t(json, "consistent")?,
+        })
+    }
+}
+
+/// `score`: fresh rows against a stored rule (by id) or an inline rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreRequest {
+    /// Stored rule to score with. Exactly one of `rule_id`/`rule`.
+    pub rule_id: Option<String>,
+    /// Inline rule to score with.
+    pub rule: Option<Rule>,
+    /// Raw cell texts to label.
+    pub cells: Vec<String>,
+}
+
+impl FromJson for ScoreRequest {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(ScoreRequest {
+            rule_id: optional_field_t(json, "rule_id")?,
+            rule: optional_field_t(json, "rule")?,
+            cells: field_t(json, "cells")?,
+        })
+    }
+}
+
+impl ToJson for ScoreRequest {
+    fn to_json(&self) -> Json {
+        let mut pairs: Vec<(&str, Json)> = Vec::new();
+        if let Some(id) = &self.rule_id {
+            pairs.push(("rule_id", Json::str(id.clone())));
+        }
+        if let Some(rule) = &self.rule {
+            pairs.push(("rule", rule.to_json()));
+        }
+        pairs.push(("cells", self.cells.to_json()));
+        Json::object(pairs)
+    }
+}
+
+/// `score` result: the formatting labels.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreResponse {
+    /// Id of the rule used, when it came from the store.
+    pub rule_id: Option<String>,
+    /// Indices of cells the rule formats.
+    pub matches: Vec<usize>,
+    /// Number of labelled cells (equals the request's cell count).
+    pub n_cells: usize,
+}
+
+impl ToJson for ScoreResponse {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("rule_id", self.rule_id.to_json()),
+            ("matches", self.matches.to_json()),
+            ("n_cells", self.n_cells.to_json()),
+        ])
+    }
+}
+
+impl FromJson for ScoreResponse {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(ScoreResponse {
+            rule_id: field_t(json, "rule_id")?,
+            matches: field_t(json, "matches")?,
+            n_cells: field_t(json, "n_cells")?,
+        })
+    }
+}
+
+/// One item of a `batch` request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchItem {
+    /// A learn request (`"op":"learn"`).
+    Learn(LearnRequest),
+    /// A score request (`"op":"score"`).
+    Score(ScoreRequest),
+}
+
+impl FromJson for BatchItem {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        let op: String = field_t(json, "op")?;
+        match op.as_str() {
+            "learn" => Ok(BatchItem::Learn(LearnRequest::from_json(json)?)),
+            "score" => Ok(BatchItem::Score(ScoreRequest::from_json(json)?)),
+            other => Err(DecodeError::new(format!("unknown batch op `{other}`"))),
+        }
+    }
+}
+
+impl ToJson for BatchItem {
+    fn to_json(&self) -> Json {
+        let (op, mut inner) = match self {
+            BatchItem::Learn(r) => ("learn", r.to_json()),
+            BatchItem::Score(r) => ("score", r.to_json()),
+        };
+        if let Json::Object(pairs) = &mut inner {
+            pairs.insert(0, ("op".to_string(), Json::str(op)));
+        }
+        inner
+    }
+}
+
+/// An interactive correct-and-relearn session (the demo paper's loop).
+#[derive(Debug, Clone)]
+struct Session {
+    id: String,
+    cells: Vec<String>,
+    positives: BTreeSet<usize>,
+    negatives: BTreeSet<usize>,
+    revision: u64,
+    last: Option<LearnResponse>,
+}
+
+/// A session snapshot returned by the session endpoints.
+#[derive(Debug, Clone)]
+pub struct SessionResponse {
+    /// Session identifier (`s<counter>`; sessions are per-process).
+    pub session_id: String,
+    /// Bumped on every correction.
+    pub revision: u64,
+    /// Column length.
+    pub n_cells: usize,
+    /// Current positive examples.
+    pub positives: Vec<usize>,
+    /// Current negative corrections.
+    pub negatives: Vec<usize>,
+    /// Latest learn result (`None` until the first example arrives).
+    pub result: Option<LearnResponse>,
+}
+
+impl ToJson for SessionResponse {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("session_id", Json::str(self.session_id.clone())),
+            ("revision", self.revision.to_json()),
+            ("n_cells", self.n_cells.to_json()),
+            ("positives", self.positives.to_json()),
+            ("negatives", self.negatives.to_json()),
+            (
+                "result",
+                self.result
+                    .as_ref()
+                    .map(ToJson::to_json)
+                    .unwrap_or(Json::Null),
+            ),
+        ])
+    }
+}
+
+impl FromJson for SessionResponse {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(SessionResponse {
+            session_id: field_t(json, "session_id")?,
+            revision: field_t(json, "revision")?,
+            n_cells: field_t(json, "n_cells")?,
+            positives: field_t(json, "positives")?,
+            negatives: field_t(json, "negatives")?,
+            result: optional_field_t(json, "result")?,
+        })
+    }
+}
+
+/// Per-process session table: the map plus insertion order for the
+/// oldest-first eviction that bounds memory.
+#[derive(Debug, Default)]
+struct SessionTable {
+    /// Sessions are individually locked so a slow re-learn on one
+    /// session never blocks operations on the others; the table mutex is
+    /// only ever held for map lookups and insertions.
+    map: HashMap<String, Arc<Mutex<Session>>>,
+    order: VecDeque<String>,
+}
+
+impl SessionTable {
+    fn insert(&mut self, id: String, session: Session, cap: usize) {
+        if !self.map.contains_key(&id) {
+            self.order.push_back(id.clone());
+        }
+        self.map.insert(id, Arc::new(Mutex::new(session)));
+        while self.map.len() > cap.max(1) {
+            if let Some(evicted) = self.order.pop_front() {
+                self.map.remove(&evicted);
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn get(&self, id: &str) -> Result<Arc<Mutex<Session>>, ServeError> {
+        self.map
+            .get(id)
+            .cloned()
+            .ok_or_else(|| ServeError::NotFound(format!("no session `{id}`")))
+    }
+}
+
+/// The service: a learner in front of the persistent rule store, plus
+/// per-process interactive sessions.
+pub struct CornetService {
+    store: Mutex<RuleStore>,
+    sessions: Mutex<SessionTable>,
+    max_sessions: usize,
+    next_session: AtomicU64,
+    learns: AtomicU64,
+}
+
+impl CornetService {
+    /// Opens the rule store and builds the service.
+    pub fn new(config: &ServiceConfig) -> io::Result<CornetService> {
+        Ok(CornetService {
+            store: Mutex::new(RuleStore::open(&config.store_dir, config.cache_capacity)?),
+            sessions: Mutex::new(SessionTable::default()),
+            max_sessions: config.max_sessions,
+            next_session: AtomicU64::new(1),
+            learns: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of actual learner invocations since startup (cache hits do
+    /// not count — the restart test relies on exactly this distinction).
+    pub fn learns_performed(&self) -> u64 {
+        self.learns.load(Ordering::Relaxed)
+    }
+
+    fn validate_indices(len: usize, indices: &[usize], what: &str) -> Result<(), ServeError> {
+        if let Some(&bad) = indices.iter().find(|&&i| i >= len) {
+            return Err(ServeError::BadRequest(format!(
+                "{what} index {bad} out of range for {len} cells"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Learns a rule (or fetches the stored rule for an identical
+    /// request). This is the paper's `learn`: examples in, rule out.
+    pub fn learn(&self, req: &LearnRequest) -> Result<LearnResponse, ServeError> {
+        if req.cells.is_empty() {
+            return Err(ServeError::BadRequest("empty column".into()));
+        }
+        if req.examples.is_empty() {
+            return Err(ServeError::BadRequest("no example indices".into()));
+        }
+        Self::validate_indices(req.cells.len(), &req.examples, "example")?;
+        Self::validate_indices(req.cells.len(), &req.negatives, "negative")?;
+        if let Some(&overlap) = req.examples.iter().find(|i| req.negatives.contains(i)) {
+            return Err(ServeError::BadRequest(format!(
+                "index {overlap} is both an example and a negative"
+            )));
+        }
+
+        let id = rule_id(&req.cells, &req.examples, &req.negatives);
+        let cells: Vec<CellValue> = req.cells.iter().map(|s| CellValue::parse(s)).collect();
+        if let Some(stored) = self.store.lock().unwrap().get(&id) {
+            return Ok(Self::response_from_stored(&stored, &cells, true));
+        }
+
+        let cornet = Cornet::with_default_ranker();
+        let outcome = cornet
+            .learn(&cells, &req.examples)
+            .map_err(|e| ServeError::Unlearnable(e.to_string()))?;
+        self.learns.fetch_add(1, Ordering::Relaxed);
+
+        // Correct-and-relearn support: prefer the best-ranked candidate
+        // that excludes every negative correction; fall back to the best
+        // candidate (flagged inconsistent) when none does.
+        let chosen = outcome
+            .candidates
+            .iter()
+            .find(|c| req.negatives.iter().all(|&i| !c.rule.eval(&cells[i])));
+        let (scored, consistent) = match chosen {
+            Some(c) => (c, true),
+            None => (&outcome.candidates[0], req.negatives.is_empty()),
+        };
+
+        let stored = StoredRule {
+            id: id.clone(),
+            rule: scored.rule.clone(),
+            score: scored.score,
+            examples: req.examples.clone(),
+            negatives: req.negatives.clone(),
+            column_len: req.cells.len(),
+            consistent,
+        };
+        self.store
+            .lock()
+            .unwrap()
+            .put(stored.clone())
+            .map_err(|e| ServeError::Internal(format!("rule store write failed: {e}")))?;
+        Ok(Self::response_from_stored(&stored, &cells, false))
+    }
+
+    fn response_from_stored(
+        stored: &StoredRule,
+        cells: &[CellValue],
+        cached: bool,
+    ) -> LearnResponse {
+        let matches = stored.rule.execute(cells).iter_ones().collect();
+        LearnResponse {
+            rule_id: stored.id.clone(),
+            rule: stored.rule.clone(),
+            rule_text: stored.rule.to_string(),
+            formula: stored.rule.to_formula().to_string(),
+            score: stored.score,
+            matches,
+            cached,
+            consistent: stored.consistent,
+        }
+    }
+
+    /// Scores fresh rows with a stored or inline rule.
+    pub fn score(&self, req: &ScoreRequest) -> Result<ScoreResponse, ServeError> {
+        let (rule, rule_id) = match (&req.rule, &req.rule_id) {
+            (Some(rule), None) => (rule.clone(), None),
+            (None, Some(id)) => {
+                let stored = self.store.lock().unwrap().get(id).ok_or_else(|| {
+                    ServeError::NotFound(format!("no stored rule with id `{id}`"))
+                })?;
+                (stored.rule, Some(id.clone()))
+            }
+            _ => {
+                return Err(ServeError::BadRequest(
+                    "provide exactly one of `rule_id` and `rule`".into(),
+                ))
+            }
+        };
+        let cells: Vec<CellValue> = req.cells.iter().map(|s| CellValue::parse(s)).collect();
+        let matches = rule.execute(&cells).iter_ones().collect();
+        Ok(ScoreResponse {
+            rule_id,
+            matches,
+            n_cells: cells.len(),
+        })
+    }
+
+    /// Runs a batch of learn/score items, fanned onto `cornet-pool`.
+    /// Each item succeeds or fails independently; the response array is
+    /// in request order.
+    pub fn batch(&self, items: &[BatchItem]) -> Vec<Result<Json, ServeError>> {
+        cornet_pool::par_map(items.len(), |i| match &items[i] {
+            BatchItem::Learn(req) => self.learn(req).map(|r| r.to_json()),
+            BatchItem::Score(req) => self.score(req).map(|r| r.to_json()),
+        })
+    }
+
+    /// Looks a stored rule up by id.
+    pub fn rule(&self, id: &str) -> Result<StoredRule, ServeError> {
+        self.store
+            .lock()
+            .unwrap()
+            .get(id)
+            .ok_or_else(|| ServeError::NotFound(format!("no stored rule with id `{id}`")))
+    }
+
+    /// Opens a session over a column, optionally with initial examples.
+    pub fn session_create(
+        &self,
+        cells: Vec<String>,
+        examples: Vec<usize>,
+    ) -> Result<SessionResponse, ServeError> {
+        if cells.is_empty() {
+            return Err(ServeError::BadRequest("empty column".into()));
+        }
+        Self::validate_indices(cells.len(), &examples, "example")?;
+        let id = format!("s{}", self.next_session.fetch_add(1, Ordering::Relaxed));
+        let mut session = Session {
+            id: id.clone(),
+            cells,
+            positives: examples.into_iter().collect(),
+            negatives: BTreeSet::new(),
+            revision: 0,
+            last: None,
+        };
+        self.relearn(&mut session)?;
+        let response = Self::session_snapshot(&session);
+        self.sessions
+            .lock()
+            .unwrap()
+            .insert(id, session, self.max_sessions);
+        Ok(response)
+    }
+
+    /// The current state of a session.
+    pub fn session_get(&self, id: &str) -> Result<SessionResponse, ServeError> {
+        let session = self.sessions.lock().unwrap().get(id)?;
+        let guard = session.lock().unwrap();
+        Ok(Self::session_snapshot(&guard))
+    }
+
+    /// Applies corrections and re-learns: `format` marks cells the rule
+    /// must cover (moves them out of the negatives), `unformat` marks
+    /// cells it must not (moves them out of the positives).
+    ///
+    /// The *per-session* lock is held across the re-learn so concurrent
+    /// corrections to the same session serialize instead of losing one
+    /// writer's updates, while other sessions stay responsive; a failed
+    /// re-learn leaves the session unchanged. Lock order everywhere is
+    /// table → session → store.
+    pub fn session_correct(
+        &self,
+        id: &str,
+        format: &[usize],
+        unformat: &[usize],
+    ) -> Result<SessionResponse, ServeError> {
+        let session = self.sessions.lock().unwrap().get(id)?;
+        let mut guard = session.lock().unwrap();
+        Self::validate_indices(guard.cells.len(), format, "format")?;
+        Self::validate_indices(guard.cells.len(), unformat, "unformat")?;
+        let mut updated = guard.clone();
+        for &i in format {
+            updated.negatives.remove(&i);
+            updated.positives.insert(i);
+        }
+        for &i in unformat {
+            updated.positives.remove(&i);
+            updated.negatives.insert(i);
+        }
+        updated.revision += 1;
+        self.relearn(&mut updated)?;
+        let response = Self::session_snapshot(&updated);
+        *guard = updated;
+        Ok(response)
+    }
+
+    fn relearn(&self, session: &mut Session) -> Result<(), ServeError> {
+        if session.positives.is_empty() {
+            session.last = None;
+            return Ok(());
+        }
+        let req = LearnRequest {
+            cells: session.cells.clone(),
+            examples: session.positives.iter().copied().collect(),
+            negatives: session.negatives.iter().copied().collect(),
+        };
+        session.last = Some(self.learn(&req)?);
+        Ok(())
+    }
+
+    fn session_snapshot(session: &Session) -> SessionResponse {
+        SessionResponse {
+            session_id: session.id.clone(),
+            revision: session.revision,
+            n_cells: session.cells.len(),
+            positives: session.positives.iter().copied().collect(),
+            negatives: session.negatives.iter().copied().collect(),
+            result: session.last.clone(),
+        }
+    }
+
+    /// Service health/statistics document.
+    ///
+    /// The store mutex is released before anything else is touched: the
+    /// on-disk rule count is scanned without the lock (so health probes
+    /// never stall `learn`/`score` behind a directory walk), and the
+    /// session table is locked only afterwards (never nested inside the
+    /// store lock — `session_correct` acquires them in the opposite
+    /// order, which would deadlock).
+    pub fn health(&self) -> Json {
+        let (hits, misses, cached, store_dir) = {
+            let store = self.store.lock().unwrap();
+            let (hits, misses) = store.counters();
+            (hits, misses, store.cached(), store.dir().to_path_buf())
+        };
+        let persisted = crate::store::persisted_in(&store_dir);
+        let sessions = self.sessions.lock().unwrap().map.len();
+        Json::object([
+            ("status", Json::str("ok")),
+            ("rules_cached", cached.to_json()),
+            ("rules_persisted", persisted.to_json()),
+            ("store_hits", hits.to_json()),
+            ("store_misses", misses.to_json()),
+            ("sessions", sessions.to_json()),
+            ("learns_performed", self.learns_performed().to_json()),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_service(tag: &str) -> (CornetService, PathBuf) {
+        let dir =
+            std::env::temp_dir().join(format!("cornet-service-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = CornetService::new(&ServiceConfig {
+            store_dir: dir.clone(),
+            cache_capacity: 16,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        (service, dir)
+    }
+
+    fn rw_column() -> Vec<String> {
+        ["RW-187", "RS-762", "RW-159", "RW-131-T", "TW-224", "RW-312"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn learn_then_cached_learn_then_score() {
+        let (service, dir) = temp_service("learn");
+        let req = LearnRequest {
+            cells: rw_column(),
+            examples: vec![0, 2, 5],
+            negatives: vec![],
+        };
+        let first = service.learn(&req).unwrap();
+        assert_eq!(first.matches, vec![0, 2, 5]);
+        assert!(!first.cached);
+        assert_eq!(service.learns_performed(), 1);
+
+        let second = service.learn(&req).unwrap();
+        assert!(second.cached, "identical request must hit the store");
+        assert_eq!(second.rule_text, first.rule_text);
+        assert_eq!(service.learns_performed(), 1, "no re-learning");
+
+        let score = service
+            .score(&ScoreRequest {
+                rule_id: Some(first.rule_id.clone()),
+                rule: None,
+                cells: vec!["RW-555".into(), "XX-1".into(), "RW-9-T".into()],
+            })
+            .unwrap();
+        // Which negation the ranker prefers varies; what must hold is that
+        // a fresh RW id is formatted and a non-RW id is not.
+        assert!(score.matches.contains(&0));
+        assert!(!score.matches.contains(&1));
+        assert_eq!(score.n_cells, 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn learn_errors_map_to_statuses() {
+        let (service, dir) = temp_service("errors");
+        let no_examples = LearnRequest {
+            cells: rw_column(),
+            examples: vec![],
+            negatives: vec![],
+        };
+        assert_eq!(service.learn(&no_examples).unwrap_err().status(), 400);
+
+        let out_of_range = LearnRequest {
+            cells: rw_column(),
+            examples: vec![99],
+            negatives: vec![],
+        };
+        assert_eq!(service.learn(&out_of_range).unwrap_err().status(), 400);
+
+        let unlearnable = LearnRequest {
+            cells: vec!["x".into(), "x".into(), "x".into()],
+            examples: vec![0],
+            negatives: vec![],
+        };
+        assert_eq!(service.learn(&unlearnable).unwrap_err().status(), 422);
+
+        let missing_rule = ScoreRequest {
+            rule_id: Some("r0123456789abcdef".into()),
+            rule: None,
+            cells: vec!["a".into()],
+        };
+        assert_eq!(service.score(&missing_rule).unwrap_err().status(), 404);
+
+        let ambiguous = ScoreRequest {
+            rule_id: None,
+            rule: None,
+            cells: vec!["a".into()],
+        };
+        assert_eq!(service.score(&ambiguous).unwrap_err().status(), 400);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restart_scores_from_the_persisted_store_without_relearning() {
+        let (service, dir) = temp_service("restart");
+        let req = LearnRequest {
+            cells: rw_column(),
+            examples: vec![0, 2, 5],
+            negatives: vec![],
+        };
+        let learned = service.learn(&req).unwrap();
+        drop(service);
+
+        // A fresh process over the same store directory.
+        let restarted = CornetService::new(&ServiceConfig {
+            store_dir: dir.clone(),
+            cache_capacity: 16,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let score = restarted
+            .score(&ScoreRequest {
+                rule_id: Some(learned.rule_id.clone()),
+                rule: None,
+                cells: rw_column(),
+            })
+            .unwrap();
+        assert_eq!(score.matches, vec![0, 2, 5]);
+        let again = restarted.learn(&req).unwrap();
+        assert!(again.cached);
+        assert_eq!(restarted.learns_performed(), 0, "restart never re-learns");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn session_correct_and_relearn_loop() {
+        let (service, dir) = temp_service("session");
+        // The user starts with one example; RW-131-T is wrongly matched
+        // by the initial "starts with RW" hypothesis.
+        let created = service.session_create(rw_column(), vec![0]).unwrap();
+        let first = created.result.clone().expect("rule learned");
+        assert!(first.matches.contains(&0));
+
+        // The user unformats RW-131-T (index 3) and formats RW-312 (5).
+        let corrected = service
+            .session_correct(&created.session_id, &[5], &[3])
+            .unwrap();
+        assert_eq!(corrected.revision, 1);
+        let result = corrected.result.expect("re-learned");
+        assert!(
+            !result.matches.contains(&3),
+            "corrected negative must not be matched: {result:?}"
+        );
+        assert!(result.matches.contains(&5));
+        assert!(result.consistent);
+
+        let fetched = service.session_get(&created.session_id).unwrap();
+        assert_eq!(fetched.revision, 1);
+        assert_eq!(fetched.positives, vec![0, 5]);
+        assert_eq!(fetched.negatives, vec![3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn inconsistent_learns_stay_inconsistent_on_cache_hits() {
+        let (service, dir) = temp_service("inconsistent");
+        // Cells 0 and 1 hold the same value: no rule can cover example 0
+        // while excluding negative 1, so the best candidate is returned
+        // flagged inconsistent.
+        let req = LearnRequest {
+            cells: vec!["x".into(), "x".into(), "y".into(), "z".into()],
+            examples: vec![0],
+            negatives: vec![1],
+        };
+        let first = service.learn(&req).unwrap();
+        assert!(!first.consistent, "{first:?}");
+        // A store hit must not launder the flag back to consistent.
+        let second = service.learn(&req).unwrap();
+        assert!(second.cached);
+        assert!(!second.consistent, "cache hit reported consistent=true");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn session_table_evicts_oldest_beyond_the_cap() {
+        let dir =
+            std::env::temp_dir().join(format!("cornet-service-test-cap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = CornetService::new(&ServiceConfig {
+            store_dir: dir.clone(),
+            cache_capacity: 16,
+            max_sessions: 2,
+        })
+        .unwrap();
+        let ids: Vec<String> = (0..3)
+            .map(|_| {
+                service
+                    .session_create(rw_column(), vec![0])
+                    .unwrap()
+                    .session_id
+            })
+            .collect();
+        assert!(
+            matches!(service.session_get(&ids[0]), Err(ServeError::NotFound(_))),
+            "oldest session must be evicted"
+        );
+        assert!(service.session_get(&ids[1]).is_ok());
+        assert!(service.session_get(&ids[2]).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_fans_out_and_isolates_failures() {
+        let (service, dir) = temp_service("batch");
+        let learn = BatchItem::Learn(LearnRequest {
+            cells: rw_column(),
+            examples: vec![0, 2, 5],
+            negatives: vec![],
+        });
+        let bad = BatchItem::Score(ScoreRequest {
+            rule_id: Some("r00000000deadbeef".into()),
+            rule: None,
+            cells: vec!["a".into()],
+        });
+        let results = service.batch(&[learn.clone(), bad, learn]);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].is_ok());
+        assert_eq!(results[1].as_ref().unwrap_err().status(), 404);
+        assert!(results[2].is_ok(), "failure must not poison the batch");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn request_json_round_trips() {
+        let learn = LearnRequest {
+            cells: rw_column(),
+            examples: vec![0, 2],
+            negatives: vec![3],
+        };
+        let back = LearnRequest::from_json(&learn.to_json()).unwrap();
+        assert_eq!(back, learn);
+        // `negatives` is optional on the wire.
+        let minimal = cornet_serde::parse(r#"{"cells":["a","b"],"examples":[0]}"#).unwrap();
+        let decoded = LearnRequest::from_json(&minimal).unwrap();
+        assert!(decoded.negatives.is_empty());
+
+        let score = ScoreRequest {
+            rule_id: Some("r0f".into()),
+            rule: None,
+            cells: vec!["a".into()],
+        };
+        assert_eq!(ScoreRequest::from_json(&score.to_json()).unwrap(), score);
+        let item = BatchItem::Learn(learn);
+        assert_eq!(BatchItem::from_json(&item.to_json()).unwrap(), item);
+    }
+}

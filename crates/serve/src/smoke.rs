@@ -1,0 +1,194 @@
+//! The scripted end-to-end smoke session: learn → score → correct →
+//! re-learn → restart → score again from the persisted store.
+//!
+//! Run via `cornet-serve smoke` (the CI `serve-smoke` job) or call
+//! [`run`] from a test. Everything happens over a real loopback socket
+//! against a throwaway store directory; any assertion failure is
+//! returned as `Err` and the binary exits non-zero.
+
+use crate::http::http_request;
+use crate::service::{CornetService, ServiceConfig};
+use crate::Server;
+use cornet_serde::{open_envelope, FromJson, Json};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+/// The running-example column driven through the session.
+const CELLS: &str = r#"["RW-187","RS-762","RW-159","RW-131-T","TW-224","RW-312"]"#;
+
+fn post(
+    addr: SocketAddr,
+    path: &str,
+    body: &str,
+    kind: &str,
+    log: &mut Vec<String>,
+) -> Result<Json, String> {
+    let (status, doc) =
+        http_request(addr, "POST", path, Some(body)).map_err(|e| format!("POST {path}: {e}"))?;
+    if status != 200 {
+        return Err(format!("POST {path}: status {status}, body {doc}"));
+    }
+    let payload = open_envelope(&doc, kind).map_err(|e| format!("POST {path}: {e}"))?;
+    log.push(format!("POST {path} → 200 {payload}"));
+    Ok(payload.clone())
+}
+
+fn get(addr: SocketAddr, path: &str, kind: &str) -> Result<Json, String> {
+    let (status, doc) =
+        http_request(addr, "GET", path, None).map_err(|e| format!("GET {path}: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET {path}: status {status}, body {doc}"));
+    }
+    Ok(open_envelope(&doc, kind)
+        .map_err(|e| format!("GET {path}: {e}"))?
+        .clone())
+}
+
+fn matches_of(payload: &Json) -> Result<Vec<usize>, String> {
+    Vec::<usize>::from_json(
+        payload
+            .get("matches")
+            .ok_or_else(|| format!("no matches in {payload}"))?,
+    )
+    .map_err(|e| e.to_string())
+}
+
+fn expect(cond: bool, what: &str, log: &[String]) -> Result<(), String> {
+    if cond {
+        Ok(())
+    } else {
+        Err(format!(
+            "assertion failed: {what}\ntranscript:\n{}",
+            log.join("\n")
+        ))
+    }
+}
+
+/// Runs the full scripted session; returns the transcript on success.
+pub fn run() -> Result<Vec<String>, String> {
+    let dir = std::env::temp_dir().join(format!("cornet-serve-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let result = run_in(&dir);
+    let _ = std::fs::remove_dir_all(&dir);
+    result
+}
+
+fn start_server(dir: &std::path::Path) -> Result<Server, String> {
+    let service = CornetService::new(&ServiceConfig {
+        store_dir: dir.to_path_buf(),
+        cache_capacity: 64,
+        ..ServiceConfig::default()
+    })
+    .map_err(|e| format!("open store: {e}"))?;
+    Server::start("127.0.0.1:0", Arc::new(service)).map_err(|e| format!("bind: {e}"))
+}
+
+fn run_in(dir: &std::path::Path) -> Result<Vec<String>, String> {
+    let mut log = Vec::new();
+    let mut server = start_server(dir)?;
+    let addr = server.addr();
+    log.push(format!("server up on {addr} (store {})", dir.display()));
+
+    // 1. Learn from examples {0, 2, 5} — the paper's running example.
+    let learn_body = format!(r#"{{"cells":{CELLS},"examples":[0,2,5]}}"#);
+    let learned = post(addr, "/learn", &learn_body, "learn", &mut log)?;
+    let rule_id = learned
+        .get("rule_id")
+        .and_then(Json::as_str)
+        .ok_or("learn response missing rule_id")?
+        .to_string();
+    expect(
+        matches_of(&learned)? == vec![0, 2, 5],
+        "learned rule formats exactly the examples",
+        &log,
+    )?;
+    expect(
+        learned.get("cached").and_then(Json::as_bool) == Some(false),
+        "first learn is not cached",
+        &log,
+    )?;
+
+    // 2. Score fresh rows with the stored rule.
+    let score_body =
+        format!(r#"{{"rule_id":"{rule_id}","cells":["RW-555","XX-1","RW-9-T","rw-777"]}}"#);
+    let scored = post(addr, "/score", &score_body, "score", &mut log)?;
+    let fresh = matches_of(&scored)?;
+    expect(
+        fresh.contains(&0) && fresh.contains(&3) && !fresh.contains(&1),
+        "stored rule scores fresh rows (case-insensitively)",
+        &log,
+    )?;
+
+    // 3. The demo loop: open a session with one example, then correct it.
+    let session = post(
+        addr,
+        "/session",
+        &format!(r#"{{"cells":{CELLS},"examples":[0]}}"#),
+        "session",
+        &mut log,
+    )?;
+    let sid = session
+        .get("session_id")
+        .and_then(Json::as_str)
+        .ok_or("session response missing session_id")?
+        .to_string();
+
+    // The user formats RW-312 (5) and unformats RW-131-T (3); the service
+    // must re-learn a rule honouring both corrections.
+    let corrected = post(
+        addr,
+        &format!("/session/{sid}/correct"),
+        r#"{"format":[5],"unformat":[3]}"#,
+        "session",
+        &mut log,
+    )?;
+    let result = corrected
+        .get("result")
+        .filter(|r| !r.is_null())
+        .ok_or("corrected session has no rule")?;
+    let relearned = matches_of(result)?;
+    expect(
+        relearned.contains(&5) && !relearned.contains(&3),
+        "re-learned rule honours both corrections",
+        &log,
+    )?;
+
+    // 4. Restart: a new server process (fresh service) over the same
+    // store directory must answer from persisted rules without learning.
+    server.shutdown();
+    log.push("server restarted".into());
+    let mut server = start_server(dir)?;
+    let addr = server.addr();
+
+    let scored = post(addr, "/score", &score_body, "score", &mut log)?;
+    let fresh_again = matches_of(&scored)?;
+    expect(
+        fresh_again == fresh,
+        "restarted server scores identically from the persisted store",
+        &log,
+    )?;
+    let learned_again = post(addr, "/learn", &learn_body, "learn", &mut log)?;
+    expect(
+        learned_again.get("cached").and_then(Json::as_bool) == Some(true),
+        "identical learn after restart is a store hit",
+        &log,
+    )?;
+    let health = get(addr, "/health", "health")?;
+    expect(
+        health.get("learns_performed").and_then(Json::as_u64) == Some(0),
+        "restarted server never invoked the learner",
+        &log,
+    )?;
+    log.push(format!("health after restart: {health}"));
+    server.shutdown();
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke_session_passes() {
+        let log = super::run().unwrap_or_else(|e| panic!("{e}"));
+        assert!(log.iter().any(|l| l.contains("restarted")));
+    }
+}

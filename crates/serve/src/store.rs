@@ -1,0 +1,380 @@
+//! The persistent rule store: one JSON file per learned rule, fronted by
+//! an in-memory LRU cache.
+//!
+//! Layout: `<dir>/<rule-id>.json`, each file a versioned
+//! `{"v":1,"kind":"stored-rule","payload":…}` envelope. Rule ids are
+//! content fingerprints of the learn request (cells + examples +
+//! negatives), so identical requests map to the same file across
+//! processes and restarts — that is what lets a restarted server answer
+//! `learn` and `score` without re-learning.
+//!
+//! The LRU bounds only memory: eviction never deletes a file, and a miss
+//! falls back to disk before reporting absence.
+
+use cornet_core::rule::Rule;
+use cornet_serde::{decode, encode, field_t, DecodeError, FromJson, Json, ToJson};
+use std::collections::HashMap;
+use std::collections::VecDeque;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Envelope kind for rule-store files.
+pub const STORED_RULE_KIND: &str = "stored-rule";
+
+/// A learned rule at rest: the rule plus the request that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoredRule {
+    /// Content-fingerprint identifier (also the file stem).
+    pub id: String,
+    /// The learned rule.
+    pub rule: Rule,
+    /// Ranker score of the chosen candidate.
+    pub score: f64,
+    /// Example (positive) indices of the learn request.
+    pub examples: Vec<usize>,
+    /// Negative-correction indices of the learn request.
+    pub negatives: Vec<usize>,
+    /// Length of the column the rule was learned from.
+    pub column_len: usize,
+    /// False when no candidate excluded every negative and the best
+    /// candidate was stored anyway (see `LearnResponse::consistent`).
+    pub consistent: bool,
+}
+
+impl ToJson for StoredRule {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("id", Json::str(self.id.clone())),
+            ("rule", self.rule.to_json()),
+            ("score", Json::Number(self.score)),
+            ("examples", self.examples.to_json()),
+            ("negatives", self.negatives.to_json()),
+            ("column_len", self.column_len.to_json()),
+            ("consistent", Json::Bool(self.consistent)),
+        ])
+    }
+}
+
+impl FromJson for StoredRule {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(StoredRule {
+            id: field_t(json, "id")?,
+            rule: field_t(json, "rule")?,
+            score: field_t(json, "score")?,
+            examples: field_t(json, "examples")?,
+            negatives: field_t(json, "negatives")?,
+            column_len: field_t(json, "column_len")?,
+            consistent: field_t(json, "consistent")?,
+        })
+    }
+}
+
+/// True when `id` is shaped like a rule id this store hands out
+/// (lowercase hex fingerprint, `r`-prefixed). Anything else is rejected
+/// before it can reach the filesystem.
+pub fn valid_rule_id(id: &str) -> bool {
+    let mut chars = id.chars();
+    chars.next() == Some('r')
+        && id.len() > 1
+        && id.len() <= 64
+        && chars.all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase())
+}
+
+/// Fingerprints a learn request into a rule id: SHA-256 over the cell
+/// texts and the sorted example/negative index sets, truncated to 128
+/// bits. A shared store directory is keyed by these ids, so the hash
+/// must be collision-resistant — a weak fingerprint would let a crafted
+/// request be answered with another request's stored rule.
+pub fn rule_id(cells: &[String], examples: &[usize], negatives: &[usize]) -> String {
+    let mut hasher = crate::sha256::Sha256::new();
+    // Every variable-length field is length-prefixed: a bare separator
+    // byte would let ["a\u{1f}", "b"] and ["a", "\u{1f}b"] collide.
+    for cell in cells {
+        hasher.update(&(cell.len() as u64).to_le_bytes());
+        hasher.update(cell.as_bytes());
+    }
+    let mut feed_indices = |tag: u8, indices: &[usize]| {
+        let mut sorted: Vec<usize> = indices.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        hasher.update(&[tag]);
+        hasher.update(&(sorted.len() as u64).to_le_bytes());
+        for i in sorted {
+            hasher.update(&(i as u64).to_le_bytes());
+        }
+    };
+    feed_indices(0x01, examples);
+    feed_indices(0x02, negatives);
+    let digest = hasher.finish();
+    let mut id = String::with_capacity(33);
+    id.push('r');
+    for b in &digest[..16] {
+        id.push_str(&format!("{b:02x}"));
+    }
+    id
+}
+
+/// File-backed rule store with an LRU-bounded in-memory cache.
+#[derive(Debug)]
+pub struct RuleStore {
+    dir: PathBuf,
+    capacity: usize,
+    cache: HashMap<String, StoredRule>,
+    /// Most-recently-used at the back.
+    order: VecDeque<String>,
+    hits: u64,
+    misses: u64,
+}
+
+impl RuleStore {
+    /// Opens (creating if needed) a store rooted at `dir`. `capacity`
+    /// bounds the in-memory cache, minimum 1.
+    pub fn open(dir: impl Into<PathBuf>, capacity: usize) -> io::Result<RuleStore> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(RuleStore {
+            dir,
+            capacity: capacity.max(1),
+            cache: HashMap::new(),
+            order: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of rules currently cached in memory.
+    pub fn cached(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// `(memory hits, misses that went to disk or failed)` counters.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    fn path_for(&self, id: &str) -> PathBuf {
+        self.dir.join(format!("{id}.json"))
+    }
+
+    fn touch(&mut self, id: &str) {
+        if let Some(pos) = self.order.iter().position(|k| k == id) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(id.to_string());
+        while self.cache.len() > self.capacity {
+            if let Some(evicted) = self.order.pop_front() {
+                self.cache.remove(&evicted);
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Looks a rule up: memory first, then disk. Returns `None` for
+    /// malformed ids, absent files, and files that fail to decode (a
+    /// corrupt file should read as a miss, not take the server down).
+    pub fn get(&mut self, id: &str) -> Option<StoredRule> {
+        if !valid_rule_id(id) {
+            return None;
+        }
+        if let Some(found) = self.cache.get(id).cloned() {
+            self.hits += 1;
+            self.touch(id);
+            return Some(found);
+        }
+        self.misses += 1;
+        let text = std::fs::read_to_string(self.path_for(id)).ok()?;
+        let entry: StoredRule = decode(STORED_RULE_KIND, &text).ok()?;
+        if entry.id != id {
+            return None;
+        }
+        self.cache.insert(id.to_string(), entry.clone());
+        self.touch(id);
+        Some(entry)
+    }
+
+    /// Persists a rule (write file, then cache). The write goes through a
+    /// temp file + rename so a crash never leaves a half-written rule;
+    /// the temp name carries the pid and a counter so two processes
+    /// sharing the store directory cannot interleave writes to one temp
+    /// file and rename a torn document into place.
+    pub fn put(&mut self, entry: StoredRule) -> io::Result<()> {
+        if !valid_rule_id(&entry.id) {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!("invalid rule id `{}`", entry.id),
+            ));
+        }
+        let text = encode(STORED_RULE_KIND, &entry);
+        static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            "{}.{}.{}.tmp",
+            entry.id,
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, &text)?;
+        std::fs::rename(&tmp, self.path_for(&entry.id))?;
+        let id = entry.id.clone();
+        self.cache.insert(id.clone(), entry);
+        self.touch(&id);
+        Ok(())
+    }
+
+    /// Number of rules persisted on disk (counts `.json` files). This
+    /// walks the directory — call [`persisted_in`] with a saved
+    /// [`RuleStore::dir`] to scan without holding a store lock.
+    pub fn persisted(&self) -> usize {
+        persisted_in(&self.dir)
+    }
+}
+
+/// Counts the `.json` rule files under a store directory.
+pub fn persisted_in(dir: &Path) -> usize {
+    std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                .count()
+        })
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cornet_core::predicate::{Predicate, TextOp};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("cornet-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn entry(id: &str, pattern: &str) -> StoredRule {
+        StoredRule {
+            id: id.to_string(),
+            rule: Rule::from_predicate(Predicate::Text {
+                op: TextOp::StartsWith,
+                pattern: pattern.into(),
+            }),
+            score: 0.5,
+            examples: vec![0, 2],
+            negatives: vec![],
+            column_len: 6,
+            consistent: true,
+        }
+    }
+
+    #[test]
+    fn rule_ids_are_stable_and_order_insensitive() {
+        let cells: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let a = rule_id(&cells, &[0, 2], &[1]);
+        let b = rule_id(&cells, &[2, 0], &[1]);
+        assert_eq!(a, b, "example order must not change the fingerprint");
+        assert!(valid_rule_id(&a), "{a}");
+        assert_ne!(a, rule_id(&cells, &[0], &[1]));
+        assert_ne!(a, rule_id(&cells, &[0, 2], &[]));
+        // Cell boundaries matter: ["ab","c"] != ["a","bc"].
+        let ab_c = rule_id(&["ab".into(), "c".into()], &[0], &[]);
+        let a_bc = rule_id(&["a".into(), "bc".into()], &[0], &[]);
+        assert_ne!(ab_c, a_bc);
+        // Including when a cell contains what a naive encoding would use
+        // as its separator byte (regression: delimiter injection).
+        let tricky_a = rule_id(&["a\u{1f}".into(), "b".into()], &[0], &[]);
+        let tricky_b = rule_id(&["a".into(), "\u{1f}b".into()], &[0], &[]);
+        assert_ne!(tricky_a, tricky_b);
+    }
+
+    #[test]
+    fn id_validation_blocks_path_shapes() {
+        assert!(valid_rule_id("r0123456789abcdef"));
+        for bad in ["", "r", "x0f", "r../evil", "r0F", "R00", "r0123/45"] {
+            assert!(!valid_rule_id(bad), "{bad:?} should be invalid");
+        }
+    }
+
+    #[test]
+    fn put_get_survives_a_reopen() {
+        let dir = temp_dir("reopen");
+        let id = rule_id(&["x".into()], &[0], &[]);
+        {
+            let mut store = RuleStore::open(&dir, 8).unwrap();
+            store.put(entry(&id, "RW")).unwrap();
+            assert_eq!(store.persisted(), 1);
+        }
+        let mut reopened = RuleStore::open(&dir, 8).unwrap();
+        assert_eq!(reopened.cached(), 0, "fresh process starts cold");
+        let got = reopened.get(&id).expect("loads from disk");
+        assert_eq!(got, entry(&id, "RW"));
+        assert_eq!(reopened.cached(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lru_evicts_memory_but_not_disk() {
+        let dir = temp_dir("lru");
+        let mut store = RuleStore::open(&dir, 2).unwrap();
+        let ids: Vec<String> = (0..4)
+            .map(|i| rule_id(&[format!("cell{i}")], &[0], &[]))
+            .collect();
+        for (i, id) in ids.iter().enumerate() {
+            store.put(entry(id, &format!("P{i}"))).unwrap();
+        }
+        assert_eq!(store.cached(), 2, "capacity bounds the cache");
+        assert_eq!(store.persisted(), 4, "eviction never deletes files");
+        // The evicted entry is still retrievable (from disk).
+        assert!(store.get(&ids[0]).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lru_keeps_recently_used_entries() {
+        let dir = temp_dir("lru-order");
+        let mut store = RuleStore::open(&dir, 2).unwrap();
+        let ids: Vec<String> = (0..3)
+            .map(|i| rule_id(&[format!("k{i}")], &[0], &[]))
+            .collect();
+        store.put(entry(&ids[0], "A")).unwrap();
+        store.put(entry(&ids[1], "B")).unwrap();
+        store.get(&ids[0]); // refresh 0 → 1 is now least recent
+        store.put(entry(&ids[2], "C")).unwrap();
+        assert!(store.cache.contains_key(&ids[0]));
+        assert!(!store.cache.contains_key(&ids[1]), "LRU entry evicted");
+        assert!(store.cache.contains_key(&ids[2]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_files_read_as_misses() {
+        let dir = temp_dir("corrupt");
+        let mut store = RuleStore::open(&dir, 4).unwrap();
+        let id = rule_id(&["z".into()], &[0], &[]);
+        std::fs::write(store.dir().join(format!("{id}.json")), "{not json").unwrap();
+        assert!(store.get(&id).is_none());
+        // Wrong envelope kind is also a miss, not a panic.
+        std::fs::write(
+            store.dir().join(format!("{id}.json")),
+            cornet_serde::encode("table", &Json::Null),
+        )
+        .unwrap();
+        assert!(store.get(&id).is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stored_rule_envelope_round_trip() {
+        let id = rule_id(&["q".into()], &[0], &[]);
+        let e = entry(&id, "Dr");
+        let wire = encode(STORED_RULE_KIND, &e);
+        let back: StoredRule = decode(STORED_RULE_KIND, &wire).unwrap();
+        assert_eq!(back, e);
+    }
+}

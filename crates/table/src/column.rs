@@ -7,7 +7,7 @@ use crate::value::{CellValue, DataType};
 ///
 /// This is the unit every learner in the workspace consumes: the paper's
 /// problem definition (§2) is stated over a single column `C = [cᵢ]`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Column {
     /// Header / column name.
     pub name: String,

@@ -29,9 +29,7 @@ impl Weekday {
 }
 
 /// A calendar date, stored as days since 1970-01-01.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Date {
     days: i32,
 }

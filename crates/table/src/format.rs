@@ -8,9 +8,7 @@
 use std::fmt;
 
 /// A format identifier. `FormatId(0)` is `f⊥` (unformatted).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FormatId(pub u32);
 
 /// The reserved "no formatting" identifier `f⊥`.
@@ -36,7 +34,7 @@ impl fmt::Display for FormatId {
 /// The concrete formatting choices a format identifier names (paper §2,
 /// Example 1: `f1 = {cell color: #beaed4, font color: default, font size: 12,
 /// border: default}`).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Format {
     /// Cell fill colour as `#rrggbb`, or `None` for the default.
     pub fill: Option<String>,

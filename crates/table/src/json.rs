@@ -1,0 +1,271 @@
+//! JSON codec (`cornet_serde`) implementations for the table substrate.
+//!
+//! Wire shapes:
+//!
+//! | Type | Encoding |
+//! |------|----------|
+//! | [`CellValue`] | `null` (empty), `"text"`, `3.5` (number), `{"d":<days>}` (date, days since 1970-01-01) |
+//! | [`Date`] | days since 1970-01-01, as a number |
+//! | [`DataType`] | `"text"` / `"number"` / `"date"` |
+//! | [`FormatId`] | the numeric identifier |
+//! | [`Column`] | `{"name":…,"cells":[…],"formats":[…]}` |
+//! | [`Table`] | `{"columns":[…]}` |
+//! | [`BitVec`] | `{"len":…,"ones":[…]}` (sparse set-bit indices) |
+//!
+//! Every decoder validates structural invariants the in-memory types rely
+//! on (equal column lengths, bit indices in range) and returns a
+//! [`DecodeError`] instead of panicking on malformed documents.
+
+use crate::bits::BitVec;
+use crate::column::Column;
+use crate::date::Date;
+use crate::format::FormatId;
+use crate::table::Table;
+use crate::value::{CellValue, DataType};
+use cornet_serde::{field_t, type_error, DecodeError, FromJson, Json, ToJson};
+
+impl ToJson for Date {
+    fn to_json(&self) -> Json {
+        Json::Number(self.days() as f64)
+    }
+}
+
+impl FromJson for Date {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        let days = json
+            .as_i64()
+            .ok_or_else(|| type_error("date (integer days since epoch)", json))?;
+        let days = i32::try_from(days)
+            .map_err(|_| DecodeError::new(format!("date serial {days} out of range")))?;
+        Ok(Date::from_days(days))
+    }
+}
+
+impl ToJson for DataType {
+    fn to_json(&self) -> Json {
+        Json::str(match self {
+            DataType::Text => "text",
+            DataType::Number => "number",
+            DataType::Date => "date",
+        })
+    }
+}
+
+impl FromJson for DataType {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        match json.as_str() {
+            Some("text") => Ok(DataType::Text),
+            Some("number") => Ok(DataType::Number),
+            Some("date") => Ok(DataType::Date),
+            Some(other) => Err(DecodeError::new(format!("unknown data type `{other}`"))),
+            None => Err(type_error("data type string", json)),
+        }
+    }
+}
+
+impl ToJson for CellValue {
+    fn to_json(&self) -> Json {
+        match self {
+            CellValue::Empty => Json::Null,
+            CellValue::Text(s) => Json::str(s.clone()),
+            CellValue::Number(n) => Json::Number(*n),
+            CellValue::Date(d) => Json::object([("d", d.to_json())]),
+        }
+    }
+}
+
+impl FromJson for CellValue {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        match json {
+            Json::Null => Ok(CellValue::Empty),
+            Json::Str(s) => Ok(CellValue::Text(s.clone())),
+            Json::Number(n) => Ok(CellValue::Number(*n)),
+            Json::Object(_) => Ok(CellValue::Date(field_t(json, "d")?)),
+            other => Err(type_error("cell value", other)),
+        }
+    }
+}
+
+impl ToJson for FormatId {
+    fn to_json(&self) -> Json {
+        Json::Number(self.0 as f64)
+    }
+}
+
+impl FromJson for FormatId {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(FormatId(u32::from_json(json)?))
+    }
+}
+
+impl ToJson for Column {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("name", Json::str(self.name.clone())),
+            ("cells", self.cells.to_json()),
+            ("formats", self.formats.to_json()),
+        ])
+    }
+}
+
+impl FromJson for Column {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        let name: String = field_t(json, "name")?;
+        let cells: Vec<CellValue> = field_t(json, "cells")?;
+        let formats: Vec<FormatId> = field_t(json, "formats")?;
+        if formats.len() != cells.len() {
+            return Err(DecodeError::new(format!(
+                "column `{name}`: {} formats for {} cells",
+                formats.len(),
+                cells.len()
+            )));
+        }
+        Ok(Column {
+            name,
+            cells,
+            formats,
+        })
+    }
+}
+
+impl ToJson for Table {
+    fn to_json(&self) -> Json {
+        Json::object([("columns", self.columns.to_json())])
+    }
+}
+
+impl FromJson for Table {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        let columns: Vec<Column> = field_t(json, "columns")?;
+        if let Some(first) = columns.first() {
+            if let Some(bad) = columns.iter().find(|c| c.len() != first.len()) {
+                return Err(DecodeError::new(format!(
+                    "table columns disagree on length: `{}` has {}, `{}` has {}",
+                    first.name,
+                    first.len(),
+                    bad.name,
+                    bad.len()
+                )));
+            }
+        }
+        Ok(Table { columns })
+    }
+}
+
+impl ToJson for BitVec {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("len", self.len().to_json()),
+            ("ones", self.iter_ones().collect::<Vec<usize>>().to_json()),
+        ])
+    }
+}
+
+impl FromJson for BitVec {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        let len: usize = field_t(json, "len")?;
+        let ones: Vec<usize> = field_t(json, "ones")?;
+        if let Some(&bad) = ones.iter().find(|&&i| i >= len) {
+            return Err(DecodeError::new(format!(
+                "bit index {bad} out of range for length {len}"
+            )));
+        }
+        let mut out = BitVec::zeros(len);
+        for i in ones {
+            out.set(i, true);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cornet_serde::{decode, encode, parse, to_string};
+
+    fn round_trip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(value: &T) {
+        let json = value.to_json();
+        let text = to_string(&json);
+        let reparsed = parse(&text).expect("serialized JSON parses");
+        assert_eq!(reparsed, json, "parse(serialize(x)) == x at the Json layer");
+        let back = T::from_json(&reparsed).expect("decodes");
+        assert_eq!(&back, value);
+    }
+
+    #[test]
+    fn cell_values_round_trip() {
+        for raw in ["", "hello", "42", "-3.5", "2022-05-17", "50%", "RW-131-T"] {
+            round_trip(&CellValue::parse(raw));
+        }
+        round_trip(&CellValue::Date(Date::from_days(-400)));
+    }
+
+    #[test]
+    fn cell_value_wire_shapes() {
+        assert_eq!(to_string(&CellValue::Empty.to_json()), "null");
+        assert_eq!(to_string(&CellValue::parse("7").to_json()), "7");
+        assert_eq!(to_string(&CellValue::parse("x").to_json()), "\"x\"");
+        assert_eq!(
+            to_string(&CellValue::parse("1970-01-03").to_json()),
+            r#"{"d":2}"#
+        );
+    }
+
+    #[test]
+    fn date_strings_are_not_dates() {
+        // A bare string stays text even if it looks like a date: the typed
+        // encoding is what keeps Text("2022-05-17") and a real date apart.
+        let v = CellValue::Text("2022-05-17".into());
+        let back = CellValue::from_json(&parse(&to_string(&v.to_json())).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn columns_and_tables_round_trip() {
+        let mut col = Column::parse("status", &["ok", "bad", "", "ok"]);
+        col.apply_format(&[0, 3], FormatId(2));
+        round_trip(&col);
+        let table = Table::new(vec![
+            Column::parse("id", &["1", "2", "3", "4"]),
+            col.clone(),
+        ]);
+        round_trip(&table);
+    }
+
+    #[test]
+    fn malformed_columns_are_rejected() {
+        let short_formats = parse(r#"{"name":"c","cells":["a","b"],"formats":[0]}"#).unwrap();
+        assert!(Column::from_json(&short_formats).is_err());
+        let missing = parse(r#"{"name":"c","cells":["a"]}"#).unwrap();
+        assert!(Column::from_json(&missing).is_err());
+        let ragged = parse(
+            r#"{"columns":[
+                {"name":"a","cells":["x"],"formats":[0]},
+                {"name":"b","cells":["x","y"],"formats":[0,0]}
+            ]}"#,
+        )
+        .unwrap();
+        let e = Table::from_json(&ragged).unwrap_err();
+        assert!(e.message.contains("disagree"), "{e}");
+    }
+
+    #[test]
+    fn bitvec_round_trip_and_validation() {
+        let bv = BitVec::from_indices(10, &[0, 3, 9]);
+        round_trip(&bv);
+        assert_eq!(to_string(&bv.to_json()), r#"{"len":10,"ones":[0,3,9]}"#);
+        let out_of_range = parse(r#"{"len":4,"ones":[4]}"#).unwrap();
+        assert!(BitVec::from_json(&out_of_range).is_err());
+        round_trip(&BitVec::zeros(0));
+    }
+
+    #[test]
+    fn envelope_round_trip_for_tables() {
+        let table = Table::new(vec![Column::parse("v", &["1", "2"])]);
+        let wire = encode("table", &table);
+        assert!(wire.starts_with(r#"{"v":1,"kind":"table""#));
+        let back: Table = decode("table", &wire).unwrap();
+        assert_eq!(back, table);
+        assert!(decode::<Table>("rule", &wire).is_err());
+    }
+}

@@ -17,12 +17,15 @@
 //! * [`Format`] / [`FormatId`] — formatting identifiers as defined in §2 of
 //!   the paper (a format id names a unique combination of fill colour, font
 //!   colour, font size and border).
+//! * [`json`] — `cornet_serde` codec implementations (the persistence and
+//!   wire format for every type above).
 
 pub mod bits;
 pub mod column;
 pub mod csv;
 pub mod date;
 pub mod format;
+pub mod json;
 pub mod table;
 pub mod value;
 

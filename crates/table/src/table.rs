@@ -3,7 +3,7 @@
 use crate::column::Column;
 
 /// A table is an ordered list of equally long columns.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Table {
     /// Columns, left to right.
     pub columns: Vec<Column>,

@@ -9,7 +9,7 @@ use crate::date::Date;
 use std::fmt;
 
 /// The annotated type of a cell (paper §2: `T = {string, number, date}`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataType {
     /// Free-form text.
     Text,
@@ -30,7 +30,7 @@ impl fmt::Display for DataType {
 }
 
 /// A dynamically typed spreadsheet cell value.
-#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum CellValue {
     /// An empty cell.
     Empty,

@@ -1,0 +1,237 @@
+//! Property tests for the `cornet-serde` codec: `decode(encode(x)) == x`
+//! for tables, rules and corpus tasks, plus malformed-input rejection
+//! (truncation, wrong envelope version/kind, NaN smuggling).
+
+use cornet_repro::core::predicate::{CmpOp, DatePart, Predicate, TextOp};
+use cornet_repro::core::rule::{Conjunct, Rule, RuleLiteral};
+use cornet_repro::corpus::taskgen::Task;
+use cornet_repro::corpus::{generate_corpus_sharded, CorpusConfig};
+use cornet_repro::serde::{
+    decode, encode, open_envelope, parse, to_string, FromJson, Json, ToJson,
+};
+use cornet_repro::table::{BitVec, CellValue, Column, Date, Table};
+use proptest::prelude::*;
+
+fn arb_cell() -> impl Strategy<Value = CellValue> {
+    prop_oneof![
+        Just(CellValue::Empty),
+        "[a-zA-Z0-9 _-]{0,12}".prop_map(CellValue::Text),
+        (-1e6f64..1e6f64).prop_map(|n| CellValue::Number((n * 100.0).round() / 100.0)),
+        (-30000i32..30000i32).prop_map(|d| CellValue::Date(Date::from_days(d))),
+    ]
+}
+
+fn arb_column() -> impl Strategy<Value = Column> {
+    (
+        "[a-zA-Z_][a-zA-Z0-9_]{0,8}",
+        proptest::collection::vec((arb_cell(), 0u32..3), 0..20),
+    )
+        .prop_map(|(name, cells)| {
+            let (cells, formats): (Vec<CellValue>, Vec<u32>) = cells.into_iter().unzip();
+            let mut column = Column::new(name, cells);
+            for (i, f) in formats.into_iter().enumerate() {
+                column.formats[i] = cornet_repro::table::FormatId(f);
+            }
+            column
+        })
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    let op = prop_oneof![
+        Just(CmpOp::Greater),
+        Just(CmpOp::GreaterEquals),
+        Just(CmpOp::Less),
+        Just(CmpOp::LessEquals),
+    ];
+    let text_op = prop_oneof![
+        Just(TextOp::Equals),
+        Just(TextOp::Contains),
+        Just(TextOp::StartsWith),
+        Just(TextOp::EndsWith),
+    ];
+    let part = prop_oneof![
+        Just(DatePart::Day),
+        Just(DatePart::Month),
+        Just(DatePart::Year),
+        Just(DatePart::Weekday),
+    ];
+    prop_oneof![
+        (op.clone(), -1e4f64..1e4f64).prop_map(|(op, n)| Predicate::NumCmp { op, n }),
+        (-1e3f64..1e3f64, 0.0f64..1e3f64)
+            .prop_map(|(lo, w)| Predicate::NumBetween { lo, hi: lo + w }),
+        (op.clone(), part.clone(), 1i64..2500).prop_map(|(op, part, n)| Predicate::DateCmp {
+            op,
+            part,
+            n
+        }),
+        (part, 1i64..1000, 0i64..1000).prop_map(|(part, lo, w)| Predicate::DateBetween {
+            part,
+            lo,
+            hi: lo + w
+        }),
+        // Patterns deliberately include JSON-hostile characters.
+        (text_op, ".{0,10}").prop_map(|(op, pattern)| Predicate::Text { op, pattern }),
+    ]
+}
+
+fn arb_rule() -> impl Strategy<Value = Rule> {
+    proptest::collection::vec(
+        proptest::collection::vec((arb_predicate(), any::<bool>()), 1..4),
+        0..4,
+    )
+    .prop_map(|conjuncts| {
+        Rule::new(
+            conjuncts
+                .into_iter()
+                .map(|lits| {
+                    Conjunct::new(
+                        lits.into_iter()
+                            .map(|(predicate, negated)| RuleLiteral { predicate, negated })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        )
+    })
+}
+
+/// `decode(encode(x)) == x` through the envelope layer.
+fn round_trip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(kind: &str, value: &T) {
+    let wire = encode(kind, value);
+    let back: T = decode(kind, &wire).unwrap_or_else(|e| panic!("decode {wire}: {e}"));
+    assert_eq!(&back, value);
+    // A second encode of the decoded value is byte-identical: the codec
+    // has one canonical form.
+    assert_eq!(encode(kind, &back), wire);
+}
+
+proptest! {
+    /// Cells survive the codec exactly, including the date/text split.
+    #[test]
+    fn cells_round_trip(cell in arb_cell()) {
+        round_trip("cell", &cell);
+    }
+
+    /// Columns and tables survive the codec exactly.
+    #[test]
+    fn columns_round_trip(column in arb_column()) {
+        round_trip("column", &column);
+    }
+
+    /// Single-column tables survive the codec exactly. (Multi-column
+    /// tables must be equal-length; built from one column duplicated.)
+    #[test]
+    fn tables_round_trip(column in arb_column(), extra in 0usize..3) {
+        let mut columns = vec![column.clone()];
+        for i in 0..extra {
+            let mut c = column.clone();
+            c.name = format!("{}_{i}", c.name);
+            columns.push(c);
+        }
+        round_trip("table", &Table::new(columns));
+    }
+
+    /// Rules (and their predicates, arbitrary patterns included) survive
+    /// the codec exactly, preserving execution semantics.
+    #[test]
+    fn rules_round_trip(rule in arb_rule(), cells in proptest::collection::vec(arb_cell(), 0..12)) {
+        round_trip("rule", &rule);
+        let wire = encode("rule", &rule);
+        let back: Rule = decode("rule", &wire).unwrap();
+        prop_assert_eq!(back.execute(&cells), rule.execute(&cells));
+    }
+
+    /// Bit vectors survive the codec exactly.
+    #[test]
+    fn bitvecs_round_trip(bools in proptest::collection::vec(any::<bool>(), 0..64)) {
+        round_trip("mask", &BitVec::from_bools(&bools));
+    }
+
+    /// Generated corpus tasks survive the codec exactly (the user formula
+    /// re-parses from its source text).
+    #[test]
+    fn corpus_tasks_round_trip(seed in 0u64..1000) {
+        let corpus = generate_corpus_sharded(
+            &CorpusConfig { n_tasks: 2, seed, ..CorpusConfig::default() },
+            1,
+        );
+        for task in &corpus.tasks {
+            let wire = encode("task", task);
+            let back: Task = decode("task", &wire).unwrap();
+            prop_assert_eq!(back.cells, task.cells.clone());
+            prop_assert_eq!(back.rule, task.rule.clone());
+            prop_assert_eq!(back.formatted, task.formatted.clone());
+            prop_assert_eq!(back.user_formula, task.user_formula.clone());
+        }
+    }
+
+    /// No strict prefix of a serialized document parses (truncation can
+    /// never be silently accepted).
+    #[test]
+    fn truncation_is_always_rejected(rule in arb_rule()) {
+        let wire = encode("rule", &rule);
+        for cut in 1..wire.len() {
+            if !wire.is_char_boundary(cut) {
+                continue;
+            }
+            let prefix = &wire[..cut];
+            prop_assert!(
+                parse(prefix).is_err(),
+                "prefix of length {} parsed: {}",
+                cut,
+                prefix
+            );
+        }
+    }
+}
+
+#[test]
+fn wrong_envelope_version_is_rejected() {
+    let rule = Rule::from_predicate(Predicate::NumCmp {
+        op: CmpOp::Greater,
+        n: 1.0,
+    });
+    let wire = encode("rule", &rule);
+    assert!(decode::<Rule>("rule", &wire).is_ok());
+
+    let bumped = wire.replacen(r#"{"v":1,"#, r#"{"v":2,"#, 1);
+    let e = decode::<Rule>("rule", &bumped).unwrap_err();
+    assert!(e.message.contains("version"), "{e}");
+
+    let wrong_kind = decode::<Rule>("table", &wire).unwrap_err();
+    assert!(wrong_kind.message.contains("kind"), "{wrong_kind}");
+
+    let no_envelope = to_string(&rule.to_json());
+    assert!(decode::<Rule>("rule", &no_envelope).is_err());
+}
+
+#[test]
+fn nan_is_rejected_at_both_layers() {
+    // Layer 1: the parser refuses NaN/Infinity literals outright.
+    for bad in ["NaN", "-NaN", "Infinity", "1e999"] {
+        assert!(parse(bad).is_err(), "{bad}");
+    }
+    let smuggled = r#"{"v":1,"kind":"rule","payload":{"cond":[[{"pred":{"p":"num_cmp","op":">","n":NaN},"neg":false}]],"format":1}}"#;
+    assert!(parse(smuggled).is_err());
+
+    // Layer 2: a hand-built tree with a NaN constant fails decoding.
+    let doc = Json::object([
+        ("p", Json::str("num_cmp")),
+        ("op", Json::str(">")),
+        ("n", Json::Number(f64::NAN)),
+    ]);
+    assert!(Predicate::from_json(&doc).is_err());
+}
+
+#[test]
+fn envelopes_are_shaped_as_documented() {
+    let mask = BitVec::from_bools(&[true, false, true]);
+    let wire = encode("mask", &mask);
+    assert_eq!(
+        wire,
+        r#"{"v":1,"kind":"mask","payload":{"len":3,"ones":[0,2]}}"#
+    );
+    let doc = parse(&wire).unwrap();
+    let payload = open_envelope(&doc, "mask").unwrap();
+    assert_eq!(payload.get("len").and_then(Json::as_u64), Some(3));
+}

@@ -1,0 +1,197 @@
+//! End-to-end integration test for `cornet-serve`: a real server on a
+//! loopback port, driven over HTTP through the full demo-paper loop —
+//! learn → score → correct → re-learn — then a server restart proving
+//! that scoring resumes from the persisted rule store without
+//! re-learning.
+
+use cornet_repro::serde::{open_envelope, FromJson, Json};
+use cornet_repro::serve::service::{CornetService, ServiceConfig};
+use cornet_repro::serve::{http_request, Server};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+const CELLS: &str = r#"["RW-187","RS-762","RW-159","RW-131-T","TW-224","RW-312"]"#;
+
+struct Fixture {
+    dir: PathBuf,
+}
+
+impl Fixture {
+    fn new(tag: &str) -> Fixture {
+        let dir =
+            std::env::temp_dir().join(format!("cornet-serve-it-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        Fixture { dir }
+    }
+
+    fn start(&self) -> (Server, Arc<CornetService>) {
+        let service = Arc::new(
+            CornetService::new(&ServiceConfig {
+                store_dir: self.dir.clone(),
+                cache_capacity: 32,
+                ..ServiceConfig::default()
+            })
+            .unwrap(),
+        );
+        let server = Server::start("127.0.0.1:0", Arc::clone(&service)).unwrap();
+        (server, service)
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn post_ok(addr: SocketAddr, path: &str, body: &str, kind: &str) -> Json {
+    let (status, doc) = http_request(addr, "POST", path, Some(body)).unwrap();
+    assert_eq!(status, 200, "POST {path}: {doc}");
+    open_envelope(&doc, kind).unwrap().clone()
+}
+
+fn matches_of(payload: &Json) -> Vec<usize> {
+    Vec::<usize>::from_json(payload.get("matches").unwrap()).unwrap()
+}
+
+#[test]
+fn learn_score_correct_relearn_restart() {
+    let fixture = Fixture::new("full-loop");
+    let (mut server, service) = fixture.start();
+    let addr = server.addr();
+
+    // Learn from the running example.
+    let learn_body = format!(r#"{{"cells":{CELLS},"examples":[0,2,5]}}"#);
+    let learned = post_ok(addr, "/learn", &learn_body, "learn");
+    assert_eq!(matches_of(&learned), vec![0, 2, 5]);
+    assert_eq!(learned.get("cached").and_then(Json::as_bool), Some(false));
+    let rule_id = learned
+        .get("rule_id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    assert_eq!(service.learns_performed(), 1);
+
+    // Score fresh rows by rule id.
+    let score_body = format!(r#"{{"rule_id":"{rule_id}","cells":["RW-888","ZZ-1"]}}"#);
+    let scored = post_ok(addr, "/score", &score_body, "score");
+    let fresh = matches_of(&scored);
+    assert!(fresh.contains(&0) && !fresh.contains(&1), "{fresh:?}");
+
+    // Session: one example, then a correction, then re-learn.
+    let session = post_ok(
+        addr,
+        "/session",
+        &format!(r#"{{"cells":{CELLS},"examples":[0]}}"#),
+        "session",
+    );
+    let sid = session
+        .get("session_id")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string();
+    let corrected = post_ok(
+        addr,
+        &format!("/session/{sid}/correct"),
+        r#"{"format":[5],"unformat":[3]}"#,
+        "session",
+    );
+    assert_eq!(corrected.get("revision").and_then(Json::as_u64), Some(1));
+    let result = corrected.get("result").unwrap();
+    let relearned = matches_of(result);
+    assert!(
+        relearned.contains(&5) && !relearned.contains(&3),
+        "{relearned:?}"
+    );
+
+    // A second GET sees the same state.
+    let (status, doc) = http_request(addr, "GET", &format!("/session/{sid}"), None).unwrap();
+    assert_eq!(status, 200);
+    let fetched = open_envelope(&doc, "session").unwrap().clone();
+    assert_eq!(fetched.get("revision").and_then(Json::as_u64), Some(1));
+
+    // Restart the server over the same store directory.
+    server.shutdown();
+    drop(service);
+    let (mut server, service) = fixture.start();
+    let addr = server.addr();
+
+    // Scoring by rule id works from the persisted store…
+    let scored = post_ok(addr, "/score", &score_body, "score");
+    assert_eq!(matches_of(&scored), fresh);
+    // …an identical learn request is a store hit…
+    let learned_again = post_ok(addr, "/learn", &learn_body, "learn");
+    assert_eq!(
+        learned_again.get("cached").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        learned_again.get("rule_id").and_then(Json::as_str),
+        Some(rule_id.as_str())
+    );
+    // …and the learner itself never ran in the restarted process.
+    assert_eq!(service.learns_performed(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn batch_learns_and_scores_over_the_wire() {
+    let fixture = Fixture::new("batch");
+    let (mut server, _service) = fixture.start();
+    let addr = server.addr();
+
+    let body = format!(
+        r#"{{"items":[
+            {{"op":"learn","cells":{CELLS},"examples":[0,2,5]}},
+            {{"op":"learn","cells":["1","55","3","78"],"examples":[1,3]}},
+            {{"op":"score","rule_id":"r0000000000000000","cells":["a"]}}
+        ]}}"#
+    );
+    let payload = post_ok(addr, "/batch", &body, "batch");
+    let results = payload.get("results").and_then(Json::as_array).unwrap();
+    assert_eq!(results.len(), 3);
+    assert_eq!(matches_of(&results[0]), vec![0, 2, 5]);
+    assert_eq!(matches_of(&results[1]), vec![1, 3]);
+    assert_eq!(
+        results[2].get("status").and_then(Json::as_u64),
+        Some(404),
+        "missing rule id fails alone: {}",
+        results[2]
+    );
+    server.shutdown();
+}
+
+#[test]
+fn stored_rules_are_readable_via_the_rules_endpoint() {
+    let fixture = Fixture::new("rules");
+    let (mut server, _service) = fixture.start();
+    let addr = server.addr();
+
+    let learned = post_ok(
+        addr,
+        "/learn",
+        &format!(r#"{{"cells":{CELLS},"examples":[0,2,5]}}"#),
+        "learn",
+    );
+    let rule_id = learned.get("rule_id").and_then(Json::as_str).unwrap();
+    let (status, doc) = http_request(addr, "GET", &format!("/rules/{rule_id}"), None).unwrap();
+    assert_eq!(status, 200);
+    let stored = open_envelope(&doc, "rule").unwrap();
+    assert_eq!(
+        stored.get("id").and_then(Json::as_str),
+        Some(rule_id),
+        "{stored}"
+    );
+    assert_eq!(
+        Vec::<usize>::from_json(stored.get("examples").unwrap()).unwrap(),
+        vec![0, 2, 5]
+    );
+
+    // Unknown and malicious ids are clean 404s.
+    for bad in ["r0123456789abcdef", "r..%2F..%2Fetc"] {
+        let (status, _) = http_request(addr, "GET", &format!("/rules/{bad}"), None).unwrap();
+        assert_eq!(status, 404, "{bad}");
+    }
+    server.shutdown();
+}

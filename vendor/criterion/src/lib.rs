@@ -3,12 +3,15 @@
 //! use: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
 //! [`black_box`], [`criterion_group!`] and [`criterion_main!`].
 //!
-//! There is no statistical analysis: each benchmark is warmed up briefly,
-//! then timed over `sample_size` samples whose iteration counts are sized to
-//! a fixed per-sample budget, and the mean/min/max per-iteration times are
-//! printed. Good enough to compare the paper's systems against each other
-//! on one machine (Figures 9 and 11); swap in the real crate for rigorous
-//! statistics once the build environment has network access.
+//! Statistics are deliberately simple but robust: each benchmark is warmed
+//! up briefly, timed over `sample_size` samples whose iteration counts are
+//! sized to a fixed per-sample budget, then samples outside the Tukey
+//! fences (1.5 × IQR beyond the quartiles) are rejected and the
+//! **min/median/max of the surviving samples** are printed, with the
+//! rejection count when non-zero. The median of fenced samples is stable
+//! against the scheduler hiccups that dominate short benches; swap in the
+//! real crate for confidence intervals once the build environment has
+//! network access.
 
 use std::fmt::Display;
 use std::time::{Duration, Instant};
@@ -93,6 +96,64 @@ fn format_duration(d: Duration) -> String {
     }
 }
 
+/// Robust summary of a benchmark's samples after Tukey-fence outlier
+/// rejection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleStats {
+    /// Fastest surviving sample.
+    pub min: Duration,
+    /// Median of the surviving samples.
+    pub median: Duration,
+    /// Slowest surviving sample.
+    pub max: Duration,
+    /// Samples rejected as outliers.
+    pub rejected: usize,
+}
+
+/// Median of a sorted slice (mean of the middle two for even lengths).
+fn median_of_sorted(sorted: &[Duration]) -> Duration {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    }
+}
+
+/// Computes min/median/max after rejecting samples outside the Tukey
+/// fences `[q1 - 1.5·IQR, q3 + 1.5·IQR]` (quartiles by nearest rank).
+/// With fewer than 4 samples there is no meaningful IQR and nothing is
+/// rejected. Returns `None` for an empty sample set.
+pub fn robust_stats(samples: &[Duration]) -> Option<SampleStats> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let kept: Vec<Duration> = if sorted.len() < 4 {
+        sorted.clone()
+    } else {
+        let q1 = sorted[(sorted.len() - 1) / 4];
+        let q3 = sorted[3 * (sorted.len() - 1) / 4];
+        let iqr = q3.saturating_sub(q1);
+        let lo = q1.saturating_sub(iqr * 3 / 2);
+        let hi = q3 + iqr * 3 / 2;
+        sorted
+            .iter()
+            .copied()
+            .filter(|&s| s >= lo && s <= hi)
+            .collect()
+    };
+    // The fences always keep the quartiles themselves, so `kept` is
+    // non-empty whenever `sorted` is.
+    Some(SampleStats {
+        min: *kept.first().unwrap(),
+        median: median_of_sorted(&kept),
+        max: *kept.last().unwrap(),
+        rejected: sorted.len() - kept.len(),
+    })
+}
+
 fn run_one(
     full_id: &str,
     sample_size: usize,
@@ -106,19 +167,20 @@ fn run_one(
         sample_budget,
     };
     f(&mut bencher);
-    if samples.is_empty() {
+    let Some(stats) = robust_stats(&samples) else {
         println!("{full_id:<50} (no samples)");
         return;
-    }
-    let total: Duration = samples.iter().sum();
-    let mean = total / samples.len() as u32;
-    let min = samples.iter().min().copied().unwrap_or_default();
-    let max = samples.iter().max().copied().unwrap_or_default();
+    };
+    let outliers = if stats.rejected > 0 {
+        format!(" ({} outliers rejected)", stats.rejected)
+    } else {
+        String::new()
+    };
     println!(
-        "{full_id:<50} time: [{} {} {}]",
-        format_duration(min),
-        format_duration(mean),
-        format_duration(max),
+        "{full_id:<50} time: [{} {} {}]{outliers}",
+        format_duration(stats.min),
+        format_duration(stats.median),
+        format_duration(stats.max),
     );
 }
 
@@ -214,6 +276,64 @@ impl Criterion {
         let budget = self.sample_budget;
         run_one(&id.to_string(), 10, budget, &mut routine);
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(values: &[u64]) -> Vec<Duration> {
+        values.iter().map(|&v| Duration::from_millis(v)).collect()
+    }
+
+    #[test]
+    fn empty_samples_yield_none() {
+        assert!(robust_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn median_odd_and_even() {
+        let stats = robust_stats(&ms(&[3, 1, 2])).unwrap();
+        assert_eq!(stats.median, Duration::from_millis(2));
+        assert_eq!(stats.rejected, 0);
+        let stats = robust_stats(&ms(&[4, 1, 2, 3])).unwrap();
+        // Mean of the middle two: (2 + 3) / 2.
+        assert_eq!(stats.median, Duration::from_micros(2500));
+    }
+
+    #[test]
+    fn single_sample_is_its_own_summary() {
+        let stats = robust_stats(&ms(&[7])).unwrap();
+        assert_eq!(stats.min, stats.median);
+        assert_eq!(stats.median, stats.max);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn a_wild_outlier_is_rejected() {
+        // Nine tight samples and one scheduler hiccup 100× slower.
+        let mut samples = ms(&[10, 11, 10, 12, 11, 10, 11, 12, 10]);
+        samples.push(Duration::from_millis(1000));
+        let stats = robust_stats(&samples).unwrap();
+        assert_eq!(stats.rejected, 1, "the 1s sample is outside the fence");
+        assert_eq!(stats.max, Duration::from_millis(12));
+        assert_eq!(stats.median, Duration::from_millis(11));
+    }
+
+    #[test]
+    fn tight_samples_keep_everything() {
+        let stats = robust_stats(&ms(&[10, 11, 12, 13, 14, 15])).unwrap();
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.min, Duration::from_millis(10));
+        assert_eq!(stats.max, Duration::from_millis(15));
+    }
+
+    #[test]
+    fn identical_samples_survive_a_zero_iqr() {
+        let stats = robust_stats(&ms(&[5, 5, 5, 5, 5])).unwrap();
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.median, Duration::from_millis(5));
     }
 }
 
