@@ -1,0 +1,134 @@
+//! Per-candidate vs batched candidate ranking (§3.4, ROADMAP "Batch the
+//! ranker").
+//!
+//! A fig11-style synthetic id column yields ≥32 candidate rules; the serial
+//! path re-embeds the identical column for every candidate while the
+//! batched path embeds it once, fans the attention passes across
+//! `cornet-pool`, and runs `col_linear`/`head` as single matrix multiplies.
+//! The two paths are bit-identical (`tests/rank_batched_differential.rs`);
+//! this bench measures the amortisation.
+
+use cornet_core::cluster::{cluster, ClusterConfig};
+use cornet_core::features::{rule_features, FEATURE_DIM};
+use cornet_core::predgen::{generate_predicates, infer_type, GenConfig};
+use cornet_core::rank::{NeuralMode, NeuralRanker, RankContext, Ranker, SymbolicRanker};
+use cornet_core::rule::Rule;
+use cornet_core::signature::CellSignatures;
+use cornet_table::{BitVec, CellValue};
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of candidate rules scored per iteration.
+const N_CANDIDATES: usize = 32;
+
+/// Same flavour as the fig11 bench: a synthetic id column
+/// (`AX-412-T`, `BX-833-Y`, …) whose prefixes, digits and suffixes generate
+/// a rich predicate pool.
+fn fig11_style_column(n: usize, seed: u64) -> Vec<CellValue> {
+    const SUFFIXES: [&str; 6] = ["T", "U", "V", "W", "X", "Y"];
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let prefix = if rng.gen_bool(0.5) { "AX" } else { "BX" };
+            let num = rng.gen_range(100..1000);
+            let suffix = SUFFIXES[rng.gen_range(0..SUFFIXES.len())];
+            CellValue::Text(format!("{prefix}-{num}-{suffix}"))
+        })
+        .collect()
+}
+
+/// Ranking inputs for `N_CANDIDATES` single-predicate rules over one column.
+struct Fixture {
+    cell_texts: Vec<String>,
+    labels: BitVec,
+    dtype: Option<cornet_table::DataType>,
+    rules: Vec<Rule>,
+    executions: Vec<(BitVec, [f64; FEATURE_DIM])>,
+}
+
+impl Fixture {
+    fn build() -> Fixture {
+        let cells = fig11_style_column(100, 51);
+        let predicates = generate_predicates(&cells, &GenConfig::default());
+        assert!(
+            predicates.len() >= N_CANDIDATES,
+            "fixture column must generate at least {N_CANDIDATES} predicates"
+        );
+        let signatures = CellSignatures::from_predicates(&predicates);
+        let observed: Vec<usize> = predicates.signatures[0].iter_ones().take(3).collect();
+        let outcome = cluster(&signatures, &observed, &ClusterConfig::default());
+        let dtype = infer_type(&cells);
+        let rules: Vec<Rule> = predicates
+            .predicates
+            .iter()
+            .take(N_CANDIDATES)
+            .cloned()
+            .map(Rule::from_predicate)
+            .collect();
+        let executions: Vec<(BitVec, [f64; FEATURE_DIM])> = rules
+            .iter()
+            .map(|rule| {
+                let exec = rule.execute(&cells);
+                let features = rule_features(rule, &exec, &outcome.labels, dtype);
+                (exec, features)
+            })
+            .collect();
+        Fixture {
+            cell_texts: cells.iter().map(CellValue::display_string).collect(),
+            labels: outcome.labels,
+            dtype,
+            rules,
+            executions,
+        }
+    }
+
+    fn contexts(&self) -> Vec<RankContext<'_>> {
+        self.rules
+            .iter()
+            .zip(&self.executions)
+            .map(|(rule, (execution, features))| RankContext {
+                rule,
+                cell_texts: &self.cell_texts,
+                execution,
+                cluster_labels: &self.labels,
+                dtype: self.dtype,
+                features: *features,
+            })
+            .collect()
+    }
+}
+
+fn bench_rank_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rank_batched");
+    group.sample_size(20);
+    let fixture = Fixture::build();
+    let ctxs = fixture.contexts();
+
+    let mut rng = StdRng::seed_from_u64(43);
+    let neural = NeuralRanker::new(NeuralMode::Hybrid, 43, &mut rng);
+    group.bench_function("neural_per_candidate_x32", |b| {
+        b.iter(|| {
+            let scores: Vec<f64> = ctxs.iter().map(|ctx| neural.score(ctx)).collect();
+            std::hint::black_box(scores)
+        });
+    });
+    group.bench_function("neural_batched_x32", |b| {
+        b.iter(|| std::hint::black_box(neural.score_batch(&ctxs)));
+    });
+
+    let symbolic = SymbolicRanker::heuristic();
+    group.bench_function("symbolic_per_candidate_x32", |b| {
+        b.iter(|| {
+            let scores: Vec<f64> = ctxs.iter().map(|ctx| symbolic.score(ctx)).collect();
+            std::hint::black_box(scores)
+        });
+    });
+    group.bench_function("symbolic_batched_x32", |b| {
+        b.iter(|| std::hint::black_box(symbolic.score_batch(&ctxs)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_batched);
+criterion_main!(benches);

@@ -69,6 +69,11 @@ pub fn rule_features(
 
 /// Token stream of a rule, used by the neural-only ranker's
 /// CodeBERT-substitute encoding (§5.2.3).
+///
+/// Tokens are emitted structurally from the predicates
+/// ([`crate::predicate::Predicate::push_tokens`]) rather than by re-parsing
+/// the `Display` string, so a pattern containing a comma (e.g.
+/// `TextContains("a,b")`) stays a single token.
 pub fn rule_tokens(rule: &Rule) -> Vec<String> {
     let mut tokens = Vec::new();
     if rule.condition.len() > 1 {
@@ -82,17 +87,7 @@ pub fn rule_tokens(rule: &Rule) -> Vec<String> {
             if lit.negated {
                 tokens.push("NOT".to_string());
             }
-            let display = lit.predicate.to_string();
-            // Split "Name(args)" into name + args tokens.
-            if let Some(paren) = display.find('(') {
-                tokens.push(display[..paren].to_string());
-                let args = &display[paren + 1..display.len() - 1];
-                for a in args.split(',') {
-                    tokens.push(a.trim_matches('"').to_string());
-                }
-            } else {
-                tokens.push(display);
-            }
+            lit.predicate.push_tokens(&mut tokens);
         }
     }
     tokens
@@ -175,6 +170,16 @@ mod tests {
         assert!(tokens.contains(&"RW".to_string()));
         assert!(tokens.contains(&"GreaterThan".to_string()));
         assert!(tokens.contains(&"5".to_string()));
+    }
+
+    #[test]
+    fn comma_pattern_stays_one_token() {
+        let rule = Rule::from_predicate(Predicate::Text {
+            op: TextOp::Contains,
+            pattern: "a,b".into(),
+        });
+        let tokens = rule_tokens(&rule);
+        assert_eq!(tokens, ["TextContains", "a,b"]);
     }
 
     #[test]

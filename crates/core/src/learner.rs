@@ -5,7 +5,7 @@ use crate::enumerate::{enumerate_rules, EnumConfig};
 use crate::features::rule_features;
 use crate::fullsearch::{full_search, FullSearchConfig};
 use crate::predgen::{generate_predicates, infer_type, GenConfig};
-use crate::rank::{RankContext, Ranker, ScoredRule, SymbolicRanker};
+use crate::rank::{score_descending, RankContext, Ranker, ScoredRule, SymbolicRanker};
 use crate::signature::CellSignatures;
 use cornet_table::CellValue;
 use std::fmt;
@@ -167,33 +167,50 @@ impl<R: Ranker> Cornet<R> {
             return Err(LearnError::NoConsistentRule);
         }
 
-        // 4. Ranking (§3.4).
+        // 4. Ranking (§3.4). All contexts are assembled first and scored in
+        // one `score_batch` call so rankers can amortise per-column work
+        // (the neural ranker embeds the column once and batches its linear
+        // layers across candidates).
         let cell_texts: Vec<String> = cells.iter().map(CellValue::display_string).collect();
         let dtype = infer_type(cells);
-        let mut scored: Vec<ScoredRule> = candidates
-            .into_iter()
+        let executions: Vec<_> = candidates
+            .iter()
             .map(|cand| {
                 let execution = cand.rule.execute(cells);
                 let features = rule_features(&cand.rule, &execution, &outcome.labels, dtype);
-                let ctx = RankContext {
-                    rule: &cand.rule,
-                    cell_texts: &cell_texts,
-                    execution: &execution,
-                    cluster_labels: &outcome.labels,
-                    dtype,
-                    features,
-                };
-                ScoredRule {
-                    score: self.ranker.score(&ctx),
-                    cluster_accuracy: cand.cluster_accuracy,
-                    rule: cand.rule,
-                }
+                (execution, features)
+            })
+            .collect();
+        let ctxs: Vec<RankContext<'_>> = candidates
+            .iter()
+            .zip(&executions)
+            .map(|(cand, (execution, features))| RankContext {
+                rule: &cand.rule,
+                cell_texts: &cell_texts,
+                execution,
+                cluster_labels: &outcome.labels,
+                dtype,
+                features: *features,
+            })
+            .collect();
+        let scores = self.ranker.score_batch(&ctxs);
+        assert_eq!(
+            scores.len(),
+            candidates.len(),
+            "Ranker::score_batch must return one score per context"
+        );
+        drop(ctxs);
+        let mut scored: Vec<ScoredRule> = candidates
+            .into_iter()
+            .zip(scores)
+            .map(|(cand, score)| ScoredRule {
+                score,
+                cluster_accuracy: cand.cluster_accuracy,
+                rule: cand.rule,
             })
             .collect();
         scored.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            score_descending(a.score, b.score)
                 .then_with(|| a.rule.token_length().cmp(&b.rule.token_length()))
                 .then_with(|| a.rule.to_string().cmp(&b.rule.to_string()))
         });
@@ -316,6 +333,46 @@ mod tests {
         let outcome = cornet.learn(&cells, &[0, 2]).expect("learns");
         let mask = outcome.best().rule.execute(&cells);
         assert!(mask.get(0) && mask.get(2));
+    }
+
+    /// A ranker that poisons some candidates with NaN: any rule mentioning
+    /// the pattern "RW" scores NaN, everything else a constant.
+    struct NanRanker;
+
+    impl Ranker for NanRanker {
+        fn score(&self, ctx: &RankContext<'_>) -> f64 {
+            if ctx.rule.to_string().contains("RW") {
+                f64::NAN
+            } else {
+                0.5
+            }
+        }
+
+        fn name(&self) -> &'static str {
+            "nan"
+        }
+
+        fn param_count(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn nan_scores_sink_below_real_candidates() {
+        let cells = parse(&["RW-187", "RS-762", "RW-159", "RW-131-T", "TW-224", "RW-312"]);
+        let cornet = Cornet::new(CornetConfig::default(), NanRanker);
+        let outcome = cornet.learn(&cells, &[0, 2, 5]).expect("learns");
+        let scores: Vec<f64> = outcome.candidates.iter().map(|c| c.score).collect();
+        assert!(
+            scores.iter().any(|s| s.is_nan()),
+            "fixture must produce at least one NaN-scored candidate"
+        );
+        // NaN never outranks a real score: every NaN sits after every
+        // non-NaN, and the best candidate has a real score.
+        let first_nan = scores.iter().position(|s| s.is_nan()).unwrap();
+        assert!(scores[..first_nan].iter().all(|s| !s.is_nan()));
+        assert!(scores[first_nan..].iter().all(|s| s.is_nan()));
+        assert!(!outcome.best().score.is_nan());
     }
 
     #[test]

@@ -317,6 +317,44 @@ impl Predicate {
     pub fn token_length(&self) -> usize {
         1 + self.arg_count()
     }
+
+    /// Appends the predicate's token stream (name token, then one token per
+    /// argument) to `out`. Tokens are emitted structurally — never by
+    /// re-parsing the `Display` form — so argument values containing commas
+    /// or quotes stay single tokens. Names match the `Display` surface
+    /// (`GreaterThan`, `TextContains`, `Equal` for degenerate ranges, …).
+    pub fn push_tokens(&self, out: &mut Vec<String>) {
+        match self {
+            Predicate::NumCmp { op, n } => {
+                out.push(op.name().to_string());
+                out.push(display_num(*n));
+            }
+            Predicate::NumBetween { lo, hi } if lo == hi => {
+                out.push("Equal".to_string());
+                out.push(display_num(*lo));
+            }
+            Predicate::NumBetween { lo, hi } => {
+                out.push("Between".to_string());
+                out.push(display_num(*lo));
+                out.push(display_num(*hi));
+            }
+            Predicate::DateCmp { op, part, n } => {
+                out.push(format!("Date{}", op.name()));
+                out.push(part.name().to_string());
+                out.push(n.to_string());
+            }
+            Predicate::DateBetween { part, lo, hi } => {
+                out.push("DateBetween".to_string());
+                out.push(part.name().to_string());
+                out.push(lo.to_string());
+                out.push(hi.to_string());
+            }
+            Predicate::Text { op, pattern } => {
+                out.push(op.name().to_string());
+                out.push(pattern.clone());
+            }
+        }
+    }
 }
 
 /// Formats a number the way rules display them (no trailing `.0`).
@@ -486,6 +524,40 @@ mod tests {
         };
         assert_eq!(t.mean_arg_len(), 4.0);
         assert_eq!(t.kind().index(), 6);
+    }
+
+    #[test]
+    fn push_tokens_is_structural() {
+        let mut tokens = Vec::new();
+        Predicate::NumCmp {
+            op: CmpOp::Greater,
+            n: 10.0,
+        }
+        .push_tokens(&mut tokens);
+        assert_eq!(tokens, ["GreaterThan", "10"]);
+
+        tokens.clear();
+        Predicate::NumBetween { lo: 3.0, hi: 3.0 }.push_tokens(&mut tokens);
+        assert_eq!(tokens, ["Equal", "3"]);
+
+        tokens.clear();
+        Predicate::DateCmp {
+            op: CmpOp::Less,
+            part: DatePart::Month,
+            n: 6,
+        }
+        .push_tokens(&mut tokens);
+        assert_eq!(tokens, ["DateLessThan", "month", "6"]);
+
+        // A comma inside a text pattern stays one token — the display form
+        // `TextContains("a,b")` would split it.
+        tokens.clear();
+        Predicate::Text {
+            op: TextOp::Contains,
+            pattern: "a,b".into(),
+        }
+        .push_tokens(&mut tokens);
+        assert_eq!(tokens, ["TextContains", "a,b"]);
     }
 
     #[test]

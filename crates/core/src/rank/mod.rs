@@ -47,11 +47,51 @@ pub trait Ranker {
     /// (sigmoid outputs interpreted as correctness probability).
     fn score(&self, ctx: &RankContext<'_>) -> f64;
 
+    /// Scores a batch of candidates; `out[i]` must be bit-identical to
+    /// `self.score(&ctxs[i])`. The default is the serial loop; rankers
+    /// override it to amortise per-column work (the learner scores every
+    /// candidate of one column in a single call).
+    fn score_batch(&self, ctxs: &[RankContext<'_>]) -> Vec<f64> {
+        ctxs.iter().map(|ctx| self.score(ctx)).collect()
+    }
+
     /// Human-readable name (for experiment tables).
     fn name(&self) -> &'static str;
 
     /// Number of trainable parameters (`#pm` in Table 6).
     fn param_count(&self) -> usize;
+}
+
+impl<R: Ranker + ?Sized> Ranker for Box<R> {
+    fn score(&self, ctx: &RankContext<'_>) -> f64 {
+        (**self).score(ctx)
+    }
+
+    fn score_batch(&self, ctxs: &[RankContext<'_>]) -> Vec<f64> {
+        (**self).score_batch(ctxs)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn param_count(&self) -> usize {
+        (**self).param_count()
+    }
+}
+
+/// Total ordering for sorting candidates best-first: descending by score
+/// with NaN sinking below every real score (a poisoned candidate can never
+/// outrank a finite one, and the sort stays deterministic). Real scores
+/// compare via [`f64::total_cmp`].
+pub fn score_descending(a: f64, b: f64) -> std::cmp::Ordering {
+    use std::cmp::Ordering;
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Greater,
+        (false, true) => Ordering::Less,
+        (false, false) => b.total_cmp(&a),
+    }
 }
 
 /// A rule with its ranker score, as returned by the learner.
@@ -63,4 +103,24 @@ pub struct ScoredRule {
     pub score: f64,
     /// Accuracy of the generating tree on the clustered labels.
     pub cluster_accuracy: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::score_descending;
+
+    #[test]
+    fn nan_sorts_below_every_real_score() {
+        let mut scores = vec![0.2, f64::NAN, 0.9, -f64::NAN, 0.5];
+        scores.sort_by(|a, b| score_descending(*a, *b));
+        assert_eq!(&scores[..3], &[0.9, 0.5, 0.2]);
+        assert!(scores[3].is_nan() && scores[4].is_nan());
+    }
+
+    #[test]
+    fn descending_is_total_on_reals() {
+        let mut scores = vec![0.1, 0.7, 0.7, 0.0, 1.0];
+        scores.sort_by(|a, b| score_descending(*a, *b));
+        assert_eq!(scores, vec![1.0, 0.7, 0.7, 0.1, 0.0]);
+    }
 }

@@ -51,8 +51,23 @@ impl NeuralRanker {
     /// syntactic signal only, and the full model stays ≲10k parameters.
     pub const DIM: usize = 32;
 
-    /// Creates an untrained ranker.
+    /// Default cap on cells fed to attention.
+    pub const DEFAULT_MAX_CELLS: usize = 48;
+
+    /// Creates an untrained ranker with the default attention cell cap.
     pub fn new(mode: NeuralMode, seed: u64, rng: &mut impl Rng) -> NeuralRanker {
+        Self::with_max_cells(mode, seed, Self::DEFAULT_MAX_CELLS, rng)
+    }
+
+    /// Creates an untrained ranker with an explicit cap on the cells fed to
+    /// attention (longer columns are subsampled evenly). `max_cells` is
+    /// clamped to at least 1.
+    pub fn with_max_cells(
+        mode: NeuralMode,
+        seed: u64,
+        max_cells: usize,
+        rng: &mut impl Rng,
+    ) -> NeuralRanker {
         let d = Self::DIM;
         let aux_dim = match mode {
             NeuralMode::Hybrid => FEATURE_DIM,
@@ -66,7 +81,7 @@ impl NeuralRanker {
             attn: CrossAttention::new(d, rng),
             col_linear: Linear::new(d, d, rng),
             head: Linear::new(d + aux_dim, 1, rng),
-            max_cells: 48,
+            max_cells: max_cells.max(1),
         }
     }
 
@@ -75,10 +90,19 @@ impl NeuralRanker {
         self.mode
     }
 
+    /// The attention cell cap.
+    pub fn max_cells(&self) -> usize {
+        self.max_cells
+    }
+
     /// Evenly subsamples cell indices when the column exceeds `max_cells`.
     fn sample_indices(&self, n: usize) -> Vec<usize> {
         if n <= self.max_cells {
             (0..n).collect()
+        } else if self.max_cells == 1 {
+            // The even-spacing formula below divides by `max_cells - 1`;
+            // a one-cell budget keeps the first cell.
+            vec![0]
         } else {
             (0..self.max_cells)
                 .map(|i| i * (n - 1) / (self.max_cells - 1))
@@ -94,6 +118,41 @@ impl NeuralRanker {
         }
     }
 
+    /// Embeds a column's (subsampled) cells — the candidate-independent
+    /// part of the forward pass, computed once per learn call and shared
+    /// by every candidate scored against the column.
+    fn embed_column(&self, cell_texts: &[String]) -> ColumnEmbed {
+        let idx = self.sample_indices(cell_texts.len());
+        let texts: Vec<&String> = idx.iter().map(|&i| &cell_texts[i]).collect();
+        let x = self.embedder.embed_batch(&texts);
+        ColumnEmbed { idx, x }
+    }
+
+    /// The candidate-dependent part of the forward pass up to the pooled
+    /// column vector: execution-bit embeddings, cross-attention against the
+    /// shared column embedding, residual, mean-pool.
+    fn pool_candidate(&self, col: &ColumnEmbed, execution: &[bool]) -> PooledCandidate {
+        let n = col.x.rows();
+        let mut e = Matrix::zeros(n, Self::DIM);
+        let mut exec_rows = Vec::with_capacity(n);
+        for (r, &i) in col.idx.iter().enumerate() {
+            let bit = usize::from(execution[i]);
+            exec_rows.push(bit);
+            e.row_mut(r).copy_from_slice(self.exec_embed.row(bit));
+        }
+        let (attn_out, attn_cache) = self.attn.forward(&col.x, &e);
+        // Residual connection keeps the raw cell signal available.
+        let mut z = attn_out;
+        z.add_assign(&col.x);
+        let pooled = mean_pool_rows(&z);
+        PooledCandidate {
+            pooled,
+            attn_cache,
+            exec_rows,
+            n_rows: n,
+        }
+    }
+
     /// Forward pass; returns the logit plus the caches backward needs.
     fn forward(
         &self,
@@ -101,23 +160,9 @@ impl NeuralRanker {
         execution: &[bool],
         aux: &[f64],
     ) -> (f64, ForwardCache) {
-        let idx = self.sample_indices(cell_texts.len());
-        let texts: Vec<&String> = idx.iter().map(|&i| &cell_texts[i]).collect();
-        let x = self.embedder.embed_batch(&texts);
-        let n = x.rows();
-        let mut e = Matrix::zeros(n, Self::DIM);
-        let mut exec_rows = Vec::with_capacity(n);
-        for (r, &i) in idx.iter().enumerate() {
-            let bit = usize::from(execution[i]);
-            exec_rows.push(bit);
-            e.row_mut(r).copy_from_slice(self.exec_embed.row(bit));
-        }
-        let (attn_out, attn_cache) = self.attn.forward(&x, &e);
-        // Residual connection keeps the raw cell signal available.
-        let mut z = attn_out;
-        z.add_assign(&x);
-        let pooled = mean_pool_rows(&z);
-        let pooled_m = Matrix::from_row(&pooled);
+        let col = self.embed_column(cell_texts);
+        let pc = self.pool_candidate(&col, execution);
+        let pooled_m = Matrix::from_row(&pc.pooled);
         let u = self.col_linear.forward(&pooled_m);
         let mut head_in = Matrix::zeros(1, Self::DIM + aux.len());
         head_in.row_mut(0)[..Self::DIM].copy_from_slice(u.row(0));
@@ -126,13 +171,50 @@ impl NeuralRanker {
         (
             logit,
             ForwardCache {
-                attn_cache,
+                attn_cache: pc.attn_cache,
                 pooled_m,
                 head_in,
-                exec_rows,
-                n_rows: n,
+                exec_rows: pc.exec_rows,
+                n_rows: pc.n_rows,
             },
         )
+    }
+
+    /// Scores a group of candidates that share one column. The column is
+    /// embedded once; the per-candidate attention passes fan out across
+    /// `cornet-pool` (submission-order collection keeps the output
+    /// thread-count independent); the pooled vectors and aux features are
+    /// then stacked so `col_linear` and `head` each run as a single batched
+    /// matrix multiply. Per-row results are bit-identical to the serial
+    /// [`Ranker::score`] path.
+    fn score_group(&self, cell_texts: &[String], group: &[RankContext<'_>]) -> Vec<f64> {
+        let col = self.embed_column(cell_texts);
+        let per_cand: Vec<(Vec<f64>, Vec<f64>)> = cornet_pool::par_map(group.len(), |c| {
+            let ctx = &group[c];
+            let exec: Vec<bool> = ctx.execution.iter().collect();
+            let pooled = self.pool_candidate(&col, &exec).pooled;
+            let tokens = match self.mode {
+                NeuralMode::Hybrid => Vec::new(),
+                NeuralMode::NeuralOnly => rule_tokens(ctx.rule),
+            };
+            let aux = self.aux_features(&ctx.features, &tokens);
+            (pooled, aux)
+        });
+        let mut pooled_m = Matrix::zeros(group.len(), Self::DIM);
+        for (r, (pooled, _)) in per_cand.iter().enumerate() {
+            pooled_m.row_mut(r).copy_from_slice(pooled);
+        }
+        let u = self.col_linear.forward(&pooled_m);
+        let aux_dim = self.head.in_dim() - Self::DIM;
+        let mut head_in = Matrix::zeros(group.len(), Self::DIM + aux_dim);
+        for (r, (_, aux)) in per_cand.iter().enumerate() {
+            head_in.row_mut(r)[..Self::DIM].copy_from_slice(u.row(r));
+            head_in.row_mut(r)[Self::DIM..].copy_from_slice(aux);
+        }
+        let logits = self.head.forward(&head_in);
+        (0..group.len())
+            .map(|r| sigmoid(logits.get(r, 0)))
+            .collect()
     }
 
     /// Backward pass for one sample given `dlogit`.
@@ -189,8 +271,14 @@ impl NeuralRanker {
         for _ in 0..epochs {
             order.shuffle(rng);
             last_loss = 0.0;
+            let mut contributing_epoch = 0usize;
             for batch in order.chunks(BATCH) {
                 self.zero_grad();
+                // Two passes: samples with empty columns are skipped, so the
+                // minibatch gradient must be normalised by the number of
+                // samples that actually contributed, which is only known
+                // after the forward pass.
+                let mut pending: Vec<(ForwardCache, f64)> = Vec::with_capacity(batch.len());
                 for &i in batch {
                     let sample = &samples[i];
                     if sample.cell_texts.is_empty() {
@@ -200,7 +288,15 @@ impl NeuralRanker {
                     let (logit, cache) = self.forward(&sample.cell_texts, &sample.execution, &aux);
                     let (loss, dlogit) = bce_with_logit(logit, f64::from(sample.label));
                     last_loss += loss;
-                    self.backward(&cache, dlogit / batch.len() as f64);
+                    pending.push((cache, dlogit));
+                }
+                if pending.is_empty() {
+                    continue;
+                }
+                let contributing = pending.len() as f64;
+                contributing_epoch += pending.len();
+                for (cache, dlogit) in &pending {
+                    self.backward(cache, dlogit / contributing);
                 }
                 adam.tick();
                 adam.step(s_exec, self.exec_embed.data_mut(), self.exec_grad.data());
@@ -218,7 +314,9 @@ impl NeuralRanker {
                 let ghb = self.head.gb.clone();
                 adam.step(s_hb, &mut self.head.b, &ghb);
             }
-            last_loss /= samples.len() as f64;
+            // Mean over the samples that contributed, not over skipped
+            // empty-column samples.
+            last_loss /= contributing_epoch.max(1) as f64;
         }
         last_loss
     }
@@ -233,6 +331,23 @@ impl NeuralRanker {
         let (logit, _) = self.forward(&sample.cell_texts, &sample.execution, &aux);
         sigmoid(logit)
     }
+}
+
+/// Candidate-independent forward state: the (subsampled) column embedding
+/// shared by every candidate of one learn call.
+struct ColumnEmbed {
+    /// Subsampled cell indices into the original column.
+    idx: Vec<usize>,
+    /// Embeddings of the subsampled cells (`|idx| × DIM`).
+    x: Matrix,
+}
+
+/// Candidate-dependent forward state up to the pooled column vector.
+struct PooledCandidate {
+    pooled: Vec<f64>,
+    attn_cache: cornet_nn::attention::AttentionCache,
+    exec_rows: Vec<usize>,
+    n_rows: usize,
 }
 
 struct ForwardCache {
@@ -256,6 +371,28 @@ impl Ranker for NeuralRanker {
         let aux = self.aux_features(&ctx.features, &tokens);
         let (logit, _) = self.forward(ctx.cell_texts, &exec, &aux);
         sigmoid(logit)
+    }
+
+    fn score_batch(&self, ctxs: &[RankContext<'_>]) -> Vec<f64> {
+        // Consecutive contexts sharing one `cell_texts` slice (the learner
+        // passes every candidate of a column this way) share a single
+        // column embedding; a new slice starts a new group.
+        let mut scores = Vec::with_capacity(ctxs.len());
+        let mut start = 0;
+        while start < ctxs.len() {
+            let texts = ctxs[start].cell_texts;
+            let mut end = start + 1;
+            while end < ctxs.len() && std::ptr::eq(texts, ctxs[end].cell_texts) {
+                end += 1;
+            }
+            if texts.is_empty() {
+                scores.extend(std::iter::repeat(0.5).take(end - start));
+            } else {
+                scores.extend(self.score_group(texts, &ctxs[start..end]));
+            }
+            start = end;
+        }
+        scores
     }
 
     fn name(&self) -> &'static str {
@@ -380,6 +517,134 @@ mod tests {
         };
         let score = ranker.score_sample(&s);
         assert!(score.is_finite());
+    }
+
+    #[test]
+    fn max_cells_of_one_is_guarded() {
+        let mut rng = StdRng::seed_from_u64(26);
+        // max_cells == 1 used to divide by zero in the even-subsample
+        // formula (`max_cells - 1`).
+        let ranker = NeuralRanker::with_max_cells(NeuralMode::Hybrid, 7, 1, &mut rng);
+        assert_eq!(ranker.max_cells(), 1);
+        let s = sample(
+            &["a", "b", "c", "d"],
+            &[true, false, true, false],
+            0.7,
+            true,
+        );
+        let score = ranker.score_sample(&s);
+        assert!(score.is_finite());
+        // Zero is clamped up to one rather than looping forever on an
+        // empty subsample.
+        let clamped = NeuralRanker::with_max_cells(NeuralMode::Hybrid, 7, 0, &mut rng);
+        assert_eq!(clamped.max_cells(), 1);
+        assert!(clamped.score_sample(&s).is_finite());
+    }
+
+    #[test]
+    fn with_max_cells_default_matches_new() {
+        let mut rng_a = StdRng::seed_from_u64(27);
+        let mut rng_b = StdRng::seed_from_u64(27);
+        let a = NeuralRanker::new(NeuralMode::Hybrid, 7, &mut rng_a);
+        let b = NeuralRanker::with_max_cells(
+            NeuralMode::Hybrid,
+            7,
+            NeuralRanker::DEFAULT_MAX_CELLS,
+            &mut rng_b,
+        );
+        let s = sample(&["RW-1", "XX-2"], &[true, false], 0.8, true);
+        assert_eq!(a.score_sample(&s), b.score_sample(&s));
+    }
+
+    #[test]
+    fn skipped_empty_samples_do_not_dilute_gradients() {
+        // One epoch, one minibatch, one *contributing* sample: training on
+        // it alone must equal training on it plus skipped empty-column
+        // samples, both in reported loss and in resulting weights. The old
+        // code divided the gradient by the full batch length and the loss
+        // by the full sample count, under-scaling both whenever empties
+        // were skipped.
+        let mut rng = StdRng::seed_from_u64(28);
+        let ranker = NeuralRanker::new(NeuralMode::Hybrid, 7, &mut rng);
+        let dense = vec![sample(
+            &["RW-1", "RW-2", "XX-3"],
+            &[true, true, false],
+            0.9,
+            true,
+        )];
+        let mut with_empties = dense.clone();
+        for _ in 0..4 {
+            with_empties.push(sample(&[], &[], 0.5, false));
+        }
+
+        let mut a = ranker.clone();
+        let mut rng_a = StdRng::seed_from_u64(99);
+        let loss_a = a.train(&dense, 1, 0.01, &mut rng_a);
+        let mut b = ranker.clone();
+        let mut rng_b = StdRng::seed_from_u64(99);
+        let loss_b = b.train(&with_empties, 1, 0.01, &mut rng_b);
+
+        assert_eq!(loss_a.to_bits(), loss_b.to_bits());
+        let probe = sample(&["RW-1", "RW-2", "XX-3"], &[true, true, false], 0.9, true);
+        assert_eq!(
+            a.score_sample(&probe).to_bits(),
+            b.score_sample(&probe).to_bits()
+        );
+    }
+
+    #[test]
+    fn score_batch_matches_score_bitwise() {
+        use crate::features::rule_features;
+        use crate::predicate::{Predicate, TextOp};
+        use crate::rule::Rule;
+        use cornet_table::BitVec;
+
+        let mut rng = StdRng::seed_from_u64(29);
+        let cell_texts: Vec<String> = ["RW-1", "RW-2", "XX-3", "XX-4", "RW-5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let labels = BitVec::from_bools(&[true, true, false, false, true]);
+        let rules: Vec<Rule> = ["RW", "XX", "R", "-"]
+            .iter()
+            .map(|p| {
+                Rule::from_predicate(Predicate::Text {
+                    op: TextOp::StartsWith,
+                    pattern: (*p).to_string(),
+                })
+            })
+            .collect();
+        let cells: Vec<cornet_table::CellValue> = cell_texts
+            .iter()
+            .map(|t| cornet_table::CellValue::parse(t))
+            .collect();
+        let prepared: Vec<(BitVec, [f64; FEATURE_DIM])> = rules
+            .iter()
+            .map(|r| {
+                let exec = r.execute(&cells);
+                let features = rule_features(r, &exec, &labels, Some(cornet_table::DataType::Text));
+                (exec, features)
+            })
+            .collect();
+        let ctxs: Vec<RankContext<'_>> = rules
+            .iter()
+            .zip(&prepared)
+            .map(|(rule, (execution, features))| RankContext {
+                rule,
+                cell_texts: &cell_texts,
+                execution,
+                cluster_labels: &labels,
+                dtype: Some(cornet_table::DataType::Text),
+                features: *features,
+            })
+            .collect();
+        for mode in [NeuralMode::Hybrid, NeuralMode::NeuralOnly] {
+            let ranker = NeuralRanker::new(mode, 7, &mut rng);
+            let batched = ranker.score_batch(&ctxs);
+            for (ctx, b) in ctxs.iter().zip(&batched) {
+                assert_eq!(ranker.score(ctx).to_bits(), b.to_bits());
+            }
+        }
     }
 
     #[test]

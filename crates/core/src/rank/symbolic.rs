@@ -6,7 +6,7 @@ use super::{RankContext, RankSample, Ranker};
 use crate::features::FEATURE_DIM;
 use crate::predicate::PredicateKind;
 use cornet_nn::ops::{bce_with_logit, sigmoid};
-use cornet_nn::Adam;
+use cornet_nn::{Adam, Matrix};
 use rand::seq::SliceRandom;
 use rand::Rng;
 
@@ -98,6 +98,22 @@ impl SymbolicRanker {
 impl Ranker for SymbolicRanker {
     fn score(&self, ctx: &RankContext<'_>) -> f64 {
         sigmoid(self.logit(&ctx.features))
+    }
+
+    fn score_batch(&self, ctxs: &[RankContext<'_>]) -> Vec<f64> {
+        // Vectorized path: stack the feature vectors and compute every
+        // logit with one matrix–vector product. `Matrix::matvec` accumulates
+        // each row exactly like `logit`'s zip-sum, so scores stay
+        // bit-identical to the serial path.
+        let mut features = Matrix::zeros(ctxs.len(), FEATURE_DIM);
+        for (r, ctx) in ctxs.iter().enumerate() {
+            features.row_mut(r).copy_from_slice(&ctx.features);
+        }
+        features
+            .matvec(&self.weights)
+            .into_iter()
+            .map(|dot| sigmoid(dot + self.bias))
+            .collect()
     }
 
     fn name(&self) -> &'static str {

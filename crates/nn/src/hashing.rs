@@ -13,6 +13,22 @@
 use crate::matrix::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::Cell;
+
+thread_local! {
+    /// Per-thread count of [`HashEmbedder::embed_batch`] calls, used by the
+    /// ranking differential tests to prove a column is embedded exactly
+    /// once per learn call. Thread-local so concurrently running tests
+    /// cannot pollute each other's tallies.
+    static EMBED_BATCH_CALLS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of [`HashEmbedder::embed_batch`] calls made **by the current
+/// thread** since it started. Calls issued from pool worker threads count
+/// toward those threads, not the caller's.
+pub fn embed_batch_calls() -> u64 {
+    EMBED_BATCH_CALLS.with(Cell::get)
+}
 
 /// Frozen n-gram hashing embedder.
 #[derive(Debug, Clone)]
@@ -107,6 +123,7 @@ impl HashEmbedder {
 
     /// Embeds a batch of strings into an `n × dim` matrix.
     pub fn embed_batch<S: AsRef<str>>(&self, texts: &[S]) -> Matrix {
+        EMBED_BATCH_CALLS.with(|c| c.set(c.get() + 1));
         let mut out = Matrix::zeros(texts.len(), self.dim);
         for (r, t) in texts.iter().enumerate() {
             let e = self.embed_str(t.as_ref());
@@ -199,6 +216,17 @@ mod tests {
         let batch = e.embed_batch(&["a", "bb"]);
         assert_eq!(batch.row(0), e.embed_str("a").as_slice());
         assert_eq!(batch.row(1), e.embed_str("bb").as_slice());
+    }
+
+    #[test]
+    fn embed_batch_calls_are_counted_per_thread() {
+        let e = HashEmbedder::new(8, 128, 3);
+        let before = embed_batch_calls();
+        e.embed_batch(&["a", "b"]);
+        e.embed_batch(&["c"]);
+        // embed_str alone must not move the batch counter.
+        e.embed_str("d");
+        assert_eq!(embed_batch_calls() - before, 2);
     }
 
     #[test]

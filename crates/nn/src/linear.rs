@@ -135,6 +135,23 @@ mod tests {
         }
     }
 
+    /// The batched ranking path relies on `forward` over a stacked batch
+    /// being bit-identical, row by row, to `forward` over each row alone:
+    /// matmul accumulates each output row from that row's inputs only.
+    #[test]
+    fn batched_forward_matches_single_rows_bitwise() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let layer = Linear::new(6, 4, &mut rng);
+        let batch = Matrix::xavier(5, 6, &mut rng);
+        let y_batch = layer.forward(&batch);
+        for r in 0..batch.rows() {
+            let y_single = layer.forward(&Matrix::from_row(batch.row(r)));
+            for (b, s) in y_batch.row(r).iter().zip(y_single.row(0)) {
+                assert_eq!(b.to_bits(), s.to_bits());
+            }
+        }
+    }
+
     #[test]
     fn zero_grad_clears() {
         let mut rng = StdRng::seed_from_u64(8);

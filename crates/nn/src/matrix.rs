@@ -32,6 +32,19 @@ impl Matrix {
         Matrix::from_vec(1, values.len(), values.to_vec())
     }
 
+    /// Matrix–vector product `self · v`, one dot product per row.
+    ///
+    /// Each dot accumulates left to right over the full row (no zero
+    /// skipping), exactly like `row.iter().zip(v).map(|(a, b)| a * b).sum()`
+    /// — so batching rows through this helper is bit-identical to scoring
+    /// them one at a time with that expression.
+    pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, v.len(), "inner dimensions must agree");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
     /// Xavier/Glorot-uniform initialisation.
     pub fn xavier(rows: usize, cols: usize, rng: &mut impl Rng) -> Matrix {
         let bound = (6.0 / (rows + cols) as f64).sqrt();
@@ -199,6 +212,18 @@ mod tests {
         let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
         let c = a.matmul(&b);
         assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matvec_matches_rowwise_dot_bitwise() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Matrix::xavier(5, 7, &mut rng);
+        let v: Vec<f64> = (0..7).map(|i| (i as f64).sin()).collect();
+        let batched = a.matvec(&v);
+        for r in 0..5 {
+            let serial: f64 = a.row(r).iter().zip(&v).map(|(x, y)| x * y).sum();
+            assert_eq!(batched[r].to_bits(), serial.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,303 @@
+//! Differential tests for the batched ranking pipeline (§3.4).
+//!
+//! Contract (see `cornet_core::rank`):
+//!
+//! * `Ranker::score_batch` is bit-identical, per candidate, to the serial
+//!   `Ranker::score` loop — for all three rankers, under 1 and 4 threads;
+//! * full `learn()` output (rules, order, score bits) is unchanged from the
+//!   pre-batching serial baseline, which this suite replays inline;
+//! * the column is embedded exactly once per learn call on the batched
+//!   path, versus once per candidate on the serial path.
+
+use cornet_repro::core::cluster::{cluster, ClusterConfig};
+use cornet_repro::core::enumerate::{enumerate_rules, Candidate, EnumConfig};
+use cornet_repro::core::features::{rule_features, FEATURE_DIM};
+use cornet_repro::core::learner::{Cornet, CornetConfig};
+use cornet_repro::core::predgen::{generate_predicates, infer_type, GenConfig};
+use cornet_repro::core::rank::{
+    score_descending, NeuralMode, NeuralRanker, RankContext, Ranker, SymbolicRanker,
+};
+use cornet_repro::core::signature::CellSignatures;
+use cornet_repro::nn::hashing::embed_batch_calls;
+use cornet_repro::pool::with_threads;
+use cornet_repro::table::{BitVec, CellValue, DataType};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One seeded random column + observed set, spanning the corpus's surface
+/// flavours (text ids, status words, numerics, dates, mixed).
+fn random_table(seed: u64) -> (Vec<CellValue>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(12..=40);
+    let raw: Vec<String> = (0..n)
+        .map(|_| match seed % 5 {
+            0 => {
+                let prefix = *["RW", "RS", "TW"].choose(&mut rng).unwrap();
+                let suffix = if rng.gen_bool(0.3) { "-T" } else { "" };
+                format!("{prefix}-{}{suffix}", rng.gen_range(100..1000))
+            }
+            1 => (*["Open", "Closed", "Pending", "Blocked", "Done"]
+                .choose(&mut rng)
+                .unwrap())
+            .to_string(),
+            2 => format!("{}", rng.gen_range(-50..450) as f64 * 0.5),
+            3 => format!(
+                "202{}-{:02}-{:02}",
+                rng.gen_range(0..4),
+                rng.gen_range(1..=12),
+                rng.gen_range(1..=28)
+            ),
+            _ => {
+                if rng.gen_bool(0.6) {
+                    format!("{}", rng.gen_range(0..100))
+                } else {
+                    format!("id-{}", rng.gen_range(0..30))
+                }
+            }
+        })
+        .collect();
+    let cells: Vec<CellValue> = raw.iter().map(|s| CellValue::parse(s)).collect();
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut rng);
+    let k = rng.gen_range(2..=5).min(n);
+    let mut observed: Vec<usize> = indices.into_iter().take(k).collect();
+    observed.sort_unstable();
+    (cells, observed)
+}
+
+/// Everything the ranking stage consumes, precomputed for one column so
+/// `RankContext`s can be borrowed from it.
+struct RankFixture {
+    cells: Vec<CellValue>,
+    cell_texts: Vec<String>,
+    labels: BitVec,
+    dtype: Option<DataType>,
+    candidates: Vec<Candidate>,
+    executions: Vec<(BitVec, [f64; FEATURE_DIM])>,
+}
+
+impl RankFixture {
+    /// Runs the pipeline up to enumeration; `None` when the column yields
+    /// no predicates or candidates.
+    fn build(seed: u64) -> Option<RankFixture> {
+        let (cells, observed) = random_table(seed);
+        let predicates = generate_predicates(&cells, &GenConfig::default());
+        if predicates.is_empty() {
+            return None;
+        }
+        let signatures = CellSignatures::from_predicates(&predicates);
+        let outcome = cluster(&signatures, &observed, &ClusterConfig::default());
+        let candidates = enumerate_rules(&predicates, &outcome, &EnumConfig::default());
+        if candidates.is_empty() {
+            return None;
+        }
+        let cell_texts: Vec<String> = cells.iter().map(CellValue::display_string).collect();
+        let dtype = infer_type(&cells);
+        let executions: Vec<(BitVec, [f64; FEATURE_DIM])> = candidates
+            .iter()
+            .map(|cand| {
+                let exec = cand.rule.execute(&cells);
+                let features = rule_features(&cand.rule, &exec, &outcome.labels, dtype);
+                (exec, features)
+            })
+            .collect();
+        Some(RankFixture {
+            cells,
+            cell_texts,
+            labels: outcome.labels,
+            dtype,
+            candidates,
+            executions,
+        })
+    }
+
+    fn contexts(&self) -> Vec<RankContext<'_>> {
+        self.candidates
+            .iter()
+            .zip(&self.executions)
+            .map(|(cand, (execution, features))| RankContext {
+                rule: &cand.rule,
+                cell_texts: &self.cell_texts,
+                execution,
+                cluster_labels: &self.labels,
+                dtype: self.dtype,
+                features: *features,
+            })
+            .collect()
+    }
+}
+
+fn rankers() -> Vec<(String, Box<dyn Ranker>)> {
+    let mut rng = StdRng::seed_from_u64(7);
+    vec![
+        ("symbolic".into(), Box::new(SymbolicRanker::heuristic())),
+        (
+            "hybrid".into(),
+            Box::new(NeuralRanker::new(NeuralMode::Hybrid, 7, &mut rng)),
+        ),
+        (
+            "neural-only".into(),
+            Box::new(NeuralRanker::new(NeuralMode::NeuralOnly, 7, &mut rng)),
+        ),
+    ]
+}
+
+#[test]
+fn score_batch_is_bitwise_identical_to_serial_under_both_thread_counts() {
+    let rankers = rankers();
+    let mut checked = 0usize;
+    for seed in 0..20u64 {
+        let Some(fixture) = RankFixture::build(seed) else {
+            continue;
+        };
+        let ctxs = fixture.contexts();
+        for (name, ranker) in &rankers {
+            let serial: Vec<f64> = ctxs.iter().map(|ctx| ranker.score(ctx)).collect();
+            for threads in [1usize, 4] {
+                let batched = with_threads(threads, || ranker.score_batch(&ctxs));
+                assert_eq!(batched.len(), serial.len());
+                for (i, (b, s)) in batched.iter().zip(&serial).enumerate() {
+                    assert_eq!(
+                        b.to_bits(),
+                        s.to_bits(),
+                        "seed {seed}, ranker {name}, threads {threads}, candidate {i}: \
+                         batched {b} != serial {s}"
+                    );
+                }
+            }
+            checked += ctxs.len();
+        }
+    }
+    assert!(checked >= 100, "too few candidates exercised: {checked}");
+}
+
+/// Replays the pre-batching ranking stage — per-candidate `score` calls,
+/// then the sort — and checks `learn()` returns the same rules in the same
+/// order with the same score bits.
+#[test]
+fn learn_output_matches_the_serial_baseline() {
+    for seed in [0u64, 1, 2, 3, 4, 7, 11] {
+        let Some(fixture) = RankFixture::build(seed) else {
+            continue;
+        };
+        let (_, observed) = random_table(seed);
+        for (name, ranker) in rankers() {
+            let ctxs = fixture.contexts();
+            let mut baseline: Vec<(String, f64)> = ctxs
+                .iter()
+                .zip(&fixture.candidates)
+                .map(|(ctx, cand)| (cand.rule.to_string(), ranker.score(ctx)))
+                .collect();
+            let token_len: std::collections::HashMap<String, usize> = fixture
+                .candidates
+                .iter()
+                .map(|c| (c.rule.to_string(), c.rule.token_length()))
+                .collect();
+            baseline.sort_by(|a, b| {
+                score_descending(a.1, b.1)
+                    .then_with(|| token_len[&a.0].cmp(&token_len[&b.0]))
+                    .then_with(|| a.0.cmp(&b.0))
+            });
+
+            for threads in [1usize, 4] {
+                let outcome = with_threads(threads, || {
+                    let cornet = Cornet::new(CornetConfig::default(), ranker_clone(&name));
+                    cornet.learn(&fixture.cells, &observed).expect("learns")
+                });
+                assert_eq!(outcome.candidates.len(), baseline.len());
+                for (got, want) in outcome.candidates.iter().zip(&baseline) {
+                    assert_eq!(got.rule.to_string(), want.0, "seed {seed}, ranker {name}");
+                    assert_eq!(
+                        got.score.to_bits(),
+                        want.1.to_bits(),
+                        "seed {seed}, ranker {name}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Rebuilds a ranker by name (the boxed ones aren't `Clone`).
+fn ranker_clone(name: &str) -> Box<dyn Ranker> {
+    rankers()
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, r)| r)
+        .expect("known ranker name")
+}
+
+/// The batched path embeds the column once per `score_batch` call; the
+/// serial path pays one `embed_batch` per candidate. The counter is
+/// thread-local, and the shared column embedding is computed on the calling
+/// thread before the per-candidate fan-out, so the tally is race-free even
+/// at 4 threads.
+#[test]
+fn column_is_embedded_once_per_batched_learn() {
+    let fixture = RankFixture::build(0).expect("seed 0 yields candidates");
+    let ctxs = fixture.contexts();
+    assert!(ctxs.len() >= 2, "need multiple candidates to amortise");
+    let mut rng = StdRng::seed_from_u64(7);
+    let ranker = NeuralRanker::new(NeuralMode::Hybrid, 7, &mut rng);
+
+    for threads in [1usize, 4] {
+        let before = embed_batch_calls();
+        let _ = with_threads(threads, || ranker.score_batch(&ctxs));
+        assert_eq!(
+            embed_batch_calls() - before,
+            1,
+            "batched scoring at {threads} threads must embed the column exactly once"
+        );
+    }
+
+    let before = embed_batch_calls();
+    let _: Vec<f64> = ctxs.iter().map(|ctx| ranker.score(ctx)).collect();
+    assert_eq!(
+        embed_batch_calls() - before,
+        ctxs.len() as u64,
+        "serial scoring embeds once per candidate"
+    );
+
+    // End to end: one learn call, one column embedding.
+    let (_, observed) = random_table(0);
+    let mut rng = StdRng::seed_from_u64(7);
+    let cornet = Cornet::new(
+        CornetConfig::default(),
+        NeuralRanker::new(NeuralMode::Hybrid, 7, &mut rng),
+    );
+    let before = embed_batch_calls();
+    let outcome = cornet.learn(&fixture.cells, &observed).expect("learns");
+    assert!(outcome.stats.n_candidates >= 2);
+    assert_eq!(embed_batch_calls() - before, 1);
+}
+
+/// Full-pipeline thread-count differential: `learn()` with the neural
+/// ranker returns identical candidates (rules, order, score bits) at 1 and
+/// 4 threads.
+#[test]
+fn learn_is_thread_count_invariant() {
+    for seed in [0u64, 5, 10, 13] {
+        let Some(fixture) = RankFixture::build(seed) else {
+            continue;
+        };
+        let (_, observed) = random_table(seed);
+        let run = |threads: usize| {
+            with_threads(threads, || {
+                let mut rng = StdRng::seed_from_u64(7);
+                let cornet = Cornet::new(
+                    CornetConfig::default(),
+                    NeuralRanker::new(NeuralMode::Hybrid, 7, &mut rng),
+                );
+                cornet
+                    .learn(&fixture.cells, &observed)
+                    .expect("learns")
+                    .candidates
+                    .into_iter()
+                    .map(|c| (c.rule.to_string(), c.score.to_bits()))
+                    .collect::<Vec<_>>()
+            })
+        };
+        assert_eq!(run(1), run(4), "seed {seed}");
+    }
+}
