@@ -1,7 +1,7 @@
 //! Cornet wrapped as a [`TaskLearner`] for the harness.
 
 use crate::{Prediction, TaskLearner};
-use cornet_core::learner::{Cornet, CornetConfig};
+use cornet_core::learner::{Cornet, CornetConfig, LearnSpec};
 use cornet_core::rank::Ranker;
 use cornet_table::CellValue;
 
@@ -45,6 +45,26 @@ impl<R: Ranker> TaskLearner for CornetLearner<R> {
             Err(_) => Prediction::empty(cells.len()),
         }
     }
+
+    /// Cornet threads the negatives through the constrained learner
+    /// instead of masking them off the unconstrained prediction; an
+    /// unsatisfiable spec abstains with an empty prediction.
+    fn predict_with_negatives(
+        &self,
+        cells: &[CellValue],
+        observed: &[usize],
+        negatives: &[usize],
+    ) -> Prediction {
+        let spec =
+            LearnSpec::new(cells.to_vec(), observed.to_vec()).with_negatives(negatives.to_vec());
+        match self.inner.learn_spec(&spec) {
+            Ok(outcome) => {
+                let best = outcome.candidates.into_iter().next().expect("non-empty");
+                Prediction::from_rule(best.rule, cells)
+            }
+            Err(_) => Prediction::empty(cells.len()),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -67,6 +87,26 @@ mod tests {
         assert!(pred.rule.is_some());
         assert_eq!(pred.mask.iter_ones().collect::<Vec<_>>(), vec![0, 2, 4]);
         assert!(learner.makes_rules());
+    }
+
+    #[test]
+    fn constrained_prediction_carries_a_rule_excluding_the_negative() {
+        let learner = CornetLearner::new(
+            CornetConfig::default(),
+            SymbolicRanker::heuristic(),
+            "cornet",
+        );
+        let cells: Vec<CellValue> = ["RW-187", "RS-762", "RW-159", "RW-131-T", "TW-224", "RW-312"]
+            .iter()
+            .map(|s| CellValue::from(*s))
+            .collect();
+        let pred = learner.predict_with_negatives(&cells, &[0, 2], &[3]);
+        // Unlike the default post-hoc masking, the rule itself excludes the
+        // negative, so it generalises correctly to fresh rows.
+        let rule = pred.rule.expect("constrained rule");
+        assert!(!rule.eval(&cells[3]));
+        assert!(!pred.mask.get(3));
+        assert!(pred.mask.get(0) && pred.mask.get(2));
     }
 
     #[test]

@@ -74,4 +74,24 @@ pub trait TaskLearner {
 
     /// Solves one task.
     fn predict(&self, cells: &[CellValue], observed: &[usize]) -> Prediction;
+
+    /// Solves one task under hard negative corrections (the demo paper's
+    /// correct-and-relearn loop). Baselines without constraint support
+    /// fall back to the unconstrained prediction with the negatives
+    /// cleared post-hoc — the behaviour Cornet's constrained learner is
+    /// measured against.
+    fn predict_with_negatives(
+        &self,
+        cells: &[CellValue],
+        observed: &[usize],
+        negatives: &[usize],
+    ) -> Prediction {
+        let mut prediction = self.predict(cells, observed);
+        for &i in negatives {
+            if i < prediction.mask.len() {
+                prediction.mask.set(i, false);
+            }
+        }
+        prediction
+    }
 }

@@ -1,0 +1,84 @@
+//! Cold learn vs constrained re-learn (`LearnSpec` with 1–4 negatives).
+//!
+//! The correct-and-relearn loop re-runs the learner after every
+//! correction, so re-learn latency is what the interactive user feels.
+//! Negative corrections *prune during search*: conjuncts covering no
+//! observed example leave the exhaustive frontier, and conjuncts covering
+//! a negative leave the quadratic disjunct-pair stage — so a re-learn
+//! with negatives is expected to be *faster* than the cold learn, not
+//! slower, despite doing strictly more constraint checking.
+//!
+//! Run: `cargo bench -p cornet-bench --bench learn_negatives`
+
+use cornet_core::learner::{Cornet, CornetConfig, LearnSpec, SearchStrategy};
+use cornet_core::rank::SymbolicRanker;
+use cornet_table::CellValue;
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A fig11-style id column: prefixes, digits and suffixes generate a rich
+/// predicate pool, and the `-T` suffixed ids are natural correction
+/// targets.
+fn id_column(n: usize, seed: u64) -> Vec<CellValue> {
+    const SUFFIXES: [&str; 3] = ["", "-T", "-U"];
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let prefix = if rng.gen_bool(0.5) { "AX" } else { "BX" };
+            let num = rng.gen_range(100..1000);
+            let suffix = SUFFIXES[rng.gen_range(0..SUFFIXES.len())];
+            CellValue::Text(format!("{prefix}-{num}{suffix}"))
+        })
+        .collect()
+}
+
+fn bench_learn_negatives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("learn_negatives");
+    group.sample_size(10);
+
+    let cells = id_column(60, 51);
+    // Positives: the first three AX ids; negatives: AX ids the cold best
+    // rule would generalise over (suffixed ones), as a user would correct.
+    let positives: Vec<usize> = (0..cells.len())
+        .filter(|&i| cells[i].display_string().starts_with("AX"))
+        .take(3)
+        .collect();
+    let negative_pool: Vec<usize> = (0..cells.len())
+        .filter(|&i| {
+            let text = cells[i].display_string();
+            text.starts_with("AX") && text.ends_with("T") && !positives.contains(&i)
+        })
+        .collect();
+    assert!(
+        negative_pool.len() >= 4,
+        "fixture must offer at least 4 correction targets"
+    );
+
+    let config = CornetConfig {
+        strategy: SearchStrategy::Exhaustive,
+        ..CornetConfig::default()
+    };
+    let cornet = Cornet::new(config, SymbolicRanker::heuristic());
+
+    let cold = LearnSpec::new(cells.clone(), positives.clone());
+    cornet.learn_spec(&cold).expect("cold learn succeeds");
+    group.bench_function("cold_learn", |b| {
+        b.iter(|| std::hint::black_box(cornet.learn_spec(&cold).expect("learns")));
+    });
+
+    for k in [1usize, 2, 4] {
+        let spec = LearnSpec::new(cells.clone(), positives.clone())
+            .with_negatives(negative_pool.iter().copied().take(k).collect());
+        cornet
+            .learn_spec(&spec)
+            .expect("constrained learn succeeds");
+        group.bench_function(format!("relearn_{k}_negatives"), |b| {
+            b.iter(|| std::hint::black_box(cornet.learn_spec(&spec).expect("learns")));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_learn_negatives);
+criterion_main!(benches);

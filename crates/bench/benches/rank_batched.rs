@@ -42,6 +42,7 @@ fn fig11_style_column(n: usize, seed: u64) -> Vec<CellValue> {
 struct Fixture {
     cell_texts: Vec<String>,
     labels: BitVec,
+    no_negatives: BitVec,
     dtype: Option<cornet_table::DataType>,
     rules: Vec<Rule>,
     executions: Vec<(BitVec, [f64; FEATURE_DIM])>,
@@ -75,6 +76,7 @@ impl Fixture {
             })
             .collect();
         Fixture {
+            no_negatives: BitVec::zeros(cells.len()),
             cell_texts: cells.iter().map(CellValue::display_string).collect(),
             labels: outcome.labels,
             dtype,
@@ -92,6 +94,7 @@ impl Fixture {
                 cell_texts: &self.cell_texts,
                 execution,
                 cluster_labels: &self.labels,
+                negatives: &self.no_negatives,
                 dtype: self.dtype,
                 features: *features,
             })

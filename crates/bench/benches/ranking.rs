@@ -25,11 +25,13 @@ fn bench_ranking(c: &mut Criterion) {
     });
 
     let features = rule_features(&rule, &execution, &labels, dtype);
+    let no_negatives = cornet_table::BitVec::zeros(task.cells.len());
     let ctx = RankContext {
         rule: &rule,
         cell_texts: &cell_texts,
         execution: &execution,
         cluster_labels: &labels,
+        negatives: &no_negatives,
         dtype,
         features,
     };

@@ -57,6 +57,11 @@ pub struct ClusterOutcome {
     pub observed: BitVec,
     /// Mask of soft negative cells.
     pub soft_negatives: BitVec,
+    /// Mask of the user's *hard* negative corrections (§5.2.1): cells the
+    /// user explicitly unformatted. They seed the negative cluster, stay
+    /// fixed there, are never labeled positive, and downstream search must
+    /// not emit a rule that covers one. All-zero on unconstrained learns.
+    pub hard_negatives: BitVec,
     /// Weight the rule learner should give observed cells relative to
     /// unlabeled ones (2.0 normally, 1.0 under `HardNegatives`).
     pub observed_weight: f64,
@@ -82,14 +87,42 @@ pub fn soft_negatives(n_cells: usize, observed: &[usize]) -> BitVec {
 }
 
 /// Runs semi-supervised clustering and returns hypothesised labels.
+///
+/// Compatibility wrapper over [`cluster_constrained`] with no hard
+/// negatives; output is bit-identical to the historical implementation.
 pub fn cluster(
     signatures: &CellSignatures,
     observed: &[usize],
     config: &ClusterConfig,
 ) -> ClusterOutcome {
+    cluster_constrained(signatures, observed, &[], config)
+}
+
+/// Semi-supervised clustering with the user's hard negative corrections
+/// threaded in as first-class constraints (§5.2.1).
+///
+/// Hard negatives seed the negative cluster alongside the soft negatives
+/// and stay fixed there for every sweep, so nearby unlabeled cells are
+/// pulled toward the negative side by real user evidence instead of the
+/// positional soft-negative heuristic alone. The final labels never mark a
+/// hard negative positive, regardless of mode. With `negatives` empty this
+/// is exactly the historical [`cluster`] (same sweeps, same labels, bit
+/// for bit).
+pub fn cluster_constrained(
+    signatures: &CellSignatures,
+    observed: &[usize],
+    negatives: &[usize],
+    config: &ClusterConfig,
+) -> ClusterOutcome {
     let n = signatures.n_cells();
     let observed_mask = BitVec::from_indices(n, observed);
-    let soft_neg = soft_negatives(n, observed);
+    let mut soft_neg = soft_negatives(n, observed);
+    let hard_neg = BitVec::from_indices(n, negatives);
+    // A cell the user explicitly unformatted is a hard negative, not a
+    // soft one — keep the masks disjoint so weighting stays well-defined.
+    for i in hard_neg.iter_ones() {
+        soft_neg.set(i, false);
+    }
     let observed_weight = if config.mode == ClusterMode::HardNegatives {
         1.0
     } else {
@@ -97,10 +130,15 @@ pub fn cluster(
     };
 
     if config.mode == ClusterMode::NoClustering {
+        let mut labels = observed_mask.clone();
+        for i in hard_neg.iter_ones() {
+            labels.set(i, false);
+        }
         return ClusterOutcome {
-            labels: observed_mask.clone(),
+            labels,
             observed: observed_mask,
             soft_negatives: soft_neg,
+            hard_negatives: hard_neg,
             observed_weight,
             iterations: 0,
         };
@@ -120,8 +158,16 @@ pub fn cluster(
             assign[i] = NEG;
         }
     }
+    // Hard negatives are negative-cluster seeds in every mode (they are
+    // user-labeled, so even the NoNegatives ablation must not let them
+    // drift into the positive cluster).
+    for i in hard_neg.iter_ones() {
+        assign[i] = NEG;
+    }
     let fixed: Vec<bool> = (0..n)
-        .map(|i| observed_mask.get(i) || (use_negative_cluster && soft_neg.get(i)))
+        .map(|i| {
+            observed_mask.get(i) || hard_neg.get(i) || (use_negative_cluster && soft_neg.get(i))
+        })
         .collect();
 
     let mut iterations = 0;
@@ -189,13 +235,19 @@ pub fn cluster(
             labels.set(i, true);
         }
     }
-    // Hard constraint: observed examples are always positive.
+    // Hard constraints: observed examples are always positive, explicit
+    // negatives never are. (The learner rejects overlapping indices, so
+    // the order here is only a belt-and-braces tiebreak.)
     labels.or_assign(&observed_mask);
+    for i in hard_neg.iter_ones() {
+        labels.set(i, false);
+    }
 
     ClusterOutcome {
         labels,
         observed: observed_mask,
         soft_negatives: soft_neg,
+        hard_negatives: hard_neg,
         observed_weight,
         iterations,
     }
@@ -314,6 +366,75 @@ mod tests {
         let outcome = cluster(&sigs, &[0], &ClusterConfig::default());
         assert!(outcome.iterations <= 10);
         assert!(outcome.labels.get(0));
+    }
+
+    #[test]
+    fn hard_negatives_seed_and_stay_negative() {
+        // With examples {0, 2} alone, RW-131-T joins the positives (no
+        // counter-evidence — see the test above). An explicit hard
+        // negative on it pins it out and gives the negative cluster a
+        // prefix-similar seed.
+        let sigs = signatures_for(&["RW-187", "RS-762", "RW-159", "RW-131-T", "TW-224", "RW-312"]);
+        let unconstrained = cluster(&sigs, &[0, 2], &ClusterConfig::default());
+        assert!(
+            unconstrained.labels.get(3),
+            "fixture requires RW-131-T to join without a correction"
+        );
+        let outcome = cluster_constrained(&sigs, &[0, 2], &[3], &ClusterConfig::default());
+        assert!(!outcome.labels.get(3), "hard negative must stay out");
+        assert!(outcome.labels.get(0) && outcome.labels.get(2));
+        assert_eq!(
+            outcome.hard_negatives.iter_ones().collect::<Vec<_>>(),
+            vec![3]
+        );
+        // The hard negative is carved out of the soft-negative mask.
+        assert!(!outcome.soft_negatives.get(3));
+    }
+
+    #[test]
+    fn empty_negatives_is_bit_identical_to_cluster() {
+        let sigs = signatures_for(&["RW-187", "RS-762", "RW-159", "RW-131-T", "TW-224", "RW-312"]);
+        for observed in [vec![0], vec![0, 2], vec![0, 2, 5]] {
+            for mode in [
+                ClusterMode::Full,
+                ClusterMode::NoClustering,
+                ClusterMode::NoNegatives,
+                ClusterMode::HardNegatives,
+            ] {
+                let config = ClusterConfig {
+                    mode,
+                    ..ClusterConfig::default()
+                };
+                let a = cluster(&sigs, &observed, &config);
+                let b = cluster_constrained(&sigs, &observed, &[], &config);
+                assert_eq!(a.labels, b.labels);
+                assert_eq!(a.soft_negatives, b.soft_negatives);
+                assert_eq!(a.iterations, b.iterations);
+                assert!(b.hard_negatives.none());
+            }
+        }
+    }
+
+    #[test]
+    fn hard_negatives_hold_in_every_mode() {
+        let sigs = signatures_for(&["RW-1", "RW-2", "RW-3", "XX-4", "RW-5"]);
+        for mode in [
+            ClusterMode::Full,
+            ClusterMode::NoClustering,
+            ClusterMode::NoNegatives,
+            ClusterMode::HardNegatives,
+        ] {
+            let config = ClusterConfig {
+                mode,
+                ..ClusterConfig::default()
+            };
+            let outcome = cluster_constrained(&sigs, &[0], &[2], &config);
+            assert!(
+                !outcome.labels.get(2),
+                "{mode:?}: hard negative labeled positive"
+            );
+            assert!(outcome.labels.get(0));
+        }
     }
 
     #[test]

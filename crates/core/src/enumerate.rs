@@ -68,12 +68,15 @@ pub fn enumerate_rules(
     let features = FeatureMatrix::new(n, predicates.representative_signatures());
     let labels = &outcome.labels;
 
-    // Labeled cells — the user's examples and the soft negatives — are
-    // twice as important as unlabeled ones (§3.3.2); the HardNegatives
+    // Labeled cells — the user's examples and the soft/hard negatives —
+    // are twice as important as unlabeled ones (§3.3.2); the HardNegatives
     // ablation sets the multiplier to 1.0 upstream.
     let weights: Vec<f64> = (0..n)
         .map(|i| {
-            if outcome.observed.get(i) || outcome.soft_negatives.get(i) {
+            if outcome.observed.get(i)
+                || outcome.soft_negatives.get(i)
+                || outcome.hard_negatives.get(i)
+            {
                 outcome.observed_weight
             } else {
                 1.0
@@ -108,7 +111,7 @@ pub fn enumerate_rules(
         if accuracy < config.lambda_acc {
             break; // λₐ stop criterion
         }
-        if perfect_on_observed(&tree, &features, outcome) {
+        if satisfies_hard_constraints(&tree, &features, outcome) {
             let rule = tree_to_rule(&tree, predicates);
             if !rule.condition.is_empty() {
                 let key = rule.canonical().to_string();
@@ -134,7 +137,7 @@ pub fn enumerate_rules(
             let sig = &predicates.signatures[predicates.representatives[root]];
             let exec = if negated { sig.not() } else { sig.clone() };
             let covers = outcome.observed.iter_ones().all(|i| exec.get(i));
-            if !covers {
+            if !covers || exec.and_count(&outcome.hard_negatives) > 0 {
                 continue;
             }
             let acc = weighted_agreement(&exec, labels, &weights);
@@ -173,8 +176,11 @@ fn weighted_agreement(exec: &BitVec, labels: &BitVec, weights: &[f64]) -> f64 {
     }
 }
 
-/// The hard PBE constraint: the tree must format every user example.
-fn perfect_on_observed(
+/// The hard PBE constraints: the tree must format every user example and
+/// must not format any explicit negative correction. (Unconstrained learns
+/// have an empty `hard_negatives` mask, so this degrades to the historical
+/// perfect-on-observed check.)
+fn satisfies_hard_constraints(
     tree: &DecisionTree,
     features: &FeatureMatrix,
     outcome: &ClusterOutcome,
@@ -183,6 +189,10 @@ fn perfect_on_observed(
         .observed
         .iter_ones()
         .all(|i| tree.predict_with(|f| features.get(f, i)))
+        && outcome
+            .hard_negatives
+            .iter_ones()
+            .all(|i| !tree.predict_with(|f| features.get(f, i)))
 }
 
 /// Reads a fitted tree back as a DNF rule (§3.3.1), mapping *representative*
@@ -215,16 +225,24 @@ pub fn covers_observed(rule: &Rule, cells: &[cornet_table::CellValue], observed:
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::cluster::{cluster, ClusterConfig};
+    use crate::cluster::{cluster_constrained, ClusterConfig};
     use crate::predgen::{generate_predicates, GenConfig};
     use crate::signature::CellSignatures;
     use cornet_table::CellValue;
 
     fn setup(raw: &[&str], observed: &[usize]) -> (Vec<CellValue>, PredicateSet, ClusterOutcome) {
+        setup_constrained(raw, observed, &[])
+    }
+
+    fn setup_constrained(
+        raw: &[&str],
+        observed: &[usize],
+        negatives: &[usize],
+    ) -> (Vec<CellValue>, PredicateSet, ClusterOutcome) {
         let cells: Vec<CellValue> = raw.iter().map(|s| CellValue::parse(s)).collect();
         let preds = generate_predicates(&cells, &GenConfig::default());
         let sigs = CellSignatures::from_predicates(&preds);
-        let outcome = cluster(&sigs, observed, &ClusterConfig::default());
+        let outcome = cluster_constrained(&sigs, observed, negatives, &ClusterConfig::default());
         (cells, preds, outcome)
     }
 
@@ -304,6 +322,25 @@ mod tests {
     fn empty_predicates_yield_no_rules() {
         let (_, preds, outcome) = setup(&["same", "same", "same"], &[0]);
         assert!(enumerate_rules(&preds, &outcome, &EnumConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn no_candidate_covers_a_hard_negative() {
+        let (cells, preds, outcome) = setup_constrained(
+            &["RW-187", "RS-762", "RW-159", "RW-131-T", "TW-224", "RW-312"],
+            &[0, 2],
+            &[3],
+        );
+        let candidates = enumerate_rules(&preds, &outcome, &EnumConfig::default());
+        assert!(!candidates.is_empty(), "constrained task is learnable");
+        for c in &candidates {
+            assert!(
+                !c.rule.eval(&cells[3]),
+                "rule {} formats the hard negative",
+                c.rule
+            );
+            assert!(covers_observed(&c.rule, &cells, &outcome.observed));
+        }
     }
 
     #[test]

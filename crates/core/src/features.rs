@@ -10,13 +10,20 @@ use crate::rule::Rule;
 use cornet_table::{BitVec, DataType};
 
 /// Fixed width of the feature vector.
-pub const FEATURE_DIM: usize = 6 + PredicateKind::COUNT + 3;
+pub const FEATURE_DIM: usize = 6 + PredicateKind::COUNT + 3 + 1;
+
+/// Index of the hard-negative coverage feature (the last slot).
+pub const NEGATIVE_COVERAGE_FEATURE: usize = FEATURE_DIM - 1;
 
 /// Computes the handpicked feature vector for a candidate rule.
 ///
 /// Layout:
 /// `[depth, n_args, mean_arg_len, pct_colored, cluster_acc, ln(n_cells),`
-/// `predicate-kind multi-hot ×9, datatype one-hot ×3]`
+/// `predicate-kind multi-hot ×9, datatype one-hot ×3, pct_negatives_covered]`
+///
+/// The final slot is the fraction of the user's hard negatives the rule
+/// formats; this entry point has no negatives, so it stays `0.0` — use
+/// [`rule_features_constrained`] when a negative mask is available.
 pub fn rule_features(
     rule: &Rule,
     execution: &BitVec,
@@ -63,6 +70,25 @@ pub fn rule_features(
         Some(DataType::Number) => f[base + 1] = 1.0,
         Some(DataType::Date) => f[base + 2] = 1.0,
         None => {}
+    }
+    f
+}
+
+/// [`rule_features`] plus the hard-negative coverage feature: the fraction
+/// of explicitly unformatted cells (`negatives`) that the rule's execution
+/// formats anyway. Zero when there are no negatives, so an unconstrained
+/// learn produces bit-identical features through either entry point.
+pub fn rule_features_constrained(
+    rule: &Rule,
+    execution: &BitVec,
+    cluster_labels: &BitVec,
+    negatives: &BitVec,
+    dtype: Option<DataType>,
+) -> [f64; FEATURE_DIM] {
+    let mut f = rule_features(rule, execution, cluster_labels, dtype);
+    let n_neg = negatives.count_ones();
+    if n_neg > 0 {
+        f[NEGATIVE_COVERAGE_FEATURE] = execution.and_count(negatives) as f64 / n_neg as f64;
     }
     f
 }
@@ -180,6 +206,30 @@ mod tests {
         });
         let tokens = rule_tokens(&rule);
         assert_eq!(tokens, ["TextContains", "a,b"]);
+    }
+
+    #[test]
+    fn negative_coverage_feature() {
+        let rule = gt_rule(10.0);
+        let exec = BitVec::from_bools(&[true, false, true, true]);
+        let labels = BitVec::from_bools(&[true, false, false, false]);
+        // Unconstrained entry point leaves the slot at zero.
+        let f = rule_features(&rule, &exec, &labels, Some(DataType::Number));
+        assert_eq!(f[NEGATIVE_COVERAGE_FEATURE], 0.0);
+        // Two negatives, one of them formatted by the rule → 0.5.
+        let negs = BitVec::from_bools(&[false, true, true, false]);
+        let fc = rule_features_constrained(&rule, &exec, &labels, &negs, Some(DataType::Number));
+        assert_eq!(fc[NEGATIVE_COVERAGE_FEATURE], 0.5);
+        // Everything before the new slot is untouched.
+        assert_eq!(
+            &fc[..NEGATIVE_COVERAGE_FEATURE],
+            &f[..NEGATIVE_COVERAGE_FEATURE]
+        );
+        // An empty mask through the constrained entry point is bit-identical
+        // to the unconstrained features.
+        let none = BitVec::zeros(4);
+        let f0 = rule_features_constrained(&rule, &exec, &labels, &none, Some(DataType::Number));
+        assert_eq!(f0, f);
     }
 
     #[test]

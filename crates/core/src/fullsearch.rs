@@ -72,6 +72,19 @@ pub fn full_search(
     let observed = &outcome.observed;
     let labels = &outcome.labels;
     let n_observed = observed.count_ones();
+    // Hard negative corrections (§5.2.1). They prune *during* search: a
+    // conjunct still covering a negative may be rescued by a further
+    // literal (AND only shrinks coverage), so the expansion frontier keeps
+    // it — but once negatives exist, any conjunct covering no observed
+    // example is dead for every purpose (extensions shrink coverage, so no
+    // descendant can regain an example; pair members need one), and is
+    // dropped from the frontier. Emission is constrained exactly: single
+    // conjuncts and disjunct-pair members must cover zero negatives, which
+    // shrinks the quadratic pair stage before it runs. Without negatives
+    // all of this is inert and the search replays the historical output
+    // bit for bit (including budget interactions).
+    let hard_neg = &outcome.hard_negatives;
+    let constrained = !hard_neg.none();
 
     // Stage 1: enumerate all conjunctions up to max_depth literals, keeping
     // each with its coverage. Only one representative per distinct signature
@@ -121,6 +134,9 @@ pub fn full_search(
                 child_cov.and_assign(&literal_sigs[li]);
                 if child_cov.none() {
                     continue; // dead conjunct and all its extensions
+                }
+                if constrained && child_cov.and_count(observed) == 0 {
+                    continue; // no descendant can cover an example again
                 }
                 produced.fetch_add(1, Ordering::Relaxed);
                 let mut child = lits.clone();
@@ -189,7 +205,7 @@ pub fn full_search(
         if out.len() >= config.max_candidates {
             return out;
         }
-        if cov.and_count(observed) == n_observed {
+        if cov.and_count(observed) == n_observed && cov.and_count(hard_neg) == 0 {
             let acc = accuracy(cov);
             if acc >= config.lambda_acc {
                 out.push(Candidate {
@@ -211,9 +227,12 @@ pub fn full_search(
     // saturation check per strip), and `found` caps candidate production
     // so saturated runs stop scanning instead of finishing the triangle.
     if config.max_disjuncts >= 2 && out.len() < config.max_candidates {
+        // A disjunction covers a negative iff some member does, so members
+        // covering one are pruned here — exactly the frontier shrink that
+        // makes constrained re-learns cheaper than the cold learn.
         let useful: Vec<&(Vec<usize>, BitVec)> = conjuncts
             .iter()
-            .filter(|(_, cov)| cov.and_count(observed) > 0)
+            .filter(|(_, cov)| cov.and_count(observed) > 0 && cov.and_count(hard_neg) == 0)
             .collect();
         let remaining = config.max_candidates - out.len();
         let pair_evals = AtomicUsize::new(0);
@@ -261,6 +280,30 @@ mod tests {
         let sigs = CellSignatures::from_predicates(&preds);
         let outcome = cluster(&sigs, observed, &ClusterConfig::default());
         (cells, preds, outcome)
+    }
+
+    #[test]
+    fn constrained_search_excludes_hard_negatives() {
+        use crate::cluster::cluster_constrained;
+        let raw = &["RW-187", "RS-762", "RW-159", "RW-131-T", "TW-224", "RW-312"];
+        let cells: Vec<CellValue> = raw.iter().map(|s| CellValue::parse(s)).collect();
+        let preds = generate_predicates(&cells, &GenConfig::default());
+        let sigs = CellSignatures::from_predicates(&preds);
+        let outcome = cluster_constrained(&sigs, &[0, 2], &[3], &ClusterConfig::default());
+        let config = FullSearchConfig {
+            max_depth: 2,
+            ..FullSearchConfig::default()
+        };
+        let found = full_search(&preds, &outcome, &config);
+        assert!(!found.is_empty(), "constrained task is learnable");
+        for c in &found {
+            assert!(
+                !c.rule.eval(&cells[3]),
+                "rule {} formats the hard negative",
+                c.rule
+            );
+            assert!(outcome.observed.iter_ones().all(|i| c.rule.eval(&cells[i])));
+        }
     }
 
     #[test]

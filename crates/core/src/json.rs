@@ -12,14 +12,18 @@
 //! | [`Conjunct`] | array of literals |
 //! | [`Rule`] | `{"cond":[[…],…],"format":1}` |
 //! | [`ScoredRule`] | `{"rule":…,"score":…,"cluster_accuracy":…}` |
+//! | [`LearnSpec`] | `{"cells":[…],"positives":[…],"negatives":[…]}` |
 //!
 //! Unknown tags and non-finite constants are rejected with a
 //! [`DecodeError`]; a persisted rule either loads exactly or not at all.
+//! `LearnSpec::negatives` is optional on the wire (absent ⇒ empty), so
+//! specs written before constrained learning still decode.
 
+use crate::learner::LearnSpec;
 use crate::predicate::{CmpOp, DatePart, Predicate, TextOp};
 use crate::rank::ScoredRule;
 use crate::rule::{Conjunct, Rule, RuleLiteral};
-use cornet_serde::{field_t, type_error, DecodeError, FromJson, Json, ToJson};
+use cornet_serde::{field_t, optional_field_t, type_error, DecodeError, FromJson, Json, ToJson};
 use cornet_table::FormatId;
 
 impl ToJson for CmpOp {
@@ -239,6 +243,27 @@ impl FromJson for ScoredRule {
     }
 }
 
+impl ToJson for LearnSpec {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("cells", self.cells.to_json()),
+            ("positives", self.positives.to_json()),
+            ("negatives", self.negatives.to_json()),
+        ])
+    }
+}
+
+impl FromJson for LearnSpec {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        let spec = LearnSpec {
+            cells: field_t(json, "cells")?,
+            positives: field_t(json, "positives")?,
+            negatives: optional_field_t(json, "negatives")?.unwrap_or_default(),
+        };
+        Ok(spec)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,5 +377,25 @@ mod tests {
     fn empty_rule_and_empty_conjunct_round_trip() {
         round_trip(&Rule::new(vec![]));
         round_trip(&Rule::new(vec![Conjunct::new(vec![])]));
+    }
+
+    #[test]
+    fn learn_specs_round_trip() {
+        use cornet_table::CellValue;
+        let spec = LearnSpec {
+            cells: ["RW-187", "RS-762", "RW-159", "2022-05-17", "42"]
+                .iter()
+                .map(|s| CellValue::parse(s))
+                .collect(),
+            positives: vec![0, 2],
+            negatives: vec![3],
+        };
+        round_trip(&spec);
+        // `negatives` is optional on the wire: pre-constraint specs decode
+        // to an empty correction set.
+        let legacy = parse(r#"{"cells":["a","b"],"positives":[0]}"#).unwrap();
+        let decoded = LearnSpec::from_json(&legacy).unwrap();
+        assert!(decoded.negatives.is_empty());
+        assert_eq!(decoded.positives, vec![0]);
     }
 }

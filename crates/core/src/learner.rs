@@ -1,8 +1,9 @@
-//! The end-to-end Cornet learner (Figure 2).
+//! The end-to-end Cornet learner (Figure 2), including the constrained
+//! correct-and-relearn entry point ([`LearnSpec`]).
 
-use crate::cluster::{cluster, ClusterConfig};
+use crate::cluster::{cluster_constrained, ClusterConfig};
 use crate::enumerate::{enumerate_rules, EnumConfig};
-use crate::features::rule_features;
+use crate::features::rule_features_constrained;
 use crate::fullsearch::{full_search, FullSearchConfig};
 use crate::predgen::{generate_predicates, infer_type, GenConfig};
 use crate::rank::{score_descending, RankContext, Ranker, ScoredRule, SymbolicRanker};
@@ -43,9 +44,16 @@ pub enum LearnError {
     NoExamples,
     /// An example index is out of range for the column.
     ExampleOutOfRange(usize),
+    /// A negative index is out of range for the column.
+    NegativeOutOfRange(usize),
+    /// An index appears in both the positives and the negatives.
+    ConflictingExample(usize),
     /// No predicates could be generated (empty or constant column).
     NoPredicates,
-    /// No candidate rule was consistent with the examples.
+    /// No candidate rule was consistent with the examples. On a
+    /// constrained learn this is an *abstention*: the search proved that
+    /// no rule in the language (within the configured bounds) covers every
+    /// positive while excluding every negative.
     NoConsistentRule,
 }
 
@@ -55,6 +63,12 @@ impl fmt::Display for LearnError {
             LearnError::NoExamples => write!(f, "no formatted example cells were provided"),
             LearnError::ExampleOutOfRange(i) => {
                 write!(f, "example index {i} is outside the column")
+            }
+            LearnError::NegativeOutOfRange(i) => {
+                write!(f, "negative index {i} is outside the column")
+            }
+            LearnError::ConflictingExample(i) => {
+                write!(f, "index {i} is both a positive and a negative example")
             }
             LearnError::NoPredicates => {
                 write!(f, "no predicates hold on a proper subset of the column")
@@ -67,6 +81,41 @@ impl fmt::Display for LearnError {
 }
 
 impl std::error::Error for LearnError {}
+
+/// A learning task: the column plus the user's positive examples and hard
+/// negative corrections. This is the first-class input of the constrained
+/// learner ([`Cornet::learn_spec`]); the demo paper's correct-and-relearn
+/// loop re-learns from an updated spec after every correction.
+///
+/// With `negatives` empty a spec is exactly the historical
+/// `learn(cells, observed)` task, and the learner's output is bit-identical
+/// to it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LearnSpec {
+    /// The column.
+    pub cells: Vec<CellValue>,
+    /// Indices the user formatted (`C_obs`).
+    pub positives: Vec<usize>,
+    /// Indices the user explicitly unformatted (hard negatives, §5.2.1).
+    pub negatives: Vec<usize>,
+}
+
+impl LearnSpec {
+    /// A spec with no negative corrections.
+    pub fn new(cells: Vec<CellValue>, positives: Vec<usize>) -> LearnSpec {
+        LearnSpec {
+            cells,
+            positives,
+            negatives: Vec::new(),
+        }
+    }
+
+    /// Adds hard negative corrections.
+    pub fn with_negatives(mut self, negatives: Vec<usize>) -> LearnSpec {
+        self.negatives = negatives;
+        self
+    }
+}
 
 /// Statistics of a learning run (Table 5 reports candidate counts and
 /// timings; Figure 9/11 report timings measured by the caller).
@@ -132,16 +181,61 @@ impl<R: Ranker> Cornet<R> {
 
     /// Learns a formatting rule from a column and user-formatted example
     /// indices (`C_obs`). Returns candidates sorted best-first.
+    ///
+    /// Compatibility wrapper over the constrained pipeline with no
+    /// negatives; output is bit-identical to the historical learner.
     pub fn learn(
         &self,
         cells: &[CellValue],
         observed: &[usize],
     ) -> Result<LearnOutcome, LearnError> {
-        if observed.is_empty() {
+        self.learn_impl(cells, observed, &[], true)
+    }
+
+    /// Learns a formatting rule under the spec's hard constraints: every
+    /// candidate returned covers all `positives` and excludes all
+    /// `negatives`. The negatives flow through the whole pipeline — they
+    /// seed the negative cluster (§5.2.1), prune enumeration and full
+    /// search while it runs, and reach the ranker as a mask — rather than
+    /// being filtered off a ranked list after the fact.
+    ///
+    /// [`LearnError::NoConsistentRule`] is then an abstention: the search
+    /// proved no rule in the language (within the configured bounds)
+    /// satisfies the spec.
+    pub fn learn_spec(&self, spec: &LearnSpec) -> Result<LearnOutcome, LearnError> {
+        self.learn_impl(&spec.cells, &spec.positives, &spec.negatives, true)
+    }
+
+    /// Best-effort fallback for an unsatisfiable spec: the search runs
+    /// unconstrained (same candidates as [`Cornet::learn`]), but the
+    /// negatives reach the ranker as a mask — covering one is nearly
+    /// disqualifying via
+    /// [`crate::features::NEGATIVE_COVERAGE_FEATURE`] — so among
+    /// inconsistent rules the one covering the fewest corrections ranks
+    /// first. `cornet-serve` serves this (flagged `consistent:false`)
+    /// when [`Cornet::learn_spec`] abstains.
+    pub fn learn_spec_relaxed(&self, spec: &LearnSpec) -> Result<LearnOutcome, LearnError> {
+        self.learn_impl(&spec.cells, &spec.positives, &spec.negatives, false)
+    }
+
+    fn learn_impl(
+        &self,
+        cells: &[CellValue],
+        positives: &[usize],
+        negatives: &[usize],
+        enforce: bool,
+    ) -> Result<LearnOutcome, LearnError> {
+        if positives.is_empty() {
             return Err(LearnError::NoExamples);
         }
-        if let Some(&bad) = observed.iter().find(|&&i| i >= cells.len()) {
+        if let Some(&bad) = positives.iter().find(|&&i| i >= cells.len()) {
             return Err(LearnError::ExampleOutOfRange(bad));
+        }
+        if let Some(&bad) = negatives.iter().find(|&&i| i >= cells.len()) {
+            return Err(LearnError::NegativeOutOfRange(bad));
+        }
+        if let Some(&bad) = positives.iter().find(|i| negatives.contains(i)) {
+            return Err(LearnError::ConflictingExample(bad));
         }
 
         // 1. Predicate generation (§3.1).
@@ -150,11 +244,25 @@ impl<R: Ranker> Cornet<R> {
             return Err(LearnError::NoPredicates);
         }
 
-        // 2. Semi-supervised clustering (§3.2).
+        // 2. Semi-supervised clustering (§3.2). On an enforcing learn the
+        // hard negatives seed the negative cluster (§5.2.1); the relaxed
+        // fallback clusters as if uncorrected, so its candidate pool is
+        // exactly the unconstrained learner's and only the *ranking* sees
+        // the corrections (via the mask below).
         let signatures = CellSignatures::from_predicates(&predicates);
-        let outcome = cluster(&signatures, observed, &self.config.cluster);
+        let search_negatives: &[usize] = if enforce { negatives } else { &[] };
+        let outcome = cluster_constrained(
+            &signatures,
+            positives,
+            search_negatives,
+            &self.config.cluster,
+        );
+        let negative_mask = cornet_table::BitVec::from_indices(cells.len(), negatives);
 
-        // 3. Candidate rule enumeration (§3.3).
+        // 3. Candidate rule enumeration (§3.3). When enforcing, both
+        // strategies reject any candidate covering a negative during the
+        // search, so every rule here covers the positives and excludes the
+        // negatives.
         let candidates = match self.config.strategy {
             SearchStrategy::Greedy => {
                 enumerate_rules(&predicates, &outcome, &self.config.enumeration)
@@ -177,7 +285,13 @@ impl<R: Ranker> Cornet<R> {
             .iter()
             .map(|cand| {
                 let execution = cand.rule.execute(cells);
-                let features = rule_features(&cand.rule, &execution, &outcome.labels, dtype);
+                let features = rule_features_constrained(
+                    &cand.rule,
+                    &execution,
+                    &outcome.labels,
+                    &negative_mask,
+                    dtype,
+                );
                 (execution, features)
             })
             .collect();
@@ -189,6 +303,7 @@ impl<R: Ranker> Cornet<R> {
                 cell_texts: &cell_texts,
                 execution,
                 cluster_labels: &outcome.labels,
+                negatives: &negative_mask,
                 dtype,
                 features: *features,
             })
@@ -382,6 +497,145 @@ mod tests {
         let outcome = cornet.learn(&cells, &[2, 3]).expect("learns");
         for pair in outcome.candidates.windows(2) {
             assert!(pair[0].score >= pair[1].score);
+        }
+    }
+
+    #[test]
+    fn constrained_learn_excludes_negatives_everywhere() {
+        // With examples {0, 2} alone the learner generalises RW-131-T in;
+        // a hard negative on it must flip every candidate to exclude it.
+        let cells = parse(&["RW-187", "RS-762", "RW-159", "RW-131-T", "TW-224", "RW-312"]);
+        let cornet = Cornet::with_default_ranker();
+        let unconstrained = cornet.learn(&cells, &[0, 2]).expect("learns");
+        assert!(
+            unconstrained.best().rule.eval(&cells[3]),
+            "fixture requires the unconstrained best rule to cover RW-131-T"
+        );
+        let spec = LearnSpec::new(cells.clone(), vec![0, 2]).with_negatives(vec![3]);
+        let outcome = cornet.learn_spec(&spec).expect("constrained learn");
+        for cand in &outcome.candidates {
+            assert!(cand.rule.eval(&cells[0]) && cand.rule.eval(&cells[2]));
+            assert!(
+                !cand.rule.eval(&cells[3]),
+                "candidate {} covers the negative",
+                cand.rule
+            );
+        }
+        let mask = outcome.best().rule.execute(&cells);
+        assert!(!mask.get(3));
+    }
+
+    #[test]
+    fn constrained_learn_works_exhaustively_too() {
+        let cells = parse(&["RW-187", "RS-762", "RW-159", "RW-131-T", "TW-224", "RW-312"]);
+        let config = CornetConfig {
+            strategy: SearchStrategy::Exhaustive,
+            ..CornetConfig::default()
+        };
+        let cornet = Cornet::new(config, SymbolicRanker::heuristic());
+        let spec = LearnSpec::new(cells.clone(), vec![0, 2]).with_negatives(vec![3]);
+        let outcome = cornet.learn_spec(&spec).expect("constrained learn");
+        for cand in &outcome.candidates {
+            assert!(!cand.rule.eval(&cells[3]));
+        }
+    }
+
+    #[test]
+    fn relaxed_learn_ranks_negative_coverage_down() {
+        // The relaxed learner searches as if uncorrected, so its candidate
+        // pool is exactly `learn`'s — but every candidate covering the
+        // correction is penalised by the negative-coverage feature, and
+        // only those.
+        let cells = parse(&["RW-187", "RS-762", "RW-159", "RW-131-T", "TW-224", "RW-312"]);
+        let cornet = Cornet::with_default_ranker();
+        let plain = cornet.learn(&cells, &[0, 2]).expect("learns");
+        let spec = LearnSpec::new(cells.clone(), vec![0, 2]).with_negatives(vec![3]);
+        let relaxed = cornet.learn_spec_relaxed(&spec).expect("relaxed learn");
+
+        let scores = |outcome: &LearnOutcome| -> std::collections::HashMap<String, f64> {
+            outcome
+                .candidates
+                .iter()
+                .map(|c| (c.rule.to_string(), c.score))
+                .collect()
+        };
+        let plain_scores = scores(&plain);
+        let relaxed_scores = scores(&relaxed);
+        assert_eq!(
+            {
+                let mut keys: Vec<&String> = plain_scores.keys().collect();
+                keys.sort();
+                keys
+            },
+            {
+                let mut keys: Vec<&String> = relaxed_scores.keys().collect();
+                keys.sort();
+                keys
+            },
+            "relaxed search must admit exactly the unconstrained pool"
+        );
+        let mut penalised = 0usize;
+        for cand in &plain.candidates {
+            let key = cand.rule.to_string();
+            if cand.rule.eval(&cells[3]) {
+                assert!(
+                    relaxed_scores[&key] < plain_scores[&key],
+                    "covering rule {key} must score lower relaxed"
+                );
+                penalised += 1;
+            } else {
+                assert_eq!(
+                    relaxed_scores[&key].to_bits(),
+                    plain_scores[&key].to_bits(),
+                    "non-covering rule {key} must be untouched"
+                );
+            }
+        }
+        assert!(penalised > 0, "fixture must penalise at least one rule");
+    }
+
+    #[test]
+    fn unsatisfiable_spec_abstains() {
+        // Two identical cells, one positive one negative: no rule in the
+        // language can separate them, so the learner abstains instead of
+        // returning a near-miss.
+        let cells = parse(&["x", "x", "y", "z"]);
+        let cornet = Cornet::with_default_ranker();
+        let spec = LearnSpec::new(cells, vec![0]).with_negatives(vec![1]);
+        assert!(matches!(
+            cornet.learn_spec(&spec).unwrap_err(),
+            LearnError::NoConsistentRule
+        ));
+    }
+
+    #[test]
+    fn spec_validation_errors() {
+        let cells = parse(&["a", "b", "c"]);
+        let cornet = Cornet::with_default_ranker();
+        let oob = LearnSpec::new(cells.clone(), vec![0]).with_negatives(vec![7]);
+        assert!(matches!(
+            cornet.learn_spec(&oob).unwrap_err(),
+            LearnError::NegativeOutOfRange(7)
+        ));
+        let clash = LearnSpec::new(cells, vec![0, 1]).with_negatives(vec![1]);
+        assert!(matches!(
+            cornet.learn_spec(&clash).unwrap_err(),
+            LearnError::ConflictingExample(1)
+        ));
+    }
+
+    #[test]
+    fn empty_negatives_spec_matches_learn_bitwise() {
+        let cells = parse(&["RW-187", "RS-762", "RW-159", "RW-131-T", "TW-224", "RW-312"]);
+        let cornet = Cornet::with_default_ranker();
+        let by_learn = cornet.learn(&cells, &[0, 2, 5]).expect("learns");
+        let spec = LearnSpec::new(cells, vec![0, 2, 5]);
+        let by_spec = cornet.learn_spec(&spec).expect("learns");
+        assert_eq!(by_learn.candidates.len(), by_spec.candidates.len());
+        for (a, b) in by_learn.candidates.iter().zip(&by_spec.candidates) {
+            assert_eq!(a.rule.to_string(), b.rule.to_string());
+            assert_eq!(a.score.to_bits(), b.score.to_bits());
+            assert_eq!(a.cluster_accuracy.to_bits(), b.cluster_accuracy.to_bits());
         }
     }
 

@@ -53,13 +53,13 @@ pub mod signature;
 /// Convenient glob-import surface for downstream users.
 pub mod prelude {
     pub use crate::cluster::{ClusterConfig, ClusterMode};
-    pub use crate::learner::{Cornet, CornetConfig, LearnError, LearnOutcome};
+    pub use crate::learner::{Cornet, CornetConfig, LearnError, LearnOutcome, LearnSpec};
     pub use crate::metrics::{exact_match, execution_match};
     pub use crate::predicate::{CmpOp, DatePart, Predicate, TextOp};
     pub use crate::rank::{Ranker, ScoredRule};
     pub use crate::rule::{Conjunct, Rule, RuleLiteral};
 }
 
-pub use learner::{Cornet, CornetConfig, LearnOutcome};
+pub use learner::{Cornet, CornetConfig, LearnOutcome, LearnSpec};
 pub use predicate::Predicate;
 pub use rule::Rule;

@@ -35,6 +35,12 @@ pub struct RankContext<'a> {
     pub execution: &'a BitVec,
     /// Hypothesised labels from clustering.
     pub cluster_labels: &'a BitVec,
+    /// Mask of the user's hard negative corrections (all-zero when the
+    /// learn was unconstrained). Rankers may use it to penalise candidates
+    /// that sail close to an explicit "not this cell" — the precomputed
+    /// [`crate::features::NEGATIVE_COVERAGE_FEATURE`] carries the coverage
+    /// fraction for linear models.
+    pub negatives: &'a BitVec,
     /// Column data type.
     pub dtype: Option<DataType>,
     /// Pre-computed handpicked features.

@@ -626,6 +626,7 @@ mod tests {
                 (exec, features)
             })
             .collect();
+        let no_negatives = BitVec::zeros(cell_texts.len());
         let ctxs: Vec<RankContext<'_>> = rules
             .iter()
             .zip(&prepared)
@@ -634,6 +635,7 @@ mod tests {
                 cell_texts: &cell_texts,
                 execution,
                 cluster_labels: &labels,
+                negatives: &no_negatives,
                 dtype: Some(cornet_table::DataType::Text),
                 features: *features,
             })

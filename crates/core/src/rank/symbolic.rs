@@ -43,6 +43,15 @@ impl SymbolicRanker {
         weights[6 + PredicateKind::EndsWith.index()] = 0.10;
         weights[6 + PredicateKind::Contains.index()] = -0.10;
         weights[6 + PredicateKind::Between.index()] = -0.10;
+        // Covering an explicit negative is nearly disqualifying — the
+        // penalty mirrors the cluster-accuracy reward. The feature fires
+        // on *relaxed* constrained learns (`Cornet::learn_spec_relaxed`,
+        // the serve abstention fallback), where it makes the rule covering
+        // the fewest corrections win; the enforcing search never admits a
+        // covering candidate, and on unconstrained learns the feature is
+        // 0.0, so scores there stay bit-identical to the pre-negatives
+        // model.
+        weights[crate::features::NEGATIVE_COVERAGE_FEATURE] = -6.0;
         SymbolicRanker {
             weights,
             bias: -4.0,
@@ -128,7 +137,7 @@ impl Ranker for SymbolicRanker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::features::rule_features;
+    use crate::features::rule_features_constrained;
     use crate::predicate::{CmpOp, Predicate};
     use crate::rule::Rule;
     use cornet_table::{BitVec, DataType};
@@ -140,13 +149,16 @@ mod tests {
         cell_texts: &'a [String],
         execution: &'a BitVec,
         labels: &'a BitVec,
+        negatives: &'a BitVec,
     ) -> RankContext<'a> {
-        let features = rule_features(rule, execution, labels, Some(DataType::Number));
+        let features =
+            rule_features_constrained(rule, execution, labels, negatives, Some(DataType::Number));
         RankContext {
             rule,
             cell_texts,
             execution,
             cluster_labels: labels,
+            negatives,
             dtype: Some(DataType::Number),
             features,
         }
@@ -163,9 +175,29 @@ mod tests {
         let labels = BitVec::from_bools(&[false, true, true, false]);
         let perfect = BitVec::from_bools(&[false, true, true, false]);
         let poor = BitVec::from_bools(&[true, true, false, false]);
-        let s_good = ranker.score(&context_for(&rule, &texts, &perfect, &labels));
-        let s_bad = ranker.score(&context_for(&rule, &texts, &poor, &labels));
+        let none = BitVec::zeros(4);
+        let s_good = ranker.score(&context_for(&rule, &texts, &perfect, &labels, &none));
+        let s_bad = ranker.score(&context_for(&rule, &texts, &poor, &labels, &none));
         assert!(s_good > s_bad);
+    }
+
+    #[test]
+    fn heuristic_penalises_negative_coverage() {
+        // Identical context except one execution formats a cell the user
+        // explicitly marked negative: the constrained score must drop.
+        let ranker = SymbolicRanker::heuristic();
+        let rule = Rule::from_predicate(Predicate::NumCmp {
+            op: CmpOp::Greater,
+            n: 5.0,
+        });
+        let texts: Vec<String> = vec!["1".into(), "6".into(), "7".into(), "2".into()];
+        let labels = BitVec::from_bools(&[false, true, true, false]);
+        let exec = BitVec::from_bools(&[false, true, true, false]);
+        let negatives = BitVec::from_bools(&[false, false, true, false]);
+        let none = BitVec::zeros(4);
+        let clean = ranker.score(&context_for(&rule, &texts, &exec, &labels, &none));
+        let covering = ranker.score(&context_for(&rule, &texts, &exec, &labels, &negatives));
+        assert!(covering < clean, "{covering} !< {clean}");
     }
 
     #[test]
@@ -208,7 +240,8 @@ mod tests {
         let texts: Vec<String> = vec!["1".into()];
         let exec = BitVec::zeros(1);
         let labels = BitVec::zeros(1);
-        let s = ranker.score(&context_for(&rule, &texts, &exec, &labels));
+        let none = BitVec::zeros(1);
+        let s = ranker.score(&context_for(&rule, &texts, &exec, &labels, &none));
         assert!((0.0..=1.0).contains(&s));
     }
 }

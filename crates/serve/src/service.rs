@@ -4,11 +4,24 @@
 //! The HTTP front-end ([`crate::http`]) is a thin shell over
 //! [`CornetService`]; everything here is directly callable (and
 //! benchmarked) without a socket.
+//!
+//! `learn` runs the *constrained* learner ([`Cornet::learn_spec`]):
+//! negative corrections are pushed into clustering and search, so a
+//! response with `consistent:true` carries a rule that provably excludes
+//! every negative, and `consistent:false` is an abstention — the search
+//! proved no rule in the language satisfies the corrections, and the best
+//! unconstrained rule is returned (and persisted) as a fallback.
+//!
+//! Sessions persist through `cornet-serde` under
+//! `<store_dir>/sessions/<id>.json`, so the demo paper's
+//! correct-and-relearn loop survives a server restart.
 
 use crate::store::{rule_id, RuleStore, StoredRule};
 use cornet_core::prelude::*;
 use cornet_core::rule::Rule;
-use cornet_serde::{field_t, optional_field_t, DecodeError, FromJson, Json, ToJson};
+use cornet_serde::{
+    decode, encode, field_t, optional_field_t, DecodeError, FromJson, Json, ToJson,
+};
 use cornet_table::CellValue;
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::io;
@@ -266,6 +279,8 @@ impl ToJson for BatchItem {
 }
 
 /// An interactive correct-and-relearn session (the demo paper's loop).
+/// Persisted through `cornet-serde` (kind [`SESSION_KIND`]) so the loop
+/// survives a server restart.
 #[derive(Debug, Clone)]
 struct Session {
     id: String,
@@ -274,6 +289,64 @@ struct Session {
     negatives: BTreeSet<usize>,
     revision: u64,
     last: Option<LearnResponse>,
+}
+
+/// Envelope kind for persisted sessions.
+pub const SESSION_KIND: &str = "session-state";
+
+impl ToJson for Session {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("id", Json::str(self.id.clone())),
+            ("cells", self.cells.to_json()),
+            (
+                "positives",
+                self.positives
+                    .iter()
+                    .copied()
+                    .collect::<Vec<usize>>()
+                    .to_json(),
+            ),
+            (
+                "negatives",
+                self.negatives
+                    .iter()
+                    .copied()
+                    .collect::<Vec<usize>>()
+                    .to_json(),
+            ),
+            ("revision", self.revision.to_json()),
+            (
+                "last",
+                self.last
+                    .as_ref()
+                    .map(ToJson::to_json)
+                    .unwrap_or(Json::Null),
+            ),
+        ])
+    }
+}
+
+impl FromJson for Session {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        let positives: Vec<usize> = field_t(json, "positives")?;
+        let negatives: Vec<usize> = field_t(json, "negatives")?;
+        Ok(Session {
+            id: field_t(json, "id")?,
+            cells: field_t(json, "cells")?,
+            positives: positives.into_iter().collect(),
+            negatives: negatives.into_iter().collect(),
+            revision: field_t(json, "revision")?,
+            last: optional_field_t(json, "last")?,
+        })
+    }
+}
+
+/// The numeric part of a session id (`s<counter>`); `None` for anything
+/// else (a foreign file in the sessions directory must not poison the
+/// counter).
+fn session_number(id: &str) -> Option<u64> {
+    id.strip_prefix('s').and_then(|n| n.parse().ok())
 }
 
 /// A session snapshot returned by the session endpoints.
@@ -337,18 +410,23 @@ struct SessionTable {
 }
 
 impl SessionTable {
-    fn insert(&mut self, id: String, session: Session, cap: usize) {
+    /// Inserts a session, returning the ids evicted to stay within `cap`
+    /// (the caller owns their persisted files).
+    fn insert(&mut self, id: String, session: Session, cap: usize) -> Vec<String> {
         if !self.map.contains_key(&id) {
             self.order.push_back(id.clone());
         }
         self.map.insert(id, Arc::new(Mutex::new(session)));
+        let mut evicted = Vec::new();
         while self.map.len() > cap.max(1) {
-            if let Some(evicted) = self.order.pop_front() {
-                self.map.remove(&evicted);
+            if let Some(old) = self.order.pop_front() {
+                self.map.remove(&old);
+                evicted.push(old);
             } else {
                 break;
             }
         }
+        evicted
     }
 
     fn get(&self, id: &str) -> Result<Arc<Mutex<Session>>, ServeError> {
@@ -360,23 +438,59 @@ impl SessionTable {
 }
 
 /// The service: a learner in front of the persistent rule store, plus
-/// per-process interactive sessions.
+/// interactive sessions persisted under `<store_dir>/sessions/`.
 pub struct CornetService {
     store: Mutex<RuleStore>,
     sessions: Mutex<SessionTable>,
+    sessions_dir: PathBuf,
     max_sessions: usize,
     next_session: AtomicU64,
     learns: AtomicU64,
 }
 
 impl CornetService {
-    /// Opens the rule store and builds the service.
+    /// Opens the rule store, reloads any persisted sessions, and builds
+    /// the service. A corrupt session file is skipped (the session is
+    /// lost, the server is not).
     pub fn new(config: &ServiceConfig) -> io::Result<CornetService> {
+        let sessions_dir = config.store_dir.join("sessions");
+        let store = RuleStore::open(&config.store_dir, config.cache_capacity)?;
+        std::fs::create_dir_all(&sessions_dir)?;
+        let mut restored: Vec<Session> = std::fs::read_dir(&sessions_dir)?
+            .filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter_map(|e| {
+                let text = std::fs::read_to_string(e.path()).ok()?;
+                let session: Session = decode(SESSION_KIND, &text).ok()?;
+                // The file stem must match the payload (a renamed file
+                // must not alias another session).
+                (e.path().file_stem().and_then(|s| s.to_str()) == Some(session.id.as_str())
+                    && session_number(&session.id).is_some())
+                .then_some(session)
+            })
+            .collect();
+        // Creation order = numeric id order; the eviction queue and the
+        // next-session counter both depend on it.
+        restored.sort_by_key(|s| session_number(&s.id).unwrap_or(0));
+        let next = restored
+            .iter()
+            .filter_map(|s| session_number(&s.id))
+            .max()
+            .map_or(1, |m| m + 1);
+        let mut table = SessionTable::default();
+        let mut stale = Vec::new();
+        for session in restored {
+            stale.extend(table.insert(session.id.clone(), session, config.max_sessions));
+        }
+        for id in stale {
+            let _ = std::fs::remove_file(sessions_dir.join(format!("{id}.json")));
+        }
         Ok(CornetService {
-            store: Mutex::new(RuleStore::open(&config.store_dir, config.cache_capacity)?),
-            sessions: Mutex::new(SessionTable::default()),
+            store: Mutex::new(store),
+            sessions: Mutex::new(table),
+            sessions_dir,
             max_sessions: config.max_sessions,
-            next_session: AtomicU64::new(1),
+            next_session: AtomicU64::new(next),
             learns: AtomicU64::new(0),
         })
     }
@@ -396,8 +510,32 @@ impl CornetService {
         Ok(())
     }
 
+    /// Rejects duplicate indices. Duplicates are always a caller bug: the
+    /// fingerprint sorts and dedups its index sets, so `examples:[0,0,2]`
+    /// and `examples:[0,2]` would silently share a rule id while looking
+    /// like different requests to the caller.
+    fn validate_unique(indices: &[usize], what: &str) -> Result<(), ServeError> {
+        let mut seen = BTreeSet::new();
+        for &i in indices {
+            if !seen.insert(i) {
+                return Err(ServeError::BadRequest(format!(
+                    "duplicate {what} index {i}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Learns a rule (or fetches the stored rule for an identical
     /// request). This is the paper's `learn`: examples in, rule out.
+    ///
+    /// Negative corrections run through the *constrained* learner
+    /// ([`Cornet::learn_spec`]), so a `consistent:true` response carries a
+    /// rule whose search already excluded every negative — no post-hoc
+    /// candidate filtering. When the constrained search abstains (provably
+    /// no rule in the language satisfies the corrections), the best
+    /// unconstrained rule is returned with `consistent:false`, and the
+    /// abstention is persisted with the rule.
     pub fn learn(&self, req: &LearnRequest) -> Result<LearnResponse, ServeError> {
         if req.cells.is_empty() {
             return Err(ServeError::BadRequest("empty column".into()));
@@ -407,6 +545,8 @@ impl CornetService {
         }
         Self::validate_indices(req.cells.len(), &req.examples, "example")?;
         Self::validate_indices(req.cells.len(), &req.negatives, "negative")?;
+        Self::validate_unique(&req.examples, "example")?;
+        Self::validate_unique(&req.negatives, "negative")?;
         if let Some(&overlap) = req.examples.iter().find(|i| req.negatives.contains(i)) {
             return Err(ServeError::BadRequest(format!(
                 "index {overlap} is both an example and a negative"
@@ -420,21 +560,29 @@ impl CornetService {
         }
 
         let cornet = Cornet::with_default_ranker();
-        let outcome = cornet
-            .learn(&cells, &req.examples)
-            .map_err(|e| ServeError::Unlearnable(e.to_string()))?;
+        let spec = LearnSpec::new(cells.clone(), req.examples.clone())
+            .with_negatives(req.negatives.clone());
         self.learns.fetch_add(1, Ordering::Relaxed);
-
-        // Correct-and-relearn support: prefer the best-ranked candidate
-        // that excludes every negative correction; fall back to the best
-        // candidate (flagged inconsistent) when none does.
-        let chosen = outcome
-            .candidates
-            .iter()
-            .find(|c| req.negatives.iter().all(|&i| !c.rule.eval(&cells[i])));
-        let (scored, consistent) = match chosen {
-            Some(c) => (c, true),
-            None => (&outcome.candidates[0], req.negatives.is_empty()),
+        let (scored, consistent) = match cornet.learn_spec(&spec) {
+            Ok(outcome) => {
+                let best = outcome.candidates.into_iter().next().expect("non-empty");
+                (best, true)
+            }
+            Err(LearnError::NoConsistentRule) if !req.negatives.is_empty() => {
+                // Abstention: no rule in the language satisfies the
+                // corrections. Serve the relaxed learner's best rule so the
+                // user still sees *something* — the negatives keep seeding
+                // the clustering and penalising ranking, so the rule
+                // covering the fewest corrections wins — flagged
+                // inconsistent.
+                let outcome = cornet
+                    .learn_spec_relaxed(&spec)
+                    .map_err(|e| ServeError::Unlearnable(e.to_string()))?;
+                self.learns.fetch_add(1, Ordering::Relaxed);
+                let best = outcome.candidates.into_iter().next().expect("non-empty");
+                (best, false)
+            }
+            Err(e) => return Err(ServeError::Unlearnable(e.to_string())),
         };
 
         let stored = StoredRule {
@@ -536,11 +684,16 @@ impl CornetService {
             last: None,
         };
         self.relearn(&mut session)?;
+        self.persist_session(&session)?;
         let response = Self::session_snapshot(&session);
-        self.sessions
+        let evicted = self
+            .sessions
             .lock()
             .unwrap()
             .insert(id, session, self.max_sessions);
+        for old in evicted {
+            self.remove_session_file(&old);
+        }
         Ok(response)
     }
 
@@ -558,8 +711,17 @@ impl CornetService {
     /// The *per-session* lock is held across the re-learn so concurrent
     /// corrections to the same session serialize instead of losing one
     /// writer's updates, while other sessions stay responsive; a failed
-    /// re-learn leaves the session unchanged. Lock order everywhere is
-    /// table → session → store.
+    /// re-learn (or a failed persist) leaves the session unchanged. Lock
+    /// order everywhere is table → session → store, with one audited
+    /// exception below: the persist step re-acquires the table lock
+    /// *while holding the session lock*. That inversion cannot deadlock
+    /// because no path waits on a session lock while holding the table
+    /// lock (`SessionTable::get` clones the `Arc` inside a temporary
+    /// table guard and locks the session only after it drops), and it is
+    /// what closes the eviction race: eviction deletes session files
+    /// under the table lock, so checking membership and writing the file
+    /// under that same lock guarantees a concurrently evicted session is
+    /// never resurrected on disk.
     pub fn session_correct(
         &self,
         id: &str,
@@ -581,9 +743,39 @@ impl CornetService {
         }
         updated.revision += 1;
         self.relearn(&mut updated)?;
+        {
+            let table = self.sessions.lock().unwrap();
+            if table.map.contains_key(id) {
+                self.persist_session(&updated)?;
+            }
+            // An evicted session keeps serving this in-flight correction
+            // from memory, but owns no file any more.
+        }
         let response = Self::session_snapshot(&updated);
         *guard = updated;
         Ok(response)
+    }
+
+    /// Writes a session's state to `<sessions_dir>/<id>.json` via a temp
+    /// file + rename, mirroring the rule store's crash safety.
+    fn persist_session(&self, session: &Session) -> Result<(), ServeError> {
+        let text = encode(SESSION_KIND, session);
+        static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+        let tmp = self.sessions_dir.join(format!(
+            "{}.{}.{}.tmp",
+            session.id,
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        let target = self.sessions_dir.join(format!("{}.json", session.id));
+        std::fs::write(&tmp, &text)
+            .and_then(|()| std::fs::rename(&tmp, &target))
+            .map_err(|e| ServeError::Internal(format!("session write failed: {e}")))
+    }
+
+    /// Best-effort removal of an evicted session's file.
+    fn remove_session_file(&self, id: &str) {
+        let _ = std::fs::remove_file(self.sessions_dir.join(format!("{id}.json")));
     }
 
     fn relearn(&self, session: &mut Session) -> Result<(), ServeError> {
@@ -794,6 +986,159 @@ mod tests {
         assert_eq!(fetched.revision, 1);
         assert_eq!(fetched.positives, vec![0, 5]);
         assert_eq!(fetched.negatives, vec![3]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_indices_are_rejected() {
+        let (service, dir) = temp_service("dups");
+        let dup_examples = LearnRequest {
+            cells: rw_column(),
+            examples: vec![0, 2, 0],
+            negatives: vec![],
+        };
+        let err = service.learn(&dup_examples).unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(err.message().contains("duplicate example index 0"), "{err}");
+        let dup_negatives = LearnRequest {
+            cells: rw_column(),
+            examples: vec![0],
+            negatives: vec![3, 3],
+        };
+        let err = service.learn(&dup_negatives).unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(
+            err.message().contains("duplicate negative index 3"),
+            "{err}"
+        );
+        assert_eq!(service.learns_performed(), 0, "rejected before learning");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn constrained_learn_returns_a_rule_that_excludes_the_negative() {
+        let (service, dir) = temp_service("constrained");
+        // Examples {0, 2} alone generalise RW-131-T (3) in; the negative
+        // correction must produce a *rule* that excludes it — not a
+        // filtered mask — so fresh lookalike rows stay unformatted too.
+        let req = LearnRequest {
+            cells: rw_column(),
+            examples: vec![0, 2],
+            negatives: vec![3],
+        };
+        let response = service.learn(&req).unwrap();
+        assert!(response.consistent, "{response:?}");
+        assert!(!response.matches.contains(&3));
+        assert!(response.matches.contains(&0) && response.matches.contains(&2));
+        // The rule itself excludes the corrected value — scoring a fresh
+        // row holding it must leave it unformatted (post-hoc filtering of
+        // the old implementation could not do this).
+        let score = service
+            .score(&ScoreRequest {
+                rule_id: Some(response.rule_id.clone()),
+                rule: None,
+                cells: vec!["RW-888".into(), "RW-131-T".into()],
+            })
+            .unwrap();
+        assert!(score.matches.contains(&0));
+        assert!(
+            !score.matches.contains(&1),
+            "rule must exclude the corrected value on fresh rows: {score:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sessions_survive_a_restart() {
+        let (service, dir) = temp_service("session-restart");
+        let created = service.session_create(rw_column(), vec![0]).unwrap();
+        let sid = created.session_id.clone();
+        let corrected = service.session_correct(&sid, &[5], &[3]).unwrap();
+        assert_eq!(corrected.revision, 1);
+        drop(service);
+
+        // A fresh process over the same store directory resumes the loop.
+        let restarted = CornetService::new(&ServiceConfig {
+            store_dir: dir.clone(),
+            cache_capacity: 16,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let fetched = restarted.session_get(&sid).unwrap();
+        assert_eq!(fetched.revision, 1);
+        assert_eq!(fetched.positives, vec![0, 5]);
+        assert_eq!(fetched.negatives, vec![3]);
+        let result = fetched.result.expect("restored session keeps its rule");
+        assert!(!result.matches.contains(&3));
+
+        // Further corrections work, and fresh sessions do not collide
+        // with restored ids.
+        let again = restarted.session_correct(&sid, &[2], &[]).unwrap();
+        assert_eq!(again.revision, 2);
+        let fresh = restarted.session_create(rw_column(), vec![0]).unwrap();
+        assert_ne!(fresh.session_id, sid);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn evicted_sessions_lose_their_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "cornet-service-test-evict-files-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = CornetService::new(&ServiceConfig {
+            store_dir: dir.clone(),
+            cache_capacity: 16,
+            max_sessions: 2,
+        })
+        .unwrap();
+        let ids: Vec<String> = (0..3)
+            .map(|_| {
+                service
+                    .session_create(rw_column(), vec![0])
+                    .unwrap()
+                    .session_id
+            })
+            .collect();
+        let session_file = |id: &str| dir.join("sessions").join(format!("{id}.json"));
+        assert!(!session_file(&ids[0]).exists(), "evicted file removed");
+        assert!(session_file(&ids[1]).exists());
+        assert!(session_file(&ids[2]).exists());
+        // The eviction cap also applies to a restart.
+        drop(service);
+        let restarted = CornetService::new(&ServiceConfig {
+            store_dir: dir.clone(),
+            cache_capacity: 16,
+            max_sessions: 2,
+        })
+        .unwrap();
+        assert!(restarted.session_get(&ids[1]).is_ok());
+        assert!(restarted.session_get(&ids[2]).is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_session_files_are_skipped_on_restart() {
+        let (service, dir) = temp_service("session-corrupt");
+        let ok = service.session_create(rw_column(), vec![0]).unwrap();
+        drop(service);
+        std::fs::write(dir.join("sessions").join("s999.json"), "{not json").unwrap();
+        let restarted = CornetService::new(&ServiceConfig {
+            store_dir: dir.clone(),
+            cache_capacity: 16,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        assert!(restarted.session_get(&ok.session_id).is_ok());
+        assert!(matches!(
+            restarted.session_get("s999"),
+            Err(ServeError::NotFound(_))
+        ));
+        // The counter skips past the corrupt file's name is irrelevant —
+        // fresh ids never collide with the restored session.
+        let fresh = restarted.session_create(rw_column(), vec![0]).unwrap();
+        assert_ne!(fresh.session_id, ok.session_id);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,5 +1,6 @@
 //! The scripted end-to-end smoke session: learn → score → correct →
-//! re-learn → restart → score again from the persisted store.
+//! re-learn → restart → score again from the persisted store, resume the
+//! persisted session, and keep correcting it.
 //!
 //! Run via `cornet-serve smoke` (the CI `serve-smoke` job) or call
 //! [`run`] from a test. Everything happens over a real loopback socket
@@ -134,7 +135,9 @@ fn run_in(dir: &std::path::Path) -> Result<Vec<String>, String> {
         .to_string();
 
     // The user formats RW-312 (5) and unformats RW-131-T (3); the service
-    // must re-learn a rule honouring both corrections.
+    // must re-learn, through the constrained learner, a rule honouring
+    // both corrections — consistent:true means the rule itself excludes
+    // the negative, not that a filter scrubbed it from the matches.
     let corrected = post(
         addr,
         &format!("/session/{sid}/correct"),
@@ -150,6 +153,45 @@ fn run_in(dir: &std::path::Path) -> Result<Vec<String>, String> {
     expect(
         relearned.contains(&5) && !relearned.contains(&3),
         "re-learned rule honours both corrections",
+        &log,
+    )?;
+    expect(
+        result.get("consistent").and_then(Json::as_bool) == Some(true),
+        "constrained re-learn is consistent",
+        &log,
+    )?;
+    // The rule (not a filtered mask) excludes the corrected value: a
+    // fresh row holding it stays unformatted.
+    let corrected_rule = result.get("rule").ok_or("corrected result has no rule")?;
+    let rescored = post(
+        addr,
+        "/score",
+        &format!(
+            r#"{{"rule":{},"cells":["RW-131-T","RW-312"]}}"#,
+            cornet_serde::to_string(corrected_rule)
+        ),
+        "score",
+        &mut log,
+    )?;
+    expect(
+        matches_of(&rescored)? == vec![1],
+        "re-learned rule excludes the corrected value on fresh rows",
+        &log,
+    )?;
+
+    // An unsatisfiable correction abstains: cells 0 and 1 hold the same
+    // value, so no rule can format one and not the other —
+    // consistent:false now means "provably no rule in the language".
+    let abstain = post(
+        addr,
+        "/learn",
+        r#"{"cells":["x","x","y","z"],"examples":[0],"negatives":[1]}"#,
+        "learn",
+        &mut log,
+    )?;
+    expect(
+        abstain.get("consistent").and_then(Json::as_bool) == Some(false),
+        "unsatisfiable corrections abstain with consistent:false",
         &log,
     )?;
 
@@ -173,6 +215,29 @@ fn run_in(dir: &std::path::Path) -> Result<Vec<String>, String> {
         "identical learn after restart is a store hit",
         &log,
     )?;
+
+    // 5. The session survived the restart: same id, same corrections,
+    // same rule — served from the persisted session state, not re-learned.
+    let resumed = get(addr, &format!("/session/{sid}"), "session")?;
+    expect(
+        resumed.get("revision").and_then(Json::as_u64) == Some(1),
+        "restored session keeps its revision",
+        &log,
+    )?;
+    expect(
+        resumed.get("negatives").map(ToString::to_string) == Some("[3]".to_string()),
+        "restored session keeps its corrections",
+        &log,
+    )?;
+    let resumed_result = resumed
+        .get("result")
+        .filter(|r| !r.is_null())
+        .ok_or("restored session lost its rule")?;
+    expect(
+        matches_of(resumed_result)? == relearned,
+        "restored session serves the same rule",
+        &log,
+    )?;
     let health = get(addr, "/health", "health")?;
     expect(
         health.get("learns_performed").and_then(Json::as_u64) == Some(0),
@@ -180,6 +245,20 @@ fn run_in(dir: &std::path::Path) -> Result<Vec<String>, String> {
         &log,
     )?;
     log.push(format!("health after restart: {health}"));
+
+    // 6. The restored session accepts further corrections.
+    let continued = post(
+        addr,
+        &format!("/session/{sid}/correct"),
+        r#"{"format":[2]}"#,
+        "session",
+        &mut log,
+    )?;
+    expect(
+        continued.get("revision").and_then(Json::as_u64) == Some(2),
+        "correction after restart bumps the revision",
+        &log,
+    )?;
     server.shutdown();
     Ok(log)
 }

@@ -1,12 +1,19 @@
-//! The persistent rule store: one JSON file per learned rule, fronted by
-//! an in-memory LRU cache.
+//! The persistent rule store: one JSON file per learned rule, sharded by
+//! id prefix and fronted by an in-memory LRU cache.
 //!
-//! Layout: `<dir>/<rule-id>.json`, each file a versioned
+//! Layout: `<dir>/<id[1..3]>/<rule-id>.json` — 256 shard subdirectories
+//! named by the first two hex digits of the fingerprint, so a store of
+//! millions of rules never puts more than ~1/256th of them in one
+//! directory. Each file is a versioned
 //! `{"v":1,"kind":"stored-rule","payload":…}` envelope. Rule ids are
 //! content fingerprints of the learn request (cells + examples +
 //! negatives), so identical requests map to the same file across
 //! processes and restarts — that is what lets a restarted server answer
 //! `learn` and `score` without re-learning.
+//!
+//! Stores written before sharding used the flat `<dir>/<rule-id>.json`
+//! layout; reads fall back to the flat path and transparently migrate the
+//! file into its shard, so old stores upgrade in place with no tooling.
 //!
 //! The LRU bounds only memory: eviction never deletes a file, and a miss
 //! falls back to disk before reporting absence.
@@ -157,7 +164,14 @@ impl RuleStore {
         (self.hits, self.misses)
     }
 
+    /// The sharded path of a rule: `<dir>/<shard>/<id>.json`.
     fn path_for(&self, id: &str) -> PathBuf {
+        self.dir.join(shard_of(id)).join(format!("{id}.json"))
+    }
+
+    /// The pre-sharding flat path, still consulted (and migrated from) on
+    /// reads so old stores keep working.
+    fn flat_path_for(&self, id: &str) -> PathBuf {
         self.dir.join(format!("{id}.json"))
     }
 
@@ -175,9 +189,11 @@ impl RuleStore {
         }
     }
 
-    /// Looks a rule up: memory first, then disk. Returns `None` for
-    /// malformed ids, absent files, and files that fail to decode (a
-    /// corrupt file should read as a miss, not take the server down).
+    /// Looks a rule up: memory first, then the sharded path, then the
+    /// legacy flat path (migrating the file into its shard on a hit).
+    /// Returns `None` for malformed ids, absent files, and files that fail
+    /// to decode (a corrupt file should read as a miss, not take the
+    /// server down).
     pub fn get(&mut self, id: &str) -> Option<StoredRule> {
         if !valid_rule_id(id) {
             return None;
@@ -188,8 +204,24 @@ impl RuleStore {
             return Some(found);
         }
         self.misses += 1;
-        let text = std::fs::read_to_string(self.path_for(id)).ok()?;
-        let entry: StoredRule = decode(STORED_RULE_KIND, &text).ok()?;
+        let sharded = self.path_for(id);
+        let entry: StoredRule = match std::fs::read_to_string(&sharded) {
+            Ok(text) => decode(STORED_RULE_KIND, &text).ok()?,
+            Err(_) => {
+                // Flat-layout fallback: decode first, migrate second, so a
+                // corrupt legacy file is left in place for inspection.
+                let flat = self.flat_path_for(id);
+                let text = std::fs::read_to_string(&flat).ok()?;
+                let entry: StoredRule = decode(STORED_RULE_KIND, &text).ok()?;
+                if std::fs::create_dir_all(sharded.parent().expect("sharded path has parent"))
+                    .is_ok()
+                {
+                    // Best-effort: a failed rename still serves the rule.
+                    let _ = std::fs::rename(&flat, &sharded);
+                }
+                entry
+            }
+        };
         if entry.id != id {
             return None;
         }
@@ -211,8 +243,10 @@ impl RuleStore {
             ));
         }
         let text = encode(STORED_RULE_KIND, &entry);
+        let shard = self.dir.join(shard_of(&entry.id));
+        std::fs::create_dir_all(&shard)?;
         static TMP_COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
-        let tmp = self.dir.join(format!(
+        let tmp = shard.join(format!(
             "{}.{}.{}.tmp",
             entry.id,
             std::process::id(),
@@ -234,16 +268,57 @@ impl RuleStore {
     }
 }
 
-/// Counts the `.json` rule files under a store directory.
+/// The shard subdirectory of a rule id: its first two hex digits (after
+/// the `r` prefix). Short ids — legal per [`valid_rule_id`] but never
+/// produced by [`rule_id`] — shard on whatever digits they have.
+pub fn shard_of(id: &str) -> &str {
+    let end = id.len().min(3);
+    &id[1..end]
+}
+
+/// True when a directory name is shaped like a shard (one or two
+/// lowercase hex characters). Anything else under the store root — e.g.
+/// the service's `sessions` directory — is not scanned for rules.
+fn is_shard_name(name: &str) -> bool {
+    (1..=2).contains(&name.len())
+        && name
+            .chars()
+            .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase())
+}
+
+/// Counts the `.json` rule files under a store directory: flat files at
+/// the root (legacy layout) plus the contents of every shard
+/// subdirectory, in one pass over the root.
 pub fn persisted_in(dir: &Path) -> usize {
-    std::fs::read_dir(dir)
-        .map(|entries| {
-            entries
-                .filter_map(Result::ok)
-                .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
-                .count()
-        })
-        .unwrap_or(0)
+    let json_files = |dir: &Path| -> usize {
+        std::fs::read_dir(dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| {
+                        e.path().is_file() && e.path().extension().is_some_and(|x| x == "json")
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    };
+    let mut total = 0;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.is_file() && path.extension().is_some_and(|x| x == "json") {
+                total += 1;
+            } else if path.is_dir()
+                && path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(is_shard_name)
+            {
+                total += json_files(&path);
+            }
+        }
+    }
+    total
 }
 
 #[cfg(test)]
@@ -349,6 +424,81 @@ mod tests {
         assert!(store.cache.contains_key(&ids[0]));
         assert!(!store.cache.contains_key(&ids[1]), "LRU entry evicted");
         assert!(store.cache.contains_key(&ids[2]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn puts_land_in_shard_subdirectories() {
+        let dir = temp_dir("shard");
+        let mut store = RuleStore::open(&dir, 8).unwrap();
+        let id = rule_id(&["x".into()], &[0], &[]);
+        store.put(entry(&id, "RW")).unwrap();
+        let sharded = dir.join(shard_of(&id)).join(format!("{id}.json"));
+        assert!(sharded.is_file(), "rule not at {}", sharded.display());
+        assert!(!dir.join(format!("{id}.json")).exists(), "no flat file");
+        assert_eq!(persisted_in(&dir), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flat_layout_files_migrate_on_read() {
+        let dir = temp_dir("migrate");
+        let id = rule_id(&["legacy".into()], &[0], &[]);
+        let e = entry(&id, "RW");
+        // Simulate a pre-sharding store: the envelope sits at the root.
+        std::fs::create_dir_all(&dir).unwrap();
+        let flat = dir.join(format!("{id}.json"));
+        std::fs::write(&flat, encode(STORED_RULE_KIND, &e)).unwrap();
+
+        let mut store = RuleStore::open(&dir, 8).unwrap();
+        assert_eq!(store.get(&id).as_ref(), Some(&e), "flat file readable");
+        let sharded = dir.join(shard_of(&id)).join(format!("{id}.json"));
+        assert!(sharded.is_file(), "file migrated into its shard");
+        assert!(!flat.exists(), "flat copy removed by the migration");
+        assert_eq!(persisted_in(&dir), 1, "migration does not duplicate");
+
+        // A cold re-open reads it straight from the shard.
+        let mut reopened = RuleStore::open(&dir, 8).unwrap();
+        assert_eq!(reopened.get(&id).as_ref(), Some(&e));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_flat_files_miss_without_migrating() {
+        let dir = temp_dir("corrupt-flat");
+        std::fs::create_dir_all(&dir).unwrap();
+        let id = rule_id(&["bad".into()], &[0], &[]);
+        let flat = dir.join(format!("{id}.json"));
+        std::fs::write(&flat, "{not json").unwrap();
+        let mut store = RuleStore::open(&dir, 8).unwrap();
+        assert!(store.get(&id).is_none());
+        assert!(flat.exists(), "corrupt legacy file left for inspection");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persisted_scans_shards_but_not_foreign_directories() {
+        let dir = temp_dir("persisted");
+        let mut store = RuleStore::open(&dir, 8).unwrap();
+        let ids: Vec<String> = (0..3)
+            .map(|i| rule_id(&[format!("p{i}")], &[0], &[]))
+            .collect();
+        for id in &ids {
+            store.put(entry(id, "P")).unwrap();
+        }
+        // A legacy flat file still counts…
+        let legacy = rule_id(&["flat".into()], &[0], &[]);
+        std::fs::write(
+            dir.join(format!("{legacy}.json")),
+            encode(STORED_RULE_KIND, &entry(&legacy, "F")),
+        )
+        .unwrap();
+        // …but json files in non-shard directories (e.g. sessions) do not.
+        let sessions = dir.join("sessions");
+        std::fs::create_dir_all(&sessions).unwrap();
+        std::fs::write(sessions.join("s1.json"), "{}").unwrap();
+        assert_eq!(persisted_in(&dir), 4);
+        assert!(shard_of(&ids[0]).len() == 2);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -1,0 +1,421 @@
+//! Differential tests for constrained learning (`LearnSpec`, §5.2.1).
+//!
+//! Two contracts are pinned here:
+//!
+//! * **Compatibility** — `learn_spec` with an empty negative set replays
+//!   the historical `learn(cells, observed)` output bit for bit (rules,
+//!   order, score bits, stats), at 1 and 4 pool threads. The expected
+//!   output is rebuilt inline from the stage primitives (cluster →
+//!   enumerate → rank → sort), so a drift in `learn`'s composition fails
+//!   even though both entry points share code today.
+//! * **Constrained ≡ filtered** — over a *fixed* clustering, running the
+//!   search with hard-negative constraints equals running it
+//!   unconstrained and dropping every candidate whose execution covers a
+//!   negative. Hard negatives reshape the clustering (that is the §5.2.1
+//!   win) and act as hard admission constraints; they deliberately do not
+//!   perturb tree fitting or accuracy weighting beyond the labels, which
+//!   is what makes this equality exact. Budgets are kept unconstraining —
+//!   under a binding cap the constrained run may legitimately find rules
+//!   the filtered run truncated away.
+
+use cornet_repro::core::cluster::{cluster_constrained, ClusterConfig, ClusterOutcome};
+use cornet_repro::core::enumerate::{enumerate_rules, Candidate, EnumConfig};
+use cornet_repro::core::features::rule_features;
+use cornet_repro::core::fullsearch::{full_search, FullSearchConfig};
+use cornet_repro::core::learner::{Cornet, CornetConfig, LearnSpec, SearchStrategy};
+use cornet_repro::core::predgen::{generate_predicates, infer_type, GenConfig};
+use cornet_repro::core::rank::{score_descending, RankContext, Ranker, SymbolicRanker};
+use cornet_repro::core::signature::CellSignatures;
+use cornet_repro::pool::with_threads;
+use cornet_repro::table::{BitVec, CellValue};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One seeded random column + observed set (same surface flavours as the
+/// batched-ranking differential suite).
+fn random_table(seed: u64) -> (Vec<CellValue>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(12..=40);
+    let raw: Vec<String> = (0..n)
+        .map(|_| match seed % 5 {
+            0 => {
+                let prefix = *["RW", "RS", "TW"].choose(&mut rng).unwrap();
+                let suffix = if rng.gen_bool(0.3) { "-T" } else { "" };
+                format!("{prefix}-{}{suffix}", rng.gen_range(100..1000))
+            }
+            1 => (*["Open", "Closed", "Pending", "Blocked", "Done"]
+                .choose(&mut rng)
+                .unwrap())
+            .to_string(),
+            2 => format!("{}", rng.gen_range(-50..450) as f64 * 0.5),
+            3 => format!(
+                "202{}-{:02}-{:02}",
+                rng.gen_range(0..4),
+                rng.gen_range(1..=12),
+                rng.gen_range(1..=28)
+            ),
+            _ => {
+                if rng.gen_bool(0.6) {
+                    format!("{}", rng.gen_range(0..100))
+                } else {
+                    format!("id-{}", rng.gen_range(0..30))
+                }
+            }
+        })
+        .collect();
+    let cells: Vec<CellValue> = raw.iter().map(|s| CellValue::parse(s)).collect();
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut rng);
+    let k = rng.gen_range(2..=5).min(n);
+    let mut observed: Vec<usize> = indices.into_iter().take(k).collect();
+    observed.sort_unstable();
+    (cells, observed)
+}
+
+/// A deliberately small column (8–14 cells, narrow value space) whose
+/// predicate pool stays tractable for *uncapped* full search — the
+/// constrained ≡ filtered equality only holds when no budget binds.
+fn small_table(seed: u64) -> (Vec<CellValue>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E3779B97F4A7C15) ^ 0x5eed);
+    let n = rng.gen_range(8..=14);
+    let raw: Vec<String> = (0..n)
+        .map(|_| match seed % 3 {
+            0 => {
+                let prefix = *["RW", "RS"].choose(&mut rng).unwrap();
+                let suffix = if rng.gen_bool(0.25) { "-T" } else { "" };
+                format!("{prefix}-{}{suffix}", rng.gen_range(1..=9))
+            }
+            1 => (*["Open", "Closed", "Pending"].choose(&mut rng).unwrap()).to_string(),
+            _ => format!("{}", rng.gen_range(0..20)),
+        })
+        .collect();
+    let cells: Vec<CellValue> = raw.iter().map(|s| CellValue::parse(s)).collect();
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut rng);
+    let mut observed: Vec<usize> = indices.into_iter().take(rng.gen_range(2..=3)).collect();
+    observed.sort_unstable();
+    (cells, observed)
+}
+
+/// Replays the historical unconstrained pipeline from stage primitives
+/// and returns `(rule display, score bits, cluster-accuracy bits)` in
+/// final order.
+fn historical_baseline(cells: &[CellValue], observed: &[usize]) -> Option<Vec<(String, u64, u64)>> {
+    let predicates = generate_predicates(cells, &GenConfig::default());
+    if predicates.is_empty() {
+        return None;
+    }
+    let signatures = CellSignatures::from_predicates(&predicates);
+    let outcome = cluster_constrained(&signatures, observed, &[], &ClusterConfig::default());
+    let candidates = enumerate_rules(&predicates, &outcome, &EnumConfig::default());
+    if candidates.is_empty() {
+        return None;
+    }
+    let cell_texts: Vec<String> = cells.iter().map(CellValue::display_string).collect();
+    let dtype = infer_type(cells);
+    let no_negatives = BitVec::zeros(cells.len());
+    let ranker = SymbolicRanker::heuristic();
+    let mut scored: Vec<(String, f64, usize, f64)> = candidates
+        .iter()
+        .map(|cand| {
+            let execution = cand.rule.execute(cells);
+            let features = rule_features(&cand.rule, &execution, &outcome.labels, dtype);
+            let score = ranker.score(&RankContext {
+                rule: &cand.rule,
+                cell_texts: &cell_texts,
+                execution: &execution,
+                cluster_labels: &outcome.labels,
+                negatives: &no_negatives,
+                dtype,
+                features,
+            });
+            (
+                cand.rule.to_string(),
+                score,
+                cand.rule.token_length(),
+                cand.cluster_accuracy,
+            )
+        })
+        .collect();
+    scored.sort_by(|a, b| {
+        score_descending(a.1, b.1)
+            .then_with(|| a.2.cmp(&b.2))
+            .then_with(|| a.0.cmp(&b.0))
+    });
+    Some(
+        scored
+            .into_iter()
+            .map(|(rule, score, _, acc)| (rule, score.to_bits(), acc.to_bits()))
+            .collect(),
+    )
+}
+
+#[test]
+fn empty_negatives_spec_replays_the_historical_pipeline_bitwise() {
+    let mut checked = 0usize;
+    for seed in 0..25u64 {
+        let (cells, observed) = random_table(seed);
+        let Some(baseline) = historical_baseline(&cells, &observed) else {
+            continue;
+        };
+        for threads in [1usize, 4] {
+            let spec = LearnSpec::new(cells.clone(), observed.clone());
+            let (by_spec, by_learn) = with_threads(threads, || {
+                let cornet = Cornet::with_default_ranker();
+                (
+                    cornet.learn_spec(&spec).expect("learns"),
+                    cornet.learn(&cells, &observed).expect("learns"),
+                )
+            });
+            for outcome in [&by_spec, &by_learn] {
+                assert_eq!(outcome.candidates.len(), baseline.len(), "seed {seed}");
+                for (got, want) in outcome.candidates.iter().zip(&baseline) {
+                    assert_eq!(
+                        got.rule.to_string(),
+                        want.0,
+                        "seed {seed}, threads {threads}"
+                    );
+                    assert_eq!(
+                        got.score.to_bits(),
+                        want.1,
+                        "seed {seed}, threads {threads}, rule {}",
+                        want.0
+                    );
+                    assert_eq!(got.cluster_accuracy.to_bits(), want.2, "seed {seed}");
+                }
+            }
+            // The two entry points also agree on the run statistics.
+            assert_eq!(by_spec.stats.n_predicates, by_learn.stats.n_predicates);
+            assert_eq!(by_spec.stats.n_candidates, by_learn.stats.n_candidates);
+            assert_eq!(
+                by_spec.stats.cluster_iterations,
+                by_learn.stats.cluster_iterations
+            );
+        }
+        checked += 1;
+    }
+    assert!(checked >= 15, "too few learnable fixtures: {checked}");
+}
+
+/// Picks a hard negative for a seeded table: a non-observed cell the
+/// unconstrained best rule formats (i.e. a correction that actually
+/// contradicts the learner).
+fn pick_negative(cells: &[CellValue], observed: &[usize]) -> Option<usize> {
+    let cornet = Cornet::with_default_ranker();
+    let outcome = cornet.learn(cells, observed).ok()?;
+    let mask = outcome.best().rule.execute(cells);
+    let negative = mask.iter_ones().find(|i| !observed.contains(i));
+    negative
+}
+
+/// A fixture for the constrained ≡ filtered equalities: predicates plus
+/// the constrained clustering, and an "unconstrained view" of the same
+/// clustering — identical labels and weights, hard constraints cleared
+/// (the indices move to the soft-negative mask so the §3.3.2 weighting is
+/// untouched).
+struct SearchFixture {
+    cells: Vec<CellValue>,
+    negatives: Vec<usize>,
+    predicates: cornet_repro::core::predgen::PredicateSet,
+    constrained: ClusterOutcome,
+    unconstrained_view: ClusterOutcome,
+}
+
+impl SearchFixture {
+    fn build(seed: u64) -> Option<SearchFixture> {
+        Self::build_from(random_table(seed))
+    }
+
+    /// Small-column variant for the uncapped full-search equality.
+    fn build_small(seed: u64) -> Option<SearchFixture> {
+        Self::build_from(small_table(seed))
+    }
+
+    fn build_from((cells, observed): (Vec<CellValue>, Vec<usize>)) -> Option<SearchFixture> {
+        let negative = pick_negative(&cells, &observed)?;
+        let predicates = generate_predicates(&cells, &GenConfig::default());
+        let signatures = CellSignatures::from_predicates(&predicates);
+        let constrained = cluster_constrained(
+            &signatures,
+            &observed,
+            &[negative],
+            &ClusterConfig::default(),
+        );
+        let mut unconstrained_view = constrained.clone();
+        unconstrained_view.hard_negatives = BitVec::zeros(cells.len());
+        unconstrained_view.soft_negatives.set(negative, true);
+        Some(SearchFixture {
+            cells,
+            negatives: vec![negative],
+            predicates,
+            constrained,
+            unconstrained_view,
+        })
+    }
+
+    fn excludes_negatives(&self, candidate: &Candidate) -> bool {
+        let execution = candidate.rule.execute(&self.cells);
+        self.negatives.iter().all(|&i| !execution.get(i))
+    }
+}
+
+fn keys(candidates: &[Candidate]) -> Vec<(String, u64)> {
+    candidates
+        .iter()
+        .map(|c| (c.rule.to_string(), c.cluster_accuracy.to_bits()))
+        .collect()
+}
+
+#[test]
+fn constrained_enumeration_equals_filtered_enumeration() {
+    // max_rules is lifted so the cap cannot bind (a binding cap is the
+    // one legitimate divergence: the filtered run wastes budget on
+    // candidates the constrained run never admits).
+    let config = EnumConfig {
+        max_rules: 10_000,
+        ..EnumConfig::default()
+    };
+    let mut checked = 0usize;
+    for seed in 0..40u64 {
+        let Some(fixture) = SearchFixture::build(seed) else {
+            continue;
+        };
+        let constrained = enumerate_rules(&fixture.predicates, &fixture.constrained, &config);
+        let unconstrained =
+            enumerate_rules(&fixture.predicates, &fixture.unconstrained_view, &config);
+        let filtered: Vec<Candidate> = unconstrained
+            .into_iter()
+            .filter(|c| fixture.excludes_negatives(c))
+            .collect();
+        assert_eq!(
+            keys(&constrained),
+            keys(&filtered),
+            "seed {seed}: constrained enumeration diverged from filtered"
+        );
+        for c in &constrained {
+            assert!(fixture.excludes_negatives(c), "seed {seed}");
+        }
+        checked += 1;
+    }
+    assert!(checked >= 10, "too few constrained fixtures: {checked}");
+}
+
+/// Full-search budgets lifted far beyond what the test fixtures can
+/// reach: a *binding* budget is the one legitimate divergence between the
+/// constrained and filtered runs (the filtered run burns budget on
+/// candidates the constrained run never admits), and between thread
+/// counts (the PR 2 contract only promises subsequence semantics under a
+/// cap).
+fn unconstraining_search() -> FullSearchConfig {
+    FullSearchConfig {
+        max_depth: 2,
+        max_candidates: 1_000_000_000,
+        max_conjuncts: 1_000_000_000,
+        max_pair_evals: 1_000_000_000,
+        ..FullSearchConfig::default()
+    }
+}
+
+#[test]
+fn constrained_full_search_equals_filtered_full_search() {
+    let config = unconstraining_search();
+    let mut checked = 0usize;
+    for seed in 0..30u64 {
+        let Some(fixture) = SearchFixture::build_small(seed) else {
+            continue;
+        };
+        // Keep the quadratic pair stage tractable with budgets lifted.
+        if fixture.predicates.representatives.len() > 40 {
+            continue;
+        }
+        for threads in [1usize, 4] {
+            let constrained = with_threads(threads, || {
+                full_search(&fixture.predicates, &fixture.constrained, &config)
+            });
+            let unconstrained = with_threads(threads, || {
+                full_search(&fixture.predicates, &fixture.unconstrained_view, &config)
+            });
+            let filtered: Vec<Candidate> = unconstrained
+                .into_iter()
+                .filter(|c| fixture.excludes_negatives(c))
+                .collect();
+            assert_eq!(
+                keys(&constrained),
+                keys(&filtered),
+                "seed {seed}, threads {threads}"
+            );
+            for c in &constrained {
+                assert!(fixture.excludes_negatives(c), "seed {seed}");
+            }
+        }
+        checked += 1;
+    }
+    assert!(checked >= 3, "too few constrained fixtures: {checked}");
+}
+
+#[test]
+fn constrained_learn_is_thread_count_invariant_and_sound() {
+    for strategy in [SearchStrategy::Greedy, SearchStrategy::Exhaustive] {
+        let mut checked = 0usize;
+        for seed in 0..20u64 {
+            // Exhaustive runs need small columns: thread-count-identical
+            // output is only promised with unconstraining budgets (the
+            // PR 2 contract), and uncapped search must stay tractable.
+            let (cells, observed) = match strategy {
+                SearchStrategy::Greedy => random_table(seed),
+                SearchStrategy::Exhaustive => small_table(seed),
+            };
+            let Some(negative) = pick_negative(&cells, &observed) else {
+                continue;
+            };
+            let make_config = || {
+                let mut config = CornetConfig {
+                    strategy,
+                    ..CornetConfig::default()
+                };
+                config.full_search = unconstraining_search();
+                config
+            };
+            if strategy == SearchStrategy::Exhaustive {
+                let predicates = generate_predicates(&cells, &GenConfig::default());
+                if predicates.representatives.len() > 40 {
+                    continue;
+                }
+            }
+            let spec =
+                LearnSpec::new(cells.clone(), observed.clone()).with_negatives(vec![negative]);
+            let run = |threads: usize| {
+                with_threads(threads, || {
+                    let cornet = Cornet::new(make_config(), SymbolicRanker::heuristic());
+                    cornet.learn_spec(&spec).map(|outcome| {
+                        outcome
+                            .candidates
+                            .iter()
+                            .map(|c| (c.rule.to_string(), c.score.to_bits()))
+                            .collect::<Vec<_>>()
+                    })
+                })
+            };
+            let serial = run(1);
+            assert_eq!(serial, run(4), "seed {seed}, strategy {strategy:?}");
+            // Soundness: every returned candidate covers the positives and
+            // excludes the negative.
+            if let Ok(candidates) = &serial {
+                assert!(!candidates.is_empty());
+                let cornet = Cornet::new(make_config(), SymbolicRanker::heuristic());
+                let outcome = cornet.learn_spec(&spec).unwrap();
+                for cand in &outcome.candidates {
+                    let mask = cand.rule.execute(&cells);
+                    assert!(observed.iter().all(|&i| mask.get(i)), "seed {seed}");
+                    assert!(!mask.get(negative), "seed {seed}: {}", cand.rule);
+                }
+                checked += 1;
+            }
+        }
+        assert!(
+            checked >= 3,
+            "too few satisfiable constrained learns for {strategy:?}: {checked}"
+        );
+    }
+}

@@ -72,6 +72,7 @@ struct RankFixture {
     cells: Vec<CellValue>,
     cell_texts: Vec<String>,
     labels: BitVec,
+    no_negatives: BitVec,
     dtype: Option<DataType>,
     candidates: Vec<Candidate>,
     executions: Vec<(BitVec, [f64; FEATURE_DIM])>,
@@ -103,6 +104,7 @@ impl RankFixture {
             })
             .collect();
         Some(RankFixture {
+            no_negatives: BitVec::zeros(cells.len()),
             cells,
             cell_texts,
             labels: outcome.labels,
@@ -121,6 +123,7 @@ impl RankFixture {
                 cell_texts: &self.cell_texts,
                 execution,
                 cluster_labels: &self.labels,
+                negatives: &self.no_negatives,
                 dtype: self.dtype,
                 features: *features,
             })
