@@ -1,0 +1,167 @@
+//! Open-loop HTTP load harness: N concurrent keep-alive connections
+//! firing `/score` requests at a fixed target arrival rate against a
+//! real `cornet-serve` socket, reporting p50/p95/p99 latency and
+//! achieved requests/sec.
+//!
+//! Open loop means latency is measured from each request's *scheduled*
+//! arrival time, not from when the client got around to sending it — a
+//! slow server cannot hide queueing delay by slowing the generator down
+//! (coordinated omission). Each connection keeps its socket alive for
+//! the whole run, so the numbers exercise the keep-alive front-end, not
+//! connection setup.
+//!
+//! Knobs (environment):
+//! * `SERVE_LOAD_CONNS` — concurrent connections (default 8)
+//! * `SERVE_LOAD_RPS` — target aggregate arrival rate (default 400)
+//! * `SERVE_LOAD_REQUESTS` — total requests (default 2000)
+//! * `SERVE_LOAD_SMOKE=1` — short CI mode (4 conns, 200 req @ 200/s)
+//!
+//! Runs under `cargo bench -p cornet-bench --bench serve_load`; exits
+//! non-zero if any request fails, so CI's `serve-load-smoke` job
+//! exercises the whole client/server path on every push.
+
+use cornet_corpus::{generate_corpus_sharded, CorpusConfig};
+use cornet_serve::http::HttpClient;
+use cornet_serve::service::{CornetService, LearnRequest, ServiceConfig};
+use cornet_serve::{Server, ServerConfig};
+use cornet_table::CellValue;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// Percentile by nearest rank over a sorted slice.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+fn main() {
+    // Cargo passes `--bench` (and test-filter args); accept and ignore.
+    let smoke = std::env::var("SERVE_LOAD_SMOKE").is_ok_and(|v| v == "1");
+    let conns = env_usize("SERVE_LOAD_CONNS", if smoke { 4 } else { 8 });
+    let rps = env_usize("SERVE_LOAD_RPS", if smoke { 200 } else { 400 });
+    let total = env_usize("SERVE_LOAD_REQUESTS", if smoke { 200 } else { 2000 });
+
+    let dir = std::env::temp_dir().join(format!("cornet-serve-load-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let service = CornetService::new(&ServiceConfig {
+        store_dir: dir.clone(),
+        cache_capacity: 64,
+        ..ServiceConfig::default()
+    })
+    .expect("open store");
+
+    // Pre-learn a realistic corpus mix; the load is scoring stored rules
+    // (the bulk workload of a deployed service).
+    let corpus = generate_corpus_sharded(
+        &CorpusConfig {
+            seed: 0xBEEF,
+            n_tasks: 24,
+            ..CorpusConfig::default()
+        },
+        8,
+    );
+    let mut work: Vec<(String, String)> = Vec::new(); // (rule_id, cells json)
+    for task in &corpus.tasks {
+        let cells: Vec<String> = task.cells.iter().map(CellValue::display_string).collect();
+        let req = LearnRequest {
+            cells: cells.clone(),
+            examples: task.examples(3),
+            negatives: vec![],
+        };
+        if let Ok(learned) = service.learn(&req) {
+            let quoted: Vec<String> = cells.iter().map(|c| format!("{:?}", c)).collect();
+            work.push((learned.rule_id, format!("[{}]", quoted.join(","))));
+        }
+    }
+    assert!(!work.is_empty(), "no rules learned from the corpus");
+    let work = Arc::new(work);
+
+    let config = ServerConfig {
+        max_connections: conns + 16,
+        ..ServerConfig::from_env()
+    };
+    let server = Server::start_with("127.0.0.1:0", Arc::new(service), config).expect("bind");
+    let addr = server.addr();
+
+    println!(
+        "serve_load: {conns} keep-alive connections, target {rps} req/s, {total} requests{}",
+        if smoke { " (smoke mode)" } else { "" }
+    );
+
+    let start = Instant::now() + Duration::from_millis(50);
+    let per_request = Duration::from_secs_f64(1.0 / rps as f64);
+    let handles: Vec<_> = (0..conns)
+        .map(|t| {
+            let work = Arc::clone(&work);
+            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                let mut client =
+                    HttpClient::connect(addr).map_err(|e| format!("conn {t}: connect: {e}"))?;
+                let mut latencies = Vec::new();
+                let mut j = 0usize;
+                loop {
+                    // Global request index: connections interleave on the
+                    // shared schedule, so the aggregate arrival rate is
+                    // `rps` regardless of the connection count.
+                    let i = j * conns + t;
+                    if i >= total {
+                        return Ok(latencies);
+                    }
+                    let scheduled = start + per_request * i as u32;
+                    let now = Instant::now();
+                    if scheduled > now {
+                        std::thread::sleep(scheduled - now);
+                    }
+                    let (rule_id, cells) = &work[i % work.len()];
+                    let body = format!(r#"{{"rule_id":"{rule_id}","cells":{cells}}}"#);
+                    let response = client
+                        .request("POST", "/score", Some(&body))
+                        .map_err(|e| format!("conn {t} req {i}: {e}"))?;
+                    if response.status != 200 {
+                        return Err(format!("conn {t} req {i}: status {}", response.status));
+                    }
+                    let done = Instant::now();
+                    latencies.push(done.duration_since(scheduled).as_micros() as u64);
+                    j += 1;
+                }
+            })
+        })
+        .collect();
+
+    let mut all: Vec<u64> = Vec::with_capacity(total);
+    let mut failures = Vec::new();
+    for handle in handles {
+        match handle.join().expect("load thread panicked") {
+            Ok(lat) => all.extend(lat),
+            Err(e) => failures.push(e),
+        }
+    }
+    let elapsed = start.elapsed();
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("serve_load: FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+    assert_eq!(all.len(), total, "every scheduled request completed");
+    all.sort_unstable();
+    let achieved = all.len() as f64 / elapsed.as_secs_f64();
+    println!(
+        "serve_load: p50 {} µs · p95 {} µs · p99 {} µs · max {} µs · {:.0} req/s achieved",
+        percentile(&all, 50.0),
+        percentile(&all, 95.0),
+        percentile(&all, 99.0),
+        all.last().copied().unwrap_or(0),
+        achieved,
+    );
+}

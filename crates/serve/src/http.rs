@@ -1,10 +1,40 @@
-//! A minimal `std::net` HTTP/1.0 front-end over [`CornetService`].
+//! A keep-alive HTTP/1.1 front-end over [`CornetService`] built on
+//! `std::net`, designed for sustained concurrent traffic.
 //!
-//! Accepted connections land in a bounded queue drained by a fixed pool
-//! of worker threads (sized from [`cornet_pool::current_threads`]); each
-//! worker reads the request, routes it, and writes the JSON response,
-//! while `/batch` requests additionally fan their items onto
-//! `cornet-pool`. Every response body is a versioned envelope
+//! ## Architecture: continuous per-connection scheduling
+//!
+//! Three kinds of threads cooperate around a connection registry:
+//!
+//! * The **accept thread** enforces the hard connection cap: beyond
+//!   [`ServerConfig::max_connections`] live sockets, new connections are
+//!   shed with a clean `503` + `Retry-After` response (never a silent
+//!   drop). Admitted sockets are switched to non-blocking mode and handed
+//!   to the poller.
+//! * The **poller thread** owns every idle connection. It reads whatever
+//!   bytes have arrived into each connection's input buffer and hands the
+//!   connection to the worker queue the moment the buffer holds one
+//!   complete request (or a protocol error). An idle keep-alive socket
+//!   therefore never pins a worker — the old wave-dispatch design, where
+//!   a worker blocked on each socket's next request, is gone. The poller
+//!   also enforces the two timeouts: a per-request deadline (a partial
+//!   request must complete within [`ServerConfig::request_timeout`] —
+//!   slow-loris clients get a `408` and are dropped) and a keep-alive
+//!   idle timeout.
+//! * **Worker threads** pop ready connections, drain every complete
+//!   pipelined request from the buffer *in order* (responses are written
+//!   in arrival order, as HTTP/1.1 pipelining requires), then return the
+//!   connection to the poller. Heavy in-request parallelism (`/batch`)
+//!   still fans onto `cornet-pool`.
+//!
+//! ## Protocol subset
+//!
+//! Requests are framed by `Content-Length` (chunked transfer encoding is
+//! rejected with `400`). `HTTP/1.1` connections are keep-alive unless the
+//! client sends `Connection: close`; `HTTP/1.0` connections close unless
+//! the client sends `Connection: keep-alive`. Oversized bodies are
+//! rejected with `413`, malformed request lines and headers with `400`.
+//!
+//! Every response body is a versioned envelope
 //! (`{"v":1,"kind":<endpoint>,"payload":…}`); errors use kind `error`
 //! with `{"error":…,"status":…}`.
 //!
@@ -18,124 +48,233 @@
 //! | `GET /session/<id>` | — | `session` |
 //! | `POST /session/<id>/correct` | `{"format":[…]?,"unformat":[…]?}` | `session` |
 //! | `GET /rules/<id>` | — | `rule` |
+//! | `POST /admin/pack` | — | `pack` |
+//!
+//! Per-request structured logging goes through the [`RequestLog`] seam:
+//! method, path, status, handling latency in µs, and the connection id
+//! (so keep-alive reuse is visible in the log stream).
 
 use crate::service::{BatchItem, CornetService, LearnRequest, ScoreRequest, ServeError};
 use cornet_serde::{envelope, to_string, FromJson, Json, ToJson};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Header-section size cap.
-const MAX_HEAD: usize = 16 * 1024;
-/// Request-body size cap.
-const MAX_BODY: usize = 8 * 1024 * 1024;
-/// Per-connection socket timeout.
-const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
-/// Bound on queued-but-unserved connections; beyond it new connections
-/// are shed at accept time.
-const MAX_QUEUED: usize = 1024;
+pub const MAX_HEAD: usize = 16 * 1024;
+/// Request-body size cap (larger `Content-Length` values get a `413`).
+pub const MAX_BODY: usize = 8 * 1024 * 1024;
+/// How long the poller sleeps when no connection had activity.
+const POLL_TICK: Duration = Duration::from_micros(500);
+/// Per-tick read cap per connection, so one firehose client cannot
+/// starve the poll loop.
+const READ_BURST: usize = 64 * 1024;
+/// Socket timeout used by the bundled client helpers.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+// ---------------------------------------------------------------------------
+// Request parsing
+// ---------------------------------------------------------------------------
 
 /// A parsed request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Request {
     /// `GET`, `POST`, …
     pub method: String,
-    /// Path component (query strings are not used by this API).
+    /// Path component (query strings are stripped; this API ignores them).
     pub path: String,
     /// Raw body bytes as text.
     pub body: String,
+    /// Whether the connection stays open after the response
+    /// (`HTTP/1.1` default, overridable with a `Connection` header).
+    pub keep_alive: bool,
 }
 
-/// Reads one HTTP/1.x request from a stream.
+/// Outcome of one incremental parse attempt over a connection buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParseOutcome {
+    /// The buffer does not yet hold a complete request; read more bytes.
+    Incomplete,
+    /// One complete request, occupying the first `consumed` buffer bytes.
+    Ready {
+        /// The parsed request.
+        request: Request,
+        /// Bytes to drain from the front of the buffer.
+        consumed: usize,
+    },
+    /// A protocol violation; respond with `status` and close.
+    Bad {
+        /// `400` for malformed requests, `413` for oversized bodies.
+        status: u16,
+        /// Human-readable rejection reason.
+        message: String,
+    },
+}
+
+fn bad(status: u16, message: impl Into<String>) -> ParseOutcome {
+    ParseOutcome::Bad {
+        status,
+        message: message.into(),
+    }
+}
+
+/// Incrementally parses the first request out of `buf`.
 ///
-/// The whole request must arrive within the 10-second socket timeout:
-/// a per-`read` timeout alone would let a client trickling one byte per
-/// nine seconds hold its worker thread almost indefinitely.
-pub fn read_request(stream: &mut TcpStream) -> io::Result<Request> {
-    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-    let deadline = std::time::Instant::now() + SOCKET_TIMEOUT;
-    let check_deadline = move || {
-        if std::time::Instant::now() >= deadline {
-            Err(io::Error::new(
-                io::ErrorKind::TimedOut,
-                "request read exceeded the per-request deadline",
-            ))
-        } else {
-            Ok(())
+/// Pure function of the buffer: callers re-invoke it as bytes arrive
+/// (`Incomplete`), after draining a request (`Ready` — pipelined requests
+/// are parsed strictly in arrival order), or to learn the rejection
+/// status (`Bad`). The head must be UTF-8 and under [`MAX_HEAD`] bytes;
+/// bodies are framed by `Content-Length` and capped at [`MAX_BODY`].
+pub fn parse_request(buf: &[u8]) -> ParseOutcome {
+    let head_end = match find_head_end(buf) {
+        Some(i) => i,
+        None => {
+            return if buf.len() > MAX_HEAD {
+                bad(400, "request head too large")
+            } else {
+                ParseOutcome::Incomplete
+            };
         }
     };
-    let mut head = Vec::new();
-    let mut byte = [0u8; 1];
-    // Read byte-at-a-time until CRLFCRLF; request heads are tiny and this
-    // keeps the parser trivially correct about not over-reading the body.
-    while !head.ends_with(b"\r\n\r\n") {
-        if head.len() >= MAX_HEAD {
-            return Err(bad("request head too large"));
-        }
-        check_deadline()?;
-        match stream.read(&mut byte)? {
-            0 => return Err(bad("connection closed mid-head")),
-            _ => head.push(byte[0]),
-        }
+    if head_end > MAX_HEAD {
+        return bad(400, "request head too large");
     }
-    let head = String::from_utf8(head).map_err(|_| bad("non-UTF-8 request head"))?;
+    let head = match std::str::from_utf8(&buf[..head_end]) {
+        Ok(h) => h,
+        Err(_) => return bad(400, "non-UTF-8 request head"),
+    };
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or_default();
-    let mut parts = request_line.split_whitespace();
-    let method = parts
-        .next()
-        .ok_or_else(|| bad("missing method"))?
-        .to_string();
-    let target = parts.next().ok_or_else(|| bad("missing request target"))?;
-    let path = target.split('?').next().unwrap_or(target).to_string();
+    let parts: Vec<&str> = request_line.split(' ').collect();
+    let [method, target, version] = parts.as_slice() else {
+        return bad(400, format!("malformed request line `{request_line}`"));
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_graphic()) {
+        return bad(400, format!("malformed method in `{request_line}`"));
+    }
+    if target.is_empty() {
+        return bad(400, "empty request target");
+    }
+    let http11 = match *version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => return bad(400, format!("unsupported protocol version `{other}`")),
+    };
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
+    let mut keep_alive = http11;
     for line in lines {
-        if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| bad("invalid Content-Length"))?;
+        if line.is_empty() {
+            continue;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return bad(400, format!("malformed header line `{line}`"));
+        };
+        if name.is_empty() || name.contains(' ') || name.contains('\t') {
+            return bad(400, format!("malformed header name `{name}`"));
+        }
+        let value = value.trim();
+        if name.eq_ignore_ascii_case("content-length") {
+            let parsed: usize = match value.parse() {
+                Ok(n) => n,
+                Err(_) => return bad(400, format!("invalid Content-Length `{value}`")),
+            };
+            if let Some(prev) = content_length {
+                if prev != parsed {
+                    return bad(400, "conflicting Content-Length headers");
+                }
+            }
+            content_length = Some(parsed);
+        } else if name.eq_ignore_ascii_case("transfer-encoding") {
+            return bad(400, "transfer encodings are not supported");
+        } else if name.eq_ignore_ascii_case("connection") {
+            for token in value.split(',') {
+                let token = token.trim();
+                if token.eq_ignore_ascii_case("close") {
+                    keep_alive = false;
+                } else if token.eq_ignore_ascii_case("keep-alive") {
+                    keep_alive = true;
+                }
             }
         }
     }
+
+    let content_length = content_length.unwrap_or(0);
     if content_length > MAX_BODY {
-        return Err(bad("request body too large"));
+        return bad(413, "request body too large");
     }
-    let mut body = vec![0u8; content_length];
-    let mut filled = 0;
-    while filled < content_length {
-        check_deadline()?;
-        match stream.read(&mut body[filled..])? {
-            0 => return Err(bad("connection closed mid-body")),
-            n => filled += n,
-        }
+    let body_start = head_end + 4;
+    let total = body_start + content_length;
+    if buf.len() < total {
+        return ParseOutcome::Incomplete;
     }
-    let body = String::from_utf8(body).map_err(|_| bad("non-UTF-8 request body"))?;
-    Ok(Request { method, path, body })
+    let body = match std::str::from_utf8(&buf[body_start..total]) {
+        Ok(b) => b.to_string(),
+        Err(_) => return bad(400, "non-UTF-8 request body"),
+    };
+    ParseOutcome::Ready {
+        request: Request {
+            method: method.to_string(),
+            path: target.split('?').next().unwrap_or(target).to_string(),
+            body,
+            keep_alive,
+        },
+        consumed: total,
+    }
 }
 
-/// Writes an HTTP/1.0 response with a JSON body.
-pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
-    let reason = match status {
+/// Index of the `\r\n\r\n` head terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+fn reason(status: u16) -> &'static str {
+    match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
         422 => "Unprocessable Entity",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
-    };
+    }
+}
+
+/// Writes an HTTP/1.1 response with a JSON body. `retry_after` adds a
+/// `Retry-After` header (load-shedding responses carry one).
+fn respond(
+    stream: &mut impl Write,
+    status: u16,
+    body: &str,
+    close: bool,
+    retry_after: Option<u32>,
+) -> io::Result<()> {
+    let connection = if close { "close" } else { "keep-alive" };
+    let retry = retry_after.map_or(String::new(), |secs| format!("Retry-After: {secs}\r\n"));
     let head = format!(
-        "HTTP/1.0 {status} {reason}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: {connection}\r\n\r\n",
+        reason(status),
         body.len()
     );
     stream.write_all(head.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
+}
+
+/// Writes a closing HTTP/1.1 response with a JSON body (the one-shot
+/// compatibility surface; the server's keep-alive path uses the richer
+/// internal writer).
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    respond(stream, status, body, true, None)
 }
 
 fn error_body(status: u16, message: &str) -> String {
@@ -151,6 +290,10 @@ fn error_body(status: u16, message: &str) -> String {
 fn ok_body(kind: &str, payload: Json) -> String {
     to_string(&envelope(kind, payload))
 }
+
+// ---------------------------------------------------------------------------
+// Routing
+// ---------------------------------------------------------------------------
 
 fn parse_body(body: &str) -> Result<Json, ServeError> {
     cornet_serde::parse(body).map_err(|e| ServeError::BadRequest(format!("invalid JSON: {e}")))
@@ -225,6 +368,10 @@ fn handle(service: &CornetService, request: &Request) -> Result<(&'static str, J
             ))
         }
         ("GET", ["rules", id]) => Ok(("rule", service.rule(id)?.to_json())),
+        ("POST", ["admin", "pack"]) => {
+            let packed = service.pack_rules()?;
+            Ok(("pack", Json::object([("packed", packed.to_json())])))
+        }
         (_, _) => Err(ServeError::NotFound(format!(
             "no route for {} {}",
             request.method, request.path
@@ -232,88 +379,415 @@ fn handle(service: &CornetService, request: &Request) -> Result<(&'static str, J
     }
 }
 
-struct ConnectionQueue {
-    items: Mutex<VecDeque<TcpStream>>,
-    ready: Condvar,
+// ---------------------------------------------------------------------------
+// Request logging
+// ---------------------------------------------------------------------------
+
+/// One served request, as seen by the [`RequestLog`] seam.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestRecord {
+    /// Server-assigned connection id (stable across keep-alive reuse).
+    pub conn: u64,
+    /// Request method (`-` for protocol errors rejected before parsing).
+    pub method: String,
+    /// Request path (`-` for protocol errors rejected before parsing).
+    pub path: String,
+    /// Response status.
+    pub status: u16,
+    /// Handling latency in microseconds (routing + response write).
+    pub micros: u64,
 }
 
-/// A running HTTP server: an accept thread feeding a bounded connection
-/// queue drained by a fixed pool of worker threads.
-///
-/// The worker count comes from [`cornet_pool::current_threads`] (min 2,
-/// so one slow request can never serialize the server); workers block on
-/// the queue's condvar and each handles one connection at a time, so a
-/// slow request occupies exactly one worker and everything else keeps
-/// flowing. Heavy *in-request* parallelism (the `/batch` fan-out) still
-/// runs on `cornet-pool`.
+/// Structured per-request logging seam. Implementations must be cheap
+/// and non-blocking — the record is emitted on the worker thread that
+/// served the request.
+pub trait RequestLog: Send + Sync {
+    /// Called once per served request (including protocol errors).
+    fn record(&self, record: &RequestRecord);
+}
+
+/// Discards every record (the default for embedded/test servers).
+#[derive(Debug, Default)]
+pub struct NullLog;
+
+impl RequestLog for NullLog {
+    fn record(&self, _record: &RequestRecord) {}
+}
+
+/// Writes one structured line per request to stderr (the binary's
+/// default): `request conn=3 method=POST path=/learn status=200 us=512`.
+#[derive(Debug, Default)]
+pub struct StderrLog;
+
+impl RequestLog for StderrLog {
+    fn record(&self, r: &RequestRecord) {
+        eprintln!(
+            "request conn={} method={} path={} status={} us={}",
+            r.conn, r.method, r.path, r.status, r.micros
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+/// Server tuning knobs. [`ServerConfig::from_env`] reads the
+/// `CORNET_MAX_CONNS`, `CORNET_KEEP_ALIVE_SECS`,
+/// `CORNET_REQUEST_TIMEOUT_SECS` and `CORNET_HTTP_WORKERS` environment
+/// variables on top of these defaults.
+#[derive(Clone)]
+pub struct ServerConfig {
+    /// Hard cap on live connections; beyond it the accept thread sheds
+    /// new sockets with `503` + `Retry-After`.
+    pub max_connections: usize,
+    /// How long an idle keep-alive connection may sit between requests.
+    pub keep_alive: Duration,
+    /// Deadline for one request to arrive completely once its first byte
+    /// has been read (the slow-loris bound) — also the response write
+    /// timeout.
+    pub request_timeout: Duration,
+    /// Worker-thread count; `0` sizes from `cornet_pool::current_threads`
+    /// (clamped to 2..=16).
+    pub workers: usize,
+    /// Per-request logging seam.
+    pub log: Arc<dyn RequestLog>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 256,
+            keep_alive: Duration::from_secs(10),
+            request_timeout: Duration::from_secs(10),
+            workers: 0,
+            log: Arc::new(NullLog),
+        }
+    }
+}
+
+impl std::fmt::Debug for ServerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerConfig")
+            .field("max_connections", &self.max_connections)
+            .field("keep_alive", &self.keep_alive)
+            .field("request_timeout", &self.request_timeout)
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServerConfig {
+    /// Defaults overridden by the `CORNET_MAX_CONNS`,
+    /// `CORNET_KEEP_ALIVE_SECS`, `CORNET_REQUEST_TIMEOUT_SECS` and
+    /// `CORNET_HTTP_WORKERS` environment variables (invalid values are
+    /// ignored).
+    pub fn from_env() -> ServerConfig {
+        fn env_parse<T: std::str::FromStr>(name: &str) -> Option<T> {
+            std::env::var(name).ok().and_then(|v| v.parse().ok())
+        }
+        let mut config = ServerConfig::default();
+        if let Some(n) = env_parse::<usize>("CORNET_MAX_CONNS") {
+            config.max_connections = n.max(1);
+        }
+        if let Some(secs) = env_parse::<u64>("CORNET_KEEP_ALIVE_SECS") {
+            config.keep_alive = Duration::from_secs(secs.max(1));
+        }
+        if let Some(secs) = env_parse::<u64>("CORNET_REQUEST_TIMEOUT_SECS") {
+            config.request_timeout = Duration::from_secs(secs.max(1));
+        }
+        if let Some(n) = env_parse::<usize>("CORNET_HTTP_WORKERS") {
+            config.workers = n;
+        }
+        config
+    }
+}
+
+/// Decrements the live-connection counter when a connection dies,
+/// however it dies — the accept thread's cap check reads this counter.
+struct ConnPermit(Arc<AtomicUsize>);
+
+impl Drop for ConnPermit {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One live connection: the socket plus its unparsed input bytes.
+struct Conn {
+    id: u64,
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// Set while a partial request sits in `buf` (the slow-loris clock).
+    started: Option<Instant>,
+    /// Last time the connection went idle (the keep-alive clock).
+    idle_since: Instant,
+    _permit: ConnPermit,
+}
+
+/// State shared between the accept thread, the poller and the workers.
+struct Shared {
+    stop: AtomicBool,
+    /// Connections with a complete request buffered, awaiting a worker.
+    ready: Mutex<VecDeque<Conn>>,
+    ready_cv: Condvar,
+    /// Connections handed back to the poller (newly accepted or drained).
+    returned: Mutex<Vec<Conn>>,
+}
+
+/// What the poller decided about one idle connection this tick.
+enum PollVerdict {
+    Idle,
+    Dispatch,
+    Drop,
+}
+
+fn poll_conn(conn: &mut Conn, config: &ServerConfig) -> PollVerdict {
+    let mut chunk = [0u8; 4096];
+    let mut read = 0usize;
+    loop {
+        match conn.stream.read(&mut chunk) {
+            // A peer close with a partial request pending is a
+            // mid-request disconnect; either way the connection is done.
+            Ok(0) => return PollVerdict::Drop,
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                read += n;
+                if read >= READ_BURST {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return PollVerdict::Drop,
+        }
+    }
+    if read > 0 && conn.started.is_none() {
+        conn.started = Some(Instant::now());
+    }
+    if !conn.buf.is_empty() {
+        match parse_request(&conn.buf) {
+            ParseOutcome::Incomplete => {
+                if let Some(t0) = conn.started {
+                    if t0.elapsed() > config.request_timeout {
+                        // Slow loris: the request never completed. Tell
+                        // the client (best effort on the non-blocking
+                        // socket) and reclaim the connection.
+                        let body = error_body(408, "request did not complete in time");
+                        let _ = respond(&mut conn.stream, 408, &body, true, None);
+                        config.log.record(&RequestRecord {
+                            conn: conn.id,
+                            method: "-".into(),
+                            path: "-".into(),
+                            status: 408,
+                            micros: 0,
+                        });
+                        return PollVerdict::Drop;
+                    }
+                }
+                PollVerdict::Idle
+            }
+            _ => PollVerdict::Dispatch,
+        }
+    } else if conn.idle_since.elapsed() > config.keep_alive {
+        PollVerdict::Drop
+    } else {
+        PollVerdict::Idle
+    }
+}
+
+/// Drains every complete pipelined request buffered on `conn`, in order,
+/// then returns the connection to the poller (or drops it on
+/// close/error). Runs on a worker thread with the socket in blocking
+/// mode for the response writes.
+fn serve_ready(mut conn: Conn, service: &CornetService, config: &ServerConfig, shared: &Shared) {
+    if conn.stream.set_nonblocking(false).is_err() {
+        return;
+    }
+    let _ = conn.stream.set_write_timeout(Some(config.request_timeout));
+    loop {
+        match parse_request(&conn.buf) {
+            ParseOutcome::Ready { request, consumed } => {
+                conn.buf.drain(..consumed);
+                let t0 = Instant::now();
+                let (status, body) = route(service, &request);
+                let close = !request.keep_alive;
+                let wrote = respond(&mut conn.stream, status, &body, close, None);
+                config.log.record(&RequestRecord {
+                    conn: conn.id,
+                    method: request.method,
+                    path: request.path,
+                    status,
+                    micros: t0.elapsed().as_micros() as u64,
+                });
+                if wrote.is_err() || close {
+                    return;
+                }
+            }
+            ParseOutcome::Bad { status, message } => {
+                let body = error_body(status, &message);
+                let _ = respond(&mut conn.stream, status, &body, true, None);
+                config.log.record(&RequestRecord {
+                    conn: conn.id,
+                    method: "-".into(),
+                    path: "-".into(),
+                    status,
+                    micros: 0,
+                });
+                return;
+            }
+            ParseOutcome::Incomplete => break,
+        }
+    }
+    conn.started = if conn.buf.is_empty() {
+        None
+    } else {
+        Some(Instant::now())
+    };
+    conn.idle_since = Instant::now();
+    if conn.stream.set_nonblocking(true).is_ok() {
+        shared.returned.lock().unwrap().push(conn);
+    }
+}
+
+/// Sheds one over-cap connection with a `503` + `Retry-After` (on the
+/// accept thread, bounded by a short write timeout).
+fn shed(mut stream: TcpStream) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let body = error_body(503, "server at connection capacity, retry shortly");
+    let _ = respond(&mut stream, 503, &body, true, Some(1));
+}
+
+/// A running HTTP server; see the module docs for the thread layout.
 pub struct Server {
     addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    queue: Arc<ConnectionQueue>,
+    shared: Arc<Shared>,
+    live: Arc<AtomicUsize>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    poller_thread: Option<std::thread::JoinHandle<()>>,
     worker_threads: Vec<std::thread::JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving
-    /// `service` until [`Server::shutdown`] (or drop).
+    /// Binds `addr` (use port 0 for an ephemeral port) and serves
+    /// `service` with [`ServerConfig::from_env`] until
+    /// [`Server::shutdown`] (or drop).
     pub fn start(addr: &str, service: Arc<CornetService>) -> io::Result<Server> {
+        Server::start_with(addr, service, ServerConfig::from_env())
+    }
+
+    /// [`Server::start`] with explicit tuning knobs.
+    pub fn start_with(
+        addr: &str,
+        service: Arc<CornetService>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let queue = Arc::new(ConnectionQueue {
-            items: Mutex::new(VecDeque::new()),
-            ready: Condvar::new(),
+        let shared = Arc::new(Shared {
+            stop: AtomicBool::new(false),
+            ready: Mutex::new(VecDeque::new()),
+            ready_cv: Condvar::new(),
+            returned: Mutex::new(Vec::new()),
         });
+        let live = Arc::new(AtomicUsize::new(0));
 
         let accept_thread = {
-            let stop = Arc::clone(&stop);
-            let queue = Arc::clone(&queue);
+            let shared = Arc::clone(&shared);
+            let live = Arc::clone(&live);
+            let config = config.clone();
             std::thread::spawn(move || {
+                let next_id = AtomicU64::new(1);
                 for stream in listener.incoming() {
-                    if stop.load(Ordering::SeqCst) {
+                    if shared.stop.load(Ordering::SeqCst) {
                         break;
                     }
-                    match stream {
-                        Ok(stream) => {
-                            // Backpressure: beyond the queue bound the
-                            // connection is dropped immediately (the
-                            // client sees a reset) instead of holding an
-                            // fd that will only time out later.
-                            let mut items = queue.items.lock().unwrap();
-                            if items.len() < MAX_QUEUED {
-                                items.push_back(stream);
-                                drop(items);
-                                queue.ready.notify_one();
+                    let Ok(stream) = stream else {
+                        // Typically fd exhaustion; back off instead of
+                        // spinning accept→error at full CPU.
+                        std::thread::sleep(Duration::from_millis(20));
+                        continue;
+                    };
+                    if live.load(Ordering::SeqCst) >= config.max_connections {
+                        shed(stream);
+                        continue;
+                    }
+                    live.fetch_add(1, Ordering::SeqCst);
+                    let permit = ConnPermit(Arc::clone(&live));
+                    if stream.set_nonblocking(true).is_err() {
+                        continue; // permit drop restores the count
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let conn = Conn {
+                        id: next_id.fetch_add(1, Ordering::Relaxed),
+                        stream,
+                        buf: Vec::new(),
+                        started: None,
+                        idle_since: Instant::now(),
+                        _permit: permit,
+                    };
+                    shared.returned.lock().unwrap().push(conn);
+                }
+            })
+        };
+
+        let poller_thread = {
+            let shared = Arc::clone(&shared);
+            let config = config.clone();
+            std::thread::spawn(move || {
+                let mut idle: Vec<Conn> = Vec::new();
+                loop {
+                    if shared.stop.load(Ordering::SeqCst) {
+                        break; // drops every idle connection
+                    }
+                    idle.append(&mut shared.returned.lock().unwrap());
+                    let mut activity = false;
+                    let mut still_idle = Vec::with_capacity(idle.len());
+                    for mut conn in idle.drain(..) {
+                        match poll_conn(&mut conn, &config) {
+                            PollVerdict::Idle => still_idle.push(conn),
+                            PollVerdict::Dispatch => {
+                                shared.ready.lock().unwrap().push_back(conn);
+                                shared.ready_cv.notify_one();
+                                activity = true;
                             }
+                            PollVerdict::Drop => activity = true,
                         }
-                        Err(_) => {
-                            // Typically fd exhaustion; back off instead
-                            // of spinning accept→error at full CPU.
-                            std::thread::sleep(Duration::from_millis(20));
-                        }
+                    }
+                    idle = still_idle;
+                    if !activity {
+                        std::thread::sleep(POLL_TICK);
                     }
                 }
             })
         };
 
-        let workers = cornet_pool::current_threads().clamp(2, 16);
+        let workers = if config.workers > 0 {
+            config.workers
+        } else {
+            cornet_pool::current_threads().clamp(2, 16)
+        };
         let worker_threads = (0..workers)
             .map(|_| {
-                let stop = Arc::clone(&stop);
-                let queue = Arc::clone(&queue);
+                let shared = Arc::clone(&shared);
                 let service = Arc::clone(&service);
+                let config = config.clone();
                 std::thread::spawn(move || loop {
                     let next = {
-                        let mut items = queue.items.lock().unwrap();
-                        while items.is_empty() && !stop.load(Ordering::SeqCst) {
-                            items = queue.ready.wait(items).unwrap();
+                        let mut ready = shared.ready.lock().unwrap();
+                        loop {
+                            if let Some(conn) = ready.pop_front() {
+                                break Some(conn);
+                            }
+                            if shared.stop.load(Ordering::SeqCst) {
+                                break None;
+                            }
+                            ready = shared.ready_cv.wait(ready).unwrap();
                         }
-                        items.pop_front()
                     };
                     match next {
-                        Some(mut stream) => handle_connection(&mut stream, &service),
-                        None => break, // empty queue + stop flag
+                        Some(conn) => serve_ready(conn, &service, &config, &shared),
+                        None => break,
                     }
                 })
             })
@@ -321,9 +795,10 @@ impl Server {
 
         Ok(Server {
             addr,
-            stop,
-            queue,
+            shared,
+            live,
             accept_thread: Some(accept_thread),
+            poller_thread: Some(poller_thread),
             worker_threads,
         })
     }
@@ -333,9 +808,15 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting, drains the queue, and joins the worker threads.
+    /// Number of currently live connections (idle keep-alive sockets
+    /// included) — the quantity the accept-time cap is enforced against.
+    pub fn live_connections(&self) -> usize {
+        self.live.load(Ordering::SeqCst)
+    }
+
+    /// Stops accepting, drops idle connections, and joins every thread.
     pub fn shutdown(&mut self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
             return;
         }
         // Unblock the accept loop with a wake-up connection. A wildcard
@@ -349,13 +830,19 @@ impl Server {
             });
         }
         let _ = TcpStream::connect(wake);
-        self.queue.ready.notify_all();
+        self.shared.ready_cv.notify_all();
         if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.poller_thread.take() {
             let _ = t.join();
         }
         for t in self.worker_threads.drain(..) {
             let _ = t.join();
         }
+        // Connections parked in the ready queue die with the server.
+        self.shared.ready.lock().unwrap().clear();
+        self.shared.returned.lock().unwrap().clear();
     }
 }
 
@@ -365,22 +852,142 @@ impl Drop for Server {
     }
 }
 
-fn handle_connection(stream: &mut TcpStream, service: &CornetService) {
-    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
-    match read_request(stream) {
-        Ok(request) => {
-            let (status, body) = route(service, &request);
-            let _ = write_response(stream, status, &body);
-        }
-        Err(e) => {
-            let _ = write_response(stream, 400, &error_body(400, &e.to_string()));
-        }
+// ---------------------------------------------------------------------------
+// Client helpers
+// ---------------------------------------------------------------------------
+
+/// Serializes one request the way the bundled clients send it (HTTP/1.1,
+/// length-framed body, explicit `Connection` header). Also the input
+/// side of the conformance suite's serialize→parse round-trips.
+pub fn encode_request(method: &str, path: &str, body: Option<&str>, close: bool) -> String {
+    let body = body.unwrap_or("");
+    let connection = if close { "close" } else { "keep-alive" };
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: cornet\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+/// One parsed response from the bundled clients.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code.
+    pub status: u16,
+    /// Response headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Decoded JSON body.
+    pub body: Json,
+}
+
+impl HttpResponse {
+    /// First header value with the given (case-insensitive) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
     }
 }
 
-/// A minimal blocking HTTP client for tests, the smoke driver and
-/// scripts: sends one request, returns `(status, envelope)`.
+/// Reads exactly one `Content-Length`-framed response from `stream`
+/// without over-reading into the next pipelined response.
+pub fn read_response(stream: &mut TcpStream) -> io::Result<HttpResponse> {
+    let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    // Byte-at-a-time keeps the reader trivially correct about framing;
+    // response heads are tiny.
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() > MAX_HEAD {
+            return Err(invalid("response head too large"));
+        }
+        match stream.read(&mut byte)? {
+            0 => return Err(invalid("connection closed mid-response")),
+            _ => head.push(byte[0]),
+        }
+    }
+    let head = String::from_utf8(head).map_err(|_| invalid("non-UTF-8 response head"))?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("missing response status"))?;
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| invalid("bad Content-Length"))?;
+            }
+            headers.push((name, value));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    let mut filled = 0;
+    while filled < content_length {
+        match stream.read(&mut body[filled..])? {
+            0 => return Err(invalid("connection closed mid-body")),
+            n => filled += n,
+        }
+    }
+    let text = String::from_utf8(body).map_err(|_| invalid("non-UTF-8 response body"))?;
+    let body =
+        cornet_serde::parse(&text).map_err(|e| invalid(&format!("bad JSON response body: {e}")))?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// A blocking keep-alive HTTP/1.1 client: many requests over one socket.
+/// Used by the load harness, the conformance suite and the smoke driver.
+pub struct HttpClient {
+    stream: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects with the standard client timeouts and `TCP_NODELAY`.
+    pub fn connect(addr: SocketAddr) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+        stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+        let _ = stream.set_nodelay(true);
+        Ok(HttpClient { stream })
+    }
+
+    /// Sends one keep-alive request and reads its response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        self.stream
+            .write_all(encode_request(method, path, body, false).as_bytes())?;
+        self.stream.flush()?;
+        read_response(&mut self.stream)
+    }
+
+    /// Writes raw bytes (for pipelining and protocol-error tests).
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Reads one framed response (pair with [`HttpClient::send_raw`]).
+    pub fn read_one(&mut self) -> io::Result<HttpResponse> {
+        read_response(&mut self.stream)
+    }
+}
+
+/// A minimal one-shot blocking client for tests, the smoke driver and
+/// scripts: sends one HTTP/1.1 request with `Connection: close`, returns
+/// `(status, envelope)`.
 pub fn http_request(
     addr: SocketAddr,
     method: &str,
@@ -388,32 +995,12 @@ pub fn http_request(
     body: Option<&str>,
 ) -> io::Result<(u16, Json)> {
     let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(SOCKET_TIMEOUT))?;
-    stream.set_write_timeout(Some(SOCKET_TIMEOUT))?;
-    let body = body.unwrap_or("");
-    let head = format!(
-        "{method} {path} HTTP/1.0\r\nHost: cornet\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.write_all(encode_request(method, path, body, true).as_bytes())?;
     stream.flush()?;
-
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw)?;
-    let text = String::from_utf8(raw)
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response"))?;
-    let (head, payload) = text
-        .split_once("\r\n\r\n")
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed response"))?;
-    let status: u16 = head
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing status"))?;
-    let doc = cornet_serde::parse(payload)
-        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad JSON body: {e}")))?;
-    Ok((status, doc))
+    let response = read_response(&mut stream)?;
+    Ok((response.status, response.body))
 }
 
 #[cfg(test)]
@@ -471,12 +1058,12 @@ mod tests {
     #[test]
     fn a_slow_client_does_not_block_other_requests() {
         let (mut server, dir) = temp_server("slow-client");
-        // A client that opens a connection, sends half a request head
-        // and then stalls: it occupies one worker until the deadline.
+        // A client that opens a connection, sends half a request head and
+        // then stalls. Under continuous scheduling it sits in the poller
+        // and occupies no worker at all.
         let mut slow = TcpStream::connect(server.addr()).unwrap();
-        slow.write_all(b"POST /learn HTTP/1.0\r\nContent-").unwrap();
-        std::thread::sleep(Duration::from_millis(50)); // let a worker pick it up
-                                                       // Other clients must still be served promptly meanwhile.
+        slow.write_all(b"POST /learn HTTP/1.1\r\nContent-").unwrap();
+        std::thread::sleep(Duration::from_millis(50));
         let started = std::time::Instant::now();
         let (status, _) = http_request(server.addr(), "GET", "/health", None).unwrap();
         assert_eq!(status, 200);
@@ -515,5 +1102,96 @@ mod tests {
         assert_eq!(status, 404);
         server.shutdown();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn keep_alive_socket_serves_many_requests() {
+        let (mut server, dir) = temp_server("keep-alive");
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        for _ in 0..4 {
+            let response = client.request("GET", "/health", None).unwrap();
+            assert_eq!(response.status, 200);
+            assert_eq!(response.header("connection"), Some("keep-alive"));
+        }
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn parser_covers_framing_and_connection_semantics() {
+        // Incremental completion: every prefix is Incomplete.
+        let wire = encode_request("POST", "/learn", Some(r#"{"x":1}"#), false);
+        let bytes = wire.as_bytes();
+        for cut in 0..bytes.len() {
+            assert_eq!(
+                parse_request(&bytes[..cut]),
+                ParseOutcome::Incomplete,
+                "cut at {cut}"
+            );
+        }
+        match parse_request(bytes) {
+            ParseOutcome::Ready { request, consumed } => {
+                assert_eq!(consumed, bytes.len());
+                assert_eq!(request.method, "POST");
+                assert_eq!(request.path, "/learn");
+                assert_eq!(request.body, r#"{"x":1}"#);
+                assert!(request.keep_alive);
+            }
+            other => panic!("{other:?}"),
+        }
+
+        // HTTP/1.0 defaults to close, 1.1 to keep-alive; explicit
+        // Connection headers override both.
+        let old = b"GET /health HTTP/1.0\r\n\r\n";
+        match parse_request(old) {
+            ParseOutcome::Ready { request, .. } => assert!(!request.keep_alive),
+            other => panic!("{other:?}"),
+        }
+        let old_keep = b"GET /health HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        match parse_request(old_keep) {
+            ParseOutcome::Ready { request, .. } => assert!(request.keep_alive),
+            other => panic!("{other:?}"),
+        }
+        let close = encode_request("GET", "/health", None, true);
+        match parse_request(close.as_bytes()) {
+            ParseOutcome::Ready { request, .. } => assert!(!request.keep_alive),
+            other => panic!("{other:?}"),
+        }
+
+        // Query strings are stripped from the path.
+        let query = b"GET /health?verbose=1 HTTP/1.1\r\n\r\n";
+        match parse_request(query) {
+            ParseOutcome::Ready { request, .. } => assert_eq!(request.path, "/health"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_rejections_carry_the_right_status() {
+        let cases: &[(&[u8], u16)] = &[
+            (b"GARBAGE\r\n\r\n", 400),
+            (b"GET /x HTTP/2.0\r\n\r\n", 400),
+            (b"GET  /x HTTP/1.1\r\n\r\n", 400),
+            (b"GET /x HTTP/1.1\r\nNoColonHere\r\n\r\n", 400),
+            (b"GET /x HTTP/1.1\r\nBad Name: v\r\n\r\n", 400),
+            (b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 400),
+            (
+                b"GET /x HTTP/1.1\r\nContent-Length: 1\r\nContent-Length: 2\r\n\r\n",
+                400,
+            ),
+            (
+                b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                400,
+            ),
+            (b"POST /x HTTP/1.1\r\nContent-Length: 9000000\r\n\r\n", 413),
+        ];
+        for (wire, want) in cases {
+            match parse_request(wire) {
+                ParseOutcome::Bad { status, .. } => {
+                    assert_eq!(status, *want, "{:?}", String::from_utf8_lossy(wire))
+                }
+                other => panic!("{:?} → {other:?}", String::from_utf8_lossy(wire)),
+            }
+        }
     }
 }

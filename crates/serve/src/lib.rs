@@ -3,22 +3,27 @@
 //! The ROADMAP's north star is a production-scale rule-formatting
 //! service; this crate is the serving layer over the learner core:
 //!
-//! * [`store`] — a persistent rule store: one
-//!   `{"v":1,"kind":"stored-rule",…}` JSON file per learned rule
-//!   (`cornet_serde` envelopes), fronted by an in-memory LRU. Rule ids
-//!   are content fingerprints of the learn request, so an identical
-//!   request — in this process or after a restart — is answered from the
-//!   store without re-learning.
+//! * [`store`] — a persistent rule store: hot rules live as one
+//!   `{"v":1,"kind":"stored-rule",…}` JSON file each (`cornet_serde`
+//!   envelopes), cold rules are packed into append-only segment files
+//!   with an in-memory index ([`store::RuleStore::pack`]), all fronted
+//!   by an in-memory LRU. Rule ids are content fingerprints of the
+//!   learn request, so an identical request — in this process or after
+//!   a restart — is answered from the store without re-learning.
 //! * [`service`] — the transport-independent service:
 //!   [`service::CornetService`] exposes `learn` (examples in → rule out),
 //!   `score` (rule + rows in → labels out), `batch` (fanned onto
 //!   `cornet-pool`) and the demo paper's correct-and-relearn `session`
 //!   loop.
-//! * [`http`] — a `std::net` HTTP/1.0 front-end: accepted connections
-//!   land in a bounded queue drained by a fixed pool of worker threads
-//!   (sized from `cornet_pool::current_threads`), while `/batch`
-//!   requests fan their items onto `cornet-pool`;
-//!   [`http::http_request`] is the matching minimal client.
+//! * [`http`] — a `std::net` HTTP/1.1 keep-alive front-end: a poller
+//!   thread owns every idle connection (so parked keep-alive sockets
+//!   never pin a worker), complete requests are dispatched to a fixed
+//!   worker pool that drains pipelined requests in order, and a hard
+//!   connection cap sheds overload with `503` + `Retry-After` instead
+//!   of silent drops. Per-request logging (method, path, status, µs
+//!   latency, connection id) hangs off the [`http::RequestLog`] seam;
+//!   [`http::HttpClient`] / [`http::http_request`] are the matching
+//!   minimal clients.
 //! * [`smoke`] — the scripted learn→score→correct→re-learn→restart
 //!   session used by the CI smoke job and the `cornet-serve smoke`
 //!   subcommand.
@@ -43,6 +48,8 @@ pub mod sha256;
 pub mod smoke;
 pub mod store;
 
-pub use http::{http_request, Server};
+pub use http::{
+    http_request, HttpClient, HttpResponse, RequestLog, RequestRecord, Server, ServerConfig,
+};
 pub use service::{CornetService, LearnRequest, ScoreRequest, ServeError, ServiceConfig};
 pub use store::{RuleStore, StoredRule};

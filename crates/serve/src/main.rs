@@ -2,18 +2,29 @@
 //!
 //! ```text
 //! cornet-serve [--addr 127.0.0.1:7878] [--store cornet-store] [--capacity 256]
+//!              [--max-conns 256] [--keep-alive-secs 10] [--quiet]
+//! cornet-serve pack [--store cornet-store]
 //! cornet-serve smoke
 //! ```
 //!
-//! The default mode binds the address and serves until killed. The
-//! `smoke` subcommand runs the scripted learn→score→correct→re-learn→
-//! restart session against a throwaway store and exits non-zero on any
-//! failure (the CI `serve-smoke` job).
+//! The default mode binds the address and serves until killed, logging
+//! one `request …` line per request to stderr (suppress with `--quiet`).
+//! Flags beat the `CORNET_MAX_CONNS` / `CORNET_KEEP_ALIVE_SECS` /
+//! `CORNET_REQUEST_TIMEOUT_SECS` / `CORNET_HTTP_WORKERS` environment
+//! knobs, which beat the defaults.
+//!
+//! `pack` folds every loose per-rule file in the store into an
+//! append-only segment file and exits (also reachable at runtime via
+//! `POST /admin/pack`). `smoke` runs the scripted learn→score→correct→
+//! re-learn→restart session against a throwaway store and exits non-zero
+//! on any failure (the CI `serve-smoke` job).
 
+use cornet_serve::http::{NullLog, StderrLog};
 use cornet_serve::service::{CornetService, ServiceConfig};
-use cornet_serve::Server;
+use cornet_serve::{Server, ServerConfig};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,10 +43,51 @@ fn main() {
         }
         return;
     }
+    if args.first().map(String::as_str) == Some("pack") {
+        let mut store_dir = PathBuf::from("cornet-store");
+        let mut iter = args.iter().skip(1);
+        while let Some(flag) = iter.next() {
+            match flag.as_str() {
+                "--store" => {
+                    store_dir = PathBuf::from(iter.next().unwrap_or_else(|| {
+                        eprintln!("--store requires a value");
+                        std::process::exit(2);
+                    }))
+                }
+                other => {
+                    eprintln!(
+                        "unknown argument `{other}` (usage: cornet-serve pack [--store DIR])"
+                    );
+                    std::process::exit(2);
+                }
+            }
+        }
+        let mut store = match cornet_serve::RuleStore::open(&store_dir, 1) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot open rule store {}: {e}", store_dir.display());
+                std::process::exit(1);
+            }
+        };
+        match store.pack() {
+            Ok(packed) => println!(
+                "packed {packed} rules into segments ({} rules across {} segment files)",
+                store.segment_rules(),
+                store.segment_files()
+            ),
+            Err(e) => {
+                eprintln!("pack failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
 
     let mut addr = "127.0.0.1:7878".to_string();
     let mut store_dir = PathBuf::from("cornet-store");
     let mut capacity = 256usize;
+    let mut server_config = ServerConfig::from_env();
+    server_config.log = Arc::new(StderrLog);
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
         let mut value = |name: &str| {
@@ -46,18 +98,30 @@ fn main() {
                 })
                 .clone()
         };
+        let parse_usize = |name: &str, raw: String| -> usize {
+            raw.parse().unwrap_or_else(|_| {
+                eprintln!("{name} must be a positive integer");
+                std::process::exit(2);
+            })
+        };
         match flag.as_str() {
             "--addr" => addr = value("--addr"),
             "--store" => store_dir = PathBuf::from(value("--store")),
-            "--capacity" => {
-                capacity = value("--capacity").parse().unwrap_or_else(|_| {
-                    eprintln!("--capacity must be a positive integer");
-                    std::process::exit(2);
-                })
+            "--capacity" => capacity = parse_usize("--capacity", value("--capacity")),
+            "--max-conns" => {
+                server_config.max_connections = parse_usize("--max-conns", value("--max-conns"))
             }
+            "--keep-alive-secs" => {
+                server_config.keep_alive = Duration::from_secs(parse_usize(
+                    "--keep-alive-secs",
+                    value("--keep-alive-secs"),
+                ) as u64)
+            }
+            "--quiet" => server_config.log = Arc::new(NullLog),
             "--help" | "-h" => {
                 println!(
-                    "usage: cornet-serve [--addr HOST:PORT] [--store DIR] [--capacity N] | smoke"
+                    "usage: cornet-serve [--addr HOST:PORT] [--store DIR] [--capacity N] \
+                     [--max-conns N] [--keep-alive-secs N] [--quiet] | pack [--store DIR] | smoke"
                 );
                 return;
             }
@@ -79,7 +143,9 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let server = match Server::start(&addr, service) {
+    let max_conns = server_config.max_connections;
+    let keep_alive = server_config.keep_alive;
+    let server = match Server::start_with(&addr, service, server_config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot bind {addr}: {e}");
@@ -87,12 +153,15 @@ fn main() {
         }
     };
     eprintln!(
-        "cornet-serve listening on http://{} (rule store: {}, cache: {capacity})",
+        "cornet-serve listening on http://{} (rule store: {}, cache: {capacity}, \
+         max conns: {max_conns}, keep-alive: {}s)",
         server.addr(),
-        store_dir.display()
+        store_dir.display(),
+        keep_alive.as_secs(),
     );
     eprintln!(
-        "endpoints: GET /health · POST /learn /score /batch /session · GET /session/<id> /rules/<id>"
+        "endpoints: GET /health · POST /learn /score /batch /session /admin/pack · \
+         GET /session/<id> /rules/<id>"
     );
     loop {
         std::thread::park();

@@ -655,6 +655,18 @@ impl CornetService {
         })
     }
 
+    /// Packs every loose per-rule file into an append-only segment (see
+    /// [`RuleStore::pack`]), returning the number of rules packed. The
+    /// store lock is held for the duration — packing is an explicit
+    /// administrative action, not something the serving path triggers.
+    pub fn pack_rules(&self) -> Result<usize, ServeError> {
+        self.store
+            .lock()
+            .unwrap()
+            .pack()
+            .map_err(|e| ServeError::Internal(format!("rule store pack failed: {e}")))
+    }
+
     /// Looks a stored rule up by id.
     pub fn rule(&self, id: &str) -> Result<StoredRule, ServeError> {
         self.store
@@ -812,10 +824,17 @@ impl CornetService {
     /// store lock — `session_correct` acquires them in the opposite
     /// order, which would deadlock).
     pub fn health(&self) -> Json {
-        let (hits, misses, cached, store_dir) = {
+        let (hits, misses, cached, seg_rules, seg_files, store_dir) = {
             let store = self.store.lock().unwrap();
             let (hits, misses) = store.counters();
-            (hits, misses, store.cached(), store.dir().to_path_buf())
+            (
+                hits,
+                misses,
+                store.cached(),
+                store.segment_rules(),
+                store.segment_files(),
+                store.dir().to_path_buf(),
+            )
         };
         let persisted = crate::store::persisted_in(&store_dir);
         let sessions = self.sessions.lock().unwrap().map.len();
@@ -823,6 +842,8 @@ impl CornetService {
             ("status", Json::str("ok")),
             ("rules_cached", cached.to_json()),
             ("rules_persisted", persisted.to_json()),
+            ("rules_in_segments", seg_rules.to_json()),
+            ("segment_files", seg_files.to_json()),
             ("store_hits", hits.to_json()),
             ("store_misses", misses.to_json()),
             ("sessions", sessions.to_json()),

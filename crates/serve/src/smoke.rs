@@ -195,7 +195,20 @@ fn run_in(dir: &std::path::Path) -> Result<Vec<String>, String> {
         &log,
     )?;
 
-    // 4. Restart: a new server process (fresh service) over the same
+    // 4. Pack the store: every loose per-rule file folds into an
+    // append-only segment, so the restart below answers from segments.
+    let packed = post(addr, "/admin/pack", "{}", "pack", &mut log)?;
+    let packed_count = packed
+        .get("packed")
+        .and_then(Json::as_u64)
+        .ok_or("pack response missing packed count")?;
+    expect(
+        packed_count >= 3,
+        "pack folds the session's learned rules into a segment",
+        &log,
+    )?;
+
+    // 5. Restart: a new server process (fresh service) over the same
     // store directory must answer from persisted rules without learning.
     server.shutdown();
     log.push("server restarted".into());
@@ -216,7 +229,7 @@ fn run_in(dir: &std::path::Path) -> Result<Vec<String>, String> {
         &log,
     )?;
 
-    // 5. The session survived the restart: same id, same corrections,
+    // 6. The session survived the restart: same id, same corrections,
     // same rule — served from the persisted session state, not re-learned.
     let resumed = get(addr, &format!("/session/{sid}"), "session")?;
     expect(
@@ -244,9 +257,25 @@ fn run_in(dir: &std::path::Path) -> Result<Vec<String>, String> {
         "restarted server never invoked the learner",
         &log,
     )?;
+    expect(
+        health.get("rules_in_segments").and_then(Json::as_u64) >= Some(packed_count),
+        "restarted server indexes the packed segment",
+        &log,
+    )?;
     log.push(format!("health after restart: {health}"));
 
-    // 6. The restored session accepts further corrections.
+    // 7. Keep-alive: one socket serves several requests in a row.
+    let mut client = crate::http::HttpClient::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    for _ in 0..3 {
+        let response = client
+            .request("GET", "/health", None)
+            .map_err(|e| format!("keep-alive GET /health: {e}"))?;
+        expect(response.status == 200, "keep-alive health probe", &log)?;
+    }
+    drop(client);
+    log.push("keep-alive socket served 3 requests".into());
+
+    // 8. The restored session accepts further corrections.
     let continued = post(
         addr,
         &format!("/session/{sid}/correct"),

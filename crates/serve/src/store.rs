@@ -15,14 +15,32 @@
 //! layout; reads fall back to the flat path and transparently migrate the
 //! file into its shard, so old stores upgrade in place with no tooling.
 //!
+//! ## Segment packing
+//!
+//! A million stored rules must not mean a million inodes. [`RuleStore::pack`]
+//! migrates every loose per-rule file (sharded *and* legacy flat) into one
+//! append-only **segment file** under `<dir>/segments/seg-NNNNNN.seg` — one
+//! JSON envelope per line (the codec escapes control characters, so records
+//! never contain raw newlines). An in-memory index (`id → segment/offset/len`)
+//! is rebuilt by scanning the segment files at open, and reads seek straight
+//! to the record. Packing is crash-safe: the whole segment is written to a
+//! temp file and renamed into place *before* the loose sources are deleted,
+//! so a crash can duplicate a rule (ids are content fingerprints — both
+//! copies are identical and the index dedups) but never lose one. Corrupt
+//! loose files are left in place for inspection, matching the flat-layout
+//! migration contract; corrupt segment lines are skipped at scan.
+//!
+//! Writes (`put`) still land as per-rule files — the hot set stays
+//! individually replaceable — and reads fall through transparently:
+//! memory → segment index → sharded file → flat file.
+//!
 //! The LRU bounds only memory: eviction never deletes a file, and a miss
 //! falls back to disk before reporting absence.
 
 use cornet_core::rule::Rule;
 use cornet_serde::{decode, encode, field_t, DecodeError, FromJson, Json, ToJson};
-use std::collections::HashMap;
-use std::collections::VecDeque;
-use std::io;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::io::{self, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 
 /// Envelope kind for rule-store files.
@@ -121,29 +139,63 @@ pub fn rule_id(cells: &[String], examples: &[usize], negatives: &[usize]) -> Str
     id
 }
 
-/// File-backed rule store with an LRU-bounded in-memory cache.
+/// Subdirectory of the store root holding packed segment files.
+pub const SEGMENTS_DIR: &str = "segments";
+
+/// Location of one rule inside a segment file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SegLoc {
+    seg: u32,
+    offset: u64,
+    len: u32,
+}
+
+/// File-backed rule store with an LRU-bounded in-memory cache and an
+/// append-only segment layer for cold rules (see the module docs).
 #[derive(Debug)]
 pub struct RuleStore {
     dir: PathBuf,
+    segments_dir: PathBuf,
     capacity: usize,
     cache: HashMap<String, StoredRule>,
     /// Most-recently-used at the back.
     order: VecDeque<String>,
+    /// `id → segment location` for every packed rule.
+    index: HashMap<String, SegLoc>,
+    next_segment: u32,
     hits: u64,
     misses: u64,
 }
 
 impl RuleStore {
-    /// Opens (creating if needed) a store rooted at `dir`. `capacity`
+    /// Opens (creating if needed) a store rooted at `dir`, scanning any
+    /// existing segment files into the in-memory index. `capacity`
     /// bounds the in-memory cache, minimum 1.
     pub fn open(dir: impl Into<PathBuf>, capacity: usize) -> io::Result<RuleStore> {
         let dir = dir.into();
+        let segments_dir = dir.join(SEGMENTS_DIR);
         std::fs::create_dir_all(&dir)?;
+        std::fs::create_dir_all(&segments_dir)?;
+        let mut seg_numbers: Vec<u32> = std::fs::read_dir(&segments_dir)?
+            .filter_map(Result::ok)
+            .filter_map(|e| segment_number(&e.path()))
+            .collect();
+        seg_numbers.sort_unstable();
+        let mut index = HashMap::new();
+        for &seg in &seg_numbers {
+            // Ascending order: a rule re-packed into a later segment wins.
+            scan_segment(&segments_dir, seg, |id, loc| {
+                index.insert(id.to_string(), loc);
+            });
+        }
         Ok(RuleStore {
             dir,
+            segments_dir,
             capacity: capacity.max(1),
             cache: HashMap::new(),
             order: VecDeque::new(),
+            index,
+            next_segment: seg_numbers.last().map_or(1, |n| n + 1),
             hits: 0,
             misses: 0,
         })
@@ -189,11 +241,11 @@ impl RuleStore {
         }
     }
 
-    /// Looks a rule up: memory first, then the sharded path, then the
-    /// legacy flat path (migrating the file into its shard on a hit).
-    /// Returns `None` for malformed ids, absent files, and files that fail
-    /// to decode (a corrupt file should read as a miss, not take the
-    /// server down).
+    /// Looks a rule up: memory first, then the segment index, then the
+    /// sharded path, then the legacy flat path (migrating the file into
+    /// its shard on a hit). Returns `None` for malformed ids, absent
+    /// files, and files that fail to decode (a corrupt file should read
+    /// as a miss, not take the server down).
     pub fn get(&mut self, id: &str) -> Option<StoredRule> {
         if !valid_rule_id(id) {
             return None;
@@ -204,9 +256,35 @@ impl RuleStore {
             return Some(found);
         }
         self.misses += 1;
+        let entry = self
+            .read_from_segment(id)
+            .or_else(|| self.read_from_loose_file(id))?;
+        if entry.id != id {
+            return None;
+        }
+        self.cache.insert(id.to_string(), entry.clone());
+        self.touch(id);
+        Some(entry)
+    }
+
+    /// Reads a packed rule through the segment index. A stale or corrupt
+    /// index entry degrades to `None` (the loose-file paths still run).
+    fn read_from_segment(&self, id: &str) -> Option<StoredRule> {
+        let loc = self.index.get(id).copied()?;
+        let mut file = std::fs::File::open(segment_path(&self.segments_dir, loc.seg)).ok()?;
+        file.seek(SeekFrom::Start(loc.offset)).ok()?;
+        let mut record = vec![0u8; loc.len as usize];
+        file.read_exact(&mut record).ok()?;
+        let text = String::from_utf8(record).ok()?;
+        decode(STORED_RULE_KIND, &text).ok()
+    }
+
+    /// Reads a rule from its per-rule file: sharded path first, then the
+    /// legacy flat path (migrating flat hits into their shard).
+    fn read_from_loose_file(&self, id: &str) -> Option<StoredRule> {
         let sharded = self.path_for(id);
-        let entry: StoredRule = match std::fs::read_to_string(&sharded) {
-            Ok(text) => decode(STORED_RULE_KIND, &text).ok()?,
+        match std::fs::read_to_string(&sharded) {
+            Ok(text) => decode(STORED_RULE_KIND, &text).ok(),
             Err(_) => {
                 // Flat-layout fallback: decode first, migrate second, so a
                 // corrupt legacy file is left in place for inspection.
@@ -219,15 +297,9 @@ impl RuleStore {
                     // Best-effort: a failed rename still serves the rule.
                     let _ = std::fs::rename(&flat, &sharded);
                 }
-                entry
+                Some(entry)
             }
-        };
-        if entry.id != id {
-            return None;
         }
-        self.cache.insert(id.to_string(), entry.clone());
-        self.touch(id);
-        Some(entry)
     }
 
     /// Persists a rule (write file, then cache). The write goes through a
@@ -260,11 +332,153 @@ impl RuleStore {
         Ok(())
     }
 
-    /// Number of rules persisted on disk (counts `.json` files). This
-    /// walks the directory — call [`persisted_in`] with a saved
-    /// [`RuleStore::dir`] to scan without holding a store lock.
+    /// Number of rules persisted on disk (loose per-rule files plus
+    /// distinct rules inside segments). This walks the directory — call
+    /// [`persisted_in`] with a saved [`RuleStore::dir`] to scan without
+    /// holding a store lock.
     pub fn persisted(&self) -> usize {
         persisted_in(&self.dir)
+    }
+
+    /// Number of distinct rules reachable through the segment index.
+    pub fn segment_rules(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Number of segment files referenced by the index.
+    pub fn segment_files(&self) -> usize {
+        self.index
+            .values()
+            .map(|loc| loc.seg)
+            .collect::<BTreeSet<u32>>()
+            .len()
+    }
+
+    /// Packs every loose per-rule file — sharded and legacy flat — into
+    /// one new append-only segment file, then deletes the loose sources
+    /// and indexes the packed records. Returns the number of rules
+    /// packed (`0` when there was nothing loose).
+    ///
+    /// Crash-safe: the full segment is written to a temp file and
+    /// renamed into place before any source file is removed. Corrupt or
+    /// mismatched loose files are skipped and **stay put** for
+    /// inspection, exactly like the flat-layout migration path.
+    pub fn pack(&mut self) -> io::Result<usize> {
+        let mut sources: Vec<(PathBuf, StoredRule)> = Vec::new();
+        let mut consider = |path: PathBuf| {
+            let id = match path.file_stem().and_then(|s| s.to_str()) {
+                Some(stem) if valid_rule_id(stem) => stem.to_string(),
+                _ => return,
+            };
+            let Ok(text) = std::fs::read_to_string(&path) else {
+                return;
+            };
+            match decode::<StoredRule>(STORED_RULE_KIND, &text) {
+                Ok(entry) if entry.id == id => sources.push((path, entry)),
+                // Corrupt / mismatched: leave the file alone.
+                _ => {}
+            }
+        };
+        for entry in std::fs::read_dir(&self.dir)?.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.is_file() && path.extension().is_some_and(|x| x == "json") {
+                consider(path);
+            } else if path.is_dir()
+                && path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(is_shard_name)
+            {
+                for file in std::fs::read_dir(&path)?.filter_map(Result::ok) {
+                    let file = file.path();
+                    if file.is_file() && file.extension().is_some_and(|x| x == "json") {
+                        consider(file);
+                    }
+                }
+            }
+        }
+        if sources.is_empty() {
+            return Ok(0);
+        }
+
+        let seg = self.next_segment;
+        let mut text = String::new();
+        let mut locs: Vec<(String, SegLoc)> = Vec::with_capacity(sources.len());
+        for (_, entry) in &sources {
+            let record = encode(STORED_RULE_KIND, entry);
+            debug_assert!(!record.contains('\n'), "codec must escape newlines");
+            locs.push((
+                entry.id.clone(),
+                SegLoc {
+                    seg,
+                    offset: text.len() as u64,
+                    len: record.len() as u32,
+                },
+            ));
+            text.push_str(&record);
+            text.push('\n');
+        }
+        let tmp = self
+            .segments_dir
+            .join(format!("seg-{seg:06}.{}.tmp", std::process::id()));
+        std::fs::write(&tmp, &text)?;
+        std::fs::rename(&tmp, segment_path(&self.segments_dir, seg))?;
+        self.next_segment = seg + 1;
+        for (path, _) in &sources {
+            let _ = std::fs::remove_file(path);
+        }
+        for (id, loc) in locs {
+            self.index.insert(id, loc);
+        }
+        Ok(sources.len())
+    }
+}
+
+/// The segment number encoded in a `seg-NNNNNN.seg` file name, if the
+/// path is shaped like one.
+fn segment_number(path: &Path) -> Option<u32> {
+    if path.extension().and_then(|x| x.to_str()) != Some("seg") {
+        return None;
+    }
+    path.file_stem()
+        .and_then(|s| s.to_str())
+        .and_then(|stem| stem.strip_prefix("seg-"))
+        .and_then(|n| n.parse().ok())
+}
+
+fn segment_path(segments_dir: &Path, seg: u32) -> PathBuf {
+    segments_dir.join(format!("seg-{seg:06}.seg"))
+}
+
+/// Scans one segment file, calling `found` for every decodable record
+/// (corrupt lines — e.g. a torn tail — are skipped). I/O errors read as
+/// an empty segment.
+fn scan_segment(segments_dir: &Path, seg: u32, mut found: impl FnMut(&str, SegLoc)) {
+    let Ok(text) = std::fs::read_to_string(segment_path(segments_dir, seg)) else {
+        return;
+    };
+    let mut offset = 0u64;
+    for line in text.split_inclusive('\n') {
+        let record = line.trim_end_matches('\n');
+        if !record.is_empty() {
+            if let Ok(doc) = cornet_serde::parse(record) {
+                if let Ok(payload) = cornet_serde::open_envelope(&doc, STORED_RULE_KIND) {
+                    if let Some(id) = payload.get("id").and_then(Json::as_str) {
+                        if valid_rule_id(id) {
+                            found(
+                                id,
+                                SegLoc {
+                                    seg,
+                                    offset,
+                                    len: record.len() as u32,
+                                },
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        offset += line.len() as u64;
     }
 }
 
@@ -286,39 +500,55 @@ fn is_shard_name(name: &str) -> bool {
             .all(|c| c.is_ascii_hexdigit() && !c.is_ascii_uppercase())
 }
 
-/// Counts the `.json` rule files under a store directory: flat files at
-/// the root (legacy layout) plus the contents of every shard
-/// subdirectory, in one pass over the root.
+/// Counts the **distinct** rules persisted under a store directory:
+/// flat `.json` files at the root (legacy layout), the contents of every
+/// shard subdirectory, and the records inside packed segment files —
+/// deduplicated by rule id, since packing can briefly leave a rule both
+/// loose and in a segment (crash between rename and source delete).
 pub fn persisted_in(dir: &Path) -> usize {
-    let json_files = |dir: &Path| -> usize {
-        std::fs::read_dir(dir)
-            .map(|entries| {
-                entries
-                    .filter_map(Result::ok)
-                    .filter(|e| {
-                        e.path().is_file() && e.path().extension().is_some_and(|x| x == "json")
-                    })
-                    .count()
-            })
-            .unwrap_or(0)
+    let mut ids: BTreeSet<String> = BTreeSet::new();
+    let mut collect_stems = |dir: &Path| {
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.filter_map(Result::ok) {
+                let path = entry.path();
+                if path.is_file() && path.extension().is_some_and(|x| x == "json") {
+                    if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                        ids.insert(stem.to_string());
+                    }
+                }
+            }
+        }
     };
-    let mut total = 0;
+    collect_stems(dir);
     if let Ok(entries) = std::fs::read_dir(dir) {
         for entry in entries.filter_map(Result::ok) {
             let path = entry.path();
-            if path.is_file() && path.extension().is_some_and(|x| x == "json") {
-                total += 1;
-            } else if path.is_dir()
+            if path.is_dir()
                 && path
                     .file_name()
                     .and_then(|n| n.to_str())
                     .is_some_and(is_shard_name)
             {
-                total += json_files(&path);
+                collect_stems(&path);
             }
         }
     }
-    total
+    let segments_dir = dir.join(SEGMENTS_DIR);
+    let mut seg_numbers: Vec<u32> = std::fs::read_dir(&segments_dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter_map(|e| segment_number(&e.path()))
+                .collect()
+        })
+        .unwrap_or_default();
+    seg_numbers.sort_unstable();
+    for seg in seg_numbers {
+        scan_segment(&segments_dir, seg, |id, _| {
+            ids.insert(id.to_string());
+        });
+    }
+    ids.len()
 }
 
 #[cfg(test)]
@@ -526,5 +756,114 @@ mod tests {
         let wire = encode(STORED_RULE_KIND, &e);
         let back: StoredRule = decode(STORED_RULE_KIND, &wire).unwrap();
         assert_eq!(back, e);
+    }
+
+    #[test]
+    fn pack_round_trips_and_survives_a_reopen() {
+        let dir = temp_dir("pack");
+        let ids: Vec<String> = (0..3)
+            .map(|i| rule_id(&[format!("seg{i}")], &[0], &[]))
+            .collect();
+        {
+            let mut store = RuleStore::open(&dir, 8).unwrap();
+            for (i, id) in ids.iter().enumerate() {
+                store.put(entry(id, &format!("S{i}"))).unwrap();
+            }
+            assert_eq!(store.pack().unwrap(), 3);
+            assert_eq!(store.segment_rules(), 3);
+            assert_eq!(store.segment_files(), 1);
+            // The loose files are gone; reads come from the segment.
+            for id in &ids {
+                assert!(!dir.join(shard_of(id)).join(format!("{id}.json")).exists());
+            }
+            assert_eq!(store.pack().unwrap(), 0, "nothing left to pack");
+        }
+        let mut reopened = RuleStore::open(&dir, 8).unwrap();
+        assert_eq!(reopened.segment_rules(), 3, "index rebuilt at open");
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(
+                reopened.get(id).as_ref(),
+                Some(&entry(id, &format!("S{i}"))),
+                "rule {i} readable from the segment after a cold open"
+            );
+        }
+        assert_eq!(persisted_in(&dir), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn pack_migrates_flat_and_sharded_but_leaves_corrupt_files() {
+        let dir = temp_dir("pack-migrate");
+        std::fs::create_dir_all(&dir).unwrap();
+        // A legacy flat file, a sharded file, and a corrupt flat file.
+        let flat_id = rule_id(&["flat-src".into()], &[0], &[]);
+        let flat = dir.join(format!("{flat_id}.json"));
+        std::fs::write(&flat, encode(STORED_RULE_KIND, &entry(&flat_id, "F"))).unwrap();
+        let bad_id = rule_id(&["bad-src".into()], &[0], &[]);
+        let bad = dir.join(format!("{bad_id}.json"));
+        std::fs::write(&bad, "{torn").unwrap();
+
+        let mut store = RuleStore::open(&dir, 8).unwrap();
+        let sharded_id = rule_id(&["shard-src".into()], &[0], &[]);
+        store.put(entry(&sharded_id, "Sh")).unwrap();
+
+        assert_eq!(
+            store.pack().unwrap(),
+            2,
+            "flat + sharded, not the corrupt one"
+        );
+        assert!(!flat.exists(), "packed flat source removed");
+        assert!(bad.exists(), "corrupt legacy file left for inspection");
+        assert_eq!(store.get(&flat_id).as_ref(), Some(&entry(&flat_id, "F")));
+        assert_eq!(store.get(&bad_id), None, "corrupt file still a miss");
+
+        let mut reopened = RuleStore::open(&dir, 8).unwrap();
+        assert_eq!(
+            reopened.get(&sharded_id).as_ref(),
+            Some(&entry(&sharded_id, "Sh"))
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persisted_counts_segments_and_loose_files_without_double_counting() {
+        let dir = temp_dir("pack-persisted");
+        let mut store = RuleStore::open(&dir, 8).unwrap();
+        let packed_ids: Vec<String> = (0..2)
+            .map(|i| rule_id(&[format!("cold{i}")], &[0], &[]))
+            .collect();
+        for id in &packed_ids {
+            store.put(entry(id, "C")).unwrap();
+        }
+        assert_eq!(store.pack().unwrap(), 2);
+        // New hot rules land as loose files after the pack.
+        let hot = rule_id(&["hot".into()], &[0], &[]);
+        store.put(entry(&hot, "H")).unwrap();
+        assert_eq!(persisted_in(&dir), 3, "2 packed + 1 loose");
+        assert_eq!(store.persisted(), 3);
+        // Re-packing folds the hot rule into a second segment.
+        assert_eq!(store.pack().unwrap(), 1);
+        assert_eq!(store.segment_files(), 2);
+        assert_eq!(persisted_in(&dir), 3, "distinct ids, no double count");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_segment_lines_are_skipped_at_scan() {
+        let dir = temp_dir("pack-corrupt-line");
+        let mut store = RuleStore::open(&dir, 8).unwrap();
+        let id = rule_id(&["ok".into()], &[0], &[]);
+        store.put(entry(&id, "Ok")).unwrap();
+        store.pack().unwrap();
+        // Append a torn record to the segment (simulated crash tail).
+        let seg = segment_path(&dir.join(SEGMENTS_DIR), 1);
+        let mut text = std::fs::read_to_string(&seg).unwrap();
+        text.push_str("{\"v\":1,\"kind\":\"stored-rule\",\"payl");
+        std::fs::write(&seg, text).unwrap();
+
+        let mut reopened = RuleStore::open(&dir, 8).unwrap();
+        assert_eq!(reopened.segment_rules(), 1, "torn tail ignored");
+        assert_eq!(reopened.get(&id).as_ref(), Some(&entry(&id, "Ok")));
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,321 @@
+//! Protocol-conformance battery for the keep-alive HTTP front-end:
+//! pipelining order, connection reuse, mid-request disconnects, body and
+//! header-size rejections, load shedding at the connection cap, slow
+//! lorises on kept-alive sockets, and proptest serialize→parse
+//! round-trips of the request codec.
+//!
+//! Every test runs against a real loopback socket so the whole stack —
+//! accept thread, poller, worker pool, parser — is exercised, not just
+//! the parser in isolation.
+
+use cornet_repro::serve::http::{
+    encode_request, http_request, parse_request, HttpClient, ParseOutcome, RequestLog,
+    RequestRecord, Server, ServerConfig, MAX_BODY,
+};
+use cornet_repro::serve::service::{CornetService, ServiceConfig};
+use proptest::prelude::*;
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cornet-http-conf-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn service(dir: &PathBuf) -> Arc<CornetService> {
+    Arc::new(
+        CornetService::new(&ServiceConfig {
+            store_dir: dir.clone(),
+            cache_capacity: 16,
+            ..ServiceConfig::default()
+        })
+        .unwrap(),
+    )
+}
+
+/// Collects every [`RequestRecord`] for assertions.
+#[derive(Debug, Default)]
+struct VecLog(Mutex<Vec<RequestRecord>>);
+
+impl RequestLog for VecLog {
+    fn record(&self, record: &RequestRecord) {
+        self.0.lock().unwrap().push(record.clone());
+    }
+}
+
+#[test]
+fn pipelined_requests_are_answered_in_order() {
+    let dir = temp_dir("pipeline");
+    let server = Server::start_with("127.0.0.1:0", service(&dir), ServerConfig::default()).unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    // Three requests written back-to-back before any response is read;
+    // distinct routes prove the responses come back in request order.
+    let mut burst = String::new();
+    burst.push_str(&encode_request("GET", "/health", None, false));
+    burst.push_str(&encode_request("GET", "/no/such/route", None, false));
+    burst.push_str(&encode_request("GET", "/health", None, false));
+    client.send_raw(burst.as_bytes()).unwrap();
+    let statuses: Vec<u16> = (0..3).map(|_| client.read_one().unwrap().status).collect();
+    assert_eq!(statuses, vec![200, 404, 200], "responses in request order");
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn keep_alive_reuses_one_connection_for_many_requests() {
+    let dir = temp_dir("reuse");
+    let log = Arc::new(VecLog::default());
+    let config = ServerConfig {
+        log: log.clone(),
+        ..ServerConfig::default()
+    };
+    let server = Server::start_with("127.0.0.1:0", service(&dir), config).unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    for _ in 0..4 {
+        let response = client.request("GET", "/health", None).unwrap();
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("connection"), Some("keep-alive"));
+    }
+    let records = log.0.lock().unwrap();
+    assert_eq!(records.len(), 4, "one record per request");
+    let conn = records[0].conn;
+    assert!(
+        records.iter().all(|r| r.conn == conn),
+        "all four requests share one connection id: {records:?}"
+    );
+    assert!(records
+        .iter()
+        .all(|r| r.status == 200 && r.path == "/health"));
+    drop(records);
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn mid_request_disconnects_leave_the_server_healthy() {
+    let dir = temp_dir("disconnect");
+    let server = Server::start_with("127.0.0.1:0", service(&dir), ServerConfig::default()).unwrap();
+    // A client that quits halfway through sending its request.
+    for _ in 0..3 {
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        stream
+            .write_all(b"POST /learn HTTP/1.1\r\nContent-Length: 500\r\n\r\n{\"cells\":[")
+            .unwrap();
+        drop(stream);
+    }
+    // The server keeps answering.
+    let (status, _) = http_request(server.addr(), "GET", "/health", None).unwrap();
+    assert_eq!(status, 200);
+    // And the dead connections drain from the live count.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.live_connections() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.live_connections(), 0, "disconnects reclaimed");
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn oversized_bodies_are_rejected_with_413() {
+    let dir = temp_dir("oversize");
+    let server = Server::start_with("127.0.0.1:0", service(&dir), ServerConfig::default()).unwrap();
+    let mut client = HttpClient::connect(server.addr()).unwrap();
+    // The Content-Length alone trips the cap — no body need be sent.
+    let head = format!(
+        "POST /learn HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        MAX_BODY + 1
+    );
+    client.send_raw(head.as_bytes()).unwrap();
+    let response = client.read_one().unwrap();
+    assert_eq!(response.status, 413);
+    assert_eq!(
+        response.header("connection"),
+        Some("close"),
+        "protocol errors close the connection"
+    );
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_requests_are_rejected_with_400() {
+    let dir = temp_dir("malformed");
+    let server = Server::start_with("127.0.0.1:0", service(&dir), ServerConfig::default()).unwrap();
+    let cases: &[&str] = &[
+        // No version in the request line.
+        "GET /health\r\n\r\n",
+        // Unsupported protocol version.
+        "GET /health HTTP/2.0\r\n\r\n",
+        // Header line without a colon.
+        "GET /health HTTP/1.1\r\nBadHeader\r\n\r\n",
+        // Space inside a header name.
+        "GET /health HTTP/1.1\r\nBad Name: x\r\n\r\n",
+        // Conflicting Content-Length headers.
+        "POST /learn HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 3\r\n\r\nab",
+        // Transfer-Encoding is not supported.
+        "POST /learn HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+    ];
+    for case in cases {
+        let mut client = HttpClient::connect(server.addr()).unwrap();
+        client.send_raw(case.as_bytes()).unwrap();
+        let response = client.read_one().unwrap();
+        assert_eq!(response.status, 400, "case {case:?}");
+    }
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn excess_connections_are_shed_with_503_and_retry_after() {
+    let dir = temp_dir("shed");
+    let config = ServerConfig {
+        max_connections: 2,
+        ..ServerConfig::default()
+    };
+    let server = Server::start_with("127.0.0.1:0", service(&dir), config).unwrap();
+    // Two keep-alive connections occupy the whole cap; a round-trip on
+    // each proves the accept thread has registered them.
+    let mut first = HttpClient::connect(server.addr()).unwrap();
+    let mut second = HttpClient::connect(server.addr()).unwrap();
+    assert_eq!(first.request("GET", "/health", None).unwrap().status, 200);
+    assert_eq!(second.request("GET", "/health", None).unwrap().status, 200);
+    assert_eq!(server.live_connections(), 2);
+
+    // The third connection is shed cleanly: 503, Retry-After, close.
+    let mut shed = HttpClient::connect(server.addr()).unwrap();
+    let response = shed.read_one().unwrap();
+    assert_eq!(response.status, 503);
+    assert!(
+        response.header("retry-after").is_some(),
+        "shed response names a retry delay: {:?}",
+        response.headers
+    );
+    assert_eq!(response.header("connection"), Some("close"));
+
+    // In-flight traffic on the surviving connections is unaffected.
+    assert_eq!(first.request("GET", "/health", None).unwrap().status, 200);
+    assert_eq!(second.request("GET", "/health", None).unwrap().status, 200);
+
+    // Releasing a connection frees capacity for new clients.
+    drop(first);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.live_connections() > 1 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    let (status, _) = http_request(server.addr(), "GET", "/health", None).unwrap();
+    assert_eq!(status, 200, "capacity recovered after a disconnect");
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_slow_loris_on_a_kept_alive_socket_is_timed_out() {
+    let dir = temp_dir("loris");
+    let config = ServerConfig {
+        request_timeout: Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let server = Server::start_with("127.0.0.1:0", service(&dir), config).unwrap();
+    // The attacker first behaves: one complete request keeps the socket
+    // alive, then a second request stalls after a few bytes.
+    let mut loris = HttpClient::connect(server.addr()).unwrap();
+    assert_eq!(loris.request("GET", "/health", None).unwrap().status, 200);
+    loris
+        .send_raw(b"POST /learn HTTP/1.1\r\nContent-Length: 400\r\n\r\n{\"cel")
+        .unwrap();
+
+    // Other clients stay fast while the loris dangles.
+    let t0 = Instant::now();
+    let (status, _) = http_request(server.addr(), "GET", "/health", None).unwrap();
+    assert_eq!(status, 200);
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "stalled connection must not block other clients"
+    );
+
+    // The stalled request is reaped: a best-effort 408 (or a straight
+    // close, if the kernel buffered nothing) ends the connection.
+    match loris.read_one() {
+        Ok(response) => assert_eq!(response.status, 408),
+        Err(_) => {} // closed without a response — also a clean reap
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while server.live_connections() > 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(server.live_connections(), 0, "loris connection reclaimed");
+    drop(server);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+proptest! {
+    /// `encode_request` output always parses back to the same request,
+    /// consuming exactly the encoded bytes.
+    #[test]
+    fn encoded_requests_parse_back_exactly(
+        method in "[A-Z]{1,8}",
+        path_tail in "[a-zA-Z0-9_/.-]{0,24}",
+        body in ".{0,64}",
+        close in any::<bool>(),
+    ) {
+        let path = format!("/{path_tail}");
+        let wire = encode_request(&method, &path, Some(&body), close);
+        match parse_request(wire.as_bytes()) {
+            ParseOutcome::Ready { request, consumed } => {
+                prop_assert_eq!(consumed, wire.len(), "no bytes left behind");
+                prop_assert_eq!(&request.method, &method);
+                prop_assert_eq!(&request.path, &path);
+                prop_assert_eq!(&request.body, &body);
+                prop_assert_eq!(request.keep_alive, !close);
+            }
+            other => prop_assert!(false, "expected Ready, got {:?} for {:?}", other, wire),
+        }
+    }
+
+    /// Any strict prefix of an encoded request is `Incomplete` — the
+    /// incremental parser never mis-frames a partial read.
+    #[test]
+    fn encoded_request_prefixes_are_incomplete(
+        body in ".{0,32}",
+        cut in any::<u16>(),
+    ) {
+        let wire = encode_request("POST", "/score", Some(&body), false);
+        let cut = (cut as usize) % wire.len().max(1);
+        prop_assert_eq!(
+            parse_request(&wire.as_bytes()[..cut]),
+            ParseOutcome::Incomplete,
+            "prefix of {} bytes", cut
+        );
+    }
+
+    /// Two pipelined requests parse back one at a time, in order, with
+    /// `consumed` delimiting them exactly.
+    #[test]
+    fn pipelined_encodings_parse_in_order(
+        body_a in ".{0,32}",
+        body_b in ".{0,32}",
+    ) {
+        let first = encode_request("POST", "/learn", Some(&body_a), false);
+        let second = encode_request("POST", "/score", Some(&body_b), true);
+        let wire = format!("{first}{second}");
+        let ParseOutcome::Ready { request, consumed } = parse_request(wire.as_bytes()) else {
+            panic!("first request did not parse: {wire:?}");
+        };
+        prop_assert_eq!(&request.body, &body_a);
+        prop_assert_eq!(consumed, first.len());
+        prop_assert!(request.keep_alive);
+        let ParseOutcome::Ready { request, consumed } =
+            parse_request(&wire.as_bytes()[first.len()..])
+        else {
+            panic!("second request did not parse: {wire:?}");
+        };
+        prop_assert_eq!(&request.body, &body_b);
+        prop_assert_eq!(consumed, second.len());
+        prop_assert!(!request.keep_alive);
+    }
+}
