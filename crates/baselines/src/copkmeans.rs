@@ -88,10 +88,10 @@ impl TaskLearner for CopKmeans {
         let mut centroid_pos = mean_of(&pos_seed);
         let neg_seed: Vec<usize> = soft_neg.iter_ones().collect();
         let mut centroid_neg = if neg_seed.is_empty() {
+            // Signature vectors are 0/1, so distances are finite sums of
+            // squares — but `total_cmp` makes the comparator total anyway.
             let far = (0..n).filter(|i| !observed_mask.get(*i)).max_by(|&a, &b| {
-                sq_dist(&vector(a), &centroid_pos)
-                    .partial_cmp(&sq_dist(&vector(b), &centroid_pos))
-                    .unwrap()
+                sq_dist(&vector(a), &centroid_pos).total_cmp(&sq_dist(&vector(b), &centroid_pos))
             });
             match far {
                 Some(i) => vector(i),

@@ -106,8 +106,11 @@ impl RawDecisionTree {
         let mut preds: Vec<Option<Predicate>> = Vec::new();
         match dtype {
             Some(DataType::Number) => {
+                // Parsed cells are finite, but `CellValue::Number(NaN)` is
+                // constructible programmatically; `total_cmp` keeps the sort
+                // total instead of panicking (regression test below).
                 let mut values: Vec<f64> = cells.iter().filter_map(CellValue::as_number).collect();
-                values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                values.sort_by(f64::total_cmp);
                 values.dedup();
                 // Thresholds at midpoints between adjacent distinct values.
                 for pair in values.windows(2) {
@@ -249,10 +252,13 @@ impl TaskLearner for PredicateDecisionTree {
             .iter()
             .map(|&r| predicate_preference(&set.predicates[r]))
             .collect();
+        // `predicate_preference` is finite by construction (a bounded kind
+        // bonus minus scaled arg counts/lengths); `total_cmp` drops the
+        // panic path regardless.
         let tie_break = |cands: &[usize]| -> usize {
             *cands
                 .iter()
-                .max_by(|&&a, &&b| prefs[a].partial_cmp(&prefs[b]).unwrap())
+                .max_by(|&&a, &&b| prefs[a].total_cmp(&prefs[b]))
                 .unwrap()
         };
         let (tree, mask) = fit_and_apply(
@@ -315,6 +321,21 @@ mod tests {
             pred.mask.iter_ones().collect::<Vec<_>>(),
             vec![1, 3, 4, 6, 7, 9]
         );
+    }
+
+    #[test]
+    fn nan_cell_does_not_panic_threshold_generation() {
+        // Programmatic `Number(NaN)` used to panic the midpoint-threshold
+        // sort via `partial_cmp(..).unwrap()`.
+        let cells = vec![
+            CellValue::Number(5.0),
+            CellValue::Number(f64::NAN),
+            CellValue::Number(45.0),
+            CellValue::Number(90.0),
+        ];
+        let learner = RawDecisionTree;
+        let pred = learner.predict(&cells, &[2, 3]);
+        assert_eq!(pred.mask.len(), 4);
     }
 
     #[test]

@@ -49,8 +49,12 @@ impl PopperBaseline {
         let mut preds: Vec<Option<Predicate>> = Vec::new();
         match infer_type(cells) {
             Some(DataType::Number) => {
+                // `CellValue::parse` never yields NaN (non-finite parses are
+                // rejected), but `CellValue::Number(NaN)` is constructible
+                // programmatically — `total_cmp` keeps the sort total
+                // instead of panicking (regression test below).
                 let mut values: Vec<f64> = cells.iter().filter_map(CellValue::as_number).collect();
-                values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                values.sort_by(f64::total_cmp);
                 values.dedup();
                 for &c in &values {
                     for op in [CmpOp::Less, CmpOp::Greater] {
@@ -197,6 +201,22 @@ mod tests {
         assert!(pred.rule.is_some());
         assert!(pred.mask.get(1) && pred.mask.get(3));
         assert!(!pred.mask.get(2), "the implicit negative 6 stays out");
+    }
+
+    #[test]
+    fn nan_cell_does_not_panic_the_value_sort() {
+        // `CellValue::parse` never yields NaN, but the variant is
+        // constructible programmatically; the background-knowledge sort
+        // used to `partial_cmp(..).unwrap()` and panic on it.
+        let cells = vec![
+            CellValue::Number(7.0),
+            CellValue::Number(f64::NAN),
+            CellValue::Number(3.0),
+            CellValue::Number(4.0),
+        ];
+        let learner = PopperBaseline::raw();
+        let pred = learner.predict(&cells, &[2, 3]);
+        assert_eq!(pred.mask.len(), 4);
     }
 
     #[test]

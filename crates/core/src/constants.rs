@@ -76,8 +76,10 @@ pub fn numeric_constants(values: &[f64], config: &ConstantConfig) -> Vec<f64> {
         push(p);
     }
     if !values.is_empty() {
+        // The `is_finite` filter on the previous line makes NaN provably
+        // unreachable here; `total_cmp` removes the panic path anyway.
         let mut sorted: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sorted.sort_by(f64::total_cmp);
         sorted.dedup();
         if !sorted.is_empty() {
             let min = sorted[0];
@@ -110,8 +112,10 @@ pub fn numeric_constants(values: &[f64], config: &ConstantConfig) -> Vec<f64> {
 /// generator, keeping `lo < hi`, capped and biased toward pairs that bracket
 /// dense regions (adjacent quantiles first, then wider spans).
 pub fn between_pairs(constants: &[f64], config: &ConstantConfig) -> Vec<(f64, f64)> {
+    // Public entry point: callers may pass arbitrary floats, so the sort
+    // must be total — `partial_cmp(..).unwrap()` here panicked on NaN.
     let mut sorted: Vec<f64> = constants.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     sorted.dedup();
     let mut out = Vec::new();
     // Widening spans: first adjacent pairs, then distance-2 pairs, etc.
@@ -292,6 +296,16 @@ mod tests {
             ..ConstantConfig::default()
         };
         assert_eq!(between_pairs(&consts, &config).len(), 3);
+    }
+
+    #[test]
+    fn between_pairs_tolerates_nan_input() {
+        // Public API: arbitrary floats may arrive. The sort used to panic
+        // on NaN via `partial_cmp(..).unwrap()`; `total_cmp` sorts NaN to
+        // one end, and the finite pairs are still produced.
+        let consts = [2.0, f64::NAN, 1.0];
+        let pairs = between_pairs(&consts, &ConstantConfig::default());
+        assert!(pairs.contains(&(1.0, 2.0)));
     }
 
     #[test]

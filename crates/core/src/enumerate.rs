@@ -11,6 +11,13 @@
 //!   (hard constraints) while the noisy clustered labels only gate
 //!   continuation through an accuracy threshold λₐ (0.8). Labeled cells are
 //!   weighted twice as heavily as unlabeled ones.
+//!
+//! The loop itself is inherently sequential — each iteration's candidate
+//! set depends on the previous root removal — so its parallelism lives one
+//! layer down: `DecisionTree::fit` fans per-feature split gains across
+//! `cornet-pool` and `predict_all` chunks its sample walks, both with
+//! submission-order collection, keeping enumeration output bit-identical
+//! at every thread count (`parallel_differential` pins this).
 
 use crate::cluster::ClusterOutcome;
 use crate::predgen::PredicateSet;
@@ -160,6 +167,9 @@ pub fn enumerate_rules(
 }
 
 /// Weighted label agreement of an execution mask.
+///
+/// The f64 sum stays serial on purpose: chunked partial sums would
+/// reassociate the additions and break bit-identity across thread counts.
 fn weighted_agreement(exec: &BitVec, labels: &BitVec, weights: &[f64]) -> f64 {
     let mut correct = 0.0;
     let mut total = 0.0;

@@ -182,9 +182,20 @@ fn date_candidates(cells: &[CellValue], config: &ConstantConfig) -> Vec<Predicat
     out
 }
 
+/// Candidates whose signatures are evaluated per parallel batch: large
+/// enough to amortise fan-out, small enough to bound wasted evaluations
+/// when `max_predicates` binds mid-stream.
+const EVAL_CHUNK: usize = 512;
+
 /// Keeps predicates holding on a non-empty proper subset of the column and
 /// records one representative per distinct signature (first generated wins —
 /// see the preference-order note in [`crate::constants`]).
+///
+/// Signature evaluation — the `O(candidates × cells)` hot part — fans out
+/// over `cornet-pool` one [`EVAL_CHUNK`] at a time; `par_map`'s
+/// submission-order collection feeds the serial filter/dedup/cap pass in
+/// generation order, so the output is identical to the historical serial
+/// loop at every thread count.
 fn filter_and_dedup(
     cells: &[CellValue],
     candidates: Vec<Predicate>,
@@ -195,25 +206,35 @@ fn filter_and_dedup(
     let mut signatures: Vec<BitVec> = Vec::new();
     let mut representatives = Vec::new();
     let mut seen: std::collections::HashSet<BitVec> = std::collections::HashSet::new();
-    for pred in candidates {
-        if max_predicates != 0 && predicates.len() >= max_predicates {
+    let mut pending = candidates.into_iter();
+    'chunks: loop {
+        let chunk: Vec<Predicate> = pending.by_ref().take(EVAL_CHUNK).collect();
+        if chunk.is_empty() {
             break;
         }
-        let mut sig = BitVec::zeros(n);
-        for (i, cell) in cells.iter().enumerate() {
-            if pred.eval(cell) {
-                sig.set(i, true);
+        let sigs: Vec<BitVec> = cornet_pool::par_map(chunk.len(), |p| {
+            let mut sig = BitVec::zeros(n);
+            for (i, cell) in cells.iter().enumerate() {
+                if chunk[p].eval(cell) {
+                    sig.set(i, true);
+                }
             }
+            sig
+        });
+        for (pred, sig) in chunk.into_iter().zip(sigs) {
+            if max_predicates != 0 && predicates.len() >= max_predicates {
+                break 'chunks;
+            }
+            let ones = sig.count_ones();
+            if ones == 0 || ones == n {
+                continue; // not a non-empty proper subset
+            }
+            if seen.insert(sig.clone()) {
+                representatives.push(predicates.len());
+            }
+            predicates.push(pred);
+            signatures.push(sig);
         }
-        let ones = sig.count_ones();
-        if ones == 0 || ones == n {
-            continue; // not a non-empty proper subset
-        }
-        if seen.insert(sig.clone()) {
-            representatives.push(predicates.len());
-        }
-        predicates.push(pred);
-        signatures.push(sig);
     }
     PredicateSet {
         predicates,

@@ -25,7 +25,7 @@ use crate::rule::Rule;
 use cornet_table::{BitVec, DataType};
 
 /// Everything a ranker may look at when scoring one candidate.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct RankContext<'a> {
     /// The candidate rule.
     pub rule: &'a Rule,

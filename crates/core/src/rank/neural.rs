@@ -181,40 +181,58 @@ impl NeuralRanker {
     }
 
     /// Scores a group of candidates that share one column. The column is
-    /// embedded once; the per-candidate attention passes fan out across
-    /// `cornet-pool` (submission-order collection keeps the output
-    /// thread-count independent); the pooled vectors and aux features are
-    /// then stacked so `col_linear` and `head` each run as a single batched
-    /// matrix multiply. Per-row results are bit-identical to the serial
-    /// [`Ranker::score`] path.
+    /// embedded once and every candidate's execution-bit embedding block is
+    /// stacked into a **single** cross-attention call
+    /// ([`CrossAttention::forward_stacked`]): Q is computed once and shared,
+    /// K/V for the whole pool come from one matmul each, and the residual +
+    /// mean-pool runs per output block in [`mean_pool_rows`]'s accumulation
+    /// order. `col_linear` and `head` then run as single batched matrix
+    /// multiplies. Per-row results are bit-identical to the serial
+    /// [`Ranker::score`] path (pinned by `rank_batched_differential`).
     fn score_group(&self, cell_texts: &[String], group: &[RankContext<'_>]) -> Vec<f64> {
         let col = self.embed_column(cell_texts);
-        let per_cand: Vec<(Vec<f64>, Vec<f64>)> = cornet_pool::par_map(group.len(), |c| {
-            let ctx = &group[c];
-            let exec: Vec<bool> = ctx.execution.iter().collect();
-            let pooled = self.pool_candidate(&col, &exec).pooled;
+        let n = col.x.rows();
+        let n_cand = group.len();
+        let mut e_stacked = Matrix::zeros(n_cand * n, Self::DIM);
+        for (c, ctx) in group.iter().enumerate() {
+            for (r, &i) in col.idx.iter().enumerate() {
+                let bit = usize::from(ctx.execution.get(i));
+                e_stacked
+                    .row_mut(c * n + r)
+                    .copy_from_slice(self.exec_embed.row(bit));
+            }
+        }
+        let attn_out = self.attn.forward_stacked(&col.x, &e_stacked, n_cand);
+        // Residual + mean-pool per candidate block: each element adds its
+        // residual first (`add_assign` order), then the block accumulates
+        // row-ascending and scales once by 1/n (`mean_pool_rows` order).
+        let mut pooled_m = Matrix::zeros(n_cand, Self::DIM);
+        let inv = 1.0 / n as f64;
+        for c in 0..n_cand {
+            for r in 0..n {
+                for j in 0..Self::DIM {
+                    let zval = attn_out.get(c * n + r, j) + col.x.get(r, j);
+                    pooled_m.set(c, j, pooled_m.get(c, j) + zval);
+                }
+            }
+            for p in pooled_m.row_mut(c) {
+                *p *= inv;
+            }
+        }
+        let u = self.col_linear.forward(&pooled_m);
+        let aux_dim = self.head.in_dim() - Self::DIM;
+        let mut head_in = Matrix::zeros(n_cand, Self::DIM + aux_dim);
+        for (r, ctx) in group.iter().enumerate() {
             let tokens = match self.mode {
                 NeuralMode::Hybrid => Vec::new(),
                 NeuralMode::NeuralOnly => rule_tokens(ctx.rule),
             };
             let aux = self.aux_features(&ctx.features, &tokens);
-            (pooled, aux)
-        });
-        let mut pooled_m = Matrix::zeros(group.len(), Self::DIM);
-        for (r, (pooled, _)) in per_cand.iter().enumerate() {
-            pooled_m.row_mut(r).copy_from_slice(pooled);
-        }
-        let u = self.col_linear.forward(&pooled_m);
-        let aux_dim = self.head.in_dim() - Self::DIM;
-        let mut head_in = Matrix::zeros(group.len(), Self::DIM + aux_dim);
-        for (r, (_, aux)) in per_cand.iter().enumerate() {
             head_in.row_mut(r)[..Self::DIM].copy_from_slice(u.row(r));
-            head_in.row_mut(r)[Self::DIM..].copy_from_slice(aux);
+            head_in.row_mut(r)[Self::DIM..].copy_from_slice(&aux);
         }
         let logits = self.head.forward(&head_in);
-        (0..group.len())
-            .map(|r| sigmoid(logits.get(r, 0)))
-            .collect()
+        (0..n_cand).map(|r| sigmoid(logits.get(r, 0))).collect()
     }
 
     /// Backward pass for one sample given `dlogit`.

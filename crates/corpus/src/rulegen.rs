@@ -147,8 +147,10 @@ fn numeric_constant(
     if values.is_empty() {
         return 0.0;
     }
+    // Column values come from the finite generators in `values.rs`, but
+    // `total_cmp` is total and panic-free regardless (NaN sorts last).
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     let q = rng.gen_range(quantile_lo..quantile_hi);
     let idx = ((sorted.len() - 1) as f64 * q) as usize;
     let v = sorted[idx];

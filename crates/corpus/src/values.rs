@@ -354,8 +354,10 @@ fn widest_gap(values: &mut [f64], lo: f64, hi: f64) -> Option<(f64, f64)> {
     if values.len() < 4 {
         return None;
     }
+    // Generator values are finite by construction, but `total_cmp` costs
+    // nothing and cannot panic if that ever changes (NaN sorts last).
     let mut sorted = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    sorted.sort_by(f64::total_cmp);
     sorted.dedup();
     let span = (hi - lo).max(1e-9);
     let mut best: Option<(f64, f64)> = None;

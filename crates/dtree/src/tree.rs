@@ -131,18 +131,43 @@ impl DecisionTree {
         }
     }
 
-    /// Predicts classes for every sample in a feature matrix.
+    /// Predicts classes for every sample in a feature matrix. Per-sample
+    /// walks are independent boolean computations, so chunking them across
+    /// `cornet-pool` is trivially thread-count invariant (submission-order
+    /// collection; no float accumulation involved).
     pub fn predict_all(&self, features: &FeatureMatrix) -> BitVec {
-        let mut out = BitVec::zeros(features.n_samples());
-        for s in 0..features.n_samples() {
-            if self.predict_with(|f| features.get(f, s)) {
-                out.set(s, true);
+        let n = features.n_samples();
+        let mut out = BitVec::zeros(n);
+        if n < PAR_PREDICT_MIN {
+            for s in 0..n {
+                if self.predict_with(|f| features.get(f, s)) {
+                    out.set(s, true);
+                }
+            }
+            return out;
+        }
+        let chunk = n.div_ceil(cornet_pool::current_threads().max(1)).max(1);
+        let chunks = cornet_pool::par_chunk_map(n, chunk, |range| {
+            range
+                .map(|s| self.predict_with(|f| features.get(f, s)))
+                .collect::<Vec<bool>>()
+        });
+        let mut s = 0;
+        for chunk in chunks {
+            for p in chunk {
+                if p {
+                    out.set(s, true);
+                }
+                s += 1;
             }
         }
         out
     }
 
-    /// Weighted accuracy of the tree's predictions against labels.
+    /// Weighted accuracy of the tree's predictions against labels. The
+    /// predictions come from the (parallel) [`Self::predict_all`]; the f64
+    /// accumulation below stays serial so the sum order — and thus the
+    /// result's bits — never depends on the thread count.
     pub fn weighted_accuracy(
         &self,
         features: &FeatureMatrix,
@@ -320,6 +345,14 @@ impl Builder<'_> {
     /// Picks the split with the greatest weighted Gini gain, honouring
     /// `min_samples_leaf` and the tie-break hook. Returns `None` when no
     /// valid split improves impurity.
+    ///
+    /// Per-feature gains are independent, so they fan out over
+    /// `cornet-pool` (via [`feature_gain`], which captures only `Sync`
+    /// state — the `&dyn Fn` tie-break hook cannot cross threads). The
+    /// epsilon/tie selection is order-dependent and replays **serially**
+    /// over the gains in `allowed` order, which `par_map`'s
+    /// submission-order collection guarantees — so the chosen feature is
+    /// identical to the historical all-serial loop at every thread count.
     fn best_split(
         &self,
         samples: &[usize],
@@ -329,33 +362,36 @@ impl Builder<'_> {
     ) -> Option<usize> {
         let total = pos + neg;
         let parent_gini = gini(pos, neg);
+        let (features, labels, weights) = (self.features, self.labels, self.weights);
+        let pcw = self.config.positive_class_weight;
+        let msl = self.config.min_samples_leaf;
+        let compute = |f: usize| {
+            feature_gain(
+                features,
+                labels,
+                weights,
+                pcw,
+                msl,
+                samples,
+                pos,
+                neg,
+                parent_gini,
+                total,
+                f,
+            )
+        };
+        let gains: Vec<Option<f64>> = if allowed.len() * samples.len() >= PAR_SPLIT_MIN_WORK {
+            cornet_pool::par_map(allowed.len(), |i| compute(allowed[i]))
+        } else {
+            allowed.iter().map(|&f| compute(f)).collect()
+        };
         // Zero-gain splits are allowed (as in sklearn): XOR-shaped labels
         // have no impurity-reducing split at the root yet become separable
         // one level down. Strictly negative gains are rejected below.
         let mut best_gain = f64::NEG_INFINITY;
         let mut best: Vec<usize> = Vec::new();
-        for &f in allowed {
-            let mut pos_r = 0.0;
-            let mut neg_r = 0.0;
-            let mut count_r = 0usize;
-            for &s in samples {
-                if self.features.get(f, s) {
-                    count_r += 1;
-                    if self.labels.get(s) {
-                        pos_r += self.weight(s);
-                    } else {
-                        neg_r += self.weight(s);
-                    }
-                }
-            }
-            let count_l = samples.len() - count_r;
-            if count_l < self.config.min_samples_leaf || count_r < self.config.min_samples_leaf {
-                continue;
-            }
-            let (pos_l, neg_l) = (pos - pos_r, neg - neg_r);
-            let (w_l, w_r) = (pos_l + neg_l, pos_r + neg_r);
-            let child = (w_l * gini(pos_l, neg_l) + w_r * gini(pos_r, neg_r)) / total;
-            let gain = parent_gini - child;
+        for (&f, gain) in allowed.iter().zip(&gains) {
+            let Some(gain) = *gain else { continue };
             if gain > best_gain + 1e-12 {
                 best_gain = gain;
                 best.clear();
@@ -375,6 +411,56 @@ impl Builder<'_> {
             },
         }
     }
+}
+
+/// Below this `allowed × samples` product a split evaluation stays on the
+/// calling thread — fan-out overhead would swamp the arithmetic.
+const PAR_SPLIT_MIN_WORK: usize = 4096;
+
+/// Minimum sample count before [`DecisionTree::predict_all`] fans out.
+const PAR_PREDICT_MIN: usize = 256;
+
+/// Weighted-Gini gain of splitting `samples` on feature `f` — the body of
+/// [`Builder::best_split`]'s per-feature loop as a free function over
+/// `Sync` state only, so it can run on pool workers. Returns `None` when a
+/// child would fall under `min_samples_leaf`. Each gain is a pure function
+/// of its own feature column (serial f64 accumulation in sample order), so
+/// evaluation order across features cannot change any value.
+#[allow(clippy::too_many_arguments)]
+fn feature_gain(
+    features: &FeatureMatrix,
+    labels: &BitVec,
+    weights: &[f64],
+    positive_class_weight: f64,
+    min_samples_leaf: usize,
+    samples: &[usize],
+    pos: f64,
+    neg: f64,
+    parent_gini: f64,
+    total: f64,
+    f: usize,
+) -> Option<f64> {
+    let mut pos_r = 0.0;
+    let mut neg_r = 0.0;
+    let mut count_r = 0usize;
+    for &s in samples {
+        if features.get(f, s) {
+            count_r += 1;
+            if labels.get(s) {
+                pos_r += weights[s] * positive_class_weight;
+            } else {
+                neg_r += weights[s];
+            }
+        }
+    }
+    let count_l = samples.len() - count_r;
+    if count_l < min_samples_leaf || count_r < min_samples_leaf {
+        return None;
+    }
+    let (pos_l, neg_l) = (pos - pos_r, neg - neg_r);
+    let (w_l, w_r) = (pos_l + neg_l, pos_r + neg_r);
+    let child = (w_l * gini(pos_l, neg_l) + w_r * gini(pos_r, neg_r)) / total;
+    Some(parent_gini - child)
 }
 
 fn gini(pos: f64, neg: f64) -> f64 {

@@ -156,9 +156,14 @@ fn compare(op: BinaryOp, lv: &FValue, rv: &FValue) -> FValue {
                 a.cmp(&b)
             }
             _ => {
+                // NaN is reachable here (finite arithmetic can overflow to
+                // ∞, and ∞ − ∞ = NaN). `total_cmp` sorts NaN above every
+                // number, so `NaN = x` is FALSE instead of the silent TRUE
+                // the old `unwrap_or(Equal)` produced (regression test
+                // `nan_compares_unequal_not_silently_equal`).
                 let a = lv.as_number().unwrap_or(0.0);
                 let b = rv.as_number().unwrap_or(0.0);
-                a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+                a.total_cmp(&b)
             }
         }
     } else {
@@ -406,6 +411,26 @@ mod tests {
         // Excel: any number < any text.
         assert!(truthy("A1<\"a\"", CellValue::Number(9e9)));
         assert!(!truthy("A1>\"a\"", CellValue::Number(9e9)));
+    }
+
+    #[test]
+    fn nan_compares_unequal_not_silently_equal() {
+        // ∞ − ∞ = NaN reaches the numeric comparator; the old
+        // `partial_cmp(..).unwrap_or(Equal)` made `NaN = x` TRUE for every
+        // x. `total_cmp` orders NaN above all numbers: never equal, always
+        // strictly greater.
+        let nan = "(1e308*10)-(1e308*10)"; // inf - inf
+        assert!(!truthy(&format!("({nan})=0"), CellValue::Empty));
+        // The total order is reflexive: an identical NaN equals itself
+        // (unlike IEEE `==`, deliberately — the order must be total).
+        assert!(truthy(&format!("({nan})=({nan})"), CellValue::Empty));
+        assert!(truthy(&format!("({nan})<>0"), CellValue::Empty));
+        // The sign of the NaN that `∞ − ∞` yields is platform-defined, so
+        // it lands either above every number or below (−NaN) — but always
+        // strictly ordered, never equal.
+        let gt = truthy(&format!("({nan})>1e308"), CellValue::Empty);
+        let lt = truthy(&format!("({nan})<-1e308"), CellValue::Empty);
+        assert!(gt ^ lt, "NaN must order strictly to one side");
     }
 
     #[test]

@@ -79,6 +79,78 @@ impl CrossAttention {
         )
     }
 
+    /// Inference-only batched forward over `n_cand` stacked key/value
+    /// blocks sharing one query matrix.
+    ///
+    /// `e_stacked` holds the candidates' E matrices stacked row-wise
+    /// (`(n_cand·m) × d`, candidate `c` in rows `c·m .. (c+1)·m`); the
+    /// return value stacks the per-candidate outputs the same way
+    /// (`(n_cand·n) × d`). Bit-identical to calling [`Self::forward`] once
+    /// per block: `Q = X·Wq` is computed once (each candidate's query rows
+    /// are the same values), `K`/`V` for all candidates come from single
+    /// matmuls whose output rows each depend only on their own input row,
+    /// the score matrix `Q·K_allᵀ` holds exactly the per-candidate dot
+    /// products in its `m`-wide column segments, softmax is applied per
+    /// segment with the same algorithm as [`softmax_rows`], and each output
+    /// block accumulates in the same ascending-`k` order as
+    /// [`Matrix::matmul`].
+    pub fn forward_stacked(&self, x: &Matrix, e_stacked: &Matrix, n_cand: usize) -> Matrix {
+        let d = self.wv.cols();
+        let n = x.rows();
+        if n_cand == 0 {
+            assert_eq!(e_stacked.rows(), 0, "stacked rows must be n_cand * m");
+            return Matrix::zeros(0, d);
+        }
+        assert_eq!(
+            e_stacked.rows() % n_cand,
+            0,
+            "stacked rows must be n_cand * m"
+        );
+        let m = e_stacked.rows() / n_cand;
+
+        let q = x.matmul(&self.wq);
+        let k_all = e_stacked.matmul(&self.wk);
+        let v_all = e_stacked.matmul(&self.wv);
+        // n × (n_cand·m): segment c·m..(c+1)·m of row i holds candidate
+        // c's query-i scores, bit-equal to the per-candidate `q.matmul_t(&k)`.
+        let mut s_all = q.matmul_t(&k_all);
+        s_all.scale(1.0 / (self.wq.cols() as f64).sqrt());
+        // Per-segment softmax, same operation order as `softmax_rows` on
+        // the per-candidate score matrix.
+        for r in 0..n {
+            let row = s_all.row_mut(r);
+            for seg in row.chunks_mut(m.max(1)) {
+                let max = seg.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                let mut sum = 0.0;
+                for v in seg.iter_mut() {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                if sum > 0.0 {
+                    for v in seg.iter_mut() {
+                        *v /= sum;
+                    }
+                }
+            }
+        }
+        // Output blocks: row c·n+i accumulates candidate c's attention row
+        // against its V block in ascending `k` — the `matmul` order.
+        let mut out = Matrix::zeros(n_cand * n, d);
+        for c in 0..n_cand {
+            for i in 0..n {
+                for k in 0..m {
+                    let a = s_all.get(i, c * m + k);
+                    let vrow = v_all.row(c * m + k);
+                    let orow = out.row_mut(c * n + i);
+                    for (o, &b) in orow.iter_mut().zip(vrow) {
+                        *o += a * b;
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Backward: accumulates weight gradients, returns `(dx, de)`.
     pub fn backward(&mut self, cache: &AttentionCache, dout: &Matrix) -> (Matrix, Matrix) {
         let scale = 1.0 / (self.wq.cols() as f64).sqrt();
@@ -137,6 +209,50 @@ mod tests {
         for r in 0..3 {
             let sum: f64 = cache.attn.row(r).iter().sum();
             assert!((sum - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// The stacked inference path must reproduce per-candidate forward
+    /// passes bit-for-bit, including the 0- and 1-candidate edges.
+    #[test]
+    fn forward_stacked_matches_per_candidate_bitwise() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let d = 4;
+        let attn = CrossAttention::new(d, &mut rng);
+        let x = Matrix::xavier(3, d, &mut rng);
+        for &n_cand in &[0usize, 1, 5] {
+            let m = 6;
+            let blocks: Vec<Matrix> = (0..n_cand)
+                .map(|_| Matrix::xavier(m, d, &mut rng))
+                .collect();
+            let mut stacked = Matrix::zeros(n_cand * m, d);
+            for (c, e) in blocks.iter().enumerate() {
+                for r in 0..m {
+                    stacked.row_mut(c * m + r).copy_from_slice(e.row(r));
+                }
+            }
+            let out = attn.forward_stacked(&x, &stacked, n_cand);
+            assert_eq!((out.rows(), out.cols()), (n_cand * x.rows(), d));
+            for (c, e) in blocks.iter().enumerate() {
+                let (single, _) = attn.forward(&x, e);
+                for r in 0..x.rows() {
+                    for (a, b) in out.row(c * x.rows() + r).iter().zip(single.row(r)) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+            }
+        }
+        // Degenerate m = 0 block: empty keys give an all-zero output row,
+        // same as the per-candidate path.
+        let empty = Matrix::zeros(0, d);
+        let out = attn.forward_stacked(&x, &empty, 2);
+        let (single, _) = attn.forward(&x, &Matrix::zeros(0, d));
+        for r in 0..x.rows() {
+            for c in 0..2 {
+                for (a, b) in out.row(c * x.rows() + r).iter().zip(single.row(r)) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
         }
     }
 

@@ -1,7 +1,33 @@
 //! Dense row-major matrices.
+//!
+//! # The kernel bit-identity rule
+//!
+//! Every product kernel here accumulates each output element from that
+//! element's inputs only, in a fixed left-to-right (ascending `k`) order
+//! from a `+0.0` start. Batching rows, tiling loops for cache locality, or
+//! computing `A·Bᵀ` via a transposed copy therefore never changes a single
+//! output bit relative to the naive triple loop — the property the batched
+//! ranking and stacked-attention paths rely on
+//! (`tests/kernels_differential.rs` pins it).
+//!
+//! The kernels do **not** skip zero terms: `0.0 × NaN` and `0.0 × ∞` are
+//! `NaN` and must surface, so a poisoned weight cannot silently vanish
+//! from a product.
+//!
+//! One historical wrinkle the rule normalises: `matmul_t` used to take its
+//! dots with `Iterator::sum`, whose identity is `-0.0`, so a dot whose
+//! terms were all `-0.0` came out `-0.0` while the sibling kernels (which
+//! accumulate into `Matrix::zeros`) produced `+0.0`. Under the `+0.0`-start
+//! rule all three kernels agree: such degenerate dots are `+0.0`.
 
 use rand::Rng;
 use std::fmt;
+
+/// Row-block edge of the tiled [`Matrix::matmul`] kernel.
+const I_BLOCK: usize = 32;
+
+/// Inner-dimension block edge of the tiled [`Matrix::matmul`] kernel.
+const K_BLOCK: usize = 128;
 
 /// A dense row-major `f64` matrix.
 #[derive(Clone, PartialEq)]
@@ -98,42 +124,72 @@ impl Matrix {
         &mut self.data
     }
 
-    /// `self @ other`.
+    /// `self @ other`, as an `i/k`-tiled branch-free kernel.
+    ///
+    /// The output row stays full-width in the inner loop, which is then a
+    /// contiguous axpy over independent lanes — exactly what the
+    /// autovectorizer can lift to SIMD (a strict dot-product reduction
+    /// cannot be vectorized without reassociating the sum). Tiling visits
+    /// `k`-blocks in ascending order, so each `out[i][j]` still accumulates
+    /// its terms in ascending `k` from `+0.0` — bit-identical to the naive
+    /// `i,k,j` triple loop. Zero terms are **not** skipped so non-finite
+    /// inputs propagate (`0.0 × NaN = NaN`).
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.rows, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let orow = other.row(k);
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
+        let cols = other.cols;
+        for i0 in (0..self.rows).step_by(I_BLOCK) {
+            let i_end = (i0 + I_BLOCK).min(self.rows);
+            for k0 in (0..self.cols).step_by(K_BLOCK) {
+                let k_end = (k0 + K_BLOCK).min(self.cols);
+                for i in i0..i_end {
+                    let arow = &self.data[i * self.cols..(i + 1) * self.cols];
+                    let orow = &mut out.data[i * cols..(i + 1) * cols];
+                    for k in k0..k_end {
+                        let a = arow[k];
+                        let brow = &other.data[k * cols..(k + 1) * cols];
+                        for (o, &b) in orow.iter_mut().zip(brow) {
+                            *o += a * b;
+                        }
+                    }
                 }
             }
         }
         out
     }
 
-    /// `self @ otherᵀ`.
+    /// `self @ otherᵀ`, as direct row-against-row dots.
+    ///
+    /// Both operands walk their rows contiguously, so no transposed copy is
+    /// materialised (the kernels sit on hot per-candidate paths where the
+    /// extra allocation shows up). Each dot accumulates ascending `k` from
+    /// `+0.0` — the exact operation sequence of
+    /// `self.matmul(&other.transpose())`, hence bit-identical to the tiled
+    /// kernel (`tests/kernels_differential.rs` pins it). Zero terms are not
+    /// skipped.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let arow = self.row(i);
-            for j in 0..other.rows {
-                let brow = other.row(j);
-                let dot: f64 = arow.iter().zip(brow).map(|(a, b)| a * b).sum();
-                out.set(i, j, dot);
+            let orow = &mut out.data[i * other.rows..(i + 1) * other.rows];
+            for (j, o) in orow.iter_mut().enumerate() {
+                let brow = &other.data[j * other.cols..(j + 1) * other.cols];
+                let mut dot = 0.0;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    dot += a * b;
+                }
+                *o = dot;
             }
         }
         out
     }
 
-    /// `selfᵀ @ other`.
+    /// `selfᵀ @ other`, as a direct `k`-outer axpy over rows of both
+    /// operands — all accesses contiguous, no transposed copy. `out[i][j]`
+    /// accumulates over ascending rows `k` of `self` from `+0.0`: the same
+    /// order as `self.transpose().matmul(other)`, hence bit-identical to
+    /// the tiled kernel. Zero terms are not skipped.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "inner dimensions must agree");
         let mut out = Matrix::zeros(self.cols, other.cols);
@@ -141,11 +197,8 @@ impl Matrix {
             let arow = self.row(k);
             let brow = other.row(k);
             for (i, &a) in arow.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(brow) {
+                let orow = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in orow.iter_mut().zip(brow) {
                     *o += a * b;
                 }
             }
@@ -247,6 +300,90 @@ mod tests {
         let via_t = a.transpose().matmul(&b);
         for (x, y) in direct.data().iter().zip(via_t.data()) {
             assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    /// `0.0 × NaN` and `0.0 × ∞` must surface as NaN — the kernels may not
+    /// skip zero terms, or a poisoned weight silently vanishes from the
+    /// product (the PR 7 bugfix).
+    #[test]
+    fn zero_times_non_finite_propagates_nan() {
+        let a = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+        let b = Matrix::from_vec(2, 1, vec![f64::NAN, 2.0]);
+        assert!(a.matmul(&b).get(0, 0).is_nan());
+
+        let b_inf = Matrix::from_vec(2, 1, vec![f64::INFINITY, 2.0]);
+        assert!(a.matmul(&b_inf).get(0, 0).is_nan());
+
+        // Same poisoning through the transposed-operand kernels.
+        let bt = Matrix::from_vec(1, 2, vec![f64::NAN, 2.0]);
+        assert!(a.matmul_t(&bt).get(0, 0).is_nan());
+        let at = Matrix::from_vec(2, 1, vec![0.0, 1.0]);
+        let c = Matrix::from_vec(2, 1, vec![f64::NAN, 2.0]);
+        assert!(at.t_matmul(&c).get(0, 0).is_nan());
+    }
+
+    /// The tiled kernel must agree with the naive `i,k,j` triple loop to
+    /// the last bit, including at sizes that straddle the block edges.
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_naive_triple_loop() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for &(m, k, n) in &[
+            (1usize, 1usize, 1usize),
+            (3, 5, 2),
+            (I_BLOCK, K_BLOCK, 4),
+            (I_BLOCK + 1, K_BLOCK + 1, 3),
+            (2 * I_BLOCK + 5, K_BLOCK / 2 + 3, 7),
+        ] {
+            let a = Matrix::xavier(m, k, &mut rng);
+            let b = Matrix::xavier(k, n, &mut rng);
+            let tiled = a.matmul(&b);
+            let mut naive = Matrix::zeros(m, n);
+            for i in 0..m {
+                for kk in 0..k {
+                    let av = a.get(i, kk);
+                    for j in 0..n {
+                        let acc = naive.get(i, j) + av * b.get(kk, j);
+                        naive.set(i, j, acc);
+                    }
+                }
+            }
+            for (x, y) in tiled.data().iter().zip(naive.data()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    /// `matmul_t`/`t_matmul` now route through a transposed copy; the
+    /// results must be bit-identical to the historical direct loops (a
+    /// row·row dot in ascending `k`, and a `k`-outer axpy respectively).
+    #[test]
+    fn transposed_kernels_match_direct_loops_bitwise() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let a = Matrix::xavier(6, 9, &mut rng);
+        let b = Matrix::xavier(4, 9, &mut rng);
+        let batched = a.matmul_t(&b);
+        for i in 0..6 {
+            for j in 0..4 {
+                let dot: f64 = a.row(i).iter().zip(b.row(j)).map(|(x, y)| x * y).sum();
+                assert_eq!(batched.get(i, j).to_bits(), dot.to_bits());
+            }
+        }
+
+        let c = Matrix::xavier(9, 5, &mut rng);
+        let d = Matrix::xavier(9, 3, &mut rng);
+        let routed = c.t_matmul(&d);
+        let mut direct = Matrix::zeros(5, 3);
+        for k in 0..9 {
+            for i in 0..5 {
+                for j in 0..3 {
+                    let acc = direct.get(i, j) + c.get(k, i) * d.get(k, j);
+                    direct.set(i, j, acc);
+                }
+            }
+        }
+        for (x, y) in routed.data().iter().zip(direct.data()) {
+            assert_eq!(x.to_bits(), y.to_bits());
         }
     }
 

@@ -1,0 +1,213 @@
+//! Differential suite for the PR 7 kernel restructuring: the tiled/
+//! transposed `Matrix` kernels and the stacked attention path must be
+//! **bit-identical** to the naive serial loops they replaced, for any
+//! shape and any input values — including non-finite ones, which the
+//! kernels must propagate rather than skip.
+//!
+//! Wired into the CI `thread-matrix` job by name next to the other
+//! differential suites; the kernels themselves are single-threaded, so
+//! this suite is trivially thread-count invariant.
+
+use cornet_repro::nn::{CrossAttention, Matrix};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+/// The historical naive `i,k,j` triple loop `A·B` (accumulate ascending
+/// `k` from `+0.0`, no zero skipping).
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for k in 0..a.cols() {
+            let av = a.get(i, k);
+            for j in 0..b.cols() {
+                out.set(i, j, out.get(i, j) + av * b.get(k, j));
+            }
+        }
+    }
+    out
+}
+
+/// The direct `A·Bᵀ`: one row·row dot per output element, folded from the
+/// canonical `+0.0` start. (The historical code used `Iterator::sum`,
+/// whose identity is `-0.0` — an all-`-0.0`-terms dot came out `-0.0`
+/// there while the sibling kernels produced `+0.0`; the `+0.0`-start rule
+/// deliberately normalises that, see the `matrix` module doc.)
+fn naive_matmul_t(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        for j in 0..b.rows() {
+            let dot = a
+                .row(i)
+                .iter()
+                .zip(b.row(j))
+                .fold(0.0f64, |acc, (x, y)| acc + x * y);
+            out.set(i, j, dot);
+        }
+    }
+    out
+}
+
+/// The historical direct `Aᵀ·B`: `k`-outer axpy in ascending `k`.
+fn naive_t_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.cols(), b.cols());
+    for k in 0..a.rows() {
+        for i in 0..a.cols() {
+            for j in 0..b.cols() {
+                out.set(i, j, out.get(i, j) + a.get(k, i) * b.get(k, j));
+            }
+        }
+    }
+    out
+}
+
+/// Bit equality with one carve-out: when *both* sides are NaN, any payload
+/// matches. Rust documents NaN payload/sign bits as non-deterministic —
+/// e.g. `acc + term` with two NaN operands keeps whichever operand's
+/// payload LLVM put in the `addsd` destination, so a propagated input NaN
+/// (`7ff8…`) and the x86 indefinite NaN from `∞ × −0.0` (`fff8…`) can win
+/// in either order across code shapes. The value *class* is still pinned:
+/// a NaN may never become a non-NaN (that was the zero-skip bug) and vice
+/// versa, and every non-NaN output — including ±0.0 and ±∞ — must match
+/// bit for bit.
+fn assert_bits_equal(label: &str, got: &Matrix, want: &Matrix) {
+    assert_eq!((got.rows(), got.cols()), (want.rows(), want.cols()));
+    for (i, (x, y)) in got.data().iter().zip(want.data()).enumerate() {
+        if x.is_nan() && y.is_nan() {
+            continue;
+        }
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{label}: element {i} diverged ({x} vs {y})"
+        );
+    }
+}
+
+proptest! {
+    /// Tiled `matmul` ≡ naive triple loop, bit for bit, over random shapes
+    /// straddling the tile edges and values including NaN/±∞/−0.0.
+    #[test]
+    fn blocked_matmul_matches_naive(
+        m in 1usize..40,
+        k in 1usize..140,
+        n in 1usize..12,
+        seed in any::<u64>(),
+    ) {
+        let (a, b) = two_matrices(m, k, n, seed);
+        assert_bits_equal("matmul", &a.matmul(&b), &naive_matmul(&a, &b));
+    }
+
+    /// `matmul_t` (now via a transposed copy) ≡ the direct row·row dots.
+    #[test]
+    fn matmul_t_matches_direct_dots(
+        m in 1usize..24,
+        k in 1usize..48,
+        n in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let (a, bt) = two_matrices(m, k, n, seed);
+        let b = bt.transpose(); // n×k → rows share a's row width
+        assert_bits_equal("matmul_t", &a.matmul_t(&b), &naive_matmul_t(&a, &b));
+    }
+
+    /// `t_matmul` (now via a transposed copy) ≡ the direct `k`-outer loop.
+    #[test]
+    fn t_matmul_matches_direct_loop(
+        m in 1usize..24,
+        k in 1usize..48,
+        n in 1usize..16,
+        seed in any::<u64>(),
+    ) {
+        let (a0, b) = two_matrices(m, k, n, seed);
+        let a = a0.transpose(); // k×m: rows match b's k rows
+        prop_assert_eq!(a.rows(), b.rows());
+        assert_bits_equal("t_matmul", &a.t_matmul(&b), &naive_t_matmul(&a, &b));
+    }
+
+    /// Stacked attention ≡ per-candidate attention, bit for bit, for
+    /// ragged candidate counts (0, 1, many) and any key-block height.
+    #[test]
+    fn stacked_attention_matches_per_candidate(
+        n_cand in 0usize..6,
+        m in 0usize..9,
+        n in 1usize..7,
+        seed in any::<u64>(),
+    ) {
+        let d = 5;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let attn = CrossAttention::new(d, &mut rng);
+        let x = Matrix::xavier(n, d, &mut rng);
+        let blocks: Vec<Matrix> =
+            (0..n_cand).map(|_| Matrix::xavier(m, d, &mut rng)).collect();
+        let mut stacked = Matrix::zeros(n_cand * m, d);
+        for (c, e) in blocks.iter().enumerate() {
+            for r in 0..m {
+                stacked.row_mut(c * m + r).copy_from_slice(e.row(r));
+            }
+        }
+        let out = attn.forward_stacked(&x, &stacked, n_cand);
+        prop_assert_eq!((out.rows(), out.cols()), (n_cand * n, d));
+        for (c, e) in blocks.iter().enumerate() {
+            let (single, _) = attn.forward(&x, e);
+            for r in 0..n {
+                for j in 0..d {
+                    prop_assert_eq!(
+                        out.get(c * n + r, j).to_bits(),
+                        single.get(r, j).to_bits(),
+                        "candidate {} row {} col {}", c, r, j
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Deterministically builds an `m×k` and a `k×n` matrix from a seed using
+/// the same non-finite-inclusive element distribution as [`arb_element`].
+fn two_matrices(m: usize, k: usize, n: usize, seed: u64) -> (Matrix, Matrix) {
+    use rand::Rng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut element = |rng: &mut rand::rngs::StdRng| -> f64 {
+        match rng.gen_range(0..13u32) {
+            0 => 0.0,
+            1 => -0.0,
+            2 => f64::NAN,
+            3 => f64::INFINITY,
+            4 => f64::NEG_INFINITY,
+            _ => rng.gen_range(-1e3..1e3),
+        }
+    };
+    let a = Matrix::from_vec(m, k, (0..m * k).map(|_| element(&mut rng)).collect());
+    let b = Matrix::from_vec(k, n, (0..k * n).map(|_| element(&mut rng)).collect());
+    (a, b)
+}
+
+/// All kernels agree on the degenerate all-`-0.0`-terms dot: `+0.0`, per
+/// the `+0.0`-start accumulation rule (the historical `matmul_t` answered
+/// `-0.0` here via `Iterator::sum`).
+#[test]
+fn signed_zero_dot_is_normalised_to_positive_zero() {
+    let a = Matrix::from_vec(1, 2, vec![1.0, 2.0]);
+    let negz = Matrix::from_vec(1, 2, vec![-0.0, -0.0]);
+    assert_eq!(a.matmul_t(&negz).get(0, 0).to_bits(), 0.0f64.to_bits());
+    assert_eq!(
+        a.matmul(&negz.transpose()).get(0, 0).to_bits(),
+        0.0f64.to_bits()
+    );
+    let at = Matrix::from_vec(2, 1, vec![1.0, 2.0]);
+    let bz = Matrix::from_vec(2, 1, vec![-0.0, -0.0]);
+    assert_eq!(at.t_matmul(&bz).get(0, 0).to_bits(), 0.0f64.to_bits());
+}
+
+/// `0.0 × NaN` and `0.0 × ∞` must poison the product — the old kernels
+/// skipped zero terms and silently dropped the NaN.
+#[test]
+fn zero_terms_propagate_non_finite_values() {
+    let a = Matrix::from_vec(1, 2, vec![0.0, 1.0]);
+    let nan = Matrix::from_vec(2, 1, vec![f64::NAN, 2.0]);
+    assert!(a.matmul(&nan).get(0, 0).is_nan());
+    let inf = Matrix::from_vec(2, 1, vec![f64::INFINITY, 2.0]);
+    assert!(a.matmul(&inf).get(0, 0).is_nan());
+    let at = Matrix::from_vec(2, 1, vec![0.0, 1.0]);
+    assert!(at.t_matmul(&nan).get(0, 0).is_nan());
+}

@@ -275,6 +275,63 @@ fn column_is_embedded_once_per_batched_learn() {
     assert_eq!(embed_batch_calls() - before, 1);
 }
 
+/// Ragged group shapes: `score_batch` groups candidates by consecutive
+/// runs of one `cell_texts` pointer, so a batch mixing singleton groups,
+/// an empty column, a many-candidate group, and the *same* column
+/// reappearing as a later run must still match the serial loop bit for
+/// bit — under 1 and 4 threads — and an empty batch must come back empty.
+#[test]
+fn score_batch_is_serial_identical_for_ragged_group_shapes() {
+    let fixtures: Vec<RankFixture> = (0..12u64).filter_map(RankFixture::build).collect();
+    assert!(fixtures.len() >= 3, "need three columns for a ragged batch");
+
+    let empty_texts: Vec<String> = Vec::new();
+    let empty_bits = BitVec::zeros(0);
+    let empty_rule = &fixtures[0].candidates[0].rule;
+    let empty_ctx = RankContext {
+        rule: empty_rule,
+        cell_texts: &empty_texts,
+        execution: &empty_bits,
+        cluster_labels: &empty_bits,
+        negatives: &empty_bits,
+        dtype: None,
+        features: [0.0; FEATURE_DIM],
+    };
+
+    let (a, b, c) = (
+        fixtures[0].contexts(),
+        fixtures[1].contexts(),
+        fixtures[2].contexts(),
+    );
+    let mut ragged: Vec<RankContext<'_>> = Vec::new();
+    ragged.push(a[0].clone()); // singleton group
+    ragged.push(empty_ctx.clone()); // empty column → constant 0.5
+    ragged.extend(b.iter().cloned()); // many-candidate group
+    ragged.extend(a.iter().cloned()); // column A again, as a fresh run
+    ragged.push(empty_ctx); // empty column again
+    ragged.push(c[0].clone()); // trailing singleton
+
+    for (name, ranker) in rankers() {
+        assert!(
+            ranker.score_batch(&[]).is_empty(),
+            "ranker {name}: empty batch"
+        );
+        let serial: Vec<f64> = ragged.iter().map(|ctx| ranker.score(ctx)).collect();
+        for threads in [1usize, 4] {
+            let batched = with_threads(threads, || ranker.score_batch(&ragged));
+            assert_eq!(batched.len(), serial.len());
+            for (i, (got, want)) in batched.iter().zip(&serial).enumerate() {
+                assert_eq!(
+                    got.to_bits(),
+                    want.to_bits(),
+                    "ranker {name}, threads {threads}, position {i}: \
+                     batched {got} != serial {want}"
+                );
+            }
+        }
+    }
+}
+
 /// Full-pipeline thread-count differential: `learn()` with the neural
 /// ranker returns identical candidates (rules, order, score bits) at 1 and
 /// 4 threads.
