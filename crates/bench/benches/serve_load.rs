@@ -21,10 +21,12 @@
 //! exercises the whole client/server path on every push.
 
 use cornet_corpus::{generate_corpus_sharded, CorpusConfig};
-use cornet_serve::http::HttpClient;
+use cornet_obs::expo::Exposition;
+use cornet_serve::http::{http_request_text, HttpClient};
 use cornet_serve::service::{CornetService, LearnRequest, ServiceConfig};
 use cornet_serve::{Server, ServerConfig};
 use cornet_table::CellValue;
+use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -42,9 +44,31 @@ fn percentile(sorted: &[u64], p: f64) -> u64 {
     sorted[rank.min(sorted.len()) - 1]
 }
 
+/// Scrapes and parses `GET /metrics`; `None` (skipping the server-side
+/// report) if the endpoint is off or the exposition does not parse.
+fn scrape(addr: SocketAddr) -> Option<Exposition> {
+    let (status, text) = http_request_text(addr, "GET", "/metrics").ok()?;
+    if status != 200 {
+        return None;
+    }
+    cornet_obs::expo::parse(&text).ok()
+}
+
+/// Counter/gauge delta between two scrapes (0 when a sample is absent).
+fn delta(before: &Exposition, after: &Exposition, name: &str, labels: &[(&str, &str)]) -> f64 {
+    after.value(name, labels).unwrap_or(0.0) - before.value(name, labels).unwrap_or(0.0)
+}
+
 fn main() {
     // Cargo passes `--bench` (and test-filter args); accept and ignore.
     let smoke = std::env::var("SERVE_LOAD_SMOKE").is_ok_and(|v| v == "1");
+    // Same knob as the cornet-serve binary: CORNET_TRACE installs the
+    // stderr span sink, so the harness can measure tracing overhead
+    // (results/serve_load_obs.md) with the identical production path.
+    let traced = std::env::var("CORNET_TRACE").is_ok_and(|v| !v.is_empty() && v != "0");
+    if traced {
+        cornet_obs::set_trace_sink(Arc::new(cornet_obs::StderrSink));
+    }
     let conns = env_usize("SERVE_LOAD_CONNS", if smoke { 4 } else { 8 });
     let rps = env_usize("SERVE_LOAD_RPS", if smoke { 200 } else { 400 });
     let total = env_usize("SERVE_LOAD_REQUESTS", if smoke { 200 } else { 2000 });
@@ -92,9 +116,14 @@ fn main() {
     let addr = server.addr();
 
     println!(
-        "serve_load: {conns} keep-alive connections, target {rps} req/s, {total} requests{}",
-        if smoke { " (smoke mode)" } else { "" }
+        "serve_load: {conns} keep-alive connections, target {rps} req/s, {total} requests{}{}",
+        if smoke { " (smoke mode)" } else { "" },
+        if traced { " (stderr trace sink)" } else { "" }
     );
+
+    // Server-side view: scrape /metrics before and after the run, report
+    // deltas alongside the client-side percentiles below.
+    let metrics_before = scrape(addr);
 
     let start = Instant::now() + Duration::from_millis(50);
     let per_request = Duration::from_secs_f64(1.0 / rps as f64);
@@ -144,6 +173,7 @@ fn main() {
         }
     }
     let elapsed = start.elapsed();
+    let metrics_after = scrape(addr);
     drop(server);
     let _ = std::fs::remove_dir_all(&dir);
 
@@ -164,4 +194,38 @@ fn main() {
         all.last().copied().unwrap_or(0),
         achieved,
     );
+    if let (Some(before), Some(after)) = (metrics_before, metrics_after) {
+        let score = [("route", "/score")];
+        let served = delta(
+            &before,
+            &after,
+            "cornet_http_requests_total",
+            &[("route", "/score"), ("status", "200")],
+        );
+        let dur_sum = delta(
+            &before,
+            &after,
+            "cornet_http_request_duration_seconds_sum",
+            &score,
+        );
+        let dur_count = delta(
+            &before,
+            &after,
+            "cornet_http_request_duration_seconds_count",
+            &score,
+        );
+        let mean_us = if dur_count > 0.0 {
+            dur_sum / dur_count * 1e6
+        } else {
+            0.0
+        };
+        let hits = delta(&before, &after, "cornet_store_hits_total", &[]);
+        let misses = delta(&before, &after, "cornet_store_misses_total", &[]);
+        println!(
+            "serve_load: server-side /score: {served:.0} × 200 · mean {mean_us:.0} µs \
+             (routing + write) · store hits {hits:.0} / misses {misses:.0}"
+        );
+    } else {
+        println!("serve_load: /metrics unavailable, server-side report skipped");
+    }
 }

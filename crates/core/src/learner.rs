@@ -8,8 +8,59 @@ use crate::fullsearch::{full_search, FullSearchConfig};
 use crate::predgen::{generate_predicates, infer_type, GenConfig};
 use crate::rank::{score_descending, RankContext, Ranker, ScoredRule, SymbolicRanker};
 use crate::signature::CellSignatures;
+use cornet_obs::{Counter, Histogram, StageTimer};
 use cornet_table::CellValue;
 use std::fmt;
+use std::sync::OnceLock;
+
+/// Learner-level metric handles, registered once in the process-wide
+/// [`cornet_obs::registry`]. Purely observational: timers and counters
+/// never influence the search, so instrumented learns stay bit-identical
+/// to uninstrumented ones at any thread count.
+struct LearnMetrics {
+    /// Successful learns (any entry point).
+    learns: Counter,
+    /// Enforcing learns that proved no rule satisfies the spec.
+    abstentions: Counter,
+    /// Relaxed-fallback learns ([`Cornet::learn_spec_relaxed`]).
+    relaxed: Counter,
+    /// Per-stage wall time, labelled by pipeline stage.
+    predgen: Histogram,
+    cluster: Histogram,
+    enumerate: Histogram,
+    fullsearch: Histogram,
+    rank: Histogram,
+}
+
+fn learn_metrics() -> &'static LearnMetrics {
+    static METRICS: OnceLock<LearnMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = cornet_obs::registry();
+        let stage = |name: &str| {
+            registry.histogram_with(
+                "cornet_learn_stage_duration_seconds",
+                "Learner pipeline stage wall time",
+                &[("stage", name)],
+            )
+        };
+        LearnMetrics {
+            learns: registry.counter("cornet_learns_total", "Learns that produced candidates"),
+            abstentions: registry.counter(
+                "cornet_learn_abstentions_total",
+                "Enforcing learns that abstained (no rule satisfies the spec)",
+            ),
+            relaxed: registry.counter(
+                "cornet_learn_relaxed_total",
+                "Relaxed-fallback learns after an abstention",
+            ),
+            predgen: stage("predgen"),
+            cluster: stage("cluster"),
+            enumerate: stage("enumerate"),
+            fullsearch: stage("fullsearch"),
+            rank: stage("rank"),
+        }
+    })
+}
 
 /// Which candidate generator to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -215,6 +266,7 @@ impl<R: Ranker> Cornet<R> {
     /// first. `cornet-serve` serves this (flagged `consistent:false`)
     /// when [`Cornet::learn_spec`] abstains.
     pub fn learn_spec_relaxed(&self, spec: &LearnSpec) -> Result<LearnOutcome, LearnError> {
+        learn_metrics().relaxed.inc();
         self.learn_impl(&spec.cells, &spec.positives, &spec.negatives, false)
     }
 
@@ -238,8 +290,12 @@ impl<R: Ranker> Cornet<R> {
             return Err(LearnError::ConflictingExample(bad));
         }
 
+        let metrics = learn_metrics();
+
         // 1. Predicate generation (§3.1).
+        let timer = StageTimer::start("learn.predgen", metrics.predgen.clone());
         let predicates = generate_predicates(cells, &self.config.gen);
+        drop(timer);
         if predicates.is_empty() {
             return Err(LearnError::NoPredicates);
         }
@@ -249,6 +305,7 @@ impl<R: Ranker> Cornet<R> {
         // fallback clusters as if uncorrected, so its candidate pool is
         // exactly the unconstrained learner's and only the *ranking* sees
         // the corrections (via the mask below).
+        let timer = StageTimer::start("learn.cluster", metrics.cluster.clone());
         let signatures = CellSignatures::from_predicates(&predicates);
         let search_negatives: &[usize] = if enforce { negatives } else { &[] };
         let outcome = cluster_constrained(
@@ -257,6 +314,7 @@ impl<R: Ranker> Cornet<R> {
             search_negatives,
             &self.config.cluster,
         );
+        drop(timer);
         let negative_mask = cornet_table::BitVec::from_indices(cells.len(), negatives);
 
         // 3. Candidate rule enumeration (§3.3). When enforcing, both
@@ -265,13 +323,18 @@ impl<R: Ranker> Cornet<R> {
         // negatives.
         let candidates = match self.config.strategy {
             SearchStrategy::Greedy => {
+                let _timer = StageTimer::start("learn.enumerate", metrics.enumerate.clone());
                 enumerate_rules(&predicates, &outcome, &self.config.enumeration)
             }
             SearchStrategy::Exhaustive => {
+                let _timer = StageTimer::start("learn.fullsearch", metrics.fullsearch.clone());
                 full_search(&predicates, &outcome, &self.config.full_search)
             }
         };
         if candidates.is_empty() {
+            if enforce {
+                metrics.abstentions.inc();
+            }
             return Err(LearnError::NoConsistentRule);
         }
 
@@ -279,6 +342,7 @@ impl<R: Ranker> Cornet<R> {
         // one `score_batch` call so rankers can amortise per-column work
         // (the neural ranker embeds the column once and batches its linear
         // layers across candidates).
+        let rank_timer = StageTimer::start("learn.rank", metrics.rank.clone());
         let cell_texts: Vec<String> = cells.iter().map(CellValue::display_string).collect();
         let dtype = infer_type(cells);
         let executions: Vec<_> = candidates
@@ -329,6 +393,8 @@ impl<R: Ranker> Cornet<R> {
                 .then_with(|| a.rule.token_length().cmp(&b.rule.token_length()))
                 .then_with(|| a.rule.to_string().cmp(&b.rule.to_string()))
         });
+        drop(rank_timer);
+        metrics.learns.inc();
 
         Ok(LearnOutcome {
             stats: LearnStats {

@@ -1,0 +1,236 @@
+//! Parser for the Prometheus text exposition format (version 0.0.4).
+//!
+//! Shared by the `/metrics` conformance tests and the `serve_load`
+//! harness, which scrapes the endpoint before and after a run to
+//! report server-side stage breakdowns. Only the subset the workspace
+//! emits is supported: `# HELP` / `# TYPE` comments and sample lines
+//! with optional `{key="value"}` label blocks (escaped `\\`, `\"`,
+//! `\n` in values).
+
+use std::collections::BTreeMap;
+
+/// One sample line: metric name, label pairs, numeric value.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// Metric name as written (histogram samples keep their `_bucket`
+    /// / `_sum` / `_count` suffixes).
+    pub name: String,
+    /// Label pairs in exposition order.
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of the label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition: `# HELP`/`# TYPE` metadata plus every sample.
+#[derive(Clone, Debug, Default)]
+pub struct Exposition {
+    /// `# HELP` text per family name.
+    pub helps: BTreeMap<String, String>,
+    /// `# TYPE` (`counter`/`gauge`/`histogram`) per family name.
+    pub types: BTreeMap<String, String>,
+    /// Every sample line, in document order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// All samples with the given name, in document order.
+    pub fn samples_named(&self, name: &str) -> Vec<&Sample> {
+        self.samples.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// The value of the sample with the given name whose label set
+    /// contains every pair in `labels` (order-insensitive).
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.samples
+            .iter()
+            .find(|s| {
+                s.name == name
+                    && labels
+                        .iter()
+                        .all(|(k, v)| s.label(k).is_some_and(|found| found == *v))
+            })
+            .map(|s| s.value)
+    }
+}
+
+/// Parse an exposition document. Returns the first syntax error with
+/// its 1-based line number.
+pub fn parse(text: &str) -> Result<Exposition, String> {
+    let mut expo = Exposition::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {lineno}: HELP without text: {line:?}"))?;
+            expo.helps.insert(name.to_string(), help.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest
+                .split_once(' ')
+                .ok_or_else(|| format!("line {lineno}: TYPE without kind: {line:?}"))?;
+            expo.types.insert(name.to_string(), kind.to_string());
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments are legal and ignored
+        }
+        expo.samples
+            .push(parse_sample(line).map_err(|e| format!("line {lineno}: {e}"))?);
+    }
+    Ok(expo)
+}
+
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value_text) = match line.find('{') {
+        Some(open) => {
+            let close = line
+                .rfind('}')
+                .ok_or_else(|| format!("unclosed label block: {line:?}"))?;
+            if close < open {
+                return Err(format!("mismatched braces: {line:?}"));
+            }
+            (&line[..close + 1], line[close + 1..].trim())
+        }
+        None => {
+            let (name, value) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("sample without value: {line:?}"))?;
+            (name, value.trim())
+        }
+    };
+    let (name, labels) = match head.split_once('{') {
+        Some((name, block)) => {
+            let block = block
+                .strip_suffix('}')
+                .ok_or_else(|| format!("bad label block: {head:?}"))?;
+            (name, parse_labels(block)?)
+        }
+        None => (head, Vec::new()),
+    };
+    if name.is_empty()
+        || !name
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+    {
+        return Err(format!("bad metric name: {name:?}"));
+    }
+    let value = parse_value(value_text)?;
+    Ok(Sample {
+        name: name.to_string(),
+        labels,
+        value,
+    })
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        other => other
+            .parse::<f64>()
+            .map_err(|_| format!("bad sample value: {other:?}")),
+    }
+}
+
+fn parse_labels(block: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = block.chars().peekable();
+    loop {
+        // Skip separators and trailing comma.
+        while matches!(chars.peek(), Some(',') | Some(' ')) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(labels);
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if key.is_empty() {
+            return Err(format!("empty label name in {block:?}"));
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label `{key}` value not quoted in {block:?}"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?} in {block:?}")),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err(format!("unterminated label value in {block:?}")),
+            }
+        }
+        labels.push((key, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_what_the_registry_renders() {
+        let r = crate::Registry::new();
+        r.counter_with("c_total", "a counter", &[("route", "/learn")])
+            .add(3);
+        let h = r.histogram("h_seconds", "a histogram");
+        h.observe(0.002);
+        h.observe(7.0);
+        let g = r.gauge("g_now", "a gauge");
+        g.set(-2);
+        let expo = parse(&r.render()).expect("render must parse");
+        assert_eq!(
+            expo.types.get("c_total").map(String::as_str),
+            Some("counter")
+        );
+        assert_eq!(expo.value("c_total", &[("route", "/learn")]), Some(3.0));
+        assert_eq!(expo.value("g_now", &[]), Some(-2.0));
+        assert_eq!(expo.value("h_seconds_count", &[]), Some(2.0));
+        let inf = expo.value("h_seconds_bucket", &[("le", "+Inf")]);
+        assert_eq!(inf, Some(2.0));
+    }
+
+    #[test]
+    fn escaped_label_values_round_trip() {
+        let r = crate::Registry::new();
+        r.counter_with("e_total", "escapes", &[("p", "a\"b\\c\nd")])
+            .inc();
+        let expo = parse(&r.render()).unwrap();
+        assert_eq!(expo.value("e_total", &[("p", "a\"b\\c\nd")]), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse("just_a_name\n").is_err());
+        assert!(parse("bad{open=\"x\" 1\n").is_err());
+        assert!(parse("name{k=unquoted} 1\n").is_err());
+        assert!(parse("name not_a_number\n").is_err());
+    }
+}

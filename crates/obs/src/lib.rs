@@ -1,0 +1,46 @@
+//! `cornet-obs`: process-wide observability for the CORNET workspace.
+//!
+//! Three small pieces, all dependency-free:
+//!
+//! - a **metrics registry** ([`registry`], [`Registry`]) of atomic
+//!   [`Counter`]s, [`Gauge`]s, and fixed-bucket latency [`Histogram`]s,
+//!   rendered on demand in the Prometheus text exposition format
+//!   ([`Registry::render`]);
+//! - a **span API** ([`StageTimer`]) — RAII timers that record an
+//!   elapsed duration into a histogram and, when a [`TraceSink`] is
+//!   installed, emit one structured [`TraceEvent`] per span. With the
+//!   default [`NullSink`] the per-span cost is two `Instant` reads and
+//!   two relaxed atomic adds; the sink gate itself is one atomic load;
+//! - a **request-id context** ([`set_request_id`]) — a thread-local
+//!   carried from the HTTP worker into trace events so a slow request
+//!   can be attributed to its learner stages.
+//!
+//! Recording is lock-free: handles are `Arc`-wrapped atomics, so the
+//! registry mutex is touched only at registration and render time.
+//!
+//! ```
+//! use cornet_obs::{registry, StageTimer};
+//!
+//! let learns = registry().counter("doc_learns_total", "Total learn calls");
+//! learns.inc();
+//! let stages = registry().histogram_with(
+//!     "doc_stage_duration_seconds",
+//!     "Stage wall time",
+//!     &[("stage", "rank")],
+//! );
+//! drop(StageTimer::start("rank", stages.clone()));
+//! assert_eq!(stages.count(), 1);
+//! let text = registry().render();
+//! assert!(text.contains("doc_learns_total 1"));
+//! assert!(text.contains("doc_stage_duration_seconds_bucket"));
+//! ```
+
+pub mod expo;
+mod metrics;
+mod trace;
+
+pub use metrics::{registry, Counter, Gauge, Histogram, Registry, DEFAULT_BUCKETS};
+pub use trace::{
+    clear_trace_sink, current_request_id, set_request_id, set_trace_sink, trace_enabled, NullSink,
+    OwnedTraceEvent, RequestIdGuard, StageTimer, StderrSink, TraceEvent, TraceSink, VecSink,
+};

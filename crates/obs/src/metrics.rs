@@ -1,0 +1,460 @@
+//! Atomic metric primitives and the process-wide registry.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are `Arc`-wrapped
+//! atomics: cloning one is cheap and recording through it never takes a
+//! lock. The [`Registry`] mutex guards only the family list, touched at
+//! registration and [`Registry::render`] time.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+/// Latency bucket upper bounds in seconds, roughly exponential from
+/// 100µs to 10s. `+Inf` is implicit (the overflow slot).
+pub const DEFAULT_BUCKETS: &[f64] = &[
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0,
+];
+
+/// Monotonically increasing counter.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Add one.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Gauge: a value that can go up and down.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Set the value.
+    pub fn set(&self, value: i64) {
+        self.0.store(value, Ordering::Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Subtract one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Bucket upper bounds, ascending. `counts` has one extra slot for
+    /// observations above the last bound (the `+Inf` bucket).
+    bounds: Vec<f64>,
+    counts: Vec<AtomicU64>,
+    sum_micros: AtomicU64,
+}
+
+/// Fixed-bucket latency histogram with lock-free recording.
+///
+/// Buckets are per-slot (non-cumulative) internally; rendering emits
+/// the cumulative Prometheus form. The sum is accumulated in integer
+/// microseconds so recording needs no float atomics.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Self {
+        Histogram(Arc::new(HistogramCore {
+            bounds: bounds.to_vec(),
+            counts: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            sum_micros: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record an observation in seconds.
+    pub fn observe(&self, seconds: f64) {
+        let micros = (seconds * 1e6).max(0.0).round() as u64;
+        self.record(seconds, micros);
+    }
+
+    /// Record an elapsed [`Duration`].
+    pub fn observe_duration(&self, elapsed: Duration) {
+        self.record(elapsed.as_secs_f64(), elapsed.as_micros() as u64);
+    }
+
+    fn record(&self, seconds: f64, micros: u64) {
+        let core = &*self.0;
+        let slot = core
+            .bounds
+            .iter()
+            .position(|bound| seconds <= *bound)
+            .unwrap_or(core.bounds.len());
+        core.counts[slot].fetch_add(1, Ordering::Relaxed);
+        core.sum_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of all observations in seconds.
+    pub fn sum_seconds(&self) -> f64 {
+        self.0.sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    series: Vec<(Vec<(String, String)>, Metric)>,
+}
+
+/// A collection of metric families rendered together.
+///
+/// [`registry`] returns the process-wide instance; independent
+/// instances (e.g. per-service state rendered at scrape time) can be
+/// created with [`Registry::new`] and their outputs concatenated —
+/// family names must be distinct across concatenated registries.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get or create an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Get or create a counter with the given label set. Calling again
+    /// with the same name and labels returns a handle to the same
+    /// underlying value.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_create(name, help, Kind::Counter, labels, || {
+            Metric::Counter(Counter::default())
+        }) {
+            Metric::Counter(c) => c,
+            _ => unreachable!("kind checked by get_or_create"),
+        }
+    }
+
+    /// Get or create an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Get or create a gauge with the given label set.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_create(name, help, Kind::Gauge, labels, || {
+            Metric::Gauge(Gauge::default())
+        }) {
+            Metric::Gauge(g) => g,
+            _ => unreachable!("kind checked by get_or_create"),
+        }
+    }
+
+    /// Get or create an unlabelled histogram with [`DEFAULT_BUCKETS`].
+    pub fn histogram(&self, name: &str, help: &str) -> Histogram {
+        self.histogram_with(name, help, &[])
+    }
+
+    /// Get or create a histogram with the given label set and
+    /// [`DEFAULT_BUCKETS`].
+    pub fn histogram_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.get_or_create(name, help, Kind::Histogram, labels, || {
+            Metric::Histogram(Histogram::new(DEFAULT_BUCKETS))
+        }) {
+            Metric::Histogram(h) => h,
+            _ => unreachable!("kind checked by get_or_create"),
+        }
+    }
+
+    fn get_or_create(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut families = self.families.lock().unwrap();
+        if let Some(family) = families.iter_mut().find(|f| f.name == name) {
+            assert_eq!(
+                family.kind,
+                kind,
+                "metric `{name}` already registered as a {}",
+                family.kind.as_str()
+            );
+            if let Some((_, metric)) = family.series.iter().find(|(l, _)| *l == labels) {
+                return metric.clone();
+            }
+            let metric = make();
+            family.series.push((labels, metric.clone()));
+            return metric;
+        }
+        let metric = make();
+        families.push(Family {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            series: vec![(labels, metric.clone())],
+        });
+        metric
+    }
+
+    /// Render every family in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP` / `# TYPE` lines per family, one
+    /// sample line per series, histograms expanded to cumulative
+    /// `_bucket{le=…}` samples plus `_sum` and `_count`.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().unwrap();
+        let mut out = String::new();
+        for family in families.iter() {
+            out.push_str("# HELP ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(&escape_help(&family.help));
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(&family.name);
+            out.push(' ');
+            out.push_str(family.kind.as_str());
+            out.push('\n');
+            for (labels, metric) in &family.series {
+                match metric {
+                    Metric::Counter(c) => {
+                        sample_line(&mut out, &family.name, labels, None, c.get() as f64)
+                    }
+                    Metric::Gauge(g) => {
+                        sample_line(&mut out, &family.name, labels, None, g.get() as f64)
+                    }
+                    Metric::Histogram(h) => render_histogram(&mut out, &family.name, labels, h),
+                }
+            }
+        }
+        out
+    }
+}
+
+fn render_histogram(out: &mut String, name: &str, labels: &[(String, String)], h: &Histogram) {
+    let core = &*h.0;
+    let bucket_name = format!("{name}_bucket");
+    let mut cumulative = 0u64;
+    for (i, bound) in core.bounds.iter().enumerate() {
+        cumulative += core.counts[i].load(Ordering::Relaxed);
+        sample_line(
+            out,
+            &bucket_name,
+            labels,
+            Some(&format_f64(*bound)),
+            cumulative as f64,
+        );
+    }
+    cumulative += core.counts[core.bounds.len()].load(Ordering::Relaxed);
+    sample_line(out, &bucket_name, labels, Some("+Inf"), cumulative as f64);
+    sample_line(out, &format!("{name}_sum"), labels, None, h.sum_seconds());
+    sample_line(
+        out,
+        &format!("{name}_count"),
+        labels,
+        None,
+        cumulative as f64,
+    );
+}
+
+fn sample_line(
+    out: &mut String,
+    name: &str,
+    labels: &[(String, String)],
+    le: Option<&str>,
+    value: f64,
+) {
+    out.push_str(name);
+    if !labels.is_empty() || le.is_some() {
+        out.push('{');
+        let mut first = true;
+        for (key, val) in labels {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(key);
+            out.push_str("=\"");
+            out.push_str(&escape_label(val));
+            out.push('"');
+        }
+        if let Some(le) = le {
+            if !first {
+                out.push(',');
+            }
+            out.push_str("le=\"");
+            out.push_str(le);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(&format_f64(value));
+    out.push('\n');
+}
+
+fn format_f64(value: f64) -> String {
+    // `{}` prints integral floats without a trailing `.0` and keeps
+    // shortest-roundtrip precision otherwise — both valid exposition.
+    format!("{value}")
+}
+
+fn escape_help(help: &str) -> String {
+    help.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+static REGISTRY: OnceLock<Registry> = OnceLock::new();
+
+/// The process-wide registry. Handles obtained here are global: every
+/// crate in the workspace records into the same families, and one
+/// [`Registry::render`] call exposes them all.
+pub fn registry() -> &'static Registry {
+    REGISTRY.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_alias_the_same_value() {
+        let r = Registry::new();
+        let a = r.counter("t_total", "t");
+        let b = r.counter("t_total", "t");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert!(r.render().contains("t_total 3"));
+    }
+
+    #[test]
+    fn labelled_series_are_distinct_within_one_family() {
+        let r = Registry::new();
+        let ok = r.counter_with("req_total", "reqs", &[("status", "200")]);
+        let err = r.counter_with("req_total", "reqs", &[("status", "500")]);
+        ok.add(5);
+        err.inc();
+        let text = r.render();
+        assert!(text.contains("req_total{status=\"200\"} 5"));
+        assert!(text.contains("req_total{status=\"500\"} 1"));
+        assert_eq!(text.matches("# TYPE req_total counter").count(), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_consistent() {
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", "latency");
+        h.observe(0.0002); // second bucket (0.00025)
+        h.observe(0.003); // 0.005 bucket
+        h.observe(99.0); // +Inf overflow
+        assert_eq!(h.count(), 3);
+        let text = r.render();
+        assert!(text.contains("lat_seconds_bucket{le=\"0.0001\"} 0"));
+        assert!(text.contains("lat_seconds_bucket{le=\"0.00025\"} 1"));
+        assert!(text.contains("lat_seconds_bucket{le=\"0.005\"} 2"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_seconds_count 3"));
+    }
+
+    #[test]
+    fn gauge_moves_both_directions() {
+        let r = Registry::new();
+        let g = r.gauge("inflight", "in-flight");
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-4);
+        assert!(r.render().contains("inflight -4"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        let c = r.counter_with("esc_total", "escapes", &[("path", "a\"b\\c\nd")]);
+        c.inc();
+        assert!(r.render().contains("esc_total{path=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("kind_clash", "x");
+        let _ = r.gauge("kind_clash", "x");
+    }
+}

@@ -1,0 +1,232 @@
+//! Span timers, trace sinks, and request-id propagation.
+//!
+//! A [`StageTimer`] always records its elapsed time into a histogram;
+//! it additionally emits a [`TraceEvent`] through the installed
+//! [`TraceSink`] when tracing is enabled. The enable check is a single
+//! relaxed atomic load, so instrumented hot paths stay cheap with the
+//! default [`NullSink`].
+
+use crate::metrics::Histogram;
+use std::cell::Cell;
+use std::io::Write;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One completed span, handed to the [`TraceSink`].
+#[derive(Debug)]
+pub struct TraceEvent<'a> {
+    /// Span name, e.g. `learn.rank`.
+    pub span: &'a str,
+    /// Request id propagated from the HTTP layer, if any.
+    pub request_id: Option<u64>,
+    /// Span duration in microseconds.
+    pub micros: u64,
+}
+
+/// Receives completed-span events. Implementations must be cheap and
+/// non-blocking enough for hot paths, or buffer internally.
+pub trait TraceSink: Send + Sync {
+    /// Called once per completed span while tracing is enabled.
+    fn event(&self, event: &TraceEvent<'_>);
+}
+
+/// Discards every event — the default when tracing is disabled.
+#[derive(Debug, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn event(&self, _event: &TraceEvent<'_>) {}
+}
+
+/// Writes one `trace span=… micros=…` line per event with a single
+/// locked write, so concurrent workers cannot interleave half-lines.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl TraceSink for StderrSink {
+    fn event(&self, event: &TraceEvent<'_>) {
+        let line = match event.request_id {
+            Some(id) => format!(
+                "trace span={} request_id={id} micros={}\n",
+                event.span, event.micros
+            ),
+            None => format!("trace span={} micros={}\n", event.span, event.micros),
+        };
+        let mut stderr = std::io::stderr().lock();
+        let _ = stderr.write_all(line.as_bytes());
+    }
+}
+
+/// An owned copy of a [`TraceEvent`], as collected by [`VecSink`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OwnedTraceEvent {
+    /// Span name.
+    pub span: String,
+    /// Request id at emit time.
+    pub request_id: Option<u64>,
+    /// Span duration in microseconds.
+    pub micros: u64,
+}
+
+/// Collects every event for test assertions.
+#[derive(Debug, Default)]
+pub struct VecSink(Mutex<Vec<OwnedTraceEvent>>);
+
+impl VecSink {
+    /// A snapshot of the events collected so far.
+    pub fn events(&self) -> Vec<OwnedTraceEvent> {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn event(&self, event: &TraceEvent<'_>) {
+        self.0.lock().unwrap().push(OwnedTraceEvent {
+            span: event.span.to_string(),
+            request_id: event.request_id,
+            micros: event.micros,
+        });
+    }
+}
+
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+static TRACE_SINK: Mutex<Option<Arc<dyn TraceSink>>> = Mutex::new(None);
+
+/// Install a sink and enable tracing process-wide.
+pub fn set_trace_sink(sink: Arc<dyn TraceSink>) {
+    *TRACE_SINK.lock().unwrap() = Some(sink);
+    TRACE_ENABLED.store(true, Ordering::Release);
+}
+
+/// Disable tracing and drop the installed sink.
+pub fn clear_trace_sink() {
+    TRACE_ENABLED.store(false, Ordering::Release);
+    *TRACE_SINK.lock().unwrap() = None;
+}
+
+/// Whether a trace sink is installed. One relaxed atomic load.
+pub fn trace_enabled() -> bool {
+    TRACE_ENABLED.load(Ordering::Relaxed)
+}
+
+fn emit(span: &str, micros: u64) {
+    if !trace_enabled() {
+        return;
+    }
+    let sink = TRACE_SINK.lock().unwrap().clone();
+    if let Some(sink) = sink {
+        sink.event(&TraceEvent {
+            span,
+            request_id: current_request_id(),
+            micros,
+        });
+    }
+}
+
+thread_local! {
+    static REQUEST_ID: Cell<Option<u64>> = const { Cell::new(None) };
+}
+
+/// Restores the previous request id on drop (see [`set_request_id`]).
+#[derive(Debug)]
+pub struct RequestIdGuard {
+    previous: Option<u64>,
+}
+
+impl Drop for RequestIdGuard {
+    fn drop(&mut self) {
+        REQUEST_ID.with(|cell| cell.set(self.previous));
+    }
+}
+
+/// Set the current thread's request id for the lifetime of the
+/// returned guard. Spans completed on this thread while the guard
+/// lives carry the id in their [`TraceEvent::request_id`].
+pub fn set_request_id(id: u64) -> RequestIdGuard {
+    let previous = REQUEST_ID.with(|cell| cell.replace(Some(id)));
+    RequestIdGuard { previous }
+}
+
+/// The request id installed on this thread, if any.
+pub fn current_request_id() -> Option<u64> {
+    REQUEST_ID.with(|cell| cell.get())
+}
+
+/// RAII span timer: started with a name and a histogram handle, it
+/// records the elapsed duration into the histogram on drop and emits a
+/// [`TraceEvent`] if tracing is enabled.
+#[derive(Debug)]
+pub struct StageTimer {
+    span: &'static str,
+    histogram: Histogram,
+    start: Instant,
+}
+
+impl StageTimer {
+    /// Start timing `span`; the measurement lands when the timer drops.
+    pub fn start(span: &'static str, histogram: Histogram) -> Self {
+        StageTimer {
+            span,
+            histogram,
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        self.histogram.observe_duration(elapsed);
+        emit(self.span, elapsed.as_micros() as u64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn timer_records_into_histogram_without_a_sink() {
+        let r = Registry::new();
+        let h = r.histogram("t_span_seconds", "t");
+        assert!(!trace_enabled() || true); // global flag may be set by other tests
+        drop(StageTimer::start("t", h.clone()));
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn request_id_guard_nests_and_restores() {
+        assert_eq!(current_request_id(), None);
+        let outer = set_request_id(7);
+        assert_eq!(current_request_id(), Some(7));
+        {
+            let _inner = set_request_id(8);
+            assert_eq!(current_request_id(), Some(8));
+        }
+        assert_eq!(current_request_id(), Some(7));
+        drop(outer);
+        assert_eq!(current_request_id(), None);
+    }
+
+    #[test]
+    fn vec_sink_sees_span_and_request_id() {
+        let r = Registry::new();
+        let h = r.histogram("t_traced_seconds", "t");
+        let sink = Arc::new(VecSink::default());
+        set_trace_sink(sink.clone());
+        {
+            let _id = set_request_id(42);
+            drop(StageTimer::start("traced", h));
+        }
+        clear_trace_sink();
+        let events: Vec<_> = sink
+            .events()
+            .into_iter()
+            .filter(|e| e.span == "traced")
+            .collect();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].request_id, Some(42));
+    }
+}

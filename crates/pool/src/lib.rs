@@ -31,10 +31,12 @@
 //! assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 //! ```
 
+use cornet_obs::{Counter, Gauge};
 use std::cell::Cell;
 use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 /// Upper bound on resolved worker threads, a guard against absurd
 /// `CORNET_THREADS` values.
@@ -44,6 +46,58 @@ pub const MAX_THREADS: usize = 128;
 /// [`par_map`] pick the chunk size; more chunks than workers is what makes
 /// stealing effective under skewed per-item cost.
 const CHUNKS_PER_WORKER: usize = 4;
+
+/// Pool-level metric handles, registered once in the process-wide
+/// [`cornet_obs::registry`]. Recording is relaxed atomics only.
+struct PoolMetrics {
+    /// Pool calls that degraded to the inline single-thread path.
+    inline_ops: Counter,
+    /// Pool calls that spawned scoped workers.
+    parallel_ops: Counter,
+    /// Chunks executed (both paths).
+    chunks: Counter,
+    /// Chunks a worker took from a sibling's deque.
+    steals: Counter,
+    /// Workers currently running (utilization).
+    active_workers: Gauge,
+    /// Chunks seeded but not yet executed (queue depth).
+    queued_chunks: Gauge,
+}
+
+fn pool_metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = cornet_obs::registry();
+        PoolMetrics {
+            inline_ops: registry.counter_with(
+                "cornet_pool_ops_total",
+                "Pool map operations by execution path",
+                &[("path", "inline")],
+            ),
+            parallel_ops: registry.counter_with(
+                "cornet_pool_ops_total",
+                "Pool map operations by execution path",
+                &[("path", "parallel")],
+            ),
+            chunks: registry.counter(
+                "cornet_pool_chunks_total",
+                "Chunks executed across all pool operations",
+            ),
+            steals: registry.counter(
+                "cornet_pool_steals_total",
+                "Chunks stolen from a sibling worker's deque",
+            ),
+            active_workers: registry.gauge(
+                "cornet_pool_active_workers",
+                "Worker threads currently running pool chunks",
+            ),
+            queued_chunks: registry.gauge(
+                "cornet_pool_queued_chunks",
+                "Chunks seeded into worker deques but not yet executed",
+            ),
+        }
+    })
+}
 
 thread_local! {
     /// 0 = no override; set by [`with_threads`] for the current thread.
@@ -147,9 +201,14 @@ where
     let n_chunks = len.div_ceil(chunk_size);
     let chunk_range = |c: usize| c * chunk_size..((c + 1) * chunk_size).min(len);
     let workers = current_threads().min(n_chunks);
+    let metrics = pool_metrics();
     if workers <= 1 || IN_WORKER.with(|w| w.get()) {
+        metrics.inline_ops.inc();
+        metrics.chunks.add(n_chunks as u64);
         return (0..n_chunks).map(|c| f(chunk_range(c))).collect();
     }
+    metrics.parallel_ops.inc();
+    metrics.chunks.add(n_chunks as u64);
 
     // Per-worker deques seeded round-robin: worker w owns chunks
     // w, w + workers, w + 2·workers, … and pops them front-first (lowest
@@ -165,22 +224,60 @@ where
     // calls made by the caller.
     let inherited = OVERRIDE.with(|o| o.get());
 
+    // Queue-depth accounting that survives worker panics: each executed
+    // chunk decrements the gauge; the guard settles whatever a panicking
+    // worker left behind once `scope` has joined every worker (the guard
+    // drops during the unwind, after `executed` is final).
+    metrics.queued_chunks.add(n_chunks as i64);
+    let executed = AtomicU64::new(0);
+    struct QueueSettle<'a> {
+        gauge: &'a Gauge,
+        total: u64,
+        executed: &'a AtomicU64,
+    }
+    impl Drop for QueueSettle<'_> {
+        fn drop(&mut self) {
+            let done = self.executed.load(Ordering::Relaxed);
+            self.gauge.add(-((self.total - done) as i64));
+        }
+    }
+    let _settle = QueueSettle {
+        gauge: &metrics.queued_chunks,
+        total: n_chunks as u64,
+        executed: &executed,
+    };
+
     std::thread::scope(|scope| {
         for w in 0..workers {
             let queues = &queues;
             let results = &results;
             let f = &f;
+            let executed = &executed;
             scope.spawn(move || {
                 OVERRIDE.with(|o| o.set(inherited));
                 IN_WORKER.with(|w| w.set(true));
+                metrics.active_workers.inc();
+                struct ActiveDrop<'a>(&'a Gauge);
+                impl Drop for ActiveDrop<'_> {
+                    fn drop(&mut self) {
+                        self.0.dec();
+                    }
+                }
+                let _active = ActiveDrop(&metrics.active_workers);
                 loop {
                     let own = queues[w].lock().unwrap().pop_front();
                     let job = own.or_else(|| {
-                        (1..workers)
-                            .find_map(|d| queues[(w + d) % workers].lock().unwrap().pop_back())
+                        let stolen = (1..workers)
+                            .find_map(|d| queues[(w + d) % workers].lock().unwrap().pop_back());
+                        if stolen.is_some() {
+                            metrics.steals.inc();
+                        }
+                        stolen
                     });
                     let Some(c) = job else { break };
                     let value = f(chunk_range(c));
+                    executed.fetch_add(1, Ordering::Relaxed);
+                    metrics.queued_chunks.dec();
                     *results[c].lock().unwrap() = Some(value);
                 }
             });
@@ -416,6 +513,26 @@ mod tests {
     // environment races getenv calls from concurrently running sibling
     // tests (notably the panic tests' backtrace machinery), so it gets a
     // process of its own.
+
+    #[test]
+    fn pool_counters_advance_on_both_paths() {
+        // Counters are process-global and other tests run concurrently,
+        // so assert deltas (monotone non-decreasing), never exact values.
+        let m = pool_metrics();
+        let inline_before = m.inline_ops.get();
+        let chunks_before = m.chunks.get();
+        with_threads(1, || {
+            let _ = par_chunk_map(8, 2, |r| r.len());
+        });
+        assert!(m.inline_ops.get() >= inline_before + 1);
+        assert!(m.chunks.get() >= chunks_before + 4);
+
+        let parallel_before = m.parallel_ops.get();
+        with_threads(4, || {
+            let _ = par_chunk_map(32, 2, |r| r.len());
+        });
+        assert!(m.parallel_ops.get() >= parallel_before + 1);
+    }
 
     #[test]
     fn chunk_ranges_partition_the_input() {

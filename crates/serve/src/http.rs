@@ -49,18 +49,29 @@
 //! | `POST /session/<id>/correct` | `{"format":[…]?,"unformat":[…]?}` | `session` |
 //! | `GET /rules/<id>` | — | `rule` |
 //! | `POST /admin/pack` | — | `pack` |
+//! | `GET /metrics` | — | Prometheus text (not JSON) |
+//!
+//! `GET /metrics` serves the Prometheus text exposition rendered by
+//! [`CornetService::metrics_text`] (gate it off with
+//! [`ServerConfig::metrics`]); every other endpoint keeps the JSON
+//! envelope contract above. Each served request is assigned a
+//! process-unique request id, installed for the handling thread via
+//! [`cornet_obs::set_request_id`] so learner-stage trace events emitted
+//! under the request carry it.
 //!
 //! Per-request structured logging goes through the [`RequestLog`] seam:
-//! method, path, status, handling latency in µs, and the connection id
-//! (so keep-alive reuse is visible in the log stream).
+//! method, path, status, handling latency in µs, the connection id (so
+//! keep-alive reuse is visible in the log stream), and the request id
+//! (so log lines join against trace events).
 
 use crate::service::{BatchItem, CornetService, LearnRequest, ScoreRequest, ServeError};
+use cornet_obs::{Counter, Gauge, StageTimer};
 use cornet_serde::{envelope, to_string, FromJson, Json, ToJson};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Header-section size cap.
@@ -74,6 +85,99 @@ const POLL_TICK: Duration = Duration::from_micros(500);
 const READ_BURST: usize = 64 * 1024;
 /// Socket timeout used by the bundled client helpers.
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// `Content-Type` of every JSON envelope response.
+const JSON_CONTENT_TYPE: &str = "application/json";
+/// `Content-Type` of the `/metrics` exposition (Prometheus text 0.0.4).
+const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4; charset=utf-8";
+
+// ---------------------------------------------------------------------------
+// Front-end metrics
+// ---------------------------------------------------------------------------
+
+/// Process-wide HTTP front-end metrics (global registry; see
+/// `crates/obs`). Per-route families are looked up per request by label
+/// through the registry — route labels are the fixed normalized set of
+/// [`route_label`], so the family count stays bounded.
+struct HttpMetrics {
+    inflight: Gauge,
+    connections: Gauge,
+    shed: Counter,
+    timeouts: Counter,
+}
+
+fn http_metrics() -> &'static HttpMetrics {
+    static METRICS: OnceLock<HttpMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = cornet_obs::registry();
+        HttpMetrics {
+            inflight: registry.gauge(
+                "cornet_http_inflight_requests",
+                "Requests currently being routed or written on a worker.",
+            ),
+            connections: registry.gauge(
+                "cornet_http_connections",
+                "Live connections, idle keep-alive sockets included.",
+            ),
+            shed: registry.counter(
+                "cornet_http_shed_total",
+                "Connections shed with 503 at the accept-time cap.",
+            ),
+            timeouts: registry.counter(
+                "cornet_http_timeouts_total",
+                "Requests dropped with 408 for not completing in time.",
+            ),
+        }
+    })
+}
+
+/// Normalizes a request to its route label for metrics: parameterized
+/// segments collapse (`/session/s7` → `/session/:id`) so label
+/// cardinality never grows with traffic; anything unroutable is
+/// `unmatched`.
+fn route_label(method: &str, path: &str) -> &'static str {
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (method, segments.as_slice()) {
+        ("GET", ["health"]) => "/health",
+        ("GET", ["metrics"]) => "/metrics",
+        ("POST", ["learn"]) => "/learn",
+        ("POST", ["score"]) => "/score",
+        ("POST", ["batch"]) => "/batch",
+        ("POST", ["session"]) => "/session",
+        ("GET", ["session", _]) => "/session/:id",
+        ("POST", ["session", _, "correct"]) => "/session/:id/correct",
+        ("GET", ["rules", _]) => "/rules/:id",
+        ("POST", ["admin", "pack"]) => "/admin/pack",
+        _ => "unmatched",
+    }
+}
+
+/// The per-route latency histogram (`cornet_http_request_duration_seconds`).
+fn route_histogram(label: &'static str) -> cornet_obs::Histogram {
+    cornet_obs::registry().histogram_with(
+        "cornet_http_request_duration_seconds",
+        "Request handling latency (routing + response write), by route.",
+        &[("route", label)],
+    )
+}
+
+/// Counts one finished request in `cornet_http_requests_total{route,status}`.
+fn count_request(label: &'static str, status: u16) {
+    cornet_obs::registry()
+        .counter_with(
+            "cornet_http_requests_total",
+            "Requests served, by route and response status.",
+            &[("route", label), ("status", &status.to_string())],
+        )
+        .inc();
+}
+
+/// Process-unique request id, threaded through [`RequestRecord`] and
+/// (via [`cornet_obs::set_request_id`]) into trace events.
+fn next_request_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
 
 // ---------------------------------------------------------------------------
 // Request parsing
@@ -249,19 +353,21 @@ fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Writes an HTTP/1.1 response with a JSON body. `retry_after` adds a
-/// `Retry-After` header (load-shedding responses carry one).
+/// Writes an HTTP/1.1 response. `retry_after` adds a `Retry-After`
+/// header (load-shedding responses carry one); `content_type` is
+/// [`JSON_CONTENT_TYPE`] everywhere except `/metrics`.
 fn respond(
     stream: &mut impl Write,
     status: u16,
     body: &str,
     close: bool,
     retry_after: Option<u32>,
+    content_type: &str,
 ) -> io::Result<()> {
     let connection = if close { "close" } else { "keep-alive" };
     let retry = retry_after.map_or(String::new(), |secs| format!("Retry-After: {secs}\r\n"));
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{retry}Connection: {connection}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n{retry}Connection: {connection}\r\n\r\n",
         reason(status),
         body.len()
     );
@@ -274,7 +380,7 @@ fn respond(
 /// compatibility surface; the server's keep-alive path uses the richer
 /// internal writer).
 pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
-    respond(stream, status, body, true, None)
+    respond(stream, status, body, true, None, JSON_CONTENT_TYPE)
 }
 
 fn error_body(status: u16, message: &str) -> String {
@@ -388,6 +494,9 @@ fn handle(service: &CornetService, request: &Request) -> Result<(&'static str, J
 pub struct RequestRecord {
     /// Server-assigned connection id (stable across keep-alive reuse).
     pub conn: u64,
+    /// Process-unique request id — the same id trace events emitted
+    /// while the request was handled carry, so log lines and spans join.
+    pub request_id: u64,
     /// Request method (`-` for protocol errors rejected before parsing).
     pub method: String,
     /// Request path (`-` for protocol errors rejected before parsing).
@@ -414,17 +523,47 @@ impl RequestLog for NullLog {
     fn record(&self, _record: &RequestRecord) {}
 }
 
+/// Formats one record as the single log line [`StderrLog`] writes.
+fn format_record(r: &RequestRecord) -> String {
+    format!(
+        "request conn={} request={} method={} path={} status={} us={}\n",
+        r.conn, r.request_id, r.method, r.path, r.status, r.micros
+    )
+}
+
 /// Writes one structured line per request to stderr (the binary's
-/// default): `request conn=3 method=POST path=/learn status=200 us=512`.
+/// default): `request conn=3 request=17 method=POST path=/learn
+/// status=200 us=512`.
 #[derive(Debug, Default)]
 pub struct StderrLog;
 
 impl RequestLog for StderrLog {
     fn record(&self, r: &RequestRecord) {
-        eprintln!(
-            "request conn={} method={} path={} status={} us={}",
-            r.conn, r.method, r.path, r.status, r.micros
-        );
+        // Format first, then take the stderr lock exactly once for a
+        // single `write_all`: concurrent workers' records can interleave
+        // as whole lines but never within one.
+        let line = format_record(r);
+        let stderr = io::stderr();
+        let mut handle = stderr.lock();
+        let _ = handle.write_all(line.as_bytes());
+    }
+}
+
+/// Collects every record in memory — the conformance suites' log seam,
+/// also usable by embedding tests that assert on served traffic.
+#[derive(Debug, Default)]
+pub struct VecLog(Mutex<Vec<RequestRecord>>);
+
+impl VecLog {
+    /// A snapshot of the records collected so far, in arrival order.
+    pub fn records(&self) -> Vec<RequestRecord> {
+        self.0.lock().unwrap().clone()
+    }
+}
+
+impl RequestLog for VecLog {
+    fn record(&self, record: &RequestRecord) {
+        self.0.lock().unwrap().push(record.clone());
     }
 }
 
@@ -450,6 +589,9 @@ pub struct ServerConfig {
     /// Worker-thread count; `0` sizes from `cornet_pool::current_threads`
     /// (clamped to 2..=16).
     pub workers: usize,
+    /// Whether `GET /metrics` is served (`true` by default); when off the
+    /// path falls through to the router's 404.
+    pub metrics: bool,
     /// Per-request logging seam.
     pub log: Arc<dyn RequestLog>,
 }
@@ -461,6 +603,7 @@ impl Default for ServerConfig {
             keep_alive: Duration::from_secs(10),
             request_timeout: Duration::from_secs(10),
             workers: 0,
+            metrics: true,
             log: Arc::new(NullLog),
         }
     }
@@ -473,6 +616,7 @@ impl std::fmt::Debug for ServerConfig {
             .field("keep_alive", &self.keep_alive)
             .field("request_timeout", &self.request_timeout)
             .field("workers", &self.workers)
+            .field("metrics", &self.metrics)
             .finish_non_exhaustive()
     }
 }
@@ -503,13 +647,15 @@ impl ServerConfig {
     }
 }
 
-/// Decrements the live-connection counter when a connection dies,
-/// however it dies — the accept thread's cap check reads this counter.
+/// Decrements the live-connection counter (and the connections gauge)
+/// when a connection dies, however it dies — the accept thread's cap
+/// check reads this counter.
 struct ConnPermit(Arc<AtomicUsize>);
 
 impl Drop for ConnPermit {
     fn drop(&mut self) {
         self.0.fetch_sub(1, Ordering::SeqCst);
+        http_metrics().connections.dec();
     }
 }
 
@@ -574,9 +720,13 @@ fn poll_conn(conn: &mut Conn, config: &ServerConfig) -> PollVerdict {
                         // the client (best effort on the non-blocking
                         // socket) and reclaim the connection.
                         let body = error_body(408, "request did not complete in time");
-                        let _ = respond(&mut conn.stream, 408, &body, true, None);
+                        let _ =
+                            respond(&mut conn.stream, 408, &body, true, None, JSON_CONTENT_TYPE);
+                        http_metrics().timeouts.inc();
+                        count_request("unmatched", 408);
                         config.log.record(&RequestRecord {
                             conn: conn.id,
+                            request_id: next_request_id(),
                             method: "-".into(),
                             path: "-".into(),
                             status: 408,
@@ -609,12 +759,31 @@ fn serve_ready(mut conn: Conn, service: &CornetService, config: &ServerConfig, s
         match parse_request(&conn.buf) {
             ParseOutcome::Ready { request, consumed } => {
                 conn.buf.drain(..consumed);
+                // Request id + span: trace events the handler emits on
+                // this thread (learner stages, …) carry the id, and the
+                // timer lands the full handling latency — routing plus
+                // response write — in the per-route histogram.
+                let request_id = next_request_id();
+                let _id_guard = cornet_obs::set_request_id(request_id);
+                let label = route_label(&request.method, &request.path);
+                let metrics = http_metrics();
+                metrics.inflight.inc();
                 let t0 = Instant::now();
-                let (status, body) = route(service, &request);
+                let timer = StageTimer::start(label, route_histogram(label));
+                let (status, body, content_type) = if config.metrics && label == "/metrics" {
+                    (200, service.metrics_text(), METRICS_CONTENT_TYPE)
+                } else {
+                    let (status, body) = route(service, &request);
+                    (status, body, JSON_CONTENT_TYPE)
+                };
                 let close = !request.keep_alive;
-                let wrote = respond(&mut conn.stream, status, &body, close, None);
+                let wrote = respond(&mut conn.stream, status, &body, close, None, content_type);
+                drop(timer);
+                metrics.inflight.dec();
+                count_request(label, status);
                 config.log.record(&RequestRecord {
                     conn: conn.id,
+                    request_id,
                     method: request.method,
                     path: request.path,
                     status,
@@ -626,9 +795,18 @@ fn serve_ready(mut conn: Conn, service: &CornetService, config: &ServerConfig, s
             }
             ParseOutcome::Bad { status, message } => {
                 let body = error_body(status, &message);
-                let _ = respond(&mut conn.stream, status, &body, true, None);
+                let _ = respond(
+                    &mut conn.stream,
+                    status,
+                    &body,
+                    true,
+                    None,
+                    JSON_CONTENT_TYPE,
+                );
+                count_request("unmatched", status);
                 config.log.record(&RequestRecord {
                     conn: conn.id,
+                    request_id: next_request_id(),
                     method: "-".into(),
                     path: "-".into(),
                     status,
@@ -653,9 +831,10 @@ fn serve_ready(mut conn: Conn, service: &CornetService, config: &ServerConfig, s
 /// Sheds one over-cap connection with a `503` + `Retry-After` (on the
 /// accept thread, bounded by a short write timeout).
 fn shed(mut stream: TcpStream) {
+    http_metrics().shed.inc();
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     let body = error_body(503, "server at connection capacity, retry shortly");
-    let _ = respond(&mut stream, 503, &body, true, Some(1));
+    let _ = respond(&mut stream, 503, &body, true, Some(1), JSON_CONTENT_TYPE);
 }
 
 /// A running HTTP server; see the module docs for the thread layout.
@@ -713,6 +892,7 @@ impl Server {
                         continue;
                     }
                     live.fetch_add(1, Ordering::SeqCst);
+                    http_metrics().connections.inc();
                     let permit = ConnPermit(Arc::clone(&live));
                     if stream.set_nonblocking(true).is_err() {
                         continue; // permit drop restores the count
@@ -891,8 +1071,26 @@ impl HttpResponse {
 }
 
 /// Reads exactly one `Content-Length`-framed response from `stream`
-/// without over-reading into the next pipelined response.
+/// without over-reading into the next pipelined response, and decodes
+/// the body as JSON (every endpoint except `/metrics`).
 pub fn read_response(stream: &mut TcpStream) -> io::Result<HttpResponse> {
+    let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+    let (status, headers, text) = read_response_text(stream)?;
+    let body =
+        cornet_serde::parse(&text).map_err(|e| invalid(&format!("bad JSON response body: {e}")))?;
+    Ok(HttpResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// [`read_response`] without the JSON decode: returns the raw body text.
+/// This is what `/metrics` scrapers use — the exposition is Prometheus
+/// text, not JSON.
+pub fn read_response_text(
+    stream: &mut TcpStream,
+) -> io::Result<(u16, Vec<(String, String)>, String)> {
     let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
     let mut head = Vec::new();
     let mut byte = [0u8; 1];
@@ -935,13 +1133,7 @@ pub fn read_response(stream: &mut TcpStream) -> io::Result<HttpResponse> {
         }
     }
     let text = String::from_utf8(body).map_err(|_| invalid("non-UTF-8 response body"))?;
-    let body =
-        cornet_serde::parse(&text).map_err(|e| invalid(&format!("bad JSON response body: {e}")))?;
-    Ok(HttpResponse {
-        status,
-        headers,
-        body,
-    })
+    Ok((status, headers, text))
 }
 
 /// A blocking keep-alive HTTP/1.1 client: many requests over one socket.
@@ -973,6 +1165,16 @@ impl HttpClient {
         read_response(&mut self.stream)
     }
 
+    /// Sends one keep-alive request and reads the raw (non-JSON)
+    /// response body — the keep-alive way to scrape `/metrics`.
+    pub fn request_text(&mut self, method: &str, path: &str) -> io::Result<(u16, String)> {
+        self.stream
+            .write_all(encode_request(method, path, None, false).as_bytes())?;
+        self.stream.flush()?;
+        let (status, _, text) = read_response_text(&mut self.stream)?;
+        Ok((status, text))
+    }
+
     /// Writes raw bytes (for pipelining and protocol-error tests).
     pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
         self.stream.write_all(bytes)?;
@@ -1001,6 +1203,18 @@ pub fn http_request(
     stream.flush()?;
     let response = read_response(&mut stream)?;
     Ok((response.status, response.body))
+}
+
+/// [`http_request`] for non-JSON endpoints: one `Connection: close`
+/// request, raw body text back. The one-shot way to scrape `/metrics`.
+pub fn http_request_text(addr: SocketAddr, method: &str, path: &str) -> io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.write_all(encode_request(method, path, None, true).as_bytes())?;
+    stream.flush()?;
+    let (status, _, text) = read_response_text(&mut stream)?;
+    Ok((status, text))
 }
 
 #[cfg(test)]
@@ -1115,6 +1329,125 @@ mod tests {
         }
         server.shutdown();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_text() {
+        let (mut server, dir) = temp_server("metrics");
+        let learn = r#"{"cells":["RW-187","RS-762","RW-159"],"examples":[0,2]}"#;
+        let (status, _) = http_request(server.addr(), "POST", "/learn", Some(learn)).unwrap();
+        assert_eq!(status, 200);
+        let (status, text) = http_request_text(server.addr(), "GET", "/metrics").unwrap();
+        assert_eq!(status, 200);
+        let expo = cornet_obs::expo::parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        assert_eq!(
+            expo.value("cornet_service_learns_performed", &[]),
+            Some(1.0)
+        );
+        assert!(
+            expo.value(
+                "cornet_http_requests_total",
+                &[("route", "/learn"), ("status", "200")]
+            )
+            .is_some_and(|v| v >= 1.0),
+            "per-route request counter missing:\n{text}"
+        );
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_endpoint_can_be_disabled() {
+        let dir = std::env::temp_dir().join(format!(
+            "cornet-http-test-metrics-off-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = Arc::new(
+            CornetService::new(&ServiceConfig {
+                store_dir: dir.clone(),
+                cache_capacity: 16,
+                ..ServiceConfig::default()
+            })
+            .unwrap(),
+        );
+        let config = ServerConfig {
+            metrics: false,
+            ..ServerConfig::default()
+        };
+        let mut server = Server::start_with("127.0.0.1:0", service, config).unwrap();
+        let (status, _) = http_request_text(server.addr(), "GET", "/metrics").unwrap();
+        assert_eq!(status, 404, "gated-off /metrics falls through to 404");
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn request_records_carry_distinct_request_ids() {
+        let dir = std::env::temp_dir().join(format!(
+            "cornet-http-test-request-ids-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = Arc::new(
+            CornetService::new(&ServiceConfig {
+                store_dir: dir.clone(),
+                cache_capacity: 16,
+                ..ServiceConfig::default()
+            })
+            .unwrap(),
+        );
+        let log = Arc::new(VecLog::default());
+        let config = ServerConfig {
+            log: Arc::clone(&log) as Arc<dyn RequestLog>,
+            ..ServerConfig::default()
+        };
+        let mut server = Server::start_with("127.0.0.1:0", service, config).unwrap();
+        let addr = server.addr();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(move || {
+                    http_request(addr, "GET", "/health", None).map(|(s, _)| s)
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap().unwrap(), 200);
+        }
+        server.shutdown();
+        let records = log.records();
+        assert_eq!(records.len(), 4);
+        let mut ids: Vec<u64> = records.iter().map(|r| r.request_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 4, "request ids must be process-unique");
+        // Each record is one complete unit: concurrent workers must never
+        // interleave fields across records (the log-seam atomicity
+        // contract StderrLog's single locked write upholds on stderr).
+        for r in &records {
+            assert_eq!(r.method, "GET");
+            assert_eq!(r.path, "/health");
+            assert_eq!(r.status, 200);
+            let line = format_record(r);
+            assert!(
+                line.ends_with('\n') && line.matches('\n').count() == 1,
+                "one record must format as exactly one line: {line:?}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn route_labels_normalize_parameters() {
+        assert_eq!(route_label("GET", "/session/s42"), "/session/:id");
+        assert_eq!(
+            route_label("POST", "/session/s42/correct"),
+            "/session/:id/correct"
+        );
+        assert_eq!(route_label("GET", "/rules/r0f"), "/rules/:id");
+        assert_eq!(route_label("GET", "/metrics"), "/metrics");
+        assert_eq!(route_label("POST", "/metrics"), "unmatched");
+        assert_eq!(route_label("GET", "/whatever/else"), "unmatched");
     }
 
     #[test]

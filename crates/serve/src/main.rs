@@ -3,6 +3,7 @@
 //! ```text
 //! cornet-serve [--addr 127.0.0.1:7878] [--store cornet-store] [--capacity 256]
 //!              [--max-conns 256] [--keep-alive-secs 10] [--quiet]
+//!              [--metrics|--no-metrics]
 //! cornet-serve pack [--store cornet-store]
 //! cornet-serve smoke
 //! ```
@@ -12,6 +13,12 @@
 //! Flags beat the `CORNET_MAX_CONNS` / `CORNET_KEEP_ALIVE_SECS` /
 //! `CORNET_REQUEST_TIMEOUT_SECS` / `CORNET_HTTP_WORKERS` environment
 //! knobs, which beat the defaults.
+//!
+//! `GET /metrics` (Prometheus text exposition) is served by default;
+//! `--no-metrics` turns the endpoint off, `--metrics` forces it back on.
+//! Setting `CORNET_TRACE` to anything but `0`/empty installs the stderr
+//! trace sink: every learner stage and HTTP request span is emitted as a
+//! `trace span=… request_id=… micros=…` line.
 //!
 //! `pack` folds every loose per-rule file in the store into an
 //! append-only segment file and exits (also reachable at runtime via
@@ -118,10 +125,14 @@ fn main() {
                 ) as u64)
             }
             "--quiet" => server_config.log = Arc::new(NullLog),
+            "--metrics" => server_config.metrics = true,
+            "--no-metrics" => server_config.metrics = false,
             "--help" | "-h" => {
                 println!(
                     "usage: cornet-serve [--addr HOST:PORT] [--store DIR] [--capacity N] \
-                     [--max-conns N] [--keep-alive-secs N] [--quiet] | pack [--store DIR] | smoke"
+                     [--max-conns N] [--keep-alive-secs N] [--quiet] [--metrics|--no-metrics] \
+                     | pack [--store DIR] | smoke\n\
+                     env: CORNET_TRACE=1 emits trace spans to stderr"
                 );
                 return;
             }
@@ -130,6 +141,12 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    // CORNET_TRACE: install the stderr trace sink before the first
+    // request so every learner-stage span lands in the log stream.
+    if std::env::var("CORNET_TRACE").is_ok_and(|v| !v.is_empty() && v != "0") {
+        cornet_obs::set_trace_sink(Arc::new(cornet_obs::StderrSink));
     }
 
     let service = match CornetService::new(&ServiceConfig {
@@ -145,6 +162,7 @@ fn main() {
     };
     let max_conns = server_config.max_connections;
     let keep_alive = server_config.keep_alive;
+    let metrics_enabled = server_config.metrics;
     let server = match Server::start_with(&addr, service, server_config) {
         Ok(s) => s,
         Err(e) => {
@@ -160,8 +178,9 @@ fn main() {
         keep_alive.as_secs(),
     );
     eprintln!(
-        "endpoints: GET /health · POST /learn /score /batch /session /admin/pack · \
-         GET /session/<id> /rules/<id>"
+        "endpoints: GET /health{} · POST /learn /score /batch /session /admin/pack · \
+         GET /session/<id> /rules/<id>",
+        if metrics_enabled { " /metrics" } else { "" }
     );
     loop {
         std::thread::park();

@@ -19,6 +19,7 @@
 use crate::store::{rule_id, RuleStore, StoredRule};
 use cornet_core::prelude::*;
 use cornet_core::rule::Rule;
+use cornet_obs::Registry;
 use cornet_serde::{
     decode, encode, field_t, optional_field_t, DecodeError, FromJson, Json, ToJson,
 };
@@ -28,6 +29,7 @@ use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// Service configuration.
 #[derive(Debug, Clone)]
@@ -446,6 +448,7 @@ pub struct CornetService {
     max_sessions: usize,
     next_session: AtomicU64,
     learns: AtomicU64,
+    started: Instant,
 }
 
 impl CornetService {
@@ -492,6 +495,7 @@ impl CornetService {
             max_sessions: config.max_sessions,
             next_session: AtomicU64::new(next),
             learns: AtomicU64::new(0),
+            started: Instant::now(),
         })
     }
 
@@ -817,29 +821,31 @@ impl CornetService {
 
     /// Service health/statistics document.
     ///
-    /// The store mutex is released before anything else is touched: the
-    /// on-disk rule count is scanned without the lock (so health probes
-    /// never stall `learn`/`score` behind a directory walk), and the
-    /// session table is locked only afterwards (never nested inside the
-    /// store lock — `session_correct` acquires them in the opposite
+    /// The on-disk rule count comes from the store's cached gauge
+    /// ([`RuleStore::persisted_cached`]): the directory walk runs at most
+    /// once per second, so repeated health probes never stall
+    /// `learn`/`score` behind a filesystem scan. The store mutex is
+    /// released before the session table is locked (never nested inside
+    /// the store lock — `session_correct` acquires them in the opposite
     /// order, which would deadlock).
     pub fn health(&self) -> Json {
-        let (hits, misses, cached, seg_rules, seg_files, store_dir) = {
-            let store = self.store.lock().unwrap();
+        let (hits, misses, cached, seg_rules, seg_files, persisted) = {
+            let mut store = self.store.lock().unwrap();
             let (hits, misses) = store.counters();
+            let persisted = store.persisted_cached();
             (
                 hits,
                 misses,
                 store.cached(),
                 store.segment_rules(),
                 store.segment_files(),
-                store.dir().to_path_buf(),
+                persisted,
             )
         };
-        let persisted = crate::store::persisted_in(&store_dir);
         let sessions = self.sessions.lock().unwrap().map.len();
         Json::object([
             ("status", Json::str("ok")),
+            ("uptime_seconds", self.started.elapsed().as_secs().to_json()),
             ("rules_cached", cached.to_json()),
             ("rules_persisted", persisted.to_json()),
             ("rules_in_segments", seg_rules.to_json()),
@@ -849,6 +855,74 @@ impl CornetService {
             ("sessions", sessions.to_json()),
             ("learns_performed", self.learns_performed().to_json()),
         ])
+    }
+
+    /// The full Prometheus exposition served at `GET /metrics`: the
+    /// process-global registry (learner stage timings, pool utilization,
+    /// store and HTTP counters) followed by per-service gauges sampled at
+    /// scrape time.
+    ///
+    /// The split matters for restarts: global families aggregate across
+    /// the whole process (and across every service instance in it), while
+    /// the `cornet_service_*` gauges reset with the service — a server
+    /// restarted over a persisted store reports
+    /// `cornet_service_learns_performed 0` even though the global learner
+    /// counters keep their totals.
+    pub fn metrics_text(&self) -> String {
+        let service = Registry::new();
+        let set = |name: &str, help: &str, value: i64| service.gauge(name, help).set(value);
+        {
+            let mut store = self.store.lock().unwrap();
+            let (hits, misses) = store.counters();
+            set(
+                "cornet_service_store_hits",
+                "This service's rule lookups answered from memory.",
+                hits as i64,
+            );
+            set(
+                "cornet_service_store_misses",
+                "This service's rule lookups that went to disk or missed.",
+                misses as i64,
+            );
+            set(
+                "cornet_service_store_persisted_rules",
+                "Distinct rules persisted under the store directory.",
+                store.persisted_cached() as i64,
+            );
+            set(
+                "cornet_service_store_cached_rules",
+                "Rules currently held in the in-memory LRU cache.",
+                store.cached() as i64,
+            );
+            set(
+                "cornet_service_store_segment_rules",
+                "Distinct rules reachable through the segment index.",
+                store.segment_rules() as i64,
+            );
+            set(
+                "cornet_service_store_segment_files",
+                "Segment files referenced by the index.",
+                store.segment_files() as i64,
+            );
+        }
+        set(
+            "cornet_service_sessions",
+            "Live interactive correct-and-relearn sessions.",
+            self.sessions.lock().unwrap().map.len() as i64,
+        );
+        set(
+            "cornet_service_learns_performed",
+            "Learner invocations since this service started (store hits excluded).",
+            self.learns_performed() as i64,
+        );
+        set(
+            "cornet_service_uptime_seconds",
+            "Seconds since this service started.",
+            self.started.elapsed().as_secs() as i64,
+        );
+        let mut out = cornet_obs::registry().render();
+        out.push_str(&service.render());
+        out
     }
 }
 
@@ -1229,6 +1303,48 @@ mod tests {
         assert!(results[0].is_ok());
         assert_eq!(results[1].as_ref().unwrap_err().status(), 404);
         assert!(results[2].is_ok(), "failure must not poison the batch");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn metrics_text_reports_service_gauges_that_reset_on_restart() {
+        let (service, dir) = temp_service("metrics");
+        let req = LearnRequest {
+            cells: rw_column(),
+            examples: vec![0, 2, 5],
+            negatives: vec![],
+        };
+        service.learn(&req).unwrap();
+        let expo = cornet_obs::expo::parse(&service.metrics_text()).unwrap();
+        assert_eq!(
+            expo.value("cornet_service_learns_performed", &[]),
+            Some(1.0)
+        );
+        assert_eq!(
+            expo.value("cornet_service_store_persisted_rules", &[]),
+            Some(1.0)
+        );
+        drop(service);
+
+        // A fresh service over the same store: per-service families reset
+        // even though the global registry keeps its process totals.
+        let restarted = CornetService::new(&ServiceConfig {
+            store_dir: dir.clone(),
+            cache_capacity: 16,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let expo = cornet_obs::expo::parse(&restarted.metrics_text()).unwrap();
+        assert_eq!(
+            expo.value("cornet_service_learns_performed", &[]),
+            Some(0.0),
+            "restart resets the per-service learn gauge"
+        );
+        assert_eq!(
+            expo.value("cornet_service_store_persisted_rules", &[]),
+            Some(1.0),
+            "persisted rules survive the restart"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -7,12 +7,26 @@
 //! against a throwaway store directory; any assertion failure is
 //! returned as `Err` and the binary exits non-zero.
 
-use crate::http::http_request;
+use crate::http::{http_request, http_request_text};
 use crate::service::{CornetService, ServiceConfig};
 use crate::Server;
 use cornet_serde::{open_envelope, FromJson, Json};
 use std::net::SocketAddr;
 use std::sync::Arc;
+
+/// Scrapes `GET /metrics` and returns the value of one unlabelled
+/// sample, failing loudly when the exposition does not parse.
+fn scrape(addr: SocketAddr, name: &str) -> Result<f64, String> {
+    let (status, text) =
+        http_request_text(addr, "GET", "/metrics").map_err(|e| format!("GET /metrics: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET /metrics: status {status}"));
+    }
+    let expo =
+        cornet_obs::expo::parse(&text).map_err(|e| format!("/metrics did not parse: {e}"))?;
+    expo.value(name, &[])
+        .ok_or_else(|| format!("/metrics is missing `{name}`"))
+}
 
 /// The running-example column driven through the session.
 const CELLS: &str = r#"["RW-187","RS-762","RW-159","RW-131-T","TW-224","RW-312"]"#;
@@ -195,6 +209,22 @@ fn run_in(dir: &std::path::Path) -> Result<Vec<String>, String> {
         &log,
     )?;
 
+    // The scripted session so far must be visible on /metrics: the
+    // per-service learn gauge counts the real learner invocations above
+    // (cache hits excluded), and some rules are persisted.
+    let learns_before = scrape(addr, "cornet_service_learns_performed")?;
+    expect(
+        learns_before >= 3.0,
+        "session's learner invocations show on /metrics",
+        &log,
+    )?;
+    expect(
+        scrape(addr, "cornet_service_store_persisted_rules")? >= 3.0,
+        "persisted rules show on /metrics",
+        &log,
+    )?;
+    log.push(format!("metrics before restart: learns={learns_before}"));
+
     // 4. Pack the store: every loose per-rule file folds into an
     // append-only segment, so the restart below answers from segments.
     let packed = post(addr, "/admin/pack", "{}", "pack", &mut log)?;
@@ -255,6 +285,18 @@ fn run_in(dir: &std::path::Path) -> Result<Vec<String>, String> {
     expect(
         health.get("learns_performed").and_then(Json::as_u64) == Some(0),
         "restarted server never invoked the learner",
+        &log,
+    )?;
+    // The per-service families reset with the restart: the fresh server
+    // answered everything from the persisted store without learning.
+    expect(
+        scrape(addr, "cornet_service_learns_performed")? == 0.0,
+        "restarted server's /metrics learn gauge is zero",
+        &log,
+    )?;
+    expect(
+        scrape(addr, "cornet_service_store_persisted_rules")? >= packed_count as f64,
+        "restarted server's /metrics still counts the persisted rules",
         &log,
     )?;
     expect(

@@ -38,10 +38,48 @@
 //! falls back to disk before reporting absence.
 
 use cornet_core::rule::Rule;
+use cornet_obs::Counter;
 use cornet_serde::{decode, encode, field_t, DecodeError, FromJson, Json, ToJson};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::io::{self, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant};
+
+/// Process-wide store counters, registered once in the global
+/// [`cornet_obs`] registry. The per-store `hits`/`misses` fields keep
+/// serving `/health` (they reset with the store); these aggregate across
+/// every store in the process for `/metrics`.
+struct StoreMetrics {
+    hits: Counter,
+    misses: Counter,
+    segment_reads: Counter,
+}
+
+fn store_metrics() -> &'static StoreMetrics {
+    static METRICS: OnceLock<StoreMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = cornet_obs::registry();
+        StoreMetrics {
+            hits: registry.counter(
+                "cornet_store_hits_total",
+                "Rule lookups answered from the in-memory cache.",
+            ),
+            misses: registry.counter(
+                "cornet_store_misses_total",
+                "Rule lookups that fell through to disk or reported absence.",
+            ),
+            segment_reads: registry.counter(
+                "cornet_store_segment_reads_total",
+                "Rule records read out of packed segment files.",
+            ),
+        }
+    })
+}
+
+/// How long a cached persisted-rule count stays fresh before
+/// [`RuleStore::persisted_cached`] rescans the directory.
+const PERSISTED_SCAN_INTERVAL: Duration = Duration::from_secs(1);
 
 /// Envelope kind for rule-store files.
 pub const STORED_RULE_KIND: &str = "stored-rule";
@@ -165,6 +203,11 @@ pub struct RuleStore {
     next_segment: u32,
     hits: u64,
     misses: u64,
+    /// Cached result of the last [`persisted_in`] walk, kept current
+    /// incrementally by `put` and refreshed by [`RuleStore::persisted_cached`]
+    /// at most once per [`PERSISTED_SCAN_INTERVAL`].
+    persisted_count: usize,
+    persisted_at: Option<Instant>,
 }
 
 impl RuleStore {
@@ -198,6 +241,8 @@ impl RuleStore {
             next_segment: seg_numbers.last().map_or(1, |n| n + 1),
             hits: 0,
             misses: 0,
+            persisted_count: 0,
+            persisted_at: None,
         })
     }
 
@@ -252,10 +297,12 @@ impl RuleStore {
         }
         if let Some(found) = self.cache.get(id).cloned() {
             self.hits += 1;
+            store_metrics().hits.inc();
             self.touch(id);
             return Some(found);
         }
         self.misses += 1;
+        store_metrics().misses.inc();
         let entry = self
             .read_from_segment(id)
             .or_else(|| self.read_from_loose_file(id))?;
@@ -276,7 +323,9 @@ impl RuleStore {
         let mut record = vec![0u8; loc.len as usize];
         file.read_exact(&mut record).ok()?;
         let text = String::from_utf8(record).ok()?;
-        decode(STORED_RULE_KIND, &text).ok()
+        let entry = decode(STORED_RULE_KIND, &text).ok()?;
+        store_metrics().segment_reads.inc();
+        Some(entry)
     }
 
     /// Reads a rule from its per-rule file: sharded path first, then the
@@ -324,8 +373,20 @@ impl RuleStore {
             std::process::id(),
             TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
         ));
+        // Keep the cached persisted count current without a rescan: the
+        // rule is new on disk unless it is already indexed, sharded, or
+        // sitting at the legacy flat path. Only checked while a scan is
+        // live — before the first `persisted_cached` call there is no
+        // count to maintain, so `put` stays two syscalls cheaper.
+        let newly_persisted = self.persisted_at.is_some()
+            && !self.index.contains_key(&entry.id)
+            && !self.path_for(&entry.id).exists()
+            && !self.flat_path_for(&entry.id).exists();
         std::fs::write(&tmp, &text)?;
         std::fs::rename(&tmp, self.path_for(&entry.id))?;
+        if newly_persisted {
+            self.persisted_count += 1;
+        }
         let id = entry.id.clone();
         self.cache.insert(id.clone(), entry);
         self.touch(&id);
@@ -335,9 +396,26 @@ impl RuleStore {
     /// Number of rules persisted on disk (loose per-rule files plus
     /// distinct rules inside segments). This walks the directory — call
     /// [`persisted_in`] with a saved [`RuleStore::dir`] to scan without
-    /// holding a store lock.
+    /// holding a store lock, or [`RuleStore::persisted_cached`] for the
+    /// throttled count that `/health` and `/metrics` report.
     pub fn persisted(&self) -> usize {
         persisted_in(&self.dir)
+    }
+
+    /// The persisted-rule count backed by a cache: the full directory
+    /// walk of [`persisted_in`] runs at most once per second, `put`
+    /// keeps the count current in between, and every other call is a
+    /// field read. This is what `/health` and `/metrics` use so a
+    /// monitoring scrape never stalls a request behind a directory walk.
+    pub fn persisted_cached(&mut self) -> usize {
+        let stale = self
+            .persisted_at
+            .map_or(true, |at| at.elapsed() >= PERSISTED_SCAN_INTERVAL);
+        if stale {
+            self.persisted_count = persisted_in(&self.dir);
+            self.persisted_at = Some(Instant::now());
+        }
+        self.persisted_count
     }
 
     /// Number of distinct rules reachable through the segment index.
@@ -845,6 +923,58 @@ mod tests {
         assert_eq!(store.pack().unwrap(), 1);
         assert_eq!(store.segment_files(), 2);
         assert_eq!(persisted_in(&dir), 3, "distinct ids, no double count");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn persisted_cached_tracks_puts_incrementally() {
+        let dir = temp_dir("persisted-cached");
+        let mut store = RuleStore::open(&dir, 8).unwrap();
+        assert_eq!(store.persisted_cached(), 0, "first call scans");
+        let ids: Vec<String> = (0..3)
+            .map(|i| rule_id(&[format!("inc{i}")], &[0], &[]))
+            .collect();
+        for id in &ids {
+            store.put(entry(id, "I")).unwrap();
+        }
+        assert_eq!(store.persisted_cached(), 3, "puts advance the count");
+        // Re-putting an existing id must not double count.
+        store.put(entry(&ids[0], "I2")).unwrap();
+        assert_eq!(store.persisted_cached(), 3);
+        assert_eq!(store.persisted(), 3, "cached count matches the walk");
+        // Packing moves rules into a segment; the distinct count holds.
+        assert_eq!(store.pack().unwrap(), 3);
+        assert_eq!(store.persisted_cached(), 3);
+        // …and a put of a packed id is still not new on disk.
+        store.put(entry(&ids[1], "I3")).unwrap();
+        assert_eq!(store.persisted_cached(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn global_store_counters_advance() {
+        // The global registry is shared by every test in the binary, so
+        // assert deltas only — never exact values.
+        let dir = temp_dir("obs-counters");
+        let metrics = store_metrics();
+        let (h0, m0, s0) = (
+            metrics.hits.get(),
+            metrics.misses.get(),
+            metrics.segment_reads.get(),
+        );
+        let id = rule_id(&["obs".into()], &[0], &[]);
+        {
+            let mut store = RuleStore::open(&dir, 8).unwrap();
+            store.put(entry(&id, "O")).unwrap();
+            assert!(store.get(&id).is_some(), "cache hit");
+            store.pack().unwrap();
+        }
+        // A cold store must miss memory and read from the segment.
+        let mut reopened = RuleStore::open(&dir, 8).unwrap();
+        assert!(reopened.get(&id).is_some());
+        assert!(metrics.hits.get() > h0, "cache hit counted");
+        assert!(metrics.misses.get() > m0, "cold lookup counted as a miss");
+        assert!(metrics.segment_reads.get() > s0, "segment read counted");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -12,6 +12,8 @@
 //! * [`eval`] — the experiment harness (tables/figures of §5),
 //! * [`pool`] — the work-stealing thread pool behind the parallel hot
 //!   paths (`CORNET_THREADS` controls the worker count),
+//! * [`obs`] — metrics registry, span timers and trace sinks behind the
+//!   `/metrics` endpoint,
 //! * [`serde`] — the hand-rolled JSON codec (persistence + wire format),
 //! * [`serve`] — the rule-store service and its HTTP front-end,
 //! * [`dtree`], [`nn`], [`ilp`] — the substrate crates.
@@ -24,6 +26,7 @@ pub use cornet_eval as eval;
 pub use cornet_formula as formula;
 pub use cornet_ilp as ilp;
 pub use cornet_nn as nn;
+pub use cornet_obs as obs;
 pub use cornet_pool as pool;
 pub use cornet_serde as serde;
 pub use cornet_serve as serve;

@@ -9,15 +9,15 @@
 //! the parser in isolation.
 
 use cornet_repro::serve::http::{
-    encode_request, http_request, parse_request, HttpClient, ParseOutcome, RequestLog,
-    RequestRecord, Server, ServerConfig, MAX_BODY,
+    encode_request, http_request, parse_request, HttpClient, ParseOutcome, Server, ServerConfig,
+    VecLog, MAX_BODY,
 };
 use cornet_repro::serve::service::{CornetService, ServiceConfig};
 use proptest::prelude::*;
 use std::io::Write;
 use std::net::TcpStream;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 fn temp_dir(tag: &str) -> PathBuf {
@@ -35,16 +35,6 @@ fn service(dir: &PathBuf) -> Arc<CornetService> {
         })
         .unwrap(),
     )
-}
-
-/// Collects every [`RequestRecord`] for assertions.
-#[derive(Debug, Default)]
-struct VecLog(Mutex<Vec<RequestRecord>>);
-
-impl RequestLog for VecLog {
-    fn record(&self, record: &RequestRecord) {
-        self.0.lock().unwrap().push(record.clone());
-    }
 }
 
 #[test]
@@ -80,7 +70,7 @@ fn keep_alive_reuses_one_connection_for_many_requests() {
         assert_eq!(response.status, 200);
         assert_eq!(response.header("connection"), Some("keep-alive"));
     }
-    let records = log.0.lock().unwrap();
+    let records = log.records();
     assert_eq!(records.len(), 4, "one record per request");
     let conn = records[0].conn;
     assert!(
@@ -90,7 +80,6 @@ fn keep_alive_reuses_one_connection_for_many_requests() {
     assert!(records
         .iter()
         .all(|r| r.status == 200 && r.path == "/health"));
-    drop(records);
     drop(server);
     std::fs::remove_dir_all(&dir).ok();
 }

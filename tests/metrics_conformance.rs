@@ -1,0 +1,364 @@
+//! Conformance tests for the `/metrics` endpoint: the exposition a live
+//! server emits must be valid Prometheus text format 0.0.4, not merely
+//! something our own parser happens to accept.
+//!
+//! Pinned here, against a real server over a loopback socket:
+//!
+//! * the response carries the text-exposition content type and parses;
+//! * every sample belongs to a family with both `# HELP` and `# TYPE`,
+//!   and the type is one of `counter` / `gauge` / `histogram`;
+//! * metric and label names match the Prometheus grammar;
+//! * histogram buckets are cumulative (non-decreasing in `le` order),
+//!   end in `+Inf`, and agree with `_count`; `_sum` is present and
+//!   consistent with the observations;
+//! * counters never decrease between two scrapes (monotonicity);
+//! * label values containing `"`, `\` and newlines round-trip through
+//!   the escaping rules.
+//!
+//! The registry is process-global and shared with every other test in
+//! this binary, so all assertions are structural or delta-based — never
+//! exact counts.
+
+use cornet_repro::obs::expo::{self, Exposition, Sample};
+use cornet_repro::serve::http::{encode_request, http_request, http_request_text};
+use cornet_repro::serve::service::{CornetService, ServiceConfig};
+use cornet_repro::serve::Server;
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// A live server over a throwaway store, plus the store dir to clean up.
+struct Fixture {
+    server: Server,
+    dir: std::path::PathBuf,
+}
+
+impl Fixture {
+    fn start(tag: &str) -> Fixture {
+        let dir =
+            std::env::temp_dir().join(format!("cornet-metrics-conf-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = CornetService::new(&ServiceConfig {
+            store_dir: dir.clone(),
+            cache_capacity: 64,
+            ..ServiceConfig::default()
+        })
+        .expect("open store");
+        let server = Server::start("127.0.0.1:0", Arc::new(service)).expect("bind");
+        Fixture { server, dir }
+    }
+
+    fn addr(&self) -> SocketAddr {
+        self.server.addr()
+    }
+
+    /// Drive real traffic so the scrape has populated families: a learn
+    /// (exercises the learner-stage histograms), a score (store path) and
+    /// a 404 (the `unmatched` route label).
+    fn traffic(&self) {
+        let learn = r#"{"cells":["RW-187","RS-762","RW-159"],"examples":[0,2]}"#;
+        let (status, _) =
+            http_request(self.addr(), "POST", "/learn", Some(learn)).expect("POST /learn");
+        assert_eq!(status, 200, "fixture learn must succeed");
+        let (status, _) = http_request(self.addr(), "GET", "/health", None).expect("GET /health");
+        assert_eq!(status, 200);
+        let (status, _) = http_request(self.addr(), "GET", "/no-such-route", None).expect("GET");
+        assert_eq!(status, 404, "fixture 404 must be a 404");
+    }
+
+    fn scrape(&self) -> Exposition {
+        let (status, text) =
+            http_request_text(self.addr(), "GET", "/metrics").expect("GET /metrics");
+        assert_eq!(status, 200, "/metrics must answer 200");
+        expo::parse(&text).unwrap_or_else(|e| panic!("/metrics must parse: {e}\n{text}"))
+    }
+}
+
+impl Drop for Fixture {
+    fn drop(&mut self) {
+        self.server.shutdown();
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+/// The family a sample belongs to: histogram series keep their
+/// `_bucket` / `_sum` / `_count` suffixes on the wire but share the
+/// base family's HELP/TYPE metadata.
+fn family_of<'a>(sample_name: &'a str, types: &BTreeMap<String, String>) -> &'a str {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = sample_name.strip_suffix(suffix) {
+            if types.get(base).map(String::as_str) == Some("histogram") {
+                return base;
+            }
+        }
+    }
+    sample_name
+}
+
+fn is_valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn is_valid_label_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Labels of a sample minus `le`, as a grouping key for histogram series.
+fn series_key(sample: &Sample) -> Vec<(String, String)> {
+    sample
+        .labels
+        .iter()
+        .filter(|(k, _)| k != "le")
+        .cloned()
+        .collect()
+}
+
+#[test]
+fn metrics_response_has_exposition_content_type() {
+    let fixture = Fixture::start("ctype");
+    fixture.traffic();
+    let mut stream = TcpStream::connect(fixture.addr()).expect("connect");
+    stream
+        .write_all(encode_request("GET", "/metrics", None, true).as_bytes())
+        .expect("send");
+    let (status, headers, text) =
+        cornet_repro::serve::http::read_response_text(&mut stream).expect("read");
+    assert_eq!(status, 200);
+    let content_type = headers
+        .iter()
+        .find(|(name, _)| name == "content-type")
+        .map(|(_, value)| value.as_str())
+        .expect("/metrics must send Content-Type");
+    assert_eq!(
+        content_type, "text/plain; version=0.0.4; charset=utf-8",
+        "scrapers key the parser off this exact content type"
+    );
+    expo::parse(&text).expect("body must be a valid exposition");
+}
+
+#[test]
+fn every_family_has_help_type_and_legal_names() {
+    let fixture = Fixture::start("meta");
+    fixture.traffic();
+    let expo = fixture.scrape();
+    assert!(!expo.samples.is_empty(), "scrape must not be empty");
+    for sample in &expo.samples {
+        assert!(
+            is_valid_metric_name(&sample.name),
+            "illegal metric name {:?}",
+            sample.name
+        );
+        let family = family_of(&sample.name, &expo.types);
+        assert!(
+            expo.helps.contains_key(family),
+            "family {family:?} (sample {:?}) has no # HELP",
+            sample.name
+        );
+        let kind = expo
+            .types
+            .get(family)
+            .unwrap_or_else(|| panic!("family {family:?} has no # TYPE"));
+        assert!(
+            matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+            "family {family:?} has unknown type {kind:?}"
+        );
+        let mut seen = std::collections::BTreeSet::new();
+        for (key, _) in &sample.labels {
+            assert!(is_valid_label_name(key), "illegal label name {key:?}");
+            assert!(
+                seen.insert(key),
+                "duplicate label {key:?} on {:?}",
+                sample.name
+            );
+        }
+        // Counter families follow the `_total` convention and only
+        // histogram series may carry the reserved `le` label.
+        if kind == "counter" {
+            assert!(
+                family.ends_with("_total"),
+                "counter family {family:?} must end in _total"
+            );
+        }
+        if sample.label("le").is_some() {
+            assert!(
+                sample.name.ends_with("_bucket"),
+                "only _bucket samples may carry `le`, found {:?}",
+                sample.name
+            );
+        }
+    }
+}
+
+#[test]
+fn histogram_buckets_are_cumulative_and_consistent() {
+    let fixture = Fixture::start("histo");
+    fixture.traffic();
+    let expo = fixture.scrape();
+    let histogram_families: Vec<&String> = expo
+        .types
+        .iter()
+        .filter(|(_, kind)| kind.as_str() == "histogram")
+        .map(|(name, _)| name)
+        .collect();
+    assert!(
+        !histogram_families.is_empty(),
+        "the scrape must expose at least one histogram family"
+    );
+    for family in histogram_families {
+        // Group the family's _bucket samples into series by their
+        // non-`le` labels; each series must be a well-formed histogram.
+        let mut series: BTreeMap<Vec<(String, String)>, Vec<(f64, f64)>> = BTreeMap::new();
+        for sample in expo.samples_named(&format!("{family}_bucket")) {
+            let le = sample
+                .label("le")
+                .unwrap_or_else(|| panic!("{family}_bucket sample without `le`"));
+            let bound = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>()
+                    .unwrap_or_else(|_| panic!("unparseable le {le:?} in {family}"))
+            };
+            series
+                .entry(series_key(sample))
+                .or_default()
+                .push((bound, sample.value));
+        }
+        assert!(!series.is_empty(), "histogram {family} has no buckets");
+        for (labels, buckets) in series {
+            let label_refs: Vec<(&str, &str)> = labels
+                .iter()
+                .map(|(k, v)| (k.as_str(), v.as_str()))
+                .collect();
+            // Upper bounds strictly increase and cumulative counts never
+            // decrease; the last bucket is +Inf.
+            for window in buckets.windows(2) {
+                assert!(
+                    window[0].0 < window[1].0,
+                    "{family}{labels:?}: le bounds not strictly increasing"
+                );
+                assert!(
+                    window[0].1 <= window[1].1,
+                    "{family}{labels:?}: bucket counts not cumulative"
+                );
+            }
+            let (last_bound, inf_count) = *buckets.last().expect("series has at least one bucket");
+            assert!(
+                last_bound.is_infinite(),
+                "{family}{labels:?}: missing +Inf bucket"
+            );
+            let count = expo
+                .value(&format!("{family}_count"), &label_refs)
+                .unwrap_or_else(|| panic!("{family}{labels:?}: missing _count"));
+            let sum = expo
+                .value(&format!("{family}_sum"), &label_refs)
+                .unwrap_or_else(|| panic!("{family}{labels:?}: missing _sum"));
+            assert_eq!(
+                inf_count, count,
+                "{family}{labels:?}: +Inf bucket must equal _count"
+            );
+            assert!(
+                count >= 0.0 && sum >= 0.0,
+                "{family}{labels:?}: negative count or sum of durations"
+            );
+            assert!(
+                count > 0.0 || sum == 0.0,
+                "{family}{labels:?}: nonzero _sum with zero observations"
+            );
+        }
+    }
+    // The traffic above must have landed in the per-route histogram —
+    // otherwise this test could pass against an empty family list.
+    assert!(
+        expo.value(
+            "cornet_http_request_duration_seconds_count",
+            &[("route", "/learn")]
+        )
+        .unwrap_or(0.0)
+            >= 1.0,
+        "the fixture learn must show in the /learn route histogram"
+    );
+}
+
+#[test]
+fn counters_are_monotone_across_scrapes() {
+    let fixture = Fixture::start("mono");
+    fixture.traffic();
+    let first = fixture.scrape();
+    fixture.traffic(); // more traffic between the scrapes
+    let second = fixture.scrape();
+    let mut compared = 0usize;
+    for sample in &first.samples {
+        let family = family_of(&sample.name, &first.types);
+        let is_counter = first.types.get(family).map(String::as_str) == Some("counter");
+        // Histogram buckets and counts are cumulative too; only _sum can
+        // be excluded (it is, strictly, also monotone for non-negative
+        // observations — durations — so hold it to the same bar).
+        let is_histogram = first.types.get(family).map(String::as_str) == Some("histogram");
+        if !is_counter && !is_histogram {
+            continue;
+        }
+        let labels: Vec<(&str, &str)> = sample
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let later = second.value(&sample.name, &labels).unwrap_or_else(|| {
+            panic!(
+                "cumulative series {:?}{:?} disappeared between scrapes",
+                sample.name, sample.labels
+            )
+        });
+        assert!(
+            later >= sample.value,
+            "{:?}{:?} went backwards: {} -> {later}",
+            sample.name,
+            sample.labels,
+            sample.value
+        );
+        compared += 1;
+    }
+    assert!(compared >= 10, "only {compared} cumulative series compared");
+    // And the traffic between the scrapes must be visible: the request
+    // counter family strictly advanced somewhere.
+    let total = |expo: &Exposition| -> f64 {
+        expo.samples_named("cornet_http_requests_total")
+            .iter()
+            .map(|s| s.value)
+            .sum()
+    };
+    assert!(
+        total(&second) > total(&first),
+        "traffic between scrapes must advance cornet_http_requests_total"
+    );
+}
+
+#[test]
+fn exotic_label_values_round_trip_through_escaping() {
+    // The server process shares this test binary's global registry, so a
+    // family registered here appears on the wire at the next scrape.
+    let hostile = "a\"quoted\\slashed\nnewlined";
+    cornet_repro::obs::registry()
+        .counter_with(
+            "cornet_test_escape_probe_total",
+            "Escaping probe (tests only)",
+            &[("path", hostile)],
+        )
+        .add(7);
+    let fixture = Fixture::start("escape");
+    let expo = fixture.scrape();
+    let got = expo
+        .value("cornet_test_escape_probe_total", &[("path", hostile)])
+        .expect("escaped label must survive the wire round-trip");
+    assert!(got >= 7.0, "escaped series lost its value: {got}");
+}

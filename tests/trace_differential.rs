@@ -1,0 +1,196 @@
+//! Differential tests for tracing: observability must be purely
+//! observational. Installing a trace sink (and the span timers it
+//! activates) must not change *anything* the learner computes — rules,
+//! order, score bits, stats — on either pool path.
+//!
+//! Contract: for seeded random columns spanning the corpus's surface,
+//! `Cornet::learn_spec` returns bit-identical output with a [`VecSink`]
+//! installed and with tracing disabled, at `with_threads(1)` (the inline
+//! fast path) and `with_threads(4)` (the work-stealing path). The traced
+//! runs must actually emit the learner-stage spans, so the suite cannot
+//! pass vacuously with instrumentation compiled out.
+//!
+//! The trace sink is process-global; tests in this binary serialize on
+//! [`SINK_LOCK`] so one test's sink never observes (or disables)
+//! another's.
+
+use cornet_repro::core::learner::{Cornet, LearnError, LearnSpec};
+use cornet_repro::obs::{clear_trace_sink, set_trace_sink, VecSink};
+use cornet_repro::pool::with_threads;
+use cornet_repro::table::CellValue;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+static SINK_LOCK: Mutex<()> = Mutex::new(());
+
+/// Take the global-sink lock, tolerating poisoning: a panic in another
+/// test must not cascade into spurious lock failures here.
+fn sink_lock() -> MutexGuard<'static, ()> {
+    SINK_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// One seeded random column + observed set (same surface flavours as the
+/// other differential suites: ids, status words, numerics, dates, mixed).
+fn random_table(seed: u64) -> (Vec<CellValue>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(12..=40);
+    let raw: Vec<String> = (0..n)
+        .map(|_| match seed % 5 {
+            0 => {
+                let prefix = *["RW", "RS", "TW"].choose(&mut rng).unwrap();
+                let suffix = if rng.gen_bool(0.3) { "-T" } else { "" };
+                format!("{prefix}-{}{suffix}", rng.gen_range(100..1000))
+            }
+            1 => (*["Open", "Closed", "Pending", "Blocked", "Done"]
+                .choose(&mut rng)
+                .unwrap())
+            .to_string(),
+            2 => format!("{}", rng.gen_range(-50..450) as f64 * 0.5),
+            3 => format!(
+                "202{}-{:02}-{:02}",
+                rng.gen_range(0..4),
+                rng.gen_range(1..=12),
+                rng.gen_range(1..=28)
+            ),
+            _ => {
+                if rng.gen_bool(0.6) {
+                    format!("{}", rng.gen_range(0..100))
+                } else {
+                    format!("id-{}", rng.gen_range(0..30))
+                }
+            }
+        })
+        .collect();
+    let cells: Vec<CellValue> = raw.iter().map(|s| CellValue::parse(s)).collect();
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut rng);
+    let k = rng.gen_range(2..=5).min(n);
+    let mut observed = indices[..k].to_vec();
+    observed.sort_unstable();
+    (cells, observed)
+}
+
+/// Everything the learner returns, down to the bits: per-candidate rule
+/// display, score bits and accuracy bits, plus the stage stats. Errors
+/// fingerprint as their debug form so abstentions must also agree.
+type Fingerprint = Result<(Vec<(String, u64, u64)>, usize, usize, usize), String>;
+
+fn fingerprint(cells: &[CellValue], observed: &[usize], threads: usize) -> Fingerprint {
+    with_threads(threads, || {
+        let cornet = Cornet::with_default_ranker();
+        let spec = LearnSpec::new(cells.to_vec(), observed.to_vec());
+        match cornet.learn_spec(&spec) {
+            Ok(outcome) => Ok((
+                outcome
+                    .candidates
+                    .iter()
+                    .map(|c| {
+                        (
+                            c.rule.to_string(),
+                            c.score.to_bits(),
+                            c.cluster_accuracy.to_bits(),
+                        )
+                    })
+                    .collect(),
+                outcome.stats.n_predicates,
+                outcome.stats.n_candidates,
+                outcome.stats.cluster_iterations,
+            )),
+            Err(e) => Err(format!("{e:?}")),
+        }
+    })
+}
+
+#[test]
+fn tracing_does_not_change_learner_output() {
+    let _serial = sink_lock();
+    for threads in [1usize, 4] {
+        let mut nonempty = 0;
+        for seed in 0..30u64 {
+            let (cells, observed) = random_table(seed);
+            clear_trace_sink();
+            let baseline = fingerprint(&cells, &observed, threads);
+
+            let sink = Arc::new(VecSink::default());
+            set_trace_sink(sink.clone());
+            let traced = fingerprint(&cells, &observed, threads);
+            clear_trace_sink();
+
+            assert_eq!(
+                traced, baseline,
+                "seed {seed}, {threads} threads: learner output changed under tracing"
+            );
+            // Non-vacuity: the traced run really went through the
+            // instrumented stages.
+            let spans: Vec<String> = sink.events().into_iter().map(|e| e.span).collect();
+            assert!(
+                spans.iter().any(|s| s.starts_with("learn.")),
+                "seed {seed}, {threads} threads: no learner span reached the sink"
+            );
+            if baseline.as_ref().is_ok_and(|(c, ..)| !c.is_empty()) {
+                nonempty += 1;
+            }
+        }
+        assert!(
+            nonempty >= 10,
+            "only {nonempty}/30 tables produced candidates at {threads} threads — \
+             suite too vacuous"
+        );
+    }
+}
+
+#[test]
+fn successful_learns_emit_every_pipeline_stage_span() {
+    let _serial = sink_lock();
+    let cells: Vec<CellValue> = ["RW-187", "RS-762", "RW-159", "RW-131-T", "TW-224", "RW-312"]
+        .iter()
+        .map(|s| CellValue::parse(s))
+        .collect();
+    let sink = Arc::new(VecSink::default());
+    clear_trace_sink();
+    set_trace_sink(sink.clone());
+    let outcome = Cornet::with_default_ranker().learn(&cells, &[0, 2, 5]);
+    clear_trace_sink();
+    assert!(outcome.is_ok(), "running example must learn");
+    let spans: Vec<String> = sink.events().into_iter().map(|e| e.span).collect();
+    for stage in ["learn.predgen", "learn.cluster", "learn.rank"] {
+        assert!(
+            spans.iter().any(|s| s == stage),
+            "stage span {stage:?} missing from trace: {spans:?}"
+        );
+    }
+    // One of the two search strategies must have run.
+    assert!(
+        spans
+            .iter()
+            .any(|s| s == "learn.enumerate" || s == "learn.fullsearch"),
+        "no search-stage span in trace: {spans:?}"
+    );
+}
+
+#[test]
+fn tracing_preserves_abstention_errors_bit_for_bit() {
+    let _serial = sink_lock();
+    // Cells 0 and 1 hold the same value with conflicting labels: the
+    // learner must abstain identically with and without a sink.
+    let cells: Vec<CellValue> = ["x", "x", "y", "z"]
+        .iter()
+        .map(|s| CellValue::parse(s))
+        .collect();
+    let spec = LearnSpec::new(cells, vec![0]).with_negatives(vec![1]);
+    let run = || {
+        let cornet = Cornet::with_default_ranker();
+        cornet
+            .learn_spec(&spec)
+            .map(|o| o.candidates.len())
+            .map_err(|e: LearnError| format!("{e:?}"))
+    };
+    clear_trace_sink();
+    let baseline = run();
+    set_trace_sink(Arc::new(VecSink::default()));
+    let traced = run();
+    clear_trace_sink();
+    assert_eq!(traced, baseline, "abstention path changed under tracing");
+}
