@@ -12,6 +12,8 @@
 //! | [`Conjunct`] | array of literals |
 //! | [`Rule`] | `{"cond":[[…],…],"format":1}` |
 //! | [`ScoredRule`] | `{"rule":…,"score":…,"cluster_accuracy":…}` |
+//! | [`StyledRule`] | `{"rule":…,"style":…,"scope":"cell","priority":0,"score":…,"consistent":true}` |
+//! | [`RuleSet`] | `{"rules":[…]}` (envelope kind `"rule-set"`) |
 //! | [`LearnSpec`] | `{"cells":[…],"positives":[…],"negatives":[…]}` |
 //!
 //! Unknown tags and non-finite constants are rejected with a
@@ -23,8 +25,8 @@ use crate::learner::LearnSpec;
 use crate::predicate::{CmpOp, DatePart, Predicate, TextOp};
 use crate::rank::ScoredRule;
 use crate::rule::{Conjunct, Rule, RuleLiteral};
+use crate::ruleset::{RuleSet, StyledRule};
 use cornet_serde::{field_t, optional_field_t, type_error, DecodeError, FromJson, Json, ToJson};
-use cornet_table::FormatId;
 
 impl ToJson for CmpOp {
     fn to_json(&self) -> Json {
@@ -218,7 +220,7 @@ impl FromJson for Rule {
     fn from_json(json: &Json) -> Result<Self, DecodeError> {
         Ok(Rule {
             condition: field_t(json, "cond")?,
-            format: FormatId(field_t(json, "format")?),
+            format: field_t(json, "format")?,
         })
     }
 }
@@ -239,6 +241,46 @@ impl FromJson for ScoredRule {
             rule: field_t(json, "rule")?,
             score: finite(json, "score")?,
             cluster_accuracy: finite(json, "cluster_accuracy")?,
+        })
+    }
+}
+
+impl ToJson for StyledRule {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("rule", self.rule.to_json()),
+            ("style", self.style.to_json()),
+            ("scope", self.scope.to_json()),
+            ("priority", Json::Number(self.priority as f64)),
+            ("score", Json::Number(self.score)),
+            ("consistent", Json::Bool(self.consistent)),
+        ])
+    }
+}
+
+impl FromJson for StyledRule {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(StyledRule {
+            rule: field_t(json, "rule")?,
+            style: field_t(json, "style")?,
+            scope: field_t(json, "scope")?,
+            priority: field_t(json, "priority")?,
+            score: finite(json, "score")?,
+            consistent: field_t(json, "consistent")?,
+        })
+    }
+}
+
+impl ToJson for RuleSet {
+    fn to_json(&self) -> Json {
+        Json::object([("rules", self.rules.to_json())])
+    }
+}
+
+impl FromJson for RuleSet {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(RuleSet {
+            rules: field_t(json, "rules")?,
         })
     }
 }
@@ -377,6 +419,63 @@ mod tests {
     fn empty_rule_and_empty_conjunct_round_trip() {
         round_trip(&Rule::new(vec![]));
         round_trip(&Rule::new(vec![Conjunct::new(vec![])]));
+    }
+
+    #[test]
+    fn styled_rules_and_rule_sets_round_trip() {
+        use crate::ruleset::{RuleSet, StyledRule};
+        use cornet_table::{Format, TargetScope};
+        let styled = |pattern: &str, fill: &str, scope, priority| StyledRule {
+            rule: Rule::from_predicate(Predicate::Text {
+                op: TextOp::Equals,
+                pattern: pattern.into(),
+            }),
+            style: Format::fill(fill),
+            scope,
+            priority,
+            score: 0.75,
+            consistent: priority == 0,
+        };
+        let set = RuleSet {
+            rules: vec![
+                styled("completed", "#dcfce7", TargetScope::Row, 0),
+                styled("pending", "#fef9c3", TargetScope::Cell, 1),
+            ],
+        };
+        round_trip(&set);
+        round_trip(&set.rules[0]);
+        round_trip(&RuleSet::default());
+        // The versioned envelope kind for persisted/served rule sets.
+        let wire = encode("rule-set", &set);
+        assert!(wire.starts_with(r#"{"v":1,"kind":"rule-set""#), "{wire}");
+        let back: RuleSet = decode("rule-set", &wire).unwrap();
+        assert_eq!(back, set);
+        assert!(decode::<RuleSet>("rule", &wire).is_err());
+        // An unknown scope tag poisons the whole set.
+        let tampered = wire.replace(r#""scope":"row""#, r#""scope":"diagonal""#);
+        assert_ne!(tampered, wire, "fixture must actually contain the scope");
+        assert!(decode::<RuleSet>("rule-set", &tampered).is_err());
+    }
+
+    #[test]
+    fn styled_rule_wire_shape_is_stable() {
+        use crate::ruleset::StyledRule;
+        use cornet_table::{Format, TargetScope};
+        let styled = StyledRule {
+            rule: Rule::from_predicate(Predicate::NumCmp {
+                op: CmpOp::Greater,
+                n: 5.0,
+            }),
+            style: Format::fill("#beaed4"),
+            scope: TargetScope::Cell,
+            priority: 0,
+            score: 0.5,
+            consistent: true,
+        };
+        assert_eq!(
+            to_string(&styled.to_json()),
+            r##"{"rule":{"cond":[[{"pred":{"p":"num_cmp","op":">","n":5},"neg":false}]],"format":1},"style":{"fill":"#beaed4"},"scope":"cell","priority":0,"score":0.5,"consistent":true}"##
+        );
     }
 
     #[test]

@@ -7,9 +7,10 @@ use crate::features::rule_features_constrained;
 use crate::fullsearch::{full_search, FullSearchConfig};
 use crate::predgen::{generate_predicates, infer_type, GenConfig};
 use crate::rank::{score_descending, RankContext, Ranker, ScoredRule, SymbolicRanker};
+use crate::ruleset::{RuleSet, StyledRule};
 use crate::signature::CellSignatures;
 use cornet_obs::{Counter, Histogram, StageTimer};
-use cornet_table::CellValue;
+use cornet_table::{CellValue, Format, FormatTable, TargetScope};
 use std::fmt;
 use std::sync::OnceLock;
 
@@ -24,6 +25,8 @@ struct LearnMetrics {
     abstentions: Counter,
     /// Relaxed-fallback learns ([`Cornet::learn_spec_relaxed`]).
     relaxed: Counter,
+    /// Multi-class rule-set learns ([`Cornet::learn_ruleset`]).
+    rulesets: Counter,
     /// Per-stage wall time, labelled by pipeline stage.
     predgen: Histogram,
     cluster: Histogram,
@@ -52,6 +55,10 @@ fn learn_metrics() -> &'static LearnMetrics {
             relaxed: registry.counter(
                 "cornet_learn_relaxed_total",
                 "Relaxed-fallback learns after an abstention",
+            ),
+            rulesets: registry.counter(
+                "cornet_learn_rulesets_total",
+                "Multi-class rule-set learns that produced a rule set",
             ),
             predgen: stage("predgen"),
             cluster: stage("cluster"),
@@ -168,6 +175,82 @@ impl LearnSpec {
     }
 }
 
+/// One format class of a [`RuleSetSpec`]: the style the user painted, the
+/// scope it paints, and the cells they painted it on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassSpec {
+    /// The style payload this class applies.
+    pub style: Format,
+    /// Whether the style paints the matching cell or its whole row.
+    pub scope: TargetScope,
+    /// Indices the user gave this style (`C_obs` for this class).
+    pub positives: Vec<usize>,
+}
+
+impl ClassSpec {
+    /// A cell-scoped class.
+    pub fn new(style: Format, positives: Vec<usize>) -> ClassSpec {
+        ClassSpec {
+            style,
+            scope: TargetScope::default(),
+            positives,
+        }
+    }
+
+    /// Sets the target scope.
+    pub fn with_scope(mut self, scope: TargetScope) -> ClassSpec {
+        self.scope = scope;
+        self
+    }
+}
+
+/// A multi-class learning task: the column partitioned into k styled
+/// format classes, plus cells the user explicitly left unformatted.
+/// The k>2 generalisation of [`LearnSpec`] — with a single class and no
+/// negatives it describes exactly the same task.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RuleSetSpec {
+    /// The column.
+    pub cells: Vec<CellValue>,
+    /// The format classes, in priority order (class 0 outranks class 1…).
+    pub classes: Vec<ClassSpec>,
+    /// Indices the user explicitly unformatted — hard negatives for
+    /// *every* class.
+    pub negatives: Vec<usize>,
+}
+
+impl RuleSetSpec {
+    /// A spec with no negative corrections.
+    pub fn new(cells: Vec<CellValue>, classes: Vec<ClassSpec>) -> RuleSetSpec {
+        RuleSetSpec {
+            cells,
+            classes,
+            negatives: Vec::new(),
+        }
+    }
+
+    /// Adds hard negative corrections.
+    pub fn with_negatives(mut self, negatives: Vec<usize>) -> RuleSetSpec {
+        self.negatives = negatives;
+        self
+    }
+}
+
+/// The result of a multi-class learn: the rule set plus per-class detail.
+#[derive(Debug, Clone)]
+pub struct RuleSetOutcome {
+    /// One styled rule per class, in class order (`rules[k]` is class k;
+    /// its priority is k).
+    pub rule_set: RuleSet,
+    /// The format table the set's `rule.format` ids index into.
+    pub format_table: FormatTable,
+    /// Winning class per cell after conflict resolution
+    /// ([`RuleSet::apply`] on the spec's column).
+    pub assignments: Vec<Option<usize>>,
+    /// Per-class run statistics, in class order.
+    pub class_stats: Vec<LearnStats>,
+}
+
 /// Statistics of a learning run (Table 5 reports candidate counts and
 /// timings; Figure 9/11 report timings measured by the caller).
 #[derive(Debug, Clone, Default)]
@@ -268,6 +351,88 @@ impl<R: Ranker> Cornet<R> {
     pub fn learn_spec_relaxed(&self, spec: &LearnSpec) -> Result<LearnOutcome, LearnError> {
         learn_metrics().relaxed.inc();
         self.learn_impl(&spec.cells, &spec.positives, &spec.negatives, false)
+    }
+
+    /// Learns one disjoint styled rule per format class from a single
+    /// call — the rule-set generalisation of [`Cornet::learn_spec`].
+    ///
+    /// Each class k runs the constrained pipeline *one-vs-rest*: its own
+    /// positives are the examples, and the union of every other class's
+    /// positives with the spec's global negatives are hard negatives. The
+    /// per-class searches are therefore plain [`Cornet::learn_spec`]
+    /// calls — with a single class and no negatives the outcome is
+    /// bit-identical to [`Cornet::learn_spec`] (and, transitively, to the
+    /// historical `learn`), which `tests/ruleset_differential.rs` pins.
+    ///
+    /// **Per-class abstention:** when the constrained search proves class
+    /// k unsatisfiable, the class falls back to the relaxed search
+    /// ([`Cornet::learn_spec_relaxed`]) and its rule is flagged
+    /// `consistent: false`; the other classes are unaffected.
+    ///
+    /// The returned rules carry `priority = class index`, so
+    /// [`RuleSet::apply`]'s lowest-priority-wins order resolves overlaps
+    /// in favour of the earliest class. Styles are interned through one
+    /// shared [`FormatTable`] in class order; each `rule.format` is the
+    /// interned id of its class's style.
+    pub fn learn_ruleset(&self, spec: &RuleSetSpec) -> Result<RuleSetOutcome, LearnError> {
+        if spec.classes.is_empty() || spec.classes.iter().all(|c| c.positives.is_empty()) {
+            return Err(LearnError::NoExamples);
+        }
+        // Cross-class overlaps are conflicts: a cell can wear one style.
+        for (k, class) in spec.classes.iter().enumerate() {
+            for &i in &class.positives {
+                let clashes = spec.classes[..k].iter().any(|c| c.positives.contains(&i));
+                if clashes {
+                    return Err(LearnError::ConflictingExample(i));
+                }
+            }
+        }
+
+        let mut format_table = FormatTable::new();
+        let mut rules = Vec::with_capacity(spec.classes.len());
+        let mut class_stats = Vec::with_capacity(spec.classes.len());
+        for (k, class) in spec.classes.iter().enumerate() {
+            let mut rest: Vec<usize> = spec.negatives.clone();
+            for (other, c) in spec.classes.iter().enumerate() {
+                if other != k {
+                    rest.extend_from_slice(&c.positives);
+                }
+            }
+            rest.sort_unstable();
+            rest.dedup();
+            let class_spec = LearnSpec {
+                cells: spec.cells.clone(),
+                positives: class.positives.clone(),
+                negatives: rest,
+            };
+            let (outcome, consistent) = match self.learn_spec(&class_spec) {
+                Ok(outcome) => (outcome, true),
+                Err(LearnError::NoConsistentRule) => (self.learn_spec_relaxed(&class_spec)?, false),
+                Err(e) => return Err(e),
+            };
+            let best = outcome.best();
+            let mut rule = best.rule.clone();
+            rule.format = format_table.intern(class.style.clone());
+            rules.push(StyledRule {
+                rule,
+                style: class.style.clone(),
+                scope: class.scope,
+                priority: k as u32,
+                score: best.score,
+                consistent,
+            });
+            class_stats.push(outcome.stats);
+        }
+        learn_metrics().rulesets.inc();
+
+        let rule_set = RuleSet { rules };
+        let assignments = rule_set.apply(&spec.cells);
+        Ok(RuleSetOutcome {
+            rule_set,
+            format_table,
+            assignments,
+            class_stats,
+        })
     }
 
     fn learn_impl(
@@ -703,6 +868,150 @@ mod tests {
             assert_eq!(a.score.to_bits(), b.score.to_bits());
             assert_eq!(a.cluster_accuracy.to_bits(), b.cluster_accuracy.to_bits());
         }
+    }
+
+    #[test]
+    fn learn_ruleset_three_class_status_column() {
+        let cells = parse(&[
+            "completed",
+            "pending",
+            "failed",
+            "completed",
+            "pending",
+            "failed",
+            "completed",
+        ]);
+        let cornet = Cornet::with_default_ranker();
+        let spec = RuleSetSpec::new(
+            cells.clone(),
+            vec![
+                ClassSpec::new(Format::fill("#dcfce7"), vec![0]).with_scope(TargetScope::Row),
+                ClassSpec::new(Format::fill("#fef9c3"), vec![1]).with_scope(TargetScope::Row),
+                ClassSpec::new(Format::fill("#fee2e2"), vec![2]).with_scope(TargetScope::Row),
+            ],
+        );
+        let outcome = cornet.learn_ruleset(&spec).expect("learns a rule set");
+        assert_eq!(outcome.rule_set.len(), 3);
+        assert!(outcome.rule_set.consistent());
+        for (k, rule) in outcome.rule_set.rules.iter().enumerate() {
+            assert_eq!(rule.priority, k as u32);
+            assert_eq!(rule.scope, TargetScope::Row);
+            assert_eq!(
+                outcome.format_table.get(rule.rule.format).unwrap(),
+                &rule.style,
+                "rule.format must resolve to the class style"
+            );
+        }
+        let expected: Vec<Option<usize>> = ["completed", "pending", "failed"]
+            .iter()
+            .cycle()
+            .zip(&cells)
+            .map(|(_, cell)| match cell.display_string().as_str() {
+                "completed" => Some(0),
+                "pending" => Some(1),
+                _ => Some(2),
+            })
+            .collect();
+        assert_eq!(outcome.assignments, expected);
+        // Disjoint by construction: each rule covers only its class.
+        for (i, cell) in cells.iter().enumerate() {
+            let claimants: Vec<usize> = (0..3)
+                .filter(|&k| outcome.rule_set.rules[k].rule.eval(cell))
+                .collect();
+            assert_eq!(claimants, vec![expected[i].unwrap()], "cell {i}");
+        }
+    }
+
+    #[test]
+    fn learn_ruleset_single_class_is_bit_identical_to_learn_spec() {
+        let cells = parse(&["RW-187", "RS-762", "RW-159", "RW-131-T", "TW-224", "RW-312"]);
+        let cornet = Cornet::with_default_ranker();
+        let by_spec = cornet
+            .learn_spec(&LearnSpec::new(cells.clone(), vec![0, 2, 5]))
+            .expect("learns");
+        let outcome = cornet
+            .learn_ruleset(&RuleSetSpec::new(
+                cells,
+                vec![ClassSpec::new(Format::fill("#beaed4"), vec![0, 2, 5])],
+            ))
+            .expect("learns");
+        let styled = &outcome.rule_set.rules[0];
+        assert_eq!(styled.rule.to_string(), by_spec.best().rule.to_string());
+        assert_eq!(styled.score.to_bits(), by_spec.best().score.to_bits());
+        assert!(styled.consistent);
+    }
+
+    #[test]
+    fn learn_ruleset_abstains_per_class() {
+        // The user's global negative at 1 holds the same value as class
+        // 1's positive at 0, so no rule in the language satisfies class 1:
+        // it falls back to the relaxed search and is flagged inconsistent.
+        // Class 0 ("y") separates cleanly from both and stays consistent.
+        let cells = parse(&["x", "x", "y", "z"]);
+        let cornet = Cornet::with_default_ranker();
+        let spec = RuleSetSpec::new(
+            cells,
+            vec![
+                ClassSpec::new(Format::fill("#111111"), vec![2]),
+                ClassSpec::new(Format::fill("#222222"), vec![0]),
+            ],
+        )
+        .with_negatives(vec![1]);
+        let outcome = cornet.learn_ruleset(&spec).expect("learns with fallback");
+        assert!(outcome.rule_set.rules[0].consistent);
+        assert!(!outcome.rule_set.rules[1].consistent);
+        assert!(!outcome.rule_set.consistent());
+    }
+
+    #[test]
+    fn learn_ruleset_validation() {
+        let cells = parse(&["a", "b", "c"]);
+        let cornet = Cornet::with_default_ranker();
+        assert!(matches!(
+            cornet
+                .learn_ruleset(&RuleSetSpec::new(cells.clone(), vec![]))
+                .unwrap_err(),
+            LearnError::NoExamples
+        ));
+        let clash = RuleSetSpec::new(
+            cells.clone(),
+            vec![
+                ClassSpec::new(Format::fill("#111111"), vec![0, 1]),
+                ClassSpec::new(Format::fill("#222222"), vec![1]),
+            ],
+        );
+        assert!(matches!(
+            cornet.learn_ruleset(&clash).unwrap_err(),
+            LearnError::ConflictingExample(1)
+        ));
+        let global_negative_clash = RuleSetSpec::new(
+            cells,
+            vec![ClassSpec::new(Format::fill("#111111"), vec![0])],
+        )
+        .with_negatives(vec![0]);
+        assert!(matches!(
+            cornet.learn_ruleset(&global_negative_clash).unwrap_err(),
+            LearnError::ConflictingExample(0)
+        ));
+    }
+
+    #[test]
+    fn learn_ruleset_shares_format_ids_for_equal_styles() {
+        let cells = parse(&["alpha-1", "beta-2", "alpha-3", "beta-4"]);
+        let cornet = Cornet::with_default_ranker();
+        let spec = RuleSetSpec::new(
+            cells,
+            vec![
+                ClassSpec::new(Format::fill("#336699"), vec![0]),
+                ClassSpec::new(Format::fill("#336699"), vec![1]),
+            ],
+        );
+        let outcome = cornet.learn_ruleset(&spec).expect("learns");
+        assert_eq!(
+            outcome.rule_set.rules[0].rule.format, outcome.rule_set.rules[1].rule.format,
+            "identical styles intern to one id"
+        );
+        assert_eq!(outcome.format_table.len(), 2);
     }
 
     #[test]

@@ -48,18 +48,24 @@ pub mod predgen;
 pub mod predicate;
 pub mod rank;
 pub mod rule;
+pub mod ruleset;
 pub mod signature;
 
 /// Convenient glob-import surface for downstream users.
 pub mod prelude {
     pub use crate::cluster::{ClusterConfig, ClusterMode};
-    pub use crate::learner::{Cornet, CornetConfig, LearnError, LearnOutcome, LearnSpec};
+    pub use crate::learner::{
+        ClassSpec, Cornet, CornetConfig, LearnError, LearnOutcome, LearnSpec, RuleSetOutcome,
+        RuleSetSpec,
+    };
     pub use crate::metrics::{exact_match, execution_match};
     pub use crate::predicate::{CmpOp, DatePart, Predicate, TextOp};
     pub use crate::rank::{Ranker, ScoredRule};
     pub use crate::rule::{Conjunct, Rule, RuleLiteral};
+    pub use crate::ruleset::{RuleSet, StyledRule};
 }
 
-pub use learner::{Cornet, CornetConfig, LearnOutcome, LearnSpec};
+pub use learner::{ClassSpec, Cornet, CornetConfig, LearnOutcome, LearnSpec, RuleSetSpec};
 pub use predicate::Predicate;
 pub use rule::Rule;
+pub use ruleset::{RuleSet, StyledRule};

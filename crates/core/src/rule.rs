@@ -12,7 +12,7 @@
 
 use crate::predicate::Predicate;
 use cornet_formula::{BinaryOp, Expr};
-use cornet_table::{BitVec, CellValue, FormatId};
+use cornet_table::{BitVec, CellValue, FormatId, FORMAT_PRIMARY};
 use std::fmt;
 
 /// A predicate or its negation.
@@ -151,7 +151,7 @@ impl Rule {
     pub fn new(condition: Vec<Conjunct>) -> Rule {
         Rule {
             condition,
-            format: FormatId(1),
+            format: FORMAT_PRIMARY,
         }
     }
 

@@ -1,0 +1,219 @@
+//! Prioritized rule sets with concrete style payloads.
+//!
+//! The demo paper and real spreadsheet templates (status-based row
+//! colouring, numeric-threshold tiers) format a column with a *set* of
+//! rules, each carrying the style it paints and a priority that resolves
+//! overlaps — not the single boolean rule of the base pipeline. A
+//! [`RuleSet`] is the output of [`crate::learner::Cornet::learn_ruleset`]:
+//! one [`StyledRule`] per user-designated format class, disjoint by
+//! construction (each class's examples are hard negatives for every other
+//! class), with per-rule abstention semantics carried in
+//! [`StyledRule::consistent`].
+//!
+//! # Conflict resolution
+//!
+//! When several rules' conditions hold on the same cell, the winner is
+//! decided deterministically: **lowest `priority` number wins; among equal
+//! priorities, the rule earliest in the set wins.** [`RuleSet::apply`] is
+//! the single implementation of that order — scoring, serving and eval all
+//! go through it, so a cell is never painted by two rules.
+
+use crate::rule::Rule;
+use cornet_table::{CellValue, Format, FormatTable, TargetScope};
+
+/// One rule of a [`RuleSet`]: the learned condition plus the concrete
+/// style it paints and where it paints it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StyledRule {
+    /// The learned condition (DNF over typed predicates). `rule.format` is
+    /// the interned id of `style` in the set's [`RuleSet::format_table`].
+    pub rule: Rule,
+    /// The style payload applied where this rule wins.
+    pub style: Format,
+    /// Whether the style paints the matching cell or its whole row.
+    pub scope: TargetScope,
+    /// Conflict-resolution rank: lower wins. [`Cornet::learn_ruleset`]
+    /// assigns class order, so the first user class outranks the rest.
+    ///
+    /// [`Cornet::learn_ruleset`]: crate::learner::Cornet::learn_ruleset
+    pub priority: u32,
+    /// The ranker score of the winning candidate for this class.
+    pub score: f64,
+    /// True when the constrained search proved the rule satisfies the
+    /// class spec exactly (covers every example of its class, excludes
+    /// every other class's examples and every hard negative). False means
+    /// the class abstained and this is the relaxed best-effort rule.
+    pub consistent: bool,
+}
+
+/// A prioritized set of styled formatting rules over one column.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RuleSet {
+    /// The rules. Order is meaningful: it breaks priority ties.
+    pub rules: Vec<StyledRule>,
+}
+
+impl RuleSet {
+    /// Number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// True when the set holds no rules.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// True when every rule in the set is consistent with its class spec.
+    pub fn consistent(&self) -> bool {
+        self.rules.iter().all(|r| r.consistent)
+    }
+
+    /// The deterministic evaluation order: rule indices sorted by
+    /// `(priority, position)`, the order [`RuleSet::apply`] consults.
+    pub fn evaluation_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.rules.len()).collect();
+        order.sort_by_key(|&i| (self.rules[i].priority, i));
+        order
+    }
+
+    /// Applies the whole set to a column, resolving conflicts: for each
+    /// cell, the index (into `self.rules`) of the winning rule, or `None`
+    /// when no rule's condition holds. Lowest priority number wins; ties
+    /// fall to the earlier rule in the set.
+    pub fn apply(&self, cells: &[CellValue]) -> Vec<Option<usize>> {
+        let order = self.evaluation_order();
+        cells
+            .iter()
+            .map(|cell| {
+                order
+                    .iter()
+                    .copied()
+                    .find(|&i| self.rules[i].rule.eval(cell))
+            })
+            .collect()
+    }
+
+    /// The indices of cells claimed by *any* rule after conflict
+    /// resolution — the multi-rule analogue of a single rule's match mask.
+    pub fn matches(&self, cells: &[CellValue]) -> Vec<usize> {
+        self.apply(cells)
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| w.map(|_| i))
+            .collect()
+    }
+
+    /// Builds the [`FormatTable`] for this set by interning each rule's
+    /// style in rule order. [`Cornet::learn_ruleset`] interns through the
+    /// same table while assigning each `rule.format`, so the ids agree:
+    /// `table.get(set.rules[i].rule.format)` is `set.rules[i].style`
+    /// (or the shared id when two classes picked the same style).
+    ///
+    /// [`Cornet::learn_ruleset`]: crate::learner::Cornet::learn_ruleset
+    pub fn format_table(&self) -> FormatTable {
+        let mut table = FormatTable::new();
+        for rule in &self.rules {
+            table.intern(rule.style.clone());
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{Predicate, TextOp};
+
+    fn text_rule(op: TextOp, s: &str) -> Rule {
+        Rule::from_predicate(Predicate::Text {
+            op,
+            pattern: s.to_string(),
+        })
+    }
+
+    fn styled(rule: Rule, fill: &str, priority: u32) -> StyledRule {
+        StyledRule {
+            rule,
+            style: Format::fill(fill),
+            scope: TargetScope::Cell,
+            priority,
+            score: 1.0,
+            consistent: true,
+        }
+    }
+
+    fn parse(raw: &[&str]) -> Vec<CellValue> {
+        raw.iter().map(|s| CellValue::parse(s)).collect()
+    }
+
+    #[test]
+    fn lowest_priority_number_wins() {
+        // Both rules claim "ab"; priority 0 beats priority 1 regardless of
+        // position in the set.
+        let set = RuleSet {
+            rules: vec![
+                styled(text_rule(TextOp::StartsWith, "a"), "#111111", 1),
+                styled(text_rule(TextOp::EndsWith, "b"), "#222222", 0),
+            ],
+        };
+        let winners = set.apply(&parse(&["ab", "ax", "xb", "zz"]));
+        assert_eq!(winners, vec![Some(1), Some(0), Some(1), None]);
+        assert_eq!(set.evaluation_order(), vec![1, 0]);
+    }
+
+    #[test]
+    fn equal_priority_falls_to_set_order() {
+        let set = RuleSet {
+            rules: vec![
+                styled(text_rule(TextOp::StartsWith, "a"), "#111111", 0),
+                styled(text_rule(TextOp::EndsWith, "b"), "#222222", 0),
+            ],
+        };
+        let winners = set.apply(&parse(&["ab"]));
+        assert_eq!(winners, vec![Some(0)], "earlier rule wins the tie");
+    }
+
+    #[test]
+    fn matches_are_the_union_after_resolution() {
+        let set = RuleSet {
+            rules: vec![
+                styled(text_rule(TextOp::StartsWith, "a"), "#111111", 0),
+                styled(text_rule(TextOp::StartsWith, "b"), "#222222", 1),
+            ],
+        };
+        assert_eq!(
+            set.matches(&parse(&["ax", "bx", "cx", "ab"])),
+            vec![0, 1, 3]
+        );
+    }
+
+    #[test]
+    fn format_table_interning_is_stable_and_shared() {
+        let set = RuleSet {
+            rules: vec![
+                styled(text_rule(TextOp::StartsWith, "a"), "#111111", 0),
+                styled(text_rule(TextOp::StartsWith, "b"), "#222222", 1),
+                // Third class reuses the first style: same id, no new entry.
+                styled(text_rule(TextOp::StartsWith, "c"), "#111111", 2),
+            ],
+        };
+        let mut table = set.format_table();
+        assert_eq!(table.len(), 3); // default + two distinct fills
+        assert_eq!(
+            table.intern(Format::fill("#111111")),
+            table.intern(Format::fill("#111111"))
+        );
+        let id = table.intern(Format::fill("#222222"));
+        assert_eq!(table.get(id).unwrap(), &set.rules[1].style);
+    }
+
+    #[test]
+    fn empty_set_claims_nothing() {
+        let set = RuleSet::default();
+        assert!(set.is_empty());
+        assert!(set.consistent(), "vacuously consistent");
+        assert_eq!(set.apply(&parse(&["a", "b"])), vec![None, None]);
+        assert_eq!(set.matches(&parse(&["a"])), Vec::<usize>::new());
+    }
+}

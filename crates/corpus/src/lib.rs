@@ -21,6 +21,7 @@
 
 pub mod json;
 pub mod manual;
+pub mod multirule;
 pub mod rulegen;
 pub mod stats;
 pub mod taskgen;
@@ -28,5 +29,6 @@ pub mod userformula;
 pub mod values;
 
 pub use manual::{generate_manual_corpus, ManualTask};
+pub use multirule::{generate_multirule_corpus, MultiRuleClass, MultiRuleConfig, MultiRuleTask};
 pub use stats::{corpus_stats, CorpusStats, TypeStats};
 pub use taskgen::{generate_corpus, generate_corpus_sharded, Corpus, CorpusConfig, Task};

@@ -1,0 +1,271 @@
+//! Multi-rule benchmark tasks: columns whose ground truth is a *rule
+//! set* — k ≥ 2 disjoint format classes, each with a style payload —
+//! rather than a single boolean mask.
+//!
+//! Two column flavours cover the common real-sheet shapes:
+//!
+//! * **Status words** — an enum column (`completed` / `pending` /
+//!   `failed` / …) where each word is its own class, styled with a fill
+//!   color and scoped to the whole row (a status column colors its row).
+//! * **Numeric tiers** — a numeric column banded into contiguous value
+//!   ranges (low / mid / high / …), one class per tier, scoped to the
+//!   cell.
+//!
+//! Every cell belongs to exactly one class and every class has at least
+//! two members, so per-class example protocols ("give the learner the
+//! first n cells of each class") are always well-defined. Fills come
+//! from a fixed palette so generated styles are stable across runs.
+
+use cornet_table::{CellValue, Format, TargetScope};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// The fixed fill palette, assigned to classes in order.
+pub const FILL_PALETTE: &[&str] = &["#dcfce7", "#fef9c3", "#fee2e2", "#dbeafe", "#f3e8ff"];
+
+const STATUS_WORDS: &[&str] = &["completed", "pending", "failed", "blocked", "review"];
+
+/// One ground-truth format class of a multi-rule task.
+#[derive(Debug, Clone)]
+pub struct MultiRuleClass {
+    /// The style the latent rule applies.
+    pub style: Format,
+    /// Cell vs row scope of the style.
+    pub scope: TargetScope,
+    /// Member cell indices, in column order.
+    pub members: Vec<usize>,
+}
+
+/// One multi-rule benchmark task: a column partitioned into k styled
+/// classes.
+#[derive(Debug, Clone)]
+pub struct MultiRuleTask {
+    /// Stable identifier.
+    pub id: u64,
+    /// Column cells.
+    pub cells: Vec<CellValue>,
+    /// The disjoint format classes (k ≥ 2, each with ≥ 2 members).
+    pub classes: Vec<MultiRuleClass>,
+}
+
+impl MultiRuleTask {
+    /// The ground-truth class of cell `i`, if any.
+    pub fn class_of(&self, i: usize) -> Option<usize> {
+        self.classes.iter().position(|c| c.members.contains(&i))
+    }
+
+    /// The first `n` members of each class — the per-class analogue of
+    /// the paper's "examples top to bottom" protocol.
+    pub fn examples(&self, n: usize) -> Vec<Vec<usize>> {
+        self.classes
+            .iter()
+            .map(|c| c.members.iter().take(n).copied().collect())
+            .collect()
+    }
+}
+
+/// Configuration for the multi-rule corpus.
+#[derive(Debug, Clone)]
+pub struct MultiRuleConfig {
+    /// RNG seed; same seed, same corpus.
+    pub seed: u64,
+    /// Number of tasks.
+    pub n_tasks: usize,
+    /// Column length range (inclusive).
+    pub cells_range: (usize, usize),
+    /// Class count range (inclusive); clamped to the palette size.
+    pub classes_range: (usize, usize),
+}
+
+impl Default for MultiRuleConfig {
+    fn default() -> Self {
+        MultiRuleConfig {
+            seed: 0xD1CE,
+            n_tasks: 100,
+            cells_range: (12, 48),
+            classes_range: (2, 4),
+        }
+    }
+}
+
+/// Generates the multi-rule corpus: alternating status-word and
+/// numeric-tier columns, rejection-sampled until every class has at
+/// least two members.
+pub fn generate_multirule_corpus(config: &MultiRuleConfig) -> Vec<MultiRuleTask> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let (k_lo, k_hi) = config.classes_range;
+    let k_hi = k_hi.min(FILL_PALETTE.len()).max(k_lo.max(2));
+    let mut out = Vec::with_capacity(config.n_tasks);
+    let mut id = 0u64;
+    while out.len() < config.n_tasks {
+        let n = rng.gen_range(config.cells_range.0..=config.cells_range.1);
+        let k = rng.gen_range(k_lo.max(2)..=k_hi);
+        let task = if id % 2 == 0 {
+            status_task(id, n, k, &mut rng)
+        } else {
+            numeric_task(id, n, k, &mut rng)
+        };
+        id += 1;
+        if let Some(task) = task {
+            out.push(task);
+        }
+    }
+    out
+}
+
+/// Status-word column: k distinct words, each its own row-scoped class.
+fn status_task(id: u64, n: usize, k: usize, rng: &mut StdRng) -> Option<MultiRuleTask> {
+    let mut words: Vec<&str> = STATUS_WORDS.to_vec();
+    words.shuffle(rng);
+    words.truncate(k);
+    // Seed every class with two members, then fill the rest at random.
+    let mut assigned: Vec<usize> = Vec::with_capacity(n);
+    for class in 0..k {
+        assigned.push(class);
+        assigned.push(class);
+    }
+    if assigned.len() > n {
+        return None;
+    }
+    while assigned.len() < n {
+        assigned.push(rng.gen_range(0..k));
+    }
+    assigned.shuffle(rng);
+    let cells: Vec<CellValue> = assigned
+        .iter()
+        .map(|&class| CellValue::Text(words[class].to_string()))
+        .collect();
+    Some(MultiRuleTask {
+        id,
+        cells,
+        classes: classes_from_assignment(&assigned, k, TargetScope::Row),
+    })
+}
+
+/// Numeric-tier column: k contiguous value bands, each a cell-scoped
+/// class.
+fn numeric_task(id: u64, n: usize, k: usize, rng: &mut StdRng) -> Option<MultiRuleTask> {
+    if 2 * k > n {
+        return None;
+    }
+    // Band b covers [100b, 100b + 100); draw each cell's band first so
+    // class membership is exact by construction.
+    let mut assigned: Vec<usize> = Vec::with_capacity(n);
+    for class in 0..k {
+        assigned.push(class);
+        assigned.push(class);
+    }
+    while assigned.len() < n {
+        assigned.push(rng.gen_range(0..k));
+    }
+    assigned.shuffle(rng);
+    let cells: Vec<CellValue> = assigned
+        .iter()
+        .map(|&class| {
+            let lo = 100.0 * class as f64;
+            let v = lo + rng.gen_range(0..1000) as f64 / 10.0;
+            CellValue::Number((v * 10.0).round() / 10.0)
+        })
+        .collect();
+    Some(MultiRuleTask {
+        id,
+        cells,
+        classes: classes_from_assignment(&assigned, k, TargetScope::Cell),
+    })
+}
+
+fn classes_from_assignment(
+    assigned: &[usize],
+    k: usize,
+    scope: TargetScope,
+) -> Vec<MultiRuleClass> {
+    (0..k)
+        .map(|class| MultiRuleClass {
+            style: Format::fill(FILL_PALETTE[class]),
+            scope,
+            members: assigned
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c == class)
+                .map(|(i, _)| i)
+                .collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_tasks_with_disjoint_classes() {
+        let tasks = generate_multirule_corpus(&MultiRuleConfig {
+            n_tasks: 40,
+            ..MultiRuleConfig::default()
+        });
+        assert_eq!(tasks.len(), 40);
+        for task in &tasks {
+            assert!(task.classes.len() >= 2);
+            let mut seen = vec![false; task.cells.len()];
+            for class in &task.classes {
+                assert!(class.members.len() >= 2, "every class has ≥2 members");
+                assert!(class.style.fill.is_some(), "every class is styled");
+                for &i in &class.members {
+                    assert!(!seen[i], "classes are disjoint");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "every cell belongs to a class");
+        }
+    }
+
+    #[test]
+    fn both_flavours_appear_with_distinct_scopes() {
+        let tasks = generate_multirule_corpus(&MultiRuleConfig {
+            n_tasks: 20,
+            ..MultiRuleConfig::default()
+        });
+        let row = tasks
+            .iter()
+            .filter(|t| t.classes[0].scope == TargetScope::Row)
+            .count();
+        assert!(row > 0 && row < tasks.len(), "row-scoped: {row}/20");
+    }
+
+    #[test]
+    fn per_class_examples_are_class_prefixes() {
+        let tasks = generate_multirule_corpus(&MultiRuleConfig {
+            n_tasks: 4,
+            ..MultiRuleConfig::default()
+        });
+        for task in &tasks {
+            let examples = task.examples(2);
+            assert_eq!(examples.len(), task.classes.len());
+            for (k, ex) in examples.iter().enumerate() {
+                assert_eq!(ex.len(), 2);
+                for &i in ex {
+                    assert_eq!(task.class_of(i), Some(k));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let config = MultiRuleConfig {
+            n_tasks: 8,
+            ..MultiRuleConfig::default()
+        };
+        let a = generate_multirule_corpus(&config);
+        let b = generate_multirule_corpus(&config);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.cells, y.cells);
+            assert_eq!(x.classes.len(), y.classes.len());
+            for (cx, cy) in x.classes.iter().zip(&y.classes) {
+                assert_eq!(cx.members, cy.members);
+                assert_eq!(cx.style, cy.style);
+            }
+        }
+    }
+}

@@ -1,0 +1,5 @@
+//! Runs the rule-set extension experiment. Usage: `cargo run --release -p cornet-eval --bin ruleset [quick|standard|full]`.
+
+fn main() {
+    cornet_eval::run_cli("ruleset");
+}

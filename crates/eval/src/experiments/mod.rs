@@ -18,6 +18,7 @@
 //! | [`fig18`] | Figure 18 — predicates needed on manual columns |
 //! | [`fig19`] | Figure 19 — examples needed on manual columns |
 //! | [`qualitative`] | Figures 7/8/17 — worked examples |
+//! | [`ruleset`] | Extension — k-class rule-set learning accuracy |
 
 pub mod fig10;
 pub mod fig11;
@@ -30,6 +31,7 @@ pub mod fig18;
 pub mod fig19;
 pub mod fig9;
 pub mod qualitative;
+pub mod ruleset;
 pub mod table3;
 pub mod table4;
 pub mod table5;
@@ -58,6 +60,7 @@ pub const ALL: &[&str] = &[
     "fig18",
     "fig19",
     "qualitative",
+    "ruleset",
 ];
 
 /// Dispatches one experiment by id.
@@ -79,6 +82,7 @@ pub fn run(id: &str, zoo: &Zoo, scale: &Scale) -> Option<Report> {
         "fig18" => fig18::run(zoo, scale),
         "fig19" => fig19::run(zoo, scale),
         "qualitative" => qualitative::run(zoo),
+        "ruleset" => ruleset::run(zoo, scale),
         _ => return None,
     })
 }

@@ -64,7 +64,9 @@
 //! keep-alive reuse is visible in the log stream), and the request id
 //! (so log lines join against trace events).
 
-use crate::service::{BatchItem, CornetService, LearnRequest, ScoreRequest, ServeError};
+use crate::service::{
+    BatchItem, ClassRequest, CornetService, LearnRequest, ScoreRequest, ServeError,
+};
 use cornet_obs::{Counter, Gauge, StageTimer};
 use cornet_serde::{envelope, to_string, FromJson, Json, ToJson};
 use std::collections::VecDeque;
@@ -453,9 +455,12 @@ fn handle(service: &CornetService, request: &Request) -> Result<(&'static str, J
             let examples: Vec<usize> = cornet_serde::optional_field_t(&doc, "examples")
                 .map_err(|e| ServeError::BadRequest(e.message))?
                 .unwrap_or_default();
+            let classes: Vec<ClassRequest> = cornet_serde::optional_field_t(&doc, "classes")
+                .map_err(|e| ServeError::BadRequest(e.message))?
+                .unwrap_or_default();
             Ok((
                 "session",
-                service.session_create(cells, examples)?.to_json(),
+                service.session_create(cells, examples, classes)?.to_json(),
             ))
         }
         ("GET", ["session", id]) => Ok(("session", service.session_get(id)?.to_json())),
@@ -468,9 +473,13 @@ fn handle(service: &CornetService, request: &Request) -> Result<(&'static str, J
             };
             let format = read_list("format")?;
             let unformat = read_list("unformat")?;
+            let class: Option<usize> = cornet_serde::optional_field_t(&doc, "class")
+                .map_err(|e| ServeError::BadRequest(e.message))?;
             Ok((
                 "session",
-                service.session_correct(id, &format, &unformat)?.to_json(),
+                service
+                    .session_correct(id, &format, &unformat, class)?
+                    .to_json(),
             ))
         }
         ("GET", ["rules", id]) => Ok(("rule", service.rule(id)?.to_json())),

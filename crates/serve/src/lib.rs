@@ -37,6 +37,7 @@
 //!         cells: vec!["RW-187".into(), "RS-762".into(), "RW-159".into()],
 //!         examples: vec![0, 2],
 //!         negatives: vec![],
+//!         classes: vec![],
 //!     })
 //!     .unwrap();
 //! println!("{} → {}", learned.rule_id, learned.rule_text);
@@ -51,5 +52,7 @@ pub mod store;
 pub use http::{
     http_request, HttpClient, HttpResponse, RequestLog, RequestRecord, Server, ServerConfig,
 };
-pub use service::{CornetService, LearnRequest, ScoreRequest, ServeError, ServiceConfig};
+pub use service::{
+    ClassRequest, CornetService, LearnRequest, ScoreRequest, ServeError, ServiceConfig,
+};
 pub use store::{RuleStore, StoredRule};

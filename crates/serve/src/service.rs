@@ -16,15 +16,15 @@
 //! `<store_dir>/sessions/<id>.json`, so the demo paper's
 //! correct-and-relearn loop survives a server restart.
 
-use crate::store::{rule_id, RuleStore, StoredRule};
+use crate::store::{rule_id, rule_set_id, ClassFingerprint, RuleStore, StoredRule};
 use cornet_core::prelude::*;
 use cornet_core::rule::Rule;
 use cornet_obs::Registry;
 use cornet_serde::{
     decode, encode, field_t, optional_field_t, DecodeError, FromJson, Json, ToJson,
 };
-use cornet_table::CellValue;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use cornet_table::{CellValue, Format, TargetScope};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -97,44 +97,92 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
+/// One format class of a multi-class learn request: the style the user
+/// painted, where it paints, and the cells they painted it on. Also the
+/// per-class echo inside session responses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassRequest {
+    /// The style payload (optional on the wire; default = no styling).
+    pub style: Format,
+    /// Cell- or row-scoped painting (optional on the wire; default cell).
+    pub scope: TargetScope,
+    /// Indices the user gave this style.
+    pub examples: Vec<usize>,
+}
+
+impl FromJson for ClassRequest {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(ClassRequest {
+            style: optional_field_t(json, "style")?.unwrap_or_else(Format::default_format),
+            scope: optional_field_t(json, "scope")?.unwrap_or_default(),
+            examples: field_t(json, "examples")?,
+        })
+    }
+}
+
+impl ToJson for ClassRequest {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("style", self.style.to_json()),
+            ("scope", self.scope.to_json()),
+            ("examples", self.examples.to_json()),
+        ])
+    }
+}
+
 /// `learn`: a column plus user-formatted example indices (and optional
-/// negative corrections).
+/// negative corrections). With `classes` non-empty this is a multi-class
+/// learn instead: one styled rule per class, `examples` must be absent.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LearnRequest {
     /// Raw cell texts; each is parsed the way a spreadsheet parses entry.
     pub cells: Vec<String>,
-    /// Indices the user formatted (positives).
+    /// Indices the user formatted (positives). Single-rule learns only.
     pub examples: Vec<usize>,
     /// Indices the user explicitly unformatted (negative corrections).
+    /// On a multi-class learn these are hard negatives for every class.
     pub negatives: Vec<usize>,
+    /// The format classes of a multi-class learn (optional on the wire;
+    /// empty = single-rule learn, preserving the historical request
+    /// shape byte for byte).
+    pub classes: Vec<ClassRequest>,
 }
 
 impl FromJson for LearnRequest {
     fn from_json(json: &Json) -> Result<Self, DecodeError> {
         Ok(LearnRequest {
             cells: field_t(json, "cells")?,
-            examples: field_t(json, "examples")?,
+            examples: optional_field_t(json, "examples")?.unwrap_or_default(),
             negatives: optional_field_t(json, "negatives")?.unwrap_or_default(),
+            classes: optional_field_t(json, "classes")?.unwrap_or_default(),
         })
     }
 }
 
 impl ToJson for LearnRequest {
     fn to_json(&self) -> Json {
-        Json::object([
-            ("cells", self.cells.to_json()),
-            ("examples", self.examples.to_json()),
-            ("negatives", self.negatives.to_json()),
-        ])
+        let mut pairs = vec![
+            ("cells".to_string(), self.cells.to_json()),
+            ("examples".to_string(), self.examples.to_json()),
+            ("negatives".to_string(), self.negatives.to_json()),
+        ];
+        if !self.classes.is_empty() {
+            pairs.push(("classes".to_string(), self.classes.to_json()));
+        }
+        Json::Object(pairs)
     }
 }
 
-/// `learn` result: the chosen rule and where it now lives.
+/// `learn` result: the chosen rule and where it now lives. For a
+/// multi-class learn the legacy fields describe the priority-0 rule and
+/// `rule_set`/`assignments` carry the full set; both are omitted from the
+/// wire on single-rule learns so historical responses stay byte-identical.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LearnResponse {
     /// Rule-store id (content fingerprint of the request).
     pub rule_id: String,
-    /// The learned rule (structured form).
+    /// The learned rule (structured form). Priority-0 rule of the set on
+    /// multi-class learns.
     pub rule: Rule,
     /// Human-readable rule text (`AND(TextStartsWith("RW"),…)`).
     pub rule_text: String,
@@ -142,27 +190,41 @@ pub struct LearnResponse {
     pub formula: String,
     /// Ranker score of the chosen candidate.
     pub score: f64,
-    /// Indices the rule formats on the submitted column.
+    /// Indices the rule formats on the submitted column. For a rule set,
+    /// the post-conflict-resolution union across all rules.
     pub matches: Vec<usize>,
     /// True when the rule came from the store without re-learning.
     pub cached: bool,
     /// False when no candidate excluded every negative and the best
-    /// candidate was returned anyway.
+    /// candidate was returned anyway. For a rule set: every rule proved
+    /// consistent with its class.
     pub consistent: bool,
+    /// The full styled rule set of a multi-class learn.
+    pub rule_set: Option<RuleSet>,
+    /// Per-cell winning rule index after conflict resolution (`null` where
+    /// no rule claims the cell). Present exactly when `rule_set` is.
+    pub assignments: Option<Vec<Option<usize>>>,
 }
 
 impl ToJson for LearnResponse {
     fn to_json(&self) -> Json {
-        Json::object([
-            ("rule_id", Json::str(self.rule_id.clone())),
-            ("rule", self.rule.to_json()),
-            ("rule_text", Json::str(self.rule_text.clone())),
-            ("formula", Json::str(self.formula.clone())),
-            ("score", Json::Number(self.score)),
-            ("matches", self.matches.to_json()),
-            ("cached", Json::Bool(self.cached)),
-            ("consistent", Json::Bool(self.consistent)),
-        ])
+        let mut pairs = vec![
+            ("rule_id".to_string(), Json::str(self.rule_id.clone())),
+            ("rule".to_string(), self.rule.to_json()),
+            ("rule_text".to_string(), Json::str(self.rule_text.clone())),
+            ("formula".to_string(), Json::str(self.formula.clone())),
+            ("score".to_string(), Json::Number(self.score)),
+            ("matches".to_string(), self.matches.to_json()),
+            ("cached".to_string(), Json::Bool(self.cached)),
+            ("consistent".to_string(), Json::Bool(self.consistent)),
+        ];
+        if let Some(set) = &self.rule_set {
+            pairs.push(("rule_set".to_string(), set.to_json()));
+        }
+        if let Some(assignments) = &self.assignments {
+            pairs.push(("assignments".to_string(), assignments.to_json()));
+        }
+        Json::Object(pairs)
     }
 }
 
@@ -177,17 +239,22 @@ impl FromJson for LearnResponse {
             matches: field_t(json, "matches")?,
             cached: field_t(json, "cached")?,
             consistent: field_t(json, "consistent")?,
+            rule_set: optional_field_t(json, "rule_set")?,
+            assignments: optional_field_t(json, "assignments")?,
         })
     }
 }
 
-/// `score`: fresh rows against a stored rule (by id) or an inline rule.
+/// `score`: fresh rows against a stored rule (by id), an inline rule, or
+/// an inline rule set.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ScoreRequest {
-    /// Stored rule to score with. Exactly one of `rule_id`/`rule`.
+    /// Stored rule to score with. Exactly one of `rule_id`/`rule`/`rule_set`.
     pub rule_id: Option<String>,
     /// Inline rule to score with.
     pub rule: Option<Rule>,
+    /// Inline rule set to score with (conflict-resolved server-side).
+    pub rule_set: Option<RuleSet>,
     /// Raw cell texts to label.
     pub cells: Vec<String>,
 }
@@ -197,6 +264,7 @@ impl FromJson for ScoreRequest {
         Ok(ScoreRequest {
             rule_id: optional_field_t(json, "rule_id")?,
             rule: optional_field_t(json, "rule")?,
+            rule_set: optional_field_t(json, "rule_set")?,
             cells: field_t(json, "cells")?,
         })
     }
@@ -211,6 +279,9 @@ impl ToJson for ScoreRequest {
         if let Some(rule) = &self.rule {
             pairs.push(("rule", rule.to_json()));
         }
+        if let Some(set) = &self.rule_set {
+            pairs.push(("rule_set", set.to_json()));
+        }
         pairs.push(("cells", self.cells.to_json()));
         Json::object(pairs)
     }
@@ -221,19 +292,27 @@ impl ToJson for ScoreRequest {
 pub struct ScoreResponse {
     /// Id of the rule used, when it came from the store.
     pub rule_id: Option<String>,
-    /// Indices of cells the rule formats.
+    /// Indices of cells the rule formats. For a rule set, the
+    /// post-conflict-resolution union.
     pub matches: Vec<usize>,
     /// Number of labelled cells (equals the request's cell count).
     pub n_cells: usize,
+    /// Per-cell winning rule index when scoring a rule set (omitted from
+    /// the wire for single-rule scores).
+    pub assignments: Option<Vec<Option<usize>>>,
 }
 
 impl ToJson for ScoreResponse {
     fn to_json(&self) -> Json {
-        Json::object([
-            ("rule_id", self.rule_id.to_json()),
-            ("matches", self.matches.to_json()),
-            ("n_cells", self.n_cells.to_json()),
-        ])
+        let mut pairs = vec![
+            ("rule_id".to_string(), self.rule_id.to_json()),
+            ("matches".to_string(), self.matches.to_json()),
+            ("n_cells".to_string(), self.n_cells.to_json()),
+        ];
+        if let Some(assignments) = &self.assignments {
+            pairs.push(("assignments".to_string(), assignments.to_json()));
+        }
+        Json::Object(pairs)
     }
 }
 
@@ -243,6 +322,7 @@ impl FromJson for ScoreResponse {
             rule_id: field_t(json, "rule_id")?,
             matches: field_t(json, "matches")?,
             n_cells: field_t(json, "n_cells")?,
+            assignments: optional_field_t(json, "assignments")?,
         })
     }
 }
@@ -280,15 +360,56 @@ impl ToJson for BatchItem {
     }
 }
 
+/// One format class of a multi-class session: its style payload, scope
+/// and the cells currently painted with it.
+#[derive(Debug, Clone)]
+struct SessionClass {
+    style: Format,
+    scope: TargetScope,
+    positives: BTreeSet<usize>,
+}
+
+impl ToJson for SessionClass {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("style", self.style.to_json()),
+            ("scope", self.scope.to_json()),
+            (
+                "positives",
+                self.positives
+                    .iter()
+                    .copied()
+                    .collect::<Vec<usize>>()
+                    .to_json(),
+            ),
+        ])
+    }
+}
+
+impl FromJson for SessionClass {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        let positives: Vec<usize> = field_t(json, "positives")?;
+        Ok(SessionClass {
+            style: field_t(json, "style")?,
+            scope: field_t(json, "scope")?,
+            positives: positives.into_iter().collect(),
+        })
+    }
+}
+
 /// An interactive correct-and-relearn session (the demo paper's loop).
 /// Persisted through `cornet-serde` (kind [`SESSION_KIND`]) so the loop
-/// survives a server restart.
+/// survives a server restart. A session is either single-rule (`classes`
+/// empty, `positives` in use) or multi-class (`classes` non-empty,
+/// `positives` always empty); the `classes` key is omitted from the wire
+/// when empty so pre-rule-set session files keep decoding.
 #[derive(Debug, Clone)]
 struct Session {
     id: String,
     cells: Vec<String>,
     positives: BTreeSet<usize>,
     negatives: BTreeSet<usize>,
+    classes: Vec<SessionClass>,
     revision: u64,
     last: Option<LearnResponse>,
 }
@@ -298,11 +419,11 @@ pub const SESSION_KIND: &str = "session-state";
 
 impl ToJson for Session {
     fn to_json(&self) -> Json {
-        Json::object([
-            ("id", Json::str(self.id.clone())),
-            ("cells", self.cells.to_json()),
+        let mut pairs = vec![
+            ("id".to_string(), Json::str(self.id.clone())),
+            ("cells".to_string(), self.cells.to_json()),
             (
-                "positives",
+                "positives".to_string(),
                 self.positives
                     .iter()
                     .copied()
@@ -310,22 +431,26 @@ impl ToJson for Session {
                     .to_json(),
             ),
             (
-                "negatives",
+                "negatives".to_string(),
                 self.negatives
                     .iter()
                     .copied()
                     .collect::<Vec<usize>>()
                     .to_json(),
             ),
-            ("revision", self.revision.to_json()),
-            (
-                "last",
-                self.last
-                    .as_ref()
-                    .map(ToJson::to_json)
-                    .unwrap_or(Json::Null),
-            ),
-        ])
+        ];
+        if !self.classes.is_empty() {
+            pairs.push(("classes".to_string(), self.classes.to_json()));
+        }
+        pairs.push(("revision".to_string(), self.revision.to_json()));
+        pairs.push((
+            "last".to_string(),
+            self.last
+                .as_ref()
+                .map(ToJson::to_json)
+                .unwrap_or(Json::Null),
+        ));
+        Json::Object(pairs)
     }
 }
 
@@ -338,6 +463,7 @@ impl FromJson for Session {
             cells: field_t(json, "cells")?,
             positives: positives.into_iter().collect(),
             negatives: negatives.into_iter().collect(),
+            classes: optional_field_t(json, "classes")?.unwrap_or_default(),
             revision: field_t(json, "revision")?,
             last: optional_field_t(json, "last")?,
         })
@@ -360,30 +486,38 @@ pub struct SessionResponse {
     pub revision: u64,
     /// Column length.
     pub n_cells: usize,
-    /// Current positive examples.
+    /// Current positive examples. In a multi-class session this is the
+    /// sorted union across classes (the per-class split is in `classes`).
     pub positives: Vec<usize>,
     /// Current negative corrections.
     pub negatives: Vec<usize>,
+    /// The per-class styles, scopes and example sets of a multi-class
+    /// session (omitted from the wire for single-rule sessions).
+    pub classes: Vec<ClassRequest>,
     /// Latest learn result (`None` until the first example arrives).
     pub result: Option<LearnResponse>,
 }
 
 impl ToJson for SessionResponse {
     fn to_json(&self) -> Json {
-        Json::object([
-            ("session_id", Json::str(self.session_id.clone())),
-            ("revision", self.revision.to_json()),
-            ("n_cells", self.n_cells.to_json()),
-            ("positives", self.positives.to_json()),
-            ("negatives", self.negatives.to_json()),
-            (
-                "result",
-                self.result
-                    .as_ref()
-                    .map(ToJson::to_json)
-                    .unwrap_or(Json::Null),
-            ),
-        ])
+        let mut pairs = vec![
+            ("session_id".to_string(), Json::str(self.session_id.clone())),
+            ("revision".to_string(), self.revision.to_json()),
+            ("n_cells".to_string(), self.n_cells.to_json()),
+            ("positives".to_string(), self.positives.to_json()),
+            ("negatives".to_string(), self.negatives.to_json()),
+        ];
+        if !self.classes.is_empty() {
+            pairs.push(("classes".to_string(), self.classes.to_json()));
+        }
+        pairs.push((
+            "result".to_string(),
+            self.result
+                .as_ref()
+                .map(ToJson::to_json)
+                .unwrap_or(Json::Null),
+        ));
+        Json::Object(pairs)
     }
 }
 
@@ -395,6 +529,7 @@ impl FromJson for SessionResponse {
             n_cells: field_t(json, "n_cells")?,
             positives: field_t(json, "positives")?,
             negatives: field_t(json, "negatives")?,
+            classes: optional_field_t(json, "classes")?.unwrap_or_default(),
             result: optional_field_t(json, "result")?,
         })
     }
@@ -544,6 +679,9 @@ impl CornetService {
         if req.cells.is_empty() {
             return Err(ServeError::BadRequest("empty column".into()));
         }
+        if !req.classes.is_empty() {
+            return self.learn_classes(req);
+        }
         if req.examples.is_empty() {
             return Err(ServeError::BadRequest("no example indices".into()));
         }
@@ -597,6 +735,91 @@ impl CornetService {
             negatives: req.negatives.clone(),
             column_len: req.cells.len(),
             consistent,
+            rule_set: None,
+        };
+        self.store
+            .lock()
+            .unwrap()
+            .put(stored.clone())
+            .map_err(|e| ServeError::Internal(format!("rule store write failed: {e}")))?;
+        Ok(Self::response_from_stored(&stored, &cells, false))
+    }
+
+    /// Multi-class learn: one styled, prioritized rule per class through
+    /// [`Cornet::learn_ruleset`], cached in the store under a fingerprint
+    /// that covers every class's style, scope and example set
+    /// ([`rule_set_id`]). The legacy response fields describe the
+    /// priority-0 rule; `rule_set`/`assignments` carry the whole set.
+    fn learn_classes(&self, req: &LearnRequest) -> Result<LearnResponse, ServeError> {
+        if !req.examples.is_empty() {
+            return Err(ServeError::BadRequest(
+                "provide either `examples` or `classes`, not both".into(),
+            ));
+        }
+        Self::validate_indices(req.cells.len(), &req.negatives, "negative")?;
+        Self::validate_unique(&req.negatives, "negative")?;
+        let mut owner: BTreeMap<usize, usize> = BTreeMap::new();
+        for (k, class) in req.classes.iter().enumerate() {
+            if class.examples.is_empty() {
+                return Err(ServeError::BadRequest(format!(
+                    "class {k} has no example indices"
+                )));
+            }
+            Self::validate_indices(req.cells.len(), &class.examples, "example")?;
+            Self::validate_unique(&class.examples, "example")?;
+            for &i in &class.examples {
+                if let Some(&other) = owner.get(&i) {
+                    return Err(ServeError::BadRequest(format!(
+                        "index {i} appears in classes {other} and {k}"
+                    )));
+                }
+                if req.negatives.contains(&i) {
+                    return Err(ServeError::BadRequest(format!(
+                        "index {i} is both an example and a negative"
+                    )));
+                }
+                owner.insert(i, k);
+            }
+        }
+
+        let fingerprints: Vec<ClassFingerprint<'_>> = req
+            .classes
+            .iter()
+            .map(|c| ClassFingerprint {
+                style: &c.style,
+                scope: c.scope,
+                examples: &c.examples,
+            })
+            .collect();
+        let id = rule_set_id(&req.cells, &fingerprints, &req.negatives);
+        let cells: Vec<CellValue> = req.cells.iter().map(|s| CellValue::parse(s)).collect();
+        if let Some(stored) = self.store.lock().unwrap().get(&id) {
+            return Ok(Self::response_from_stored(&stored, &cells, true));
+        }
+
+        let cornet = Cornet::with_default_ranker();
+        let classes: Vec<ClassSpec> = req
+            .classes
+            .iter()
+            .map(|c| ClassSpec::new(c.style.clone(), c.examples.clone()).with_scope(c.scope))
+            .collect();
+        let spec = RuleSetSpec::new(cells.clone(), classes).with_negatives(req.negatives.clone());
+        self.learns.fetch_add(1, Ordering::Relaxed);
+        let outcome = cornet
+            .learn_ruleset(&spec)
+            .map_err(|e| ServeError::Unlearnable(e.to_string()))?;
+
+        let set = outcome.rule_set;
+        let lead = set.rules.first().expect("one rule per class");
+        let stored = StoredRule {
+            id: id.clone(),
+            rule: lead.rule.clone(),
+            score: lead.score,
+            examples: owner.keys().copied().collect(),
+            negatives: req.negatives.clone(),
+            column_len: req.cells.len(),
+            consistent: set.consistent(),
+            rule_set: Some(set),
         };
         self.store
             .lock()
@@ -611,7 +834,18 @@ impl CornetService {
         cells: &[CellValue],
         cached: bool,
     ) -> LearnResponse {
-        let matches = stored.rule.execute(cells).iter_ones().collect();
+        let (matches, rule_set, assignments) = match &stored.rule_set {
+            Some(set) => {
+                let assignments = set.apply(cells);
+                let matches = assignments
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, w)| w.map(|_| i))
+                    .collect();
+                (matches, Some(set.clone()), Some(assignments))
+            }
+            None => (stored.rule.execute(cells).iter_ones().collect(), None, None),
+        };
         LearnResponse {
             rule_id: stored.id.clone(),
             rule: stored.rule.clone(),
@@ -621,31 +855,57 @@ impl CornetService {
             matches,
             cached,
             consistent: stored.consistent,
+            rule_set,
+            assignments,
         }
     }
 
-    /// Scores fresh rows with a stored or inline rule.
+    /// Scores fresh rows with a stored rule (single or set), an inline
+    /// rule, or an inline rule set. Rule sets are conflict-resolved
+    /// through [`RuleSet::apply`], and the response carries the per-cell
+    /// winning-rule assignments alongside the resolved match union.
     pub fn score(&self, req: &ScoreRequest) -> Result<ScoreResponse, ServeError> {
-        let (rule, rule_id) = match (&req.rule, &req.rule_id) {
-            (Some(rule), None) => (rule.clone(), None),
-            (None, Some(id)) => {
-                let stored = self.store.lock().unwrap().get(id).ok_or_else(|| {
+        let provided =
+            req.rule_id.is_some() as u8 + req.rule.is_some() as u8 + req.rule_set.is_some() as u8;
+        if provided != 1 {
+            return Err(ServeError::BadRequest(
+                "provide exactly one of `rule_id`, `rule` and `rule_set`".into(),
+            ));
+        }
+        let (rule, set, rule_id) = if let Some(rule) = &req.rule {
+            (Some(rule.clone()), None, None)
+        } else if let Some(set) = &req.rule_set {
+            (None, Some(set.clone()), None)
+        } else {
+            let id = req.rule_id.as_ref().expect("checked above");
+            let stored =
+                self.store.lock().unwrap().get(id).ok_or_else(|| {
                     ServeError::NotFound(format!("no stored rule with id `{id}`"))
                 })?;
-                (stored.rule, Some(id.clone()))
-            }
-            _ => {
-                return Err(ServeError::BadRequest(
-                    "provide exactly one of `rule_id` and `rule`".into(),
-                ))
+            match stored.rule_set {
+                Some(set) => (None, Some(set), Some(id.clone())),
+                None => (Some(stored.rule), None, Some(id.clone())),
             }
         };
         let cells: Vec<CellValue> = req.cells.iter().map(|s| CellValue::parse(s)).collect();
-        let matches = rule.execute(&cells).iter_ones().collect();
+        let (matches, assignments) = match (&rule, &set) {
+            (Some(rule), _) => (rule.execute(&cells).iter_ones().collect(), None),
+            (None, Some(set)) => {
+                let assignments = set.apply(&cells);
+                let matches = assignments
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, w)| w.map(|_| i))
+                    .collect();
+                (matches, Some(assignments))
+            }
+            (None, None) => unreachable!("exactly one source checked above"),
+        };
         Ok(ScoreResponse {
             rule_id,
             matches,
             n_cells: cells.len(),
+            assignments,
         })
     }
 
@@ -680,22 +940,41 @@ impl CornetService {
             .ok_or_else(|| ServeError::NotFound(format!("no stored rule with id `{id}`")))
     }
 
-    /// Opens a session over a column, optionally with initial examples.
+    /// Opens a session over a column, optionally with initial examples
+    /// (single-rule mode) or initial format classes (multi-class mode —
+    /// the two are mutually exclusive).
     pub fn session_create(
         &self,
         cells: Vec<String>,
         examples: Vec<usize>,
+        classes: Vec<ClassRequest>,
     ) -> Result<SessionResponse, ServeError> {
         if cells.is_empty() {
             return Err(ServeError::BadRequest("empty column".into()));
         }
+        if !classes.is_empty() && !examples.is_empty() {
+            return Err(ServeError::BadRequest(
+                "provide either `examples` or `classes`, not both".into(),
+            ));
+        }
         Self::validate_indices(cells.len(), &examples, "example")?;
+        for class in &classes {
+            Self::validate_indices(cells.len(), &class.examples, "example")?;
+        }
         let id = format!("s{}", self.next_session.fetch_add(1, Ordering::Relaxed));
         let mut session = Session {
             id: id.clone(),
             cells,
             positives: examples.into_iter().collect(),
             negatives: BTreeSet::new(),
+            classes: classes
+                .into_iter()
+                .map(|c| SessionClass {
+                    style: c.style,
+                    scope: c.scope,
+                    positives: c.examples.into_iter().collect(),
+                })
+                .collect(),
             revision: 0,
             last: None,
         };
@@ -743,19 +1022,54 @@ impl CornetService {
         id: &str,
         format: &[usize],
         unformat: &[usize],
+        class: Option<usize>,
     ) -> Result<SessionResponse, ServeError> {
         let session = self.sessions.lock().unwrap().get(id)?;
         let mut guard = session.lock().unwrap();
         Self::validate_indices(guard.cells.len(), format, "format")?;
         Self::validate_indices(guard.cells.len(), unformat, "unformat")?;
         let mut updated = guard.clone();
-        for &i in format {
-            updated.negatives.remove(&i);
-            updated.positives.insert(i);
-        }
-        for &i in unformat {
-            updated.positives.remove(&i);
-            updated.negatives.insert(i);
+        if updated.classes.is_empty() {
+            if let Some(k) = class {
+                return Err(ServeError::BadRequest(format!(
+                    "session `{id}` is single-rule; it has no class {k}"
+                )));
+            }
+            for &i in format {
+                updated.negatives.remove(&i);
+                updated.positives.insert(i);
+            }
+            for &i in unformat {
+                updated.positives.remove(&i);
+                updated.negatives.insert(i);
+            }
+        } else {
+            // Multi-class: `format` paints the cell with class `k`'s style
+            // (default: the first class), pulling it out of every other
+            // class and out of the negatives; `unformat` strips it from
+            // every class and records a hard negative.
+            let k = class.unwrap_or(0);
+            if k >= updated.classes.len() {
+                return Err(ServeError::BadRequest(format!(
+                    "class index {k} out of range for {} classes",
+                    updated.classes.len()
+                )));
+            }
+            for &i in format {
+                updated.negatives.remove(&i);
+                for (j, c) in updated.classes.iter_mut().enumerate() {
+                    if j != k {
+                        c.positives.remove(&i);
+                    }
+                }
+                updated.classes[k].positives.insert(i);
+            }
+            for &i in unformat {
+                for c in updated.classes.iter_mut() {
+                    c.positives.remove(&i);
+                }
+                updated.negatives.insert(i);
+            }
         }
         updated.revision += 1;
         self.relearn(&mut updated)?;
@@ -795,26 +1109,73 @@ impl CornetService {
     }
 
     fn relearn(&self, session: &mut Session) -> Result<(), ServeError> {
-        if session.positives.is_empty() {
-            session.last = None;
-            return Ok(());
-        }
-        let req = LearnRequest {
-            cells: session.cells.clone(),
-            examples: session.positives.iter().copied().collect(),
-            negatives: session.negatives.iter().copied().collect(),
+        let req = if session.classes.is_empty() {
+            if session.positives.is_empty() {
+                session.last = None;
+                return Ok(());
+            }
+            LearnRequest {
+                cells: session.cells.clone(),
+                examples: session.positives.iter().copied().collect(),
+                negatives: session.negatives.iter().copied().collect(),
+                classes: Vec::new(),
+            }
+        } else {
+            // A class emptied by corrections drops out of the request —
+            // there is nothing left to learn it from; priorities follow
+            // the surviving class order.
+            let classes: Vec<ClassRequest> = session
+                .classes
+                .iter()
+                .filter(|c| !c.positives.is_empty())
+                .map(|c| ClassRequest {
+                    style: c.style.clone(),
+                    scope: c.scope,
+                    examples: c.positives.iter().copied().collect(),
+                })
+                .collect();
+            if classes.is_empty() {
+                session.last = None;
+                return Ok(());
+            }
+            LearnRequest {
+                cells: session.cells.clone(),
+                examples: Vec::new(),
+                negatives: session.negatives.iter().copied().collect(),
+                classes,
+            }
         };
         session.last = Some(self.learn(&req)?);
         Ok(())
     }
 
     fn session_snapshot(session: &Session) -> SessionResponse {
+        let positives: Vec<usize> = if session.classes.is_empty() {
+            session.positives.iter().copied().collect()
+        } else {
+            session
+                .classes
+                .iter()
+                .flat_map(|c| c.positives.iter().copied())
+                .collect::<BTreeSet<usize>>()
+                .into_iter()
+                .collect()
+        };
         SessionResponse {
             session_id: session.id.clone(),
             revision: session.revision,
             n_cells: session.cells.len(),
-            positives: session.positives.iter().copied().collect(),
+            positives,
             negatives: session.negatives.iter().copied().collect(),
+            classes: session
+                .classes
+                .iter()
+                .map(|c| ClassRequest {
+                    style: c.style.clone(),
+                    scope: c.scope,
+                    examples: c.positives.iter().copied().collect(),
+                })
+                .collect(),
             result: session.last.clone(),
         }
     }
@@ -957,6 +1318,7 @@ mod tests {
             cells: rw_column(),
             examples: vec![0, 2, 5],
             negatives: vec![],
+            classes: vec![],
         };
         let first = service.learn(&req).unwrap();
         assert_eq!(first.matches, vec![0, 2, 5]);
@@ -972,6 +1334,7 @@ mod tests {
             .score(&ScoreRequest {
                 rule_id: Some(first.rule_id.clone()),
                 rule: None,
+                rule_set: None,
                 cells: vec!["RW-555".into(), "XX-1".into(), "RW-9-T".into()],
             })
             .unwrap();
@@ -990,6 +1353,7 @@ mod tests {
             cells: rw_column(),
             examples: vec![],
             negatives: vec![],
+            classes: vec![],
         };
         assert_eq!(service.learn(&no_examples).unwrap_err().status(), 400);
 
@@ -997,6 +1361,7 @@ mod tests {
             cells: rw_column(),
             examples: vec![99],
             negatives: vec![],
+            classes: vec![],
         };
         assert_eq!(service.learn(&out_of_range).unwrap_err().status(), 400);
 
@@ -1004,12 +1369,14 @@ mod tests {
             cells: vec!["x".into(), "x".into(), "x".into()],
             examples: vec![0],
             negatives: vec![],
+            classes: vec![],
         };
         assert_eq!(service.learn(&unlearnable).unwrap_err().status(), 422);
 
         let missing_rule = ScoreRequest {
             rule_id: Some("r0123456789abcdef".into()),
             rule: None,
+            rule_set: None,
             cells: vec!["a".into()],
         };
         assert_eq!(service.score(&missing_rule).unwrap_err().status(), 404);
@@ -1017,6 +1384,7 @@ mod tests {
         let ambiguous = ScoreRequest {
             rule_id: None,
             rule: None,
+            rule_set: None,
             cells: vec!["a".into()],
         };
         assert_eq!(service.score(&ambiguous).unwrap_err().status(), 400);
@@ -1030,6 +1398,7 @@ mod tests {
             cells: rw_column(),
             examples: vec![0, 2, 5],
             negatives: vec![],
+            classes: vec![],
         };
         let learned = service.learn(&req).unwrap();
         drop(service);
@@ -1045,6 +1414,7 @@ mod tests {
             .score(&ScoreRequest {
                 rule_id: Some(learned.rule_id.clone()),
                 rule: None,
+                rule_set: None,
                 cells: rw_column(),
             })
             .unwrap();
@@ -1060,13 +1430,15 @@ mod tests {
         let (service, dir) = temp_service("session");
         // The user starts with one example; RW-131-T is wrongly matched
         // by the initial "starts with RW" hypothesis.
-        let created = service.session_create(rw_column(), vec![0]).unwrap();
+        let created = service
+            .session_create(rw_column(), vec![0], vec![])
+            .unwrap();
         let first = created.result.clone().expect("rule learned");
         assert!(first.matches.contains(&0));
 
         // The user unformats RW-131-T (index 3) and formats RW-312 (5).
         let corrected = service
-            .session_correct(&created.session_id, &[5], &[3])
+            .session_correct(&created.session_id, &[5], &[3], None)
             .unwrap();
         assert_eq!(corrected.revision, 1);
         let result = corrected.result.expect("re-learned");
@@ -1091,6 +1463,7 @@ mod tests {
             cells: rw_column(),
             examples: vec![0, 2, 0],
             negatives: vec![],
+            classes: vec![],
         };
         let err = service.learn(&dup_examples).unwrap_err();
         assert_eq!(err.status(), 400);
@@ -1099,6 +1472,7 @@ mod tests {
             cells: rw_column(),
             examples: vec![0],
             negatives: vec![3, 3],
+            classes: vec![],
         };
         let err = service.learn(&dup_negatives).unwrap_err();
         assert_eq!(err.status(), 400);
@@ -1120,6 +1494,7 @@ mod tests {
             cells: rw_column(),
             examples: vec![0, 2],
             negatives: vec![3],
+            classes: vec![],
         };
         let response = service.learn(&req).unwrap();
         assert!(response.consistent, "{response:?}");
@@ -1132,6 +1507,7 @@ mod tests {
             .score(&ScoreRequest {
                 rule_id: Some(response.rule_id.clone()),
                 rule: None,
+                rule_set: None,
                 cells: vec!["RW-888".into(), "RW-131-T".into()],
             })
             .unwrap();
@@ -1146,9 +1522,11 @@ mod tests {
     #[test]
     fn sessions_survive_a_restart() {
         let (service, dir) = temp_service("session-restart");
-        let created = service.session_create(rw_column(), vec![0]).unwrap();
+        let created = service
+            .session_create(rw_column(), vec![0], vec![])
+            .unwrap();
         let sid = created.session_id.clone();
-        let corrected = service.session_correct(&sid, &[5], &[3]).unwrap();
+        let corrected = service.session_correct(&sid, &[5], &[3], None).unwrap();
         assert_eq!(corrected.revision, 1);
         drop(service);
 
@@ -1168,9 +1546,11 @@ mod tests {
 
         // Further corrections work, and fresh sessions do not collide
         // with restored ids.
-        let again = restarted.session_correct(&sid, &[2], &[]).unwrap();
+        let again = restarted.session_correct(&sid, &[2], &[], None).unwrap();
         assert_eq!(again.revision, 2);
-        let fresh = restarted.session_create(rw_column(), vec![0]).unwrap();
+        let fresh = restarted
+            .session_create(rw_column(), vec![0], vec![])
+            .unwrap();
         assert_ne!(fresh.session_id, sid);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -1191,7 +1571,7 @@ mod tests {
         let ids: Vec<String> = (0..3)
             .map(|_| {
                 service
-                    .session_create(rw_column(), vec![0])
+                    .session_create(rw_column(), vec![0], vec![])
                     .unwrap()
                     .session_id
             })
@@ -1216,7 +1596,9 @@ mod tests {
     #[test]
     fn corrupt_session_files_are_skipped_on_restart() {
         let (service, dir) = temp_service("session-corrupt");
-        let ok = service.session_create(rw_column(), vec![0]).unwrap();
+        let ok = service
+            .session_create(rw_column(), vec![0], vec![])
+            .unwrap();
         drop(service);
         std::fs::write(dir.join("sessions").join("s999.json"), "{not json").unwrap();
         let restarted = CornetService::new(&ServiceConfig {
@@ -1232,7 +1614,9 @@ mod tests {
         ));
         // The counter skips past the corrupt file's name is irrelevant —
         // fresh ids never collide with the restored session.
-        let fresh = restarted.session_create(rw_column(), vec![0]).unwrap();
+        let fresh = restarted
+            .session_create(rw_column(), vec![0], vec![])
+            .unwrap();
         assert_ne!(fresh.session_id, ok.session_id);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -1247,6 +1631,7 @@ mod tests {
             cells: vec!["x".into(), "x".into(), "y".into(), "z".into()],
             examples: vec![0],
             negatives: vec![1],
+            classes: vec![],
         };
         let first = service.learn(&req).unwrap();
         assert!(!first.consistent, "{first:?}");
@@ -1271,7 +1656,7 @@ mod tests {
         let ids: Vec<String> = (0..3)
             .map(|_| {
                 service
-                    .session_create(rw_column(), vec![0])
+                    .session_create(rw_column(), vec![0], vec![])
                     .unwrap()
                     .session_id
             })
@@ -1292,10 +1677,12 @@ mod tests {
             cells: rw_column(),
             examples: vec![0, 2, 5],
             negatives: vec![],
+            classes: vec![],
         });
         let bad = BatchItem::Score(ScoreRequest {
             rule_id: Some("r00000000deadbeef".into()),
             rule: None,
+            rule_set: None,
             cells: vec!["a".into()],
         });
         let results = service.batch(&[learn.clone(), bad, learn]);
@@ -1313,6 +1700,7 @@ mod tests {
             cells: rw_column(),
             examples: vec![0, 2, 5],
             negatives: vec![],
+            classes: vec![],
         };
         service.learn(&req).unwrap();
         let expo = cornet_obs::expo::parse(&service.metrics_text()).unwrap();
@@ -1354,6 +1742,7 @@ mod tests {
             cells: rw_column(),
             examples: vec![0, 2],
             negatives: vec![3],
+            classes: vec![],
         };
         let back = LearnRequest::from_json(&learn.to_json()).unwrap();
         assert_eq!(back, learn);
@@ -1365,10 +1754,245 @@ mod tests {
         let score = ScoreRequest {
             rule_id: Some("r0f".into()),
             rule: None,
+            rule_set: None,
             cells: vec!["a".into()],
         };
         assert_eq!(ScoreRequest::from_json(&score.to_json()).unwrap(), score);
         let item = BatchItem::Learn(learn);
         assert_eq!(BatchItem::from_json(&item.to_json()).unwrap(), item);
+    }
+
+    fn status_column() -> Vec<String> {
+        [
+            "completed",
+            "pending",
+            "failed",
+            "completed",
+            "pending",
+            "failed",
+            "completed",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+    }
+
+    fn status_classes() -> Vec<ClassRequest> {
+        vec![
+            ClassRequest {
+                style: Format::fill("#dcfce7"),
+                scope: TargetScope::Row,
+                examples: vec![0],
+            },
+            ClassRequest {
+                style: Format::fill("#fef9c3"),
+                scope: TargetScope::Row,
+                examples: vec![1],
+            },
+            ClassRequest {
+                style: Format::fill("#fee2e2"),
+                scope: TargetScope::Row,
+                examples: vec![2],
+            },
+        ]
+    }
+
+    fn status_request() -> LearnRequest {
+        LearnRequest {
+            cells: status_column(),
+            examples: vec![],
+            negatives: vec![],
+            classes: status_classes(),
+        }
+    }
+
+    #[test]
+    fn multi_class_learn_returns_a_prioritized_rule_set_and_caches() {
+        let (service, dir) = temp_service("multiclass");
+        let first = service.learn(&status_request()).unwrap();
+        let set = first
+            .rule_set
+            .clone()
+            .expect("multi-class learn carries a rule set");
+        assert_eq!(set.len(), 3);
+        assert!(set.consistent() && first.consistent);
+        for (k, rule) in set.rules.iter().enumerate() {
+            assert_eq!(rule.priority, k as u32, "priority follows class order");
+            assert_eq!(rule.scope, TargetScope::Row);
+            assert!(rule.consistent);
+        }
+        assert_eq!(set.rules[0].style, Format::fill("#dcfce7"));
+        assert_eq!(set.rules[2].style, Format::fill("#fee2e2"));
+        assert_eq!(
+            first.assignments,
+            Some(vec![
+                Some(0),
+                Some(1),
+                Some(2),
+                Some(0),
+                Some(1),
+                Some(2),
+                Some(0)
+            ]),
+            "every status resolves to its class's rule"
+        );
+        assert_eq!(first.matches, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(service.learns_performed(), 1);
+
+        let second = service.learn(&status_request()).unwrap();
+        assert!(second.cached, "identical class request must hit the store");
+        assert_eq!(second.rule_set, first.rule_set);
+        assert_eq!(second.assignments, first.assignments);
+        assert_eq!(service.learns_performed(), 1, "no re-learning");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multi_class_learn_validation_rejects_malformed_class_sets() {
+        let (service, dir) = temp_service("multiclass-errors");
+        let mut both = status_request();
+        both.examples = vec![0];
+        let err = service.learn(&both).unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(err.message().contains("not both"), "{err}");
+
+        let mut overlap = status_request();
+        overlap.classes[1].examples = vec![0];
+        let err = service.learn(&overlap).unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(
+            err.message().contains("appears in classes 0 and 1"),
+            "{err}"
+        );
+
+        let mut empty = status_request();
+        empty.classes[2].examples = vec![];
+        let err = service.learn(&empty).unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(err.message().contains("class 2 has no example"), "{err}");
+
+        let mut negative_clash = status_request();
+        negative_clash.negatives = vec![1];
+        let err = service.learn(&negative_clash).unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(
+            err.message().contains("both an example and a negative"),
+            "{err}"
+        );
+        assert_eq!(service.learns_performed(), 0, "rejected before learning");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn rule_sets_survive_a_restart_and_score_by_id() {
+        let (service, dir) = temp_service("multiclass-restart");
+        let learned = service.learn(&status_request()).unwrap();
+        drop(service);
+
+        let restarted = CornetService::new(&ServiceConfig {
+            store_dir: dir.clone(),
+            cache_capacity: 16,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let again = restarted.learn(&status_request()).unwrap();
+        assert!(again.cached);
+        assert_eq!(again.rule_set, learned.rule_set);
+        assert_eq!(restarted.learns_performed(), 0, "restart never re-learns");
+
+        // Scoring fresh rows by the stored id conflict-resolves through
+        // the persisted rule set and reports per-cell assignments.
+        let score = restarted
+            .score(&ScoreRequest {
+                rule_id: Some(learned.rule_id.clone()),
+                rule: None,
+                rule_set: None,
+                cells: vec!["failed".into(), "completed".into()],
+            })
+            .unwrap();
+        let assignments = score
+            .assignments
+            .expect("rule-set scores carry assignments");
+        assert_eq!(assignments, vec![Some(2), Some(0)]);
+        assert_eq!(score.matches, vec![0, 1]);
+
+        // An inline rule set scores the same way without touching the store.
+        let inline = restarted
+            .score(&ScoreRequest {
+                rule_id: None,
+                rule: None,
+                rule_set: again.rule_set.clone(),
+                cells: vec!["pending".into()],
+            })
+            .unwrap();
+        assert_eq!(inline.assignments, Some(vec![Some(1)]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multi_class_sessions_correct_per_class_and_survive_restarts() {
+        let (service, dir) = temp_service("multiclass-session");
+        let created = service
+            .session_create(status_column(), vec![], status_classes())
+            .unwrap();
+        assert_eq!(created.classes.len(), 3);
+        assert_eq!(created.positives, vec![0, 1, 2], "union across classes");
+        let result = created.result.clone().expect("rule set learned");
+        assert_eq!(result.rule_set.as_ref().map(RuleSet::len), Some(3));
+
+        // Corrections target a class: painting cell 3 with class 0's style
+        // grows that class; a class index out of range is a caller error.
+        let corrected = service
+            .session_correct(&created.session_id, &[3], &[], Some(0))
+            .unwrap();
+        assert_eq!(corrected.revision, 1);
+        assert_eq!(corrected.classes[0].examples, vec![0, 3]);
+        assert!(corrected.result.expect("re-learned").rule_set.is_some());
+        let err = service
+            .session_correct(&created.session_id, &[4], &[], Some(9))
+            .unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(err.message().contains("out of range"), "{err}");
+
+        // A single-rule session rejects class-targeted corrections.
+        let legacy = service
+            .session_create(rw_column(), vec![0], vec![])
+            .unwrap();
+        let err = service
+            .session_correct(&legacy.session_id, &[5], &[], Some(0))
+            .unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(err.message().contains("single-rule"), "{err}");
+
+        // The per-class state (styles, scopes, example sets) survives a
+        // restart through the persisted session file.
+        let sid = created.session_id.clone();
+        drop(service);
+        let restarted = CornetService::new(&ServiceConfig {
+            store_dir: dir.clone(),
+            cache_capacity: 16,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let fetched = restarted.session_get(&sid).unwrap();
+        assert_eq!(fetched.revision, 1);
+        assert_eq!(fetched.classes.len(), 3);
+        assert_eq!(fetched.classes[0].examples, vec![0, 3]);
+        assert_eq!(fetched.classes[0].style, Format::fill("#dcfce7"));
+        assert_eq!(fetched.classes[0].scope, TargetScope::Row);
+        assert!(fetched.result.expect("restored").rule_set.is_some());
+        assert_eq!(restarted.learns_performed(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mixed_session_create_inputs_are_rejected() {
+        let (service, dir) = temp_service("multiclass-mixed");
+        let err = service
+            .session_create(status_column(), vec![0], status_classes())
+            .unwrap_err();
+        assert_eq!(err.status(), 400);
+        assert!(err.message().contains("not both"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -31,6 +31,60 @@ fn scrape(addr: SocketAddr, name: &str) -> Result<f64, String> {
 /// The running-example column driven through the session.
 const CELLS: &str = r#"["RW-187","RS-762","RW-159","RW-131-T","TW-224","RW-312"]"#;
 
+/// A three-format status column for the multi-class rule-set leg.
+const STATUS_CELLS: &str =
+    r#"["completed","pending","failed","completed","pending","failed","completed"]"#;
+
+/// The three format classes painted on [`STATUS_CELLS`]: green, yellow
+/// and red row fills, one example each.
+const STATUS_CLASSES: &str = concat!(
+    r##"[{"style":{"fill":"#dcfce7"},"scope":"row","examples":[0]},"##,
+    r##"{"style":{"fill":"#fef9c3"},"scope":"row","examples":[1]},"##,
+    r##"{"style":{"fill":"#fee2e2"},"scope":"row","examples":[2]}]"##
+);
+
+/// Asserts a learn/session result carries the full 3-class status rule
+/// set: one rule per class with its style payload, class-order priority
+/// and a consistent flag.
+fn check_status_rule_set(result: &Json, log: &[String]) -> Result<(), String> {
+    let rules = result
+        .get("rule_set")
+        .and_then(|s| s.get("rules"))
+        .and_then(Json::as_array)
+        .ok_or_else(|| format!("result has no rule_set.rules: {result}"))?;
+    expect(rules.len() == 3, "rule set keeps all three classes", log)?;
+    for (k, (rule, fill)) in rules
+        .iter()
+        .zip(["#dcfce7", "#fef9c3", "#fee2e2"])
+        .enumerate()
+    {
+        expect(
+            rule.get("style")
+                .and_then(|s| s.get("fill"))
+                .and_then(Json::as_str)
+                == Some(fill),
+            &format!("rule {k} keeps its style payload"),
+            log,
+        )?;
+        expect(
+            rule.get("scope").and_then(Json::as_str) == Some("row"),
+            &format!("rule {k} keeps its row scope"),
+            log,
+        )?;
+        expect(
+            rule.get("priority").and_then(Json::as_u64) == Some(k as u64),
+            &format!("rule {k} keeps its class-order priority"),
+            log,
+        )?;
+        expect(
+            rule.get("consistent").and_then(Json::as_bool) == Some(true),
+            &format!("rule {k} is consistent with its class"),
+            log,
+        )?;
+    }
+    Ok(())
+}
+
 fn post(
     addr: SocketAddr,
     path: &str,
@@ -209,6 +263,49 @@ fn run_in(dir: &std::path::Path) -> Result<Vec<String>, String> {
         &log,
     )?;
 
+    // 3b. Multi-class: a session over a three-format status column learns
+    // a whole rule set in one call — one styled, prioritized rule per
+    // class. Correcting one cell re-learns the set; the per-class state
+    // and the stored set must survive the restart below.
+    let multi = post(
+        addr,
+        "/session",
+        &format!(r#"{{"cells":{STATUS_CELLS},"classes":{STATUS_CLASSES}}}"#),
+        "session",
+        &mut log,
+    )?;
+    let msid = multi
+        .get("session_id")
+        .and_then(Json::as_str)
+        .ok_or("multi-class session response missing session_id")?
+        .to_string();
+    check_status_rule_set(
+        multi
+            .get("result")
+            .filter(|r| !r.is_null())
+            .ok_or("multi-class session has no rule set")?,
+        &log,
+    )?;
+    // The user paints the last "completed" row green explicitly (class 0).
+    let multi_corrected = post(
+        addr,
+        &format!("/session/{msid}/correct"),
+        r#"{"format":[6],"class":0}"#,
+        "session",
+        &mut log,
+    )?;
+    let multi_result = multi_corrected
+        .get("result")
+        .filter(|r| !r.is_null())
+        .ok_or("corrected multi-class session has no rule set")?
+        .clone();
+    check_status_rule_set(&multi_result, &log)?;
+    let multi_rule_id = multi_result
+        .get("rule_id")
+        .and_then(Json::as_str)
+        .ok_or("multi-class result missing rule_id")?
+        .to_string();
+
     // The scripted session so far must be visible on /metrics: the
     // per-service learn gauge counts the real learner invocations above
     // (cache hits excluded), and some rules are persisted.
@@ -281,6 +378,46 @@ fn run_in(dir: &std::path::Path) -> Result<Vec<String>, String> {
         "restored session serves the same rule",
         &log,
     )?;
+
+    // 6b. The multi-class session and its stored rule set also survived:
+    // style payloads, priorities and consistency flags all come back from
+    // the persisted store, and repeating the class learn is a store hit.
+    let multi_resumed = get(addr, &format!("/session/{msid}"), "session")?;
+    expect(
+        multi_resumed.get("revision").and_then(Json::as_u64) == Some(1),
+        "restored multi-class session keeps its revision",
+        &log,
+    )?;
+    let resumed_classes = multi_resumed
+        .get("classes")
+        .and_then(Json::as_array)
+        .ok_or("restored multi-class session lost its classes")?;
+    expect(
+        resumed_classes.len() == 3
+            && resumed_classes[0].get("examples").map(ToString::to_string)
+                == Some("[0,6]".to_string()),
+        "restored multi-class session keeps its per-class corrections",
+        &log,
+    )?;
+    let multi_resumed_result = multi_resumed
+        .get("result")
+        .filter(|r| !r.is_null())
+        .ok_or("restored multi-class session lost its rule set")?;
+    check_status_rule_set(multi_resumed_result, &log)?;
+    let multi_rescored = post(
+        addr,
+        "/score",
+        &format!(r#"{{"rule_id":"{multi_rule_id}","cells":{STATUS_CELLS}}}"#),
+        "score",
+        &mut log,
+    )?;
+    expect(
+        multi_rescored.get("assignments").map(ToString::to_string)
+            == Some("[0,1,2,0,1,2,0]".to_string()),
+        "stored rule set conflict-resolves every status row after restart",
+        &log,
+    )?;
+
     let health = get(addr, "/health", "health")?;
     expect(
         health.get("learns_performed").and_then(Json::as_u64) == Some(0),

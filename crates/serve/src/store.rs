@@ -38,8 +38,12 @@
 //! falls back to disk before reporting absence.
 
 use cornet_core::rule::Rule;
+use cornet_core::ruleset::RuleSet;
 use cornet_obs::Counter;
-use cornet_serde::{decode, encode, field_t, DecodeError, FromJson, Json, ToJson};
+use cornet_serde::{
+    decode, encode, field_t, optional_field_t, to_string, DecodeError, FromJson, Json, ToJson,
+};
+use cornet_table::{Format, TargetScope};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::io::{self, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
@@ -102,19 +106,29 @@ pub struct StoredRule {
     /// False when no candidate excluded every negative and the best
     /// candidate was stored anyway (see `LearnResponse::consistent`).
     pub consistent: bool,
+    /// The full prioritized rule set of a multi-class learn, when this
+    /// record came from one. `None` for single-rule learns — and for
+    /// every record written before rule sets existed, so old stores load
+    /// unchanged (the field is optional on the wire and omitted when
+    /// absent, keeping legacy bytes byte-identical).
+    pub rule_set: Option<RuleSet>,
 }
 
 impl ToJson for StoredRule {
     fn to_json(&self) -> Json {
-        Json::object([
-            ("id", Json::str(self.id.clone())),
-            ("rule", self.rule.to_json()),
-            ("score", Json::Number(self.score)),
-            ("examples", self.examples.to_json()),
-            ("negatives", self.negatives.to_json()),
-            ("column_len", self.column_len.to_json()),
-            ("consistent", Json::Bool(self.consistent)),
-        ])
+        let mut pairs = vec![
+            ("id".to_string(), Json::str(self.id.clone())),
+            ("rule".to_string(), self.rule.to_json()),
+            ("score".to_string(), Json::Number(self.score)),
+            ("examples".to_string(), self.examples.to_json()),
+            ("negatives".to_string(), self.negatives.to_json()),
+            ("column_len".to_string(), self.column_len.to_json()),
+            ("consistent".to_string(), Json::Bool(self.consistent)),
+        ];
+        if let Some(set) = &self.rule_set {
+            pairs.push(("rule_set".to_string(), set.to_json()));
+        }
+        Json::Object(pairs)
     }
 }
 
@@ -128,6 +142,7 @@ impl FromJson for StoredRule {
             negatives: field_t(json, "negatives")?,
             column_len: field_t(json, "column_len")?,
             consistent: field_t(json, "consistent")?,
+            rule_set: optional_field_t(json, "rule_set")?,
         })
     }
 }
@@ -167,6 +182,81 @@ pub fn rule_id(cells: &[String], examples: &[usize], negatives: &[usize]) -> Str
         }
     };
     feed_indices(0x01, examples);
+    feed_indices(0x02, negatives);
+    let digest = hasher.finish();
+    let mut id = String::with_capacity(33);
+    id.push('r');
+    for b in &digest[..16] {
+        id.push_str(&format!("{b:02x}"));
+    }
+    id
+}
+
+/// One format class of a multi-class learn request, as the fingerprint
+/// sees it: the style payload, its scope, and the example indices the
+/// user painted. Borrowed views — fingerprinting allocates nothing but
+/// the digest input.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassFingerprint<'a> {
+    /// The class's style payload.
+    pub style: &'a Format,
+    /// Cell- or row-scoped painting.
+    pub scope: TargetScope,
+    /// Example indices of this class.
+    pub examples: &'a [usize],
+}
+
+/// Fingerprints a multi-class learn request into a rule id. Same
+/// construction as [`rule_id`] — SHA-256 over length-prefixed cell texts,
+/// then tagged index sets, truncated to 128 bits — but the per-class
+/// section covers the *k-class observed formats*: each class contributes
+/// its canonical style JSON, its scope byte and its sorted example
+/// indices under tag `0x03`, so two requests differing only in a fill
+/// colour, a scope, or the class order map to different ids. The global
+/// negatives keep their `0x02` tag. Single-class requests deliberately do
+/// NOT collide with [`rule_id`] of the same examples: a rule-set learn
+/// and a boolean learn return different response shapes, so they must
+/// cache separately.
+pub fn rule_set_id(
+    cells: &[String],
+    classes: &[ClassFingerprint<'_>],
+    negatives: &[usize],
+) -> String {
+    let mut hasher = crate::sha256::Sha256::new();
+    for cell in cells {
+        hasher.update(&(cell.len() as u64).to_le_bytes());
+        hasher.update(cell.as_bytes());
+    }
+    for class in classes {
+        hasher.update(&[0x03]);
+        // The canonical style encoding (non-default channels only, fixed
+        // order) makes equal styles hash equal regardless of how the
+        // request spelled them.
+        let style = to_string(&class.style.to_json());
+        hasher.update(&(style.len() as u64).to_le_bytes());
+        hasher.update(style.as_bytes());
+        hasher.update(&[match class.scope {
+            TargetScope::Cell => 0x00,
+            TargetScope::Row => 0x01,
+        }]);
+        let mut sorted: Vec<usize> = class.examples.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        hasher.update(&(sorted.len() as u64).to_le_bytes());
+        for i in sorted {
+            hasher.update(&(i as u64).to_le_bytes());
+        }
+    }
+    let mut feed_indices = |tag: u8, indices: &[usize]| {
+        let mut sorted: Vec<usize> = indices.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        hasher.update(&[tag]);
+        hasher.update(&(sorted.len() as u64).to_le_bytes());
+        for i in sorted {
+            hasher.update(&(i as u64).to_le_bytes());
+        }
+    };
     feed_indices(0x02, negatives);
     let digest = hasher.finish();
     let mut id = String::with_capacity(33);
@@ -653,6 +743,7 @@ mod tests {
             negatives: vec![],
             column_len: 6,
             consistent: true,
+            rule_set: None,
         }
     }
 
@@ -674,6 +765,99 @@ mod tests {
         let tricky_a = rule_id(&["a\u{1f}".into(), "b".into()], &[0], &[]);
         let tricky_b = rule_id(&["a".into(), "\u{1f}b".into()], &[0], &[]);
         assert_ne!(tricky_a, tricky_b);
+    }
+
+    #[test]
+    fn rule_set_ids_cover_styles_scopes_and_class_order() {
+        let cells: Vec<String> = ["done", "todo", "fail"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let green = Format::fill("#dcfce7");
+        let yellow = Format::fill("#fef9c3");
+        let class = |style, scope, examples| ClassFingerprint {
+            style,
+            scope,
+            examples,
+        };
+        let base = rule_set_id(
+            &cells,
+            &[
+                class(&green, TargetScope::Cell, &[0]),
+                class(&yellow, TargetScope::Cell, &[1]),
+            ],
+            &[],
+        );
+        assert!(valid_rule_id(&base), "{base}");
+        // Example order inside a class is canonicalised…
+        let cells4: Vec<String> = ["done", "todo", "fail", "done"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let fwd = rule_set_id(&cells4, &[class(&green, TargetScope::Cell, &[0, 3])], &[]);
+        let rev = rule_set_id(&cells4, &[class(&green, TargetScope::Cell, &[3, 0])], &[]);
+        assert_eq!(fwd, rev);
+        // …but the style payload, the scope, the class order and the
+        // negatives all change the fingerprint.
+        let restyled = rule_set_id(
+            &cells,
+            &[
+                class(&yellow, TargetScope::Cell, &[0]),
+                class(&green, TargetScope::Cell, &[1]),
+            ],
+            &[],
+        );
+        assert_ne!(base, restyled);
+        let rescoped = rule_set_id(
+            &cells,
+            &[
+                class(&green, TargetScope::Row, &[0]),
+                class(&yellow, TargetScope::Cell, &[1]),
+            ],
+            &[],
+        );
+        assert_ne!(base, rescoped);
+        let with_negative = rule_set_id(
+            &cells,
+            &[
+                class(&green, TargetScope::Cell, &[0]),
+                class(&yellow, TargetScope::Cell, &[1]),
+            ],
+            &[2],
+        );
+        assert_ne!(base, with_negative);
+        // A single-class set learn never collides with the boolean learn
+        // of the same examples: the response shapes differ, so they must
+        // cache under different ids.
+        let single = rule_set_id(&cells, &[class(&green, TargetScope::Cell, &[0])], &[]);
+        assert_ne!(single, rule_id(&cells, &[0], &[]));
+    }
+
+    #[test]
+    fn stored_rules_with_rule_sets_round_trip_and_stay_legacy_compatible() {
+        use cornet_core::ruleset::{RuleSet, StyledRule};
+        let mut with_set = entry("r01", "done");
+        with_set.rule_set = Some(RuleSet {
+            rules: vec![StyledRule {
+                rule: with_set.rule.clone(),
+                style: Format::fill("#dcfce7"),
+                scope: TargetScope::Row,
+                priority: 0,
+                score: 0.5,
+                consistent: true,
+            }],
+        });
+        let wire = encode(STORED_RULE_KIND, &with_set);
+        let back: StoredRule = decode(STORED_RULE_KIND, &wire).unwrap();
+        assert_eq!(back, with_set);
+        // A single-rule record omits the field entirely — its bytes are
+        // identical to what pre-rule-set builds wrote, and records written
+        // by those builds (no `rule_set` key) decode to None.
+        let legacy = entry("r02", "todo");
+        let legacy_wire = encode(STORED_RULE_KIND, &legacy);
+        assert!(!legacy_wire.contains("rule_set"), "{legacy_wire}");
+        let legacy_back: StoredRule = decode(STORED_RULE_KIND, &legacy_wire).unwrap();
+        assert_eq!(legacy_back.rule_set, None);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! choices (cell fill colour, font colour, font size, border), and the
 //! reserved identifier `f⊥ = 0` means "no specific formatting".
 
+use std::collections::HashMap;
 use std::fmt;
 
 /// A format identifier. `FormatId(0)` is `f⊥` (unformatted).
@@ -14,10 +15,25 @@ pub struct FormatId(pub u32);
 /// The reserved "no formatting" identifier `f⊥`.
 pub const FORMAT_NONE: FormatId = FormatId(0);
 
+/// The first non-default identifier `f1` — the single-format setting of §2,
+/// where every learned rule applies the one style the user picked.
+pub const FORMAT_PRIMARY: FormatId = FormatId(1);
+
 impl FormatId {
     /// True when this is `f⊥`.
     pub fn is_none(self) -> bool {
         self == FORMAT_NONE
+    }
+
+    /// Rebuilds an identifier from its raw numeric form.
+    ///
+    /// This is the codec seam: wire documents carry the number, and
+    /// decoders reconstruct the id here instead of spelling the tuple
+    /// constructor. Everything else should obtain ids from
+    /// [`FormatTable::intern`], so an id never drifts apart from the
+    /// [`Format`] payload it names.
+    pub fn from_raw(raw: u32) -> FormatId {
+        FormatId(raw)
     }
 }
 
@@ -28,6 +44,35 @@ impl fmt::Display for FormatId {
         } else {
             write!(f, "f{}", self.0)
         }
+    }
+}
+
+/// What a styled rule paints when its condition holds on a cell: just that
+/// cell, or the cell's whole row (SNIPPETS Template 1's status-based row
+/// colouring). Purely presentational — rule conditions always evaluate on
+/// the anchor column either way.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TargetScope {
+    /// Format only the matching cell.
+    #[default]
+    Cell,
+    /// Format the entire row the matching cell anchors.
+    Row,
+}
+
+impl TargetScope {
+    /// The wire tag (`"cell"` / `"row"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TargetScope::Cell => "cell",
+            TargetScope::Row => "row",
+        }
+    }
+}
+
+impl fmt::Display for TargetScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -57,6 +102,17 @@ impl Format {
         }
     }
 
+    /// A fill plus font colour, the shape of the SNIPPETS status palettes
+    /// (`backgroundColor` + `textColor`).
+    pub fn fill_and_font(fill: &str, font: &str) -> Format {
+        Format {
+            fill: Some(fill.to_string()),
+            font_color: Some(font.to_string()),
+            font_size: None,
+            border: false,
+        }
+    }
+
     /// The default (empty) format.
     pub fn default_format() -> Format {
         Format {
@@ -76,9 +132,21 @@ impl Format {
 /// Interns [`Format`]s, handing out stable [`FormatId`]s. Identical formats
 /// map to the same identifier, matching the paper's definition of a format
 /// identifier as a unique combination of choices.
-#[derive(Debug, Default)]
+///
+/// Lookups are O(1): a `HashMap` keyed by the full format mirrors the
+/// id-ordered `Vec`, so interning stays constant-time as multi-rule sheets
+/// grow the table (the historical implementation scanned the `Vec`).
+#[derive(Debug, Clone)]
 pub struct FormatTable {
     formats: Vec<Format>,
+    /// `format → id` for every non-default entry in `formats`.
+    index: HashMap<Format, FormatId>,
+}
+
+impl Default for FormatTable {
+    fn default() -> Self {
+        FormatTable::new()
+    }
 }
 
 impl FormatTable {
@@ -86,6 +154,7 @@ impl FormatTable {
     pub fn new() -> FormatTable {
         FormatTable {
             formats: vec![Format::default_format()],
+            index: HashMap::new(),
         }
     }
 
@@ -94,16 +163,23 @@ impl FormatTable {
         if format.is_default() {
             return FORMAT_NONE;
         }
-        if let Some(pos) = self.formats.iter().position(|f| *f == format) {
-            return FormatId(pos as u32);
+        if let Some(&id) = self.index.get(&format) {
+            return id;
         }
+        let id = FormatId(self.formats.len() as u32);
+        self.index.insert(format.clone(), id);
         self.formats.push(format);
-        FormatId((self.formats.len() - 1) as u32)
+        id
     }
 
     /// Looks a format up by id.
     pub fn get(&self, id: FormatId) -> Option<&Format> {
         self.formats.get(id.0 as usize)
+    }
+
+    /// All interned formats in id order (index 0 is the default).
+    pub fn formats(&self) -> &[Format] {
+        &self.formats
     }
 
     /// Number of distinct formats (including the default).
@@ -145,5 +221,48 @@ mod tests {
     fn display() {
         assert_eq!(FORMAT_NONE.to_string(), "f⊥");
         assert_eq!(FormatId(3).to_string(), "f3");
+        assert_eq!(TargetScope::Cell.to_string(), "cell");
+        assert_eq!(TargetScope::Row.to_string(), "row");
+    }
+
+    #[test]
+    fn index_and_vec_agree_under_growth() {
+        // The HashMap index must stay a faithful mirror of the id-ordered
+        // Vec however the table grows, interleaving duplicates and fresh
+        // formats.
+        let mut t = FormatTable::new();
+        let mut ids = Vec::new();
+        for round in 0..3 {
+            for i in 0..50u32 {
+                let id = t.intern(Format::fill(&format!("#{:06x}", i * 7)));
+                if round == 0 {
+                    ids.push(id);
+                } else {
+                    assert_eq!(ids[i as usize], id, "re-interning must be stable");
+                }
+            }
+        }
+        assert_eq!(t.len(), 51);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(
+                t.get(*id).unwrap().fill.as_deref(),
+                Some(format!("#{:06x}", (i as u32) * 7).as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn from_raw_round_trips() {
+        assert_eq!(FormatId::from_raw(0), FORMAT_NONE);
+        assert_eq!(FormatId::from_raw(1), FORMAT_PRIMARY);
+        assert_eq!(FormatId::from_raw(9).0, 9);
+    }
+
+    #[test]
+    fn fill_and_font_sets_both_channels() {
+        let f = Format::fill_and_font("#dcfce7", "#166534");
+        assert_eq!(f.fill.as_deref(), Some("#dcfce7"));
+        assert_eq!(f.font_color.as_deref(), Some("#166534"));
+        assert!(!f.is_default());
     }
 }

@@ -8,6 +8,8 @@
 //! | [`Date`] | days since 1970-01-01, as a number |
 //! | [`DataType`] | `"text"` / `"number"` / `"date"` |
 //! | [`FormatId`] | the numeric identifier |
+//! | [`Format`] | `{}` with only the non-default channels present (`fill`, `font_color`, `font_size`, `border`) |
+//! | [`TargetScope`] | `"cell"` / `"row"` |
 //! | [`Column`] | `{"name":…,"cells":[…],"formats":[…]}` |
 //! | [`Table`] | `{"columns":[…]}` |
 //! | [`BitVec`] | `{"len":…,"ones":[…]}` (sparse set-bit indices) |
@@ -19,10 +21,10 @@
 use crate::bits::BitVec;
 use crate::column::Column;
 use crate::date::Date;
-use crate::format::FormatId;
+use crate::format::{Format, FormatId, TargetScope};
 use crate::table::Table;
 use crate::value::{CellValue, DataType};
-use cornet_serde::{field_t, type_error, DecodeError, FromJson, Json, ToJson};
+use cornet_serde::{field_t, optional_field_t, type_error, DecodeError, FromJson, Json, ToJson};
 
 impl ToJson for Date {
     fn to_json(&self) -> Json {
@@ -94,7 +96,68 @@ impl ToJson for FormatId {
 
 impl FromJson for FormatId {
     fn from_json(json: &Json) -> Result<Self, DecodeError> {
-        Ok(FormatId(u32::from_json(json)?))
+        Ok(FormatId::from_raw(u32::from_json(json)?))
+    }
+}
+
+impl ToJson for Format {
+    /// Canonical encoding: only non-default channels are present, in the
+    /// fixed order `fill`, `font_color`, `font_size`, `border`. The default
+    /// format is the empty object `{}`, so the encoding of any format is a
+    /// single canonical byte string (second encodes are byte-stable).
+    fn to_json(&self) -> Json {
+        let mut pairs: Vec<(String, Json)> = Vec::new();
+        if let Some(fill) = &self.fill {
+            pairs.push(("fill".into(), Json::str(fill.clone())));
+        }
+        if let Some(font_color) = &self.font_color {
+            pairs.push(("font_color".into(), Json::str(font_color.clone())));
+        }
+        if let Some(font_size) = self.font_size {
+            pairs.push(("font_size".into(), Json::Number(font_size as f64)));
+        }
+        if self.border {
+            pairs.push(("border".into(), Json::Bool(true)));
+        }
+        Json::Object(pairs)
+    }
+}
+
+impl FromJson for Format {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        if !matches!(json, Json::Object(_)) {
+            return Err(type_error("format object", json));
+        }
+        let font_size = match optional_field_t::<u32>(json, "font_size")? {
+            Some(pts) => Some(
+                u8::try_from(pts)
+                    .map_err(|_| DecodeError::new(format!("font size {pts} out of range")))?,
+            ),
+            None => None,
+        };
+        Ok(Format {
+            fill: optional_field_t(json, "fill")?,
+            font_color: optional_field_t(json, "font_color")?,
+            font_size,
+            border: optional_field_t(json, "border")?.unwrap_or(false),
+        })
+    }
+}
+
+impl ToJson for TargetScope {
+    fn to_json(&self) -> Json {
+        Json::str(self.as_str())
+    }
+}
+
+impl FromJson for TargetScope {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        match json.as_str() {
+            Some("cell") => Ok(TargetScope::Cell),
+            Some("row") => Ok(TargetScope::Row),
+            Some(other) => Err(DecodeError::new(format!("unknown target scope `{other}`"))),
+            None => Err(type_error("target scope string", json)),
+        }
     }
 }
 
@@ -257,6 +320,42 @@ mod tests {
         let out_of_range = parse(r#"{"len":4,"ones":[4]}"#).unwrap();
         assert!(BitVec::from_json(&out_of_range).is_err());
         round_trip(&BitVec::zeros(0));
+    }
+
+    #[test]
+    fn formats_round_trip_with_canonical_shape() {
+        round_trip(&Format::default_format());
+        round_trip(&Format::fill("#beaed4"));
+        round_trip(&Format::fill_and_font("#fee2e2", "#991b1b"));
+        let full = Format {
+            fill: Some("#beaed4".into()),
+            font_color: Some("#1f2937".into()),
+            font_size: Some(12),
+            border: true,
+        };
+        round_trip(&full);
+        // Default channels are omitted, not nulled: the canonical shapes.
+        assert_eq!(to_string(&Format::default_format().to_json()), "{}");
+        assert_eq!(
+            to_string(&Format::fill("#beaed4").to_json()),
+            r##"{"fill":"#beaed4"}"##
+        );
+        assert_eq!(
+            to_string(&full.to_json()),
+            r##"{"fill":"#beaed4","font_color":"#1f2937","font_size":12,"border":true}"##
+        );
+        assert!(Format::from_json(&Json::str("red")).is_err());
+    }
+
+    #[test]
+    fn target_scope_round_trips_and_rejects_unknown_tags() {
+        round_trip(&TargetScope::Cell);
+        round_trip(&TargetScope::Row);
+        assert_eq!(to_string(&TargetScope::Cell.to_json()), r#""cell""#);
+        assert_eq!(to_string(&TargetScope::Row.to_json()), r#""row""#);
+        let e = TargetScope::from_json(&Json::str("column")).unwrap_err();
+        assert!(e.message.contains("unknown target scope"), "{e}");
+        assert!(TargetScope::from_json(&Json::Number(1.0)).is_err());
     }
 
     #[test]

@@ -32,6 +32,6 @@ pub mod value;
 pub use bits::BitVec;
 pub use column::Column;
 pub use date::{Date, Weekday};
-pub use format::{Format, FormatId, FORMAT_NONE};
+pub use format::{Format, FormatId, FormatTable, TargetScope, FORMAT_NONE, FORMAT_PRIMARY};
 pub use table::Table;
 pub use value::{CellValue, DataType};

@@ -1,15 +1,17 @@
 //! Property tests for the `cornet-serde` codec: `decode(encode(x)) == x`
-//! for tables, rules and corpus tasks, plus malformed-input rejection
-//! (truncation, wrong envelope version/kind, NaN smuggling).
+//! for tables, rules, styled rule sets and corpus tasks, plus
+//! malformed-input rejection (truncation, wrong envelope version/kind,
+//! NaN smuggling, unknown target-scope tags).
 
 use cornet_repro::core::predicate::{CmpOp, DatePart, Predicate, TextOp};
 use cornet_repro::core::rule::{Conjunct, Rule, RuleLiteral};
+use cornet_repro::core::ruleset::{RuleSet, StyledRule};
 use cornet_repro::corpus::taskgen::Task;
 use cornet_repro::corpus::{generate_corpus_sharded, CorpusConfig};
 use cornet_repro::serde::{
     decode, encode, open_envelope, parse, to_string, FromJson, Json, ToJson,
 };
-use cornet_repro::table::{BitVec, CellValue, Column, Date, Table};
+use cornet_repro::table::{BitVec, CellValue, Column, Date, Format, FormatId, Table, TargetScope};
 use proptest::prelude::*;
 
 fn arb_cell() -> impl Strategy<Value = CellValue> {
@@ -30,7 +32,7 @@ fn arb_column() -> impl Strategy<Value = Column> {
             let (cells, formats): (Vec<CellValue>, Vec<u32>) = cells.into_iter().unzip();
             let mut column = Column::new(name, cells);
             for (i, f) in formats.into_iter().enumerate() {
-                column.formats[i] = cornet_repro::table::FormatId(f);
+                column.formats[i] = FormatId::from_raw(f);
             }
             column
         })
@@ -95,6 +97,54 @@ fn arb_rule() -> impl Strategy<Value = Rule> {
     })
 }
 
+fn arb_color() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![Just(None), "#[0-9a-f]{6}".prop_map(Some),]
+}
+
+fn arb_format() -> impl Strategy<Value = Format> {
+    (
+        arb_color(),
+        arb_color(),
+        prop_oneof![Just(None), (6u8..72).prop_map(Some)],
+        any::<bool>(),
+    )
+        .prop_map(|(fill, font_color, font_size, border)| Format {
+            fill,
+            font_color,
+            font_size,
+            border,
+        })
+}
+
+fn arb_scope() -> impl Strategy<Value = TargetScope> {
+    prop_oneof![Just(TargetScope::Cell), Just(TargetScope::Row)]
+}
+
+fn arb_styled_rule() -> impl Strategy<Value = StyledRule> {
+    (
+        arb_rule(),
+        arb_format(),
+        arb_scope(),
+        0u32..8,
+        -1e6f64..1e6f64,
+        any::<bool>(),
+    )
+        .prop_map(
+            |(rule, style, scope, priority, score, consistent)| StyledRule {
+                rule,
+                style,
+                scope,
+                priority,
+                score,
+                consistent,
+            },
+        )
+}
+
+fn arb_ruleset() -> impl Strategy<Value = RuleSet> {
+    proptest::collection::vec(arb_styled_rule(), 0..4).prop_map(|rules| RuleSet { rules })
+}
+
 /// `decode(encode(x)) == x` through the envelope layer.
 fn round_trip<T: ToJson + FromJson + PartialEq + std::fmt::Debug>(kind: &str, value: &T) {
     let wire = encode(kind, value);
@@ -145,6 +195,42 @@ proptest! {
     #[test]
     fn bitvecs_round_trip(bools in proptest::collection::vec(any::<bool>(), 0..64)) {
         round_trip("mask", &BitVec::from_bools(&bools));
+    }
+
+    /// Style payloads survive the codec exactly, every channel
+    /// combination included, and re-encode canonically.
+    #[test]
+    fn formats_round_trip(format in arb_format()) {
+        round_trip("format", &format);
+    }
+
+    /// Target scopes survive the codec exactly.
+    #[test]
+    fn target_scopes_round_trip(scope in arb_scope()) {
+        round_trip("scope", &scope);
+    }
+
+    /// Styled rule sets — rules with style payloads, scopes, priorities,
+    /// scores and consistency flags — survive the `rule-set` envelope
+    /// exactly and re-encode byte-identically.
+    #[test]
+    fn rule_sets_round_trip(set in arb_ruleset()) {
+        round_trip("rule-set", &set);
+    }
+
+    /// An unknown target-scope tag smuggled into a rule set is rejected
+    /// at decode, never silently defaulted.
+    #[test]
+    fn unknown_scope_tags_are_rejected(rule in arb_styled_rule(), tag in "[a-z]{3,10}") {
+        if tag != "cell" && tag != "row" {
+            let set = RuleSet { rules: vec![rule] };
+            let wire = encode("rule-set", &set);
+            let scope_json = format!(r#""scope":{}"#, to_string(&set.rules[0].scope.to_json()));
+            prop_assert!(wire.contains(&scope_json), "{}", wire);
+            let tampered = wire.replacen(&scope_json, &format!(r#""scope":"{tag}""#), 1);
+            let e = decode::<RuleSet>("rule-set", &tampered).unwrap_err();
+            prop_assert!(e.message.contains("unknown target scope"), "{}", e);
+        }
     }
 
     /// Generated corpus tasks survive the codec exactly (the user formula

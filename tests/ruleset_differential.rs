@@ -1,0 +1,286 @@
+//! Differential suite for the multi-class rule-set learner: the k=2
+//! boolean path must stay bit-identical to the pre-rule-set learner.
+//!
+//! Three contracts are pinned here, each at 1 and 4 pool threads:
+//!
+//! * **Single class ≡ `learn_spec`** — a one-class [`RuleSetSpec`]
+//!   (with or without hard negatives) replays `learn_spec` on the same
+//!   positives/negatives bit for bit: rule display, score bits and run
+//!   statistics. This is the historical binary task expressed as a set.
+//! * **Single class, no negatives ≡ legacy `learn`** — the original
+//!   `learn(cells, observed)` entry point, untouched by the refactor,
+//!   agrees with the one-class set too.
+//! * **k classes ≡ one-vs-rest `learn_spec`** — each rule of a k-class
+//!   set equals `learn_spec` run with that class's positives against the
+//!   union of the other classes' positives and the global negatives —
+//!   including the abstention path, where class k's relaxed fallback must
+//!   equal `learn_spec_relaxed` and carry `consistent:false`.
+
+use cornet_repro::core::learner::{ClassSpec, Cornet, LearnError, LearnSpec, RuleSetSpec};
+use cornet_repro::pool::with_threads;
+use cornet_repro::table::{CellValue, Format};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// One seeded random column + observed set covering the text / enum /
+/// numeric / date / mixed surface flavours of the other differential
+/// suites.
+fn random_table(seed: u64) -> (Vec<CellValue>, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.gen_range(12..=40);
+    let raw: Vec<String> = (0..n)
+        .map(|_| match seed % 5 {
+            0 => {
+                let prefix = *["RW", "RS", "TW"].choose(&mut rng).unwrap();
+                let suffix = if rng.gen_bool(0.3) { "-T" } else { "" };
+                format!("{prefix}-{}{suffix}", rng.gen_range(100..1000))
+            }
+            1 => (*["Open", "Closed", "Pending", "Blocked", "Done"]
+                .choose(&mut rng)
+                .unwrap())
+            .to_string(),
+            2 => format!("{}", rng.gen_range(-50..450) as f64 * 0.5),
+            3 => format!(
+                "202{}-{:02}-{:02}",
+                rng.gen_range(0..4),
+                rng.gen_range(1..=12),
+                rng.gen_range(1..=28)
+            ),
+            _ => {
+                if rng.gen_bool(0.6) {
+                    format!("{}", rng.gen_range(0..100))
+                } else {
+                    format!("id-{}", rng.gen_range(0..30))
+                }
+            }
+        })
+        .collect();
+    let cells: Vec<CellValue> = raw.iter().map(|s| CellValue::parse(s)).collect();
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut rng);
+    let k = rng.gen_range(2..=5).min(n);
+    let mut observed: Vec<usize> = indices.into_iter().take(k).collect();
+    observed.sort_unstable();
+    (cells, observed)
+}
+
+/// A hard negative that actually contradicts the learner: a non-observed
+/// cell the unconstrained best rule formats.
+fn pick_negative(cells: &[CellValue], observed: &[usize]) -> Option<usize> {
+    let cornet = Cornet::with_default_ranker();
+    let outcome = cornet.learn(cells, observed).ok()?;
+    let mask = outcome.best().rule.execute(cells);
+    let negative = mask.iter_ones().find(|i| !observed.contains(i));
+    negative
+}
+
+/// The comparable fingerprint of a learned rule: display string and the
+/// exact score bits.
+type RuleKey = (String, u64);
+
+/// What `learn_spec` (falling back to `learn_spec_relaxed` on proven
+/// abstention, exactly as `learn_ruleset` documents) returns for one
+/// one-vs-rest class — the expected value for `rule_set.rules[k]`.
+fn expected_one_vs_rest(
+    cornet: &Cornet,
+    cells: &[CellValue],
+    positives: &[usize],
+    mut rest: Vec<usize>,
+) -> (RuleKey, bool) {
+    rest.sort_unstable();
+    rest.dedup();
+    let spec = LearnSpec::new(cells.to_vec(), positives.to_vec()).with_negatives(rest);
+    match cornet.learn_spec(&spec) {
+        Ok(outcome) => {
+            let best = outcome.best();
+            ((best.rule.to_string(), best.score.to_bits()), true)
+        }
+        Err(LearnError::NoConsistentRule) => {
+            let outcome = cornet.learn_spec_relaxed(&spec).expect("relaxed learns");
+            let best = outcome.best();
+            ((best.rule.to_string(), best.score.to_bits()), false)
+        }
+        Err(e) => panic!("unexpected learn error: {e}"),
+    }
+}
+
+#[test]
+fn single_class_set_is_bit_identical_to_learn_spec() {
+    let mut checked = 0usize;
+    for seed in 0..25u64 {
+        let (cells, observed) = random_table(seed);
+        // With and without a hard negative: both legs of the k=2 path.
+        let negative_sets: Vec<Vec<usize>> = match pick_negative(&cells, &observed) {
+            Some(n) => vec![vec![], vec![n]],
+            None => vec![vec![]],
+        };
+        for negatives in &negative_sets {
+            for threads in [1usize, 4] {
+                let spec = LearnSpec::new(cells.clone(), observed.clone())
+                    .with_negatives(negatives.clone());
+                let set_spec = RuleSetSpec::new(
+                    cells.clone(),
+                    vec![ClassSpec::new(Format::fill("#16a34a"), observed.clone())],
+                )
+                .with_negatives(negatives.clone());
+                let (by_spec, by_set) = with_threads(threads, || {
+                    let cornet = Cornet::with_default_ranker();
+                    (cornet.learn_spec(&spec), cornet.learn_ruleset(&set_spec))
+                });
+                match by_spec {
+                    Ok(outcome) => {
+                        let best = outcome.best();
+                        let set = by_set.expect("set learns when spec learns");
+                        assert_eq!(set.rule_set.len(), 1);
+                        let rule = &set.rule_set.rules[0];
+                        assert!(rule.consistent, "seed {seed}, threads {threads}");
+                        assert_eq!(
+                            rule.rule.to_string(),
+                            best.rule.to_string(),
+                            "seed {seed}, threads {threads}, negatives {negatives:?}"
+                        );
+                        assert_eq!(
+                            rule.score.to_bits(),
+                            best.score.to_bits(),
+                            "seed {seed}, threads {threads}, rule {}",
+                            best.rule
+                        );
+                        // The per-class run statistics replay exactly too.
+                        assert_eq!(set.class_stats.len(), 1);
+                        assert_eq!(set.class_stats[0].n_predicates, outcome.stats.n_predicates);
+                        assert_eq!(set.class_stats[0].n_candidates, outcome.stats.n_candidates);
+                        assert_eq!(
+                            set.class_stats[0].cluster_iterations,
+                            outcome.stats.cluster_iterations
+                        );
+                        checked += 1;
+                    }
+                    Err(LearnError::NoConsistentRule) => {
+                        // Abstention leg: the set must fall back to the
+                        // relaxed learner, flagging the class inconsistent
+                        // — or propagate the relaxed learner's own error.
+                        let relaxed = with_threads(threads, || {
+                            Cornet::with_default_ranker().learn_spec_relaxed(&spec)
+                        });
+                        match relaxed {
+                            Ok(relaxed) => {
+                                let best = relaxed.best();
+                                let set = by_set.expect("set learns via the relaxed fallback");
+                                let rule = &set.rule_set.rules[0];
+                                assert!(!rule.consistent, "seed {seed}");
+                                assert_eq!(
+                                    rule.rule.to_string(),
+                                    best.rule.to_string(),
+                                    "seed {seed}"
+                                );
+                                assert_eq!(
+                                    rule.score.to_bits(),
+                                    best.score.to_bits(),
+                                    "seed {seed}"
+                                );
+                                checked += 1;
+                            }
+                            Err(_) => {
+                                assert!(by_set.is_err(), "seed {seed}: errors must agree");
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        assert!(by_set.is_err(), "seed {seed}: errors must agree");
+                    }
+                }
+            }
+        }
+    }
+    assert!(checked >= 15, "too few learnable fixtures: {checked}");
+}
+
+#[test]
+fn single_class_set_without_negatives_matches_legacy_learn() {
+    let mut checked = 0usize;
+    for seed in 0..25u64 {
+        let (cells, observed) = random_table(seed);
+        for threads in [1usize, 4] {
+            let (legacy, by_set) = with_threads(threads, || {
+                let cornet = Cornet::with_default_ranker();
+                (
+                    cornet.learn(&cells, &observed),
+                    cornet.learn_ruleset(&RuleSetSpec::new(
+                        cells.clone(),
+                        vec![ClassSpec::new(Format::fill("#16a34a"), observed.clone())],
+                    )),
+                )
+            });
+            let Ok(legacy) = legacy else {
+                assert!(by_set.is_err(), "seed {seed}: errors must agree");
+                continue;
+            };
+            let best = legacy.best();
+            let set = by_set.expect("set learns when legacy learn does");
+            let rule = &set.rule_set.rules[0];
+            assert_eq!(
+                (rule.rule.to_string(), rule.score.to_bits()),
+                (best.rule.to_string(), best.score.to_bits()),
+                "seed {seed}, threads {threads}"
+            );
+            checked += 1;
+        }
+    }
+    assert!(checked >= 15, "too few learnable fixtures: {checked}");
+}
+
+#[test]
+fn k_class_sets_replay_one_vs_rest_learn_spec() {
+    let mut checked = 0usize;
+    for seed in 0..25u64 {
+        let (cells, observed) = random_table(seed);
+        // Second class: a cell the first class's unconstrained rule
+        // formats, so the one-vs-rest hard negatives genuinely constrain;
+        // third class (when the column is long enough): any other cell.
+        let Some(contested) = pick_negative(&cells, &observed) else {
+            continue;
+        };
+        let mut classes: Vec<Vec<usize>> = vec![observed.clone(), vec![contested]];
+        if let Some(third) = (0..cells.len()).find(|i| !observed.contains(i) && *i != contested) {
+            classes.push(vec![third]);
+        }
+        let specs: Vec<ClassSpec> = classes
+            .iter()
+            .zip(["#dcfce7", "#fef9c3", "#fee2e2"])
+            .map(|(examples, fill)| ClassSpec::new(Format::fill(fill), examples.clone()))
+            .collect();
+        let set_spec = RuleSetSpec::new(cells.clone(), specs);
+        for threads in [1usize, 4] {
+            let outcome = with_threads(threads, || {
+                Cornet::with_default_ranker().learn_ruleset(&set_spec)
+            });
+            let Ok(outcome) = outcome else {
+                continue;
+            };
+            assert_eq!(outcome.rule_set.len(), classes.len());
+            let cornet = Cornet::with_default_ranker();
+            for (k, class) in classes.iter().enumerate() {
+                let rest: Vec<usize> = classes
+                    .iter()
+                    .enumerate()
+                    .filter(|(other, _)| *other != k)
+                    .flat_map(|(_, c)| c.iter().copied())
+                    .collect();
+                let (expected, consistent) = with_threads(threads, || {
+                    expected_one_vs_rest(&cornet, &cells, class, rest.clone())
+                });
+                let rule = &outcome.rule_set.rules[k];
+                assert_eq!(rule.priority, k as u32, "seed {seed}");
+                assert_eq!(
+                    (rule.rule.to_string(), rule.score.to_bits()),
+                    expected,
+                    "seed {seed}, threads {threads}, class {k}"
+                );
+                assert_eq!(rule.consistent, consistent, "seed {seed}, class {k}");
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked >= 10, "too few multi-class fixtures: {checked}");
+}
