@@ -99,6 +99,8 @@ fn main() {
             cells: cells.clone(),
             examples: task.examples(3),
             negatives: vec![],
+            classes: vec![],
+            tenant: None,
         };
         if let Ok(learned) = service.learn(&req) {
             let quoted: Vec<String> = cells.iter().map(|c| format!("{:?}", c)).collect();

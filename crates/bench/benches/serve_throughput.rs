@@ -43,6 +43,8 @@ fn corpus_requests(n: usize) -> Vec<LearnRequest> {
             cells: task.cells.iter().map(CellValue::display_string).collect(),
             examples: task.examples(3),
             negatives: vec![],
+            classes: vec![],
+            tenant: None,
         })
         .collect()
 }

@@ -1,0 +1,162 @@
+//! Retrieval scaling harness for the suggestion index: exact ball-tree
+//! k-NN vs the brute-force linear scan over real stored-rule embeddings,
+//! swept across corpus sizes. This is the perf claim behind `/suggest`
+//! being viable at production scale — retrieval must be sublinear in the
+//! number of stored rules, and the two sides must return *identical*
+//! neighbor lists (the differential suite pins the same property; the
+//! harness re-checks it on every corpus before timing anything).
+//!
+//! Knobs (environment):
+//! * `SUGGEST_INDEX_QUERIES` — queries per corpus (default 256)
+//! * `SUGGEST_INDEX_K` — neighbors per query (default 8)
+//! * `SUGGEST_INDEX_SMOKE=1` — short CI mode (64 queries, 100/1k corpora)
+//!
+//! Runs under `cargo bench -p cornet-bench --bench suggest_index`; exits
+//! non-zero if the tree and the scan ever disagree.
+
+use cornet_nn::BallTree;
+use cornet_serve::suggest::embed_column;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v > 0)
+        .unwrap_or(default)
+}
+
+/// Column families a cross-corpus store accumulates: each is a distinct
+/// column *vocabulary* — the value set of one spreadsheet template's
+/// status/category/id column, shared by every user of that template.
+/// Two users' columns sample different subsets of the same vocabulary
+/// but rarely invent values outside it (a "status" column holds the
+/// template's statuses, an id column its prefix scheme). Many such
+/// families with a few stored rules each is what "millions of users"
+/// looks like, and it is exactly the structure ball-tree pruning
+/// exploits: a query lands inside its family's ball and the rest are
+/// excluded by the triangle inequality.
+struct Families {
+    vocabularies: Vec<Vec<String>>,
+    rng: StdRng,
+}
+
+/// Distinct values per family vocabulary.
+const VOCAB_SIZE: usize = 6;
+
+/// Cells sampled per column.
+const COLUMN_CELLS: usize = 12;
+
+/// Stored rules per family: how many users of one template have learned
+/// a rule over its column. Pruning sharpens as families grow past the
+/// tree's leaf size, because leaves become family-pure.
+const FAMILY_SIZE: usize = 64;
+
+impl Families {
+    fn new(count: usize, seed: u64) -> Families {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let vocabularies = (0..count)
+            .map(|_| {
+                let len = rng.gen_range(10..16usize);
+                let prefix: String = (0..len)
+                    .map(|_| (b'A' + rng.gen_range(0..26u8)) as char)
+                    .collect();
+                (0..VOCAB_SIZE).map(|v| format!("{prefix}-{v}")).collect()
+            })
+            .collect();
+        Families { vocabularies, rng }
+    }
+
+    /// A column of family `f`: cells sampled from the family's
+    /// vocabulary (the way two users' columns share a template's value
+    /// set but not the same subset of it).
+    fn column(&mut self, f: usize) -> Vec<String> {
+        let vocab = &self.vocabularies[f % self.vocabularies.len()];
+        (0..COLUMN_CELLS)
+            .map(|_| vocab[self.rng.gen_range(0..vocab.len())].clone())
+            .collect()
+    }
+}
+
+/// `n` stored-rule embeddings through the real suggestion embedder,
+/// round-robin across the families.
+fn corpus(families: &mut Families, n: usize) -> Vec<Vec<f64>> {
+    (0..n).map(|i| embed_column(&families.column(i))).collect()
+}
+
+/// Median of a sorted-in-place sample, in nanoseconds per query.
+fn median(samples: &mut [u128]) -> u128 {
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let smoke = std::env::var("SUGGEST_INDEX_SMOKE").is_ok_and(|v| v == "1");
+    let n_queries = env_usize("SUGGEST_INDEX_QUERIES", if smoke { 64 } else { 256 });
+    let k = env_usize("SUGGEST_INDEX_K", 8);
+    let sizes: &[usize] = if smoke {
+        &[100, 1000]
+    } else {
+        &[100, 1000, 10_000]
+    };
+
+    println!("suggest_index: exact ball-tree k-NN vs brute-force linear scan");
+    println!("queries per corpus: {n_queries}, k: {k}");
+
+    let mut speedup_at_largest = 0.0f64;
+    for &n in sizes {
+        // A store of n rules holds roughly one family per FAMILY_SIZE rules.
+        let mut families = Families::new((n / FAMILY_SIZE).max(8), 0xC0DE + n as u64);
+        let points = corpus(&mut families, n);
+        let dim = points[0].len();
+        let tree = BallTree::build(dim, &points);
+        // Off-corpus queries from the same families (the bare columns a
+        // user submits are never byte-identical to a stored one).
+        let queries: Vec<Vec<f64>> = (0..n_queries)
+            .map(|i| embed_column(&families.column(i * 7 + 3)))
+            .collect();
+
+        // Correctness gate before any timing: both sides must agree on
+        // every query, bitwise.
+        for q in &queries {
+            assert_eq!(
+                tree.nearest(q, k),
+                tree.nearest_linear(q, k),
+                "tree and linear scan disagree at n={n}"
+            );
+        }
+
+        let mut tree_ns: Vec<u128> = Vec::with_capacity(queries.len());
+        let mut linear_ns: Vec<u128> = Vec::with_capacity(queries.len());
+        // Interleave the two sides per query so drift (thermal, cache)
+        // hits both equally.
+        for q in &queries {
+            let started = Instant::now();
+            black_box(tree.nearest(black_box(q), k));
+            tree_ns.push(started.elapsed().as_nanos());
+            let started = Instant::now();
+            black_box(tree.nearest_linear(black_box(q), k));
+            linear_ns.push(started.elapsed().as_nanos());
+        }
+        let tree_med = median(&mut tree_ns).max(1);
+        let linear_med = median(&mut linear_ns).max(1);
+        let speedup = linear_med as f64 / tree_med as f64;
+        speedup_at_largest = speedup;
+        println!(
+            "n={n:>6}  tree {:>9} ns/query   linear {:>9} ns/query   speedup {speedup:.1}x",
+            tree_med, linear_med
+        );
+    }
+
+    if !smoke {
+        // The acceptance bar: sublinear retrieval must beat the scan by
+        // at least 5x at the 10k corpus.
+        assert!(
+            speedup_at_largest >= 5.0,
+            "ball tree is only {speedup_at_largest:.1}x faster than the linear scan at n=10000"
+        );
+    }
+}

@@ -1,0 +1,521 @@
+//! A hand-rolled ball tree for exact k-nearest-neighbour queries over
+//! fixed-dimension `f64` points (modeled on linfa-nn's balltree, rebuilt
+//! from scratch because the build environment is offline).
+//!
+//! Every node covers a contiguous slice of a permutation array and
+//! stores the centroid and radius of its points; internal nodes split
+//! their slice at the median projection onto the node's widest axis
+//! (farthest-point pair), so splits follow the data's cluster
+//! structure rather than the coordinate axes. A query
+//! walks the tree best-child-first and prunes a subtree when the
+//! triangle-inequality lower bound `dist(q, center) - radius` strictly
+//! exceeds the current k-th best distance — so results are **exact**,
+//! not approximate: [`BallTree::nearest`] returns bit-identical
+//! neighbours, distances and order to the brute-force
+//! [`BallTree::nearest_linear`] scan (both accumulate the squared
+//! differences in coordinate order and break distance ties by ascending
+//! point index, making the top-k a unique total-order prefix).
+//!
+//! Incremental growth: [`BallTree::insert`] appends to a flat pending
+//! list that queries scan linearly; once the list outgrows the rebuild
+//! threshold the whole tree is rebuilt in bulk. That trades a rare
+//! O(n log n) rebuild for O(1) inserts while keeping queries sublinear —
+//! the regime the suggest index lives in, where reads vastly outnumber
+//! writes.
+
+use std::collections::BinaryHeap;
+
+/// Points per leaf. Each split visited costs two center-distance
+/// computations; a leaf point costs one sequential distance — so leaves
+/// should hold a few dozen points before the extra node depth pays for
+/// itself. 32 keeps the node array ~4x smaller than a leaf-of-8 tree
+/// and measures fastest on the `suggest_index` corpus.
+const LEAF_SIZE: usize = 32;
+
+/// Default for [`BallTree::with_rebuild_threshold`]: how many pending
+/// inserts accumulate before the tree is rebuilt in bulk.
+pub const DEFAULT_REBUILD_THRESHOLD: usize = 64;
+
+/// One k-NN result: the point's insertion index and its Euclidean
+/// distance from the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the point, as returned by [`BallTree::insert`] / the
+    /// position in the [`BallTree::build`] input.
+    pub index: usize,
+    /// Euclidean distance to the query.
+    pub dist: f64,
+}
+
+/// Candidate ordering: smaller distance first, ties broken by ascending
+/// index. `total_cmp` keeps the order total (NaN never occurs for finite
+/// inputs, but a total order is what makes tree ≡ linear scan provable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Cand {
+    bits: u64,
+    index: u32,
+}
+
+impl Cand {
+    fn new(dist: f64, index: u32) -> Cand {
+        Cand {
+            // total_cmp's order as an integer key: flip the sign bit for
+            // positives, all bits for negatives. Distances are >= 0 here,
+            // so this is just the IEEE ordering made monotone.
+            bits: {
+                let b = dist.to_bits();
+                if b >> 63 == 1 {
+                    !b
+                } else {
+                    b | 1 << 63
+                }
+            },
+            index,
+        }
+    }
+
+    fn dist(&self) -> f64 {
+        let b = self.bits;
+        f64::from_bits(if b >> 63 == 1 { b & !(1 << 63) } else { !b })
+    }
+}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.bits, self.index).cmp(&(other.bits, other.index))
+    }
+}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A bounded worst-on-top heap holding the best k candidates seen.
+struct TopK {
+    k: usize,
+    heap: BinaryHeap<Cand>,
+}
+
+impl TopK {
+    fn new(k: usize) -> TopK {
+        TopK {
+            k,
+            heap: BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    fn offer(&mut self, cand: Cand) {
+        if self.heap.len() < self.k {
+            self.heap.push(cand);
+        } else if let Some(worst) = self.heap.peek() {
+            if cand < *worst {
+                self.heap.pop();
+                self.heap.push(cand);
+            }
+        }
+    }
+
+    /// The current k-th best distance, or `None` while under-full (in
+    /// which case nothing may be pruned).
+    fn bound(&self) -> Option<f64> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(Cand::dist)
+        }
+    }
+
+    fn into_sorted(self) -> Vec<Neighbor> {
+        let mut cands = self.heap.into_vec();
+        cands.sort_unstable();
+        cands
+            .into_iter()
+            .map(|c| Neighbor {
+                index: c.index as usize,
+                dist: c.dist(),
+            })
+            .collect()
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum NodeKind {
+    /// Covers `order[start..end]` directly.
+    Leaf { start: usize, end: usize },
+    /// Children by node index.
+    Split { left: usize, right: usize },
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    center: Vec<f64>,
+    radius: f64,
+    kind: NodeKind,
+}
+
+/// An exact k-NN ball tree over fixed-dimension points. See the module
+/// docs for the construction, pruning and determinism contract.
+#[derive(Debug, Clone)]
+pub struct BallTree {
+    dim: usize,
+    /// Point `i` lives at `coords[i*dim..(i+1)*dim]`.
+    coords: Vec<f64>,
+    nodes: Vec<Node>,
+    /// Permutation of the first `tree_len` point indices; leaves
+    /// reference contiguous ranges of it.
+    order: Vec<u32>,
+    /// Points covered by `nodes` (the rest are pending).
+    tree_len: usize,
+    /// Indices inserted since the last rebuild, scanned linearly.
+    pending: Vec<u32>,
+    rebuild_threshold: usize,
+}
+
+/// Euclidean distance with a fixed accumulation order, shared by the
+/// tree walk and the linear scan so both produce bit-identical values.
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    let mut sum = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        let d = x - y;
+        sum += d * d;
+    }
+    sum.sqrt()
+}
+
+impl BallTree {
+    /// An empty tree over `dim`-dimensional points with the default
+    /// rebuild threshold. `dim` must be non-zero.
+    pub fn new(dim: usize) -> BallTree {
+        BallTree::with_rebuild_threshold(dim, DEFAULT_REBUILD_THRESHOLD)
+    }
+
+    /// An empty tree that rebuilds once more than `threshold` inserts
+    /// are pending (minimum 1 — every tree must eventually rebuild).
+    pub fn with_rebuild_threshold(dim: usize, threshold: usize) -> BallTree {
+        assert!(dim > 0, "ball tree dimension must be non-zero");
+        BallTree {
+            dim,
+            coords: Vec::new(),
+            nodes: Vec::new(),
+            order: Vec::new(),
+            tree_len: 0,
+            pending: Vec::new(),
+            rebuild_threshold: threshold.max(1),
+        }
+    }
+
+    /// Bulk-builds a tree over `points` (point `i` keeps index `i`).
+    pub fn build(dim: usize, points: &[Vec<f64>]) -> BallTree {
+        let mut tree = BallTree::new(dim);
+        tree.coords.reserve(points.len() * dim);
+        for point in points {
+            assert_eq!(point.len(), dim, "point dimension mismatch");
+            tree.coords.extend_from_slice(point);
+        }
+        tree.rebuild();
+        tree
+    }
+
+    /// Number of indexed points (tree + pending).
+    pub fn len(&self) -> usize {
+        self.coords.len() / self.dim
+    }
+
+    /// True when no points are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// The point dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of inserts awaiting the next rebuild.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The coordinates of point `index`.
+    pub fn point(&self, index: usize) -> &[f64] {
+        &self.coords[index * self.dim..(index + 1) * self.dim]
+    }
+
+    /// Appends a point, returning its index. O(1) until the pending
+    /// list exceeds the rebuild threshold, then one bulk rebuild.
+    pub fn insert(&mut self, point: &[f64]) -> usize {
+        assert_eq!(point.len(), self.dim, "point dimension mismatch");
+        let index = self.len();
+        self.coords.extend_from_slice(point);
+        self.pending.push(index as u32);
+        if self.pending.len() > self.rebuild_threshold {
+            self.rebuild();
+        }
+        index
+    }
+
+    /// Rebuilds the tree over every point, draining the pending list.
+    pub fn rebuild(&mut self) {
+        let n = self.len();
+        self.nodes.clear();
+        self.pending.clear();
+        self.order = (0..n as u32).collect();
+        self.tree_len = n;
+        if n > 0 {
+            self.build_node(0, n);
+        }
+    }
+
+    /// Builds the node over `order[start..end]`, returning its index.
+    fn build_node(&mut self, start: usize, end: usize) -> usize {
+        let count = end - start;
+        let mut center = vec![0.0; self.dim];
+        for &p in &self.order[start..end] {
+            let point = &self.coords[p as usize * self.dim..(p as usize + 1) * self.dim];
+            for (c, x) in center.iter_mut().zip(point) {
+                *c += x;
+            }
+        }
+        for c in center.iter_mut() {
+            *c /= count as f64;
+        }
+        let radius = self.order[start..end]
+            .iter()
+            .map(|&p| {
+                dist(
+                    &center,
+                    &self.coords[p as usize * self.dim..(p as usize + 1) * self.dim],
+                )
+            })
+            .fold(0.0, f64::max);
+        let slot = self.nodes.len();
+        self.nodes.push(Node {
+            center,
+            radius,
+            kind: NodeKind::Leaf { start, end },
+        });
+        if count > LEAF_SIZE {
+            // Split at the median projection onto the node's widest axis:
+            // the direction between the point farthest from the centroid
+            // and the point farthest from *that* point. Cluster structure
+            // in hashed embeddings is diagonal to the coordinate axes, so
+            // a coordinate-median split would cut through clusters and
+            // leave child balls almost as wide as the parent; projecting
+            // onto the empirically widest direction separates them. Ties
+            // (equal projections, or a degenerate zero direction) break by
+            // point index, keeping the partition a deterministic function
+            // of the point set.
+            let axis = self.split_axis(&self.nodes[slot].center, start, end);
+            let mid = start + count / 2;
+            let coords = &self.coords;
+            let dim = self.dim;
+            let project = |p: u32| -> f64 {
+                coords[p as usize * dim..(p as usize + 1) * dim]
+                    .iter()
+                    .zip(&axis)
+                    .map(|(x, a)| x * a)
+                    .sum()
+            };
+            self.order[start..end].select_nth_unstable_by(count / 2, |&a, &b| {
+                project(a).total_cmp(&project(b)).then(a.cmp(&b))
+            });
+            let left = self.build_node(start, mid);
+            let right = self.build_node(mid, end);
+            self.nodes[slot].kind = NodeKind::Split { left, right };
+        }
+        slot
+    }
+
+    /// The split direction for `order[start..end]`: from the point
+    /// farthest from `center` to the point farthest from that point
+    /// (ties by ascending index).
+    fn split_axis(&self, center: &[f64], start: usize, end: usize) -> Vec<f64> {
+        let far = |from: &[f64]| -> &[f64] {
+            let mut best = self.order[start];
+            let mut best_dist = -1.0;
+            for &p in &self.order[start..end] {
+                let d = dist(from, self.point(p as usize));
+                if d > best_dist {
+                    best_dist = d;
+                    best = p;
+                }
+            }
+            self.point(best as usize)
+        };
+        let a = far(center);
+        let b = far(a);
+        a.iter().zip(b).map(|(x, y)| x - y).collect()
+    }
+
+    /// The `k` nearest points to `query`, sorted by ascending distance
+    /// (ties by ascending index). Returns fewer than `k` neighbours only
+    /// when the tree holds fewer points. Exact: identical to
+    /// [`BallTree::nearest_linear`], bit for bit.
+    pub fn nearest(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut top = TopK::new(k.min(self.len()));
+        if self.tree_len > 0 {
+            let root_dist = dist(query, &self.nodes[0].center);
+            self.search_node(0, root_dist, query, &mut top);
+        }
+        for &p in &self.pending {
+            top.offer(Cand::new(dist(query, self.point(p as usize)), p));
+        }
+        top.into_sorted()
+    }
+
+    /// `center_dist` is `dist(query, node.center)`, computed by the
+    /// caller (the parent already needs it to order the children, so
+    /// passing it down halves the center-distance work per node).
+    fn search_node(&self, node: usize, center_dist: f64, query: &[f64], top: &mut TopK) {
+        let n = &self.nodes[node];
+        if let Some(bound) = top.bound() {
+            // Strict: a subtree whose lower bound *equals* the current
+            // k-th distance may still hold an equal-distance point with a
+            // smaller index, which wins the tie.
+            if center_dist - n.radius > bound {
+                return;
+            }
+        }
+        match n.kind {
+            NodeKind::Leaf { start, end } => {
+                for &p in &self.order[start..end] {
+                    top.offer(Cand::new(dist(query, self.point(p as usize)), p));
+                }
+            }
+            NodeKind::Split { left, right } => {
+                // Nearer child first: tightens the bound before the far
+                // child is tested, which is where the pruning comes from.
+                let dl = dist(query, &self.nodes[left].center);
+                let dr = dist(query, &self.nodes[right].center);
+                let (first_dist, first, second_dist, second) = if dl <= dr {
+                    (dl, left, dr, right)
+                } else {
+                    (dr, right, dl, left)
+                };
+                self.search_node(first, first_dist, query, top);
+                self.search_node(second, second_dist, query, top);
+            }
+        }
+    }
+
+    /// Brute-force reference: scans every point with the same distance
+    /// function and tie-breaking as [`BallTree::nearest`]. The
+    /// differential suite pins `nearest ≡ nearest_linear`; the
+    /// `suggest_index` bench measures the gap between them.
+    pub fn nearest_linear(&self, query: &[f64], k: usize) -> Vec<Neighbor> {
+        assert_eq!(query.len(), self.dim, "query dimension mismatch");
+        if k == 0 || self.is_empty() {
+            return Vec::new();
+        }
+        let mut top = TopK::new(k.min(self.len()));
+        for p in 0..self.len() {
+            top.offer(Cand::new(dist(query, self.point(p)), p as u32));
+        }
+        top.into_sorted()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points() -> Vec<Vec<f64>> {
+        // 5×5 grid plus a duplicate of the origin (tie-break coverage).
+        let mut points = Vec::new();
+        for x in 0..5 {
+            for y in 0..5 {
+                points.push(vec![x as f64, y as f64]);
+            }
+        }
+        points.push(vec![0.0, 0.0]);
+        points
+    }
+
+    #[test]
+    fn nearest_matches_linear_on_a_grid() {
+        let points = grid_points();
+        let tree = BallTree::build(2, &points);
+        assert_eq!(tree.len(), points.len());
+        for k in [1, 3, 7, points.len(), points.len() + 5] {
+            for q in [[0.2, 0.1], [2.5, 2.5], [9.0, -3.0], [4.0, 4.0]] {
+                assert_eq!(tree.nearest(&q, k), tree.nearest_linear(&q, k), "k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_hits_and_duplicate_ties_resolve_by_index() {
+        let tree = BallTree::build(2, &grid_points());
+        // The origin exists twice (indices 0 and 25): the smaller index
+        // wins the k=1 tie, and k=2 returns both at distance zero.
+        let best = tree.nearest(&[0.0, 0.0], 2);
+        assert_eq!(
+            best[0],
+            Neighbor {
+                index: 0,
+                dist: 0.0
+            }
+        );
+        assert_eq!(
+            best[1],
+            Neighbor {
+                index: 25,
+                dist: 0.0
+            }
+        );
+    }
+
+    #[test]
+    fn incremental_insert_answers_like_bulk_build() {
+        let points = grid_points();
+        let bulk = BallTree::build(2, &points);
+        // Threshold 4 forces several rebuild cycles plus a non-empty
+        // pending tail at the end.
+        let mut grown = BallTree::with_rebuild_threshold(2, 4);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(grown.insert(p), i);
+        }
+        assert!(grown.pending() <= 4);
+        for q in [[0.7, 3.1], [5.0, 5.0], [-1.0, 2.0]] {
+            assert_eq!(grown.nearest(&q, 5), bulk.nearest(&q, 5));
+        }
+    }
+
+    #[test]
+    fn empty_and_k_zero_return_nothing() {
+        let tree = BallTree::new(3);
+        assert!(tree.is_empty());
+        assert_eq!(tree.nearest(&[0.0, 0.0, 0.0], 4), Vec::new());
+        let tree = BallTree::build(1, &[vec![1.0]]);
+        assert_eq!(tree.nearest(&[0.0], 0), Vec::new());
+        assert_eq!(tree.nearest(&[0.0], 3).len(), 1, "k capped at len");
+    }
+
+    #[test]
+    fn identical_points_split_without_recursing_forever() {
+        let points: Vec<Vec<f64>> = (0..40).map(|_| vec![1.0, 2.0, 3.0]).collect();
+        let tree = BallTree::build(3, &points);
+        let found = tree.nearest(&[1.0, 2.0, 3.0], 3);
+        assert_eq!(
+            found.iter().map(|n| n.index).collect::<Vec<_>>(),
+            vec![0, 1, 2],
+            "zero-spread ties resolve by index"
+        );
+        assert!(found.iter().all(|n| n.dist == 0.0));
+    }
+
+    #[test]
+    fn point_accessor_round_trips() {
+        let mut tree = BallTree::new(2);
+        let idx = tree.insert(&[0.5, -1.5]);
+        assert_eq!(tree.point(idx), &[0.5, -1.5]);
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.dim(), 2);
+    }
+}

@@ -16,6 +16,9 @@
 //!   embedder standing in for BERT token embeddings: it preserves the
 //!   syntactic signal (prefixes/suffixes/tokens) that conditional formatting
 //!   rules rely on,
+//! * [`BallTree`] — an exact k-nearest-neighbour ball tree over
+//!   fixed-dimension embedding vectors (the retrieval index behind the
+//!   serve layer's zero-example rule suggestions),
 //! * [`ops`] — sigmoid/BCE/ReLU/pooling primitives.
 //!
 //! Every forward pass returns the cache its backward pass needs; no autograd
@@ -24,6 +27,7 @@
 
 pub mod adam;
 pub mod attention;
+pub mod balltree;
 pub mod hashing;
 pub mod linear;
 pub mod matrix;
@@ -31,6 +35,7 @@ pub mod ops;
 
 pub use adam::Adam;
 pub use attention::CrossAttention;
+pub use balltree::{BallTree, Neighbor};
 pub use hashing::HashEmbedder;
 pub use linear::Linear;
 pub use matrix::Matrix;

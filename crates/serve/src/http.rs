@@ -67,6 +67,7 @@
 use crate::service::{
     BatchItem, ClassRequest, CornetService, LearnRequest, ScoreRequest, ServeError,
 };
+use crate::suggest::SuggestRequest;
 use cornet_obs::{Counter, Gauge, StageTimer};
 use cornet_serde::{envelope, to_string, FromJson, Json, ToJson};
 use std::collections::VecDeque;
@@ -144,6 +145,7 @@ fn route_label(method: &str, path: &str) -> &'static str {
         ("GET", ["metrics"]) => "/metrics",
         ("POST", ["learn"]) => "/learn",
         ("POST", ["score"]) => "/score",
+        ("POST", ["suggest"]) => "/suggest",
         ("POST", ["batch"]) => "/batch",
         ("POST", ["session"]) => "/session",
         ("GET", ["session", _]) => "/session/:id",
@@ -430,6 +432,10 @@ fn handle(service: &CornetService, request: &Request) -> Result<(&'static str, J
         ("POST", ["score"]) => {
             let req: ScoreRequest = decode_request(&request.body)?;
             Ok(("score", service.score(&req)?.to_json()))
+        }
+        ("POST", ["suggest"]) => {
+            let req: SuggestRequest = decode_request(&request.body)?;
+            Ok(("suggest", service.suggest(&req)?.to_json()))
         }
         ("POST", ["batch"]) => {
             let doc = parse_body(&request.body)?;
@@ -1274,6 +1280,32 @@ mod tests {
 
         let bad = http_request(server.addr(), "POST", "/learn", Some("{oops")).unwrap();
         assert_eq!(bad.0, 400);
+        server.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn suggest_over_the_wire() {
+        let (mut server, dir) = temp_server("suggest");
+        let learn = r#"{"cells":["RW-187","RS-762","RW-159","RW-131-T","TW-224","RW-312"],"examples":[0,2,5]}"#;
+        let (status, _) = http_request(server.addr(), "POST", "/learn", Some(learn)).unwrap();
+        assert_eq!(status, 200);
+
+        // A bare column — no examples anywhere in the request.
+        let ask = r#"{"cells":["RW-555","XQ-12","RW-901"]}"#;
+        let (status, doc) = http_request(server.addr(), "POST", "/suggest", Some(ask)).unwrap();
+        assert_eq!(status, 200, "{doc}");
+        let payload = cornet_serde::open_envelope(&doc, "suggest").unwrap();
+        let suggestions = payload
+            .get("suggestions")
+            .and_then(Json::as_array)
+            .expect("suggestions array");
+        assert_eq!(suggestions.len(), 1);
+        let matches: Vec<usize> = Vec::from_json(suggestions[0].get("matches").unwrap()).unwrap();
+        assert!(matches.contains(&0) && !matches.contains(&1), "{matches:?}");
+
+        let bad = http_request(server.addr(), "POST", "/suggest", Some("{}")).unwrap();
+        assert_eq!(bad.0, 400, "missing cells");
         server.shutdown();
         std::fs::remove_dir_all(&dir).ok();
     }

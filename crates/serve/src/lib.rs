@@ -24,6 +24,11 @@
 //!   latency, connection id) hangs off the [`http::RequestLog`] seam;
 //!   [`http::HttpClient`] / [`http::http_request`] are the matching
 //!   minimal clients.
+//! * [`suggest`] — zero-example suggestion: every learned rule's column
+//!   signature is embedded and indexed in a tenant-namespaced ball tree
+//!   ([`cornet_nn::BallTree`]), so `POST /suggest` retrieves and
+//!   re-scores the nearest stored rules for a bare column in sublinear
+//!   time, with no learner run at all.
 //! * [`smoke`] — the scripted learn→score→correct→re-learn→restart
 //!   session used by the CI smoke job and the `cornet-serve smoke`
 //!   subcommand.
@@ -38,6 +43,7 @@
 //!         examples: vec![0, 2],
 //!         negatives: vec![],
 //!         classes: vec![],
+//!         tenant: None,
 //!     })
 //!     .unwrap();
 //! println!("{} → {}", learned.rule_id, learned.rule_text);
@@ -48,6 +54,7 @@ pub mod service;
 pub mod sha256;
 pub mod smoke;
 pub mod store;
+pub mod suggest;
 
 pub use http::{
     http_request, HttpClient, HttpResponse, RequestLog, RequestRecord, Server, ServerConfig,
@@ -56,3 +63,4 @@ pub use service::{
     ClassRequest, CornetService, LearnRequest, ScoreRequest, ServeError, ServiceConfig,
 };
 pub use store::{RuleStore, StoredRule};
+pub use suggest::{SuggestIndex, SuggestRequest, SuggestResponse, Suggestion};

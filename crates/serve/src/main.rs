@@ -178,7 +178,7 @@ fn main() {
         keep_alive.as_secs(),
     );
     eprintln!(
-        "endpoints: GET /health{} · POST /learn /score /batch /session /admin/pack · \
+        "endpoints: GET /health{} · POST /learn /score /suggest /batch /session /admin/pack · \
          GET /session/<id> /rules/<id>",
         if metrics_enabled { " /metrics" } else { "" }
     );

@@ -16,7 +16,10 @@
 //! `<store_dir>/sessions/<id>.json`, so the demo paper's
 //! correct-and-relearn loop survives a server restart.
 
-use crate::store::{rule_id, rule_set_id, ClassFingerprint, RuleStore, StoredRule};
+use crate::store::{rule_id_for, rule_set_id_for, ClassFingerprint, RuleStore, StoredRule};
+use crate::suggest::{
+    embed_column, suggest_metrics, SuggestIndex, SuggestRequest, SuggestResponse, Suggestion,
+};
 use cornet_core::prelude::*;
 use cornet_core::rule::Rule;
 use cornet_obs::Registry;
@@ -146,6 +149,11 @@ pub struct LearnRequest {
     /// empty = single-rule learn, preserving the historical request
     /// shape byte for byte).
     pub classes: Vec<ClassRequest>,
+    /// Tenancy scope. A tenanted learn is fingerprinted, stored and
+    /// indexed under this tenant's namespace, invisible to `/suggest`
+    /// queries from anyone else; `None` (the historical shape) is the
+    /// shared global namespace.
+    pub tenant: Option<String>,
 }
 
 impl FromJson for LearnRequest {
@@ -155,6 +163,7 @@ impl FromJson for LearnRequest {
             examples: optional_field_t(json, "examples")?.unwrap_or_default(),
             negatives: optional_field_t(json, "negatives")?.unwrap_or_default(),
             classes: optional_field_t(json, "classes")?.unwrap_or_default(),
+            tenant: optional_field_t(json, "tenant")?,
         })
     }
 }
@@ -168,6 +177,9 @@ impl ToJson for LearnRequest {
         ];
         if !self.classes.is_empty() {
             pairs.push(("classes".to_string(), self.classes.to_json()));
+        }
+        if let Some(t) = &self.tenant {
+            pairs.push(("tenant".to_string(), Json::str(t.clone())));
         }
         Json::Object(pairs)
     }
@@ -578,6 +590,11 @@ impl SessionTable {
 /// interactive sessions persisted under `<store_dir>/sessions/`.
 pub struct CornetService {
     store: Mutex<RuleStore>,
+    /// The tenant-namespaced embedding index behind `/suggest`, rebuilt
+    /// from the persisted store at open and extended on every learn that
+    /// writes a rule. Locked independently of the store; no path holds
+    /// both locks at once.
+    suggest: Mutex<SuggestIndex>,
     sessions: Mutex<SessionTable>,
     sessions_dir: PathBuf,
     max_sessions: usize,
@@ -593,6 +610,17 @@ impl CornetService {
     pub fn new(config: &ServiceConfig) -> io::Result<CornetService> {
         let sessions_dir = config.store_dir.join("sessions");
         let store = RuleStore::open(&config.store_dir, config.cache_capacity)?;
+        // Rebuild the suggestion index from the persisted records alone:
+        // every rule learned since embeddings existed carries its vector,
+        // so a restarted server suggests without re-learning anything.
+        // Pre-embedding records are skipped — they become suggestible
+        // when re-learned, never silently mis-indexed.
+        let mut suggest = SuggestIndex::new();
+        store.for_each_stored(|rule| {
+            if let Some(embedding) = &rule.embedding {
+                suggest.insert(rule.tenant.as_deref(), &rule.id, embedding);
+            }
+        });
         std::fs::create_dir_all(&sessions_dir)?;
         let mut restored: Vec<Session> = std::fs::read_dir(&sessions_dir)?
             .filter_map(Result::ok)
@@ -625,6 +653,7 @@ impl CornetService {
         }
         Ok(CornetService {
             store: Mutex::new(store),
+            suggest: Mutex::new(suggest),
             sessions: Mutex::new(table),
             sessions_dir,
             max_sessions: config.max_sessions,
@@ -647,6 +676,25 @@ impl CornetService {
             )));
         }
         Ok(())
+    }
+
+    /// Validates a tenant name: 1–64 chars of lowercase ASCII
+    /// alphanumerics, `-` and `_`. The tenant feeds the content
+    /// fingerprint and names an index namespace, so the grammar is
+    /// deliberately tight — no case-folding surprises, no path-like
+    /// strings. Returns the borrowed tenant for fingerprinting.
+    fn validate_tenant(tenant: Option<&str>) -> Result<Option<&str>, ServeError> {
+        let Some(t) = tenant else { return Ok(None) };
+        let ok = !t.is_empty()
+            && t.len() <= 64
+            && t.bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-' || b == b'_');
+        if !ok {
+            return Err(ServeError::BadRequest(format!(
+                "invalid tenant `{t}`: expected 1-64 chars of [a-z0-9_-]"
+            )));
+        }
+        Ok(Some(t))
     }
 
     /// Rejects duplicate indices. Duplicates are always a caller bug: the
@@ -695,7 +743,8 @@ impl CornetService {
             )));
         }
 
-        let id = rule_id(&req.cells, &req.examples, &req.negatives);
+        let tenant = Self::validate_tenant(req.tenant.as_deref())?;
+        let id = rule_id_for(tenant, &req.cells, &req.examples, &req.negatives);
         let cells: Vec<CellValue> = req.cells.iter().map(|s| CellValue::parse(s)).collect();
         if let Some(stored) = self.store.lock().unwrap().get(&id) {
             return Ok(Self::response_from_stored(&stored, &cells, true));
@@ -727,6 +776,7 @@ impl CornetService {
             Err(e) => return Err(ServeError::Unlearnable(e.to_string())),
         };
 
+        let embedding = embed_column(&req.cells);
         let stored = StoredRule {
             id: id.clone(),
             rule: scored.rule.clone(),
@@ -736,12 +786,15 @@ impl CornetService {
             column_len: req.cells.len(),
             consistent,
             rule_set: None,
+            tenant: req.tenant.clone(),
+            embedding: Some(embedding.clone()),
         };
         self.store
             .lock()
             .unwrap()
             .put(stored.clone())
             .map_err(|e| ServeError::Internal(format!("rule store write failed: {e}")))?;
+        self.suggest.lock().unwrap().insert(tenant, &id, &embedding);
         Ok(Self::response_from_stored(&stored, &cells, false))
     }
 
@@ -791,7 +844,8 @@ impl CornetService {
                 examples: &c.examples,
             })
             .collect();
-        let id = rule_set_id(&req.cells, &fingerprints, &req.negatives);
+        let tenant = Self::validate_tenant(req.tenant.as_deref())?;
+        let id = rule_set_id_for(tenant, &req.cells, &fingerprints, &req.negatives);
         let cells: Vec<CellValue> = req.cells.iter().map(|s| CellValue::parse(s)).collect();
         if let Some(stored) = self.store.lock().unwrap().get(&id) {
             return Ok(Self::response_from_stored(&stored, &cells, true));
@@ -811,6 +865,7 @@ impl CornetService {
 
         let set = outcome.rule_set;
         let lead = set.rules.first().expect("one rule per class");
+        let embedding = embed_column(&req.cells);
         let stored = StoredRule {
             id: id.clone(),
             rule: lead.rule.clone(),
@@ -820,12 +875,15 @@ impl CornetService {
             column_len: req.cells.len(),
             consistent: set.consistent(),
             rule_set: Some(set),
+            tenant: req.tenant.clone(),
+            embedding: Some(embedding.clone()),
         };
         self.store
             .lock()
             .unwrap()
             .put(stored.clone())
             .map_err(|e| ServeError::Internal(format!("rule store write failed: {e}")))?;
+        self.suggest.lock().unwrap().insert(tenant, &id, &embedding);
         Ok(Self::response_from_stored(&stored, &cells, false))
     }
 
@@ -938,6 +996,98 @@ impl CornetService {
             .unwrap()
             .get(id)
             .ok_or_else(|| ServeError::NotFound(format!("no stored rule with id `{id}`")))
+    }
+
+    /// Zero-example suggestion (ROADMAP item 1, the Tabularis Formatus
+    /// flywheel): embeds the bare column, retrieves the nearest stored
+    /// rules visible to the caller's tenant from the ball-tree index, and
+    /// re-scores each against the fresh cells. No learner runs and no
+    /// store record is written — a suggestion is a pure read.
+    ///
+    /// Ranking: `score = similarity × 4·p·(1−p)`, where `similarity` is
+    /// `1/(1 + embedding distance)` and `p` is the fraction of the fresh
+    /// column the rule formats. The selectivity term peaks at `p = 0.5`
+    /// and vanishes at the extremes — a rule firing on every cell is as
+    /// uninformative as one firing on none. Candidates matching zero
+    /// cells are dropped outright.
+    pub fn suggest(&self, req: &SuggestRequest) -> Result<SuggestResponse, ServeError> {
+        if req.cells.is_empty() {
+            return Err(ServeError::BadRequest("empty column".into()));
+        }
+        let tenant = Self::validate_tenant(req.tenant.as_deref())?;
+        let k = req.k.unwrap_or(3);
+        if k == 0 || k > 16 {
+            return Err(ServeError::BadRequest(format!(
+                "k must be between 1 and 16, got {k}"
+            )));
+        }
+        let metrics = suggest_metrics();
+        metrics.queries.inc();
+        let query = embed_column(&req.cells);
+        // Over-fetch: re-scoring drops zero-match candidates, so pull
+        // more neighbors than requested to keep `k` suggestions fillable.
+        // Index and store locks are taken strictly in sequence, never
+        // nested — learns take them in the same order.
+        let (neighbors, indexed) = {
+            let index = self.suggest.lock().unwrap();
+            (index.query(tenant, &query, k * 2), index.len())
+        };
+        let candidates: Vec<(StoredRule, f64)> = {
+            let mut store = self.store.lock().unwrap();
+            neighbors
+                .into_iter()
+                .filter_map(|(id, dist)| store.get(&id).map(|rule| (rule, dist)))
+                .collect()
+        };
+        let cells: Vec<CellValue> = req.cells.iter().map(|s| CellValue::parse(s)).collect();
+        let mut suggestions: Vec<Suggestion> = candidates
+            .into_iter()
+            .filter_map(|(stored, dist)| {
+                let matches: Vec<usize> = match &stored.rule_set {
+                    Some(set) => set
+                        .apply(&cells)
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, w)| w.map(|_| i))
+                        .collect(),
+                    None => stored.rule.execute(&cells).iter_ones().collect(),
+                };
+                if matches.is_empty() {
+                    return None;
+                }
+                let similarity = 1.0 / (1.0 + dist);
+                let p = matches.len() as f64 / cells.len() as f64;
+                Some(Suggestion {
+                    rule_id: stored.id.clone(),
+                    rule_text: stored.rule.to_string(),
+                    formula: stored.rule.to_formula().to_string(),
+                    matches,
+                    similarity,
+                    score: similarity * 4.0 * p * (1.0 - p),
+                    consistent: stored.consistent,
+                })
+            })
+            .collect();
+        suggestions.sort_by(|a, b| {
+            b.score
+                .total_cmp(&a.score)
+                .then_with(|| a.rule_id.cmp(&b.rule_id))
+        });
+        suggestions.truncate(k);
+        metrics.candidates.add(suggestions.len() as u64);
+        if suggestions.is_empty() {
+            metrics.empty.inc();
+        }
+        Ok(SuggestResponse {
+            suggestions,
+            indexed,
+            n_cells: req.cells.len(),
+        })
+    }
+
+    /// Points currently held by the suggestion index (all namespaces).
+    pub fn suggest_indexed(&self) -> usize {
+        self.suggest.lock().unwrap().len()
     }
 
     /// Opens a session over a column, optionally with initial examples
@@ -1114,11 +1264,14 @@ impl CornetService {
                 session.last = None;
                 return Ok(());
             }
+            // Sessions are untenanted: their learns land in the global
+            // namespace (per-tenant sessions are a follow-up).
             LearnRequest {
                 cells: session.cells.clone(),
                 examples: session.positives.iter().copied().collect(),
                 negatives: session.negatives.iter().copied().collect(),
                 classes: Vec::new(),
+                tenant: None,
             }
         } else {
             // A class emptied by corrections drops out of the request —
@@ -1143,6 +1296,7 @@ impl CornetService {
                 examples: Vec::new(),
                 negatives: session.negatives.iter().copied().collect(),
                 classes,
+                tenant: None,
             }
         };
         session.last = Some(self.learn(&req)?);
@@ -1215,6 +1369,7 @@ impl CornetService {
             ("store_misses", misses.to_json()),
             ("sessions", sessions.to_json()),
             ("learns_performed", self.learns_performed().to_json()),
+            ("suggest_indexed", self.suggest_indexed().to_json()),
         ])
     }
 
@@ -1266,6 +1421,11 @@ impl CornetService {
                 store.segment_files() as i64,
             );
         }
+        set(
+            "cornet_service_suggest_indexed",
+            "Stored-rule embeddings in this service's suggestion index.",
+            self.suggest_indexed() as i64,
+        );
         set(
             "cornet_service_sessions",
             "Live interactive correct-and-relearn sessions.",
@@ -1319,6 +1479,7 @@ mod tests {
             examples: vec![0, 2, 5],
             negatives: vec![],
             classes: vec![],
+            tenant: None,
         };
         let first = service.learn(&req).unwrap();
         assert_eq!(first.matches, vec![0, 2, 5]);
@@ -1354,6 +1515,7 @@ mod tests {
             examples: vec![],
             negatives: vec![],
             classes: vec![],
+            tenant: None,
         };
         assert_eq!(service.learn(&no_examples).unwrap_err().status(), 400);
 
@@ -1362,6 +1524,7 @@ mod tests {
             examples: vec![99],
             negatives: vec![],
             classes: vec![],
+            tenant: None,
         };
         assert_eq!(service.learn(&out_of_range).unwrap_err().status(), 400);
 
@@ -1370,6 +1533,7 @@ mod tests {
             examples: vec![0],
             negatives: vec![],
             classes: vec![],
+            tenant: None,
         };
         assert_eq!(service.learn(&unlearnable).unwrap_err().status(), 422);
 
@@ -1399,6 +1563,7 @@ mod tests {
             examples: vec![0, 2, 5],
             negatives: vec![],
             classes: vec![],
+            tenant: None,
         };
         let learned = service.learn(&req).unwrap();
         drop(service);
@@ -1464,6 +1629,7 @@ mod tests {
             examples: vec![0, 2, 0],
             negatives: vec![],
             classes: vec![],
+            tenant: None,
         };
         let err = service.learn(&dup_examples).unwrap_err();
         assert_eq!(err.status(), 400);
@@ -1473,6 +1639,7 @@ mod tests {
             examples: vec![0],
             negatives: vec![3, 3],
             classes: vec![],
+            tenant: None,
         };
         let err = service.learn(&dup_negatives).unwrap_err();
         assert_eq!(err.status(), 400);
@@ -1495,6 +1662,7 @@ mod tests {
             examples: vec![0, 2],
             negatives: vec![3],
             classes: vec![],
+            tenant: None,
         };
         let response = service.learn(&req).unwrap();
         assert!(response.consistent, "{response:?}");
@@ -1632,6 +1800,7 @@ mod tests {
             examples: vec![0],
             negatives: vec![1],
             classes: vec![],
+            tenant: None,
         };
         let first = service.learn(&req).unwrap();
         assert!(!first.consistent, "{first:?}");
@@ -1678,6 +1847,7 @@ mod tests {
             examples: vec![0, 2, 5],
             negatives: vec![],
             classes: vec![],
+            tenant: None,
         });
         let bad = BatchItem::Score(ScoreRequest {
             rule_id: Some("r00000000deadbeef".into()),
@@ -1701,6 +1871,7 @@ mod tests {
             examples: vec![0, 2, 5],
             negatives: vec![],
             classes: vec![],
+            tenant: None,
         };
         service.learn(&req).unwrap();
         let expo = cornet_obs::expo::parse(&service.metrics_text()).unwrap();
@@ -1743,6 +1914,7 @@ mod tests {
             examples: vec![0, 2],
             negatives: vec![3],
             classes: vec![],
+            tenant: None,
         };
         let back = LearnRequest::from_json(&learn.to_json()).unwrap();
         assert_eq!(back, learn);
@@ -1803,6 +1975,7 @@ mod tests {
             examples: vec![],
             negatives: vec![],
             classes: status_classes(),
+            tenant: None,
         }
     }
 
@@ -1993,6 +2166,189 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.status(), 400);
         assert!(err.message().contains("not both"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn suggest_rescores_stored_rules_and_survives_restart() {
+        let (service, dir) = temp_service("suggest");
+        assert_eq!(service.suggest_indexed(), 0);
+        let learned = service
+            .learn(&LearnRequest {
+                cells: rw_column(),
+                examples: vec![0, 2, 5],
+                negatives: vec![],
+                classes: vec![],
+                tenant: None,
+            })
+            .unwrap();
+        assert_eq!(service.suggest_indexed(), 1);
+
+        // A bare, never-seen column of the same shape: zero examples in,
+        // the stored rule out, re-scored against the fresh cells.
+        let fresh: Vec<String> = ["RW-555", "XQ-12", "RW-901", "RW-73-T"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let response = service
+            .suggest(&SuggestRequest {
+                cells: fresh.clone(),
+                tenant: None,
+                k: None,
+            })
+            .unwrap();
+        assert_eq!(response.indexed, 1);
+        assert_eq!(response.n_cells, 4);
+        let top = response.suggestions.first().expect("one suggestion");
+        assert_eq!(top.rule_id, learned.rule_id);
+        assert!(top.matches.contains(&0), "fresh RW id formatted");
+        assert!(!top.matches.contains(&1), "non-RW id not formatted");
+        assert!(top.similarity > 0.0 && top.similarity <= 1.0);
+        assert!(top.score > 0.0);
+        assert_eq!(service.learns_performed(), 1, "suggestion never learns");
+
+        // Restart: the index rebuilds from the persisted store alone.
+        drop(service);
+        let restarted = CornetService::new(&ServiceConfig {
+            store_dir: dir.clone(),
+            cache_capacity: 16,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        assert_eq!(restarted.suggest_indexed(), 1);
+        let again = restarted
+            .suggest(&SuggestRequest {
+                cells: fresh,
+                tenant: None,
+                k: None,
+            })
+            .unwrap();
+        assert_eq!(again.suggestions, response.suggestions, "restart-stable");
+        assert_eq!(restarted.learns_performed(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn suggest_survives_pack_and_restart_from_segments() {
+        let (service, dir) = temp_service("suggest-pack");
+        let learned = service
+            .learn(&LearnRequest {
+                cells: rw_column(),
+                examples: vec![0, 2, 5],
+                negatives: vec![],
+                classes: vec![],
+                tenant: None,
+            })
+            .unwrap();
+        assert_eq!(service.pack_rules().unwrap(), 1);
+        // The pack invariant: ids never change, so the index entry built
+        // before the pack still resolves through the store after it.
+        let packed = service
+            .suggest(&SuggestRequest {
+                cells: rw_column(),
+                tenant: None,
+                k: None,
+            })
+            .unwrap();
+        assert_eq!(packed.suggestions[0].rule_id, learned.rule_id);
+
+        drop(service);
+        let restarted = CornetService::new(&ServiceConfig {
+            store_dir: dir.clone(),
+            cache_capacity: 16,
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        assert_eq!(restarted.suggest_indexed(), 1, "rebuilt from the segment");
+        let from_segment = restarted
+            .suggest(&SuggestRequest {
+                cells: rw_column(),
+                tenant: None,
+                k: None,
+            })
+            .unwrap();
+        assert_eq!(from_segment.suggestions[0].rule_id, learned.rule_id);
+        assert_eq!(restarted.learns_performed(), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn suggest_never_crosses_tenants() {
+        let (service, dir) = temp_service("suggest-tenants");
+        let acme = service
+            .learn(&LearnRequest {
+                cells: rw_column(),
+                examples: vec![0, 2, 5],
+                negatives: vec![],
+                classes: vec![],
+                tenant: Some("acme".into()),
+            })
+            .unwrap();
+
+        let ask = |tenant: Option<&str>| {
+            service
+                .suggest(&SuggestRequest {
+                    cells: rw_column(),
+                    tenant: tenant.map(str::to_string),
+                    k: None,
+                })
+                .unwrap()
+                .suggestions
+        };
+        assert_eq!(
+            ask(Some("acme"))[0].rule_id,
+            acme.rule_id,
+            "the owning tenant sees its rule"
+        );
+        assert!(
+            ask(Some("globex")).is_empty(),
+            "another tenant must never see acme's rule"
+        );
+        assert!(ask(None).is_empty(), "anonymous queries see global only");
+
+        // The same learn under another tenant is a distinct record.
+        let globex = service
+            .learn(&LearnRequest {
+                cells: rw_column(),
+                examples: vec![0, 2, 5],
+                negatives: vec![],
+                classes: vec![],
+                tenant: Some("globex".into()),
+            })
+            .unwrap();
+        assert_ne!(globex.rule_id, acme.rule_id);
+        assert_eq!(ask(Some("globex"))[0].rule_id, globex.rule_id);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn suggest_rejects_bad_requests() {
+        let (service, dir) = temp_service("suggest-bad");
+        let bad = |cells: Vec<String>, tenant: Option<&str>, k: Option<usize>| {
+            service
+                .suggest(&SuggestRequest {
+                    cells,
+                    tenant: tenant.map(str::to_string),
+                    k,
+                })
+                .unwrap_err()
+                .status()
+        };
+        assert_eq!(bad(vec![], None, None), 400, "empty column");
+        assert_eq!(bad(rw_column(), None, Some(0)), 400, "k = 0");
+        assert_eq!(bad(rw_column(), None, Some(17)), 400, "k > 16");
+        assert_eq!(bad(rw_column(), Some("Acme Corp"), None), 400);
+        assert_eq!(bad(rw_column(), Some(""), None), 400);
+        let err = service
+            .learn(&LearnRequest {
+                cells: rw_column(),
+                examples: vec![0, 2, 5],
+                negatives: vec![],
+                classes: vec![],
+                tenant: Some("UPPER".into()),
+            })
+            .unwrap_err();
+        assert_eq!(err.status(), 400, "learn validates tenants too");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -188,6 +188,37 @@ fn run_in(dir: &std::path::Path) -> Result<Vec<String>, String> {
         &log,
     )?;
 
+    // 2b. Zero-example suggestion: a bare column (no examples at all)
+    // retrieves the stored rule from the embedding index and re-scores
+    // it against the fresh cells. No learner run is involved.
+    let suggest_body = r#"{"cells":["RW-555","XX-1","RW-9-T","rw-777"]}"#;
+    let suggested = post(addr, "/suggest", suggest_body, "suggest", &mut log)?;
+    let suggestions = suggested
+        .get("suggestions")
+        .and_then(Json::as_array)
+        .ok_or("suggest response missing suggestions")?;
+    expect(
+        !suggestions.is_empty(),
+        "bare column finds the stored rule",
+        &log,
+    )?;
+    expect(
+        suggestions[0].get("rule_id").and_then(Json::as_str) == Some(rule_id.as_str()),
+        "suggestion is the learned rule",
+        &log,
+    )?;
+    let suggested_matches = matches_of(&suggestions[0])?;
+    expect(
+        suggested_matches.contains(&0) && !suggested_matches.contains(&1),
+        "suggestion is re-scored against the fresh cells",
+        &log,
+    )?;
+    expect(
+        scrape(addr, "cornet_suggest_queries_total")? >= 1.0,
+        "suggest queries show on /metrics",
+        &log,
+    )?;
+
     // 3. The demo loop: open a session with one example, then correct it.
     let session = post(
         addr,
@@ -418,10 +449,39 @@ fn run_in(dir: &std::path::Path) -> Result<Vec<String>, String> {
         &log,
     )?;
 
+    // 6c. The suggestion index rebuilt itself from the packed store: the
+    // same bare column still surfaces the learned rule on the restarted
+    // server (by now the session's corrected re-learns of the same column
+    // are indexed too, so ask for enough neighbors and check membership),
+    // and doing so never invoked the learner (checked just below).
+    let suggested_again = post(
+        addr,
+        "/suggest",
+        r#"{"cells":["RW-555","XX-1","RW-9-T","rw-777"],"k":8}"#,
+        "suggest",
+        &mut log,
+    )?;
+    let again = suggested_again
+        .get("suggestions")
+        .and_then(Json::as_array)
+        .ok_or("post-restart suggest response missing suggestions")?;
+    expect(
+        again
+            .iter()
+            .any(|s| s.get("rule_id").and_then(Json::as_str) == Some(rule_id.as_str())),
+        "restarted server suggests from the rebuilt index",
+        &log,
+    )?;
+
     let health = get(addr, "/health", "health")?;
     expect(
         health.get("learns_performed").and_then(Json::as_u64) == Some(0),
         "restarted server never invoked the learner",
+        &log,
+    )?;
+    expect(
+        health.get("suggest_indexed").and_then(Json::as_u64) >= Some(3),
+        "restarted server's /health counts the rebuilt suggestion index",
         &log,
     )?;
     // The per-service families reset with the restart: the fresh server

@@ -44,7 +44,7 @@ use cornet_serde::{
     decode, encode, field_t, optional_field_t, to_string, DecodeError, FromJson, Json, ToJson,
 };
 use cornet_table::{Format, TargetScope};
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
 use std::io::{self, Read, Seek, SeekFrom};
 use std::path::{Path, PathBuf};
 use std::sync::OnceLock;
@@ -58,6 +58,7 @@ struct StoreMetrics {
     hits: Counter,
     misses: Counter,
     segment_reads: Counter,
+    fastpath_misses: Counter,
 }
 
 fn store_metrics() -> &'static StoreMetrics {
@@ -76,6 +77,10 @@ fn store_metrics() -> &'static StoreMetrics {
             segment_reads: registry.counter(
                 "cornet_store_segment_reads_total",
                 "Rule records read out of packed segment files.",
+            ),
+            fastpath_misses: registry.counter(
+                "cornet_store_fastpath_misses_total",
+                "Known-absent lookups short-circuited without touching disk.",
             ),
         }
     })
@@ -112,6 +117,20 @@ pub struct StoredRule {
     /// unchanged (the field is optional on the wire and omitted when
     /// absent, keeping legacy bytes byte-identical).
     pub rule_set: Option<RuleSet>,
+    /// The tenant namespace the rule was learned under. `None` for
+    /// untenanted requests (and every pre-tenancy record): those rules
+    /// live in the shared global suggestion index; tenanted rules are
+    /// only ever suggested back to their own tenant. Optional on the
+    /// wire and omitted when absent.
+    pub tenant: Option<String>,
+    /// The column-signature embedding of the learn request's cells
+    /// (fixed-dim, L2-normalised — see `cornet_serve::suggest`),
+    /// persisted so the suggestion index rebuilds from segments/shards
+    /// at open without re-embedding (or needing the original cell
+    /// texts, which are never stored). `None` on pre-suggestion records,
+    /// which simply stay out of the index until re-learned. Optional on
+    /// the wire and omitted when absent.
+    pub embedding: Option<Vec<f64>>,
 }
 
 impl ToJson for StoredRule {
@@ -128,6 +147,12 @@ impl ToJson for StoredRule {
         if let Some(set) = &self.rule_set {
             pairs.push(("rule_set".to_string(), set.to_json()));
         }
+        if let Some(tenant) = &self.tenant {
+            pairs.push(("tenant".to_string(), Json::str(tenant.clone())));
+        }
+        if let Some(embedding) = &self.embedding {
+            pairs.push(("embedding".to_string(), embedding.to_json()));
+        }
         Json::Object(pairs)
     }
 }
@@ -143,6 +168,8 @@ impl FromJson for StoredRule {
             column_len: field_t(json, "column_len")?,
             consistent: field_t(json, "consistent")?,
             rule_set: optional_field_t(json, "rule_set")?,
+            tenant: optional_field_t(json, "tenant")?,
+            embedding: optional_field_t(json, "embedding")?,
         })
     }
 }
@@ -164,6 +191,21 @@ pub fn valid_rule_id(id: &str) -> bool {
 /// must be collision-resistant — a weak fingerprint would let a crafted
 /// request be answered with another request's stored rule.
 pub fn rule_id(cells: &[String], examples: &[usize], negatives: &[usize]) -> String {
+    rule_id_for(None, cells, examples, negatives)
+}
+
+/// [`rule_id`] with a tenant namespace: a tenanted request feeds the
+/// tenant name under its own tag, so two tenants learning from
+/// identical cells get distinct ids (and distinct stored records — one
+/// tenant's learn must never be served as another's cache hit).
+/// `tenant: None` is byte-identical to the historical construction, so
+/// untenanted ids — and every pre-tenancy store — are unchanged.
+pub fn rule_id_for(
+    tenant: Option<&str>,
+    cells: &[String],
+    examples: &[usize],
+    negatives: &[usize],
+) -> String {
     let mut hasher = crate::sha256::Sha256::new();
     // Every variable-length field is length-prefixed: a bare separator
     // byte would let ["a\u{1f}", "b"] and ["a", "\u{1f}b"] collide.
@@ -183,6 +225,7 @@ pub fn rule_id(cells: &[String], examples: &[usize], negatives: &[usize]) -> Str
     };
     feed_indices(0x01, examples);
     feed_indices(0x02, negatives);
+    feed_tenant(&mut hasher, tenant);
     let digest = hasher.finish();
     let mut id = String::with_capacity(33);
     id.push('r');
@@ -190,6 +233,17 @@ pub fn rule_id(cells: &[String], examples: &[usize], negatives: &[usize]) -> Str
         id.push_str(&format!("{b:02x}"));
     }
     id
+}
+
+/// Feeds the tenant namespace into a fingerprint under tag `0x04`.
+/// `None` feeds nothing at all, keeping untenanted ids byte-identical
+/// to the pre-tenancy construction.
+fn feed_tenant(hasher: &mut crate::sha256::Sha256, tenant: Option<&str>) {
+    if let Some(tenant) = tenant {
+        hasher.update(&[0x04]);
+        hasher.update(&(tenant.len() as u64).to_le_bytes());
+        hasher.update(tenant.as_bytes());
+    }
 }
 
 /// One format class of a multi-class learn request, as the fingerprint
@@ -218,6 +272,18 @@ pub struct ClassFingerprint<'a> {
 /// and a boolean learn return different response shapes, so they must
 /// cache separately.
 pub fn rule_set_id(
+    cells: &[String],
+    classes: &[ClassFingerprint<'_>],
+    negatives: &[usize],
+) -> String {
+    rule_set_id_for(None, cells, classes, negatives)
+}
+
+/// [`rule_set_id`] with a tenant namespace, mirroring [`rule_id_for`]:
+/// the tenant feeds under tag `0x04`, `None` is byte-identical to the
+/// historical construction.
+pub fn rule_set_id_for(
+    tenant: Option<&str>,
     cells: &[String],
     classes: &[ClassFingerprint<'_>],
     negatives: &[usize],
@@ -258,6 +324,7 @@ pub fn rule_set_id(
         }
     };
     feed_indices(0x02, negatives);
+    feed_tenant(&mut hasher, tenant);
     let digest = hasher.finish();
     let mut id = String::with_capacity(33);
     id.push('r');
@@ -290,6 +357,15 @@ pub struct RuleStore {
     order: VecDeque<String>,
     /// `id → segment location` for every packed rule.
     index: HashMap<String, SegLoc>,
+    /// Every rule id known to be persisted anywhere under the store —
+    /// segments, shards or the legacy flat layout. Seeded by the
+    /// open-time scan and kept current by `put`/`pack`, this is the miss
+    /// fast-path: a `get` for an id not in this set short-circuits
+    /// without a single filesystem call. Single-writer contract: a rule
+    /// written by *another* process after open is invisible until this
+    /// store reopens (the service owns its store directory, so that
+    /// only re-learns — content-addressed ids make the re-put a no-op).
+    known: HashSet<String>,
     next_segment: u32,
     hits: u64,
     misses: u64,
@@ -321,6 +397,13 @@ impl RuleStore {
                 index.insert(id.to_string(), loc);
             });
         }
+        // Seed the miss fast-path with every id persisted anywhere:
+        // packed records plus the stems of loose per-rule files (flat
+        // and sharded — one directory walk, no file is opened).
+        let mut known: HashSet<String> = index.keys().cloned().collect();
+        for_each_loose_id(&dir, |id| {
+            known.insert(id.to_string());
+        });
         Ok(RuleStore {
             dir,
             segments_dir,
@@ -328,6 +411,7 @@ impl RuleStore {
             cache: HashMap::new(),
             order: VecDeque::new(),
             index,
+            known,
             next_segment: seg_numbers.last().map_or(1, |n| n + 1),
             hits: 0,
             misses: 0,
@@ -393,6 +477,13 @@ impl RuleStore {
         }
         self.misses += 1;
         store_metrics().misses.inc();
+        // Miss fast-path: an id the open-time scan and every `put` since
+        // have never seen cannot be on disk — report absence without the
+        // segment lookup and the two-path file probe.
+        if !self.known.contains(id) {
+            store_metrics().fastpath_misses.inc();
+            return None;
+        }
         let entry = self
             .read_from_segment(id)
             .or_else(|| self.read_from_loose_file(id))?;
@@ -463,19 +554,20 @@ impl RuleStore {
             std::process::id(),
             TMP_COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
         ));
-        // Keep the cached persisted count current without a rescan: the
-        // rule is new on disk unless it is already indexed, sharded, or
-        // sitting at the legacy flat path. Only checked while a scan is
-        // live — before the first `persisted_cached` call there is no
-        // count to maintain, so `put` stays two syscalls cheaper.
-        let newly_persisted = self.persisted_at.is_some()
-            && !self.index.contains_key(&entry.id)
-            && !self.path_for(&entry.id).exists()
-            && !self.flat_path_for(&entry.id).exists();
+        // The known-id set answers "is this rule already on disk?" from
+        // memory — the historical implementation probed the segment
+        // index plus two candidate paths with filesystem calls here.
+        let newly_persisted = !self.known.contains(&entry.id);
         std::fs::write(&tmp, &text)?;
         std::fs::rename(&tmp, self.path_for(&entry.id))?;
         if newly_persisted {
-            self.persisted_count += 1;
+            self.known.insert(entry.id.clone());
+            // Keep the cached persisted count current without a rescan
+            // (only while a scan is live — before the first
+            // `persisted_cached` call there is no count to maintain).
+            if self.persisted_at.is_some() {
+                self.persisted_count += 1;
+            }
         }
         let id = entry.id.clone();
         self.cache.insert(id.clone(), entry);
@@ -596,9 +688,87 @@ impl RuleStore {
             let _ = std::fs::remove_file(path);
         }
         for (id, loc) in locs {
+            // Invariant: ids never change across a pack. Packing moves a
+            // record between layouts (loose file → segment) but the rule
+            // set itself — and therefore `persisted_cached()` and any
+            // index keyed by rule id, like the suggestion index — is
+            // unchanged. Under the single-writer contract every packed
+            // id was already known (seeded at open or inserted by the
+            // `put` that wrote the loose file).
+            debug_assert!(
+                self.known.contains(&id),
+                "pack packed an id the store never saw: {id}"
+            );
+            self.known.insert(id.clone());
             self.index.insert(id, loc);
         }
         Ok(sources.len())
+    }
+
+    /// Number of distinct rule ids the in-memory fast-path set tracks.
+    /// Equal to [`RuleStore::persisted`] under the single-writer
+    /// contract (and pinned equal across `pack` by the invariant test).
+    pub fn tracked_ids(&self) -> usize {
+        self.known.len()
+    }
+
+    /// Reads every persisted rule once — packed records first, then
+    /// loose files whose ids the segment index does not cover (the same
+    /// precedence a `get` uses) — calling `found` for each. Corrupt or
+    /// mismatched records are skipped. This is the open-time feed for
+    /// the suggestion index; it never touches the LRU cache.
+    pub fn for_each_stored(&self, mut found: impl FnMut(StoredRule)) {
+        for id in self.index.keys() {
+            if let Some(entry) = self.read_from_segment(id) {
+                if entry.id == *id {
+                    found(entry);
+                }
+            }
+        }
+        for_each_loose_id(&self.dir, |id| {
+            if self.index.contains_key(id) {
+                return;
+            }
+            if let Some(entry) = self.read_from_loose_file(id) {
+                if entry.id == id {
+                    found(entry);
+                }
+            }
+        });
+    }
+}
+
+/// Walks the loose per-rule files of a store — flat `.json` files at the
+/// root and the contents of every shard subdirectory — yielding each
+/// valid rule-id stem. Files are not opened; ids are read off the names.
+fn for_each_loose_id(dir: &Path, mut found: impl FnMut(&str)) {
+    let visit = |dir: &Path, found: &mut dyn FnMut(&str)| {
+        if let Ok(entries) = std::fs::read_dir(dir) {
+            for entry in entries.filter_map(Result::ok) {
+                let path = entry.path();
+                if path.is_file() && path.extension().is_some_and(|x| x == "json") {
+                    if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                        if valid_rule_id(stem) {
+                            found(stem);
+                        }
+                    }
+                }
+            }
+        }
+    };
+    visit(dir, &mut found);
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.filter_map(Result::ok) {
+            let path = entry.path();
+            if path.is_dir()
+                && path
+                    .file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(is_shard_name)
+            {
+                visit(&path, &mut found);
+            }
+        }
     }
 }
 
@@ -744,6 +914,8 @@ mod tests {
             column_len: 6,
             consistent: true,
             rule_set: None,
+            tenant: None,
+            embedding: None,
         }
     }
 
@@ -1178,6 +1350,142 @@ mod tests {
         let mut reopened = RuleStore::open(&dir, 8).unwrap();
         assert_eq!(reopened.segment_rules(), 1, "torn tail ignored");
         assert_eq!(reopened.get(&id).as_ref(), Some(&entry(&id, "Ok")));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn known_absent_ids_short_circuit_without_disk() {
+        let dir = temp_dir("fastpath");
+        let metrics = store_metrics();
+        let mut store = RuleStore::open(&dir, 8).unwrap();
+        let present = rule_id(&["here".into()], &[0], &[]);
+        store.put(entry(&present, "H")).unwrap();
+
+        // A known-absent id is a fast-path miss (global counters are
+        // shared across the test binary: assert deltas only).
+        let f0 = metrics.fastpath_misses.get();
+        let absent = rule_id(&["nowhere".into()], &[0], &[]);
+        assert!(store.get(&absent).is_none());
+        assert_eq!(metrics.fastpath_misses.get(), f0 + 1);
+
+        // A present id never takes the fast path — not even on the cold
+        // read of a reopened store, where the open-time scan seeds it.
+        let f1 = metrics.fastpath_misses.get();
+        let mut reopened = RuleStore::open(&dir, 8).unwrap();
+        assert!(reopened.get(&present).is_some(), "cold read still served");
+        assert!(reopened.get(&absent).is_none());
+        assert_eq!(
+            metrics.fastpath_misses.get(),
+            f1 + 1,
+            "only the absent id short-circuited"
+        );
+        assert_eq!(reopened.tracked_ids(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tenant_namespaces_the_fingerprint() {
+        let cells: Vec<String> = ["a", "b", "c"].iter().map(|s| s.to_string()).collect();
+        let global = rule_id_for(None, &cells, &[0], &[]);
+        assert_eq!(
+            global,
+            rule_id(&cells, &[0], &[]),
+            "untenanted ids are byte-identical to the historical construction"
+        );
+        let acme = rule_id_for(Some("acme"), &cells, &[0], &[]);
+        let globex = rule_id_for(Some("globex"), &cells, &[0], &[]);
+        assert!(valid_rule_id(&acme));
+        assert_ne!(global, acme, "a tenant never hits the global record");
+        assert_ne!(acme, globex, "tenants never hit each other's records");
+
+        let green = Format::fill("#dcfce7");
+        let class = ClassFingerprint {
+            style: &green,
+            scope: TargetScope::Cell,
+            examples: &[0],
+        };
+        let set_global = rule_set_id_for(None, &cells, &[class], &[]);
+        assert_eq!(set_global, rule_set_id(&cells, &[class], &[]));
+        assert_ne!(
+            set_global,
+            rule_set_id_for(Some("acme"), &cells, &[class], &[])
+        );
+    }
+
+    #[test]
+    fn tenanted_embedded_records_round_trip_and_stay_legacy_compatible() {
+        let mut tenanted = entry("r03", "done");
+        tenanted.tenant = Some("acme".into());
+        tenanted.embedding = Some(vec![0.5, -0.25, 0.125]);
+        let wire = encode(STORED_RULE_KIND, &tenanted);
+        let back: StoredRule = decode(STORED_RULE_KIND, &wire).unwrap();
+        assert_eq!(back, tenanted, "f64 embeddings round-trip exactly");
+        // Untenanted, unembedded records omit both keys — bytes identical
+        // to what pre-suggestion builds wrote — and legacy records with
+        // neither key decode to None.
+        let legacy = entry("r04", "todo");
+        let legacy_wire = encode(STORED_RULE_KIND, &legacy);
+        assert!(!legacy_wire.contains("tenant"), "{legacy_wire}");
+        assert!(!legacy_wire.contains("embedding"), "{legacy_wire}");
+        let legacy_back: StoredRule = decode(STORED_RULE_KIND, &legacy_wire).unwrap();
+        assert_eq!(legacy_back.tenant, None);
+        assert_eq!(legacy_back.embedding, None);
+    }
+
+    #[test]
+    fn pack_never_changes_the_id_set() {
+        // The invariant `/health` and the suggestion index both lean on:
+        // ids never change across a pack. `persisted_cached()` and the
+        // fast-path set must agree before, across and after the pack —
+        // any transient disagreement here would surface as a suggestion
+        // for a rule `get` then reports absent.
+        let dir = temp_dir("pack-id-set");
+        let mut store = RuleStore::open(&dir, 8).unwrap();
+        let ids: Vec<String> = (0..4)
+            .map(|i| rule_id(&[format!("inv{i}")], &[0], &[]))
+            .collect();
+        for id in &ids {
+            store.put(entry(id, "V")).unwrap();
+        }
+        assert_eq!(store.persisted_cached(), 4);
+        assert_eq!(store.tracked_ids(), 4);
+        assert_eq!(store.pack().unwrap(), 4);
+        assert_eq!(store.tracked_ids(), 4, "pack minted or dropped an id");
+        assert_eq!(store.persisted_cached(), 4);
+        assert_eq!(store.persisted(), 4, "the walk agrees with the caches");
+        // Every id is still readable, now out of the segment.
+        for id in &ids {
+            assert!(store.get(id).is_some());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn for_each_stored_visits_segments_and_loose_files_once_each() {
+        let dir = temp_dir("scan-all");
+        let mut store = RuleStore::open(&dir, 8).unwrap();
+        let packed = rule_id(&["packed".into()], &[0], &[]);
+        store.put(entry(&packed, "P")).unwrap();
+        store.pack().unwrap();
+        let loose = rule_id(&["loose".into()], &[0], &[]);
+        store.put(entry(&loose, "L")).unwrap();
+        // Re-put a packed id as a loose file: the segment copy wins and
+        // the id is visited once, matching `get`'s precedence.
+        store.put(entry(&packed, "P")).unwrap();
+
+        let mut seen: Vec<String> = Vec::new();
+        store.for_each_stored(|r| seen.push(r.id));
+        seen.sort();
+        let mut want = vec![packed.clone(), loose.clone()];
+        want.sort();
+        assert_eq!(seen, want);
+
+        // A reopened store scans identically (the index rebuild path).
+        let reopened = RuleStore::open(&dir, 8).unwrap();
+        let mut seen2: Vec<String> = Vec::new();
+        reopened.for_each_stored(|r| seen2.push(r.id));
+        seen2.sort();
+        assert_eq!(seen2, want);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,425 @@
+//! Zero-example rule suggestion: the embedding index behind `POST /suggest`.
+//!
+//! Every learned rule's column is embedded into a fixed-dimension vector
+//! (the [`HashEmbedder`]'s order-invariant token average) and persisted
+//! inside the [`crate::store::StoredRule`] record, so the index rebuilds
+//! from the store alone at open — no side files, no re-reading cell text.
+//! Retrieval is an exact k-nearest-neighbour query over a
+//! [`BallTree`] per namespace, which is what makes the lookup sublinear
+//! in the corpus size (see the `suggest_index` bench).
+//!
+//! ## Tenancy
+//!
+//! The index is namespaced: rules learned without a tenant live in the
+//! shared global namespace, rules learned under a tenant live in that
+//! tenant's namespace. A `/suggest` under tenant A searches A's namespace
+//! plus the global one and *never* touches tenant B's — one tenant's cell
+//! data can never surface in another tenant's suggestions. The tenant is
+//! also fed into the rule fingerprint ([`crate::store::rule_id_for`]), so
+//! two tenants learning the same column produce distinct store records.
+
+use cornet_nn::{BallTree, HashEmbedder};
+use cornet_obs::Counter;
+use cornet_serde::{field_t, optional_field_t, DecodeError, FromJson, Json, ToJson};
+use std::collections::{HashMap, HashSet};
+use std::sync::OnceLock;
+
+/// Width of a stored-rule embedding. Changing this (or the seed below)
+/// orphans every persisted embedding: records whose stored vector no
+/// longer matches the live dimension are skipped at index rebuild and
+/// only become suggestible again once re-learned.
+pub const SUGGEST_EMBED_DIM: usize = 16;
+
+/// Hash-table rows of the suggestion embedder.
+const SUGGEST_EMBED_BUCKETS: usize = 1024;
+
+/// Fixed seed of the suggestion embedder. Part of the on-disk contract:
+/// persisted embeddings are only comparable to fresh ones because every
+/// process derives the identical frozen table from this seed.
+const SUGGEST_EMBED_SEED: u64 = 0x5347_5354; // "SGST"
+
+/// The process-wide suggestion embedder (frozen, deterministic).
+pub fn suggest_embedder() -> &'static HashEmbedder {
+    static EMBEDDER: OnceLock<HashEmbedder> = OnceLock::new();
+    EMBEDDER.get_or_init(|| {
+        HashEmbedder::new(SUGGEST_EMBED_DIM, SUGGEST_EMBED_BUCKETS, SUGGEST_EMBED_SEED)
+    })
+}
+
+/// Embeds a column's cells into its signature vector: the order-invariant
+/// L2-normalised token average, so `["a","b"]` and `["b","a"]` retrieve
+/// the same stored rules. A column of empty cells maps to the zero
+/// vector, which the index refuses to store (it carries no signal).
+pub fn embed_column<S: AsRef<str>>(cells: &[S]) -> Vec<f64> {
+    suggest_embedder().embed_tokens(cells)
+}
+
+/// Process-wide suggestion counters in the global [`cornet_obs`] registry.
+pub(crate) struct SuggestMetrics {
+    /// `/suggest` queries served (including empty results).
+    pub queries: Counter,
+    /// Queries that produced no suggestions.
+    pub empty: Counter,
+    /// Suggestions returned across all queries.
+    pub candidates: Counter,
+}
+
+pub(crate) fn suggest_metrics() -> &'static SuggestMetrics {
+    static METRICS: OnceLock<SuggestMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = cornet_obs::registry();
+        SuggestMetrics {
+            queries: registry.counter(
+                "cornet_suggest_queries_total",
+                "Zero-example suggestion queries served.",
+            ),
+            empty: registry.counter(
+                "cornet_suggest_empty_total",
+                "Suggestion queries that returned no candidates.",
+            ),
+            candidates: registry.counter(
+                "cornet_suggest_candidates_total",
+                "Suggestions returned across all queries.",
+            ),
+        }
+    })
+}
+
+/// One tenancy namespace: a ball tree plus the rule ids aligned with its
+/// point indices, and the id set that makes re-inserts idempotent (a
+/// cache-hit learn or a rebuild-plus-put must not duplicate a point).
+struct Namespace {
+    tree: BallTree,
+    ids: Vec<String>,
+    seen: HashSet<String>,
+}
+
+impl Namespace {
+    fn new() -> Namespace {
+        Namespace {
+            tree: BallTree::new(SUGGEST_EMBED_DIM),
+            ids: Vec::new(),
+            seen: HashSet::new(),
+        }
+    }
+}
+
+/// The tenant-namespaced embedding index over stored rules.
+///
+/// Key `""` is the shared global namespace (rules learned without a
+/// tenant); every other key is a tenant's private namespace. Queries
+/// merge the caller's namespace with the global one and nothing else.
+pub struct SuggestIndex {
+    namespaces: HashMap<String, Namespace>,
+}
+
+impl Default for SuggestIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SuggestIndex {
+    /// An empty index.
+    pub fn new() -> SuggestIndex {
+        SuggestIndex {
+            namespaces: HashMap::new(),
+        }
+    }
+
+    /// Indexes a stored rule's embedding under its tenant (global when
+    /// `None`). Idempotent per id. Vectors of the wrong dimension (a
+    /// record persisted under an older [`SUGGEST_EMBED_DIM`]) and
+    /// all-zero vectors (an empty-cell column) are skipped — both are
+    /// unretrievable, not errors. Returns whether the point was added.
+    pub fn insert(&mut self, tenant: Option<&str>, id: &str, embedding: &[f64]) -> bool {
+        if embedding.len() != SUGGEST_EMBED_DIM || embedding.iter().all(|&v| v == 0.0) {
+            return false;
+        }
+        let ns = self
+            .namespaces
+            .entry(tenant.unwrap_or("").to_string())
+            .or_insert_with(Namespace::new);
+        if !ns.seen.insert(id.to_string()) {
+            return false;
+        }
+        ns.tree.insert(embedding);
+        ns.ids.push(id.to_string());
+        true
+    }
+
+    /// Total indexed points across every namespace.
+    pub fn len(&self) -> usize {
+        self.namespaces.values().map(|ns| ns.tree.len()).sum()
+    }
+
+    /// True when nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `k` nearest stored rules to `query` visible to `tenant`: its
+    /// own namespace merged with the global one, sorted by
+    /// `(distance, rule_id)`. The id tiebreak (not the tree's internal
+    /// point index) keeps the order stable across restarts, where
+    /// namespace rebuild order — and therefore point numbering — differs.
+    pub fn query(&self, tenant: Option<&str>, query: &[f64], k: usize) -> Vec<(String, f64)> {
+        let mut merged: Vec<(String, f64)> = Vec::new();
+        let mut scan = |key: &str| {
+            if let Some(ns) = self.namespaces.get(key) {
+                for n in ns.tree.nearest(query, k) {
+                    merged.push((ns.ids[n.index].clone(), n.dist));
+                }
+            }
+        };
+        scan("");
+        if let Some(t) = tenant {
+            if !t.is_empty() {
+                scan(t);
+            }
+        }
+        merged.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        merged.truncate(k);
+        merged
+    }
+}
+
+/// `suggest`: a bare column (zero examples) to retrieve stored rules for.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuggestRequest {
+    /// Raw cell texts of the unformatted column.
+    pub cells: Vec<String>,
+    /// Tenancy scope: search this tenant's rules plus the global ones.
+    pub tenant: Option<String>,
+    /// Maximum suggestions to return (default 3, capped at 16).
+    pub k: Option<usize>,
+}
+
+impl FromJson for SuggestRequest {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(SuggestRequest {
+            cells: field_t(json, "cells")?,
+            tenant: optional_field_t(json, "tenant")?,
+            k: optional_field_t(json, "k")?,
+        })
+    }
+}
+
+impl ToJson for SuggestRequest {
+    fn to_json(&self) -> Json {
+        let mut pairs = vec![("cells".to_string(), self.cells.to_json())];
+        if let Some(t) = &self.tenant {
+            pairs.push(("tenant".to_string(), Json::str(t.clone())));
+        }
+        if let Some(k) = self.k {
+            pairs.push(("k".to_string(), k.to_json()));
+        }
+        Json::Object(pairs)
+    }
+}
+
+/// One suggested rule, re-scored against the fresh column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suggestion {
+    /// Store id of the suggested rule — usable directly with `/score`.
+    pub rule_id: String,
+    /// Human-readable rule text.
+    pub rule_text: String,
+    /// Excel conditional-formatting formula equivalent.
+    pub formula: String,
+    /// Indices the rule formats on the *submitted* column.
+    pub matches: Vec<usize>,
+    /// Embedding similarity `1 / (1 + distance)` in `(0, 1]`.
+    pub similarity: f64,
+    /// Ranking score: similarity × selectivity of the rule on the fresh
+    /// column (see [`CornetService::suggest`](crate::CornetService::suggest)).
+    pub score: f64,
+    /// The stored rule's consistency flag (see `LearnResponse`).
+    pub consistent: bool,
+}
+
+impl ToJson for Suggestion {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("rule_id", Json::str(self.rule_id.clone())),
+            ("rule_text", Json::str(self.rule_text.clone())),
+            ("formula", Json::str(self.formula.clone())),
+            ("matches", self.matches.to_json()),
+            ("similarity", Json::Number(self.similarity)),
+            ("score", Json::Number(self.score)),
+            ("consistent", Json::Bool(self.consistent)),
+        ])
+    }
+}
+
+impl FromJson for Suggestion {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(Suggestion {
+            rule_id: field_t(json, "rule_id")?,
+            rule_text: field_t(json, "rule_text")?,
+            formula: field_t(json, "formula")?,
+            matches: field_t(json, "matches")?,
+            similarity: field_t(json, "similarity")?,
+            score: field_t(json, "score")?,
+            consistent: field_t(json, "consistent")?,
+        })
+    }
+}
+
+/// `suggest` result: re-scored nearest stored rules, best first.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuggestResponse {
+    /// Suggestions ordered by descending score.
+    pub suggestions: Vec<Suggestion>,
+    /// Points in the embedding index at query time (all namespaces the
+    /// process holds, not just the ones this query searched).
+    pub indexed: usize,
+    /// Number of cells in the submitted column.
+    pub n_cells: usize,
+}
+
+impl ToJson for SuggestResponse {
+    fn to_json(&self) -> Json {
+        Json::object([
+            ("suggestions", self.suggestions.to_json()),
+            ("indexed", self.indexed.to_json()),
+            ("n_cells", self.n_cells.to_json()),
+        ])
+    }
+}
+
+impl FromJson for SuggestResponse {
+    fn from_json(json: &Json) -> Result<Self, DecodeError> {
+        Ok(SuggestResponse {
+            suggestions: field_t(json, "suggestions")?,
+            indexed: field_t(json, "indexed")?,
+            n_cells: field_t(json, "n_cells")?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cornet_serde::{decode, encode};
+
+    fn emb(cells: &[&str]) -> Vec<f64> {
+        embed_column(cells)
+    }
+
+    #[test]
+    fn embedding_is_order_invariant_and_normalised() {
+        let a = emb(&["RW-187", "TW-224"]);
+        let b = emb(&["TW-224", "RW-187"]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        let norm: f64 = a.iter().map(|v| v * v).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+        assert_eq!(a.len(), SUGGEST_EMBED_DIM);
+    }
+
+    #[test]
+    fn insert_is_idempotent_and_rejects_bad_vectors() {
+        let mut index = SuggestIndex::new();
+        let e = emb(&["alpha", "beta"]);
+        assert!(index.insert(None, "r1", &e));
+        assert!(!index.insert(None, "r1", &e), "same id twice");
+        assert_eq!(index.len(), 1);
+        assert!(!index.insert(None, "r2", &vec![0.0; SUGGEST_EMBED_DIM]));
+        assert!(!index.insert(None, "r3", &[1.0, 2.0]), "wrong dimension");
+        assert_eq!(index.len(), 1);
+        // The same id under a different tenant is a distinct point — the
+        // fingerprint already separates them, this mirrors it.
+        assert!(index.insert(Some("acme"), "r1", &e));
+        assert_eq!(index.len(), 2);
+    }
+
+    #[test]
+    fn query_merges_tenant_and_global_but_never_other_tenants() {
+        let mut index = SuggestIndex::new();
+        index.insert(None, "global", &emb(&["RW-1", "RW-2"]));
+        index.insert(Some("acme"), "acme-rule", &emb(&["RW-3", "RW-4"]));
+        index.insert(Some("globex"), "globex-rule", &emb(&["RW-5", "RW-6"]));
+
+        let q = emb(&["RW-7", "RW-8"]);
+        let acme: Vec<String> = index
+            .query(Some("acme"), &q, 10)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        assert!(acme.contains(&"global".to_string()));
+        assert!(acme.contains(&"acme-rule".to_string()));
+        assert!(
+            !acme.contains(&"globex-rule".to_string()),
+            "tenant isolation breached: {acme:?}"
+        );
+        let anon: Vec<String> = index
+            .query(None, &q, 10)
+            .into_iter()
+            .map(|(id, _)| id)
+            .collect();
+        assert_eq!(anon, vec!["global".to_string()], "anonymous = global only");
+    }
+
+    #[test]
+    fn query_order_is_deterministic_across_rebuild_orders() {
+        // Two indexes built in opposite insertion order must answer
+        // identically — the restart guarantee.
+        let points = [
+            ("a", emb(&["PASS", "FAIL"])),
+            ("b", emb(&["pass", "fail"])), // identical after lowercasing
+            ("c", emb(&["2021-01-01", "2021-02-03"])),
+        ];
+        let mut fwd = SuggestIndex::new();
+        let mut rev = SuggestIndex::new();
+        for (id, e) in &points {
+            fwd.insert(None, id, e);
+        }
+        for (id, e) in points.iter().rev() {
+            rev.insert(None, id, e);
+        }
+        let q = emb(&["PASS", "PASS"]);
+        assert_eq!(fwd.query(None, &q, 3), rev.query(None, &q, 3));
+    }
+
+    #[test]
+    fn wire_types_round_trip() {
+        let req = SuggestRequest {
+            cells: vec!["RW-187".into(), "TW-224".into()],
+            tenant: Some("acme".into()),
+            k: Some(5),
+        };
+        let back: SuggestRequest = decode("t", &encode("t", &req)).unwrap();
+        assert_eq!(back, req);
+
+        let bare = SuggestRequest {
+            cells: vec!["x".into()],
+            tenant: None,
+            k: None,
+        };
+        let wire = encode("t", &bare);
+        assert!(
+            !wire.contains("tenant") && !wire.contains("\"k\""),
+            "{wire}"
+        );
+        let back: SuggestRequest = decode("t", &wire).unwrap();
+        assert_eq!(back, bare);
+
+        let resp = SuggestResponse {
+            suggestions: vec![Suggestion {
+                rule_id: "r1".into(),
+                rule_text: "TextStartsWith(\"RW\")".into(),
+                formula: "=LEFT(A1,2)=\"RW\"".into(),
+                matches: vec![0, 2],
+                similarity: 0.75,
+                score: 0.5,
+                consistent: true,
+            }],
+            indexed: 7,
+            n_cells: 4,
+        };
+        let back: SuggestResponse = decode("t", &encode("t", &resp)).unwrap();
+        assert_eq!(back, resp);
+    }
+}

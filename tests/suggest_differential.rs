@@ -1,0 +1,279 @@
+//! Differential and property tests for the suggestion retrieval layer:
+//! the ball tree must return *bitwise identical* neighbor lists to the
+//! brute-force linear scan — same neighbors, same order, same distances
+//! — under every thread count, plus the structural invariants the
+//! `/suggest` endpoint leans on (retrievability, radius monotonicity,
+//! build ≡ incremental insert, tenant isolation over the wire).
+
+use cornet_repro::nn::balltree::DEFAULT_REBUILD_THRESHOLD;
+use cornet_repro::nn::BallTree;
+use cornet_repro::pool::{par_map, with_threads};
+use cornet_repro::serde::{open_envelope, Json};
+use cornet_repro::serve::service::{CornetService, ServiceConfig};
+use cornet_repro::serve::suggest::embed_column;
+use cornet_repro::serve::{http_request, Server};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Deterministic point cloud: `n` points of dimension `dim`, clustered
+/// around a handful of centers so the tree has real structure to prune
+/// (uniform noise would make every ball overlap every query).
+fn clustered_points(n: usize, dim: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let centers: Vec<Vec<f64>> = (0..8)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-4.0..4.0)).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = &centers[i % centers.len()];
+            c.iter().map(|&v| v + rng.gen_range(-0.5..0.5)).collect()
+        })
+        .collect()
+}
+
+/// Runs tree-vs-linear over a mix of member and off-corpus queries and
+/// asserts exact equality of the full neighbor lists.
+fn assert_tree_matches_linear(points: &[Vec<f64>], queries: &[Vec<f64>], ks: &[usize]) {
+    let dim = points[0].len();
+    let tree = BallTree::build(dim, points);
+    for q in queries {
+        for &k in ks {
+            let fast = tree.nearest(q, k);
+            let slow = tree.nearest_linear(q, k);
+            assert_eq!(
+                fast, slow,
+                "tree and linear scan disagree for k={k} on query {q:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn tree_equals_linear_scan_exactly() {
+    let points = clustered_points(500, 16, 7);
+    let mut queries: Vec<Vec<f64>> = points.iter().take(10).cloned().collect();
+    queries.extend(clustered_points(10, 16, 99));
+    assert_tree_matches_linear(&points, &queries, &[1, 3, 10, 499, 500, 600]);
+}
+
+#[test]
+fn tree_equals_linear_scan_with_duplicate_points() {
+    // Duplicates force distance ties; the shared total order (distance,
+    // then insertion index) must keep both sides identical anyway.
+    let mut points = clustered_points(100, 8, 11);
+    let dupes: Vec<Vec<f64>> = points.iter().step_by(3).cloned().collect();
+    points.extend(dupes);
+    let queries: Vec<Vec<f64>> = points.iter().step_by(17).cloned().collect();
+    assert_tree_matches_linear(&points, &queries, &[1, 5, 40]);
+}
+
+#[test]
+fn tree_equals_linear_under_one_and_four_threads() {
+    // Fan the queries across the pool: retrieval is read-only, so every
+    // thread must see the identical structure and produce the identical
+    // answer — and the answers must not depend on the thread count.
+    let points = clustered_points(300, 12, 23);
+    let tree = Arc::new(BallTree::build(12, &points));
+    let queries: Vec<Vec<f64>> = points.iter().step_by(7).cloned().collect();
+    let run = |threads: usize| -> Vec<Vec<(usize, f64)>> {
+        let tree = Arc::clone(&tree);
+        let queries = queries.clone();
+        with_threads(threads, move || {
+            par_map(queries.len(), |i| {
+                let fast = tree.nearest(&queries[i], 5);
+                let slow = tree.nearest_linear(&queries[i], 5);
+                assert_eq!(fast, slow, "thread-fanned query {i} diverged");
+                fast.into_iter().map(|n| (n.index, n.dist)).collect()
+            })
+        })
+    };
+    let single = run(1);
+    let quad = run(4);
+    assert_eq!(single, quad, "results depend on thread count");
+}
+
+#[test]
+fn real_embeddings_tree_equals_linear() {
+    // The exact vectors `/suggest` indexes: hash-embedded column
+    // signatures, L2-normalised onto the unit sphere.
+    let families = [
+        ["RW-187", "RW-159", "RW-312"],
+        ["2021-01-04", "2021-02-05", "2021-03-06"],
+        ["completed", "pending", "failed"],
+        ["$1,204.50", "$98.20", "$5.00"],
+        ["PASS", "FAIL", "PASS"],
+    ];
+    let mut points = Vec::new();
+    for (i, family) in families.iter().enumerate() {
+        for j in 0..40 {
+            let cells: Vec<String> = family.iter().map(|c| format!("{c}-{i}{}", j % 7)).collect();
+            points.push(embed_column(&cells));
+        }
+    }
+    let queries: Vec<Vec<f64>> = points.iter().step_by(13).cloned().collect();
+    assert_tree_matches_linear(&points, &queries, &[1, 3, 8]);
+}
+
+proptest! {
+    #[test]
+    fn every_point_is_retrievable(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 4), 1..60),
+        k_extra in 0usize..3,
+    ) {
+        let tree = BallTree::build(4, &points);
+        for (i, p) in points.iter().enumerate() {
+            let hits = tree.nearest(p, 1 + k_extra);
+            // The nearest neighbor of a member point is at distance 0 —
+            // itself or an exact duplicate with a smaller index.
+            prop_assert!(!hits.is_empty());
+            prop_assert_eq!(hits[0].dist, 0.0);
+            prop_assert_eq!(tree.point(hits[0].index), points[hits[0].index].as_slice());
+            prop_assert!(hits[0].index <= i);
+        }
+    }
+
+    #[test]
+    fn knn_radius_is_monotone_in_k(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 3), 2..50),
+        query in proptest::collection::vec(-12.0f64..12.0, 3),
+    ) {
+        let tree = BallTree::build(3, &points);
+        let mut last_radius = 0.0f64;
+        let mut last_len = 0usize;
+        for k in 1..=points.len() {
+            let hits = tree.nearest(&query, k);
+            prop_assert_eq!(hits.len(), k.min(points.len()));
+            prop_assert!(hits.len() >= last_len);
+            let radius = hits.last().map_or(0.0, |n| n.dist);
+            prop_assert!(
+                radius >= last_radius,
+                "k-th distance shrank when k grew: {} < {}", radius, last_radius
+            );
+            // And the list itself is sorted by the same total order.
+            for pair in hits.windows(2) {
+                prop_assert!(pair[0].dist <= pair[1].dist);
+                if pair[0].dist == pair[1].dist {
+                    prop_assert!(pair[0].index < pair[1].index);
+                }
+            }
+            last_radius = radius;
+            last_len = hits.len();
+        }
+    }
+
+    #[test]
+    fn bulk_build_equals_incremental_insert(
+        points in proptest::collection::vec(
+            proptest::collection::vec(-10.0f64..10.0, 4), 1..80),
+        query in proptest::collection::vec(-12.0f64..12.0, 4),
+        threshold in 1usize..12,
+    ) {
+        let bulk = BallTree::build(4, &points);
+        let mut grown = BallTree::with_rebuild_threshold(4, threshold);
+        for p in &points {
+            grown.insert(p);
+        }
+        prop_assert_eq!(bulk.len(), grown.len());
+        // Same points, same insertion indices → identical answers, no
+        // matter how much of the grown tree still sits in the pending
+        // buffer vs. the built structure.
+        prop_assert_eq!(bulk.nearest(&query, 5), grown.nearest(&query, 5));
+        let full = points.len();
+        prop_assert_eq!(bulk.nearest(&query, full), grown.nearest(&query, full));
+    }
+}
+
+#[test]
+fn default_threshold_insert_matches_build() {
+    // The non-proptest sibling of the invariant above, big enough to
+    // cross DEFAULT_REBUILD_THRESHOLD several times.
+    let points = clustered_points(DEFAULT_REBUILD_THRESHOLD * 3 + 17, 6, 41);
+    let bulk = BallTree::build(6, &points);
+    let mut grown = BallTree::new(6);
+    for p in &points {
+        grown.insert(p);
+    }
+    for q in points.iter().step_by(19) {
+        assert_eq!(bulk.nearest(q, 7), grown.nearest(q, 7));
+    }
+}
+
+/// Tenant isolation over the wire: tenant A's rule must never appear in
+/// tenant B's (or an anonymous) `/suggest` response, while untenanted
+/// rules are visible to everyone.
+#[test]
+fn suggest_endpoint_never_leaks_across_tenants() {
+    let dir = std::env::temp_dir().join(format!(
+        "cornet-suggest-diff-tenants-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let service = Arc::new(
+        CornetService::new(&ServiceConfig {
+            store_dir: dir.clone(),
+            cache_capacity: 16,
+            ..ServiceConfig::default()
+        })
+        .unwrap(),
+    );
+    let mut server = Server::start("127.0.0.1:0", service).unwrap();
+    let addr = server.addr();
+
+    let cells = r#"["RW-187","RS-762","RW-159","RW-131-T","TW-224","RW-312"]"#;
+    let learn = |tenant: Option<&str>| -> String {
+        let body = match tenant {
+            Some(t) => format!(r#"{{"cells":{cells},"examples":[0,2,5],"tenant":"{t}"}}"#),
+            None => format!(r#"{{"cells":{cells},"examples":[0,2,5]}}"#),
+        };
+        let (status, doc) = http_request(addr, "POST", "/learn", Some(&body)).unwrap();
+        assert_eq!(status, 200, "{doc}");
+        open_envelope(&doc, "learn")
+            .unwrap()
+            .get("rule_id")
+            .and_then(Json::as_str)
+            .unwrap()
+            .to_string()
+    };
+    let acme_rule = learn(Some("acme"));
+    let global_rule = learn(None);
+    assert_ne!(acme_rule, global_rule, "tenant feeds the fingerprint");
+
+    let suggest_ids = |tenant: Option<&str>| -> Vec<String> {
+        let body = match tenant {
+            Some(t) => format!(r#"{{"cells":["RW-555","XX-1","RW-9-T"],"tenant":"{t}","k":8}}"#),
+            None => r#"{"cells":["RW-555","XX-1","RW-9-T"],"k":8}"#.to_string(),
+        };
+        let (status, doc) = http_request(addr, "POST", "/suggest", Some(&body)).unwrap();
+        assert_eq!(status, 200, "{doc}");
+        open_envelope(&doc, "suggest")
+            .unwrap()
+            .get("suggestions")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .map(|s| s.get("rule_id").and_then(Json::as_str).unwrap().to_string())
+            .collect()
+    };
+
+    let acme = suggest_ids(Some("acme"));
+    assert!(acme.contains(&acme_rule), "owner sees its rule: {acme:?}");
+    assert!(acme.contains(&global_rule), "owner sees global rules too");
+
+    let globex = suggest_ids(Some("globex"));
+    assert!(
+        !globex.contains(&acme_rule),
+        "tenant isolation breached over the wire: {globex:?}"
+    );
+    assert!(globex.contains(&global_rule), "global rules stay shared");
+
+    let anon = suggest_ids(None);
+    assert!(!anon.contains(&acme_rule), "anonymous sees no tenant data");
+    assert!(anon.contains(&global_rule));
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
